@@ -1,0 +1,174 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Shared harness for the per-table / per-figure benchmark binaries.
+//
+// Workloads are scaled-down, structure-preserving stand-ins for the paper's
+// datasets (DESIGN.md §1): traffic -> 2-D road grid (high diameter),
+// Friendster -> undirected RMAT (power-law hubs), UKWeb -> directed deeper
+// RMAT, movieLens / Netflix -> planted low-rank bipartite rating graphs.
+// "Systems" are (engine mode x program granularity x cost model) tuples as
+// catalogued in DESIGN.md §1 and baselines/cost_model.h.
+#ifndef GRAPEPLUS_BENCH_BENCH_UTIL_H_
+#define GRAPEPLUS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algos/cc.h"
+#include "algos/cf.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "baselines/cost_model.h"
+#include "baselines/vc_programs.h"
+#include "core/sim_engine.h"
+#include "graph/generators.h"
+#include "partition/fragment.h"
+#include "partition/partitioner.h"
+#include "partition/skew.h"
+#include "util/table.h"
+
+namespace grape {
+namespace bench {
+
+// ------------------------------------------------------------ workloads ---
+
+inline Graph TrafficLike(uint32_t side = 96) {
+  GridOptions o;
+  o.rows = side;
+  o.cols = side;
+  o.shortcut_fraction = 0.005;
+  o.seed = 4;
+  return MakeRoadGrid(o);
+}
+
+inline Graph FriendsterLike(VertexId n = 1 << 14, uint64_t arcs = 120000) {
+  RmatOptions o;
+  o.num_vertices = n;
+  o.num_edges = arcs;
+  o.directed = false;  // social links
+  o.weighted = true;
+  o.min_weight = 1.0;
+  o.max_weight = 10.0;
+  o.seed = 8;
+  return MakeRmat(o);
+}
+
+inline Graph UkWebLike(VertexId n = 1 << 14, uint64_t arcs = 150000) {
+  RmatOptions o;
+  o.num_vertices = n;
+  o.num_edges = arcs;
+  o.a = 0.65;  // deeper skew: web graphs have extreme hubs
+  o.b = 0.15;
+  o.c = 0.15;
+  o.directed = true;
+  o.seed = 16;
+  return MakeRmat(o);
+}
+
+inline Graph MovieLensLike() {
+  BipartiteOptions o;
+  o.num_users = 1500;
+  o.num_items = 250;
+  o.num_ratings = 30000;
+  o.seed = 23;
+  return MakeBipartiteRatings(o);
+}
+
+inline Graph NetflixLike() {
+  BipartiteOptions o;
+  o.num_users = 3000;
+  o.num_items = 400;
+  o.num_ratings = 80000;
+  o.seed = 42;
+  return MakeBipartiteRatings(o);
+}
+
+// ------------------------------------------------------------- running ---
+
+struct Outcome {
+  double time = 0.0;      // virtual makespan
+  double comm_mb = 0.0;   // bytes shipped, scaled to MB-like units
+  uint64_t rounds = 0;
+  uint64_t straggler_rounds = 0;
+  bool converged = false;
+};
+
+template <typename Program>
+Outcome RunSim(const Partition& p, Program prog, EngineConfig cfg) {
+  SimEngine<Program> engine(p, std::move(prog), std::move(cfg));
+  auto r = engine.Run();
+  Outcome o;
+  o.time = r.stats.makespan;
+  o.comm_mb = static_cast<double>(r.stats.total_bytes()) / (1024.0 * 1024.0);
+  o.rounds = r.stats.total_rounds();
+  o.straggler_rounds = r.stats.straggler_rounds();
+  o.converged = r.converged;
+  return o;
+}
+
+/// Partition with the paper's Exp setup: balanced LDG then a mild reshuffle
+/// to introduce stragglers ("we randomly reshuffled a small portion ... and
+/// made the graphs skewed").
+inline Partition SkewedPartition(const Graph& g, FragmentId m,
+                                 double skew = 2.5, uint64_t seed = 1) {
+  auto placement = LdgPartitioner().Assign(g, m);
+  if (skew > 1.0 && m >= 2) placement = InjectSkew(g, placement, m, skew, seed);
+  return BuildPartition(g, std::move(placement), m);
+}
+
+/// Base engine configuration: unit message latency, light per-round
+/// overhead, straggling from fragment skew (and optionally speed factors).
+inline EngineConfig BaseConfig(ModeConfig mode, FragmentId m) {
+  EngineConfig cfg;
+  cfg.mode = mode;
+  cfg.msg_latency = 1.0;
+  cfg.work_unit_time = 0.01;
+  cfg.min_round_time = 0.5;
+  (void)m;
+  return cfg;
+}
+
+/// Adds a machine-level straggler: worker 0 (which also holds the skewed
+/// fragment from SkewedPartition) runs `factor`x slower — the combined
+/// data + hardware skew of the paper's evaluation setting.
+inline EngineConfig WithStraggler(EngineConfig cfg, FragmentId m,
+                                  double factor = 2.0) {
+  cfg.speed_factors.assign(m, 1.0);
+  if (m > 0) cfg.speed_factors[0] = factor;
+  return cfg;
+}
+
+/// The GRAPE+ mode ladder of Exp-1: AAP and its BSP/AP/SSP restrictions.
+struct ModeRow {
+  const char* name;
+  ModeConfig mode;
+};
+
+inline std::vector<ModeRow> GrapeModes(bool cf = false) {
+  ModeConfig aap = ModeConfig::Aap(0.0);
+  ModeConfig ssp = ModeConfig::Ssp(3);
+  if (cf) {
+    aap.bounded_staleness = true;
+    aap.staleness_bound = 3;
+  }
+  return {
+      {"GRAPE+ (AAP)", aap},
+      {"GRAPE+BSP", ModeConfig::Bsp()},
+      {"GRAPE+AP", ModeConfig::Ap()},
+      {"GRAPE+SSP", ssp},
+  };
+}
+
+inline std::string Fmt(double v, int prec = 1) {
+  return AsciiTable::Num(v, prec);
+}
+
+/// Prints a small "paper vs measured" shape note.
+inline void ShapeNote(const char* claim) {
+  std::printf("shape check: %s\n\n", claim);
+}
+
+}  // namespace bench
+}  // namespace grape
+
+#endif  // GRAPEPLUS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,81 @@
+// Reproduces Figure 1(a) + Example 1/4: the CC instance of Fig. 1(b) run at
+// three workers (P1, P2 fast; P3 takes twice as long; 1 time unit per
+// message hop) under BSP, AP, SSP(c=1) and AAP. Prints the timing diagram of
+// each run and the summary the paper's example asserts: AAP lets the
+// straggler accumulate updates and converge in fewer rounds.
+#include <cstdio>
+
+#include "algos/cc.h"
+#include "core/sim_engine.h"
+#include "graph/generators.h"
+#include "partition/fragment.h"
+#include "util/table.h"
+
+namespace grape {
+namespace {
+
+void RunFig1() {
+  std::vector<FragmentId> frag;
+  Graph g = MakeFig1bExample(&frag);
+  Partition p = BuildPartition(g, frag, 3);
+
+  struct Row {
+    const char* name;
+    ModeConfig mode;
+  };
+  // SSP with c=1 as in Example 1(3); AAP with L_bottom=0 as in Example 4(d).
+  const Row rows[] = {
+      {"BSP", ModeConfig::Bsp()},
+      {"AP", ModeConfig::Ap()},
+      {"SSP(c=1)", ModeConfig::Ssp(1)},
+      {"AAP", ModeConfig::Aap(0.0)},
+  };
+
+  AsciiTable table({"model", "makespan", "rounds(P1,P2,P3)",
+                    "straggler rounds", "msgs"});
+  std::printf("== Fig 1(a): CC on the Fig 1(b) instance, 3 workers ==\n");
+  std::printf("   (P1, P2 speed 1x; straggler P3 speed 2x; latency 1)\n\n");
+  for (const Row& row : rows) {
+    EngineConfig cfg;
+    cfg.mode = row.mode;
+    // The paper's exact setting: every round takes 3 units at P1/P2 and 6 at
+    // the straggler P3 (uniform round costs, so work_unit_time = 0 and the
+    // per-round floor carries the cost), and message passing takes 1 unit.
+    cfg.speed_factors = {1.0, 1.0, 2.0};
+    cfg.work_unit_time = 0.0;
+    cfg.min_round_time = 3.0;
+    cfg.msg_latency = 1.0;
+    SimEngine<CcProgram> engine(p, CcProgram{}, cfg);
+    auto r = engine.Run();
+    char rounds[64];
+    std::snprintf(rounds, sizeof(rounds), "%llu,%llu,%llu",
+                  static_cast<unsigned long long>(r.stats.workers[0].rounds),
+                  static_cast<unsigned long long>(r.stats.workers[1].rounds),
+                  static_cast<unsigned long long>(r.stats.workers[2].rounds));
+    table.AddRow({row.name, AsciiTable::Num(r.stats.makespan, 1), rounds,
+                  std::to_string(r.stats.workers[2].rounds),
+                  std::to_string(r.stats.total_msgs())});
+    std::printf("-- %s (Gantt; # = PEval, digits = IncEval rounds) --\n%s\n",
+                row.name, r.trace.ToGantt(3, 84).c_str());
+    // All models converge at the same (correct) fixpoint.
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (r.result[v] != 0) {
+        std::printf("ERROR: wrong fixpoint under %s\n", row.name);
+        return;
+      }
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper's claim (Example 1/4): AAP suspends the straggler so it\n"
+      "consumes accumulated updates and finishes in fewer rounds than\n"
+      "under AP/SSP, without BSP's global barriers.\n");
+}
+
+}  // namespace
+}  // namespace grape
+
+int main() {
+  grape::RunFig1();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Fig 6(g)(h): CF (SGD matrix factorisation) response time
+// varying the number of workers n on movieLens-like and Netflix-like rating
+// graphs, |E_T| = 90%|E|. CF requires bounded staleness, so the AAP row uses
+// predicate S with c=3 and SSP rows use the same c (Petuum's model).
+//
+// Paper's shape: GRAPE+ (AAP) beats BSP/AP/SSP by 1.38/1.80/1.26x; training
+// converges to the same quality everywhere.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace grape {
+namespace {
+
+void RunFig6Cf(const char* panel, const Graph& g) {
+  using namespace bench;
+  std::printf("== Fig 6%s: CF on %u users+items / %llu ratings ==\n", panel,
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  const FragmentId workers[] = {8, 16, 24, 32};
+  CfProgram::Options opts;
+  opts.max_epochs = 15;
+  AsciiTable table({"system \\ n", "8", "16", "24", "32", "test RMSE @32"});
+  for (const auto& row : GrapeModes(/*cf=*/true)) {
+    std::vector<std::string> cells = {row.name};
+    double rmse = 0;
+    for (FragmentId m : workers) {
+      Partition p = SkewedPartition(g, m, 2.0);
+      SimEngine<CfProgram> engine(p, CfProgram(&g, opts),
+                                  BaseConfig(row.mode, m));
+      auto r = engine.Run();
+      cells.push_back(r.converged ? Fmt(r.stats.makespan) : "DNF");
+      rmse = r.result.test_rmse;
+    }
+    cells.push_back(Fmt(rmse, 3));
+    table.AddRow(cells);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace grape
+
+int main() {
+  using namespace grape;
+  using namespace grape::bench;
+  {
+    Graph g = MovieLensLike();
+    RunFig6Cf("(g) movielens-like", g);
+  }
+  {
+    Graph g = NetflixLike();
+    RunFig6Cf("(h) netflix-like", g);
+  }
+  ShapeNote(
+      "paper Fig 6(g,h): GRAPE+ (AAP with bounded staleness) beats its "
+      "BSP/AP/SSP restrictions; all converge to comparable model quality");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// google-benchmark microbenchmarks of the substrate primitives: buffer
+// append/drain (the B_x̄i hot path), partition construction, generators and
+// the sequential kernels the PIE programs build on. These track the
+// constant factors behind the figure-level harnesses.
+#include <benchmark/benchmark.h>
+
+#include "algos/cc.h"
+#include "core/sim_engine.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "runtime/message.h"
+
+namespace grape {
+namespace {
+
+void BM_UpdateBufferAppendDrain(benchmark::State& state) {
+  const int entries = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    UpdateBuffer<double> buf;
+    Message<double> msg{0, 1, 0, {}, 0};
+    msg.entries.reserve(16);
+    for (int i = 0; i < entries; ++i) {
+      msg.entries.clear();
+      for (int j = 0; j < 16; ++j) {
+        msg.entries.push_back({static_cast<VertexId>((i * 7 + j) % 512),
+                               static_cast<double>(i), 0});
+      }
+      buf.Append(msg, [](double a, double b) { return a < b ? a : b; });
+    }
+    benchmark::DoNotOptimize(buf.Drain());
+  }
+  state.SetItemsProcessed(state.iterations() * entries * 16);
+}
+BENCHMARK(BM_UpdateBufferAppendDrain)->Arg(64)->Arg(512);
+
+void BM_RmatGeneration(benchmark::State& state) {
+  RmatOptions o;
+  o.num_vertices = 1 << 13;
+  o.num_edges = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    o.seed++;
+    benchmark::DoNotOptimize(MakeRmat(o));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RmatGeneration)->Arg(50000);
+
+void BM_PartitionBuild(benchmark::State& state) {
+  RmatOptions o;
+  o.num_vertices = 1 << 13;
+  o.num_edges = 60000;
+  Graph g = MakeRmat(o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HashPartitioner().Partition_(g, static_cast<FragmentId>(state.range(0))));
+  }
+}
+BENCHMARK(BM_PartitionBuild)->Arg(8)->Arg(64);
+
+void BM_SeqDijkstra(benchmark::State& state) {
+  ErdosRenyiOptions o;
+  o.num_vertices = 1 << 12;
+  o.num_edges = 40000;
+  o.weighted = true;
+  Graph g = MakeErdosRenyi(o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq::Sssp(g, 0));
+  }
+}
+BENCHMARK(BM_SeqDijkstra);
+
+void BM_EndToEndCcAap(benchmark::State& state) {
+  RmatOptions o;
+  o.num_vertices = 1 << 12;
+  o.num_edges = 30000;
+  o.directed = false;
+  Graph g = MakeRmat(o);
+  Partition p = HashPartitioner().Partition_(g, 16);
+  for (auto _ : state) {
+    EngineConfig cfg;
+    cfg.mode = ModeConfig::Aap();
+    SimEngine<CcProgram> engine(p, CcProgram{}, cfg);
+    benchmark::DoNotOptimize(engine.Run());
+  }
+}
+BENCHMARK(BM_EndToEndCcAap);
+
+}  // namespace
+}  // namespace grape
+
+BENCHMARK_MAIN();

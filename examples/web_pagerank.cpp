@@ -1,0 +1,64 @@
+// Web-graph PageRank: the paper's UKWeb scenario. A hub-heavy directed RMAT
+// graph is ranked with the delta-accumulative PageRank PIE program under
+// AAP; the top pages are printed and the scores cross-checked against the
+// sequential fixpoint.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "algos/pagerank.h"
+#include "core/sim_engine.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace grape;
+
+  RmatOptions opts;
+  opts.num_vertices = 1 << 13;
+  opts.num_edges = 80000;
+  opts.a = 0.65;  // deep skew: web-like hubs
+  opts.b = 0.15;
+  opts.c = 0.15;
+  opts.directed = true;
+  Graph g = MakeRmat(opts);
+  std::printf("web graph: %u pages, %llu links\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_arcs()));
+
+  Partition partition = LdgPartitioner().Partition_(g, 16);
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  cfg.msg_latency = 1.0;
+  cfg.work_unit_time = 0.01;
+  cfg.min_round_time = 0.5;
+  SimEngine<PageRankProgram> engine(partition, PageRankProgram(0.85, 1e-7),
+                                    cfg);
+  auto run = engine.Run();
+  std::printf("converged=%s rounds=%llu makespan=%.1f\n",
+              run.converged ? "yes" : "no",
+              static_cast<unsigned long long>(run.stats.total_rounds()),
+              run.stats.makespan);
+
+  // Top 5 pages.
+  std::vector<VertexId> order(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) order[v] = v;
+  std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                    [&](VertexId a, VertexId b) {
+                      return run.result[a] > run.result[b];
+                    });
+  std::printf("top pages:");
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  #%u (%.2f)", order[i], run.result[order[i]]);
+  }
+  std::printf("\n");
+
+  // Validate against the sequential fixpoint.
+  const auto truth = seq::PageRank(g, 0.85, 1e-9);
+  double max_err = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_err = std::max(max_err, std::abs(run.result[v] - truth[v]));
+  }
+  std::printf("max score deviation vs sequential: %.2e\n", max_err);
+  return max_err < 1e-2 ? 0 : 1;
+}

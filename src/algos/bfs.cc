@@ -1,0 +1,91 @@
+#include "algos/bfs.h"
+
+#include <limits>
+#include <queue>
+
+namespace grape {
+
+namespace {
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max();
+}
+
+BfsProgram::State BfsProgram::Init(const Fragment& f) const {
+  State st;
+  st.level.assign(f.num_local(), kInf);
+  st.last_sent.assign(f.num_outer(), kInf);
+  return st;
+}
+
+double BfsProgram::Expand(const Fragment& f, State& st,
+                          std::vector<LocalVertex> frontier,
+                          Emitter<Value>* out) const {
+  // Dial-style expansion: levels only grow by 1, so a FIFO ordered by level
+  // suffices (min-heap not needed as inputs are already minimal levels).
+  using Item = std::pair<int64_t, LocalVertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  for (LocalVertex l : frontier) pq.push({st.level[l], l});
+  double work = 0;
+  while (!pq.empty()) {
+    auto [d, l] = pq.top();
+    pq.pop();
+    ++work;
+    if (d > st.level[l]) continue;
+    if (!f.IsInner(l)) continue;
+    for (const LocalArc& a : f.OutEdges(l)) {
+      ++work;
+      if (d + 1 < st.level[a.dst]) {
+        st.level[a.dst] = d + 1;
+        pq.push({d + 1, a.dst});
+      }
+    }
+  }
+  for (LocalVertex o = f.num_inner(); o < f.num_local(); ++o) {
+    int64_t& sent = st.last_sent[o - f.num_inner()];
+    if (st.level[o] < sent) {
+      sent = st.level[o];
+      out->Emit(f.GlobalId(o), st.level[o]);
+    }
+  }
+  return work;
+}
+
+double BfsProgram::PEval(const Fragment& f, State& st,
+                         Emitter<Value>* out) const {
+  const LocalVertex src = f.LocalId(source_);
+  if (src == Fragment::kInvalidLocal || !f.IsInner(src)) return 1.0;
+  st.level[src] = 0;
+  return Expand(f, st, {src}, out);
+}
+
+double BfsProgram::IncEval(const Fragment& f, State& st,
+                           std::span<const UpdateEntry<Value>> updates,
+                           Emitter<Value>* out) const {
+  std::vector<LocalVertex> frontier;
+  double work = 0;
+  for (const auto& u : updates) {
+    ++work;
+    const LocalVertex l = f.LocalId(u.vid);
+    if (l == Fragment::kInvalidLocal) continue;
+    if (u.value < st.level[l]) {
+      st.level[l] = u.value;
+      frontier.push_back(l);
+    }
+  }
+  if (frontier.empty()) return work;
+  return work + Expand(f, st, std::move(frontier), out);
+}
+
+BfsProgram::ResultT BfsProgram::Assemble(
+    const Partition& p, const std::vector<State>& states) const {
+  std::vector<int64_t> level(p.graph->num_vertices(), kUnreached);
+  for (FragmentId i = 0; i < p.num_fragments(); ++i) {
+    const Fragment& f = p.fragments[i];
+    for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+      const int64_t v = states[i].level[l];
+      level[f.GlobalId(l)] = v == kInf ? kUnreached : v;
+    }
+  }
+  return level;
+}
+
+}  // namespace grape

@@ -1,0 +1,49 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// PIE program for BFS hop levels — a second traversal workload showing that
+// graph-traversal PIE programs are a pattern, not a one-off (Section 5.1's
+// family). faggr = min over levels; IncEval is incremental frontier
+// expansion from improved border vertices.
+#ifndef GRAPEPLUS_ALGOS_BFS_H_
+#define GRAPEPLUS_ALGOS_BFS_H_
+
+#include <span>
+#include <vector>
+
+#include "core/pie.h"
+#include "partition/fragment.h"
+
+namespace grape {
+
+class BfsProgram {
+ public:
+  using Value = int64_t;  // hop level; kUnreached if not reached
+  using ResultT = std::vector<int64_t>;
+  static constexpr bool kOwnerBroadcast = false;
+  static constexpr int64_t kUnreached = -1;
+
+  explicit BfsProgram(VertexId source) : source_(source) {}
+
+  struct State {
+    std::vector<int64_t> level;      // per local vertex; INT64_MAX = infinity
+    std::vector<int64_t> last_sent;  // per outer copy
+  };
+
+  State Init(const Fragment& f) const;
+  double PEval(const Fragment& f, State& st, Emitter<Value>* out) const;
+  double IncEval(const Fragment& f, State& st,
+                 std::span<const UpdateEntry<Value>> updates,
+                 Emitter<Value>* out) const;
+  Value Combine(const Value& a, const Value& b) const {
+    return a < b ? a : b;
+  }
+  ResultT Assemble(const Partition& p, const std::vector<State>& states) const;
+
+ private:
+  double Expand(const Fragment& f, State& st,
+                std::vector<LocalVertex> frontier, Emitter<Value>* out) const;
+  VertexId source_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_ALGOS_BFS_H_

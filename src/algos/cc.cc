@@ -1,0 +1,100 @@
+#include "algos/cc.h"
+
+#include <algorithm>
+
+namespace grape {
+
+namespace {
+LocalVertex FindCompress(std::vector<LocalVertex>& parent, LocalVertex x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+}  // namespace
+
+CcProgram::State CcProgram::Init(const Fragment& f) const {
+  State st;
+  st.parent.resize(f.num_local());
+  for (LocalVertex l = 0; l < f.num_local(); ++l) st.parent[l] = l;
+  return st;
+}
+
+double CcProgram::PEval(const Fragment& f, State& st,
+                        Emitter<Value>* out) const {
+  // Local connected components over all local arcs (inner -> inner/outer).
+  double work = static_cast<double>(f.num_local());
+  for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+    for (const LocalArc& a : f.OutEdges(l)) {
+      ++work;
+      LocalVertex r1 = FindCompress(st.parent, l);
+      LocalVertex r2 = FindCompress(st.parent, a.dst);
+      if (r1 != r2) st.parent[std::max(r1, r2)] = std::min(r1, r2);
+    }
+  }
+  // Root cids = min global id in the component (the "root node" of Fig. 2).
+  st.comp_cid.assign(f.num_local(), kInvalidVertex);
+  for (LocalVertex l = 0; l < f.num_local(); ++l) {
+    const LocalVertex r = FindCompress(st.parent, l);
+    st.comp_cid[r] = std::min(st.comp_cid[r], f.GlobalId(l));
+  }
+  // Group outer copies per root and ship their cids (message segment).
+  st.root_outer_members.assign(f.num_local(), {});
+  st.last_sent.assign(f.num_outer(), kInvalidVertex);
+  for (LocalVertex o = f.num_inner(); o < f.num_local(); ++o) {
+    const LocalVertex r = st.Find(o);
+    st.root_outer_members[r].push_back(o);
+    const VertexId cid = st.comp_cid[r];
+    st.last_sent[o - f.num_inner()] = cid;
+    out->Emit(f.GlobalId(o), cid);
+  }
+  return work;
+}
+
+double CcProgram::IncEval(const Fragment& f, State& st,
+                          std::span<const UpdateEntry<Value>> updates,
+                          Emitter<Value>* out) const {
+  double work = 0;
+  // Merge incoming cids into component roots (faggr = min), Fig. 3 lines 2-6.
+  std::vector<LocalVertex> changed_roots;
+  for (const auto& u : updates) {
+    ++work;
+    const LocalVertex l = f.LocalId(u.vid);
+    if (l == Fragment::kInvalidLocal) continue;
+    const LocalVertex r = st.Find(l);
+    if (u.value < st.comp_cid[r]) {
+      st.comp_cid[r] = u.value;
+      changed_roots.push_back(r);
+    }
+  }
+  // Propagate decreased root cids to the outer copies linked to those roots
+  // (Fig. 3 lines 7-9); ship only values that decreased.
+  for (const LocalVertex r : changed_roots) {
+    const VertexId cid = st.comp_cid[r];
+    for (const LocalVertex o : st.root_outer_members[r]) {
+      ++work;
+      VertexId& sent = st.last_sent[o - f.num_inner()];
+      if (cid < sent) {
+        sent = cid;
+        out->Emit(f.GlobalId(o), cid);
+      }
+    }
+  }
+  return work;
+}
+
+CcProgram::ResultT CcProgram::Assemble(const Partition& p,
+                                       const std::vector<State>& states) const {
+  std::vector<VertexId> cid(p.graph->num_vertices(), kInvalidVertex);
+  for (FragmentId i = 0; i < p.num_fragments(); ++i) {
+    const Fragment& f = p.fragments[i];
+    const State& st = states[i];
+    for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+      cid[f.GlobalId(l)] = st.comp_cid[st.Find(l)];
+    }
+  }
+  return cid;
+}
+
+}  // namespace grape

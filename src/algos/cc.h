@@ -1,0 +1,55 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// PIE program for graph connectivity (CC), Figures 2–3 of the paper.
+//
+// PEval finds local connected components (one DFS/union-find pass), gives
+// every component a root carrying the minimum vertex id as cid, and ships the
+// cids of border copies. IncEval merges incoming smaller cids with faggr=min
+// and propagates root changes back out through the fragment's border — a
+// bounded incremental algorithm. Assemble groups vertices by cid.
+#ifndef GRAPEPLUS_ALGOS_CC_H_
+#define GRAPEPLUS_ALGOS_CC_H_
+
+#include <span>
+#include <vector>
+
+#include "core/pie.h"
+#include "partition/fragment.h"
+
+namespace grape {
+
+class CcProgram {
+ public:
+  using Value = VertexId;  // v.cid
+  using ResultT = std::vector<VertexId>;  // cid per global vertex
+  static constexpr bool kOwnerBroadcast = false;
+
+  struct State {
+    /// Local union-find forest over [0, num_local): static after PEval.
+    std::vector<LocalVertex> parent;
+    /// Component cid, indexed by local root.
+    std::vector<VertexId> comp_cid;
+    /// Outer copies grouped by their local root (built once in PEval).
+    std::vector<std::vector<LocalVertex>> root_outer_members;
+    /// Last cid shipped per outer copy; ship only decreases (Fig. 3).
+    std::vector<VertexId> last_sent;
+
+    LocalVertex Find(LocalVertex x) const {
+      while (parent[x] != x) x = parent[x];
+      return x;
+    }
+  };
+
+  State Init(const Fragment& f) const;
+  double PEval(const Fragment& f, State& st, Emitter<Value>* out) const;
+  double IncEval(const Fragment& f, State& st,
+                 std::span<const UpdateEntry<Value>> updates,
+                 Emitter<Value>* out) const;
+  Value Combine(const Value& a, const Value& b) const {
+    return a < b ? a : b;  // faggr = min
+  }
+  ResultT Assemble(const Partition& p, const std::vector<State>& states) const;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_ALGOS_CC_H_

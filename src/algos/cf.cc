@@ -1,0 +1,197 @@
+#include "algos/cf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace grape {
+
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic per-vertex factor init — identical across fragments so that
+/// copies of the same product start in agreement.
+std::array<float, kCfRank> InitFactor(VertexId v, uint64_t seed) {
+  std::array<float, kCfRank> f;
+  uint64_t h = Mix(static_cast<uint64_t>(v) * 0x100000001B3ULL + seed);
+  for (uint32_t k = 0; k < kCfRank; ++k) {
+    h = Mix(h);
+    // Uniform in (0, 1/sqrt(rank)); keeps initial predictions ~O(1).
+    f[k] = static_cast<float>((static_cast<double>(h >> 11) /
+                               9007199254740992.0) /
+                              std::sqrt(static_cast<double>(kCfRank)));
+  }
+  return f;
+}
+
+float Dot(const std::array<float, kCfRank>& a,
+          const std::array<float, kCfRank>& b) {
+  float s = 0.f;
+  for (uint32_t k = 0; k < kCfRank; ++k) s += a[k] * b[k];
+  return s;
+}
+
+}  // namespace
+
+bool CfProgram::IsTrainEdge(VertexId u, VertexId p) const {
+  const uint64_t h =
+      Mix(static_cast<uint64_t>(u) * 2654435761ULL + p * 40503ULL + opts_.seed);
+  return h % 100 < opts_.train_percent;
+}
+
+CfProgram::State CfProgram::Init(const Fragment& f) const {
+  State st;
+  st.factors.resize(f.num_local());
+  st.version.assign(f.num_local(), 0);
+  st.last_emitted.assign(f.num_local(), 0);
+  for (LocalVertex l = 0; l < f.num_local(); ++l) {
+    st.factors[l] = InitFactor(f.GlobalId(l), opts_.seed);
+  }
+  return st;
+}
+
+double CfProgram::RunEpoch(const Fragment& f, State& st) const {
+  if (st.converged || st.epoch >= opts_.max_epochs) return 0.0;
+  const double lr =
+      opts_.learning_rate / (1.0 + static_cast<double>(st.epoch) * opts_.lr_decay);
+  const float flr = static_cast<float>(lr);
+  const float flambda = static_cast<float>(opts_.lambda);
+  double se = 0.0;
+  uint64_t n = 0;
+  double work = 0.0;
+  std::vector<uint8_t> touched(f.num_local(), 0);
+  for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+    const VertexId gu = f.GlobalId(l);
+    if (!graph_->IsLeft(gu)) continue;  // train from user side only
+    auto& uf = st.factors[l];
+    for (const LocalArc& a : f.OutEdges(l)) {
+      const VertexId gp = f.GlobalId(a.dst);
+      if (!IsTrainEdge(gu, gp)) continue;
+      auto& pf = st.factors[a.dst];
+      const float err = static_cast<float>(a.weight) - Dot(uf, pf);
+      se += static_cast<double>(err) * err;
+      ++n;
+      work += kCfRank;
+      for (uint32_t k = 0; k < kCfRank; ++k) {
+        const float u_k = uf[k];
+        uf[k] += flr * (err * pf[k] - flambda * u_k);
+        pf[k] += flr * (err * u_k - flambda * pf[k]);
+        // Keep factors bounded (ratings are small; runaway SGD would poison
+        // copies on other workers).
+        uf[k] = std::clamp(uf[k], -10.f, 10.f);
+        pf[k] = std::clamp(pf[k], -10.f, 10.f);
+      }
+      touched[a.dst] = 1;
+      touched[l] = 1;
+    }
+  }
+  ++st.epoch;
+  for (LocalVertex l = 0; l < f.num_local(); ++l) {
+    if (touched[l]) st.version[l] = st.epoch;
+  }
+  const double loss = n ? se / static_cast<double>(n) : 0.0;
+  if (st.epoch > 1 && st.last_loss > 0.0 &&
+      std::abs(st.last_loss - loss) / st.last_loss < opts_.rel_tol) {
+    st.converged = true;
+  }
+  st.last_loss = loss;
+  return std::max(work, 1.0);
+}
+
+double CfProgram::PEval(const Fragment& f, State& st,
+                        Emitter<Value>* out) const {
+  const double work = RunEpoch(f, st);
+  EmitBorder(f, st, out);
+  return work;
+}
+
+double CfProgram::IncEval(const Fragment& f, State& st,
+                          std::span<const UpdateEntry<Value>> updates,
+                          Emitter<Value>* out) const {
+  double work = 0;
+  for (const auto& u : updates) {
+    ++work;
+    const LocalVertex l = f.LocalId(u.vid);
+    if (l == Fragment::kInvalidLocal) continue;
+    // Max-timestamp aggregation: adopt strictly newer factors; average ties
+    // (conflicting same-age updates from different workers).
+    if (u.value.version > st.version[l]) {
+      st.factors[l] = u.value.f;
+      st.version[l] = u.value.version;
+    } else if (u.value.version == st.version[l]) {
+      for (uint32_t k = 0; k < kCfRank; ++k) {
+        st.factors[l][k] = 0.5f * (st.factors[l][k] + u.value.f[k]);
+      }
+    }
+  }
+  work += RunEpoch(f, st);
+  EmitBorder(f, st, out);
+  return work;
+}
+
+CfProgram::Value CfProgram::Combine(const Value& a, const Value& b) const {
+  if (a.version > b.version) return a;
+  if (b.version > a.version) return b;
+  Value avg = a;
+  for (uint32_t k = 0; k < kCfRank; ++k) avg.f[k] = 0.5f * (a.f[k] + b.f[k]);
+  return avg;
+}
+
+void CfProgram::EmitBorder(const Fragment& f, State& st,
+                           Emitter<Value>* out) const {
+  // C_i = F_i.O ∪ F_i.I: ship outer copies to owners and inner border values
+  // back out to copy holders (the engine routes via kOwnerBroadcast). Only
+  // values that changed since the last shipment go out, so quiescence follows
+  // once every worker stops training.
+  auto emit_if_changed = [&](LocalVertex l) {
+    if (st.version[l] > st.last_emitted[l]) {
+      st.last_emitted[l] = st.version[l];
+      out->Emit(f.GlobalId(l), Value{st.factors[l], st.version[l]});
+    }
+  };
+  for (LocalVertex o = f.num_inner(); o < f.num_local(); ++o) emit_if_changed(o);
+  for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+    if (f.InEntrySet(l) || f.InExitSet(l)) emit_if_changed(l);
+  }
+}
+
+CfModel CfProgram::Assemble(const Partition& p,
+                            const std::vector<State>& states) const {
+  CfModel model;
+  model.factors.resize(p.graph->num_vertices());
+  for (FragmentId i = 0; i < p.num_fragments(); ++i) {
+    const Fragment& f = p.fragments[i];
+    for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+      model.factors[f.GlobalId(l)] = states[i].factors[l];
+    }
+    model.total_epochs += states[i].epoch;
+  }
+  // Quality over the global rating graph with the assembled model.
+  const Graph& g = *p.graph;
+  double train_se = 0, test_se = 0;
+  uint64_t train_n = 0, test_n = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (!g.is_bipartite() || !g.IsLeft(u)) continue;
+    for (const Arc& a : g.OutEdges(u)) {
+      const double pred = Dot(model.factors[u], model.factors[a.dst]);
+      const double err = a.weight - pred;
+      if (IsTrainEdge(u, a.dst)) {
+        train_se += err * err;
+        ++train_n;
+      } else {
+        test_se += err * err;
+        ++test_n;
+      }
+    }
+  }
+  model.train_rmse = train_n ? std::sqrt(train_se / train_n) : 0.0;
+  model.test_rmse = test_n ? std::sqrt(test_se / test_n) : 0.0;
+  return model;
+}
+
+}  // namespace grape

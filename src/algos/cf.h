@@ -1,0 +1,103 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// PIE program for collaborative filtering (Section 5.2): matrix
+// factorisation trained by mini-batched SGD.
+//
+// Users and products carry latent factor vectors; each fragment trains on the
+// rating edges of its inner users and shares product factors through the
+// border (C_i = F_i.O ∪ F_i.I, owner re-broadcasts). Status variables are
+// (v.f, t) pairs; faggr keeps the newest timestamp (averaging ties), as in
+// the paper's max-timestamp aggregation. CF is the one workload that needs
+// bounded staleness (run with ModeConfig::bounded_staleness or SSP).
+#ifndef GRAPEPLUS_ALGOS_CF_H_
+#define GRAPEPLUS_ALGOS_CF_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/pie.h"
+#include "partition/fragment.h"
+
+namespace grape {
+
+/// Latent-factor dimensionality (fixed at compile time; the paper uses small
+/// ranks as well).
+inline constexpr uint32_t kCfRank = 8;
+
+/// The status variable of Section 5.2: factor vector + update timestamp.
+struct CfFactor {
+  std::array<float, kCfRank> f{};
+  uint32_t version = 0;
+};
+
+/// Assembled model + quality metrics.
+struct CfModel {
+  std::vector<std::array<float, kCfRank>> factors;  // per global vertex
+  double train_rmse = 0.0;
+  double test_rmse = 0.0;
+  uint64_t total_epochs = 0;
+};
+
+class CfProgram {
+ public:
+  using Value = CfFactor;
+  using ResultT = CfModel;
+  static constexpr bool kOwnerBroadcast = true;
+
+  struct Options {
+    double learning_rate = 0.05;
+    double lr_decay = 0.05;     // lr_e = lr / (1 + e * decay)
+    double lambda = 0.05;       // L2 regularisation
+    uint32_t max_epochs = 30;   // local SGD epochs per worker
+    double rel_tol = 1e-4;      // stop when loss improvement falls below
+    uint32_t train_percent = 90;  // |E_T| = 90%|E| in the paper's Exp-1
+    uint64_t seed = 17;
+  };
+
+  /// `g` must outlive the program (used to identify user vertices and
+  /// ratings). Fragments reference the same graph.
+  explicit CfProgram(const Graph* g) : graph_(g) {}
+  CfProgram(const Graph* g, const Options& opts) : graph_(g), opts_(opts) {}
+
+  struct State {
+    std::vector<std::array<float, kCfRank>> factors;  // per local vertex
+    std::vector<uint32_t> version;                    // per local vertex
+    std::vector<uint32_t> last_emitted;               // per local vertex
+    uint32_t epoch = 0;
+    double last_loss = 0.0;
+    bool converged = false;
+  };
+
+  State Init(const Fragment& f) const;
+  double PEval(const Fragment& f, State& st, Emitter<Value>* out) const;
+  double IncEval(const Fragment& f, State& st,
+                 std::span<const UpdateEntry<Value>> updates,
+                 Emitter<Value>* out) const;
+  Value Combine(const Value& a, const Value& b) const;
+  ResultT Assemble(const Partition& p, const std::vector<State>& states) const;
+
+  /// CF workers keep training until their epoch budget / plateau, even
+  /// without fresh messages (parameter-server style).
+  bool HasLocalWork(const State& st) const {
+    return !st.converged && st.epoch < opts_.max_epochs;
+  }
+
+  /// Deterministic train/test split: an edge (u, p) is training iff
+  /// hash(u, p) % 100 < train_percent.
+  bool IsTrainEdge(VertexId u, VertexId p) const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  /// One mini-batched SGD epoch over the training edges of inner users.
+  double RunEpoch(const Fragment& f, State& st) const;
+  void EmitBorder(const Fragment& f, State& st, Emitter<Value>* out) const;
+
+  const Graph* graph_;
+  Options opts_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_ALGOS_CF_H_

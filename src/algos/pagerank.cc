@@ -1,0 +1,101 @@
+#include "algos/pagerank.h"
+
+
+
+namespace grape {
+
+PageRankProgram::State PageRankProgram::Init(const Fragment& f) const {
+  State st;
+  st.score.assign(f.num_inner(), 0.0);
+  st.residual.assign(f.num_inner(), 0.0);
+  st.out_acc.assign(f.num_outer(), 0.0);
+  return st;
+}
+
+double PageRankProgram::Propagate(const Fragment& f, State& st,
+                                  Emitter<Value>* out) const {
+  // Local sweeps: each sweep settles every vertex with pending residual
+  // >= tol at most once (so a hub's edge list is scanned once per sweep,
+  // not once per incoming contribution); sweeps repeat until the local
+  // residual mass is exhausted. Mass pushed to outer copies accumulates
+  // in out_acc and ships once per round.
+  double work = 0;
+  bool again = true;
+  // A couple of sweeps per round: pushing further would rescan hub edge
+  // lists for ever-smaller quanta (undirected back edges re-arm settled
+  // vertices); the remainder parks in `residual` for the next round.
+  constexpr int kMaxSweeps = 2;
+  for (int sweep = 0; sweep < kMaxSweeps && again; ++sweep) {
+    again = false;
+    for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+      const double x = st.residual[l];
+      if (x < tol_) continue;
+      st.residual[l] = 0.0;
+      st.score[l] += x;
+      ++work;
+      const uint64_t deg = f.OutDegree(l);
+      if (deg == 0) continue;
+      const double share = damping_ * x / static_cast<double>(deg);
+      for (const LocalArc& a : f.OutEdges(l)) {
+        ++work;
+        if (f.IsInner(a.dst)) {
+          st.residual[a.dst] += share;
+          // Back edges re-arm earlier vertices: another sweep needed.
+          if (a.dst <= l && st.residual[a.dst] >= tol_) again = true;
+        } else {
+          st.out_acc[a.dst - f.num_inner()] += share;
+        }
+      }
+    }
+  }
+  for (LocalVertex o = f.num_inner(); o < f.num_local(); ++o) {
+    double& acc = st.out_acc[o - f.num_inner()];
+    if (acc >= tol_) {
+      out->Emit(f.GlobalId(o), acc);
+      acc = 0.0;
+    }
+  }
+  st.has_pending = false;
+  for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+    if (st.residual[l] >= tol_) {
+      st.has_pending = true;
+      break;
+    }
+  }
+  return work;
+}
+
+double PageRankProgram::PEval(const Fragment& f, State& st,
+                              Emitter<Value>* out) const {
+  for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+    st.residual[l] = 1.0 - damping_;
+  }
+  return Propagate(f, st, out);
+}
+
+double PageRankProgram::IncEval(const Fragment& f, State& st,
+                                std::span<const UpdateEntry<Value>> updates,
+                                Emitter<Value>* out) const {
+  double work = 0;
+  for (const auto& u : updates) {
+    ++work;
+    const LocalVertex l = f.LocalId(u.vid);
+    if (l == Fragment::kInvalidLocal || !f.IsInner(l)) continue;
+    st.residual[l] += u.value;  // faggr = sum, accumulative
+  }
+  return work + Propagate(f, st, out);
+}
+
+PageRankProgram::ResultT PageRankProgram::Assemble(
+    const Partition& p, const std::vector<State>& states) const {
+  std::vector<double> score(p.graph->num_vertices(), 0.0);
+  for (FragmentId i = 0; i < p.num_fragments(); ++i) {
+    const Fragment& f = p.fragments[i];
+    for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+      score[f.GlobalId(l)] = states[i].score[l];
+    }
+  }
+  return score;
+}
+
+}  // namespace grape

@@ -1,0 +1,64 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// PIE program for PageRank (Section 5.3) in the delta-accumulative
+// formulation of Maiter: every vertex v keeps a score P_v and a pending
+// update x_v (initially 1−d). A round adds x_v to P_v and pushes d·x_v/N_v to
+// out-neighbours; cross-fragment pushes accumulate on border copies and ship
+// as deltas with faggr = sum. Since each path contribution is added exactly
+// once, bounded staleness is unnecessary (Section 5.3 Remark) and the
+// computation has the Church–Rosser property up to the drop threshold.
+#ifndef GRAPEPLUS_ALGOS_PAGERANK_H_
+#define GRAPEPLUS_ALGOS_PAGERANK_H_
+
+#include <span>
+#include <vector>
+
+#include "core/pie.h"
+#include "partition/fragment.h"
+
+namespace grape {
+
+class PageRankProgram {
+ public:
+  using Value = double;  // a delta to x_v
+  using ResultT = std::vector<double>;  // P_v per global vertex
+  static constexpr bool kOwnerBroadcast = false;
+
+  /// `damping` is d; residuals below `tol` are retired (finite-domain
+  /// condition T1 — guarantees termination at the tol-fixpoint).
+  explicit PageRankProgram(double damping = 0.85, double tol = 1e-9)
+      : damping_(damping), tol_(tol) {}
+
+  struct State {
+    std::vector<double> score;     // P_v, inner vertices
+    std::vector<double> residual;  // x_v, inner vertices
+    std::vector<double> out_acc;   // accumulated deltas per outer copy
+    bool has_pending = false;      // residual >= tol parked for next round
+  };
+
+  /// Residual mass parked by the per-round sweep cap still needs rounds
+  /// even if no further messages arrive.
+  bool HasLocalWork(const State& st) const { return st.has_pending; }
+
+  State Init(const Fragment& f) const;
+  double PEval(const Fragment& f, State& st, Emitter<Value>* out) const;
+  double IncEval(const Fragment& f, State& st,
+                 std::span<const UpdateEntry<Value>> updates,
+                 Emitter<Value>* out) const;
+  Value Combine(const Value& a, const Value& b) const { return a + b; }
+  ResultT Assemble(const Partition& p, const std::vector<State>& states) const;
+
+  double damping() const { return damping_; }
+  double tol() const { return tol_; }
+
+ private:
+  /// Pushes local residual mass until all inner residuals are < tol;
+  /// cross-fragment mass lands in out_acc and is emitted.
+  double Propagate(const Fragment& f, State& st, Emitter<Value>* out) const;
+
+  double damping_;
+  double tol_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_ALGOS_PAGERANK_H_

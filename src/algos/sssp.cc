@@ -1,0 +1,88 @@
+#include "algos/sssp.h"
+
+#include <queue>
+#include <utility>
+
+namespace grape {
+
+SsspProgram::State SsspProgram::Init(const Fragment& f) const {
+  State st;
+  st.dist.assign(f.num_local(), kInfinity);
+  st.last_sent.assign(f.num_outer(), kInfinity);
+  return st;
+}
+
+double SsspProgram::Relax(const Fragment& f, State& st,
+                          std::vector<LocalVertex> frontier,
+                          Emitter<Value>* out) const {
+  using Item = std::pair<double, LocalVertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  double work = 0;
+  for (LocalVertex l : frontier) pq.push({st.dist[l], l});
+  while (!pq.empty()) {
+    auto [d, l] = pq.top();
+    pq.pop();
+    ++work;
+    if (d > st.dist[l]) continue;  // stale heap entry
+    if (!f.IsInner(l)) continue;   // outer copies carry no local edges
+    for (const LocalArc& a : f.OutEdges(l)) {
+      ++work;
+      const double nd = d + a.weight;
+      if (nd < st.dist[a.dst]) {
+        st.dist[a.dst] = nd;
+        pq.push({nd, a.dst});
+      }
+    }
+  }
+  // Ship decreased border-copy distances (the update parameters C_i.x̄).
+  for (LocalVertex o = f.num_inner(); o < f.num_local(); ++o) {
+    double& sent = st.last_sent[o - f.num_inner()];
+    if (st.dist[o] < sent) {
+      sent = st.dist[o];
+      out->Emit(f.GlobalId(o), st.dist[o]);
+    }
+  }
+  return work;
+}
+
+double SsspProgram::PEval(const Fragment& f, State& st,
+                          Emitter<Value>* out) const {
+  const LocalVertex src = f.LocalId(source_);
+  if (src == Fragment::kInvalidLocal || !f.IsInner(src)) {
+    return static_cast<double>(f.num_inner()) * 0.01;  // init-only cost
+  }
+  st.dist[src] = 0.0;
+  return Relax(f, st, {src}, out);
+}
+
+double SsspProgram::IncEval(const Fragment& f, State& st,
+                            std::span<const UpdateEntry<Value>> updates,
+                            Emitter<Value>* out) const {
+  std::vector<LocalVertex> frontier;
+  double work = 0;
+  for (const auto& u : updates) {
+    ++work;
+    const LocalVertex l = f.LocalId(u.vid);
+    if (l == Fragment::kInvalidLocal) continue;
+    if (u.value < st.dist[l]) {
+      st.dist[l] = u.value;
+      frontier.push_back(l);
+    }
+  }
+  if (frontier.empty()) return work;
+  return work + Relax(f, st, std::move(frontier), out);
+}
+
+SsspProgram::ResultT SsspProgram::Assemble(
+    const Partition& p, const std::vector<State>& states) const {
+  std::vector<double> dist(p.graph->num_vertices(), kInfinity);
+  for (FragmentId i = 0; i < p.num_fragments(); ++i) {
+    const Fragment& f = p.fragments[i];
+    for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+      dist[f.GlobalId(l)] = states[i].dist[l];
+    }
+  }
+  return dist;
+}
+
+}  // namespace grape

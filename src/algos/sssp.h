@@ -1,0 +1,57 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// PIE program for single-source shortest paths (Section 5.1).
+//
+// PEval is Dijkstra's algorithm over the local fragment (priority queue —
+// the sequential optimisation the paper notes is "beyond the capacity of
+// vertex-centric systems"). IncEval is the incremental algorithm of
+// Ramalingam–Reps: re-run Dijkstra seeded with the border vertices whose
+// distance decreased. faggr = min; Assemble unions partial results.
+#ifndef GRAPEPLUS_ALGOS_SSSP_H_
+#define GRAPEPLUS_ALGOS_SSSP_H_
+
+#include <span>
+#include <vector>
+
+#include "core/pie.h"
+#include "partition/fragment.h"
+#include "util/common.h"
+
+namespace grape {
+
+class SsspProgram {
+ public:
+  using Value = double;  // dist(s, v)
+  using ResultT = std::vector<double>;  // distance per global vertex
+  static constexpr bool kOwnerBroadcast = false;
+
+  explicit SsspProgram(VertexId source) : source_(source) {}
+
+  struct State {
+    std::vector<double> dist;       // per local vertex, +inf if unreached
+    std::vector<double> last_sent;  // per outer copy
+  };
+
+  State Init(const Fragment& f) const;
+  double PEval(const Fragment& f, State& st, Emitter<Value>* out) const;
+  double IncEval(const Fragment& f, State& st,
+                 std::span<const UpdateEntry<Value>> updates,
+                 Emitter<Value>* out) const;
+  Value Combine(const Value& a, const Value& b) const {
+    return a < b ? a : b;  // faggr = min
+  }
+  ResultT Assemble(const Partition& p, const std::vector<State>& states) const;
+
+  VertexId source() const { return source_; }
+
+ private:
+  /// Dijkstra seeded with `frontier` (locals whose dist just improved);
+  /// returns work units and emits improved outer-copy distances.
+  double Relax(const Fragment& f, State& st,
+               std::vector<LocalVertex> frontier, Emitter<Value>* out) const;
+
+  VertexId source_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_ALGOS_SSSP_H_

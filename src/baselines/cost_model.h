@@ -1,0 +1,64 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Cost model for the vertex-centric baseline systems of Table 1.
+//
+// The paper compares GRAPE+ against Giraph, GraphLab (sync/async), GiraphUC,
+// Maiter, PowerSwitch and Petuum. We reproduce each system's *model*
+// (BSP / AP / BAP / Hsync / SSP) and its *granularity* (vertex-centric
+// message passing vs block-centric incremental evaluation) and charge their
+// characteristic overheads through the constants below. Absolute numbers are
+// not the point — the shape of Table 1 (who wins and why: per-vertex
+// activation overheads, per-message costs, extra rounds) is.
+#ifndef GRAPEPLUS_BASELINES_COST_MODEL_H_
+#define GRAPEPLUS_BASELINES_COST_MODEL_H_
+
+#include <string>
+
+namespace grape {
+
+/// Work-unit charges for vertex-centric execution. The PIE programs of
+/// src/algos charge ~1 unit per edge operation with no per-vertex overhead;
+/// vertex-centric systems additionally pay per-activation and per-message
+/// costs (function dispatch, message objects, serialisation).
+struct VcCostModel {
+  std::string name = "vc";
+  double vertex_overhead = 4.0;  // per active vertex per superstep
+  double edge_op = 1.0;          // per edge scanned
+  double local_msg = 0.5;        // per intra-fragment value delivered
+  double remote_msg = 1.0;       // per cross-fragment entry emitted
+
+  /// GraphLab-like C++ engine (the paper's fastest vertex-centric systems),
+  /// synchronous engine.
+  static VcCostModel GraphLab() {
+    return {"graphlab", 4.0, 1.0, 0.5, 1.0};
+  }
+  /// GraphLab's asynchronous engine: distributed neighbourhood locking and
+  /// per-vertex scheduling make each activation considerably dearer than in
+  /// the sync engine (the paper's Table 1 measures async PR 2x slower than
+  /// sync on the same system).
+  static VcCostModel GraphLabAsync() {
+    return {"graphlab-async", 10.0, 1.5, 0.75, 1.2};
+  }
+  /// Giraph: JVM object churn and no in-memory sharing; the paper measures
+  /// it far behind GraphLab on the same model.
+  static VcCostModel Giraph() {
+    return {"giraph", 40.0, 2.0, 2.0, 4.0};
+  }
+  /// GiraphUC: Giraph's costs minus most of the barrier stalls (the model
+  /// change is handled by running it asynchronously).
+  static VcCostModel GiraphUc() {
+    return {"giraphuc", 40.0, 2.0, 2.0, 4.0};
+  }
+  /// Maiter: delta-based accumulative engine; lean C++ runtime but
+  /// per-vertex receive/update/priority bookkeeping on every activation.
+  static VcCostModel Maiter() {
+    return {"maiter", 8.0, 1.0, 0.5, 1.0};
+  }
+  /// PowerSwitch: built on PowerGraph/GraphLab.
+  static VcCostModel PowerSwitch() {
+    return {"powerswitch", 4.0, 1.0, 0.5, 1.0};
+  }
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_BASELINES_COST_MODEL_H_

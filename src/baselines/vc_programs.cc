@@ -1,0 +1,267 @@
+#include "baselines/vc_programs.h"
+
+#include <limits>
+#include <utility>
+
+namespace grape {
+
+// ---------------------------------------------------------------- VcSssp ---
+
+VcSsspProgram::State VcSsspProgram::Init(const Fragment& f) const {
+  State st;
+  st.dist.assign(f.num_local(), kInfinity);
+  st.last_sent.assign(f.num_outer(), kInfinity);
+  st.queued.assign(f.num_inner(), 0);
+  return st;
+}
+
+double VcSsspProgram::Superstep(const Fragment& f, State& st,
+                                Emitter<Value>* out) const {
+  // One vertex-centric superstep: every frontier vertex relaxes its edges;
+  // improved local targets join the next frontier, improved border copies
+  // are shipped. No priority queue — that optimisation is "beyond the
+  // capacity of vertex-centric systems" (Section 7 Exp-1).
+  std::vector<LocalVertex> next;
+  double work = 0;
+  for (LocalVertex l : st.frontier) {
+    st.queued[l] = 0;
+    work += costs_.vertex_overhead;
+    const double d = st.dist[l];
+    for (const LocalArc& a : f.OutEdges(l)) {
+      work += costs_.edge_op;
+      const double nd = d + a.weight;
+      if (nd < st.dist[a.dst]) {
+        st.dist[a.dst] = nd;
+        if (f.IsInner(a.dst)) {
+          work += costs_.local_msg;
+          if (!st.queued[a.dst]) {
+            st.queued[a.dst] = 1;
+            next.push_back(a.dst);
+          }
+        }
+      }
+    }
+  }
+  for (LocalVertex o = f.num_inner(); o < f.num_local(); ++o) {
+    double& sent = st.last_sent[o - f.num_inner()];
+    if (st.dist[o] < sent) {
+      sent = st.dist[o];
+      work += costs_.remote_msg;
+      out->Emit(f.GlobalId(o), st.dist[o]);
+    }
+  }
+  st.frontier = std::move(next);
+  return work;
+}
+
+double VcSsspProgram::PEval(const Fragment& f, State& st,
+                            Emitter<Value>* out) const {
+  const LocalVertex src = f.LocalId(source_);
+  if (src == Fragment::kInvalidLocal || !f.IsInner(src)) return 1.0;
+  st.dist[src] = 0.0;
+  st.frontier = {src};
+  st.queued[src] = 1;
+  return Superstep(f, st, out);
+}
+
+double VcSsspProgram::IncEval(const Fragment& f, State& st,
+                              std::span<const UpdateEntry<Value>> updates,
+                              Emitter<Value>* out) const {
+  double work = 0;
+  for (const auto& u : updates) {
+    work += costs_.local_msg;
+    const LocalVertex l = f.LocalId(u.vid);
+    if (l == Fragment::kInvalidLocal) continue;
+    if (u.value < st.dist[l]) {
+      st.dist[l] = u.value;
+      if (!st.queued[l]) {
+        st.queued[l] = 1;
+        st.frontier.push_back(l);
+      }
+    }
+  }
+  return work + Superstep(f, st, out);
+}
+
+VcSsspProgram::ResultT VcSsspProgram::Assemble(
+    const Partition& p, const std::vector<State>& states) const {
+  std::vector<double> dist(p.graph->num_vertices(), kInfinity);
+  for (FragmentId i = 0; i < p.num_fragments(); ++i) {
+    const Fragment& f = p.fragments[i];
+    for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+      dist[f.GlobalId(l)] = states[i].dist[l];
+    }
+  }
+  return dist;
+}
+
+// ------------------------------------------------------------------ VcCc ---
+
+VcCcProgram::State VcCcProgram::Init(const Fragment& f) const {
+  State st;
+  st.cid.resize(f.num_local());
+  for (LocalVertex l = 0; l < f.num_local(); ++l) st.cid[l] = f.GlobalId(l);
+  st.last_sent.assign(f.num_outer(), kInvalidVertex);
+  st.queued.assign(f.num_inner(), 0);
+  return st;
+}
+
+double VcCcProgram::Superstep(const Fragment& f, State& st,
+                              Emitter<Value>* out) const {
+  std::vector<LocalVertex> next;
+  double work = 0;
+  for (LocalVertex l : st.frontier) {
+    st.queued[l] = 0;
+    work += costs_.vertex_overhead;
+    const VertexId c = st.cid[l];
+    for (const LocalArc& a : f.OutEdges(l)) {
+      work += costs_.edge_op;
+      if (c < st.cid[a.dst]) {
+        st.cid[a.dst] = c;
+        if (f.IsInner(a.dst)) {
+          work += costs_.local_msg;
+          if (!st.queued[a.dst]) {
+            st.queued[a.dst] = 1;
+            next.push_back(a.dst);
+          }
+        }
+      }
+    }
+  }
+  for (LocalVertex o = f.num_inner(); o < f.num_local(); ++o) {
+    VertexId& sent = st.last_sent[o - f.num_inner()];
+    if (st.cid[o] < sent) {
+      sent = st.cid[o];
+      work += costs_.remote_msg;
+      out->Emit(f.GlobalId(o), st.cid[o]);
+    }
+  }
+  st.frontier = std::move(next);
+  return work;
+}
+
+double VcCcProgram::PEval(const Fragment& f, State& st,
+                          Emitter<Value>* out) const {
+  st.frontier.reserve(f.num_inner());
+  for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+    st.frontier.push_back(l);
+    st.queued[l] = 1;
+  }
+  return Superstep(f, st, out);
+}
+
+double VcCcProgram::IncEval(const Fragment& f, State& st,
+                            std::span<const UpdateEntry<Value>> updates,
+                            Emitter<Value>* out) const {
+  double work = 0;
+  for (const auto& u : updates) {
+    work += costs_.local_msg;
+    const LocalVertex l = f.LocalId(u.vid);
+    if (l == Fragment::kInvalidLocal) continue;
+    if (u.value < st.cid[l]) {
+      st.cid[l] = u.value;
+      if (!st.queued[l]) {
+        st.queued[l] = 1;
+        st.frontier.push_back(l);
+      }
+    }
+  }
+  return work + Superstep(f, st, out);
+}
+
+VcCcProgram::ResultT VcCcProgram::Assemble(
+    const Partition& p, const std::vector<State>& states) const {
+  std::vector<VertexId> cid(p.graph->num_vertices(), kInvalidVertex);
+  for (FragmentId i = 0; i < p.num_fragments(); ++i) {
+    const Fragment& f = p.fragments[i];
+    for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+      cid[f.GlobalId(l)] = states[i].cid[l];
+    }
+  }
+  return cid;
+}
+
+// ------------------------------------------------------------ VcPageRank ---
+
+VcPageRankProgram::State VcPageRankProgram::Init(const Fragment& f) const {
+  State st;
+  st.score.assign(f.num_inner(), 0.0);
+  st.residual.assign(f.num_inner(), 0.0);
+  st.out_acc.assign(f.num_outer(), 0.0);
+  return st;
+}
+
+double VcPageRankProgram::Superstep(const Fragment& f, State& st,
+                                    Emitter<Value>* out) const {
+  // One hop: every vertex with pending residual settles it once.
+  double work = 0;
+  std::vector<double> incoming(f.num_inner(), 0.0);
+  st.active = 0;
+  for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+    const double x = st.residual[l];
+    if (x < tol_) continue;
+    work += costs_.vertex_overhead;
+    st.residual[l] = 0.0;
+    st.score[l] += x;
+    const uint64_t deg = f.OutDegree(l);
+    if (deg == 0) continue;
+    const double share = damping_ * x / static_cast<double>(deg);
+    for (const LocalArc& a : f.OutEdges(l)) {
+      work += costs_.edge_op;
+      if (f.IsInner(a.dst)) {
+        incoming[a.dst] += share;
+        work += costs_.local_msg;
+      } else {
+        st.out_acc[a.dst - f.num_inner()] += share;
+      }
+    }
+  }
+  for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+    st.residual[l] += incoming[l];
+    if (st.residual[l] >= tol_) ++st.active;
+  }
+  for (LocalVertex o = f.num_inner(); o < f.num_local(); ++o) {
+    double& acc = st.out_acc[o - f.num_inner()];
+    if (acc >= tol_) {
+      work += costs_.remote_msg;
+      out->Emit(f.GlobalId(o), acc);
+      acc = 0.0;
+    }
+  }
+  return std::max(work, 1.0);
+}
+
+double VcPageRankProgram::PEval(const Fragment& f, State& st,
+                                Emitter<Value>* out) const {
+  for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+    st.residual[l] = 1.0 - damping_;
+  }
+  return Superstep(f, st, out);
+}
+
+double VcPageRankProgram::IncEval(const Fragment& f, State& st,
+                                  std::span<const UpdateEntry<Value>> updates,
+                                  Emitter<Value>* out) const {
+  double work = 0;
+  for (const auto& u : updates) {
+    work += costs_.local_msg;
+    const LocalVertex l = f.LocalId(u.vid);
+    if (l == Fragment::kInvalidLocal || !f.IsInner(l)) continue;
+    st.residual[l] += u.value;
+  }
+  return work + Superstep(f, st, out);
+}
+
+VcPageRankProgram::ResultT VcPageRankProgram::Assemble(
+    const Partition& p, const std::vector<State>& states) const {
+  std::vector<double> score(p.graph->num_vertices(), 0.0);
+  for (FragmentId i = 0; i < p.num_fragments(); ++i) {
+    const Fragment& f = p.fragments[i];
+    for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+      score[f.GlobalId(l)] = states[i].score[l];
+    }
+  }
+  return score;
+}
+
+}  // namespace grape

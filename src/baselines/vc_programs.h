@@ -1,0 +1,122 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Vertex-centric baseline programs (Giraph / GraphLab / Maiter stand-ins).
+//
+// These run on the same AAP engine as the PIE programs but behave like
+// vertex-centric systems: one round = one superstep that advances the
+// frontier a single hop, with per-vertex activation and per-message charges
+// from a VcCostModel. Local propagation therefore takes O(diameter) rounds
+// and re-sends border values every hop — exactly the inefficiencies the
+// paper attributes to vertex-centric engines, made measurable.
+#ifndef GRAPEPLUS_BASELINES_VC_PROGRAMS_H_
+#define GRAPEPLUS_BASELINES_VC_PROGRAMS_H_
+
+#include <span>
+#include <vector>
+
+#include "baselines/cost_model.h"
+#include "core/pie.h"
+#include "partition/fragment.h"
+
+namespace grape {
+
+/// Vertex-centric SSSP (label-correcting, one hop per superstep).
+class VcSsspProgram {
+ public:
+  using Value = double;
+  using ResultT = std::vector<double>;
+  static constexpr bool kOwnerBroadcast = false;
+
+  VcSsspProgram(VertexId source, VcCostModel costs)
+      : source_(source), costs_(std::move(costs)) {}
+
+  struct State {
+    std::vector<double> dist;
+    std::vector<double> last_sent;
+    std::vector<LocalVertex> frontier;
+    std::vector<uint8_t> queued;
+  };
+
+  State Init(const Fragment& f) const;
+  double PEval(const Fragment& f, State& st, Emitter<Value>* out) const;
+  double IncEval(const Fragment& f, State& st,
+                 std::span<const UpdateEntry<Value>> updates,
+                 Emitter<Value>* out) const;
+  Value Combine(const Value& a, const Value& b) const { return a < b ? a : b; }
+  ResultT Assemble(const Partition& p, const std::vector<State>& states) const;
+  bool HasLocalWork(const State& st) const { return !st.frontier.empty(); }
+
+ private:
+  double Superstep(const Fragment& f, State& st, Emitter<Value>* out) const;
+  VertexId source_;
+  VcCostModel costs_;
+};
+
+/// Vertex-centric connected components (hash-min label propagation).
+class VcCcProgram {
+ public:
+  using Value = VertexId;
+  using ResultT = std::vector<VertexId>;
+  static constexpr bool kOwnerBroadcast = false;
+
+  explicit VcCcProgram(VcCostModel costs) : costs_(std::move(costs)) {}
+
+  struct State {
+    std::vector<VertexId> cid;
+    std::vector<VertexId> last_sent;
+    std::vector<LocalVertex> frontier;
+    std::vector<uint8_t> queued;
+  };
+
+  State Init(const Fragment& f) const;
+  double PEval(const Fragment& f, State& st, Emitter<Value>* out) const;
+  double IncEval(const Fragment& f, State& st,
+                 std::span<const UpdateEntry<Value>> updates,
+                 Emitter<Value>* out) const;
+  Value Combine(const Value& a, const Value& b) const { return a < b ? a : b; }
+  ResultT Assemble(const Partition& p, const std::vector<State>& states) const;
+  bool HasLocalWork(const State& st) const { return !st.frontier.empty(); }
+
+ private:
+  double Superstep(const Fragment& f, State& st, Emitter<Value>* out) const;
+  VcCostModel costs_;
+};
+
+/// Vertex-centric delta PageRank (Maiter's accumulative model at vertex
+/// granularity; also what Giraph/GraphLab PR becomes under tolerance
+/// termination).
+class VcPageRankProgram {
+ public:
+  using Value = double;
+  using ResultT = std::vector<double>;
+  static constexpr bool kOwnerBroadcast = false;
+
+  VcPageRankProgram(VcCostModel costs, double damping = 0.85,
+                    double tol = 1e-9)
+      : costs_(std::move(costs)), damping_(damping), tol_(tol) {}
+
+  struct State {
+    std::vector<double> score;
+    std::vector<double> residual;
+    std::vector<double> out_acc;
+    uint64_t active = 0;  // inner vertices with residual >= tol
+  };
+
+  State Init(const Fragment& f) const;
+  double PEval(const Fragment& f, State& st, Emitter<Value>* out) const;
+  double IncEval(const Fragment& f, State& st,
+                 std::span<const UpdateEntry<Value>> updates,
+                 Emitter<Value>* out) const;
+  Value Combine(const Value& a, const Value& b) const { return a + b; }
+  ResultT Assemble(const Partition& p, const std::vector<State>& states) const;
+  bool HasLocalWork(const State& st) const { return st.active > 0; }
+
+ private:
+  double Superstep(const Fragment& f, State& st, Emitter<Value>* out) const;
+  VcCostModel costs_;
+  double damping_;
+  double tol_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_BASELINES_VC_PROGRAMS_H_

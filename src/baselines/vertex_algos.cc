@@ -1,0 +1,57 @@
+#include "baselines/vertex_algos.h"
+
+namespace grape {
+namespace pregel {
+
+bool SsspVertexProgram::Compute(Context<MsgT>& ctx, VValue& value,
+                                std::span<const MsgT> msgs,
+                                uint64_t superstep) const {
+  bool improved = false;
+  if (superstep == 0 && ctx.vertex() == source) improved = true;
+  for (const MsgT& m : msgs) {
+    if (m < value) {
+      value = m;
+      improved = true;
+    }
+  }
+  if (improved && value < kInfinity) {
+    for (const Arc& a : ctx.graph().OutEdges(ctx.vertex())) {
+      ctx.SendTo(a.dst, value + a.weight);
+    }
+  }
+  return false;  // vote to halt; messages reactivate
+}
+
+bool CcVertexProgram::Compute(Context<MsgT>& ctx, VValue& value,
+                              std::span<const MsgT> msgs,
+                              uint64_t superstep) const {
+  bool improved = superstep == 0;  // announce own id in the first superstep
+  for (const MsgT& m : msgs) {
+    if (m < value) {
+      value = m;
+      improved = true;
+    }
+  }
+  if (improved) ctx.SendToAllNeighbors(value);
+  return false;
+}
+
+bool PageRankVertexProgram::Compute(Context<MsgT>& ctx, VValue& value,
+                                    std::span<const MsgT> msgs,
+                                    uint64_t superstep) const {
+  if (superstep == 0) value.residual = 1.0 - damping;
+  for (const MsgT& m : msgs) value.residual += m;
+  if (value.residual >= tol) {
+    value.score += value.residual;
+    const uint64_t deg = ctx.graph().OutDegree(ctx.vertex());
+    if (deg > 0) {
+      ctx.SendToAllNeighbors(damping * value.residual /
+                             static_cast<double>(deg));
+    }
+    value.residual = 0.0;
+  }
+  return false;
+}
+
+}  // namespace pregel
+}  // namespace grape

@@ -1,0 +1,63 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Vertex programs for the reference Pregel engine: SSSP, CC (hash-min) and
+// delta PageRank. Messages are combined with the natural aggregates
+// (min / min / sum), mirroring Pregel combiners.
+#ifndef GRAPEPLUS_BASELINES_VERTEX_ALGOS_H_
+#define GRAPEPLUS_BASELINES_VERTEX_ALGOS_H_
+
+#include <span>
+
+#include "baselines/pregel.h"
+
+namespace grape {
+namespace pregel {
+
+/// Moore/Bellman-Ford SSSP: value = tentative distance.
+struct SsspVertexProgram {
+  using MsgT = double;
+  using VValue = double;
+  VertexId source;
+
+  VValue Init(VertexId v, const Graph&) const {
+    return v == source ? 0.0 : kInfinity;
+  }
+  bool Compute(Context<MsgT>& ctx, VValue& value, std::span<const MsgT> msgs,
+               uint64_t superstep) const;
+  static MsgT Combine(const MsgT& a, const MsgT& b) { return a < b ? a : b; }
+};
+
+/// Hash-min connected components: value = smallest id seen.
+struct CcVertexProgram {
+  using MsgT = VertexId;
+  using VValue = VertexId;
+
+  VValue Init(VertexId v, const Graph&) const { return v; }
+  bool Compute(Context<MsgT>& ctx, VValue& value, std::span<const MsgT> msgs,
+               uint64_t superstep) const;
+  static MsgT Combine(const MsgT& a, const MsgT& b) { return a < b ? a : b; }
+};
+
+/// Delta PageRank: value = (score, residual); messages are residual deltas.
+struct PrValue {
+  double score = 0.0;
+  double residual = 0.0;
+};
+
+struct PageRankVertexProgram {
+  using MsgT = double;
+  using VValue = PrValue;
+  double damping = 0.85;
+  double tol = 1e-9;
+
+  VValue Init(VertexId, const Graph&) const {
+    return PrValue{0.0, 0.0};
+  }
+  bool Compute(Context<MsgT>& ctx, VValue& value, std::span<const MsgT> msgs,
+               uint64_t superstep) const;
+  static MsgT Combine(const MsgT& a, const MsgT& b) { return a + b; }
+};
+
+}  // namespace pregel
+}  // namespace grape
+
+#endif  // GRAPEPLUS_BASELINES_VERTEX_ALGOS_H_

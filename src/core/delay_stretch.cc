@@ -1,0 +1,213 @@
+#include "core/delay_stretch.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace grape {
+
+std::string ModeName(Mode m) {
+  switch (m) {
+    case Mode::kBsp: return "BSP";
+    case Mode::kAp: return "AP";
+    case Mode::kSsp: return "SSP";
+    case Mode::kAap: return "AAP";
+    case Mode::kHsync: return "Hsync";
+  }
+  return "?";
+}
+
+DelayStretchController::DelayStretchController(const ModeConfig& cfg,
+                                               uint32_t num_workers,
+                                               double latency_hint)
+    : cfg_(cfg),
+      n_(num_workers),
+      latency_hint_(latency_hint),
+      rounds_(num_workers, 0),
+      round_time_(num_workers, Ema(0.4)),
+      rate_(num_workers, RateEstimator(0.4)),
+      idle_since_(num_workers, 0.0),
+      idle_(num_workers, 1),
+      l_(num_workers, cfg.l_bottom),
+      observed_peers_(num_workers,
+                      num_workers > 1 ? num_workers - 1.0 : 0.0),
+      peers_known_(num_workers, 0) {}
+
+void DelayStretchController::OnRoundStart(FragmentId w, double now) {
+  idle_[w] = 0;
+  idle_since_[w] = now;
+}
+
+void DelayStretchController::OnRoundEnd(FragmentId w, double now,
+                                        double round_time) {
+  ++rounds_[w];
+  round_time_[w].Add(round_time);
+  idle_[w] = 1;
+  idle_since_[w] = now;
+}
+
+void DelayStretchController::SeedRoundTime(FragmentId w, double now,
+                                           double round_time) {
+  round_time_[w].Add(round_time);
+  idle_[w] = 1;
+  idle_since_[w] = now;
+}
+
+void DelayStretchController::OnMessages(FragmentId w, double now,
+                                        uint64_t count, bool first_pending) {
+  rate_[w].OnEvent(now, count);
+  if (first_pending && idle_[w]) idle_since_[w] = now;
+}
+
+void DelayStretchController::OnDrain(FragmentId w, uint64_t distinct_senders) {
+  // Learn how many peers feed this worker: the largest wave observed so
+  // far, after an optimistic first drain (the all-peers prior would make
+  // sparse-topology workers wait for senders that never come).
+  const double seen = static_cast<double>(distinct_senders);
+  if (!peers_known_[w]) {
+    peers_known_[w] = 1;
+    observed_peers_[w] = seen;
+  } else {
+    observed_peers_[w] = std::max(seen, observed_peers_[w]);
+  }
+}
+
+void DelayStretchController::OnIdleStart(FragmentId w, double now) {
+  idle_[w] = 1;
+  idle_since_[w] = now;
+}
+
+Round DelayStretchController::RMin(const std::vector<uint8_t>& relevant) const {
+  Round r = std::numeric_limits<Round>::max();
+  for (uint32_t i = 0; i < n_; ++i) {
+    if (relevant.empty() || relevant[i]) r = std::min(r, rounds_[i]);
+  }
+  return r == std::numeric_limits<Round>::max() ? 0 : r;
+}
+
+Round DelayStretchController::RMax() const {
+  Round r = 0;
+  for (uint32_t i = 0; i < n_; ++i) r = std::max(r, rounds_[i]);
+  return r;
+}
+
+double DelayStretchController::PredictedRoundTime(FragmentId w) const {
+  return round_time_[w].initialized() ? round_time_[w].value() : 0.0;
+}
+
+double DelayStretchController::ArrivalRate(FragmentId w) const {
+  return rate_[w].RatePerUnit();
+}
+
+double DelayStretchController::GroupRoundTime(
+    const std::vector<uint8_t>& relevant) const {
+  std::vector<double> ts;
+  ts.reserve(n_);
+  for (uint32_t i = 0; i < n_; ++i) {
+    if ((relevant.empty() || relevant[i]) && round_time_[i].initialized()) {
+      ts.push_back(round_time_[i].value());
+    }
+  }
+  if (ts.empty()) return 0.0;
+  std::nth_element(ts.begin(), ts.begin() + ts.size() / 2, ts.end());
+  return ts[ts.size() / 2];
+}
+
+DelayDecision DelayStretchController::DecideAap(
+    FragmentId w, double now, uint64_t eta, uint64_t eta_senders,
+    const std::vector<uint8_t>& relevant) {
+  // Section 3, "Dynamic adjustment" + Appendix B: the accumulation bound
+  // L_i is a share of the peers that usually feed this worker ("δ set L_i
+  // as 60% of the number of workers"). A worker starts its round once it
+  // has heard from that share — fast workers thereby self-organise into
+  // BSP-like waves (each waits for most of its group) while stragglers are
+  // neither blocked nor block anyone. T_idle bounds every wait.
+  (void)eta;
+  const double target =
+      std::max(cfg_.l_bottom, cfg_.sender_fraction * observed_peers_[w]);
+  l_[w] = target;
+  if (static_cast<double>(eta_senders) >= target) {
+    return {DelayDecision::Kind::kRunNow, 0};
+  }
+
+  // Estimate how long the missing senders take to arrive (message arrival
+  // rate as an upper bound on the sender arrival rate), capped by a couple
+  // of group-round-times-or-latencies, minus the time already waited. The
+  // cadence is the *group's* (median peer round time): fast workers thereby
+  // pace each other — the paper's "fast workers are automatically grouped
+  // together and run essentially BSP within the group".
+  const double s_i = rate_[w].RatePerUnit();
+  const double t_i =
+      std::max(PredictedRoundTime(w), GroupRoundTime(relevant));
+  const double timescale = std::max(t_i, latency_hint_);
+  const double cap = timescale > 0.0 ? 2.0 * timescale : 0.0;
+  if (cap <= 0.0) return {DelayDecision::Kind::kRunNow, 0};
+  double t_more =
+      s_i > 0.0 ? (target - static_cast<double>(eta_senders)) / s_i : cap;
+  // The missing senders' messages are at least one delivery latency away;
+  // waking earlier would consume a partial generation and recompute.
+  t_more = std::max(t_more, latency_hint_);
+  const double t_idle = idle_[w] ? std::max(0.0, now - idle_since_[w]) : 0.0;
+  const double ds = std::min(t_more, cap) - t_idle;
+  if (ds <= 0.0) return {DelayDecision::Kind::kRunNow, 0};
+  return {DelayDecision::Kind::kWaitFor, ds};
+}
+
+bool DelayStretchController::BarrierMode() const {
+  return cfg_.mode == Mode::kBsp ||
+         (cfg_.mode == Mode::kHsync && hsync_in_bsp_);
+}
+
+void DelayStretchController::NoteRoundGap(Round gap) {
+  if (cfg_.mode != Mode::kHsync) return;
+  if (!hsync_in_bsp_ && gap > cfg_.hsync_gap_hi) {
+    hsync_in_bsp_ = true;
+    hsync_bsp_supersteps_ = 0;
+  }
+}
+
+void DelayStretchController::OnBarrierRelease() {
+  if (cfg_.mode != Mode::kHsync || !hsync_in_bsp_) return;
+  // PowerSwitch's switch-back: a few synchronised supersteps realign the
+  // workers, then asynchrony resumes.
+  if (++hsync_bsp_supersteps_ >= 3) hsync_in_bsp_ = false;
+}
+
+void DelayStretchController::RestoreRounds(const std::vector<Round>& rounds) {
+  GRAPE_CHECK(rounds.size() == rounds_.size());
+  rounds_ = rounds;
+}
+
+DelayDecision DelayStretchController::Decide(
+    FragmentId w, double now, uint64_t eta, uint64_t eta_senders,
+    const std::vector<uint8_t>& relevant) {
+  if (eta == 0) return {DelayDecision::Kind::kSuspend, 0};
+  if (BarrierMode()) return {DelayDecision::Kind::kSuspend, 0};
+
+  const Round r_min = RMin(relevant);
+  const Round r_i = rounds_[w];
+
+  switch (cfg_.mode) {
+    case Mode::kBsp:
+      return {DelayDecision::Kind::kSuspend, 0};  // handled above
+    case Mode::kAp:
+    case Mode::kHsync:  // AP sub-mode
+      return {DelayDecision::Kind::kRunNow, 0};
+    case Mode::kSsp:
+      // The fastest worker may lead the slowest by at most c rounds.
+      return (r_i - r_min <= cfg_.staleness_bound)
+                 ? DelayDecision{DelayDecision::Kind::kRunNow, 0}
+                 : DelayDecision{DelayDecision::Kind::kSuspend, 0};
+    case Mode::kAap: {
+      // Predicate S: bounded staleness only when the program requires it.
+      if (cfg_.bounded_staleness && r_i - r_min > cfg_.staleness_bound) {
+        return {DelayDecision::Kind::kSuspend, 0};
+      }
+      return DecideAap(w, now, eta, eta_senders, relevant);
+    }
+  }
+  return {DelayDecision::Kind::kRunNow, 0};
+}
+
+}  // namespace grape

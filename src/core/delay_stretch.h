@@ -1,0 +1,133 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// The delay-stretch controller: the adjustment function δ of Section 3.
+//
+// Each worker P_i carries a delay stretch DS_i; P_i starts its next round of
+// IncEval only when (a) its buffer is non-empty and (b) it has been suspended
+// for DS_i time. Eq. (1):
+//
+//        ⎧ +∞            ¬S(r_i, r_min, r_max) ∨ (η_i = 0)
+//   DS_i=⎨ T_Li − T_idle  S(...) ∧ (1 ≤ η_i < L_i)
+//        ⎩ 0              S(...) ∧ (η_i ≥ L_i)
+//
+// where η_i is the buffered-message staleness, L_i predicts how many
+// messages are worth accumulating (adapted from the predicted round time t_i
+// and the message arrival rate s_i), T_Li ≈ (L_i − η_i)/s_i, and T_idle
+// prevents indefinite waiting. BSP / AP / SSP are fixed-δ special cases.
+#ifndef GRAPEPLUS_CORE_DELAY_STRETCH_H_
+#define GRAPEPLUS_CORE_DELAY_STRETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/modes.h"
+#include "util/stats.h"
+
+namespace grape {
+
+/// What a worker should do with its non-empty buffer.
+struct DelayDecision {
+  enum class Kind {
+    kRunNow,   // DS_i = 0
+    kWaitFor,  // DS_i finite: re-check after `wait` time (or on new arrival)
+    kSuspend,  // DS_i = +∞: wait for a global state change (r_min advance,
+               //            BSP barrier, or message arrival)
+  };
+  Kind kind = Kind::kRunNow;
+  double wait = 0.0;
+};
+
+/// Per-run controller shared by all virtual workers of one engine instance.
+/// The engine reports round starts/ends, message arrivals and idleness; the
+/// controller answers Decide() queries. Not thread safe by itself; the
+/// threaded engine guards it with the scheduler lock.
+class DelayStretchController {
+ public:
+  /// `latency_hint` is the runtime's typical message delivery latency; the
+  /// accumulation window of Eq. (1) is scaled by max(t_i, latency) so that a
+  /// worker waits for at least one "generation" of in-flight messages.
+  DelayStretchController(const ModeConfig& cfg, uint32_t num_workers,
+                         double latency_hint = 0.0);
+
+  // ---- engine feedback ----
+  void OnRoundStart(FragmentId w, double now);
+  /// `round_time` is the busy time of the finished round.
+  void OnRoundEnd(FragmentId w, double now, double round_time);
+  /// Initialises the t_i predictor without advancing the round counter
+  /// (called at PEval completion).
+  void SeedRoundTime(FragmentId w, double now, double round_time);
+  /// `first_pending` marks the empty -> non-empty buffer transition; the
+  /// idle clock T_idle restarts there, so DS_i bounds the wait *after the
+  /// worker became runnable* (anti-starvation) while still letting long-idle
+  /// workers accumulate a fresh window.
+  void OnMessages(FragmentId w, double now, uint64_t count,
+                  bool first_pending = false);
+
+  /// Reports the distinct senders consumed by a round's drain; the
+  /// controller learns each worker's feeding-peer count from it.
+  void OnDrain(FragmentId w, uint64_t distinct_senders);
+  void OnIdleStart(FragmentId w, double now);
+
+  // ---- queries ----
+  /// Current round of worker w (rounds completed; PEval = round 0).
+  Round round(FragmentId w) const { return rounds_[w]; }
+
+  /// r_min/r_max over `relevant` workers (engine passes true for workers that
+  /// are busy or have buffered messages; exhausted idle workers do not hold
+  /// back staleness bounds — they rejoin when reactivated).
+  Round RMin(const std::vector<uint8_t>& relevant) const;
+  Round RMax() const;
+
+  /// δ. `eta` = buffered messages of w, `eta_senders` = distinct workers
+  /// among them; `relevant` as in RMin. In barrier mode (see BarrierMode())
+  /// this always suspends: the engine releases all eligible workers
+  /// atomically at global quiescence instead.
+  DelayDecision Decide(FragmentId w, double now, uint64_t eta,
+                       uint64_t eta_senders,
+                       const std::vector<uint8_t>& relevant);
+
+  /// True when workers advance in global supersteps: BSP, or Hsync while in
+  /// its BSP sub-mode. The engine then gates starts on global quiescence.
+  bool BarrierMode() const;
+
+  /// Hsync: engine reports the current round gap r_max − r_min after each
+  /// round; a large gap flips the sub-mode to BSP.
+  void NoteRoundGap(Round gap);
+  /// Hsync: engine reports each barrier release; after a few BSP supersteps
+  /// the sub-mode flips back to AP (PowerSwitch's switch-back).
+  void OnBarrierRelease();
+  bool hsync_in_bsp() const { return hsync_in_bsp_; }
+
+  /// Recovery support: reset per-worker round counters to a snapshot.
+  void RestoreRounds(const std::vector<Round>& rounds);
+
+  /// Introspection for tests.
+  double PredictedRoundTime(FragmentId w) const;
+  double ArrivalRate(FragmentId w) const;
+  double CurrentBound(FragmentId w) const { return l_[w]; }
+
+ private:
+  /// Median predicted round time over relevant workers — the natural cadence
+  /// of the worker "group" (robust to the straggler's outlier time).
+  double GroupRoundTime(const std::vector<uint8_t>& relevant) const;
+  DelayDecision DecideAap(FragmentId w, double now, uint64_t eta,
+                          uint64_t eta_senders,
+                          const std::vector<uint8_t>& relevant);
+
+  ModeConfig cfg_;
+  uint32_t n_;
+  double latency_hint_;
+  std::vector<Round> rounds_;
+  std::vector<Ema> round_time_;       // t_i
+  std::vector<RateEstimator> rate_;   // s_i
+  std::vector<double> idle_since_;
+  std::vector<uint8_t> idle_;
+  std::vector<double> l_;             // L_i
+  std::vector<double> observed_peers_;  // workers that usually feed w
+  std::vector<uint8_t> peers_known_;    // first drain seen
+  bool hsync_in_bsp_ = false;
+  int hsync_bsp_supersteps_ = 0;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_CORE_DELAY_STRETCH_H_

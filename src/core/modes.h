@@ -1,0 +1,113 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Parallel-model configuration. BSP, AP and SSP are special cases of AAP
+// obtained by fixing the delay-stretch function δ (Section 3, "Special
+// cases"); Hsync (PowerSwitch) is simulated by a switching rule.
+#ifndef GRAPEPLUS_CORE_MODES_H_
+#define GRAPEPLUS_CORE_MODES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace grape {
+
+enum class Mode {
+  kBsp,    // δ: DS_i = +∞ iff r_i > r_min (global supersteps)
+  kAp,     // δ: DS_i = 0 (run whenever the buffer is non-empty)
+  kSsp,    // δ: DS_i = +∞ iff r_i − r_min > c, else 0
+  kAap,    // δ: dynamic Eq. (1)
+  kHsync,  // PowerSwitch-style explicit AP↔BSP switching
+};
+
+std::string ModeName(Mode m);
+
+struct ModeConfig {
+  Mode mode = Mode::kAap;
+
+  /// SSP staleness bound c; also used by AAP when `bounded_staleness` is on
+  /// (CF needs it, Section 5.3 Remark).
+  int staleness_bound = 3;
+
+  /// Enables the predicate S(r_i, r_min, r_max) clamp inside AAP.
+  bool bounded_staleness = false;
+
+  /// L⊥: initial / floor value of the accumulation bound L_i, in units of
+  /// distinct sending workers.
+  double l_bottom = 0.0;
+
+  /// Δt_i as a fraction of the predicted next-round time t_i (Eq. 1); used
+  /// to cap delay stretches.
+  double delta_t_fraction = 0.5;
+
+  /// AAP's accumulation target as a fraction of the worker's observed peer
+  /// count: "δ set L_i as 60% of the number of workers" (Appendix B). A
+  /// worker starts its round once it has heard from this share of the peers
+  /// that usually feed it, grouping fast workers into BSP-like waves while
+  /// stragglers proceed asynchronously.
+  double sender_fraction = 0.6;
+
+  /// Hsync: switch to BSP when r_max − r_min exceeds this, back to AP at 0.
+  int hsync_gap_hi = 4;
+
+  static ModeConfig Bsp() { return {.mode = Mode::kBsp}; }
+  static ModeConfig Ap() { return {.mode = Mode::kAp}; }
+  static ModeConfig Ssp(int c) {
+    return {.mode = Mode::kSsp, .staleness_bound = c};
+  }
+  static ModeConfig Aap(double l_bottom = 0.0) {
+    ModeConfig m;
+    m.mode = Mode::kAap;
+    m.l_bottom = l_bottom;
+    return m;
+  }
+  static ModeConfig Hsync() { return {.mode = Mode::kHsync}; }
+};
+
+/// Full engine configuration (shared by the sim and threaded engines; the
+/// timing fields are virtual time units in the sim engine and seconds in the
+/// threaded engine).
+struct EngineConfig {
+  ModeConfig mode;
+
+  /// Per-virtual-worker speed multipliers (>1 = slower); empty = all 1.0.
+  /// Stragglers in the paper's experiments are produced by skewed fragments
+  /// and/or these factors (Fig. 7 colours worker P12 as the straggler).
+  std::vector<double> speed_factors;
+
+  /// Message delivery latency (Fig. 1 uses 1 time unit per hop).
+  double msg_latency = 1.0;
+  /// Additional latency per message entry (bandwidth model); 0 = pure delay.
+  double per_entry_latency = 0.0;
+
+  /// Sim time per program-reported work unit.
+  double work_unit_time = 1.0;
+  /// Floor cost of any round (avoids zero-length rounds).
+  double min_round_time = 0.01;
+
+  /// Multiplicative jitter on compute times: each round's cost is scaled by
+  /// uniform [1-jitter, 1+jitter]. Drives the Church–Rosser schedule sweeps.
+  double compute_jitter = 0.0;
+  uint64_t seed = 0;
+
+  /// Safety valves.
+  uint64_t max_total_rounds = 10'000'000;
+  uint64_t max_events = 200'000'000;
+
+  /// Checkpointing / failure injection (sim engine): when > 0, the master
+  /// starts a token checkpoint at this virtual time.
+  double checkpoint_time = 0.0;
+  /// When >= 0 and `fail_time` > 0, worker `fail_worker` crashes at
+  /// `fail_time` and the whole run rolls back to the last snapshot.
+  int32_t fail_worker = -1;
+  double fail_time = 0.0;
+
+  /// Threaded engine only: number of physical threads (n < m in the paper's
+  /// virtual-worker setup). 0 = one thread per fragment.
+  uint32_t num_threads = 0;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_CORE_MODES_H_

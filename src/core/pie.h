@@ -1,0 +1,84 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// The PIE programming model (Section 2): a PIE program supplies
+//   PEval    — a sequential batch algorithm over one fragment,
+//   IncEval  — a sequential incremental algorithm applying update-parameter
+//              changes M_i and emitting changed candidate values,
+//   Assemble — combines partial results,
+// plus the declarations PEval makes: the candidate set C_i (border vertices
+// whose status variables are the update parameters) and the aggregate
+// function faggr that resolves conflicting values.
+//
+// Programs are compile-time ducks; the expected shape is:
+//
+//   struct MyProgram {
+//     using Value = ...;              // status-variable / message value type
+//     struct State { ... };           // per-fragment state
+//     using ResultT = ...;            // Assemble's output
+//     // C_i = F_i.O only (false) or F_i.O ∪ F_i.I (true; owner re-broadcasts
+//     // its border values to copy holders — needed by CF).
+//     static constexpr bool kOwnerBroadcast = false;
+//
+//     State Init(const Fragment& f) const;
+//     double PEval(const Fragment& f, State& st, Emitter<Value>* out) const;
+//     double IncEval(const Fragment& f, State& st,
+//                    std::span<const UpdateEntry<Value>> updates,
+//                    Emitter<Value>* out) const;
+//     Value Combine(const Value& a, const Value& b) const;   // faggr
+//     ResultT Assemble(const Partition& p,
+//                      const std::vector<State>& states) const;
+//   };
+//
+// PEval / IncEval return the *work units* they performed (edges relaxed,
+// vertices scanned, ...); the engines convert work into (virtual or modelled)
+// time. Emitted entries are the changed values of C_i.x̄, routed by the
+// engine as designated messages M(i,j).
+#ifndef GRAPEPLUS_CORE_PIE_H_
+#define GRAPEPLUS_CORE_PIE_H_
+
+#include <concepts>
+#include <span>
+#include <vector>
+
+#include "partition/fragment.h"
+#include "runtime/message.h"
+
+namespace grape {
+
+/// Collects the changed update parameters of one PEval/IncEval invocation.
+template <typename V>
+class Emitter {
+ public:
+  /// Declares that border vertex `global_vid`'s status variable now holds
+  /// `value`. The engine stamps the producing round and routes copies.
+  void Emit(VertexId global_vid, const V& value) {
+    entries_.push_back(UpdateEntry<V>{global_vid, value, round_});
+  }
+
+  void SetRound(Round r) { round_ = r; }
+  std::vector<UpdateEntry<V>>& entries() { return entries_; }
+  const std::vector<UpdateEntry<V>>& entries() const { return entries_; }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<UpdateEntry<V>> entries_;
+  Round round_ = 0;
+};
+
+/// Compile-time check that a type is a usable PIE program.
+template <typename P>
+concept PieProgram = requires(const P p, const Fragment& f,
+                              typename P::State& st,
+                              Emitter<typename P::Value>* em,
+                              const typename P::Value& v) {
+  typename P::Value;
+  typename P::State;
+  typename P::ResultT;
+  { P::kOwnerBroadcast } -> std::convertible_to<bool>;
+  { p.Init(f) } -> std::same_as<typename P::State>;
+  { p.PEval(f, st, em) } -> std::convertible_to<double>;
+  { p.Combine(v, v) } -> std::same_as<typename P::Value>;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_CORE_PIE_H_

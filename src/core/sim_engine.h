@@ -1,0 +1,534 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// The AAP engine over a discrete-event virtual clock (Section 3).
+//
+// Each fragment F_i is a virtual worker P_i. Workers run PEval once, then
+// rounds of IncEval triggered when (a) the buffer B_x̄i is non-empty and
+// (b) the delay stretch DS_i has elapsed. Messages are point-to-point and
+// push-based with a configurable latency; BSP / AP / SSP / AAP / Hsync are
+// δ configurations of the shared DelayStretchController.
+//
+// The programs' state transitions are real — only time is virtual — so the
+// engine produces exact fixpoints plus deterministic timing traces (the
+// paper's Fig. 1 / Fig. 7 diagrams) on a single machine.
+#ifndef GRAPEPLUS_CORE_SIM_ENGINE_H_
+#define GRAPEPLUS_CORE_SIM_ENGINE_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/delay_stretch.h"
+#include "core/modes.h"
+#include "core/pie.h"
+#include "core/trace.h"
+#include "partition/fragment.h"
+#include "runtime/message.h"
+#include "runtime/sim_clock.h"
+#include "runtime/snapshot.h"
+#include "runtime/stats_collector.h"
+#include "util/random.h"
+
+namespace grape {
+
+template <typename Program>
+  requires PieProgram<Program>
+class SimEngine {
+ public:
+  using V = typename Program::Value;
+  using State = typename Program::State;
+
+  struct Result {
+    typename Program::ResultT result;
+    RunStats stats;
+    RunTrace trace;
+    bool converged = true;
+    uint64_t checkpoint_late_messages = 0;
+    /// Barrier releases (= supersteps) in BSP / Hsync-BSP phases.
+    uint64_t supersteps = 0;
+  };
+
+  SimEngine(const Partition& partition, Program program, EngineConfig config)
+      : partition_(partition),
+        program_(std::move(program)),
+        cfg_(std::move(config)),
+        controller_(cfg_.mode, partition.num_fragments(), cfg_.msg_latency),
+        checkpoints_(partition.num_fragments()) {
+    const uint32_t m = partition_.num_fragments();
+    workers_.resize(m);
+    stats_.workers.resize(m);
+    rngs_.reserve(m);
+    for (uint32_t i = 0; i < m; ++i) rngs_.emplace_back(cfg_.seed * 7919 + i);
+  }
+
+  /// Executes the full PEval -> IncEval* -> Assemble pipeline.
+  Result Run() {
+    const uint32_t m = partition_.num_fragments();
+    states_.clear();
+    states_.reserve(m);
+    for (uint32_t i = 0; i < m; ++i) {
+      states_.push_back(program_.Init(partition_.fragments[i]));
+    }
+    for (uint32_t i = 0; i < m; ++i) {
+      clock_.Schedule(0.0, [this, i] { StartRound(i, /*is_peval=*/true); });
+    }
+    if (cfg_.checkpoint_time > 0.0) {
+      clock_.Schedule(cfg_.checkpoint_time, [this] { BeginCheckpoint(); });
+    }
+    if (cfg_.fail_time > 0.0 && cfg_.fail_worker >= 0) {
+      clock_.Schedule(cfg_.fail_time, [this] { FailAndRecover(); });
+    }
+
+    bool converged = true;
+    uint64_t events = 0;
+    while (clock_.Step()) {
+      if (++events > cfg_.max_events ||
+          total_rounds_ > cfg_.max_total_rounds) {
+        converged = false;
+        break;
+      }
+    }
+    // Quiescence sanity: nobody may end suspended with pending updates.
+    for (uint32_t i = 0; i < m; ++i) {
+      GRAPE_CHECK(!converged || workers_[i].buffer.Empty())
+          << "worker " << i << " terminated with a non-empty buffer";
+    }
+
+    Result r{program_.Assemble(partition_, states_), std::move(stats_),
+             std::move(trace_), converged, 0, supersteps_};
+    r.stats.makespan = r.trace.EndTime();
+    if (checkpoint_token_ != 0) {
+      r.checkpoint_late_messages =
+          checkpoints_.late_messages(checkpoint_token_);
+    }
+    return r;
+  }
+
+  /// Access to the controller for white-box tests.
+  const DelayStretchController& controller() const { return controller_; }
+
+ private:
+  enum class Phase { kBusy, kIdle, kWaiting, kSuspended };
+
+  struct WorkerRt {
+    Phase phase = Phase::kIdle;
+    UpdateBuffer<V> buffer;
+    SimClock::EventId wake = 0;
+    bool has_wake = false;
+    double phase_since = 0.0;
+    std::vector<UpdateEntry<V>> outbox;  // emissions of the running round
+    double round_cost = 0.0;
+    Round running_round = 0;
+    double round_started = 0.0;
+    // Checkpoint bookkeeping.
+    bool snapshotted = false;
+    State snapshot_state{};
+    std::vector<UpdateEntry<V>> snapshot_buffer;
+    Round snapshot_round = 0;
+    bool token_pending = false;  // saw the token while busy
+    /// Tokened messages that arrived before this worker snapshotted: they
+    /// belong to the post-cut era, so they are held out of the buffer until
+    /// the snapshot is taken (prevents double delivery after rollback).
+    std::vector<Message<V>> stashed_tokened;
+  };
+
+  double Speed(FragmentId w) const {
+    return cfg_.speed_factors.empty() ? 1.0 : cfg_.speed_factors[w];
+  }
+
+  double Jitter(FragmentId w) {
+    if (cfg_.compute_jitter <= 0.0) return 1.0;
+    return rngs_[w].UniformDouble(1.0 - cfg_.compute_jitter,
+                                  1.0 + cfg_.compute_jitter);
+  }
+
+  bool Quiescent() const { return inflight_ == 0 && busy_count_ == 0; }
+
+  /// Programs may report pending fragment-local work even with an empty
+  /// buffer (vertex-centric internal propagation, CF training epochs).
+  bool HasLocalWork(FragmentId w) const {
+    if constexpr (requires(const Program& p, const State& s) {
+                    { p.HasLocalWork(s) } -> std::convertible_to<bool>;
+                  }) {
+      return program_.HasLocalWork(states_[w]);
+    } else {
+      return false;
+    }
+  }
+
+  /// A worker may start a round iff it has buffered updates or local work.
+  bool Eligible(FragmentId w) const {
+    return !workers_[w].buffer.Empty() || HasLocalWork(w);
+  }
+
+  /// Workers that still constrain r_min: busy, delayed, or holding updates.
+  const std::vector<uint8_t>& RelevantMask() {
+    relevant_.assign(workers_.size(), 0);
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      const auto& w = workers_[i];
+      relevant_[i] = (w.phase != Phase::kIdle ||
+                      Eligible(static_cast<FragmentId>(i)))
+                         ? 1
+                         : 0;
+    }
+    return relevant_;
+  }
+
+  void SetPhase(FragmentId w, Phase p) {
+    auto& rt = workers_[w];
+    const double now = clock_.Now();
+    const double elapsed = now - rt.phase_since;
+    switch (rt.phase) {
+      case Phase::kIdle:
+        stats_.workers[w].idle_time += elapsed;
+        break;
+      case Phase::kWaiting:
+      case Phase::kSuspended:
+        stats_.workers[w].suspended_time += elapsed;
+        break;
+      case Phase::kBusy:
+        break;  // busy time accounted at round end
+    }
+    rt.phase = p;
+    rt.phase_since = now;
+  }
+
+  void StartRound(FragmentId w, bool is_peval) {
+    auto& rt = workers_[w];
+    GRAPE_DCHECK(rt.phase != Phase::kBusy);
+    CancelWake(w);
+    SetPhase(w, Phase::kBusy);
+    ++busy_count_;
+    const double now = clock_.Now();
+    controller_.OnRoundStart(w, now);
+
+    Emitter<V> emitter;
+    double work = 0.0;
+    if (is_peval) {
+      rt.running_round = 0;
+      emitter.SetRound(0);
+      work = program_.PEval(partition_.fragments[w], states_[w], &emitter);
+    } else {
+      rt.running_round = controller_.round(w) + 1;
+      emitter.SetRound(rt.running_round);
+      controller_.OnDrain(w, rt.buffer.NumDistinctSenders());
+      auto updates = rt.buffer.Drain();
+      stats_.workers[w].updates_applied += updates.size();
+      work = program_.IncEval(partition_.fragments[w], states_[w],
+                              std::span<const UpdateEntry<V>>(updates),
+                              &emitter);
+      ++total_rounds_;
+    }
+    rt.outbox = std::move(emitter.entries());
+    // The floor models fixed per-round overhead and scales with the worker's
+    // speed factor like the work does (a 2x-slow worker is 2x slower at
+    // everything — the Example 1 setting "P1,P2 take 3 units, P3 takes 6").
+    rt.round_cost = std::max(cfg_.min_round_time,
+                             work * cfg_.work_unit_time) *
+                    Speed(w) * Jitter(w);
+    rt.round_started = now;
+    stats_.workers[w].work_units += work;
+    const bool peval = is_peval;
+    clock_.Schedule(now + rt.round_cost, [this, w, peval] {
+      EndRound(w, peval);
+    });
+  }
+
+  void EndRound(FragmentId w, bool is_peval) {
+    auto& rt = workers_[w];
+    const double now = clock_.Now();
+    --busy_count_;
+    stats_.workers[w].busy_time += rt.round_cost;
+    trace_.Add(w, rt.running_round, rt.round_started, now,
+               is_peval ? SpanKind::kPEval : SpanKind::kIncEval);
+    if (!is_peval) {
+      ++stats_.workers[w].rounds;
+      controller_.OnRoundEnd(w, now, rt.round_cost);
+    } else {
+      // Seed the round-time predictor so δ has a t_i estimate from the
+      // first IncEval decision onwards.
+      controller_.SeedRoundTime(w, now, rt.round_cost);
+    }
+
+    // This round's output is pre-cut (no token yet): receivers either fold
+    // it into their snapshot (late message) or carry it in the buffer their
+    // snapshot captures. The worker then snapshots, so everything it sends
+    // from here on is post-cut, and finally absorbs any tokened messages it
+    // had to hold out of the snapshot.
+    DispatchOutbox(w);
+    if (rt.token_pending) {
+      TakeSnapshot(w);
+      rt.token_pending = false;
+      UnstashTokened(w);
+    }
+
+    // Hsync watches the round gap to decide AP -> BSP switches.
+    controller_.NoteRoundGap(controller_.RMax() -
+                             controller_.RMin(RelevantMask()));
+
+    if (Eligible(w)) {
+      SetPhase(w, Phase::kIdle);  // transient; ReDecide moves it on
+      ReDecide(w);
+    } else {
+      // Buffer empty: flag `inactive` to the master (termination protocol).
+      SetPhase(w, Phase::kIdle);
+      controller_.OnIdleStart(w, now);
+    }
+    MaybeWakeSuspended();
+    CheckBarrier();
+  }
+
+  /// Routes the outbox as designated messages M(w, j).
+  void DispatchOutbox(FragmentId w) {
+    auto& rt = workers_[w];
+    if (rt.outbox.empty()) return;
+    std::map<FragmentId, Message<V>> grouped;
+    std::vector<FragmentId> recipients;
+    for (const auto& e : rt.outbox) {
+      partition_.Recipients(e.vid, w, Program::kOwnerBroadcast, &recipients);
+      for (FragmentId dst : recipients) {
+        auto& msg = grouped[dst];
+        msg.from = w;
+        msg.to = dst;
+        msg.round = e.round;
+        msg.entries.push_back(e);
+      }
+    }
+    rt.outbox.clear();
+    const double now = clock_.Now();
+    for (auto& [dst, msg] : grouped) {
+      msg.token = rt.snapshotted ? checkpoint_token_ : Message<V>::kNoToken;
+      const double lat = cfg_.msg_latency +
+                         cfg_.per_entry_latency *
+                             static_cast<double>(msg.entries.size());
+      ++inflight_;
+      ++stats_.workers[w].msgs_sent;
+      stats_.workers[w].entries_sent += msg.entries.size();
+      stats_.workers[w].bytes_sent += MessageBytes(msg);
+      auto shared = std::make_shared<Message<V>>(std::move(msg));
+      clock_.Schedule(now + lat, [this, shared] { Arrive(*shared); });
+    }
+  }
+
+  void Arrive(const Message<V>& msg) {
+    --inflight_;
+    const FragmentId w = msg.to;
+    auto& rt = workers_[w];
+    const double now = clock_.Now();
+
+    // Checkpoint token propagation (Section 6): a tokened message makes the
+    // receiver snapshot first; an un-tokened message arriving after the
+    // receiver snapshotted is folded into the snapshot as a "late" message.
+    if (checkpoint_token_ != 0) {
+      if (msg.token == checkpoint_token_ && !rt.snapshotted) {
+        if (rt.phase == Phase::kBusy) {
+          // Post-cut payload cannot enter the pre-cut snapshot: hold it
+          // until the snapshot is taken at round end.
+          rt.token_pending = true;
+          rt.stashed_tokened.push_back(msg);
+          ++stats_.workers[w].msgs_received;
+          controller_.OnMessages(w, now, 1);
+          if (inflight_ == 0) {
+            MaybeWakeSuspended();
+            CheckBarrier();
+          }
+          return;
+        }
+        TakeSnapshot(w);
+      } else if (msg.token == Message<V>::kNoToken && rt.snapshotted) {
+        for (const auto& e : msg.entries) rt.snapshot_buffer.push_back(e);
+        checkpoints_.NoteLateMessage(w, checkpoint_token_);
+      }
+    }
+
+    const bool first_pending = rt.buffer.Empty();
+    rt.buffer.Append(msg, [this](const V& a, const V& b) {
+      return program_.Combine(a, b);
+    });
+    ++stats_.workers[w].msgs_received;
+    controller_.OnMessages(w, now, 1, first_pending);
+
+    if (rt.phase != Phase::kBusy && !controller_.BarrierMode()) ReDecide(w);
+    if (inflight_ == 0) {
+      MaybeWakeSuspended();
+      CheckBarrier();
+    }
+  }
+
+  /// Releases all eligible workers atomically at global quiescence — the
+  /// superstep barrier of BSP (and Hsync's BSP sub-mode).
+  void CheckBarrier() {
+    if (!controller_.BarrierMode() || !Quiescent()) return;
+    std::vector<FragmentId> eligible;
+    for (FragmentId w = 0; w < workers_.size(); ++w) {
+      if (workers_[w].phase != Phase::kBusy && Eligible(w)) {
+        eligible.push_back(w);
+      }
+    }
+    if (eligible.empty()) return;
+    ++supersteps_;
+    controller_.OnBarrierRelease();
+    for (FragmentId w : eligible) StartRound(w, /*is_peval=*/false);
+  }
+
+  /// Applies δ to worker w (non-busy, eligible).
+  void ReDecide(FragmentId w) {
+    auto& rt = workers_[w];
+    if (rt.phase == Phase::kBusy || !Eligible(w)) return;
+    const double now = clock_.Now();
+    const uint64_t local = HasLocalWork(w) ? 1 : 0;
+    const DelayDecision d = controller_.Decide(
+        w, now, rt.buffer.NumMessages() + local,
+        rt.buffer.NumDistinctSenders() + local, RelevantMask());
+    switch (d.kind) {
+      case DelayDecision::Kind::kRunNow:
+        StartRound(w, /*is_peval=*/false);
+        break;
+      case DelayDecision::Kind::kWaitFor: {
+        CancelWake(w);
+        SetPhase(w, Phase::kWaiting);
+        const double wait = std::max(d.wait, 1e-9);
+        rt.wake = clock_.Schedule(now + wait, [this, w] { OnWake(w); });
+        rt.has_wake = true;
+        break;
+      }
+      case DelayDecision::Kind::kSuspend:
+        CancelWake(w);
+        SetPhase(w, Phase::kSuspended);
+        break;
+    }
+  }
+
+  void OnWake(FragmentId w) {
+    auto& rt = workers_[w];
+    rt.has_wake = false;
+    if (rt.phase == Phase::kBusy || !Eligible(w)) return;
+    // The suspension exceeded DS_i: activate unless a staleness bound still
+    // forbids it (in which case Decide() suspends).
+    const uint64_t local = HasLocalWork(w) ? 1 : 0;
+    const DelayDecision d = controller_.Decide(
+        w, clock_.Now(), rt.buffer.NumMessages() + local,
+        rt.buffer.NumDistinctSenders() + local, RelevantMask());
+    if (d.kind == DelayDecision::Kind::kSuspend) {
+      SetPhase(w, Phase::kSuspended);
+      return;
+    }
+    StartRound(w, /*is_peval=*/false);
+  }
+
+  void CancelWake(FragmentId w) {
+    auto& rt = workers_[w];
+    if (rt.has_wake) {
+      clock_.Cancel(rt.wake);
+      rt.has_wake = false;
+    }
+  }
+
+  /// Re-evaluates all suspended workers after a global state change
+  /// (r_min advance, barrier quiescence, ...).
+  void MaybeWakeSuspended() {
+    for (FragmentId w = 0; w < workers_.size(); ++w) {
+      if (workers_[w].phase == Phase::kSuspended && Eligible(w)) {
+        ReDecide(w);
+      }
+    }
+  }
+
+  // ---- checkpoint / recovery (Section 6) ----
+
+  void BeginCheckpoint() {
+    checkpoint_token_ = checkpoints_.StartCheckpoint();
+    // Master broadcasts the request; it reaches workers after one latency.
+    for (FragmentId w = 0; w < workers_.size(); ++w) {
+      clock_.Schedule(clock_.Now() + cfg_.msg_latency, [this, w] {
+        auto& rt = workers_[w];
+        if (rt.snapshotted) return;  // already held the token
+        if (rt.phase == Phase::kBusy) {
+          rt.token_pending = true;
+        } else {
+          TakeSnapshot(w);
+        }
+      });
+    }
+  }
+
+  void TakeSnapshot(FragmentId w) {
+    auto& rt = workers_[w];
+    if (!checkpoints_.ShouldSnapshot(w, checkpoint_token_)) return;
+    rt.snapshotted = true;
+    rt.snapshot_state = states_[w];
+    rt.snapshot_buffer = rt.buffer.Snapshot();
+    rt.snapshot_round = controller_.round(w);
+  }
+
+  /// Appends messages held back during the snapshot, then reschedules.
+  void UnstashTokened(FragmentId w) {
+    auto& rt = workers_[w];
+    if (rt.stashed_tokened.empty()) return;
+    for (const auto& msg : rt.stashed_tokened) {
+      rt.buffer.Append(msg, [this](const V& a, const V& b) {
+        return program_.Combine(a, b);
+      });
+    }
+    rt.stashed_tokened.clear();
+  }
+
+  void FailAndRecover() {
+    if (checkpoint_token_ == 0 ||
+        !checkpoints_.Complete(checkpoint_token_)) {
+      GRAPE_LOG(Warning) << "failure injected before checkpoint completion; "
+                            "ignoring (no consistent state to roll back to)";
+      return;
+    }
+    trace_.NoteRestart(clock_.Now());
+    clock_.DropPending();
+    inflight_ = 0;
+    busy_count_ = 0;
+    std::vector<Round> rounds(workers_.size());
+    for (FragmentId w = 0; w < workers_.size(); ++w) {
+      auto& rt = workers_[w];
+      states_[w] = rt.snapshot_state;
+      rounds[w] = rt.snapshot_round;
+      rt.phase = Phase::kIdle;
+      rt.phase_since = clock_.Now();
+      rt.has_wake = false;
+      rt.token_pending = false;
+      rt.outbox.clear();
+      rt.stashed_tokened.clear();
+      rt.buffer.Reset(rt.snapshot_buffer,
+                      [this](const V& a, const V& b) {
+                        return program_.Combine(a, b);
+                      });
+    }
+    controller_.RestoreRounds(rounds);
+    // Single-recovery support: checkpointing machinery disarms after the
+    // rollback (a fresh checkpoint could be started by a follow-up event).
+    checkpoint_token_ = 0;
+    for (auto& rt : workers_) rt.snapshotted = false;
+    for (FragmentId w = 0; w < workers_.size(); ++w) {
+      if (!workers_[w].buffer.Empty()) ReDecide(w);
+    }
+  }
+
+  const Partition& partition_;
+  Program program_;
+  EngineConfig cfg_;
+  SimClock clock_;
+  DelayStretchController controller_;
+  CheckpointCoordinator checkpoints_;
+  uint64_t checkpoint_token_ = 0;
+
+  std::vector<WorkerRt> workers_;
+  std::vector<State> states_;
+  std::vector<Rng> rngs_;
+  std::vector<uint8_t> relevant_;
+  RunStats stats_;
+  RunTrace trace_;
+  uint64_t inflight_ = 0;
+  uint32_t busy_count_ = 0;
+  uint64_t total_rounds_ = 0;
+  uint64_t supersteps_ = 0;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_CORE_SIM_ENGINE_H_

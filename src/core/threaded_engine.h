@@ -1,0 +1,356 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// The AAP engine over real threads: n physical worker threads drive m >= n
+// virtual workers (the paper's Section 3 setting), with push-based immediate
+// message delivery, the δ controller gating round starts, and the
+// master/worker termination protocol of Section 3 (inactive census,
+// terminate broadcast, ack/wait probe) deciding completion.
+//
+// Supports AP / SSP / AAP via the shared DelayStretchController and BSP via
+// an explicit superstep path (barrier + post-barrier delivery). Hsync is a
+// sim-engine-only mode (its switching heuristics need the virtual clock).
+#ifndef GRAPEPLUS_CORE_THREADED_ENGINE_H_
+#define GRAPEPLUS_CORE_THREADED_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/delay_stretch.h"
+#include "core/modes.h"
+#include "core/pie.h"
+#include "partition/fragment.h"
+#include "runtime/channel.h"
+#include "runtime/message.h"
+#include "runtime/stats_collector.h"
+#include "runtime/termination.h"
+#include "util/timer.h"
+
+namespace grape {
+
+template <typename Program>
+  requires PieProgram<Program>
+class ThreadedEngine {
+ public:
+  using V = typename Program::Value;
+  using State = typename Program::State;
+
+  struct Result {
+    typename Program::ResultT result;
+    RunStats stats;
+    bool converged = true;
+    double wall_seconds = 0.0;
+    uint64_t termination_probes = 0;
+  };
+
+  ThreadedEngine(const Partition& partition, Program program,
+                 EngineConfig config)
+      : partition_(partition),
+        program_(std::move(program)),
+        cfg_(std::move(config)),
+        controller_(cfg_.mode, partition.num_fragments()),
+        term_(partition.num_fragments()) {
+    GRAPE_CHECK(cfg_.mode.mode != Mode::kHsync)
+        << "Hsync is only supported by the sim engine";
+    const uint32_t m = partition_.num_fragments();
+    workers_.resize(m);
+    for (uint32_t i = 0; i < m; ++i) workers_[i] = std::make_unique<WorkerRt>();
+    stats_.workers.resize(m);
+  }
+
+  Result Run() {
+    run_wall_.Restart();
+    Stopwatch wall;
+    const uint32_t m = partition_.num_fragments();
+    states_.clear();
+    states_.reserve(m);
+    for (uint32_t i = 0; i < m; ++i) {
+      states_.push_back(program_.Init(partition_.fragments[i]));
+    }
+    uint32_t threads = cfg_.num_threads;
+    if (threads == 0) {
+      threads = std::min<uint32_t>(m, std::thread::hardware_concurrency());
+      if (threads == 0) threads = 1;
+    }
+
+    if (cfg_.mode.mode == Mode::kBsp) {
+      RunBsp(threads);
+    } else {
+      RunAsync(threads);
+    }
+
+    Result r{program_.Assemble(partition_, states_), std::move(stats_),
+             converged_, wall.ElapsedSeconds(), term_.probes_attempted()};
+    r.stats.makespan = r.wall_seconds;
+    return r;
+  }
+
+ private:
+  struct WorkerRt {
+    UpdateBuffer<V> buffer;
+    std::atomic<bool> claimed{false};
+    bool peval_done = false;     // guarded by sched_mu_
+    double eligible_at = 0.0;    // wall seconds; guarded by sched_mu_
+    std::vector<UpdateEntry<V>> outbox;  // BSP path only
+  };
+
+  bool HasLocalWork(FragmentId w) const {
+    if constexpr (requires(const Program& p, const State& s) {
+                    { p.HasLocalWork(s) } -> std::convertible_to<bool>;
+                  }) {
+      return program_.HasLocalWork(states_[w]);
+    } else {
+      return false;
+    }
+  }
+
+  bool Eligible(FragmentId w) const {
+    return !workers_[w]->buffer.Empty() || HasLocalWork(w);
+  }
+
+  // ---------------------------------------------------------------- BSP ---
+
+  /// Supersteps with a barrier: all eligible workers run once in parallel;
+  /// messages dispatch after the barrier (available next superstep).
+  void RunBsp(uint32_t threads) {
+    const uint32_t m = partition_.num_fragments();
+    ParallelFor(threads, m, [&](FragmentId w) { RunOneRound(w, true); });
+    DispatchAllOutboxes();
+    uint64_t supersteps = 0;
+    while (supersteps < cfg_.max_total_rounds) {
+      std::vector<FragmentId> eligible;
+      for (FragmentId w = 0; w < m; ++w) {
+        if (Eligible(w)) eligible.push_back(w);
+      }
+      if (eligible.empty()) break;
+      ParallelFor(threads, static_cast<uint32_t>(eligible.size()),
+                  [&](uint32_t idx) { RunOneRound(eligible[idx], false); });
+      DispatchAllOutboxes();
+      ++supersteps;
+    }
+    converged_ = supersteps < cfg_.max_total_rounds;
+  }
+
+  static void ParallelFor(uint32_t threads, uint32_t n,
+                          const std::function<void(uint32_t)>& fn) {
+    std::atomic<uint32_t> next{0};
+    auto body = [&] {
+      for (uint32_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    };
+    std::vector<std::thread> pool;
+    const uint32_t k = std::min(threads, n);
+    pool.reserve(k);
+    for (uint32_t t = 1; t < k; ++t) pool.emplace_back(body);
+    body();
+    for (auto& t : pool) t.join();
+  }
+
+  void DispatchAllOutboxes() {
+    for (FragmentId w = 0; w < workers_.size(); ++w) {
+      DeliverEntries(w, workers_[w]->outbox);
+      workers_[w]->outbox.clear();
+    }
+  }
+
+  // -------------------------------------------------------- AP/SSP/AAP ---
+
+  void RunAsync(uint32_t threads) {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) {
+      pool.emplace_back([this] { WorkerLoop(); });
+    }
+    // Master: run the termination protocol until a probe succeeds.
+    uint64_t rounds_guard = 0;
+    while (!term_.ShouldStop()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      bool all_quiet = true;
+      for (FragmentId w = 0; w < workers_.size(); ++w) {
+        if (workers_[w]->claimed.load() || Eligible(w)) {
+          all_quiet = false;
+          break;
+        }
+      }
+      if (all_quiet && term_.TryTerminate(inflight_)) {
+        hub_.NotifyAll();
+        break;
+      }
+      if (total_rounds_.load() > cfg_.max_total_rounds) {
+        converged_ = false;
+        term_.ForceStop();
+        hub_.NotifyAll();
+        break;
+      }
+      ++rounds_guard;
+    }
+    term_.ForceStop();
+    hub_.NotifyAll();
+    for (auto& t : pool) t.join();
+  }
+
+  void WorkerLoop() {
+    while (!term_.ShouldStop()) {
+      bool is_peval = false;
+      const int32_t w = PickWorker(run_wall_.ElapsedSeconds(), &is_peval);
+      if (w < 0) {
+        hub_.WaitFor(hub_.Epoch(), /*timeout_ms=*/1);
+        continue;
+      }
+      RunOneRound(static_cast<FragmentId>(w), is_peval);
+      DeliverEntries(static_cast<FragmentId>(w),
+                     workers_[w]->outbox);
+      workers_[w]->outbox.clear();
+      if (!Eligible(static_cast<FragmentId>(w))) {
+        term_.SetInactive(static_cast<FragmentId>(w));
+      }
+      workers_[w]->claimed.store(false);
+      hub_.NotifyAll();
+    }
+  }
+
+  /// Picks a runnable virtual worker under the scheduler lock, claiming it.
+  int32_t PickWorker(double now, bool* is_peval) {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    relevant_.assign(workers_.size(), 0);
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      relevant_[i] = (workers_[i]->claimed.load() ||
+                      Eligible(static_cast<FragmentId>(i)))
+                         ? 1
+                         : 0;
+    }
+    for (FragmentId w = 0; w < workers_.size(); ++w) {
+      auto& rt = *workers_[w];
+      if (rt.claimed.load()) continue;
+      if (!rt.peval_done) {
+        rt.claimed.store(true);
+        rt.peval_done = true;
+        term_.SetActive(w);
+        *is_peval = true;
+        return static_cast<int32_t>(w);
+      }
+      if (!Eligible(w)) continue;
+      if (now < rt.eligible_at) continue;
+      const uint64_t local = HasLocalWork(w) ? 1 : 0;
+      const DelayDecision d = controller_.Decide(
+          w, now, rt.buffer.NumMessages() + local,
+          rt.buffer.NumDistinctSenders() + local, relevant_);
+      switch (d.kind) {
+        case DelayDecision::Kind::kRunNow:
+          rt.claimed.store(true);
+          term_.SetActive(w);
+          controller_.OnRoundStart(w, now);
+          return static_cast<int32_t>(w);
+        case DelayDecision::Kind::kWaitFor:
+          rt.eligible_at = now + d.wait;
+          break;
+        case DelayDecision::Kind::kSuspend:
+          break;  // re-examined when r_min advances / messages arrive
+      }
+    }
+    return -1;
+  }
+
+  /// Runs PEval or IncEval for w; fills the worker's outbox.
+  void RunOneRound(FragmentId w, bool is_peval) {
+    Stopwatch sw;
+    auto& rt = *workers_[w];
+    Emitter<V> emitter;
+    double work = 0.0;
+    if (is_peval) {
+      emitter.SetRound(0);
+      work = program_.PEval(partition_.fragments[w], states_[w], &emitter);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(sched_mu_);
+        controller_.OnDrain(w, rt.buffer.NumDistinctSenders());
+      }
+      auto updates = rt.buffer.Drain();
+      stats_.workers[w].updates_applied += updates.size();
+      emitter.SetRound(controller_.round(w) + 1);
+      work = program_.IncEval(partition_.fragments[w], states_[w],
+                              std::span<const UpdateEntry<V>>(updates),
+                              &emitter);
+      total_rounds_.fetch_add(1);
+      ++stats_.workers[w].rounds;
+    }
+    const double elapsed = sw.ElapsedSeconds();
+    stats_.workers[w].busy_time += elapsed;
+    stats_.workers[w].work_units += work;
+    rt.outbox = std::move(emitter.entries());
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      const double now = run_wall_.ElapsedSeconds();
+      if (is_peval) {
+        controller_.SeedRoundTime(w, now, elapsed);
+      } else {
+        controller_.OnRoundEnd(w, now, elapsed);
+      }
+    }
+  }
+
+  /// Groups and delivers entries to their destination buffers immediately
+  /// (the threaded runtime's channel latency is the memcpy itself).
+  void DeliverEntries(FragmentId from,
+                      const std::vector<UpdateEntry<V>>& entries) {
+    if (entries.empty()) return;
+    std::map<FragmentId, Message<V>> grouped;
+    std::vector<FragmentId> recipients;
+    for (const auto& e : entries) {
+      partition_.Recipients(e.vid, from, Program::kOwnerBroadcast,
+                            &recipients);
+      for (FragmentId dst : recipients) {
+        auto& msg = grouped[dst];
+        msg.from = from;
+        msg.to = dst;
+        msg.entries.push_back(e);
+      }
+    }
+    for (auto& [dst, msg] : grouped) {
+      inflight_.OnSend();
+      ++stats_.workers[from].msgs_sent;
+      stats_.workers[from].entries_sent += msg.entries.size();
+      stats_.workers[from].bytes_sent += MessageBytes(msg);
+      const bool first_pending = workers_[dst]->buffer.Empty();
+      workers_[dst]->buffer.Append(msg, [this](const V& a, const V& b) {
+        return program_.Combine(a, b);
+      });
+      term_.SetActive(dst);
+      {
+        std::lock_guard<std::mutex> lock(sched_mu_);
+        ++stats_.workers[dst].msgs_received;
+        controller_.OnMessages(dst, run_wall_.ElapsedSeconds(), 1,
+                               first_pending);
+      }
+      inflight_.OnDeliver();
+    }
+    hub_.NotifyAll();
+  }
+
+  const Partition& partition_;
+  Program program_;
+  EngineConfig cfg_;
+  DelayStretchController controller_;
+  TerminationDetector term_;
+  InFlightCounter inflight_;
+  NotifyHub hub_;
+
+  std::vector<std::unique_ptr<WorkerRt>> workers_;
+  std::vector<State> states_;
+  std::vector<uint8_t> relevant_;
+  std::mutex sched_mu_;
+  RunStats stats_;
+  std::atomic<uint64_t> total_rounds_{0};
+  bool converged_ = true;
+  Stopwatch run_wall_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_CORE_THREADED_ENGINE_H_

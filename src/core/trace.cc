@@ -1,0 +1,35 @@
+#include "core/trace.h"
+
+#include <algorithm>
+
+#include "util/table.h"
+
+namespace grape {
+
+SimTime RunTrace::EndTime() const {
+  SimTime t = 0;
+  for (const auto& s : spans_) t = std::max(t, s.end);
+  return t;
+}
+
+uint64_t RunTrace::RoundsOf(FragmentId worker) const {
+  uint64_t n = 0;
+  for (const auto& s : spans_) {
+    if (s.worker == worker && s.kind == SpanKind::kIncEval) ++n;
+  }
+  return n;
+}
+
+std::string RunTrace::ToGantt(uint32_t num_workers, int width) const {
+  std::vector<GanttSpan> gs;
+  gs.reserve(spans_.size());
+  for (const auto& s : spans_) {
+    char glyph = s.kind == SpanKind::kPEval
+                     ? '#'
+                     : static_cast<char>('0' + (s.round % 10));
+    gs.push_back(GanttSpan{static_cast<int>(s.worker), s.start, s.end, glyph});
+  }
+  return RenderGantt(gs, static_cast<int>(num_workers), EndTime(), width);
+}
+
+}  // namespace grape

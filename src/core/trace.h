@@ -1,0 +1,50 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Run traces: the busy intervals of every worker, enough to render the
+// paper's Fig. 1(a) and Fig. 7 timing diagrams and to measure idle /
+// suspended time per worker.
+#ifndef GRAPEPLUS_CORE_TRACE_H_
+#define GRAPEPLUS_CORE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace grape {
+
+enum class SpanKind { kPEval, kIncEval };
+
+struct TraceSpan {
+  FragmentId worker;
+  Round round;
+  SimTime start;
+  SimTime end;
+  SpanKind kind;
+};
+
+class RunTrace {
+ public:
+  void Add(FragmentId worker, Round round, SimTime start, SimTime end,
+           SpanKind kind) {
+    spans_.push_back({worker, round, start, end, kind});
+  }
+  void NoteRestart(SimTime t) { restarts_.push_back(t); }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::vector<SimTime>& restarts() const { return restarts_; }
+
+  SimTime EndTime() const;
+  /// Number of IncEval rounds executed by `worker`.
+  uint64_t RoundsOf(FragmentId worker) const;
+
+  /// ASCII Gantt chart ('#' = PEval, digits cycle per IncEval round).
+  std::string ToGantt(uint32_t num_workers, int width = 96) const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+  std::vector<SimTime> restarts_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_CORE_TRACE_H_

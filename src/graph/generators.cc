@@ -1,0 +1,181 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace grape {
+
+namespace {
+
+/// Rounds n up to a power of two (RMAT requires it).
+VertexId CeilPow2(VertexId n) {
+  VertexId p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Graph MakeRmat(const RmatOptions& opts) {
+  const VertexId n = CeilPow2(std::max<VertexId>(2, opts.num_vertices));
+  int levels = 0;
+  while ((VertexId(1) << levels) < n) ++levels;
+  Rng rng(opts.seed);
+  GraphBuilder builder(n, opts.directed);
+  const double ab = opts.a + opts.b;
+  const double abc = opts.a + opts.b + opts.c;
+  for (uint64_t e = 0; e < opts.num_edges; ++e) {
+    VertexId src = 0, dst = 0;
+    for (int l = 0; l < levels; ++l) {
+      const double r = rng.NextDouble();
+      // Pick the quadrant; add noise per level as GTgraph does.
+      int quadrant;
+      if (r < opts.a) quadrant = 0;
+      else if (r < ab) quadrant = 1;
+      else if (r < abc) quadrant = 2;
+      else quadrant = 3;
+      src = (src << 1) | ((quadrant >> 1) & 1);
+      dst = (dst << 1) | (quadrant & 1);
+    }
+    if (src == dst) dst = static_cast<VertexId>((dst + 1) % n);  // avoid self loops
+    const double w = opts.weighted
+                         ? rng.UniformDouble(opts.min_weight, opts.max_weight)
+                         : 1.0;
+    builder.AddEdge(src, dst, w);
+  }
+  return std::move(builder).Build();
+}
+
+Graph MakeRoadGrid(const GridOptions& opts) {
+  const VertexId n = opts.rows * opts.cols;
+  Rng rng(opts.seed);
+  GraphBuilder builder(n, /*directed=*/false);
+  auto id = [&](VertexId r, VertexId c) { return r * opts.cols + c; };
+  auto weight = [&]() {
+    return opts.weighted ? rng.UniformDouble(opts.min_weight, opts.max_weight)
+                         : 1.0;
+  };
+  for (VertexId r = 0; r < opts.rows; ++r) {
+    for (VertexId c = 0; c < opts.cols; ++c) {
+      if (c + 1 < opts.cols) builder.AddEdge(id(r, c), id(r, c + 1), weight());
+      if (r + 1 < opts.rows) builder.AddEdge(id(r, c), id(r + 1, c), weight());
+    }
+  }
+  // "Highway" shortcuts between random distant locations.
+  const uint64_t shortcuts =
+      static_cast<uint64_t>(opts.shortcut_fraction * static_cast<double>(n));
+  for (uint64_t i = 0; i < shortcuts; ++i) {
+    VertexId a = static_cast<VertexId>(rng.Uniform(n));
+    VertexId b = static_cast<VertexId>(rng.Uniform(n));
+    if (a != b) builder.AddEdge(a, b, weight() * 0.5);
+  }
+  return std::move(builder).Build();
+}
+
+Graph MakeSmallWorld(const SmallWorldOptions& opts) {
+  const VertexId n = opts.num_vertices;
+  Rng rng(opts.seed);
+  GraphBuilder builder(n, /*directed=*/false);
+  const uint32_t half = std::max<uint32_t>(1, opts.k / 2);
+  for (VertexId v = 0; v < n; ++v) {
+    for (uint32_t j = 1; j <= half; ++j) {
+      VertexId u = (v + j) % n;
+      if (rng.Bernoulli(opts.rewire_p)) {
+        // Rewire to a uniform random endpoint (Watts–Strogatz).
+        u = static_cast<VertexId>(rng.Uniform(n));
+        if (u == v) u = (v + 1) % n;
+      }
+      builder.AddEdge(v, u, 1.0);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph MakeErdosRenyi(const ErdosRenyiOptions& opts) {
+  Rng rng(opts.seed);
+  GraphBuilder builder(opts.num_vertices, opts.directed);
+  for (uint64_t e = 0; e < opts.num_edges; ++e) {
+    VertexId a = static_cast<VertexId>(rng.Uniform(opts.num_vertices));
+    VertexId b = static_cast<VertexId>(rng.Uniform(opts.num_vertices));
+    if (a == b) b = (b + 1) % opts.num_vertices;
+    const double w = opts.weighted
+                         ? rng.UniformDouble(opts.min_weight, opts.max_weight)
+                         : 1.0;
+    builder.AddEdge(a, b, w);
+  }
+  return std::move(builder).Build();
+}
+
+Graph MakeBipartiteRatings(const BipartiteOptions& opts) {
+  const VertexId n = opts.num_users + opts.num_items;
+  Rng rng(opts.seed);
+  GraphBuilder builder(n, /*directed=*/false);
+  for (VertexId u = 0; u < opts.num_users; ++u) builder.MarkLeft(u);
+
+  // Planted low-rank latent factors; ratings = u.f^T p.f + noise, clamped.
+  const uint32_t rank = std::max<uint32_t>(1, opts.planted_rank);
+  std::vector<double> uf(static_cast<size_t>(opts.num_users) * rank);
+  std::vector<double> pf(static_cast<size_t>(opts.num_items) * rank);
+  const double scale =
+      std::sqrt((opts.max_rating + opts.min_rating) / (2.0 * rank));
+  for (auto& x : uf) x = scale * (0.5 + rng.NextDouble());
+  for (auto& x : pf) x = scale * (0.5 + rng.NextDouble());
+
+  // Zipf item popularity via inverse-CDF over precomputed weights.
+  std::vector<double> cdf(opts.num_items);
+  double total = 0.0;
+  for (VertexId i = 0; i < opts.num_items; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), opts.zipf_s);
+    cdf[i] = total;
+  }
+  auto sample_item = [&]() -> VertexId {
+    const double r = rng.NextDouble() * total;
+    return static_cast<VertexId>(
+        std::lower_bound(cdf.begin(), cdf.end(), r) - cdf.begin());
+  };
+
+  for (uint64_t e = 0; e < opts.num_ratings; ++e) {
+    const VertexId u = static_cast<VertexId>(rng.Uniform(opts.num_users));
+    const VertexId i = sample_item();
+    double r = 0.0;
+    for (uint32_t k = 0; k < rank; ++k) {
+      r += uf[static_cast<size_t>(u) * rank + k] *
+           pf[static_cast<size_t>(i) * rank + k];
+    }
+    r += opts.noise * rng.Gaussian();
+    r = std::clamp(r, opts.min_rating, opts.max_rating);
+    builder.AddEdge(u, opts.num_users + i, r);
+  }
+  return std::move(builder).Build();
+}
+
+Graph MakeFig1bExample(std::vector<FragmentId>* fragment_of) {
+  // Eight components 0..7, each a triangle {3k, 3k+1, 3k+2}, chained as in
+  // Fig 1(b): 0-1-2-3-4 plus 4-5, 5-6 and 4-7. Each cut edge attaches to a
+  // distinct vertex of its component so that no two local components share a
+  // border copy (they must stay separate under PEval's local DFS, as in the
+  // paper's example where the minimal cid crosses fragments once per round).
+  constexpr int kComponents = 8;
+  const FragmentId frag_of_comp[kComponents] = {2, 0, 1, 0, 1, 0, 1, 2};
+  GraphBuilder builder(3 * kComponents, /*directed=*/false);
+  for (VertexId k = 0; k < kComponents; ++k) {
+    builder.AddEdge(3 * k, 3 * k + 1);
+    builder.AddEdge(3 * k + 1, 3 * k + 2);
+    builder.AddEdge(3 * k, 3 * k + 2);
+  }
+  const VertexId chain[][2] = {{0, 3},   {4, 6},   {7, 9},  {10, 12},
+                               {13, 15}, {16, 18}, {14, 21}};
+  for (const auto& e : chain) builder.AddEdge(e[0], e[1]);
+  if (fragment_of != nullptr) {
+    fragment_of->assign(3 * kComponents, 0);
+    for (VertexId k = 0; k < kComponents; ++k) {
+      for (int j = 0; j < 3; ++j) {
+        (*fragment_of)[3 * k + static_cast<VertexId>(j)] = frag_of_comp[k];
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace grape

@@ -1,0 +1,90 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Synthetic workload generators standing in for the paper's datasets
+// (Section 7): RMAT power-law graphs (Friendster / UKWeb), 2-D grid road
+// networks (traffic), Watts–Strogatz small worlds, Erdős–Rényi randoms, and
+// bipartite rating graphs (movieLens / Netflix). All seeded & deterministic.
+#ifndef GRAPEPLUS_GRAPH_GENERATORS_H_
+#define GRAPEPLUS_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace grape {
+
+struct RmatOptions {
+  VertexId num_vertices = 1 << 14;   // rounded up to a power of two
+  uint64_t num_edges = 1 << 17;
+  // GTgraph/Graph500 defaults; skewed quadrants produce power-law degrees.
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  bool directed = true;
+  bool weighted = false;
+  double min_weight = 1.0, max_weight = 100.0;
+  uint64_t seed = 1;
+};
+
+/// Recursive-matrix power-law generator (the paper's GTgraph substitute).
+Graph MakeRmat(const RmatOptions& opts);
+
+struct GridOptions {
+  VertexId rows = 128, cols = 128;
+  /// Fraction of extra "diagonal highway" shortcuts.
+  double shortcut_fraction = 0.01;
+  bool weighted = true;
+  double min_weight = 1.0, max_weight = 10.0;
+  uint64_t seed = 7;
+};
+
+/// Undirected 2-D grid with a few shortcuts: a high-diameter road network in
+/// the spirit of the paper's `traffic` dataset.
+Graph MakeRoadGrid(const GridOptions& opts);
+
+struct SmallWorldOptions {
+  VertexId num_vertices = 4096;
+  uint32_t k = 8;          // each vertex connects to k nearest ring neighbours
+  double rewire_p = 0.05;  // Watts–Strogatz rewiring probability
+  uint64_t seed = 11;
+};
+
+/// Undirected Watts–Strogatz small world.
+Graph MakeSmallWorld(const SmallWorldOptions& opts);
+
+struct ErdosRenyiOptions {
+  VertexId num_vertices = 2048;
+  uint64_t num_edges = 8192;
+  bool directed = false;
+  bool weighted = false;
+  double min_weight = 1.0, max_weight = 10.0;
+  uint64_t seed = 23;
+};
+
+/// G(n, m) uniform random graph.
+Graph MakeErdosRenyi(const ErdosRenyiOptions& opts);
+
+struct BipartiteOptions {
+  VertexId num_users = 1000;
+  VertexId num_items = 200;
+  uint64_t num_ratings = 20000;
+  /// Item popularity follows Zipf(s); users uniform.
+  double zipf_s = 1.0;
+  double min_rating = 1.0, max_rating = 5.0;
+  uint64_t seed = 42;
+  /// Ratings drawn from a planted low-rank model (rank `planted_rank`) plus
+  /// noise, so CF training has structure to recover.
+  uint32_t planted_rank = 8;
+  double noise = 0.1;
+};
+
+/// Undirected user–item rating graph; users are MarkLeft()ed. Vertex ids:
+/// users [0, num_users), items [num_users, num_users + num_items).
+Graph MakeBipartiteRatings(const BipartiteOptions& opts);
+
+/// A tiny fixed instance of the paper's Fig. 1(b): 8 components 0..7 spread
+/// over 3 fragments with the dotted cut edges of the figure. Returns the
+/// graph; `fragment_of` receives the intended vertex->fragment mapping.
+Graph MakeFig1bExample(std::vector<FragmentId>* fragment_of);
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_GRAPH_GENERATORS_H_

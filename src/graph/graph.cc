@@ -1,0 +1,145 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace grape {
+
+GraphBuilder::GraphBuilder(VertexId n, bool directed)
+    : n_(n), directed_(directed) {}
+
+void GraphBuilder::AddEdge(VertexId src, VertexId dst, double weight) {
+  GRAPE_DCHECK(src < n_ && dst < n_)
+      << "edge (" << src << "," << dst << ") out of range n=" << n_;
+  edges_.push_back({src, dst, weight});
+  if (!directed_) edges_.push_back({dst, src, weight});
+}
+
+void GraphBuilder::SetVertexLabel(VertexId v, int64_t label) {
+  if (labels_.empty()) labels_.assign(n_, 0);
+  labels_[v] = label;
+}
+
+void GraphBuilder::MarkLeft(VertexId v) {
+  if (left_.empty()) left_.assign(n_, 0);
+  left_[v] = 1;
+}
+
+Graph GraphBuilder::Build() && {
+  Graph g;
+  g.directed_ = directed_;
+  g.vertex_labels_ = std::move(labels_);
+  g.left_side_ = std::move(left_);
+  g.offsets_.assign(static_cast<size_t>(n_) + 1, 0);
+  for (const auto& e : edges_) g.offsets_[e.src + 1]++;
+  for (size_t i = 1; i < g.offsets_.size(); ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.arcs_.resize(edges_.size());
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : edges_) {
+    g.arcs_[cursor[e.src]++] = Arc{e.dst, e.weight};
+  }
+  // Sort each adjacency list by target for determinism and cache locality.
+  for (VertexId v = 0; v < n_; ++v) {
+    auto* begin = g.arcs_.data() + g.offsets_[v];
+    auto* end = g.arcs_.data() + g.offsets_[v + 1];
+    std::sort(begin, end, [](const Arc& a, const Arc& b) { return a.dst < b.dst; });
+  }
+  edges_.clear();
+  return g;
+}
+
+namespace seq {
+
+std::vector<double> Sssp(const Graph& g, VertexId src) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> dist(n, kInfinity);
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[src] = 0.0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    for (const Arc& a : g.OutEdges(v)) {
+      const double nd = d + a.weight;
+      if (nd < dist[a.dst]) {
+        dist[a.dst] = nd;
+        pq.push({nd, a.dst});
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+VertexId Find(std::vector<VertexId>& parent, VertexId x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+}  // namespace
+
+std::vector<VertexId> ConnectedComponents(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> parent(n);
+  for (VertexId v = 0; v < n; ++v) parent[v] = v;
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Arc& a : g.OutEdges(v)) {
+      VertexId rv = Find(parent, v), ru = Find(parent, a.dst);
+      if (rv != ru) parent[std::max(rv, ru)] = std::min(rv, ru);
+    }
+  }
+  std::vector<VertexId> cid(n);
+  for (VertexId v = 0; v < n; ++v) cid[v] = Find(parent, v);
+  return cid;
+}
+
+std::vector<double> PageRank(const Graph& g, double damping, double eps,
+                             int max_iters) {
+  // Delta-accumulative formulation (Zhang et al. / Section 5.3): scores start
+  // at 0, residuals at (1-d); iterate pushing d * x_v / N_v until the total
+  // residual falls below eps.
+  const VertexId n = g.num_vertices();
+  std::vector<double> score(n, 0.0), residual(n, 1.0 - damping), next(n, 0.0);
+  for (int it = 0; it < max_iters; ++it) {
+    double total = 0.0;
+    for (VertexId v = 0; v < n; ++v) total += residual[v];
+    if (total < eps) break;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+      const double x = residual[v];
+      if (x <= 0.0) continue;
+      score[v] += x;
+      const uint64_t deg = g.OutDegree(v);
+      if (deg == 0) continue;
+      const double share = damping * x / static_cast<double>(deg);
+      for (const Arc& a : g.OutEdges(v)) next[a.dst] += share;
+    }
+    residual.swap(next);
+  }
+  return score;
+}
+
+std::vector<int64_t> BfsLevels(const Graph& g, VertexId src) {
+  std::vector<int64_t> level(g.num_vertices(), -1);
+  std::queue<VertexId> q;
+  level[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    VertexId v = q.front();
+    q.pop();
+    for (const Arc& a : g.OutEdges(v)) {
+      if (level[a.dst] < 0) {
+        level[a.dst] = level[v] + 1;
+        q.push(a.dst);
+      }
+    }
+  }
+  return level;
+}
+
+}  // namespace seq
+}  // namespace grape

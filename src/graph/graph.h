@@ -1,0 +1,124 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// In-memory CSR graph used as the global input G = (V, E, L) of Section 2.
+// Directed graphs store out-adjacency (and optionally in-adjacency);
+// undirected graphs store each edge as two arcs.
+#ifndef GRAPEPLUS_GRAPH_GRAPH_H_
+#define GRAPEPLUS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+#include "util/logging.h"
+
+namespace grape {
+
+/// A weighted arc (target + label). The paper's L(e) is a positive number for
+/// SSSP and a rating for CF; we store a double.
+struct Arc {
+  VertexId dst;
+  double weight;
+};
+
+/// Immutable CSR graph. Build via GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  bool directed() const { return directed_; }
+  VertexId num_vertices() const { return static_cast<VertexId>(offsets_.size() - 1); }
+  uint64_t num_arcs() const { return arcs_.size(); }
+  /// Logical edge count: arcs for directed graphs, arcs/2 for undirected.
+  uint64_t num_edges() const { return directed_ ? num_arcs() : num_arcs() / 2; }
+
+  /// Out-neighbourhood of v.
+  std::span<const Arc> OutEdges(VertexId v) const {
+    GRAPE_DCHECK(v < num_vertices());
+    return {arcs_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  uint64_t OutDegree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Vertex labels (the paper's L(v)); empty if unlabelled.
+  bool has_vertex_labels() const { return !vertex_labels_.empty(); }
+  int64_t VertexLabel(VertexId v) const {
+    return has_vertex_labels() ? vertex_labels_[v] : 0;
+  }
+
+  /// Bipartite tagging for CF: true iff v is a "user" node (left side).
+  bool is_bipartite() const { return !left_side_.empty(); }
+  bool IsLeft(VertexId v) const {
+    GRAPE_DCHECK(is_bipartite());
+    return left_side_[v] != 0;
+  }
+
+ private:
+  friend class GraphBuilder;
+  bool directed_ = true;
+  std::vector<uint64_t> offsets_{0};
+  std::vector<Arc> arcs_;
+  std::vector<int64_t> vertex_labels_;
+  std::vector<uint8_t> left_side_;
+};
+
+/// Accumulates edges then produces a CSR Graph. For undirected graphs, each
+/// added edge materialises both arcs.
+class GraphBuilder {
+ public:
+  /// `n` is the number of vertices [0, n); `directed` selects arc semantics.
+  GraphBuilder(VertexId n, bool directed);
+
+  /// Adds edge (src, dst) with weight. For undirected graphs the reverse arc
+  /// is added automatically.
+  void AddEdge(VertexId src, VertexId dst, double weight = 1.0);
+
+  /// Optional per-vertex labels.
+  void SetVertexLabel(VertexId v, int64_t label);
+
+  /// Marks v as belonging to the left (user) side of a bipartite graph.
+  void MarkLeft(VertexId v);
+
+  VertexId num_vertices() const { return n_; }
+  uint64_t num_added_edges() const { return edges_.size(); }
+
+  /// Finalises into CSR. The builder is consumed.
+  Graph Build() &&;
+
+ private:
+  struct TempEdge {
+    VertexId src, dst;
+    double weight;
+  };
+  VertexId n_;
+  bool directed_;
+  std::vector<TempEdge> edges_;
+  std::vector<int64_t> labels_;
+  std::vector<uint8_t> left_;
+};
+
+/// Ground-truth single-machine algorithms used by tests & benches to validate
+/// the distributed engines (the paper's "single-thread" baselines in Exp-1).
+namespace seq {
+
+/// Dijkstra from src. Unreachable = +inf. Weights must be non-negative.
+std::vector<double> Sssp(const Graph& g, VertexId src);
+
+/// Connected components by union-find over undirected edges; returns the
+/// minimum vertex id in each vertex's component (the paper's cid fixpoint).
+std::vector<VertexId> ConnectedComponents(const Graph& g);
+
+/// PageRank by the paper's accumulative formulation: P_v converges to
+/// (1-d) * sum over paths. `eps` is the total residual threshold.
+std::vector<double> PageRank(const Graph& g, double damping, double eps,
+                             int max_iters = 10000);
+
+/// Breadth-first level (hop distance), unreachable = -1.
+std::vector<int64_t> BfsLevels(const Graph& g, VertexId src);
+
+}  // namespace seq
+}  // namespace grape
+
+#endif  // GRAPEPLUS_GRAPH_GRAPH_H_

@@ -1,0 +1,87 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace grape {
+
+StatusOr<Graph> ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  VertexId n = 0;
+  bool directed = true;
+  bool have_header = false;
+  GraphBuilder* builder = nullptr;
+  GraphBuilder storage(0, true);
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    if (!have_header) {
+      std::string mode;
+      if (!(ls >> n >> mode)) {
+        return Status::InvalidArgument("bad header at line " +
+                                       std::to_string(line_no));
+      }
+      if (mode == "directed") {
+        directed = true;
+      } else if (mode == "undirected") {
+        directed = false;
+      } else {
+        return Status::InvalidArgument("unknown mode '" + mode + "'");
+      }
+      storage = GraphBuilder(n, directed);
+      builder = &storage;
+      have_header = true;
+      continue;
+    }
+    VertexId s, d;
+    double w = 1.0;
+    if (!(ls >> s >> d)) {
+      return Status::InvalidArgument("bad edge at line " +
+                                     std::to_string(line_no));
+    }
+    ls >> w;  // optional
+    if (s >= n || d >= n) {
+      return Status::OutOfRange("vertex id out of range at line " +
+                                std::to_string(line_no));
+    }
+    builder->AddEdge(s, d, w);
+  }
+  if (!have_header) return Status::InvalidArgument("missing header");
+  return std::move(storage).Build();
+}
+
+StatusOr<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return ParseEdgeList(buf.str());
+}
+
+std::string ToEdgeListText(const Graph& g) {
+  std::ostringstream os;
+  os << g.num_vertices() << " " << (g.directed() ? "directed" : "undirected")
+     << "\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Arc& a : g.OutEdges(v)) {
+      // Undirected graphs store both arcs; emit each logical edge once.
+      if (!g.directed() && a.dst < v) continue;
+      os << v << " " << a.dst << " " << a.weight << "\n";
+    }
+  }
+  return os.str();
+}
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  f << ToEdgeListText(g);
+  return Status::OK();
+}
+
+}  // namespace grape

@@ -1,0 +1,28 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Edge-list text I/O. Format: header "n directed|undirected" then one
+// "src dst [weight]" per line; '#' comments allowed.
+#ifndef GRAPEPLUS_GRAPH_GRAPH_IO_H_
+#define GRAPEPLUS_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace grape {
+
+/// Parses a graph from edge-list text (see header format above).
+StatusOr<Graph> ParseEdgeList(const std::string& text);
+
+/// Loads a graph from an edge-list file.
+StatusOr<Graph> LoadEdgeList(const std::string& path);
+
+/// Serialises a graph to edge-list text (round-trippable via ParseEdgeList).
+std::string ToEdgeListText(const Graph& g);
+
+/// Writes a graph to a file.
+Status SaveEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_GRAPH_GRAPH_IO_H_

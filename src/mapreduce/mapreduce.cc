@@ -1,0 +1,241 @@
+#include "mapreduce/mapreduce.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace grape {
+namespace mr {
+
+namespace {
+
+uint64_t KeyHash(const std::string& key) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Groups pairs by key (sorted for determinism) and applies the reducer.
+std::vector<Pair> ReducePairs(const Reducer& reduce,
+                              std::vector<Pair> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  std::vector<Pair> out;
+  size_t i = 0;
+  while (i < pairs.size()) {
+    size_t j = i;
+    std::vector<std::string> values;
+    while (j < pairs.size() && pairs[j].key == pairs[i].key) {
+      values.push_back(pairs[j].value);
+      ++j;
+    }
+    reduce(pairs[i].key, values, &out);
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Pair> RunSequential(const std::vector<Pair>& input,
+                                const std::vector<Subroutine>& rounds) {
+  std::vector<Pair> current = input;
+  for (const Subroutine& b : rounds) {
+    std::vector<Pair> mapped;
+    for (const Pair& p : current) b.map(p, &mapped);
+    current = ReducePairs(b.reduce, std::move(mapped));
+  }
+  std::sort(current.begin(), current.end());
+  return current;
+}
+
+Graph MakeWorkerClique(uint32_t n) {
+  GraphBuilder builder(n, /*directed=*/false);
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) builder.AddEdge(i, j);
+  }
+  return std::move(builder).Build();
+}
+
+MrOnAapProgram::State MrOnAapProgram::Init(const Fragment&) const {
+  return State{};
+}
+
+double MrOnAapProgram::Shuffle(const Fragment& f, std::vector<Pair> pairs,
+                               uint32_t next_round, State& st,
+                               Emitter<Value>* out) const {
+  const uint32_t n = static_cast<uint32_t>(inputs_.size());
+  // One outgoing tuple vector per peer worker node of the clique G_W. Every
+  // peer gets a (possibly empty) message so that all workers advance in the
+  // same wave — the superstep structure of the Theorem 4 simulation.
+  std::map<VertexId, Value> per_target;
+  for (VertexId t = 0; t < n; ++t) {
+    if (t != f.id()) per_target[t];  // materialise empty shuffles
+  }
+  double work = 0;
+  for (Pair& p : pairs) {
+    ++work;
+    const VertexId target = static_cast<VertexId>(KeyHash(p.key) % n);
+    Tuple t{next_round, std::move(p)};
+    if (target == f.id()) {
+      // Self-addressed: stays in the local status variable.
+      st.staged.push_back(std::move(t));
+    } else {
+      per_target[target].push_back(std::move(t));
+    }
+  }
+  for (auto& [target, tuples] : per_target) {
+    out->Emit(target, std::move(tuples));
+  }
+  return work;
+}
+
+std::vector<Pair> MrOnAapProgram::Reduce(uint32_t r, State& st) const {
+  std::vector<Pair> mine;
+  std::vector<Tuple> keep;
+  for (Tuple& t : st.staged) {
+    if (t.round == r) {
+      mine.push_back(std::move(t.pair));
+    } else {
+      keep.push_back(std::move(t));
+    }
+  }
+  st.staged = std::move(keep);
+  return ReducePairs(rounds_[r - 1].reduce, std::move(mine));
+}
+
+double MrOnAapProgram::PEval(const Fragment& f, State& st,
+                             Emitter<Value>* out) const {
+  // PEval = mapper µ1 over this worker's input share (Theorem 4 proof).
+  const FragmentId me = f.id();
+  GRAPE_CHECK(me < inputs_.size());
+  std::vector<Pair> mapped;
+  for (const Pair& p : inputs_[me]) rounds_[0].map(p, &mapped);
+  return 1.0 + Shuffle(f, std::move(mapped), 1, st, out);
+}
+
+double MrOnAapProgram::IncEval(const Fragment& f, State& st,
+                               std::span<const UpdateEntry<Value>> updates,
+                               Emitter<Value>* out) const {
+  double work = 0;
+  uint32_t max_round = 0;
+  for (const auto& u : updates) {
+    for (const Tuple& t : u.value) {
+      ++work;
+      max_round = std::max(max_round, t.round);
+      st.staged.push_back(t);
+    }
+  }
+  for (const Tuple& t : st.staged) max_round = std::max(max_round, t.round);
+  if (max_round == 0) return work;
+
+  // Program branch selection by round tag r: reducer ρ_r, then (if r < k)
+  // mapper µ_{r+1} and another shuffle; the final reducer's output stays.
+  const uint32_t r = max_round;
+  std::vector<Pair> reduced = Reduce(r, st);
+  work += static_cast<double>(reduced.size());
+  if (r < rounds_.size()) {
+    std::vector<Pair> mapped;
+    for (const Pair& p : reduced) rounds_[r].map(p, &mapped);
+    work += Shuffle(f, std::move(mapped), r + 1, st, out);
+    // Tuples staged for round r+1 at this worker trigger no message to
+    // self; they are reduced when peers' tuples arrive or — if none come —
+    // remain to be folded in Assemble via a final local reduce.
+  } else {
+    for (Pair& p : reduced) st.final_output.push_back(std::move(p));
+  }
+  return std::max(work, 1.0);
+}
+
+MrOnAapProgram::Value MrOnAapProgram::Combine(const Value& a,
+                                              const Value& b) const {
+  Value merged = a;
+  merged.insert(merged.end(), b.begin(), b.end());
+  return merged;
+}
+
+MrOnAapProgram::ResultT MrOnAapProgram::Assemble(
+    const Partition&, const std::vector<State>& states) const {
+  std::vector<Pair> out;
+  for (const State& st : states) {
+    for (const Pair& p : st.final_output) out.push_back(p);
+    // Fold any still-staged tuples through the remaining subroutines
+    // locally (workers that received no further peer traffic).
+    State residue = st;
+    residue.final_output.clear();
+    for (uint32_t r = 1; r <= rounds_.size(); ++r) {
+      State scratch;
+      scratch.staged = residue.staged;
+      // Reduce round-r tuples.
+      std::vector<Pair> mine;
+      std::vector<Tuple> keep;
+      for (Tuple& t : scratch.staged) {
+        if (t.round == r) {
+          mine.push_back(std::move(t.pair));
+        } else {
+          keep.push_back(std::move(t));
+        }
+      }
+      if (mine.empty()) {
+        residue.staged = std::move(keep);
+        continue;
+      }
+      std::vector<Pair> reduced = ReducePairs(rounds_[r - 1].reduce,
+                                              std::move(mine));
+      if (r < rounds_.size()) {
+        std::vector<Pair> mapped;
+        for (const Pair& p : reduced) rounds_[r].map(p, &mapped);
+        for (Pair& p : mapped) keep.push_back(Tuple{r + 1, std::move(p)});
+      } else {
+        for (Pair& p : reduced) out.push_back(std::move(p));
+      }
+      residue.staged = std::move(keep);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Subroutine WordCountJob() {
+  Subroutine s;
+  s.map = [](const Pair& in, std::vector<Pair>* out) {
+    std::istringstream words(in.value);
+    std::string w;
+    while (words >> w) out->push_back(Pair{w, "1"});
+  };
+  s.reduce = [](const std::string& key, const std::vector<std::string>& vals,
+                std::vector<Pair>* out) {
+    uint64_t total = 0;
+    for (const std::string& v : vals) total += std::stoull(v);
+    out->push_back(Pair{key, std::to_string(total)});
+  };
+  return s;
+}
+
+Subroutine InvertedIndexJob() {
+  Subroutine s;
+  s.map = [](const Pair& in, std::vector<Pair>* out) {
+    std::istringstream words(in.value);
+    std::string w;
+    while (words >> w) out->push_back(Pair{w, in.key});  // word -> doc id
+  };
+  s.reduce = [](const std::string& key, const std::vector<std::string>& vals,
+                std::vector<Pair>* out) {
+    std::vector<std::string> docs = vals;
+    std::sort(docs.begin(), docs.end());
+    docs.erase(std::unique(docs.begin(), docs.end()), docs.end());
+    std::string posting;
+    for (const std::string& d : docs) {
+      if (!posting.empty()) posting += ",";
+      posting += d;
+    }
+    out->push_back(Pair{key, posting});
+  };
+  return s;
+}
+
+}  // namespace mr
+}  // namespace grape

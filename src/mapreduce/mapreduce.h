@@ -1,0 +1,121 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// MapReduce substrate + the Theorem 4 compilation of MapReduce onto AAP.
+//
+// A MapReduce algorithm A = (B_1 .. B_k), each B_r a mapper µ_r and reducer
+// ρ_r. The reference implementation runs A sequentially. MrOnAapProgram is
+// the PIE program of the Theorem 4 proof: n workers joined by a clique G_W,
+// tuples (r, key, value) carried in border status variables, subroutines
+// selected as IncEval program branches via the round tag r. Run it under
+// ModeConfig::Bsp() (the simulation maps each B_r to one superstep wave);
+// it incurs O(T) time and O(C) communication of the original algorithm.
+#ifndef GRAPEPLUS_MAPREDUCE_MAPREDUCE_H_
+#define GRAPEPLUS_MAPREDUCE_MAPREDUCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pie.h"
+#include "graph/graph.h"
+#include "partition/fragment.h"
+#include "runtime/message.h"
+
+namespace grape {
+namespace mr {
+
+struct Pair {
+  std::string key;
+  std::string value;
+  bool operator==(const Pair&) const = default;
+  auto operator<=>(const Pair&) const = default;
+};
+
+/// Mapper: pair -> pairs. Reducer: (key, values) -> pairs.
+using Mapper = std::function<void(const Pair&, std::vector<Pair>*)>;
+using Reducer = std::function<void(const std::string&,
+                                   const std::vector<std::string>&,
+                                   std::vector<Pair>*)>;
+
+struct Subroutine {
+  Mapper map;
+  Reducer reduce;
+};
+
+/// Sequential reference MapReduce (ground truth for the Theorem 4 tests).
+std::vector<Pair> RunSequential(const std::vector<Pair>& input,
+                                const std::vector<Subroutine>& rounds);
+
+/// A tuple (r, key, value) as shipped between workers (Theorem 4 proof).
+struct Tuple {
+  uint32_t round;
+  Pair pair;
+};
+
+/// The clique G_W over n worker nodes.
+Graph MakeWorkerClique(uint32_t n);
+
+/// The PIE program simulating A on AAP/GRAPE with designated messages only.
+class MrOnAapProgram {
+ public:
+  using Value = std::vector<Tuple>;  // border status variable content
+  using ResultT = std::vector<Pair>;
+  static constexpr bool kOwnerBroadcast = false;
+
+  /// `inputs[i]` is the share of the input initially placed at worker i.
+  MrOnAapProgram(std::vector<Subroutine> rounds,
+                 std::vector<std::vector<Pair>> inputs)
+      : rounds_(std::move(rounds)), inputs_(std::move(inputs)) {}
+
+  struct State {
+    /// Tuples awaiting this worker's next reducer, grouped later by key.
+    std::vector<Tuple> staged;
+    std::vector<Pair> final_output;
+  };
+
+  State Init(const Fragment& f) const;
+  double PEval(const Fragment& f, State& st, Emitter<Value>* out) const;
+  double IncEval(const Fragment& f, State& st,
+                 std::span<const UpdateEntry<Value>> updates,
+                 Emitter<Value>* out) const;
+  Value Combine(const Value& a, const Value& b) const;
+  ResultT Assemble(const Partition& p, const std::vector<State>& states) const;
+
+ private:
+  /// Routes mapper output: tuples tagged `next_round` partitioned by
+  /// hash(key) across the n workers; self-addressed tuples stage locally.
+  double Shuffle(const Fragment& f, std::vector<Pair> pairs,
+                 uint32_t next_round, State& st, Emitter<Value>* out) const;
+  /// Runs reducer ρ_r on staged round-r tuples; returns its output.
+  std::vector<Pair> Reduce(uint32_t r, State& st) const;
+
+  std::vector<Subroutine> rounds_;
+  std::vector<std::vector<Pair>> inputs_;
+};
+
+/// Canned jobs used by tests, benches and the docs.
+Subroutine WordCountJob();
+Subroutine InvertedIndexJob();
+
+}  // namespace mr
+
+/// Byte accounting for tuple-vector messages.
+template <>
+struct ValueTraits<mr::Tuple> {
+  static size_t Bytes(const mr::Tuple& t) {
+    return sizeof(uint32_t) + t.pair.key.size() + t.pair.value.size();
+  }
+};
+template <>
+struct ValueTraits<std::vector<mr::Tuple>> {
+  static size_t Bytes(const std::vector<mr::Tuple>& v) {
+    size_t b = 0;
+    for (const auto& t : v) b += ValueTraits<mr::Tuple>::Bytes(t);
+    return b;
+  }
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_MAPREDUCE_MAPREDUCE_H_

@@ -1,0 +1,162 @@
+#include "partition/fragment.h"
+
+#include <algorithm>
+
+namespace grape {
+
+/// Grants BuildPartition access to Fragment internals without exposing
+/// mutators in the public API.
+struct PartitionBuilderAccess {
+  static Fragment Build(const Graph& g, FragmentId id,
+                        const std::vector<FragmentId>& placement,
+                        std::vector<VertexId> inner);
+  static void MarkEntry(Fragment& f, LocalVertex l) { f.in_i_[l] = 1; }
+  static void SetRemoteSources(Fragment& f, std::vector<VertexId> iprime) {
+    f.iprime_ = std::move(iprime);
+  }
+};
+
+Fragment PartitionBuilderAccess::Build(const Graph& g, FragmentId id,
+                                       const std::vector<FragmentId>& placement,
+                                       std::vector<VertexId> inner) {
+  Fragment f;
+  f.id_ = id;
+  std::sort(inner.begin(), inner.end());
+  f.inner_ = std::move(inner);
+
+  // Discover outer copies (F.O), entry set (F.I via reverse pass below),
+  // exit set (F.O').
+  const uint32_t ni = static_cast<uint32_t>(f.inner_.size());
+  f.in_i_.assign(ni, 0);
+  f.in_oprime_.assign(ni, 0);
+  for (uint32_t l = 0; l < ni; ++l) {
+    f.global_to_local_.emplace(f.inner_[l], l);
+  }
+
+  std::vector<VertexId> outer;
+  for (uint32_t l = 0; l < ni; ++l) {
+    const VertexId v = f.inner_[l];
+    for (const Arc& a : g.OutEdges(v)) {
+      if (placement[a.dst] != id) {
+        outer.push_back(a.dst);
+        f.in_oprime_[l] = 1;
+      }
+    }
+  }
+  std::sort(outer.begin(), outer.end());
+  outer.erase(std::unique(outer.begin(), outer.end()), outer.end());
+  f.outer_ = std::move(outer);
+  for (uint32_t j = 0; j < f.outer_.size(); ++j) {
+    f.global_to_local_.emplace(f.outer_[j], ni + j);
+  }
+
+  // Local CSR for inner vertices.
+  f.offsets_.assign(ni + 1, 0);
+  for (uint32_t l = 0; l < ni; ++l) {
+    f.offsets_[l + 1] = f.offsets_[l] + g.OutDegree(f.inner_[l]);
+  }
+  f.arcs_.resize(f.offsets_[ni]);
+  for (uint32_t l = 0; l < ni; ++l) {
+    uint64_t cursor = f.offsets_[l];
+    for (const Arc& a : g.OutEdges(f.inner_[l])) {
+      f.arcs_[cursor++] = LocalArc{f.LocalId(a.dst), a.weight};
+    }
+  }
+  return f;
+}
+
+Partition BuildPartition(const Graph& g, std::vector<FragmentId> placement,
+                         FragmentId num_fragments) {
+  GRAPE_CHECK(placement.size() == g.num_vertices());
+  Partition p;
+  p.graph = &g;
+  p.placement = std::move(placement);
+
+  std::vector<std::vector<VertexId>> inner(num_fragments);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    GRAPE_CHECK(p.placement[v] < num_fragments)
+        << "vertex " << v << " assigned to invalid fragment";
+    inner[p.placement[v]].push_back(v);
+  }
+  p.fragments.reserve(num_fragments);
+  for (FragmentId i = 0; i < num_fragments; ++i) {
+    p.fragments.push_back(
+        PartitionBuilderAccess::Build(g, i, p.placement, std::move(inner[i])));
+  }
+
+  // Entry sets (F.I) and remote sources (F.I'): an edge (u -> v) crossing
+  // from fragment i to fragment j puts v into F_j.I and u into F_j.I'.
+  std::vector<std::vector<VertexId>> iprime(num_fragments);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const FragmentId fu = p.placement[u];
+    for (const Arc& a : g.OutEdges(u)) {
+      const FragmentId fv = p.placement[a.dst];
+      if (fu == fv) continue;
+      Fragment& fj = p.fragments[fv];
+      const LocalVertex lv = fj.LocalId(a.dst);
+      GRAPE_DCHECK(lv != Fragment::kInvalidLocal && fj.IsInner(lv));
+      PartitionBuilderAccess::MarkEntry(fj, lv);
+      iprime[fv].push_back(u);
+    }
+  }
+  for (FragmentId i = 0; i < num_fragments; ++i) {
+    auto& ip = iprime[i];
+    std::sort(ip.begin(), ip.end());
+    ip.erase(std::unique(ip.begin(), ip.end()), ip.end());
+    PartitionBuilderAccess::SetRemoteSources(p.fragments[i], std::move(ip));
+  }
+
+  // Routing index: which fragments hold a copy of each border vertex.
+  for (FragmentId i = 0; i < num_fragments; ++i) {
+    for (VertexId v : p.fragments[i].outer_vertices()) {
+      p.copy_holders[v].push_back(i);
+    }
+  }
+  for (auto& [v, holders] : p.copy_holders) std::sort(holders.begin(), holders.end());
+  return p;
+}
+
+void Partition::Recipients(VertexId v, FragmentId from, bool to_copies,
+                           std::vector<FragmentId>* out) const {
+  out->clear();
+  const FragmentId owner = placement[v];
+  if (owner != from) out->push_back(owner);
+  if (to_copies) {
+    auto it = copy_holders.find(v);
+    if (it != copy_holders.end()) {
+      for (FragmentId h : it->second) {
+        if (h != from && h != owner) out->push_back(h);
+      }
+    }
+  }
+}
+
+PartitionMetrics ComputeMetrics(const Partition& p) {
+  PartitionMetrics m;
+  std::vector<uint64_t> sizes;
+  sizes.reserve(p.fragments.size());
+  for (const Fragment& f : p.fragments) {
+    sizes.push_back(f.size());
+    m.total_border += f.num_outer();
+  }
+  if (sizes.empty()) return m;
+  std::vector<uint64_t> sorted = sizes;
+  std::sort(sorted.begin(), sorted.end());
+  const uint64_t median = sorted[sorted.size() / 2];
+  const uint64_t maxv = sorted.back();
+  m.skew = median > 0 ? static_cast<double>(maxv) / static_cast<double>(median)
+                      : 1.0;
+  uint64_t cut = 0, total = 0;
+  const Graph& g = *p.graph;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const Arc& a : g.OutEdges(u)) {
+      ++total;
+      if (p.placement[u] != p.placement[a.dst]) ++cut;
+    }
+  }
+  m.edge_cut_fraction =
+      total > 0 ? static_cast<double>(cut) / static_cast<double>(total) : 0.0;
+  return m;
+}
+
+}  // namespace grape

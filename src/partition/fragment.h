@@ -1,0 +1,137 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Edge-cut graph fragments (Section 2 of the paper).
+//
+// A strategy P partitions G into fragments (F_1 .. F_m); each F_i is a
+// subgraph holding its *inner* vertices V_i plus *outer copies* of the remote
+// endpoints of cut edges. Border sets follow the paper's definitions:
+//   F_i.I  — inner vertices with an incoming cut edge (entry points),
+//   F_i.O' — inner vertices with an outgoing cut edge,
+//   F_i.O  — outer copies: remote vertices targeted by a local cut edge,
+//   F_i.I' — remote vertices with a cut edge into F_i.
+// Local vertex ids are [0, num_inner) for inner vertices followed by
+// [num_inner, num_inner + num_outer) for outer copies.
+#ifndef GRAPEPLUS_PARTITION_FRAGMENT_H_
+#define GRAPEPLUS_PARTITION_FRAGMENT_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/common.h"
+
+namespace grape {
+
+/// Local id within a fragment.
+using LocalVertex = uint32_t;
+
+/// An arc whose target is a fragment-local id.
+struct LocalArc {
+  LocalVertex dst;
+  double weight;
+};
+
+/// One fragment F_i. Immutable once built by BuildPartition().
+class Fragment {
+ public:
+  FragmentId id() const { return id_; }
+  uint32_t num_inner() const { return static_cast<uint32_t>(inner_.size()); }
+  uint32_t num_outer() const { return static_cast<uint32_t>(outer_.size()); }
+  uint32_t num_local() const { return num_inner() + num_outer(); }
+  uint64_t num_arcs() const { return arcs_.size(); }
+  /// Fragment "size" used for skew metrics: |V_i| + |E_i|.
+  uint64_t size() const { return num_inner() + num_arcs(); }
+
+  bool IsInner(LocalVertex l) const { return l < num_inner(); }
+
+  /// Global id of a local vertex (inner or outer).
+  VertexId GlobalId(LocalVertex l) const {
+    return l < num_inner() ? inner_[l] : outer_[l - num_inner()];
+  }
+
+  /// Local id of a global vertex, or kInvalidLocal if absent.
+  static constexpr LocalVertex kInvalidLocal = 0xFFFFFFFFu;
+  LocalVertex LocalId(VertexId g) const {
+    auto it = global_to_local_.find(g);
+    return it == global_to_local_.end() ? kInvalidLocal : it->second;
+  }
+
+  /// Out-adjacency of an *inner* local vertex (outer copies carry no edges).
+  std::span<const LocalArc> OutEdges(LocalVertex l) const {
+    GRAPE_DCHECK(IsInner(l));
+    return {arcs_.data() + offsets_[l], offsets_[l + 1] - offsets_[l]};
+  }
+
+  uint64_t OutDegree(LocalVertex l) const {
+    return IsInner(l) ? offsets_[l + 1] - offsets_[l] : 0;
+  }
+
+  /// F_i.I membership for an inner vertex.
+  bool InEntrySet(LocalVertex l) const { return IsInner(l) && in_i_[l] != 0; }
+  /// F_i.O' membership for an inner vertex.
+  bool InExitSet(LocalVertex l) const {
+    return IsInner(l) && in_oprime_[l] != 0;
+  }
+
+  /// All inner global ids (sorted). V_i.
+  std::span<const VertexId> inner_vertices() const { return inner_; }
+  /// All outer-copy global ids (sorted). F_i.O.
+  std::span<const VertexId> outer_vertices() const { return outer_; }
+  /// Remote sources with an edge into this fragment (sorted). F_i.I'.
+  std::span<const VertexId> remote_sources() const { return iprime_; }
+
+ private:
+  friend struct PartitionBuilderAccess;
+  FragmentId id_ = 0;
+  std::vector<VertexId> inner_;
+  std::vector<VertexId> outer_;
+  std::vector<VertexId> iprime_;
+  std::vector<uint64_t> offsets_;
+  std::vector<LocalArc> arcs_;
+  std::vector<uint8_t> in_i_;       // indexed by inner local id
+  std::vector<uint8_t> in_oprime_;  // indexed by inner local id
+  std::unordered_map<VertexId, LocalVertex> global_to_local_;
+};
+
+/// A partitioned graph plus the routing metadata of Section 3: the index I_i
+/// that maps a border vertex to the fragments holding it.
+struct Partition {
+  const Graph* graph = nullptr;
+  /// Owner fragment of every global vertex.
+  std::vector<FragmentId> placement;
+  std::vector<Fragment> fragments;
+
+  /// For every border vertex v (a vertex that is an outer copy somewhere):
+  /// the sorted list of fragments where v appears as an outer copy.
+  std::unordered_map<VertexId, std::vector<FragmentId>> copy_holders;
+
+  FragmentId num_fragments() const {
+    return static_cast<FragmentId>(fragments.size());
+  }
+  FragmentId Owner(VertexId v) const { return placement[v]; }
+
+  /// The paper's index I_i: fragments (≠ from) that must receive an update of
+  /// border vertex v. When `to_copies` is set, the owner pushes updates back
+  /// out to all copy holders (needed when C_i = F_i.O ∪ F_i.I, e.g. CF);
+  /// otherwise updates flow copy→owner only (CC / SSSP / PageRank).
+  void Recipients(VertexId v, FragmentId from, bool to_copies,
+                  std::vector<FragmentId>* out) const;
+};
+
+/// Partition quality metrics (Section 7, Exp-4).
+struct PartitionMetrics {
+  double skew = 1.0;            // r = ||F_max|| / ||F_median||
+  double edge_cut_fraction = 0;  // cut arcs / total arcs
+  uint64_t total_border = 0;     // sum of |F_i.O|
+};
+
+/// Builds fragments + routing index from a vertex->fragment assignment.
+Partition BuildPartition(const Graph& g, std::vector<FragmentId> placement,
+                         FragmentId num_fragments);
+
+/// Computes skew / cut metrics of a partition.
+PartitionMetrics ComputeMetrics(const Partition& p);
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_PARTITION_FRAGMENT_H_

@@ -1,0 +1,80 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace grape {
+
+std::vector<FragmentId> HashPartitioner::Assign(const Graph& g,
+                                                FragmentId m) const {
+  GRAPE_CHECK(m > 0);
+  std::vector<FragmentId> placement(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    uint64_t h = (static_cast<uint64_t>(v) + seed_) * 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 29;
+    placement[v] = static_cast<FragmentId>(h % m);
+  }
+  return placement;
+}
+
+std::vector<FragmentId> RangePartitioner::Assign(const Graph& g,
+                                                 FragmentId m) const {
+  GRAPE_CHECK(m > 0);
+  const VertexId n = g.num_vertices();
+  std::vector<FragmentId> placement(n);
+  const uint64_t chunk = (static_cast<uint64_t>(n) + m - 1) / m;
+  for (VertexId v = 0; v < n; ++v) {
+    placement[v] = static_cast<FragmentId>(std::min<uint64_t>(v / chunk, m - 1));
+  }
+  return placement;
+}
+
+std::vector<FragmentId> LdgPartitioner::Assign(const Graph& g,
+                                               FragmentId m) const {
+  GRAPE_CHECK(m > 0);
+  const VertexId n = g.num_vertices();
+  std::vector<FragmentId> placement(n, kInvalidFragment);
+  std::vector<uint64_t> sizes(m, 0);
+  const double capacity =
+      slack_ * static_cast<double>(n) / static_cast<double>(m) + 1.0;
+  std::vector<double> score(m);
+  for (VertexId v = 0; v < n; ++v) {
+    std::fill(score.begin(), score.end(), 0.0);
+    for (const Arc& a : g.OutEdges(v)) {
+      if (a.dst < v && placement[a.dst] != kInvalidFragment) {
+        score[placement[a.dst]] += 1.0;
+      }
+    }
+    FragmentId best = 0;
+    double best_score = -1.0;
+    for (FragmentId i = 0; i < m; ++i) {
+      const double penalty = 1.0 - static_cast<double>(sizes[i]) / capacity;
+      const double s = (score[i] + 0.001) * penalty;
+      if (s > best_score) {
+        best_score = s;
+        best = i;
+      }
+    }
+    placement[v] = best;
+    ++sizes[best];
+  }
+  return placement;
+}
+
+std::vector<FragmentId> ExplicitPartitioner::Assign(const Graph& g,
+                                                    FragmentId m) const {
+  GRAPE_CHECK(placement_.size() == g.num_vertices());
+  for (FragmentId f : placement_) GRAPE_CHECK(f < m);
+  return placement_;
+}
+
+std::unique_ptr<Partitioner> MakePartitioner(const std::string& name) {
+  if (name == "hash") return std::make_unique<HashPartitioner>();
+  if (name == "range") return std::make_unique<RangePartitioner>();
+  if (name == "ldg") return std::make_unique<LdgPartitioner>();
+  GRAPE_LOG(Fatal) << "unknown partitioner: " << name;
+  return nullptr;
+}
+
+}  // namespace grape

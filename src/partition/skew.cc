@@ -1,0 +1,45 @@
+#include "partition/skew.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace grape {
+
+std::vector<FragmentId> InjectSkew(const Graph& g,
+                                   std::vector<FragmentId> placement,
+                                   FragmentId m, double target_skew,
+                                   uint64_t seed) {
+  GRAPE_CHECK(m >= 2) << "skew injection needs at least two fragments";
+  GRAPE_CHECK(target_skew >= 1.0);
+  std::vector<uint64_t> counts(m, 0);
+  for (FragmentId f : placement) ++counts[f];
+
+  // Target: fragment 0 should hold ~ target_skew * median of the others.
+  // Since donors shrink as we move, solve for the final sizes: moving k
+  // vertices evenly from m-1 donors leaves median ~ (n - c0 - k)/(m-1).
+  const uint64_t n = g.num_vertices();
+  const double c0 = static_cast<double>(counts[0]);
+  const double k_exact =
+      (target_skew * (static_cast<double>(n) - c0) - c0 * (m - 1.0)) /
+      (target_skew + (m - 1.0));
+  const uint64_t to_move =
+      k_exact > 0 ? static_cast<uint64_t>(k_exact) : 0;
+
+  Rng rng(seed ^ 0xC0FFEEULL);
+  // Collect movable vertices (not already on fragment 0), shuffle, move.
+  std::vector<VertexId> movable;
+  movable.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (placement[v] != 0) movable.push_back(v);
+  }
+  for (size_t i = movable.size(); i > 1; --i) {
+    std::swap(movable[i - 1], movable[rng.Uniform(i)]);
+  }
+  const uint64_t limit = std::min<uint64_t>(to_move, movable.size());
+  for (uint64_t i = 0; i < limit; ++i) placement[movable[i]] = 0;
+  return placement;
+}
+
+}  // namespace grape

@@ -1,0 +1,25 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Skew injection (Section 7, Exp-4): the paper reshuffles a portion of a
+// balanced partition to reach a target skew ratio r = ||F_max||/||F_median||,
+// deliberately creating stragglers.
+#ifndef GRAPEPLUS_PARTITION_SKEW_H_
+#define GRAPEPLUS_PARTITION_SKEW_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/fragment.h"
+
+namespace grape {
+
+/// Moves vertices from other fragments into fragment 0 until fragment 0 holds
+/// roughly `target_skew` times the median fragment's vertex count. Returns the
+/// modified placement. `seed` controls which vertices move.
+std::vector<FragmentId> InjectSkew(const Graph& g,
+                                   std::vector<FragmentId> placement,
+                                   FragmentId num_fragments,
+                                   double target_skew, uint64_t seed = 0);
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_PARTITION_SKEW_H_

@@ -1,0 +1,7 @@
+// InFlightCounter / NotifyHub are header-only; this TU anchors the component
+// so the build surface matches the module layout.
+#include "runtime/channel.h"
+
+namespace grape {
+// Intentionally empty.
+}  // namespace grape

@@ -1,0 +1,68 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Point-to-point push-based channels for the threaded engine (Section 3:
+// "a worker P_i can send a message M(i,j) directly to worker P_j ... P_j can
+// receive messages at any time"), plus global in-flight accounting used for
+// exact BSP barriers and termination detection.
+#ifndef GRAPEPLUS_RUNTIME_CHANNEL_H_
+#define GRAPEPLUS_RUNTIME_CHANNEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "runtime/message.h"
+#include "util/common.h"
+
+namespace grape {
+
+/// Counts messages sent but not yet folded into a destination buffer.
+/// `Quiescent()` together with all-buffers-empty implies global quiescence.
+class InFlightCounter {
+ public:
+  void OnSend(uint64_t n = 1) { count_.fetch_add(n, std::memory_order_acq_rel); }
+  void OnDeliver(uint64_t n = 1) {
+    count_.fetch_sub(n, std::memory_order_acq_rel);
+  }
+  bool Quiescent() const { return count_.load(std::memory_order_acquire) == 0; }
+  uint64_t count() const { return count_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+};
+
+/// A notification hub: worker threads block here when they have no runnable
+/// virtual worker; message delivery and global state changes ring the bell.
+class NotifyHub {
+ public:
+  /// Wakes all waiters.
+  void NotifyAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++epoch_;
+    cv_.notify_all();
+  }
+
+  /// Blocks until notified after `seen_epoch`, or `timeout_ms` elapses.
+  /// Returns the current epoch.
+  uint64_t WaitFor(uint64_t seen_epoch, int64_t timeout_ms) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                 [&] { return epoch_ != seen_epoch; });
+    return epoch_;
+  }
+
+  uint64_t Epoch() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return epoch_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_RUNTIME_CHANNEL_H_

@@ -1,0 +1,161 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Designated messages (Section 3): triples (x, val, r) grouped per
+// destination fragment, and the per-worker buffer B_x̄i that stores incoming
+// updates until the next round of IncEval drains it.
+#ifndef GRAPEPLUS_RUNTIME_MESSAGE_H_
+#define GRAPEPLUS_RUNTIME_MESSAGE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/common.h"
+
+namespace grape {
+
+/// One update parameter change: (x, val, r) of the paper where x is the
+/// status variable of vertex `vid`.
+template <typename V>
+struct UpdateEntry {
+  VertexId vid;
+  V value;
+  Round round;
+};
+
+/// A designated message M(i, j).
+template <typename V>
+struct Message {
+  FragmentId from = kInvalidFragment;
+  FragmentId to = kInvalidFragment;
+  Round round = 0;  // the round at which the values were produced
+  std::vector<UpdateEntry<V>> entries;
+  /// Chandy–Lamport-style checkpoint token id carried by this message
+  /// (Section 6); kNoToken when checkpointing is idle.
+  static constexpr uint64_t kNoToken = 0;
+  uint64_t token = kNoToken;
+};
+
+/// Payload size model used by communication accounting (Exp-2).
+template <typename V>
+struct ValueTraits {
+  static size_t Bytes(const V&) { return sizeof(V); }
+};
+
+template <typename V>
+size_t MessageBytes(const Message<V>& m) {
+  size_t b = 0;
+  for (const auto& e : m.entries) {
+    b += sizeof(VertexId) + sizeof(Round) + ValueTraits<V>::Bytes(e.value);
+  }
+  return b;
+}
+
+/// The buffer B_x̄i of worker P_i. Incoming entries are merged per vertex with
+/// the program's aggregate function faggr as they arrive (equivalent to
+/// aggregating at drain time, since faggr is associative & commutative), so a
+/// drain produces at most one update per vertex. Tracks the staleness
+/// signals the delay-stretch controller needs: number of buffered messages
+/// and the set of distinct senders (the paper's η_i).
+template <typename V>
+class UpdateBuffer {
+ public:
+  UpdateBuffer() : mu_(std::make_unique<std::mutex>()) {}
+  UpdateBuffer(UpdateBuffer&&) noexcept = default;
+  UpdateBuffer& operator=(UpdateBuffer&&) noexcept = default;
+
+  /// Appends a message, folding entries into the pending map via `combine`.
+  template <typename Combine>
+  void Append(const Message<V>& msg, Combine&& combine) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    for (const auto& e : msg.entries) {
+      auto [it, inserted] = pending_.try_emplace(e.vid, e);
+      if (!inserted) {
+        it->second.value = combine(it->second.value, e.value);
+        it->second.round = std::max(it->second.round, e.round);
+      }
+    }
+    ++num_messages_;
+    senders_.insert(msg.from);
+  }
+
+  /// Drains all pending updates (cleared afterwards). Returns entries in
+  /// unspecified but deterministic-per-content order.
+  std::vector<UpdateEntry<V>> Drain() {
+    std::lock_guard<std::mutex> lock(*mu_);
+    std::vector<UpdateEntry<V>> out;
+    out.reserve(pending_.size());
+    for (auto& [vid, e] : pending_) out.push_back(e);
+    pending_.clear();
+    num_messages_ = 0;
+    senders_.clear();
+    // Deterministic order regardless of hash-map iteration.
+    std::sort(out.begin(), out.end(),
+              [](const UpdateEntry<V>& a, const UpdateEntry<V>& b) {
+                return a.vid < b.vid;
+              });
+    return out;
+  }
+
+  bool Empty() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return pending_.empty();
+  }
+
+  /// Number of buffered (un-drained) messages — the paper's η_i.
+  uint64_t NumMessages() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return num_messages_;
+  }
+
+  /// Number of distinct workers with buffered messages.
+  uint64_t NumDistinctSenders() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return senders_.size();
+  }
+
+  uint64_t NumPendingVertices() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return pending_.size();
+  }
+
+  /// Copy of the pending entries without clearing (checkpointing support).
+  std::vector<UpdateEntry<V>> Snapshot() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    std::vector<UpdateEntry<V>> out;
+    out.reserve(pending_.size());
+    for (const auto& [vid, e] : pending_) out.push_back(e);
+    std::sort(out.begin(), out.end(),
+              [](const UpdateEntry<V>& a, const UpdateEntry<V>& b) {
+                return a.vid < b.vid;
+              });
+    return out;
+  }
+
+  /// Replaces the buffer content with `entries` (recovery support).
+  template <typename Combine>
+  void Reset(const std::vector<UpdateEntry<V>>& entries, Combine&& combine) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    pending_.clear();
+    senders_.clear();
+    num_messages_ = 0;
+    for (const auto& e : entries) {
+      auto [it, inserted] = pending_.try_emplace(e.vid, e);
+      if (!inserted) it->second.value = combine(it->second.value, e.value);
+      ++num_messages_;
+    }
+  }
+
+ private:
+  mutable std::unique_ptr<std::mutex> mu_;
+  std::unordered_map<VertexId, UpdateEntry<V>> pending_;
+  uint64_t num_messages_ = 0;
+  std::unordered_set<FragmentId> senders_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_RUNTIME_MESSAGE_H_

@@ -1,0 +1,54 @@
+#include "runtime/sim_clock.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace grape {
+
+SimClock::EventId SimClock::Schedule(SimTime t, Callback fn) {
+  GRAPE_DCHECK(t >= now_) << "cannot schedule in the past: " << t << " < " << now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(t, now_), id, std::move(fn)});
+  ++live_events_;
+  return id;
+}
+
+void SimClock::Cancel(EventId id) {
+  cancelled_.push_back(id);
+  if (live_events_ > 0) --live_events_;
+}
+
+bool SimClock::IsCancelled(EventId id) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) return false;
+  cancelled_.erase(it);
+  return true;
+}
+
+bool SimClock::Step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (IsCancelled(ev.id)) continue;
+    --live_events_;
+    now_ = ev.t;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void SimClock::DropPending() {
+  while (!queue_.empty()) queue_.pop();
+  cancelled_.clear();
+  live_events_ = 0;
+}
+
+uint64_t SimClock::Run(uint64_t max_events) {
+  uint64_t n = 0;
+  while (n < max_events && Step()) ++n;
+  return n;
+}
+
+}  // namespace grape

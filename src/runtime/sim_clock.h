@@ -1,0 +1,66 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Discrete-event simulation clock. The AAP sim engine schedules round
+// completions, message deliveries and delay-stretch wake-ups as events;
+// processing order is (time, sequence) so runs are fully deterministic.
+#ifndef GRAPEPLUS_RUNTIME_SIM_CLOCK_H_
+#define GRAPEPLUS_RUNTIME_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/common.h"
+
+namespace grape {
+
+/// Deterministic event queue over virtual time.
+class SimClock {
+ public:
+  using EventId = uint64_t;
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `t` (must be >= Now()). Returns an id
+  /// that can be cancelled.
+  EventId Schedule(SimTime t, Callback fn);
+
+  /// Cancels a scheduled event; no-op if it already ran or was cancelled.
+  void Cancel(EventId id);
+
+  /// Runs events in (time, insertion) order until the queue is empty or
+  /// `max_events` have been processed. Returns number of events processed.
+  uint64_t Run(uint64_t max_events = UINT64_MAX);
+
+  /// Processes the single next event; false if queue empty.
+  bool Step();
+
+  /// Discards all pending events (failure-recovery support). Time keeps its
+  /// current value.
+  void DropPending();
+
+  SimTime Now() const { return now_; }
+  bool Empty() const { return live_events_ == 0; }
+  uint64_t num_pending() const { return live_events_; }
+
+ private:
+  struct Event {
+    SimTime t;
+    EventId id;
+    Callback fn;
+    bool operator>(const Event& o) const {
+      if (t != o.t) return t > o.t;
+      return id > o.id;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<EventId> cancelled_;  // sorted lazily; small
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  uint64_t live_events_ = 0;
+
+  bool IsCancelled(EventId id);
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_RUNTIME_SIM_CLOCK_H_

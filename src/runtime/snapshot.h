@@ -1,0 +1,61 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Checkpointing for asynchronous runs (Section 6). GRAPE+ adapts
+// Chandy–Lamport snapshots: the master broadcasts a checkpoint request with a
+// token; a worker that has not yet seen the token snapshots its state before
+// sending further messages and attaches the token to subsequent messages;
+// late messages arriving without the token are folded into the last snapshot.
+//
+// This component does the token bookkeeping; engines own the (typed) state
+// blobs and register them here via ids.
+#ifndef GRAPEPLUS_RUNTIME_SNAPSHOT_H_
+#define GRAPEPLUS_RUNTIME_SNAPSHOT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/common.h"
+
+namespace grape {
+
+class CheckpointCoordinator {
+ public:
+  explicit CheckpointCoordinator(uint32_t num_workers);
+
+  /// Master: begins a checkpoint; returns the fresh token (> 0).
+  uint64_t StartCheckpoint();
+
+  /// The token of the checkpoint in progress, or 0 if none.
+  uint64_t current_token() const;
+
+  /// Worker-side: called when worker `w` observes `token` (via the broadcast
+  /// or on an incoming message). Returns true exactly once per (w, token):
+  /// the caller must snapshot its local state *now*, before sending anything.
+  bool ShouldSnapshot(FragmentId w, uint64_t token);
+
+  /// True iff worker `w` has already snapshotted for `token`.
+  bool HasSnapshotted(FragmentId w, uint64_t token) const;
+
+  /// Worker-side: a message without the current token arrived after `w`
+  /// snapshotted — the engine folds it into the snapshot and reports it here
+  /// for accounting.
+  void NoteLateMessage(FragmentId w, uint64_t token);
+
+  /// True when every worker has snapshotted for `token`.
+  bool Complete(uint64_t token) const;
+
+  uint64_t late_messages(uint64_t token) const;
+
+ private:
+  mutable std::mutex mu_;
+  uint32_t num_workers_;
+  uint64_t next_token_ = 1;
+  uint64_t current_ = 0;
+  std::vector<uint64_t> snapshotted_token_;  // per worker: last token taken
+  uint64_t late_count_ = 0;
+  uint64_t late_token_ = 0;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_RUNTIME_SNAPSHOT_H_

@@ -1,0 +1,71 @@
+#include "runtime/stats_collector.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace grape {
+
+uint64_t RunStats::total_rounds() const {
+  uint64_t s = 0;
+  for (const auto& w : workers) s += w.rounds;
+  return s;
+}
+
+uint64_t RunStats::total_msgs() const {
+  uint64_t s = 0;
+  for (const auto& w : workers) s += w.msgs_sent;
+  return s;
+}
+
+uint64_t RunStats::total_bytes() const {
+  uint64_t s = 0;
+  for (const auto& w : workers) s += w.bytes_sent;
+  return s;
+}
+
+double RunStats::total_busy() const {
+  double s = 0;
+  for (const auto& w : workers) s += w.busy_time;
+  return s;
+}
+
+double RunStats::total_idle() const {
+  double s = 0;
+  for (const auto& w : workers) s += w.idle_time;
+  return s;
+}
+
+double RunStats::total_suspended() const {
+  double s = 0;
+  for (const auto& w : workers) s += w.suspended_time;
+  return s;
+}
+
+uint64_t RunStats::max_rounds() const {
+  uint64_t s = 0;
+  for (const auto& w : workers) s = std::max(s, w.rounds);
+  return s;
+}
+
+uint64_t RunStats::straggler_rounds() const {
+  double max_busy = -1.0;
+  uint64_t rounds = 0;
+  for (const auto& w : workers) {
+    if (w.busy_time > max_busy) {
+      max_busy = w.busy_time;
+      rounds = w.rounds;
+    }
+  }
+  return rounds;
+}
+
+std::string RunStats::ToString() const {
+  std::ostringstream os;
+  os << "makespan=" << makespan << " rounds=" << total_rounds()
+     << " max_rounds=" << max_rounds() << " msgs=" << total_msgs()
+     << " bytes=" << total_bytes() << " busy=" << total_busy()
+     << " idle=" << total_idle() << " suspended=" << total_suspended();
+  return os.str();
+}
+
+}  // namespace grape

@@ -1,0 +1,51 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// The statistics collector of Section 6: per-worker counters gathered during
+// a run (messages, bytes, rounds, busy/idle time) feeding both the
+// delay-stretch controller and the experiment reports (Exp-1/Exp-2 columns).
+#ifndef GRAPEPLUS_RUNTIME_STATS_COLLECTOR_H_
+#define GRAPEPLUS_RUNTIME_STATS_COLLECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace grape {
+
+/// Counters for one (virtual) worker.
+struct WorkerStats {
+  uint64_t rounds = 0;           // IncEval invocations (PEval not counted)
+  uint64_t msgs_sent = 0;        // designated messages M(i,j)
+  uint64_t msgs_received = 0;
+  uint64_t entries_sent = 0;     // individual (x, val, r) triples
+  uint64_t bytes_sent = 0;
+  uint64_t updates_applied = 0;  // buffer entries consumed by IncEval
+  double busy_time = 0.0;        // PEval + IncEval compute time
+  double idle_time = 0.0;        // waiting with an empty buffer
+  double suspended_time = 0.0;   // held by the delay stretch / staleness bound
+  double work_units = 0.0;       // program-reported work (edges relaxed, ...)
+};
+
+/// Aggregate view across workers.
+struct RunStats {
+  std::vector<WorkerStats> workers;
+  double makespan = 0.0;  // virtual or wall time of the whole run
+
+  uint64_t total_rounds() const;
+  uint64_t total_msgs() const;
+  uint64_t total_bytes() const;
+  double total_busy() const;
+  double total_idle() const;
+  double total_suspended() const;
+  uint64_t max_rounds() const;
+  /// Straggler = worker with the most busy time; returns its round count
+  /// (the quantity the paper tracks in the Fig. 7 case study).
+  uint64_t straggler_rounds() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_RUNTIME_STATS_COLLECTOR_H_

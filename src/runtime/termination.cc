@@ -1,0 +1,44 @@
+#include "runtime/termination.h"
+
+namespace grape {
+
+TerminationDetector::TerminationDetector(uint32_t num_workers) {
+  inactive_.reserve(num_workers);
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    inactive_.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+}
+
+void TerminationDetector::SetActive(FragmentId w) {
+  inactive_[w]->store(false, std::memory_order_release);
+}
+
+void TerminationDetector::SetInactive(FragmentId w) {
+  inactive_[w]->store(true, std::memory_order_release);
+}
+
+bool TerminationDetector::IsInactive(FragmentId w) const {
+  return inactive_[w]->load(std::memory_order_acquire);
+}
+
+bool TerminationDetector::AllInactive() const {
+  for (const auto& f : inactive_) {
+    if (!f->load(std::memory_order_acquire)) return false;
+  }
+  return true;
+}
+
+bool TerminationDetector::TryTerminate(const InFlightCounter& inflight) {
+  ++probes_;
+  // Phase 1: the `inactive` census. In-flight messages would re-activate a
+  // worker, so quiescence must hold as well.
+  if (!AllInactive() || !inflight.Quiescent()) return false;
+  // Phase 2: `terminate` broadcast; each worker acks iff still inactive.
+  // (A message delivered between the phases flips its target to active,
+  // which models that worker answering `wait`.)
+  if (!AllInactive() || !inflight.Quiescent()) return false;
+  stop_.store(true, std::memory_order_release);
+  return true;
+}
+
+}  // namespace grape

@@ -1,0 +1,55 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// The master/worker termination protocol of Section 3:
+//   - after a round, a worker whose buffer is empty flags `inactive`;
+//   - when all workers are inactive the master broadcasts `terminate`;
+//   - workers answer `ack` (still inactive) or `wait` (reactivated);
+//   - on any `wait` the incremental phase resumes; on all `ack` the master
+//     pulls partial results and applies Assemble.
+#ifndef GRAPEPLUS_RUNTIME_TERMINATION_H_
+#define GRAPEPLUS_RUNTIME_TERMINATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/channel.h"
+#include "util/common.h"
+
+namespace grape {
+
+class TerminationDetector {
+ public:
+  explicit TerminationDetector(uint32_t num_workers);
+
+  /// Worker-side: mark worker active (a message arrived / a round started).
+  void SetActive(FragmentId w);
+  /// Worker-side: mark worker inactive (buffer empty after a round).
+  void SetInactive(FragmentId w);
+  bool IsInactive(FragmentId w) const;
+
+  /// Master-side: the two-phase probe. Phase 1 (the `inactive` census):
+  /// all workers inactive and no in-flight messages. Phase 2 (the
+  /// `terminate` broadcast + `ack`/`wait` poll): re-verify; any worker that
+  /// re-activated in between answers `wait` and the probe fails.
+  bool TryTerminate(const InFlightCounter& inflight);
+
+  /// True once a probe succeeded; workers exit their loops.
+  bool ShouldStop() const { return stop_.load(std::memory_order_acquire); }
+
+  /// Unconditional stop (failure injection / tests).
+  void ForceStop() { stop_.store(true, std::memory_order_release); }
+
+  uint32_t num_workers() const { return static_cast<uint32_t>(inactive_.size()); }
+  uint64_t probes_attempted() const { return probes_; }
+
+ private:
+  bool AllInactive() const;
+  std::vector<std::unique_ptr<std::atomic<bool>>> inactive_;
+  std::atomic<bool> stop_{false};
+  uint64_t probes_ = 0;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_RUNTIME_TERMINATION_H_

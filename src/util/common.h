@@ -1,0 +1,38 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Common type aliases and small helpers shared across the library.
+#ifndef GRAPEPLUS_UTIL_COMMON_H_
+#define GRAPEPLUS_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace grape {
+
+/// Global vertex identifier. Graphs in this reproduction are container-scale,
+/// so 32 bits suffice; the type is centralised so it can be widened.
+using VertexId = uint32_t;
+
+/// Identifier of a fragment / virtual worker (the paper's P_i).
+using FragmentId = uint32_t;
+
+/// Round counter (the r in the paper's messages (x, val, r)).
+using Round = int32_t;
+
+/// Virtual time used by the discrete-event runtime, in abstract "time units"
+/// (the unit of Fig. 1: one unit = one message hop).
+using SimTime = double;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr FragmentId kInvalidFragment =
+    std::numeric_limits<FragmentId>::max();
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Disallow copy & assign; inherit privately or place in class body via macro.
+#define GRAPE_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;            \
+  TypeName& operator=(const TypeName&) = delete
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_UTIL_COMMON_H_

@@ -1,0 +1,71 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Tiny leveled logger + CHECK macros. Thread safe, writes to stderr.
+#ifndef GRAPEPLUS_UTIL_LOGGING_H_
+#define GRAPEPLUS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace grape {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // Flushes; aborts on kFatal.
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log stream when the level is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+/// Turns an ostream expression into void so both ?: branches agree.
+/// operator& binds looser than operator<<, so the stream chain runs first.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define GRAPE_LOG(level)                                                   \
+  (::grape::LogLevel::k##level < ::grape::GetLogLevel())                   \
+      ? (void)0                                                            \
+      : ::grape::internal::Voidify() &                                    \
+            ::grape::internal::LogMessage(::grape::LogLevel::k##level,     \
+                                          __FILE__, __LINE__)              \
+                .stream()
+
+#define GRAPE_LOG_STREAM(level) \
+  ::grape::internal::LogMessage(::grape::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+#define GRAPE_CHECK(cond)                                                      \
+  if (!(cond))                                                                 \
+  ::grape::internal::LogMessage(::grape::LogLevel::kFatal, __FILE__, __LINE__) \
+      .stream()                                                                \
+      << "Check failed: " #cond " "
+
+#define GRAPE_CHECK_OK(expr)                            \
+  do {                                                  \
+    ::grape::Status _s = (expr);                        \
+    GRAPE_CHECK(_s.ok()) << _s.ToString();              \
+  } while (0)
+
+#define GRAPE_DCHECK(cond) GRAPE_CHECK(cond)
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_UTIL_LOGGING_H_

@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace grape {
+
+void OnlineStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void RateEstimator::OnEvent(double t, uint64_t count) {
+  total_ += count;
+  if (has_last_ && t > last_t_) {
+    // Average gap per single event within the batch.
+    gap_ema_.Add((t - last_t_) / static_cast<double>(count));
+  }
+  last_t_ = t;
+  has_last_ = true;
+}
+
+double RateEstimator::RatePerUnit() const {
+  if (!gap_ema_.initialized() || gap_ema_.value() <= 0.0) return 0.0;
+  return 1.0 / gap_ema_.value();
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)),
+      buckets_(buckets, 0) {
+  GRAPE_CHECK(hi > lo) << "Histogram range must be non-empty";
+  GRAPE_CHECK(buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    size_t idx = static_cast<size_t>((x - lo_) / bucket_width_);
+    if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+    ++buckets_[idx];
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cum + static_cast<double>(buckets_[i]);
+    if (next >= target && buckets_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(buckets_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * bucket_width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToAscii(size_t width) const {
+  std::ostringstream os;
+  uint64_t peak = 1;
+  for (uint64_t b : buckets_) peak = std::max(peak, b);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double b_lo = lo_ + static_cast<double>(i) * bucket_width_;
+    const size_t bar =
+        static_cast<size_t>(static_cast<double>(buckets_[i]) /
+                            static_cast<double>(peak) * static_cast<double>(width));
+    os << "[" << b_lo << ", " << b_lo + bucket_width_ << ") "
+       << std::string(bar, '#') << " " << buckets_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace grape

@@ -1,0 +1,100 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Online statistics: mean/variance accumulator, EMA rate estimator and a
+// fixed-bucket histogram.  The AAP delay-stretch controller (Eq. 1 of the
+// paper) uses the EMA estimators for predicted round time t_i and message
+// arrival rate s_i.
+#ifndef GRAPEPLUS_UTIL_STATS_H_
+#define GRAPEPLUS_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grape {
+
+/// Welford single-pass mean/variance.
+class OnlineStats {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exponential moving average with configurable smoothing factor.
+/// Used to predict per-round running time and message arrival rates.
+class Ema {
+ public:
+  explicit Ema(double alpha = 0.3) : alpha_(alpha) {}
+  void Add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+    ++n_;
+  }
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  size_t count() const { return n_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+  size_t n_ = 0;
+};
+
+/// Estimates an event rate (events per unit time) from timestamped arrivals,
+/// as an EMA over inter-arrival gaps. The paper's s_i (message arrival rate).
+class RateEstimator {
+ public:
+  explicit RateEstimator(double alpha = 0.3) : gap_ema_(alpha) {}
+  /// Record an event (batch of `count` arrivals) at time `t`.
+  void OnEvent(double t, uint64_t count = 1);
+  /// Events per time unit; 0 if fewer than two events seen.
+  double RatePerUnit() const;
+  uint64_t total_events() const { return total_; }
+
+ private:
+  Ema gap_ema_;
+  double last_t_ = 0.0;
+  bool has_last_ = false;
+  uint64_t total_ = 0;
+};
+
+/// Linear fixed-width histogram over [lo, hi); under/overflow buckets kept.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+  void Add(double x);
+  size_t count() const { return count_; }
+  /// Approximate quantile in [0,1] by linear interpolation within buckets.
+  double Quantile(double q) const;
+  std::string ToAscii(size_t width = 40) const;
+
+ private:
+  double lo_, hi_, bucket_width_;
+  std::vector<uint64_t> buckets_;
+  uint64_t underflow_ = 0, overflow_ = 0;
+  size_t count_ = 0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_UTIL_STATS_H_

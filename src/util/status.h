@@ -1,0 +1,107 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Minimal Status / StatusOr error propagation, Arrow/Abseil flavoured.
+#ifndef GRAPEPLUS_UTIL_STATUS_H_
+#define GRAPEPLUS_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace grape {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// Lightweight error-carrying result for fallible library calls.  The
+/// reproduction avoids exceptions on hot paths (Google style), so loaders,
+/// partitioners and engines return Status / StatusOr.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+ private:
+  static const char* CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kIoError: return "IoError";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A Status or a value of type T.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status s) : rep_(std::move(s)) {}          // NOLINT
+  StatusOr(T value) : rep_(std::move(value)) {}       // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+  T& value() { return std::get<T>(rep_); }
+  const T& value() const { return std::get<T>(rep_); }
+  T&& ValueOrDie() && { return std::move(std::get<T>(rep_)); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+#define GRAPE_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::grape::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_UTIL_STATUS_H_

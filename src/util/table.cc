@@ -1,0 +1,91 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace grape {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  GRAPE_CHECK(row.size() == header_.size())
+      << "row arity " << row.size() << " != header arity " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string AsciiTable::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::ostream& os) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  std::ostringstream os;
+  emit_row(header_, os);
+  os << "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row, os);
+  return os.str();
+}
+
+std::string AsciiTable::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string RenderGantt(const std::vector<GanttSpan>& spans, int lanes,
+                        double t_end, int width) {
+  if (t_end <= 0.0 || lanes <= 0) return "";
+  std::vector<std::string> rows(static_cast<size_t>(lanes),
+                                std::string(static_cast<size_t>(width), '.'));
+  const double scale = static_cast<double>(width) / t_end;
+  for (const auto& s : spans) {
+    if (s.lane < 0 || s.lane >= lanes) continue;
+    int a = static_cast<int>(s.start * scale);
+    int b = static_cast<int>(s.end * scale);
+    a = std::clamp(a, 0, width - 1);
+    b = std::clamp(b, a + 1, width);
+    for (int i = a; i < b; ++i) {
+      rows[static_cast<size_t>(s.lane)][static_cast<size_t>(i)] = s.glyph;
+    }
+  }
+  std::ostringstream os;
+  for (int l = 0; l < lanes; ++l) {
+    char label[16];
+    std::snprintf(label, sizeof(label), "P%-3d ", l);
+    os << label << rows[static_cast<size_t>(l)] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace grape

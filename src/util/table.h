@@ -1,0 +1,47 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// ASCII rendering used by the benchmark harnesses: aligned tables (for the
+// paper's Table 1 / Fig 6 series) and Gantt charts (for the paper's Fig 1 and
+// Fig 7 timing diagrams), plus CSV emission.
+#ifndef GRAPEPLUS_UTIL_TABLE_H_
+#define GRAPEPLUS_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace grape {
+
+/// Column-aligned ASCII table builder.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Adds a row; must match header arity.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  std::string ToString() const;
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One bar on a Gantt chart: a half-open busy interval of one lane (worker).
+struct GanttSpan {
+  int lane = 0;
+  double start = 0.0;
+  double end = 0.0;
+  char glyph = '#';
+};
+
+/// Renders worker busy intervals as an ASCII Gantt chart, one text row per
+/// lane, time rescaled to `width` columns. Idle time renders as '.'.
+std::string RenderGantt(const std::vector<GanttSpan>& spans, int lanes,
+                        double t_end, int width = 96);
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_UTIL_TABLE_H_

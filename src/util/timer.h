@@ -1,0 +1,27 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Wall-clock stopwatch for the threaded engine and benches.
+#ifndef GRAPEPLUS_UTIL_TIMER_H_
+#define GRAPEPLUS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace grape {
+
+/// Monotonic stopwatch. Seconds as double.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+  void Restart() { start_ = Clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_UTIL_TIMER_H_

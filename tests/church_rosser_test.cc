@@ -1,0 +1,124 @@
+// The Church–Rosser property (Theorem 2): all asynchronous runs of a PIE
+// program satisfying T1/T2/T3 converge to the same result. We randomise the
+// schedule aggressively — per-round compute jitter, different worker speeds,
+// message latencies and modes — and require bit-identical fixpoints for
+// CC / SSSP / BFS and tolerance-identical scores for PageRank.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "algos/bfs.h"
+#include "algos/cc.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "core/sim_engine.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+
+namespace grape {
+namespace {
+
+struct World {
+  Graph graph;
+  Partition partition;
+};
+
+World MakeWorld() {
+  RmatOptions o;
+  o.num_vertices = 512;
+  o.num_edges = 2600;
+  o.directed = false;
+  o.weighted = true;
+  o.min_weight = 1.0;
+  o.max_weight = 5.0;
+  o.seed = 77;
+  World w;
+  w.graph = MakeRmat(o);
+  w.partition = LdgPartitioner().Partition_(w.graph, 7);
+  return w;
+}
+
+EngineConfig RandomisedConfig(Mode mode, uint64_t seed) {
+  EngineConfig cfg;
+  switch (mode) {
+    case Mode::kBsp: cfg.mode = ModeConfig::Bsp(); break;
+    case Mode::kAp: cfg.mode = ModeConfig::Ap(); break;
+    case Mode::kSsp: cfg.mode = ModeConfig::Ssp(1 + seed % 4); break;
+    case Mode::kAap: cfg.mode = ModeConfig::Aap(seed % 3); break;
+    case Mode::kHsync: cfg.mode = ModeConfig::Hsync(); break;
+  }
+  cfg.seed = seed;
+  cfg.compute_jitter = 0.6;
+  Rng rng(seed * 1331);
+  cfg.speed_factors.resize(7);
+  for (double& s : cfg.speed_factors) s = rng.UniformDouble(0.5, 6.0);
+  cfg.msg_latency = rng.UniformDouble(0.1, 3.0);
+  return cfg;
+}
+
+class ChurchRosser
+    : public ::testing::TestWithParam<std::tuple<Mode, uint64_t>> {};
+
+TEST_P(ChurchRosser, CcAllSchedulesSameFixpoint) {
+  const auto [mode, seed] = GetParam();
+  static const World w = MakeWorld();
+  static const auto truth = seq::ConnectedComponents(w.graph);
+  SimEngine<CcProgram> engine(w.partition, CcProgram{},
+                              RandomisedConfig(mode, seed));
+  auto r = engine.Run();
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.result, truth);
+}
+
+TEST_P(ChurchRosser, SsspAllSchedulesSameFixpoint) {
+  const auto [mode, seed] = GetParam();
+  static const World w = MakeWorld();
+  static const auto truth = seq::Sssp(w.graph, 3);
+  SimEngine<SsspProgram> engine(w.partition, SsspProgram(3),
+                                RandomisedConfig(mode, seed));
+  auto r = engine.Run();
+  ASSERT_TRUE(r.converged);
+  for (size_t v = 0; v < truth.size(); ++v) {
+    ASSERT_DOUBLE_EQ(r.result[v], truth[v]) << "v=" << v;
+  }
+}
+
+TEST_P(ChurchRosser, BfsAllSchedulesSameFixpoint) {
+  const auto [mode, seed] = GetParam();
+  static const World w = MakeWorld();
+  static const auto truth = seq::BfsLevels(w.graph, 0);
+  SimEngine<BfsProgram> engine(w.partition, BfsProgram(0),
+                               RandomisedConfig(mode, seed));
+  auto r = engine.Run();
+  ASSERT_TRUE(r.converged);
+  for (size_t v = 0; v < truth.size(); ++v) {
+    ASSERT_EQ(r.result[v], truth[v]) << "v=" << v;
+  }
+}
+
+TEST_P(ChurchRosser, PageRankSchedulesAgreeWithinTolerance) {
+  const auto [mode, seed] = GetParam();
+  static const World w = MakeWorld();
+  static const auto truth = seq::PageRank(w.graph, 0.85, 1e-10);
+  SimEngine<PageRankProgram> engine(w.partition,
+                                    PageRankProgram(0.85, 1e-8),
+                                    RandomisedConfig(mode, seed));
+  auto r = engine.Run();
+  ASSERT_TRUE(r.converged);
+  for (size_t v = 0; v < truth.size(); ++v) {
+    ASSERT_NEAR(r.result[v], truth[v], 5e-3) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulesByMode, ChurchRosser,
+    ::testing::Combine(::testing::Values(Mode::kBsp, Mode::kAp, Mode::kSsp,
+                                         Mode::kAap, Mode::kHsync),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const auto& info) {
+      return ModeName(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace grape

@@ -1,0 +1,180 @@
+// Unit tests for the delay-stretch controller δ (Eq. 1): the BSP/AP/SSP
+// special cases of Section 3, the AAP bound adaptation L_i, idle-time
+// capping, and the Hsync switching rules.
+#include <gtest/gtest.h>
+
+#include "core/delay_stretch.h"
+
+namespace grape {
+namespace {
+
+using Kind = DelayDecision::Kind;
+
+std::vector<uint8_t> AllRelevant(uint32_t n) {
+  return std::vector<uint8_t>(n, 1);
+}
+
+TEST(DelayStretch, EmptyBufferAlwaysSuspends) {
+  for (Mode mode : {Mode::kBsp, Mode::kAp, Mode::kSsp, Mode::kAap}) {
+    ModeConfig cfg;
+    cfg.mode = mode;
+    DelayStretchController c(cfg, 2);
+    EXPECT_EQ(c.Decide(0, 0.0, /*eta=*/0, 0, AllRelevant(2)).kind,
+              Kind::kSuspend)
+        << ModeName(mode);
+  }
+}
+
+TEST(DelayStretch, ApAlwaysRunsWithMessages) {
+  DelayStretchController c(ModeConfig::Ap(), 3);
+  // Even with wildly uneven progress, AP runs as soon as η >= 1.
+  for (int r = 0; r < 10; ++r) c.OnRoundEnd(0, r + 1.0, 1.0);
+  EXPECT_EQ(c.Decide(0, 11.0, 1, 1, AllRelevant(3)).kind, Kind::kRunNow);
+}
+
+TEST(DelayStretch, BspIsBarrierMode) {
+  DelayStretchController c(ModeConfig::Bsp(), 2);
+  EXPECT_TRUE(c.BarrierMode());
+  // δ defers to the engine barrier: always suspend.
+  EXPECT_EQ(c.Decide(0, 0.0, 5, 1, AllRelevant(2)).kind, Kind::kSuspend);
+}
+
+TEST(DelayStretch, SspEnforcesTheLeadBound) {
+  DelayStretchController c(ModeConfig::Ssp(2), 2);
+  // Worker 0 completes 3 rounds; worker 1 none: lead 3 > c=2 -> suspend.
+  for (int r = 0; r < 3; ++r) c.OnRoundEnd(0, r + 1.0, 1.0);
+  EXPECT_EQ(c.Decide(0, 4.0, 1, 1, AllRelevant(2)).kind, Kind::kSuspend);
+  // Worker 1 must run (it IS the r_min holder).
+  EXPECT_EQ(c.Decide(1, 4.0, 1, 1, AllRelevant(2)).kind, Kind::kRunNow);
+  // After worker 1 advances once, lead becomes 2 <= c: released.
+  c.OnRoundEnd(1, 5.0, 1.0);
+  EXPECT_EQ(c.Decide(0, 5.0, 1, 1, AllRelevant(2)).kind, Kind::kRunNow);
+}
+
+TEST(DelayStretch, SspIgnoresIrrelevantWorkers) {
+  DelayStretchController c(ModeConfig::Ssp(1), 3);
+  for (int r = 0; r < 5; ++r) c.OnRoundEnd(0, r + 1.0, 1.0);
+  // Worker 1 and 2 idle-and-empty (irrelevant): they do not hold r_min back.
+  std::vector<uint8_t> relevant = {1, 0, 0};
+  EXPECT_EQ(c.Decide(0, 6.0, 1, 1, relevant).kind, Kind::kRunNow);
+}
+
+TEST(DelayStretch, RMinRMaxTrackRounds) {
+  DelayStretchController c(ModeConfig::Ap(), 3);
+  c.OnRoundEnd(0, 1.0, 1.0);
+  c.OnRoundEnd(0, 2.0, 1.0);
+  c.OnRoundEnd(2, 2.0, 1.0);
+  EXPECT_EQ(c.RMin(AllRelevant(3)), 0);
+  EXPECT_EQ(c.RMax(), 2);
+  EXPECT_EQ(c.round(0), 2);
+  EXPECT_EQ(c.round(1), 0);
+}
+
+TEST(DelayStretch, AapRunsOnceEnoughSendersHeard) {
+  // With two workers the only peer has been heard: target 0.6 * 1 peer met.
+  DelayStretchController c(ModeConfig::Aap(), 2);
+  EXPECT_EQ(c.Decide(0, 1.0, 1, 1, AllRelevant(2)).kind, Kind::kRunNow);
+}
+
+TEST(DelayStretch, AapSingleWorkerNeverWaits) {
+  DelayStretchController c(ModeConfig::Aap(), 1);
+  EXPECT_EQ(c.Decide(0, 1.0, 1, 1, AllRelevant(1)).kind, Kind::kRunNow);
+}
+
+TEST(DelayStretch, AapWaitsUntilMostPeersHeard) {
+  ModeConfig cfg = ModeConfig::Aap(0.0);
+  DelayStretchController c(cfg, 8);  // 7 peers -> target 0.6*7 = 4.2 senders
+  // Worker 0: rounds take ~6 units; messages arrive every unit.
+  c.SeedRoundTime(0, 0.0, 6.0);
+  for (int t = 1; t <= 6; ++t) c.OnMessages(0, static_cast<double>(t), 1);
+  c.OnIdleStart(0, 6.0);
+  const DelayDecision d = c.Decide(0, 6.0, /*eta=*/2, /*senders=*/2,
+                                   AllRelevant(8));
+  // Only 2 of the 4.2-sender target heard: finite delay stretch.
+  EXPECT_EQ(d.kind, Kind::kWaitFor);
+  EXPECT_GT(d.wait, 0.0);
+  EXPECT_LE(d.wait, 12.0);  // capped at 2 * t_i
+  EXPECT_GT(c.CurrentBound(0), 2.0);
+}
+
+TEST(DelayStretch, AapReleasesAfterTheIdleBound) {
+  // Even while senders are missing, T_idle bounds every wait: once the
+  // worker has idled past the stretch it runs (anti-starvation).
+  DelayStretchController c(ModeConfig::Aap(0.0), 8);
+  c.SeedRoundTime(0, 0.0, 6.0);
+  for (int t = 1; t <= 6; ++t) c.OnMessages(0, static_cast<double>(t), 1);
+  c.OnIdleStart(0, 6.0);
+  const DelayDecision fresh = c.Decide(0, 6.0, /*eta=*/50, /*senders=*/2,
+                                       AllRelevant(8));
+  ASSERT_EQ(fresh.kind, Kind::kWaitFor);
+  // After idling past the stretch, DS has elapsed: run.
+  const DelayDecision later = c.Decide(0, 6.0 + fresh.wait + 0.01,
+                                       /*eta=*/50, 2, AllRelevant(8));
+  EXPECT_EQ(later.kind, Kind::kRunNow);
+}
+
+TEST(DelayStretch, AapIdleTimeShrinksTheWait) {
+  DelayStretchController c(ModeConfig::Aap(0.0), 8);
+  c.SeedRoundTime(0, 0.0, 6.0);
+  for (int t = 1; t <= 6; ++t) c.OnMessages(0, static_cast<double>(t), 1);
+  c.OnIdleStart(0, 6.0);
+  const double wait_fresh = c.Decide(0, 6.0, 2, 2, AllRelevant(8)).wait;
+  // Same state queried 2 units later: T_idle grew, DS shrank.
+  const DelayDecision later = c.Decide(0, 8.0, 2, 2, AllRelevant(8));
+  if (later.kind == Kind::kWaitFor) {
+    EXPECT_LT(later.wait, wait_fresh);
+  } else {
+    EXPECT_EQ(later.kind, Kind::kRunNow);
+  }
+}
+
+TEST(DelayStretch, ObservedPeersLearnedFromDrains) {
+  DelayStretchController c(ModeConfig::Aap(0.0), 16);
+  // Starts optimistic (15 peers); repeated 2-sender drains shrink it.
+  for (int i = 0; i < 40; ++i) c.OnDrain(0, 2);
+  // Target = 0.6 * observed ~ 2 => hearing 2 senders suffices.
+  EXPECT_EQ(c.Decide(0, 1.0, 4, 2, AllRelevant(16)).kind, Kind::kRunNow);
+}
+
+TEST(DelayStretch, AapBoundedStalenessViaPredicateS) {
+  ModeConfig cfg = ModeConfig::Aap();
+  cfg.bounded_staleness = true;
+  cfg.staleness_bound = 1;
+  DelayStretchController c(cfg, 2);
+  for (int r = 0; r < 3; ++r) c.OnRoundEnd(0, r + 1.0, 1.0);
+  EXPECT_EQ(c.Decide(0, 4.0, 5, 2, AllRelevant(2)).kind, Kind::kSuspend);
+  // The CC/SSSP/PageRank configuration (no bound) never suspends on lead.
+  DelayStretchController free(ModeConfig::Aap(), 2);
+  for (int r = 0; r < 30; ++r) free.OnRoundEnd(0, r + 1.0, 1.0);
+  EXPECT_EQ(free.Decide(0, 31.0, 5, 1, AllRelevant(2)).kind, Kind::kRunNow);
+}
+
+TEST(DelayStretch, HsyncSwitchesToBspOnLargeGapAndBack) {
+  ModeConfig cfg = ModeConfig::Hsync();
+  cfg.hsync_gap_hi = 2;
+  DelayStretchController c(cfg, 2);
+  EXPECT_FALSE(c.BarrierMode());
+  // AP sub-mode: run.
+  EXPECT_EQ(c.Decide(0, 0.0, 1, 1, AllRelevant(2)).kind, Kind::kRunNow);
+  // Gap exceeds the threshold: switch to BSP sub-mode.
+  c.NoteRoundGap(3);
+  EXPECT_TRUE(c.BarrierMode());
+  EXPECT_EQ(c.Decide(0, 0.0, 1, 1, AllRelevant(2)).kind, Kind::kSuspend);
+  // A few supersteps realign the workers; then back to AP.
+  c.OnBarrierRelease();
+  c.OnBarrierRelease();
+  c.OnBarrierRelease();
+  EXPECT_FALSE(c.BarrierMode());
+}
+
+TEST(DelayStretch, RestoreRoundsResetsCounters) {
+  DelayStretchController c(ModeConfig::Ap(), 2);
+  c.OnRoundEnd(0, 1.0, 1.0);
+  c.OnRoundEnd(0, 2.0, 1.0);
+  c.RestoreRounds({1, 0});
+  EXPECT_EQ(c.round(0), 1);
+  EXPECT_EQ(c.round(1), 0);
+}
+
+}  // namespace
+}  // namespace grape

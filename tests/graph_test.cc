@@ -1,0 +1,260 @@
+// Unit tests for src/graph: CSR construction, generators' structural
+// properties, edge-list I/O round-trips and the sequential ground-truth
+// algorithms used to validate the distributed engines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+
+namespace grape {
+namespace {
+
+TEST(GraphBuilder, DirectedCsr) {
+  GraphBuilder b(4, /*directed=*/true);
+  b.AddEdge(0, 1, 2.0);
+  b.AddEdge(0, 2, 3.0);
+  b.AddEdge(3, 0, 1.0);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_arcs(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(1), 0u);
+  EXPECT_EQ(g.OutEdges(0)[0].dst, 1u);
+  EXPECT_EQ(g.OutEdges(0)[1].dst, 2u);
+  EXPECT_DOUBLE_EQ(g.OutEdges(3)[0].weight, 1.0);
+}
+
+TEST(GraphBuilder, UndirectedStoresBothArcs) {
+  GraphBuilder b(3, /*directed=*/false);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_arcs(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutDegree(1), 2u);
+}
+
+TEST(GraphBuilder, AdjacencySorted) {
+  GraphBuilder b(5, true);
+  b.AddEdge(0, 4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 3);
+  Graph g = std::move(b).Build();
+  auto edges = g.OutEdges(0);
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end(),
+                             [](const Arc& a, const Arc& b) {
+                               return a.dst < b.dst;
+                             }));
+}
+
+TEST(GraphBuilder, LabelsAndBipartite) {
+  GraphBuilder b(3, false);
+  b.SetVertexLabel(1, 42);
+  b.MarkLeft(0);
+  b.AddEdge(0, 2);
+  Graph g = std::move(b).Build();
+  EXPECT_TRUE(g.has_vertex_labels());
+  EXPECT_EQ(g.VertexLabel(1), 42);
+  EXPECT_TRUE(g.is_bipartite());
+  EXPECT_TRUE(g.IsLeft(0));
+  EXPECT_FALSE(g.IsLeft(2));
+}
+
+TEST(Rmat, ProducesRequestedShape) {
+  RmatOptions o;
+  o.num_vertices = 1000;  // rounded up to 1024
+  o.num_edges = 5000;
+  Graph g = MakeRmat(o);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_EQ(g.num_arcs(), 5000u);
+  EXPECT_TRUE(g.directed());
+}
+
+TEST(Rmat, DeterministicAcrossCalls) {
+  RmatOptions o;
+  o.num_vertices = 256;
+  o.num_edges = 1000;
+  o.seed = 99;
+  Graph a = MakeRmat(o), b = MakeRmat(o);
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_EQ(a.OutDegree(v), b.OutDegree(v));
+  }
+}
+
+TEST(Rmat, PowerLawSkew) {
+  RmatOptions o;
+  o.num_vertices = 4096;
+  o.num_edges = 40000;
+  Graph g = MakeRmat(o);
+  uint64_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.OutDegree(v));
+  }
+  const double avg =
+      static_cast<double>(g.num_arcs()) / g.num_vertices();
+  // Hubs should be far above average degree (power-law signature).
+  EXPECT_GT(static_cast<double>(max_deg), 10.0 * avg);
+}
+
+TEST(RoadGrid, GridStructureAndConnectivity) {
+  GridOptions o;
+  o.rows = 16;
+  o.cols = 16;
+  o.shortcut_fraction = 0.0;
+  Graph g = MakeRoadGrid(o);
+  EXPECT_EQ(g.num_vertices(), 256u);
+  // 2*16*15 grid edges, stored as arcs both ways.
+  EXPECT_EQ(g.num_edges(), 480u);
+  auto cc = seq::ConnectedComponents(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(cc[v], 0u);
+}
+
+TEST(SmallWorld, RingDegreeAndConnectivity) {
+  SmallWorldOptions o;
+  o.num_vertices = 500;
+  o.k = 6;
+  o.rewire_p = 0.1;
+  Graph g = MakeSmallWorld(o);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  EXPECT_EQ(g.num_edges(), 500u * 3);
+  auto cc = seq::ConnectedComponents(g);
+  EXPECT_EQ(*std::max_element(cc.begin(), cc.end()), 0u);
+}
+
+TEST(ErdosRenyi, EdgeCount) {
+  ErdosRenyiOptions o;
+  o.num_vertices = 100;
+  o.num_edges = 300;
+  Graph g = MakeErdosRenyi(o);
+  EXPECT_EQ(g.num_edges(), 300u);
+}
+
+TEST(Bipartite, SidesAndRatingsInRange) {
+  BipartiteOptions o;
+  o.num_users = 50;
+  o.num_items = 10;
+  o.num_ratings = 500;
+  Graph g = MakeBipartiteRatings(o);
+  EXPECT_TRUE(g.is_bipartite());
+  EXPECT_EQ(g.num_vertices(), 60u);
+  for (VertexId u = 0; u < 50; ++u) {
+    EXPECT_TRUE(g.IsLeft(u));
+    for (const Arc& a : g.OutEdges(u)) {
+      EXPECT_GE(a.dst, 50u);  // edges only cross sides
+      EXPECT_GE(a.weight, o.min_rating);
+      EXPECT_LE(a.weight, o.max_rating);
+    }
+  }
+  for (VertexId p = 50; p < 60; ++p) EXPECT_FALSE(g.IsLeft(p));
+}
+
+TEST(Fig1b, StructureMatchesExample) {
+  std::vector<FragmentId> frag;
+  Graph g = MakeFig1bExample(&frag);
+  EXPECT_EQ(g.num_vertices(), 24u);
+  ASSERT_EQ(frag.size(), 24u);
+  // One global connected component whose minimum id is 0.
+  auto cc = seq::ConnectedComponents(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(cc[v], 0u);
+  // The fragment layout of Fig 1(b): components {1,3,5}->F1, {2,4,6}->F2,
+  // {0,7}->F3 (fragment ids 0,1,2 respectively).
+  EXPECT_EQ(frag[0], 2u);   // component 0
+  EXPECT_EQ(frag[3], 0u);   // component 1
+  EXPECT_EQ(frag[6], 1u);   // component 2
+  EXPECT_EQ(frag[21], 2u);  // component 7
+}
+
+TEST(GraphIo, RoundTrip) {
+  GraphBuilder b(4, true);
+  b.AddEdge(0, 1, 2.5);
+  b.AddEdge(2, 3, 1.5);
+  Graph g = std::move(b).Build();
+  auto parsed = ParseEdgeList(ToEdgeListText(g));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Graph& h = parsed.value();
+  EXPECT_EQ(h.num_vertices(), 4u);
+  EXPECT_EQ(h.num_arcs(), 2u);
+  EXPECT_DOUBLE_EQ(h.OutEdges(0)[0].weight, 2.5);
+}
+
+TEST(GraphIo, UndirectedRoundTripKeepsEdgeCount) {
+  GraphBuilder b(3, false);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = std::move(b).Build();
+  auto parsed = ParseEdgeList(ToEdgeListText(g));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().num_arcs(), 4u);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseEdgeList("").ok());
+  EXPECT_FALSE(ParseEdgeList("abc").ok());
+  EXPECT_FALSE(ParseEdgeList("3 sideways\n0 1\n").ok());
+  EXPECT_FALSE(ParseEdgeList("2 directed\n0 5\n").ok());  // out of range
+  EXPECT_TRUE(ParseEdgeList("# comment\n2 directed\n0 1 2.0\n").ok());
+}
+
+TEST(SeqSssp, MatchesHandComputedDistances) {
+  GraphBuilder b(5, true);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 2.0);
+  b.AddEdge(0, 2, 5.0);
+  b.AddEdge(2, 3, 1.0);
+  Graph g = std::move(b).Build();
+  auto d = seq::Sssp(g, 0);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 1.0);
+  EXPECT_DOUBLE_EQ(d[2], 3.0);
+  EXPECT_DOUBLE_EQ(d[3], 4.0);
+  EXPECT_EQ(d[4], kInfinity);
+}
+
+TEST(SeqCc, TwoComponents) {
+  GraphBuilder b(6, false);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(4, 5);
+  Graph g = std::move(b).Build();
+  auto cc = seq::ConnectedComponents(g);
+  EXPECT_EQ(cc[0], 0u);
+  EXPECT_EQ(cc[2], 0u);
+  EXPECT_EQ(cc[3], 3u);
+  EXPECT_EQ(cc[4], 4u);
+  EXPECT_EQ(cc[5], 4u);
+}
+
+TEST(SeqPageRank, SumsToVertexCount) {
+  RmatOptions o;
+  o.num_vertices = 256;
+  o.num_edges = 2000;
+  Graph g = MakeRmat(o);
+  auto pr = seq::PageRank(g, 0.85, 1e-8);
+  double total = 0;
+  for (double s : pr) total += s;
+  // With the delta-accumulative formulation, scores sum to ~n (up to the
+  // damping mass lost at dangling vertices).
+  EXPECT_GT(total, 0.5 * g.num_vertices());
+  for (double s : pr) EXPECT_GE(s, 1.0 - 0.85 - 1e-9);
+}
+
+TEST(SeqBfs, Levels) {
+  GraphBuilder b(4, true);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = std::move(b).Build();
+  auto lv = seq::BfsLevels(g, 0);
+  EXPECT_EQ(lv[0], 0);
+  EXPECT_EQ(lv[1], 1);
+  EXPECT_EQ(lv[2], 2);
+  EXPECT_EQ(lv[3], -1);
+}
+
+}  // namespace
+}  // namespace grape

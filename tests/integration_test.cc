@@ -1,0 +1,250 @@
+// End-to-end integration tests across modules: file I/O -> partition ->
+// engine pipelines, sim-vs-threaded engine agreement, PIE-vs-Pregel
+// agreement, cross-algorithm identities (BFS == unit-weight SSSP), mass
+// conservation in PageRank, and trace/Gantt consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "algos/bfs.h"
+#include "algos/cc.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "baselines/pregel.h"
+#include "baselines/vertex_algos.h"
+#include "core/sim_engine.h"
+#include "core/threaded_engine.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "partition/partitioner.h"
+
+namespace grape {
+namespace {
+
+Graph SocialGraph(uint64_t seed = 97) {
+  RmatOptions o;
+  o.num_vertices = 512;
+  o.num_edges = 2500;
+  o.directed = false;
+  o.weighted = true;
+  o.min_weight = 1.0;
+  o.max_weight = 4.0;
+  o.seed = seed;
+  return MakeRmat(o);
+}
+
+TEST(Integration, SaveLoadPartitionRunPipeline) {
+  // The full user journey: generate -> save -> load -> partition -> run.
+  Graph g = SocialGraph();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "grape_it_graph.txt").string();
+  GRAPE_CHECK_OK(SaveEdgeList(g, path));
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Graph& h = loaded.value();
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_arcs(), g.num_arcs());
+
+  Partition p = LdgPartitioner().Partition_(h, 6);
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  SimEngine<CcProgram> engine(p, CcProgram{}, cfg);
+  auto r = engine.Run();
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.result, seq::ConnectedComponents(h));
+  std::filesystem::remove(path);
+}
+
+TEST(Integration, SimAndThreadedEnginesAgree) {
+  Graph g = SocialGraph(101);
+  Partition p = HashPartitioner().Partition_(g, 5);
+  EngineConfig sim_cfg;
+  sim_cfg.mode = ModeConfig::Aap();
+  SimEngine<SsspProgram> sim(p, SsspProgram(0), sim_cfg);
+  auto sim_r = sim.Run();
+
+  EngineConfig thr_cfg;
+  thr_cfg.mode = ModeConfig::Aap();
+  thr_cfg.num_threads = 2;
+  ThreadedEngine<SsspProgram> thr(p, SsspProgram(0), thr_cfg);
+  auto thr_r = thr.Run();
+
+  ASSERT_TRUE(sim_r.converged && thr_r.converged);
+  for (size_t v = 0; v < sim_r.result.size(); ++v) {
+    EXPECT_DOUBLE_EQ(sim_r.result[v], thr_r.result[v]) << "v=" << v;
+  }
+}
+
+TEST(Integration, PieAndPregelAgreeOnAllThreeAlgorithms) {
+  Graph g = SocialGraph(103);
+  Partition p = HashPartitioner().Partition_(g, 4);
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Bsp();
+
+  {
+    SimEngine<SsspProgram> pie(p, SsspProgram(1), cfg);
+    pregel::Engine<pregel::SsspVertexProgram> vc(
+        g, pregel::SsspVertexProgram{.source = 1});
+    auto a = pie.Run();
+    auto b = vc.Run();
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_DOUBLE_EQ(a.result[v], b.values[v]);
+    }
+  }
+  {
+    SimEngine<CcProgram> pie(p, CcProgram{}, cfg);
+    pregel::Engine<pregel::CcVertexProgram> vc(g, {});
+    auto a = pie.Run();
+    auto b = vc.Run();
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(a.result[v], b.values[v]);
+    }
+  }
+  {
+    SimEngine<PageRankProgram> pie(p, PageRankProgram(0.85, 1e-9), cfg);
+    pregel::Engine<pregel::PageRankVertexProgram> vc(
+        g, pregel::PageRankVertexProgram{.damping = 0.85, .tol = 1e-9});
+    auto a = pie.Run();
+    auto b = vc.Run();
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_NEAR(a.result[v], b.values[v].score, 1e-4);
+    }
+  }
+}
+
+TEST(Integration, BfsEqualsUnitWeightSssp) {
+  // Identity: hop levels == shortest distances when all weights are 1.
+  ErdosRenyiOptions o;
+  o.num_vertices = 300;
+  o.num_edges = 900;
+  o.directed = true;
+  o.weighted = false;  // weight 1.0
+  o.seed = 107;
+  Graph g = MakeErdosRenyi(o);
+  Partition p = HashPartitioner().Partition_(g, 4);
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  SimEngine<BfsProgram> bfs(p, BfsProgram(0), cfg);
+  SimEngine<SsspProgram> sssp(p, SsspProgram(0), cfg);
+  auto lb = bfs.Run();
+  auto ld = sssp.Run();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (lb.result[v] < 0) {
+      EXPECT_EQ(ld.result[v], kInfinity);
+    } else {
+      EXPECT_DOUBLE_EQ(static_cast<double>(lb.result[v]), ld.result[v]);
+    }
+  }
+}
+
+TEST(Integration, PageRankMassIsConserved) {
+  // The delta-accumulative formulation conserves mass: total score converges
+  // towards (1-d) * n / (1-d·(1-dangling share)) from below; with no
+  // dangling vertices the settled score equals the injected mass times the
+  // geometric series, so total score <= n and >= (1-d) * n.
+  RmatOptions o;
+  o.num_vertices = 512;
+  o.num_edges = 3000;
+  o.seed = 109;
+  Graph g = MakeRmat(o);
+  Partition p = HashPartitioner().Partition_(g, 4);
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  SimEngine<PageRankProgram> engine(p, PageRankProgram(0.85, 1e-9), cfg);
+  auto r = engine.Run();
+  double total = 0;
+  for (double s : r.result) total += s;
+  EXPECT_GE(total, 0.15 * g.num_vertices());
+  EXPECT_LE(total, 1.0 * g.num_vertices() + 1e-6);
+}
+
+TEST(Integration, TraceMatchesStats) {
+  Graph g = SocialGraph(113);
+  Partition p = HashPartitioner().Partition_(g, 4);
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Ap();
+  SimEngine<CcProgram> engine(p, CcProgram{}, cfg);
+  auto r = engine.Run();
+  // One PEval span per worker; IncEval spans match the round counters.
+  uint64_t pevals = 0;
+  for (const auto& s : r.trace.spans()) {
+    if (s.kind == SpanKind::kPEval) ++pevals;
+  }
+  EXPECT_EQ(pevals, 4u);
+  for (FragmentId w = 0; w < 4; ++w) {
+    EXPECT_EQ(r.trace.RoundsOf(w), r.stats.workers[w].rounds);
+  }
+  const std::string gantt = r.trace.ToGantt(4, 80);
+  EXPECT_NE(gantt.find("P0"), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+}
+
+TEST(Integration, ModesProduceIdenticalFixpointsDifferentSchedules) {
+  // The figure-level claim behind Fig 6: same answers, different timing.
+  Graph g = SocialGraph(127);
+  Partition p = LdgPartitioner().Partition_(g, 6);
+  std::vector<double> times;
+  std::vector<CcProgram::ResultT> results;
+  for (const ModeConfig& mode :
+       {ModeConfig::Bsp(), ModeConfig::Ap(), ModeConfig::Ssp(2),
+        ModeConfig::Aap(), ModeConfig::Hsync()}) {
+    EngineConfig cfg;
+    cfg.mode = mode;
+    cfg.speed_factors = {1.0, 3.0, 1.0, 1.0, 2.0, 1.0};
+    SimEngine<CcProgram> engine(p, CcProgram{}, cfg);
+    auto r = engine.Run();
+    ASSERT_TRUE(r.converged);
+    times.push_back(r.stats.makespan);
+    results.push_back(r.result);
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], results[0]);
+  }
+  // Schedules genuinely differ (makespans are not all identical).
+  bool any_diff = false;
+  for (size_t i = 1; i < times.size(); ++i) {
+    any_diff |= std::abs(times[i] - times[0]) > 1e-9;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Integration, LargeWorkerCountSmallGraph) {
+  // More workers than useful: many fragments own a handful of vertices;
+  // everything still terminates and agrees.
+  Graph g = SocialGraph(131);
+  Partition p = HashPartitioner().Partition_(g, 64);
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  SimEngine<CcProgram> engine(p, CcProgram{}, cfg);
+  auto r = engine.Run();
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.result, seq::ConnectedComponents(g));
+}
+
+TEST(Integration, EmptyGraphAndSingletonGraph) {
+  {
+    GraphBuilder b(1, false);
+    Graph g = std::move(b).Build();
+    Partition p = BuildPartition(g, {0}, 1);
+    EngineConfig cfg;
+    SimEngine<CcProgram> engine(p, CcProgram{}, cfg);
+    auto r = engine.Run();
+    EXPECT_EQ(r.result, (std::vector<VertexId>{0}));
+  }
+  {
+    GraphBuilder b(4, false);  // 4 isolated vertices over 2 fragments
+    Graph g = std::move(b).Build();
+    Partition p = BuildPartition(g, {0, 1, 0, 1}, 2);
+    EngineConfig cfg;
+    cfg.mode = ModeConfig::Aap();
+    SimEngine<SsspProgram> engine(p, SsspProgram(2), cfg);
+    auto r = engine.Run();
+    EXPECT_DOUBLE_EQ(r.result[2], 0.0);
+    EXPECT_EQ(r.result[0], kInfinity);
+  }
+}
+
+}  // namespace
+}  // namespace grape

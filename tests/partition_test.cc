@@ -1,0 +1,230 @@
+// Unit tests for src/partition: assignment strategies, fragment border sets
+// (F.I / F.O / F.I' / F.O'), the routing index, skew injection and metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.h"
+#include "partition/fragment.h"
+#include "partition/partitioner.h"
+#include "partition/skew.h"
+
+namespace grape {
+namespace {
+
+Graph TestGraph() {
+  // 0->1->2->3->4->5 chain plus 0->3 shortcut, directed.
+  GraphBuilder b(6, true);
+  for (VertexId v = 0; v + 1 < 6; ++v) b.AddEdge(v, v + 1);
+  b.AddEdge(0, 3);
+  return std::move(b).Build();
+}
+
+TEST(Partitioners, CoverAllVerticesWithValidIds) {
+  RmatOptions o;
+  o.num_vertices = 512;
+  o.num_edges = 2000;
+  Graph g = MakeRmat(o);
+  for (const char* name : {"hash", "range", "ldg"}) {
+    auto part = MakePartitioner(name);
+    auto placement = part->Assign(g, 8);
+    ASSERT_EQ(placement.size(), g.num_vertices()) << name;
+    for (FragmentId f : placement) EXPECT_LT(f, 8u) << name;
+  }
+}
+
+TEST(Partitioners, RangeIsContiguous) {
+  RmatOptions o;
+  o.num_vertices = 100;
+  o.num_edges = 100;
+  Graph g = MakeRmat(o);
+  RangePartitioner rp;
+  auto placement = rp.Assign(g, 4);
+  for (size_t v = 1; v < placement.size(); ++v) {
+    EXPECT_GE(placement[v], placement[v - 1]);
+  }
+}
+
+TEST(Partitioners, LdgRoughlyBalanced) {
+  RmatOptions o;
+  o.num_vertices = 2048;
+  o.num_edges = 8000;
+  Graph g = MakeRmat(o);
+  LdgPartitioner ldg;
+  auto placement = ldg.Assign(g, 8);
+  std::vector<uint64_t> counts(8, 0);
+  for (FragmentId f : placement) ++counts[f];
+  const uint64_t maxc = *std::max_element(counts.begin(), counts.end());
+  const uint64_t minc = *std::min_element(counts.begin(), counts.end());
+  EXPECT_LT(static_cast<double>(maxc),
+            1.8 * static_cast<double>(std::max<uint64_t>(minc, 1)));
+}
+
+TEST(Partitioners, LdgCutsFewerEdgesThanHashOnGrid) {
+  GridOptions o;
+  o.rows = 32;
+  o.cols = 32;
+  o.shortcut_fraction = 0.0;
+  Graph g = MakeRoadGrid(o);
+  auto hash_m = ComputeMetrics(HashPartitioner().Partition_(g, 8));
+  auto ldg_m = ComputeMetrics(LdgPartitioner().Partition_(g, 8));
+  EXPECT_LT(ldg_m.edge_cut_fraction, hash_m.edge_cut_fraction);
+}
+
+TEST(Fragment, InnerOuterAndLocalIds) {
+  Graph g = TestGraph();
+  // Fragments: {0,1,2} and {3,4,5}.
+  std::vector<FragmentId> placement = {0, 0, 0, 1, 1, 1};
+  Partition p = BuildPartition(g, placement, 2);
+  const Fragment& f0 = p.fragments[0];
+  EXPECT_EQ(f0.num_inner(), 3u);
+  // Cut edges from F0: 2->3 and 0->3, both target 3 => one outer copy.
+  EXPECT_EQ(f0.num_outer(), 1u);
+  EXPECT_EQ(f0.GlobalId(f0.LocalId(3)), 3u);
+  EXPECT_FALSE(f0.IsInner(f0.LocalId(3)));
+  // Inner vertices keep their arcs; outer copies carry none.
+  EXPECT_EQ(f0.OutDegree(f0.LocalId(0)), 2u);
+  EXPECT_EQ(f0.OutDegree(f0.LocalId(3)), 0u);
+}
+
+TEST(Fragment, BorderSetsMatchPaperDefinitions) {
+  Graph g = TestGraph();
+  std::vector<FragmentId> placement = {0, 0, 0, 1, 1, 1};
+  Partition p = BuildPartition(g, placement, 2);
+  const Fragment& f0 = p.fragments[0];
+  const Fragment& f1 = p.fragments[1];
+  // F0.O' = {0, 2} (sources of cut edges), F0.I = {} (no incoming cuts).
+  EXPECT_TRUE(f0.InExitSet(f0.LocalId(0)));
+  EXPECT_TRUE(f0.InExitSet(f0.LocalId(2)));
+  EXPECT_FALSE(f0.InExitSet(f0.LocalId(1)));
+  EXPECT_FALSE(f0.InEntrySet(f0.LocalId(0)));
+  // F1.I = {3}; F1.I' = {0, 2}; F1.O empty (no outgoing cuts).
+  EXPECT_TRUE(f1.InEntrySet(f1.LocalId(3)));
+  EXPECT_FALSE(f1.InEntrySet(f1.LocalId(4)));
+  EXPECT_EQ(f1.num_outer(), 0u);
+  std::vector<VertexId> iprime(f1.remote_sources().begin(),
+                               f1.remote_sources().end());
+  EXPECT_EQ(iprime, (std::vector<VertexId>{0, 2}));
+}
+
+TEST(Fragment, UndirectedCutCreatesCopiesBothSides) {
+  GraphBuilder b(4, false);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  Graph g = std::move(b).Build();
+  Partition p = BuildPartition(g, {0, 0, 1, 1}, 2);
+  // Cut edge (1,2): F0 holds copy of 2, F1 holds copy of 1.
+  EXPECT_NE(p.fragments[0].LocalId(2), Fragment::kInvalidLocal);
+  EXPECT_NE(p.fragments[1].LocalId(1), Fragment::kInvalidLocal);
+  EXPECT_TRUE(p.fragments[0].InEntrySet(p.fragments[0].LocalId(1)));
+  EXPECT_TRUE(p.fragments[1].InEntrySet(p.fragments[1].LocalId(2)));
+}
+
+TEST(Partition, RecipientsRouteToOwner) {
+  Graph g = TestGraph();
+  Partition p = BuildPartition(g, {0, 0, 0, 1, 1, 1}, 2);
+  std::vector<FragmentId> out;
+  p.Recipients(3, /*from=*/0, /*to_copies=*/false, &out);
+  EXPECT_EQ(out, (std::vector<FragmentId>{1}));
+  // Owner emitting its own vertex with no copies elsewhere: no recipients.
+  p.Recipients(4, /*from=*/1, /*to_copies=*/false, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Partition, RecipientsBroadcastToCopyHolders) {
+  // Star: 0 in F0; 1,2 in F1/F2 both pointing at 0 => copies of 0 in both.
+  GraphBuilder b(3, true);
+  b.AddEdge(1, 0);
+  b.AddEdge(2, 0);
+  Graph g = std::move(b).Build();
+  Partition p = BuildPartition(g, {0, 1, 2}, 3);
+  std::vector<FragmentId> out;
+  p.Recipients(0, /*from=*/0, /*to_copies=*/true, &out);
+  // Owner fragment 0 broadcasts to both copy holders.
+  std::set<FragmentId> got(out.begin(), out.end());
+  EXPECT_EQ(got, (std::set<FragmentId>{1, 2}));
+  // From a copy holder: owner plus the other holder.
+  p.Recipients(0, /*from=*/1, /*to_copies=*/true, &out);
+  got = std::set<FragmentId>(out.begin(), out.end());
+  EXPECT_EQ(got, (std::set<FragmentId>{0, 2}));
+}
+
+TEST(Partition, FragmentsPartitionTheVertexSet) {
+  RmatOptions o;
+  o.num_vertices = 256;
+  o.num_edges = 1500;
+  Graph g = MakeRmat(o);
+  Partition p = HashPartitioner().Partition_(g, 5);
+  std::vector<int> seen(g.num_vertices(), 0);
+  for (const Fragment& f : p.fragments) {
+    for (VertexId v : f.inner_vertices()) ++seen[v];
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(seen[v], 1);
+}
+
+TEST(Partition, ArcsArePreserved) {
+  RmatOptions o;
+  o.num_vertices = 128;
+  o.num_edges = 700;
+  Graph g = MakeRmat(o);
+  Partition p = HashPartitioner().Partition_(g, 4);
+  uint64_t arcs = 0;
+  for (const Fragment& f : p.fragments) arcs += f.num_arcs();
+  EXPECT_EQ(arcs, g.num_arcs());
+}
+
+TEST(Metrics, BalancedHashSkewNearOne) {
+  RmatOptions o;
+  o.num_vertices = 4096;
+  o.num_edges = 16000;
+  Graph g = MakeRmat(o);
+  auto m = ComputeMetrics(HashPartitioner().Partition_(g, 8));
+  EXPECT_LT(m.skew, 1.6);
+  EXPECT_GT(m.edge_cut_fraction, 0.0);
+  EXPECT_LE(m.edge_cut_fraction, 1.0);
+}
+
+TEST(Skew, InjectionReachesTargetRatio) {
+  RmatOptions o;
+  o.num_vertices = 4096;
+  o.num_edges = 16000;
+  Graph g = MakeRmat(o);
+  auto placement = HashPartitioner().Assign(g, 8);
+  for (double target : {2.0, 4.0, 8.0}) {
+    auto skewed = InjectSkew(g, placement, 8, target, 1);
+    std::vector<uint64_t> counts(8, 0);
+    for (FragmentId f : skewed) ++counts[f];
+    std::vector<uint64_t> sorted = counts;
+    std::sort(sorted.begin(), sorted.end());
+    const double r = static_cast<double>(sorted.back()) /
+                     static_cast<double>(sorted[sorted.size() / 2]);
+    EXPECT_NEAR(r, target, 0.5 * target) << "target " << target;
+  }
+}
+
+TEST(Skew, TargetOneIsNoop) {
+  RmatOptions o;
+  o.num_vertices = 512;
+  o.num_edges = 1000;
+  Graph g = MakeRmat(o);
+  auto placement = HashPartitioner().Assign(g, 4);
+  auto same = InjectSkew(g, placement, 4, 1.0, 0);
+  // Sizes stay (roughly) unchanged: nothing should move for target 1.0.
+  std::vector<uint64_t> before(4, 0), after(4, 0);
+  for (FragmentId f : placement) ++before[f];
+  for (FragmentId f : same) ++after[f];
+  EXPECT_EQ(before, after);
+}
+
+TEST(ExplicitPartitioner, UsesGivenPlacement) {
+  Graph g = TestGraph();
+  ExplicitPartitioner ep({1, 1, 0, 0, 1, 0});
+  auto placement = ep.Assign(g, 2);
+  EXPECT_EQ(placement[0], 1u);
+  EXPECT_EQ(placement[2], 0u);
+}
+
+}  // namespace
+}  // namespace grape

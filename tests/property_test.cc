@@ -1,0 +1,219 @@
+// Property-based sweeps over randomized inputs: structural invariants of
+// partitioning (border-set definitions hold for every cut edge), buffer
+// algebra (drain == fold of appends under faggr), sim-clock ordering under
+// random schedules, and engine idempotence across repeated runs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "algos/cc.h"
+#include "core/sim_engine.h"
+#include "graph/generators.h"
+#include "partition/fragment.h"
+#include "partition/partitioner.h"
+#include "runtime/message.h"
+#include "runtime/sim_clock.h"
+#include "util/random.h"
+
+namespace grape {
+namespace {
+
+// ------------------------------------------------- partition invariants ---
+
+class PartitionProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionProperty, BorderSetsConsistentWithEveryCutEdge) {
+  const auto [seed, m] = GetParam();
+  ErdosRenyiOptions o;
+  o.num_vertices = 200;
+  o.num_edges = 800;
+  o.directed = true;
+  o.seed = static_cast<uint64_t>(seed);
+  Graph g = MakeErdosRenyi(o);
+  Partition p =
+      HashPartitioner(static_cast<uint64_t>(seed)).Partition_(g, m);
+
+  // For every arc (u -> v): if it crosses fragments i -> j then
+  //   u ∈ F_i.O' (exit set), v ∈ F_i.O (outer copy at i),
+  //   v ∈ F_j.I (entry set),  u ∈ F_j.I' (remote source at j).
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const FragmentId fi = p.Owner(u);
+    for (const Arc& a : g.OutEdges(u)) {
+      const FragmentId fj = p.Owner(a.dst);
+      if (fi == fj) continue;
+      const Fragment& Fi = p.fragments[fi];
+      const Fragment& Fj = p.fragments[fj];
+      EXPECT_TRUE(Fi.InExitSet(Fi.LocalId(u)));
+      const LocalVertex copy = Fi.LocalId(a.dst);
+      ASSERT_NE(copy, Fragment::kInvalidLocal);
+      EXPECT_FALSE(Fi.IsInner(copy));
+      EXPECT_TRUE(Fj.InEntrySet(Fj.LocalId(a.dst)));
+      const auto& ip = Fj.remote_sources();
+      EXPECT_TRUE(std::binary_search(ip.begin(), ip.end(), u));
+    }
+  }
+  // Conversely: every outer copy is the target of at least one local arc.
+  for (const Fragment& f : p.fragments) {
+    std::set<LocalVertex> targeted;
+    for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+      for (const LocalArc& a : f.OutEdges(l)) {
+        if (!f.IsInner(a.dst)) targeted.insert(a.dst);
+      }
+    }
+    EXPECT_EQ(targeted.size(), f.num_outer());
+  }
+}
+
+TEST_P(PartitionProperty, RoutingIndexMatchesCopyLocations) {
+  const auto [seed, m] = GetParam();
+  ErdosRenyiOptions o;
+  o.num_vertices = 150;
+  o.num_edges = 600;
+  o.seed = static_cast<uint64_t>(seed) + 50;
+  Graph g = MakeErdosRenyi(o);
+  Partition p = LdgPartitioner().Partition_(g, m);
+  std::vector<FragmentId> out;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    p.Recipients(v, p.Owner(v), /*to_copies=*/true, &out);
+    // The owner's broadcast list == exactly the fragments holding a copy.
+    std::set<FragmentId> got(out.begin(), out.end());
+    std::set<FragmentId> expect;
+    for (const Fragment& f : p.fragments) {
+      if (f.id() != p.Owner(v) &&
+          f.LocalId(v) != Fragment::kInvalidLocal) {
+        expect.insert(f.id());
+      }
+    }
+    ASSERT_EQ(got, expect) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PartitionProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(2, 7)),
+                         [](const auto& info) {
+                           return "seed" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  "_m" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+// ------------------------------------------------------- buffer algebra ---
+
+TEST(BufferProperty, DrainEqualsFoldOfAppends) {
+  // For an associative commutative faggr (min), draining after any sequence
+  // of appends must equal the per-vertex fold of all appended values.
+  Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    UpdateBuffer<double> buf;
+    std::map<VertexId, double> expect;
+    auto combine = [](const double& a, const double& b) {
+      return a < b ? a : b;
+    };
+    const int msgs = 1 + static_cast<int>(rng.Uniform(30));
+    for (int k = 0; k < msgs; ++k) {
+      Message<double> msg{static_cast<FragmentId>(rng.Uniform(5)), 0, 0, {},
+                          0};
+      const int entries = 1 + static_cast<int>(rng.Uniform(10));
+      for (int e = 0; e < entries; ++e) {
+        const VertexId vid = static_cast<VertexId>(rng.Uniform(20));
+        const double val = rng.UniformDouble(0, 100);
+        msg.entries.push_back({vid, val, 0});
+        auto [it, inserted] = expect.try_emplace(vid, val);
+        if (!inserted) it->second = std::min(it->second, val);
+      }
+      buf.Append(msg, combine);
+    }
+    auto drained = buf.Drain();
+    ASSERT_EQ(drained.size(), expect.size());
+    for (const auto& e : drained) {
+      ASSERT_DOUBLE_EQ(e.value, expect.at(e.vid)) << "vid=" << e.vid;
+    }
+    EXPECT_TRUE(buf.Empty());
+  }
+}
+
+TEST(BufferProperty, SnapshotIsDrainWithoutClearing) {
+  Rng rng(99);
+  UpdateBuffer<int> buf;
+  auto sum = [](const int& a, const int& b) { return a + b; };
+  for (int k = 0; k < 10; ++k) {
+    Message<int> msg{0, 0, 0, {{static_cast<VertexId>(k % 4), k, 0}}, 0};
+    buf.Append(msg, sum);
+  }
+  auto snap = buf.Snapshot();
+  auto drained = buf.Drain();
+  ASSERT_EQ(snap.size(), drained.size());
+  for (size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].vid, drained[i].vid);
+    EXPECT_EQ(snap[i].value, drained[i].value);
+  }
+}
+
+// ------------------------------------------------------ clock invariants ---
+
+TEST(ClockProperty, RandomSchedulesProcessInNondecreasingTime) {
+  Rng rng(777);
+  for (int trial = 0; trial < 10; ++trial) {
+    SimClock clock;
+    std::vector<double> seen;
+    const int n = 50;
+    for (int i = 0; i < n; ++i) {
+      const double t = rng.UniformDouble(0, 100);
+      clock.Schedule(t, [&seen, &clock] { seen.push_back(clock.Now()); });
+    }
+    clock.Run();
+    ASSERT_EQ(seen.size(), static_cast<size_t>(n));
+    for (size_t i = 1; i < seen.size(); ++i) {
+      ASSERT_GE(seen[i], seen[i - 1]);
+    }
+  }
+}
+
+TEST(ClockProperty, CancellationNeverFiresAndOthersDo) {
+  Rng rng(555);
+  SimClock clock;
+  int fired = 0;
+  std::vector<SimClock::EventId> cancelled;
+  for (int i = 0; i < 60; ++i) {
+    const double t = rng.UniformDouble(0, 10);
+    auto id = clock.Schedule(t, [&fired] { ++fired; });
+    if (i % 3 == 0) cancelled.push_back(id);
+  }
+  for (auto id : cancelled) clock.Cancel(id);
+  clock.Run();
+  EXPECT_EQ(fired, 40);
+}
+
+// --------------------------------------------------- engine idempotence ---
+
+TEST(EngineProperty, SameSeedSameEverything) {
+  // Determinism: identical config => identical fixpoint, stats and trace.
+  RmatOptions o;
+  o.num_vertices = 256;
+  o.num_edges = 1200;
+  o.directed = false;
+  o.seed = 31;
+  Graph g = MakeRmat(o);
+  Partition p = HashPartitioner().Partition_(g, 5);
+  auto run = [&] {
+    EngineConfig cfg;
+    cfg.mode = ModeConfig::Aap();
+    cfg.compute_jitter = 0.4;
+    cfg.seed = 9;
+    SimEngine<CcProgram> engine(p, CcProgram{}, cfg);
+    return engine.Run();
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a.result, b.result);
+  EXPECT_DOUBLE_EQ(a.stats.makespan, b.stats.makespan);
+  EXPECT_EQ(a.stats.total_msgs(), b.stats.total_msgs());
+  EXPECT_EQ(a.trace.spans().size(), b.trace.spans().size());
+}
+
+}  // namespace
+}  // namespace grape

@@ -1,0 +1,204 @@
+// Unit tests for src/runtime: sim clock ordering & cancellation, update
+// buffers (aggregate-on-append), in-flight accounting, the master/worker
+// termination protocol and the checkpoint token coordinator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/channel.h"
+#include "runtime/message.h"
+#include "runtime/sim_clock.h"
+#include "runtime/snapshot.h"
+#include "runtime/stats_collector.h"
+#include "runtime/termination.h"
+
+namespace grape {
+namespace {
+
+TEST(SimClock, ProcessesInTimeOrder) {
+  SimClock clock;
+  std::vector<int> order;
+  clock.Schedule(3.0, [&] { order.push_back(3); });
+  clock.Schedule(1.0, [&] { order.push_back(1); });
+  clock.Schedule(2.0, [&] { order.push_back(2); });
+  clock.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(clock.Now(), 3.0);
+}
+
+TEST(SimClock, StableOrderForEqualTimes) {
+  SimClock clock;
+  std::vector<int> order;
+  clock.Schedule(1.0, [&] { order.push_back(1); });
+  clock.Schedule(1.0, [&] { order.push_back(2); });
+  clock.Schedule(1.0, [&] { order.push_back(3); });
+  clock.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimClock, NestedScheduling) {
+  SimClock clock;
+  std::vector<int> order;
+  clock.Schedule(1.0, [&] {
+    order.push_back(1);
+    clock.Schedule(clock.Now() + 1.0, [&] { order.push_back(2); });
+  });
+  clock.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(clock.Now(), 2.0);
+}
+
+TEST(SimClock, CancelPreventsExecution) {
+  SimClock clock;
+  bool ran = false;
+  auto id = clock.Schedule(1.0, [&] { ran = true; });
+  clock.Cancel(id);
+  clock.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(clock.Empty());
+}
+
+TEST(SimClock, DropPendingClearsQueue) {
+  SimClock clock;
+  int runs = 0;
+  clock.Schedule(1.0, [&] { ++runs; });
+  clock.Schedule(2.0, [&] { ++runs; });
+  clock.Step();
+  clock.DropPending();
+  EXPECT_TRUE(clock.Empty());
+  clock.Run();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(UpdateBuffer, AggregatesPerVertexWithCombine) {
+  UpdateBuffer<double> buf;
+  auto min_combine = [](const double& a, const double& b) {
+    return a < b ? a : b;
+  };
+  Message<double> m1{0, 2, 1, {{5, 3.0, 1}, {7, 9.0, 1}}, 0};
+  Message<double> m2{1, 2, 1, {{5, 1.0, 1}}, 0};
+  buf.Append(m1, min_combine);
+  buf.Append(m2, min_combine);
+  EXPECT_EQ(buf.NumMessages(), 2u);
+  EXPECT_EQ(buf.NumDistinctSenders(), 2u);
+  EXPECT_EQ(buf.NumPendingVertices(), 2u);
+  auto drained = buf.Drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].vid, 5u);
+  EXPECT_DOUBLE_EQ(drained[0].value, 1.0);  // min(3, 1)
+  EXPECT_DOUBLE_EQ(drained[1].value, 9.0);
+  EXPECT_TRUE(buf.Empty());
+  EXPECT_EQ(buf.NumMessages(), 0u);
+}
+
+TEST(UpdateBuffer, SnapshotDoesNotClear) {
+  UpdateBuffer<int> buf;
+  auto sum = [](const int& a, const int& b) { return a + b; };
+  buf.Append(Message<int>{0, 1, 0, {{1, 10, 0}}, 0}, sum);
+  auto snap = buf.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].value, 10);
+  EXPECT_FALSE(buf.Empty());
+}
+
+TEST(UpdateBuffer, ResetRestoresEntries) {
+  UpdateBuffer<int> buf;
+  auto sum = [](const int& a, const int& b) { return a + b; };
+  std::vector<UpdateEntry<int>> entries = {{3, 7, 1}, {4, 8, 1}};
+  buf.Reset(entries, sum);
+  EXPECT_EQ(buf.NumPendingVertices(), 2u);
+  auto drained = buf.Drain();
+  EXPECT_EQ(drained[0].value, 7);
+}
+
+TEST(MessageBytes, CountsEntryPayloads) {
+  Message<double> m{0, 1, 0, {{1, 1.0, 0}, {2, 2.0, 0}}, 0};
+  EXPECT_EQ(MessageBytes(m),
+            2 * (sizeof(VertexId) + sizeof(Round) + sizeof(double)));
+}
+
+TEST(InFlight, TracksQuiescence) {
+  InFlightCounter c;
+  EXPECT_TRUE(c.Quiescent());
+  c.OnSend(3);
+  EXPECT_FALSE(c.Quiescent());
+  c.OnDeliver(2);
+  EXPECT_EQ(c.count(), 1u);
+  c.OnDeliver();
+  EXPECT_TRUE(c.Quiescent());
+}
+
+TEST(Termination, ProbeFailsWhileAnyWorkerActive) {
+  TerminationDetector term(3);
+  InFlightCounter inflight;
+  term.SetInactive(0);
+  term.SetInactive(1);
+  EXPECT_FALSE(term.TryTerminate(inflight));  // worker 2 never reported
+  term.SetInactive(2);
+  EXPECT_TRUE(term.TryTerminate(inflight));
+  EXPECT_TRUE(term.ShouldStop());
+}
+
+TEST(Termination, ProbeFailsWithInFlightMessages) {
+  TerminationDetector term(2);
+  InFlightCounter inflight;
+  term.SetInactive(0);
+  term.SetInactive(1);
+  inflight.OnSend();
+  EXPECT_FALSE(term.TryTerminate(inflight));
+  inflight.OnDeliver();
+  EXPECT_TRUE(term.TryTerminate(inflight));
+}
+
+TEST(Termination, ReactivationAnswersWait) {
+  TerminationDetector term(2);
+  InFlightCounter inflight;
+  term.SetInactive(0);
+  term.SetInactive(1);
+  term.SetActive(1);  // a message re-activated worker 1: it answers `wait`
+  EXPECT_FALSE(term.TryTerminate(inflight));
+  EXPECT_FALSE(term.ShouldStop());
+}
+
+TEST(Checkpoint, TokenLifecycle) {
+  CheckpointCoordinator ckpt(3);
+  EXPECT_EQ(ckpt.current_token(), 0u);
+  const uint64_t t = ckpt.StartCheckpoint();
+  EXPECT_GT(t, 0u);
+  // First observation snapshots; repeats are ignored (already held token).
+  EXPECT_TRUE(ckpt.ShouldSnapshot(0, t));
+  EXPECT_FALSE(ckpt.ShouldSnapshot(0, t));
+  EXPECT_FALSE(ckpt.Complete(t));
+  EXPECT_TRUE(ckpt.ShouldSnapshot(1, t));
+  EXPECT_TRUE(ckpt.ShouldSnapshot(2, t));
+  EXPECT_TRUE(ckpt.Complete(t));
+}
+
+TEST(Checkpoint, LateMessageAccounting) {
+  CheckpointCoordinator ckpt(2);
+  const uint64_t t = ckpt.StartCheckpoint();
+  ckpt.ShouldSnapshot(0, t);
+  ckpt.NoteLateMessage(0, t);
+  ckpt.NoteLateMessage(0, t);
+  EXPECT_EQ(ckpt.late_messages(t), 2u);
+}
+
+TEST(RunStats, Aggregations) {
+  RunStats s;
+  s.workers.resize(2);
+  s.workers[0].rounds = 3;
+  s.workers[0].busy_time = 10.0;
+  s.workers[1].rounds = 5;
+  s.workers[1].busy_time = 2.0;
+  s.workers[0].msgs_sent = 7;
+  s.workers[1].bytes_sent = 100;
+  EXPECT_EQ(s.total_rounds(), 8u);
+  EXPECT_EQ(s.max_rounds(), 5u);
+  EXPECT_EQ(s.total_msgs(), 7u);
+  EXPECT_EQ(s.total_bytes(), 100u);
+  // Straggler = max busy time => worker 0 with 3 rounds.
+  EXPECT_EQ(s.straggler_rounds(), 3u);
+}
+
+}  // namespace
+}  // namespace grape

@@ -1,0 +1,129 @@
+// Fault-tolerance tests (Section 6): the token checkpoint protocol over
+// asynchronous runs, late-message folding, and whole-run failure recovery —
+// a run that crashes one worker and rolls back to the snapshot must still
+// converge at the correct fixpoint.
+#include <gtest/gtest.h>
+
+#include "algos/cc.h"
+#include "algos/sssp.h"
+#include "core/sim_engine.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+
+namespace grape {
+namespace {
+
+struct World {
+  Graph graph;
+  Partition partition;
+};
+
+World MakeWorld(uint64_t seed = 71) {
+  GridOptions o;  // high diameter => long runs, checkpoint lands mid-flight
+  o.rows = 40;
+  o.cols = 40;
+  o.seed = seed;
+  World w;
+  w.graph = MakeRoadGrid(o);
+  w.partition = RangePartitioner().Partition_(w.graph, 12);
+  return w;
+}
+
+double FullRunTime(const World& w) {
+  // Run once without checkpointing to learn the makespan.
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Ap();
+  SimEngine<CcProgram> engine(w.partition, CcProgram{}, cfg);
+  auto r = engine.Run();
+  return r.stats.makespan;
+}
+
+TEST(Snapshot, CheckpointDoesNotPerturbResult) {
+  World w = MakeWorld();
+  const auto truth = seq::ConnectedComponents(w.graph);
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Ap();
+  cfg.checkpoint_time = 0.3 * FullRunTime(w);
+  SimEngine<CcProgram> engine(w.partition, CcProgram{}, cfg);
+  auto r = engine.Run();
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.result, truth);
+}
+
+TEST(Snapshot, FailureRecoveryConvergesToSameFixpoint) {
+  World w = MakeWorld(73);
+  const auto truth = seq::ConnectedComponents(w.graph);
+  const double makespan = FullRunTime(w);
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Ap();
+  cfg.checkpoint_time = 0.3 * makespan;
+  cfg.fail_worker = 2;
+  // Crash well after the broadcast (+1 latency unit) finishes the snapshot.
+  cfg.fail_time = 0.8 * makespan;
+  SimEngine<CcProgram> engine(w.partition, CcProgram{}, cfg);
+  auto r = engine.Run();
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.result, truth);
+  // The rollback shows up in the trace.
+  EXPECT_EQ(r.trace.restarts().size(), 1u);
+}
+
+TEST(Snapshot, FailureRecoveryUnderSsspToo) {
+  World w = MakeWorld(79);
+  const auto truth = seq::Sssp(w.graph, 0);
+  EngineConfig base;
+  base.mode = ModeConfig::Ap();
+  SimEngine<SsspProgram> probe(w.partition, SsspProgram(0), base);
+  const double makespan = probe.Run().stats.makespan;
+
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Ap();
+  cfg.checkpoint_time = 0.3 * makespan;
+  cfg.fail_worker = 1;
+  cfg.fail_time = 0.8 * makespan;
+  SimEngine<SsspProgram> engine(w.partition, SsspProgram(0), cfg);
+  auto r = engine.Run();
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.trace.restarts().size(), 1u);
+  for (size_t v = 0; v < truth.size(); ++v) {
+    EXPECT_DOUBLE_EQ(r.result[v], truth[v]) << "v=" << v;
+  }
+}
+
+TEST(Snapshot, FailureBeforeCheckpointIsIgnored) {
+  World w = MakeWorld(83);
+  const auto truth = seq::ConnectedComponents(w.graph);
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Ap();
+  cfg.checkpoint_time = 0.0;  // no checkpoint at all
+  cfg.fail_worker = 0;
+  cfg.fail_time = 0.5 * FullRunTime(w);
+  SimEngine<CcProgram> engine(w.partition, CcProgram{}, cfg);
+  auto r = engine.Run();
+  // Without a completed snapshot there is nothing to roll back to; the
+  // engine warns and the run continues unharmed.
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.result, truth);
+  EXPECT_TRUE(r.trace.restarts().empty());
+}
+
+TEST(Snapshot, WorksUnderAapMode) {
+  World w = MakeWorld(89);
+  const auto truth = seq::ConnectedComponents(w.graph);
+  EngineConfig probe_cfg;
+  probe_cfg.mode = ModeConfig::Aap();
+  SimEngine<CcProgram> probe(w.partition, CcProgram{}, probe_cfg);
+  const double makespan = probe.Run().stats.makespan;
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  cfg.checkpoint_time = 0.3 * makespan;
+  cfg.fail_worker = 3;
+  cfg.fail_time = 0.8 * makespan;
+  SimEngine<CcProgram> engine(w.partition, CcProgram{}, cfg);
+  auto r = engine.Run();
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.result, truth);
+}
+
+}  // namespace
+}  // namespace grape

@@ -1,0 +1,183 @@
+// Unit tests for src/util: RNG determinism, online stats, rate estimation,
+// histogram quantiles, table / Gantt rendering, Status plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+
+namespace grape {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.Add(rng.Gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(5);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.Next(), fork.Next());
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Ema, ConvergesToConstantInput) {
+  Ema e(0.5);
+  for (int i = 0; i < 50; ++i) e.Add(3.0);
+  EXPECT_NEAR(e.value(), 3.0, 1e-9);
+}
+
+TEST(Ema, FirstValueInitialises) {
+  Ema e(0.1);
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(RateEstimator, UniformArrivalsGiveRate) {
+  RateEstimator r;
+  for (int i = 0; i <= 20; ++i) r.OnEvent(static_cast<double>(i) * 0.5);
+  EXPECT_NEAR(r.RatePerUnit(), 2.0, 0.05);
+}
+
+TEST(RateEstimator, BatchArrivals) {
+  RateEstimator r;
+  // 4 messages per time unit, delivered in batches of 2 every 0.5.
+  for (int i = 0; i <= 20; ++i) r.OnEvent(static_cast<double>(i) * 0.5, 2);
+  EXPECT_NEAR(r.RatePerUnit(), 4.0, 0.1);
+  EXPECT_EQ(r.total_events(), 42u);
+}
+
+TEST(RateEstimator, NoEventsMeansZero) {
+  RateEstimator r;
+  EXPECT_EQ(r.RatePerUnit(), 0.0);
+  r.OnEvent(1.0);
+  EXPECT_EQ(r.RatePerUnit(), 0.0);  // one event: no gap yet
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.Quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.0), 0.0, 1.0);
+  EXPECT_NEAR(h.Quantile(1.0), 10.0, 1.0);
+}
+
+TEST(Histogram, OverUnderflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(5.0);
+  h.Add(0.5);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(AsciiTable, RendersAlignedRows) {
+  AsciiTable t({"system", "time"});
+  t.AddRow({"GRAPE+", "26.4"});
+  t.AddRow({"Giraph", "6117.7"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("GRAPE+"), std::string::npos);
+  EXPECT_NE(s.find("6117.7"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(AsciiTable, CsvEmission) {
+  AsciiTable t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(AsciiTable, NumFormatting) {
+  EXPECT_EQ(AsciiTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::Num(2.0, 0), "2");
+}
+
+TEST(Gantt, RendersLanesAndSpans) {
+  std::vector<GanttSpan> spans = {{0, 0.0, 5.0, '#'}, {1, 5.0, 10.0, '1'}};
+  const std::string s = RenderGantt(spans, 2, 10.0, 20);
+  // Two lanes labelled P0 / P1.
+  EXPECT_NE(s.find("P0"), std::string::npos);
+  EXPECT_NE(s.find("P1"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::InvalidArgument("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("bad"), std::string::npos);
+}
+
+TEST(StatusOr, HoldsValueOrStatus) {
+  StatusOr<int> v(42);
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  StatusOr<int> e(Status::NotFound("x"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace grape
