@@ -1,37 +1,236 @@
 // google-benchmark microbenchmarks of the substrate primitives: buffer
-// append/drain (the B_x̄i hot path), partition construction, generators and
-// the sequential kernels the PIE programs build on. These track the
-// constant factors behind the figure-level harnesses.
+// append/drain (the B_x̄i hot path), message dispatch/routing, partition
+// construction, generators and the sequential kernels the PIE programs
+// build on. These track the constant factors behind the figure-level
+// harnesses.
+//
+// In addition to the google-benchmark registrations, main() runs a fixed
+// dense-vs-hash-map comparison (the seed's unordered_map buffer and
+// Recipients+std::map dispatch, reproduced below as baselines) and writes
+// the throughputs to BENCH_micro.json so future PRs can track the perf
+// trajectory of the hot paths.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "algos/cc.h"
 #include "core/sim_engine.h"
 #include "graph/generators.h"
 #include "partition/partitioner.h"
 #include "runtime/message.h"
+#include "util/timer.h"
 
 namespace grape {
 namespace {
 
-void BM_UpdateBufferAppendDrain(benchmark::State& state) {
-  const int entries = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    UpdateBuffer<double> buf;
-    Message<double> msg{0, 1, 0, {}, 0};
-    msg.entries.reserve(16);
-    for (int i = 0; i < entries; ++i) {
-      msg.entries.clear();
-      for (int j = 0; j < 16; ++j) {
-        msg.entries.push_back({static_cast<VertexId>((i * 7 + j) % 512),
-                               static_cast<double>(i), 0});
+// ----------------------------------------------------------- baselines ---
+// The seed's hash-map update buffer (unordered_map + heap mutex + sort on
+// drain), kept verbatim as the comparison baseline for BENCH_micro.json.
+
+template <typename V>
+class LegacyUpdateBuffer {
+ public:
+  LegacyUpdateBuffer() : mu_(std::make_unique<std::mutex>()) {}
+
+  template <typename Combine>
+  void Append(const Message<V>& msg, Combine&& combine) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    for (const auto& e : msg.entries) {
+      auto [it, inserted] = pending_.try_emplace(e.vid, e);
+      if (!inserted) {
+        it->second.value = combine(it->second.value, e.value);
+        it->second.round = std::max(it->second.round, e.round);
       }
-      buf.Append(msg, [](double a, double b) { return a < b ? a : b; });
     }
+    ++num_messages_;
+    senders_.insert(msg.from);
+  }
+
+  std::vector<UpdateEntry<V>> Drain() {
+    std::lock_guard<std::mutex> lock(*mu_);
+    std::vector<UpdateEntry<V>> out;
+    out.reserve(pending_.size());
+    for (auto& [vid, e] : pending_) out.push_back(e);
+    pending_.clear();
+    num_messages_ = 0;
+    senders_.clear();
+    std::sort(out.begin(), out.end(),
+              [](const UpdateEntry<V>& a, const UpdateEntry<V>& b) {
+                return a.vid < b.vid;
+              });
+    return out;
+  }
+
+ private:
+  mutable std::unique_ptr<std::mutex> mu_;
+  std::unordered_map<VertexId, UpdateEntry<V>> pending_;
+  uint64_t num_messages_ = 0;
+  std::unordered_set<FragmentId> senders_;
+};
+
+/// The seed's dispatch: per-entry Recipients() (placement + copy_holders
+/// hash lookups) grouped through a std::map<FragmentId, Message>.
+template <typename V>
+uint64_t LegacyDispatch(const Partition& p, FragmentId from,
+                        const std::vector<UpdateEntry<V>>& outbox,
+                        bool to_copies) {
+  std::map<FragmentId, Message<V>> grouped;
+  std::vector<FragmentId> recipients;
+  for (const auto& e : outbox) {
+    p.Recipients(e.vid, from, to_copies, &recipients);
+    for (FragmentId dst : recipients) {
+      auto& msg = grouped[dst];
+      msg.from = from;
+      msg.to = dst;
+      msg.entries.push_back(e);
+    }
+  }
+  uint64_t total = 0;
+  for (auto& [dst, msg] : grouped) {
+    total += msg.entries.size();
+    // Receivers used Fragment::LocalId per entry — charge it here too.
+    for (const auto& e : msg.entries) {
+      benchmark::DoNotOptimize(p.fragments[dst].LocalId(e.vid));
+    }
+  }
+  return total;
+}
+
+/// The routed dispatch of the engines, via the shared RouteUpdateEntry
+/// fan-out: O(1) routing-index reads into reusable per-destination boxes,
+/// destination lids stamped on the copies.
+template <typename V>
+struct RoutedDispatcher {
+  std::vector<std::vector<UpdateEntry<V>>> out_by_dst;
+  std::vector<FragmentId> touched;
+  std::vector<FragmentId> recipients;
+
+  explicit RoutedDispatcher(FragmentId m) : out_by_dst(m) {}
+
+  uint64_t Dispatch(const Partition& p, FragmentId from,
+                    const std::vector<UpdateEntry<V>>& outbox) {
+    for (const auto& e : outbox) {
+      RouteUpdateEntry</*kToCopies=*/false>(
+          p, from, e, recipients,
+          [this](const RouteTarget& t, const UpdateEntry<V>& entry) {
+            Push(t, entry);
+          });
+    }
+    uint64_t total = 0;
+    for (FragmentId dst : touched) {
+      total += out_by_dst[dst].size();
+      benchmark::DoNotOptimize(out_by_dst[dst].data());
+      out_by_dst[dst].clear();
+    }
+    touched.clear();
+    return total;
+  }
+
+  void Push(const RouteTarget& t, const UpdateEntry<V>& e) {
+    auto& box = out_by_dst[t.frag];
+    if (box.empty()) touched.push_back(t.frag);
+    box.push_back(UpdateEntry<V>{e.vid, e.value, e.round, t.lid});
+  }
+};
+
+// ----------------------------------------------------------- workloads ---
+
+std::vector<Message<double>> MakeBufferWorkload(int num_messages,
+                                                int entries_per_msg,
+                                                uint32_t key_space) {
+  std::vector<Message<double>> msgs;
+  msgs.reserve(num_messages);
+  for (int i = 0; i < num_messages; ++i) {
+    Message<double> m{static_cast<FragmentId>(i % 8), 1, 0, {}, 0};
+    for (int j = 0; j < entries_per_msg; ++j) {
+      const uint32_t k = (i * 7 + j * 13) % key_space;
+      m.entries.push_back({k, static_cast<double>(i), 0, k});
+    }
+    msgs.push_back(std::move(m));
+  }
+  return msgs;
+}
+
+struct DispatchWorkload {
+  Graph graph;
+  Partition partition;
+  std::vector<UpdateEntry<double>> outbox;  // fragment 0's border emissions
+};
+
+DispatchWorkload MakeDispatchWorkload() {
+  DispatchWorkload w;
+  RmatOptions o;
+  o.num_vertices = 1 << 13;
+  o.num_edges = 60000;
+  o.seed = 11;
+  w.graph = MakeRmat(o);
+  w.partition = HashPartitioner().Partition_(w.graph, 16);
+  const Fragment& f0 = w.partition.fragments[0];
+  for (LocalVertex l = f0.num_inner(); l < f0.num_local(); ++l) {
+    w.outbox.push_back({f0.GlobalId(l), 1.0, 3, l});
+  }
+  return w;
+}
+
+// ----------------------------------------------- benchmark registrations ---
+
+void BM_DenseBufferAppendDrain(benchmark::State& state) {
+  const int entries = static_cast<int>(state.range(0));
+  auto msgs = MakeBufferWorkload(entries, 16, 512);
+  auto combine = [](double a, double b) { return a < b ? a : b; };
+  UpdateBuffer<double> buf(512);
+  for (auto _ : state) {
+    for (const auto& m : msgs) buf.Append(m, combine);
     benchmark::DoNotOptimize(buf.Drain());
   }
   state.SetItemsProcessed(state.iterations() * entries * 16);
 }
-BENCHMARK(BM_UpdateBufferAppendDrain)->Arg(64)->Arg(512);
+BENCHMARK(BM_DenseBufferAppendDrain)->Arg(64)->Arg(512);
+
+void BM_LegacyBufferAppendDrain(benchmark::State& state) {
+  const int entries = static_cast<int>(state.range(0));
+  auto msgs = MakeBufferWorkload(entries, 16, 512);
+  auto combine = [](double a, double b) { return a < b ? a : b; };
+  LegacyUpdateBuffer<double> buf;
+  for (auto _ : state) {
+    for (const auto& m : msgs) buf.Append(m, combine);
+    benchmark::DoNotOptimize(buf.Drain());
+  }
+  state.SetItemsProcessed(state.iterations() * entries * 16);
+}
+BENCHMARK(BM_LegacyBufferAppendDrain)->Arg(64)->Arg(512);
+
+void BM_RoutedDispatch(benchmark::State& state) {
+  auto w = MakeDispatchWorkload();
+  RoutedDispatcher<double> d(w.partition.num_fragments());
+  uint64_t total = 0;
+  for (auto _ : state) {
+    total += d.Dispatch(w.partition, 0, w.outbox);
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.outbox.size()));
+}
+BENCHMARK(BM_RoutedDispatch);
+
+void BM_LegacyDispatch(benchmark::State& state) {
+  auto w = MakeDispatchWorkload();
+  uint64_t total = 0;
+  for (auto _ : state) {
+    total += LegacyDispatch(w.partition, 0, w.outbox, /*to_copies=*/false);
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.outbox.size()));
+}
+BENCHMARK(BM_LegacyDispatch);
 
 void BM_RmatGeneration(benchmark::State& state) {
   RmatOptions o;
@@ -85,7 +284,92 @@ void BM_EndToEndCcAap(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndCcAap);
 
+// --------------------------------------------------- BENCH_micro.json ---
+
+/// Runs `fn` long enough for a stable estimate; returns items/second.
+template <typename Fn>
+double MeasureItemsPerSec(uint64_t items_per_call, Fn&& fn) {
+  // Warm up, then time enough calls for >= ~0.2 s.
+  fn();
+  Stopwatch probe;
+  fn();
+  const double once = std::max(probe.ElapsedSeconds(), 1e-9);
+  const int reps = std::max(1, static_cast<int>(0.2 / once));
+  Stopwatch sw;
+  for (int i = 0; i < reps; ++i) fn();
+  const double secs = std::max(sw.ElapsedSeconds(), 1e-12);
+  return static_cast<double>(items_per_call) * reps / secs;
+}
+
+void WriteBenchJson(const char* path) {
+  auto combine = [](double a, double b) { return a < b ? a : b; };
+
+  // Buffer append+drain: 128 messages x 16 entries over 512 keys — the
+  // frequent-drain shape of an async round (δ rarely lets hundreds of
+  // messages accumulate before IncEval consumes them).
+  auto msgs = MakeBufferWorkload(128, 16, 512);
+  const uint64_t buf_items = 128 * 16;
+  UpdateBuffer<double> dense(512);
+  const double dense_buf = MeasureItemsPerSec(buf_items, [&] {
+    for (const auto& m : msgs) dense.Append(m, combine);
+    benchmark::DoNotOptimize(dense.Drain());
+  });
+  LegacyUpdateBuffer<double> legacy;
+  const double legacy_buf = MeasureItemsPerSec(buf_items, [&] {
+    for (const auto& m : msgs) legacy.Append(m, combine);
+    benchmark::DoNotOptimize(legacy.Drain());
+  });
+
+  // Message dispatch: fragment 0's full border outbox.
+  auto w = MakeDispatchWorkload();
+  RoutedDispatcher<double> router(w.partition.num_fragments());
+  const uint64_t disp_items = w.outbox.size();
+  const double routed_disp = MeasureItemsPerSec(disp_items, [&] {
+    benchmark::DoNotOptimize(router.Dispatch(w.partition, 0, w.outbox));
+  });
+  const double legacy_disp = MeasureItemsPerSec(disp_items, [&] {
+    benchmark::DoNotOptimize(LegacyDispatch(w.partition, 0, w.outbox, false));
+  });
+
+  FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"grapeplus-micro-v1\",\n");
+  std::fprintf(f, "  \"buffer_append_drain\": {\n");
+  std::fprintf(f, "    \"dense_items_per_sec\": %.0f,\n", dense_buf);
+  std::fprintf(f, "    \"hashmap_baseline_items_per_sec\": %.0f,\n",
+               legacy_buf);
+  std::fprintf(f, "    \"speedup\": %.2f\n", dense_buf / legacy_buf);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"message_dispatch\": {\n");
+  std::fprintf(f, "    \"routed_entries_per_sec\": %.0f,\n", routed_disp);
+  std::fprintf(f, "    \"hashmap_baseline_entries_per_sec\": %.0f,\n",
+               legacy_disp);
+  std::fprintf(f, "    \"speedup\": %.2f\n", routed_disp / legacy_disp);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("buffer append+drain: dense %.2fM/s vs hash-map %.2fM/s "
+              "(%.1fx)\n",
+              dense_buf / 1e6, legacy_buf / 1e6, dense_buf / legacy_buf);
+  std::printf("message dispatch:    routed %.2fM/s vs hash-map %.2fM/s "
+              "(%.1fx)\n",
+              routed_disp / 1e6, legacy_disp / 1e6,
+              routed_disp / legacy_disp);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 }  // namespace grape
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  grape::WriteBenchJson("BENCH_micro.json");
+  return 0;
+}

@@ -43,7 +43,7 @@ double BfsProgram::Expand(const Fragment& f, State& st,
     int64_t& sent = st.last_sent[o - f.num_inner()];
     if (st.level[o] < sent) {
       sent = st.level[o];
-      out->Emit(f.GlobalId(o), st.level[o]);
+      out->Emit(o, f.GlobalId(o), st.level[o]);
     }
   }
   return work;
@@ -64,7 +64,7 @@ double BfsProgram::IncEval(const Fragment& f, State& st,
   double work = 0;
   for (const auto& u : updates) {
     ++work;
-    const LocalVertex l = f.LocalId(u.vid);
+    const LocalVertex l = ResolveLocal(f, u);
     if (l == Fragment::kInvalidLocal) continue;
     if (u.value < st.level[l]) {
       st.level[l] = u.value;

@@ -47,7 +47,7 @@ double CcProgram::PEval(const Fragment& f, State& st,
     st.root_outer_members[r].push_back(o);
     const VertexId cid = st.comp_cid[r];
     st.last_sent[o - f.num_inner()] = cid;
-    out->Emit(f.GlobalId(o), cid);
+    out->Emit(o, f.GlobalId(o), cid);
   }
   return work;
 }
@@ -60,7 +60,7 @@ double CcProgram::IncEval(const Fragment& f, State& st,
   std::vector<LocalVertex> changed_roots;
   for (const auto& u : updates) {
     ++work;
-    const LocalVertex l = f.LocalId(u.vid);
+    const LocalVertex l = ResolveLocal(f, u);
     if (l == Fragment::kInvalidLocal) continue;
     const LocalVertex r = st.Find(l);
     if (u.value < st.comp_cid[r]) {
@@ -77,7 +77,7 @@ double CcProgram::IncEval(const Fragment& f, State& st,
       VertexId& sent = st.last_sent[o - f.num_inner()];
       if (cid < sent) {
         sent = cid;
-        out->Emit(f.GlobalId(o), cid);
+        out->Emit(o, f.GlobalId(o), cid);
       }
     }
   }

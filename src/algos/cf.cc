@@ -116,7 +116,7 @@ double CfProgram::IncEval(const Fragment& f, State& st,
   double work = 0;
   for (const auto& u : updates) {
     ++work;
-    const LocalVertex l = f.LocalId(u.vid);
+    const LocalVertex l = ResolveLocal(f, u);
     if (l == Fragment::kInvalidLocal) continue;
     // Max-timestamp aggregation: adopt strictly newer factors; average ties
     // (conflicting same-age updates from different workers).
@@ -151,7 +151,7 @@ void CfProgram::EmitBorder(const Fragment& f, State& st,
   auto emit_if_changed = [&](LocalVertex l) {
     if (st.version[l] > st.last_emitted[l]) {
       st.last_emitted[l] = st.version[l];
-      out->Emit(f.GlobalId(l), Value{st.factors[l], st.version[l]});
+      out->Emit(l, f.GlobalId(l), Value{st.factors[l], st.version[l]});
     }
   };
   for (LocalVertex o = f.num_inner(); o < f.num_local(); ++o) emit_if_changed(o);

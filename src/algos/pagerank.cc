@@ -51,7 +51,7 @@ double PageRankProgram::Propagate(const Fragment& f, State& st,
   for (LocalVertex o = f.num_inner(); o < f.num_local(); ++o) {
     double& acc = st.out_acc[o - f.num_inner()];
     if (acc >= tol_) {
-      out->Emit(f.GlobalId(o), acc);
+      out->Emit(o, f.GlobalId(o), acc);
       acc = 0.0;
     }
   }
@@ -79,7 +79,7 @@ double PageRankProgram::IncEval(const Fragment& f, State& st,
   double work = 0;
   for (const auto& u : updates) {
     ++work;
-    const LocalVertex l = f.LocalId(u.vid);
+    const LocalVertex l = ResolveLocal(f, u);
     if (l == Fragment::kInvalidLocal || !f.IsInner(l)) continue;
     st.residual[l] += u.value;  // faggr = sum, accumulative
   }

@@ -39,7 +39,7 @@ double SsspProgram::Relax(const Fragment& f, State& st,
     double& sent = st.last_sent[o - f.num_inner()];
     if (st.dist[o] < sent) {
       sent = st.dist[o];
-      out->Emit(f.GlobalId(o), st.dist[o]);
+      out->Emit(o, f.GlobalId(o), st.dist[o]);
     }
   }
   return work;
@@ -62,7 +62,7 @@ double SsspProgram::IncEval(const Fragment& f, State& st,
   double work = 0;
   for (const auto& u : updates) {
     ++work;
-    const LocalVertex l = f.LocalId(u.vid);
+    const LocalVertex l = ResolveLocal(f, u);
     if (l == Fragment::kInvalidLocal) continue;
     if (u.value < st.dist[l]) {
       st.dist[l] = u.value;

@@ -47,7 +47,7 @@ double VcSsspProgram::Superstep(const Fragment& f, State& st,
     if (st.dist[o] < sent) {
       sent = st.dist[o];
       work += costs_.remote_msg;
-      out->Emit(f.GlobalId(o), st.dist[o]);
+      out->Emit(o, f.GlobalId(o), st.dist[o]);
     }
   }
   st.frontier = std::move(next);
@@ -70,7 +70,7 @@ double VcSsspProgram::IncEval(const Fragment& f, State& st,
   double work = 0;
   for (const auto& u : updates) {
     work += costs_.local_msg;
-    const LocalVertex l = f.LocalId(u.vid);
+    const LocalVertex l = ResolveLocal(f, u);
     if (l == Fragment::kInvalidLocal) continue;
     if (u.value < st.dist[l]) {
       st.dist[l] = u.value;
@@ -133,7 +133,7 @@ double VcCcProgram::Superstep(const Fragment& f, State& st,
     if (st.cid[o] < sent) {
       sent = st.cid[o];
       work += costs_.remote_msg;
-      out->Emit(f.GlobalId(o), st.cid[o]);
+      out->Emit(o, f.GlobalId(o), st.cid[o]);
     }
   }
   st.frontier = std::move(next);
@@ -156,7 +156,7 @@ double VcCcProgram::IncEval(const Fragment& f, State& st,
   double work = 0;
   for (const auto& u : updates) {
     work += costs_.local_msg;
-    const LocalVertex l = f.LocalId(u.vid);
+    const LocalVertex l = ResolveLocal(f, u);
     if (l == Fragment::kInvalidLocal) continue;
     if (u.value < st.cid[l]) {
       st.cid[l] = u.value;
@@ -224,7 +224,7 @@ double VcPageRankProgram::Superstep(const Fragment& f, State& st,
     double& acc = st.out_acc[o - f.num_inner()];
     if (acc >= tol_) {
       work += costs_.remote_msg;
-      out->Emit(f.GlobalId(o), acc);
+      out->Emit(o, f.GlobalId(o), acc);
       acc = 0.0;
     }
   }
@@ -245,7 +245,7 @@ double VcPageRankProgram::IncEval(const Fragment& f, State& st,
   double work = 0;
   for (const auto& u : updates) {
     work += costs_.local_msg;
-    const LocalVertex l = f.LocalId(u.vid);
+    const LocalVertex l = ResolveLocal(f, u);
     if (l == Fragment::kInvalidLocal || !f.IsInner(l)) continue;
     st.residual[l] += u.value;
   }

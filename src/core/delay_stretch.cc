@@ -24,40 +24,50 @@ DelayStretchController::DelayStretchController(const ModeConfig& cfg,
     : cfg_(cfg),
       n_(num_workers),
       latency_hint_(latency_hint),
-      rounds_(num_workers, 0),
-      round_time_(num_workers, Ema(0.4)),
-      rate_(num_workers, RateEstimator(0.4)),
-      idle_since_(num_workers, 0.0),
-      idle_(num_workers, 1),
-      l_(num_workers, cfg.l_bottom),
-      observed_peers_(num_workers,
-                      num_workers > 1 ? num_workers - 1.0 : 0.0),
-      peers_known_(num_workers, 0) {}
+      rounds_(num_workers) {
+  ctl_.reserve(num_workers);
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    auto c = std::make_unique<WorkerCtl>();
+    c->observed_peers = num_workers > 1 ? num_workers - 1.0 : 0.0;
+    c->l.store(cfg.l_bottom, std::memory_order_relaxed);
+    ctl_.push_back(std::move(c));
+  }
+}
 
 void DelayStretchController::OnRoundStart(FragmentId w, double now) {
-  idle_[w] = 0;
-  idle_since_[w] = now;
+  WorkerCtl& c = *ctl_[w];
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.idle = false;
+  c.idle_since = now;
 }
 
 void DelayStretchController::OnRoundEnd(FragmentId w, double now,
                                         double round_time) {
-  ++rounds_[w];
-  round_time_[w].Add(round_time);
-  idle_[w] = 1;
-  idle_since_[w] = now;
+  rounds_[w].fetch_add(1, std::memory_order_acq_rel);
+  WorkerCtl& c = *ctl_[w];
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.round_time.Add(round_time);
+  c.predicted.store(c.round_time.value(), std::memory_order_relaxed);
+  c.idle = true;
+  c.idle_since = now;
 }
 
 void DelayStretchController::SeedRoundTime(FragmentId w, double now,
                                            double round_time) {
-  round_time_[w].Add(round_time);
-  idle_[w] = 1;
-  idle_since_[w] = now;
+  WorkerCtl& c = *ctl_[w];
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.round_time.Add(round_time);
+  c.predicted.store(c.round_time.value(), std::memory_order_relaxed);
+  c.idle = true;
+  c.idle_since = now;
 }
 
 void DelayStretchController::OnMessages(FragmentId w, double now,
                                         uint64_t count, bool first_pending) {
-  rate_[w].OnEvent(now, count);
-  if (first_pending && idle_[w]) idle_since_[w] = now;
+  WorkerCtl& c = *ctl_[w];
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.rate.OnEvent(now, count);
+  if (first_pending && c.idle) c.idle_since = now;
 }
 
 void DelayStretchController::OnDrain(FragmentId w, uint64_t distinct_senders) {
@@ -65,48 +75,57 @@ void DelayStretchController::OnDrain(FragmentId w, uint64_t distinct_senders) {
   // far, after an optimistic first drain (the all-peers prior would make
   // sparse-topology workers wait for senders that never come).
   const double seen = static_cast<double>(distinct_senders);
-  if (!peers_known_[w]) {
-    peers_known_[w] = 1;
-    observed_peers_[w] = seen;
+  WorkerCtl& c = *ctl_[w];
+  std::lock_guard<std::mutex> lock(c.mu);
+  if (!c.peers_known) {
+    c.peers_known = true;
+    c.observed_peers = seen;
   } else {
-    observed_peers_[w] = std::max(seen, observed_peers_[w]);
+    c.observed_peers = std::max(seen, c.observed_peers);
   }
 }
 
 void DelayStretchController::OnIdleStart(FragmentId w, double now) {
-  idle_[w] = 1;
-  idle_since_[w] = now;
+  WorkerCtl& c = *ctl_[w];
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.idle = true;
+  c.idle_since = now;
 }
 
 Round DelayStretchController::RMin(const std::vector<uint8_t>& relevant) const {
   Round r = std::numeric_limits<Round>::max();
   for (uint32_t i = 0; i < n_; ++i) {
-    if (relevant.empty() || relevant[i]) r = std::min(r, rounds_[i]);
+    if (relevant.empty() || relevant[i]) {
+      r = std::min(r, rounds_[i].load(std::memory_order_relaxed));
+    }
   }
   return r == std::numeric_limits<Round>::max() ? 0 : r;
 }
 
 Round DelayStretchController::RMax() const {
   Round r = 0;
-  for (uint32_t i = 0; i < n_; ++i) r = std::max(r, rounds_[i]);
+  for (uint32_t i = 0; i < n_; ++i) {
+    r = std::max(r, rounds_[i].load(std::memory_order_relaxed));
+  }
   return r;
 }
 
-double DelayStretchController::PredictedRoundTime(FragmentId w) const {
-  return round_time_[w].initialized() ? round_time_[w].value() : 0.0;
-}
-
 double DelayStretchController::ArrivalRate(FragmentId w) const {
-  return rate_[w].RatePerUnit();
+  WorkerCtl& c = *ctl_[w];
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.rate.RatePerUnit();
 }
 
 double DelayStretchController::GroupRoundTime(
     const std::vector<uint8_t>& relevant) const {
+  // Reads the lock-free predicted-time mirrors: other workers' estimator
+  // locks are never taken from inside a Decide().
   std::vector<double> ts;
   ts.reserve(n_);
   for (uint32_t i = 0; i < n_; ++i) {
-    if ((relevant.empty() || relevant[i]) && round_time_[i].initialized()) {
-      ts.push_back(round_time_[i].value());
+    if (relevant.empty() || relevant[i]) {
+      const double t = ctl_[i]->predicted.load(std::memory_order_relaxed);
+      if (t > 0.0) ts.push_back(t);
     }
   }
   if (ts.empty()) return 0.0;
@@ -124,9 +143,11 @@ DelayDecision DelayStretchController::DecideAap(
   // BSP-like waves (each waits for most of its group) while stragglers are
   // neither blocked nor block anyone. T_idle bounds every wait.
   (void)eta;
+  WorkerCtl& c = *ctl_[w];
+  std::lock_guard<std::mutex> lock(c.mu);
   const double target =
-      std::max(cfg_.l_bottom, cfg_.sender_fraction * observed_peers_[w]);
-  l_[w] = target;
+      std::max(cfg_.l_bottom, cfg_.sender_fraction * c.observed_peers);
+  c.l.store(target, std::memory_order_relaxed);
   if (static_cast<double>(eta_senders) >= target) {
     return {DelayDecision::Kind::kRunNow, 0};
   }
@@ -137,9 +158,9 @@ DelayDecision DelayStretchController::DecideAap(
   // cadence is the *group's* (median peer round time): fast workers thereby
   // pace each other — the paper's "fast workers are automatically grouped
   // together and run essentially BSP within the group".
-  const double s_i = rate_[w].RatePerUnit();
-  const double t_i =
-      std::max(PredictedRoundTime(w), GroupRoundTime(relevant));
+  const double s_i = c.rate.RatePerUnit();
+  const double own = c.round_time.initialized() ? c.round_time.value() : 0.0;
+  const double t_i = std::max(own, GroupRoundTime(relevant));
   const double timescale = std::max(t_i, latency_hint_);
   const double cap = timescale > 0.0 ? 2.0 * timescale : 0.0;
   if (cap <= 0.0) return {DelayDecision::Kind::kRunNow, 0};
@@ -148,7 +169,7 @@ DelayDecision DelayStretchController::DecideAap(
   // The missing senders' messages are at least one delivery latency away;
   // waking earlier would consume a partial generation and recompute.
   t_more = std::max(t_more, latency_hint_);
-  const double t_idle = idle_[w] ? std::max(0.0, now - idle_since_[w]) : 0.0;
+  const double t_idle = c.idle ? std::max(0.0, now - c.idle_since) : 0.0;
   const double ds = std::min(t_more, cap) - t_idle;
   if (ds <= 0.0) return {DelayDecision::Kind::kRunNow, 0};
   return {DelayDecision::Kind::kWaitFor, ds};
@@ -156,27 +177,35 @@ DelayDecision DelayStretchController::DecideAap(
 
 bool DelayStretchController::BarrierMode() const {
   return cfg_.mode == Mode::kBsp ||
-         (cfg_.mode == Mode::kHsync && hsync_in_bsp_);
+         (cfg_.mode == Mode::kHsync && hsync_in_bsp());
 }
 
 void DelayStretchController::NoteRoundGap(Round gap) {
   if (cfg_.mode != Mode::kHsync) return;
-  if (!hsync_in_bsp_ && gap > cfg_.hsync_gap_hi) {
-    hsync_in_bsp_ = true;
+  std::lock_guard<std::mutex> lock(hsync_mu_);
+  if (!hsync_in_bsp_.load(std::memory_order_relaxed) &&
+      gap > cfg_.hsync_gap_hi) {
+    hsync_in_bsp_.store(true, std::memory_order_release);
     hsync_bsp_supersteps_ = 0;
   }
 }
 
 void DelayStretchController::OnBarrierRelease() {
-  if (cfg_.mode != Mode::kHsync || !hsync_in_bsp_) return;
+  if (cfg_.mode != Mode::kHsync) return;
+  std::lock_guard<std::mutex> lock(hsync_mu_);
+  if (!hsync_in_bsp_.load(std::memory_order_relaxed)) return;
   // PowerSwitch's switch-back: a few synchronised supersteps realign the
   // workers, then asynchrony resumes.
-  if (++hsync_bsp_supersteps_ >= 3) hsync_in_bsp_ = false;
+  if (++hsync_bsp_supersteps_ >= 3) {
+    hsync_in_bsp_.store(false, std::memory_order_release);
+  }
 }
 
 void DelayStretchController::RestoreRounds(const std::vector<Round>& rounds) {
   GRAPE_CHECK(rounds.size() == rounds_.size());
-  rounds_ = rounds;
+  for (uint32_t i = 0; i < n_; ++i) {
+    rounds_[i].store(rounds[i], std::memory_order_release);
+  }
 }
 
 DelayDecision DelayStretchController::Decide(
@@ -186,7 +215,7 @@ DelayDecision DelayStretchController::Decide(
   if (BarrierMode()) return {DelayDecision::Kind::kSuspend, 0};
 
   const Round r_min = RMin(relevant);
-  const Round r_i = rounds_[w];
+  const Round r_i = round(w);
 
   switch (cfg_.mode) {
     case Mode::kBsp:

@@ -13,10 +13,19 @@
 // messages are worth accumulating (adapted from the predicted round time t_i
 // and the message arrival rate s_i), T_Li ≈ (L_i − η_i)/s_i, and T_idle
 // prevents indefinite waiting. BSP / AP / SSP are fixed-δ special cases.
+//
+// Thread safety: all per-worker estimator state sits behind a per-worker
+// mutex, and the cross-worker signals (round counters, predicted round
+// times) are mirrored into atomics, so concurrent Decide()/OnMessages()
+// calls for different workers never contend on a shared lock — the threaded
+// engine no longer funnels every scheduling decision through one mutex.
 #ifndef GRAPEPLUS_CORE_DELAY_STRETCH_H_
 #define GRAPEPLUS_CORE_DELAY_STRETCH_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/modes.h"
@@ -38,8 +47,8 @@ struct DelayDecision {
 
 /// Per-run controller shared by all virtual workers of one engine instance.
 /// The engine reports round starts/ends, message arrivals and idleness; the
-/// controller answers Decide() queries. Not thread safe by itself; the
-/// threaded engine guards it with the scheduler lock.
+/// controller answers Decide() queries. Safe for concurrent use from many
+/// threads; calls about distinct workers proceed in parallel.
 class DelayStretchController {
  public:
   /// `latency_hint` is the runtime's typical message delivery latency; the
@@ -47,6 +56,9 @@ class DelayStretchController {
   /// worker waits for at least one "generation" of in-flight messages.
   DelayStretchController(const ModeConfig& cfg, uint32_t num_workers,
                          double latency_hint = 0.0);
+
+  DelayStretchController(const DelayStretchController&) = delete;
+  DelayStretchController& operator=(const DelayStretchController&) = delete;
 
   // ---- engine feedback ----
   void OnRoundStart(FragmentId w, double now);
@@ -69,7 +81,9 @@ class DelayStretchController {
 
   // ---- queries ----
   /// Current round of worker w (rounds completed; PEval = round 0).
-  Round round(FragmentId w) const { return rounds_[w]; }
+  Round round(FragmentId w) const {
+    return rounds_[w].load(std::memory_order_relaxed);
+  }
 
   /// r_min/r_max over `relevant` workers (engine passes true for workers that
   /// are busy or have buffered messages; exhausted idle workers do not hold
@@ -95,17 +109,38 @@ class DelayStretchController {
   /// Hsync: engine reports each barrier release; after a few BSP supersteps
   /// the sub-mode flips back to AP (PowerSwitch's switch-back).
   void OnBarrierRelease();
-  bool hsync_in_bsp() const { return hsync_in_bsp_; }
+  bool hsync_in_bsp() const {
+    return hsync_in_bsp_.load(std::memory_order_acquire);
+  }
 
   /// Recovery support: reset per-worker round counters to a snapshot.
   void RestoreRounds(const std::vector<Round>& rounds);
 
   /// Introspection for tests.
-  double PredictedRoundTime(FragmentId w) const;
+  double PredictedRoundTime(FragmentId w) const {
+    return ctl_[w]->predicted.load(std::memory_order_relaxed);
+  }
   double ArrivalRate(FragmentId w) const;
-  double CurrentBound(FragmentId w) const { return l_[w]; }
+  double CurrentBound(FragmentId w) const {
+    return ctl_[w]->l.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Per-worker estimator block. One cache line each; its mutex serialises
+  /// only operations about this worker.
+  struct alignas(64) WorkerCtl {
+    mutable std::mutex mu;
+    Ema round_time{0.4};       // t_i
+    RateEstimator rate{0.4};   // s_i
+    double idle_since = 0.0;
+    bool idle = true;
+    double observed_peers = 0.0;  // workers that usually feed this one
+    bool peers_known = false;     // first drain seen
+    /// Lock-free mirrors read by *other* workers' decisions.
+    std::atomic<double> predicted{0.0};  // round_time.value()
+    std::atomic<double> l{0.0};          // L_i (introspection)
+  };
+
   /// Median predicted round time over relevant workers — the natural cadence
   /// of the worker "group" (robust to the straggler's outlier time).
   double GroupRoundTime(const std::vector<uint8_t>& relevant) const;
@@ -116,15 +151,10 @@ class DelayStretchController {
   ModeConfig cfg_;
   uint32_t n_;
   double latency_hint_;
-  std::vector<Round> rounds_;
-  std::vector<Ema> round_time_;       // t_i
-  std::vector<RateEstimator> rate_;   // s_i
-  std::vector<double> idle_since_;
-  std::vector<uint8_t> idle_;
-  std::vector<double> l_;             // L_i
-  std::vector<double> observed_peers_;  // workers that usually feed w
-  std::vector<uint8_t> peers_known_;    // first drain seen
-  bool hsync_in_bsp_ = false;
+  std::vector<std::atomic<Round>> rounds_;
+  std::vector<std::unique_ptr<WorkerCtl>> ctl_;
+  std::atomic<bool> hsync_in_bsp_{false};
+  std::mutex hsync_mu_;  // guards the superstep counter below
   int hsync_bsp_supersteps_ = 0;
 };
 

@@ -37,6 +37,7 @@
 
 #include <concepts>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "partition/fragment.h"
@@ -44,14 +45,60 @@
 
 namespace grape {
 
+/// Resolves the fragment-local id of a received update: O(1) via the
+/// dispatch-stamped destination lid, falling back to the fragment's hash
+/// lookup for hand-built entries (tests, recovered snapshots of old runs)
+/// and for stale lids that no longer name this vertex here.
+template <typename V>
+inline LocalVertex ResolveLocal(const Fragment& f, const UpdateEntry<V>& e) {
+  if (e.lid < f.num_local() && f.GlobalId(e.lid) == e.vid) return e.lid;
+  return f.LocalId(e.vid);
+}
+
+/// Routes one outbox entry of fragment `from` to its recipients via the
+/// precomputed routing index, invoking push(target, entry) per destination
+/// — the single definition of the dispatch fan-out shared by both engines
+/// (and the microbenchmarks). Falls back to the hash-based reference
+/// routing for entries naming a vertex the source fragment does not hold;
+/// `recipients_scratch` avoids per-call allocation on that path.
+template <bool kToCopies, typename V, typename Push>
+inline void RouteUpdateEntry(const Partition& p, FragmentId from,
+                             const UpdateEntry<V>& e,
+                             std::vector<FragmentId>& recipients_scratch,
+                             Push&& push) {
+  const Fragment& f = p.fragments[from];
+  LocalVertex l = e.lid;
+  if (l >= f.num_local() || f.GlobalId(l) != e.vid) l = f.LocalId(e.vid);
+  if (l != kInvalidLocalVertex) {
+    const FragmentRouting& routes = p.routing[from];
+    const RouteTarget& t = routes.owner[l];
+    if (t.frag != kInvalidFragment) push(t, e);
+    if constexpr (kToCopies) {
+      for (const RouteTarget& c : routes.Copies(l)) push(c, e);
+    }
+  } else {
+    p.Recipients(e.vid, from, kToCopies, &recipients_scratch);
+    for (FragmentId dst : recipients_scratch) {
+      push(RouteTarget{dst, p.fragments[dst].LocalId(e.vid)}, e);
+    }
+  }
+}
+
 /// Collects the changed update parameters of one PEval/IncEval invocation.
 template <typename V>
 class Emitter {
  public:
   /// Declares that border vertex `global_vid`'s status variable now holds
-  /// `value`. The engine stamps the producing round and routes copies.
-  void Emit(VertexId global_vid, const V& value) {
-    entries_.push_back(UpdateEntry<V>{global_vid, value, round_});
+  /// `value`; `source_lid` is its local id in the emitting fragment, which
+  /// lets the engine route through the precomputed O(1) routing index. The
+  /// engine stamps the producing round and routes copies. Programs that
+  /// cannot name the local id may pass kInvalidLocalVertex — the engine then
+  /// falls back to hash-based routing for that entry.
+  template <typename U>
+  void Emit(LocalVertex source_lid, VertexId global_vid, U&& value) {
+    entries_.push_back(UpdateEntry<V>{global_vid,
+                                      static_cast<V>(std::forward<U>(value)),
+                                      round_, source_lid});
   }
 
   void SetRound(Round r) { round_ = r; }

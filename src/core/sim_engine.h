@@ -10,10 +10,15 @@
 // The programs' state transitions are real — only time is virtual — so the
 // engine produces exact fixpoints plus deterministic timing traces (the
 // paper's Fig. 1 / Fig. 7 diagrams) on a single machine.
+//
+// Hot-path layout: update buffers are dense slot arrays sized from the
+// fragment, and the outbox is routed through the partition's precomputed
+// routing index into reusable per-destination vectors — no hash map or
+// std::map is touched per entry.
 #ifndef GRAPEPLUS_CORE_SIM_ENGINE_H_
 #define GRAPEPLUS_CORE_SIM_ENGINE_H_
 
-#include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -50,18 +55,14 @@ class SimEngine {
   SimEngine(const Partition& partition, Program program, EngineConfig config)
       : partition_(partition),
         program_(std::move(program)),
-        cfg_(std::move(config)),
-        controller_(cfg_.mode, partition.num_fragments(), cfg_.msg_latency),
-        checkpoints_(partition.num_fragments()) {
-    const uint32_t m = partition_.num_fragments();
-    workers_.resize(m);
-    stats_.workers.resize(m);
-    rngs_.reserve(m);
-    for (uint32_t i = 0; i < m; ++i) rngs_.emplace_back(cfg_.seed * 7919 + i);
+        cfg_(std::move(config)) {
+    ResetRunState();
   }
 
-  /// Executes the full PEval -> IncEval* -> Assemble pipeline.
+  /// Executes the full PEval -> IncEval* -> Assemble pipeline. Re-runnable:
+  /// each call starts from a fresh engine state over the same partition.
   Result Run() {
+    ResetRunState();
     const uint32_t m = partition_.num_fragments();
     states_.clear();
     states_.reserve(m);
@@ -98,13 +99,13 @@ class SimEngine {
     r.stats.makespan = r.trace.EndTime();
     if (checkpoint_token_ != 0) {
       r.checkpoint_late_messages =
-          checkpoints_.late_messages(checkpoint_token_);
+          checkpoints_->late_messages(checkpoint_token_);
     }
     return r;
   }
 
   /// Access to the controller for white-box tests.
-  const DelayStretchController& controller() const { return controller_; }
+  const DelayStretchController& controller() const { return *controller_; }
 
  private:
   enum class Phase { kBusy, kIdle, kWaiting, kSuspended };
@@ -130,6 +131,35 @@ class SimEngine {
     /// the snapshot is taken (prevents double delivery after rollback).
     std::vector<Message<V>> stashed_tokened;
   };
+
+  /// Rebuilds all per-run state so Run() can be called repeatedly without
+  /// the counters, buffers or controller of a previous run leaking in.
+  void ResetRunState() {
+    const uint32_t m = partition_.num_fragments();
+    clock_ = SimClock{};
+    controller_ = std::make_unique<DelayStretchController>(
+        cfg_.mode, m, cfg_.msg_latency);
+    checkpoints_ = std::make_unique<CheckpointCoordinator>(m);
+    checkpoint_token_ = 0;
+    workers_.clear();
+    workers_.resize(m);
+    for (uint32_t i = 0; i < m; ++i) {
+      workers_[i].buffer =
+          UpdateBuffer<V>(partition_.fragments[i].num_local());
+    }
+    stats_ = RunStats{};
+    stats_.workers.resize(m);
+    trace_ = RunTrace{};
+    rngs_.clear();
+    rngs_.reserve(m);
+    for (uint32_t i = 0; i < m; ++i) rngs_.emplace_back(cfg_.seed * 7919 + i);
+    out_by_dst_.assign(m, {});
+    touched_.clear();
+    inflight_ = 0;
+    busy_count_ = 0;
+    total_rounds_ = 0;
+    supersteps_ = 0;
+  }
 
   double Speed(FragmentId w) const {
     return cfg_.speed_factors.empty() ? 1.0 : cfg_.speed_factors[w];
@@ -199,7 +229,7 @@ class SimEngine {
     SetPhase(w, Phase::kBusy);
     ++busy_count_;
     const double now = clock_.Now();
-    controller_.OnRoundStart(w, now);
+    controller_->OnRoundStart(w, now);
 
     Emitter<V> emitter;
     double work = 0.0;
@@ -208,9 +238,9 @@ class SimEngine {
       emitter.SetRound(0);
       work = program_.PEval(partition_.fragments[w], states_[w], &emitter);
     } else {
-      rt.running_round = controller_.round(w) + 1;
+      rt.running_round = controller_->round(w) + 1;
       emitter.SetRound(rt.running_round);
-      controller_.OnDrain(w, rt.buffer.NumDistinctSenders());
+      controller_->OnDrain(w, rt.buffer.NumDistinctSenders());
       auto updates = rt.buffer.Drain();
       stats_.workers[w].updates_applied += updates.size();
       work = program_.IncEval(partition_.fragments[w], states_[w],
@@ -242,11 +272,11 @@ class SimEngine {
                is_peval ? SpanKind::kPEval : SpanKind::kIncEval);
     if (!is_peval) {
       ++stats_.workers[w].rounds;
-      controller_.OnRoundEnd(w, now, rt.round_cost);
+      controller_->OnRoundEnd(w, now, rt.round_cost);
     } else {
       // Seed the round-time predictor so δ has a t_i estimate from the
       // first IncEval decision onwards.
-      controller_.SeedRoundTime(w, now, rt.round_cost);
+      controller_->SeedRoundTime(w, now, rt.round_cost);
     }
 
     // This round's output is pre-cut (no token yet): receivers either fold
@@ -262,8 +292,8 @@ class SimEngine {
     }
 
     // Hsync watches the round gap to decide AP -> BSP switches.
-    controller_.NoteRoundGap(controller_.RMax() -
-                             controller_.RMin(RelevantMask()));
+    controller_->NoteRoundGap(controller_->RMax() -
+                              controller_->RMin(RelevantMask()));
 
     if (Eligible(w)) {
       SetPhase(w, Phase::kIdle);  // transient; ReDecide moves it on
@@ -271,31 +301,41 @@ class SimEngine {
     } else {
       // Buffer empty: flag `inactive` to the master (termination protocol).
       SetPhase(w, Phase::kIdle);
-      controller_.OnIdleStart(w, now);
+      controller_->OnIdleStart(w, now);
     }
     MaybeWakeSuspended();
     CheckBarrier();
   }
 
-  /// Routes the outbox as designated messages M(w, j).
+  void PushTo(const RouteTarget& t, const UpdateEntry<V>& e) {
+    auto& box = out_by_dst_[t.frag];
+    if (box.empty()) touched_.push_back(t.frag);
+    box.push_back(UpdateEntry<V>{e.vid, e.value, e.round, t.lid});
+  }
+
+  /// Routes the outbox as designated messages M(w, j) through the
+  /// precomputed routing index into reusable per-destination boxes: O(1)
+  /// array reads per destination, destination local ids stamped on copies.
   void DispatchOutbox(FragmentId w) {
     auto& rt = workers_[w];
     if (rt.outbox.empty()) return;
-    std::map<FragmentId, Message<V>> grouped;
-    std::vector<FragmentId> recipients;
     for (const auto& e : rt.outbox) {
-      partition_.Recipients(e.vid, w, Program::kOwnerBroadcast, &recipients);
-      for (FragmentId dst : recipients) {
-        auto& msg = grouped[dst];
-        msg.from = w;
-        msg.to = dst;
-        msg.round = e.round;
-        msg.entries.push_back(e);
-      }
+      RouteUpdateEntry<Program::kOwnerBroadcast>(
+          partition_, w, e, recipients_,
+          [this](const RouteTarget& t, const UpdateEntry<V>& entry) {
+            PushTo(t, entry);
+          });
     }
     rt.outbox.clear();
     const double now = clock_.Now();
-    for (auto& [dst, msg] : grouped) {
+    for (FragmentId dst : touched_) {
+      auto& box = out_by_dst_[dst];
+      Message<V> msg;
+      msg.from = w;
+      msg.to = dst;
+      msg.round = box.back().round;
+      msg.entries = std::move(box);
+      box.clear();
       msg.token = rt.snapshotted ? checkpoint_token_ : Message<V>::kNoToken;
       const double lat = cfg_.msg_latency +
                          cfg_.per_entry_latency *
@@ -307,6 +347,7 @@ class SimEngine {
       auto shared = std::make_shared<Message<V>>(std::move(msg));
       clock_.Schedule(now + lat, [this, shared] { Arrive(*shared); });
     }
+    touched_.clear();
   }
 
   void Arrive(const Message<V>& msg) {
@@ -326,7 +367,7 @@ class SimEngine {
           rt.token_pending = true;
           rt.stashed_tokened.push_back(msg);
           ++stats_.workers[w].msgs_received;
-          controller_.OnMessages(w, now, 1);
+          controller_->OnMessages(w, now, 1);
           if (inflight_ == 0) {
             MaybeWakeSuspended();
             CheckBarrier();
@@ -336,7 +377,7 @@ class SimEngine {
         TakeSnapshot(w);
       } else if (msg.token == Message<V>::kNoToken && rt.snapshotted) {
         for (const auto& e : msg.entries) rt.snapshot_buffer.push_back(e);
-        checkpoints_.NoteLateMessage(w, checkpoint_token_);
+        checkpoints_->NoteLateMessage(w, checkpoint_token_);
       }
     }
 
@@ -345,9 +386,9 @@ class SimEngine {
       return program_.Combine(a, b);
     });
     ++stats_.workers[w].msgs_received;
-    controller_.OnMessages(w, now, 1, first_pending);
+    controller_->OnMessages(w, now, 1, first_pending);
 
-    if (rt.phase != Phase::kBusy && !controller_.BarrierMode()) ReDecide(w);
+    if (rt.phase != Phase::kBusy && !controller_->BarrierMode()) ReDecide(w);
     if (inflight_ == 0) {
       MaybeWakeSuspended();
       CheckBarrier();
@@ -357,7 +398,7 @@ class SimEngine {
   /// Releases all eligible workers atomically at global quiescence — the
   /// superstep barrier of BSP (and Hsync's BSP sub-mode).
   void CheckBarrier() {
-    if (!controller_.BarrierMode() || !Quiescent()) return;
+    if (!controller_->BarrierMode() || !Quiescent()) return;
     std::vector<FragmentId> eligible;
     for (FragmentId w = 0; w < workers_.size(); ++w) {
       if (workers_[w].phase != Phase::kBusy && Eligible(w)) {
@@ -366,7 +407,7 @@ class SimEngine {
     }
     if (eligible.empty()) return;
     ++supersteps_;
-    controller_.OnBarrierRelease();
+    controller_->OnBarrierRelease();
     for (FragmentId w : eligible) StartRound(w, /*is_peval=*/false);
   }
 
@@ -376,7 +417,7 @@ class SimEngine {
     if (rt.phase == Phase::kBusy || !Eligible(w)) return;
     const double now = clock_.Now();
     const uint64_t local = HasLocalWork(w) ? 1 : 0;
-    const DelayDecision d = controller_.Decide(
+    const DelayDecision d = controller_->Decide(
         w, now, rt.buffer.NumMessages() + local,
         rt.buffer.NumDistinctSenders() + local, RelevantMask());
     switch (d.kind) {
@@ -405,7 +446,7 @@ class SimEngine {
     // The suspension exceeded DS_i: activate unless a staleness bound still
     // forbids it (in which case Decide() suspends).
     const uint64_t local = HasLocalWork(w) ? 1 : 0;
-    const DelayDecision d = controller_.Decide(
+    const DelayDecision d = controller_->Decide(
         w, clock_.Now(), rt.buffer.NumMessages() + local,
         rt.buffer.NumDistinctSenders() + local, RelevantMask());
     if (d.kind == DelayDecision::Kind::kSuspend) {
@@ -436,7 +477,7 @@ class SimEngine {
   // ---- checkpoint / recovery (Section 6) ----
 
   void BeginCheckpoint() {
-    checkpoint_token_ = checkpoints_.StartCheckpoint();
+    checkpoint_token_ = checkpoints_->StartCheckpoint();
     // Master broadcasts the request; it reaches workers after one latency.
     for (FragmentId w = 0; w < workers_.size(); ++w) {
       clock_.Schedule(clock_.Now() + cfg_.msg_latency, [this, w] {
@@ -453,11 +494,11 @@ class SimEngine {
 
   void TakeSnapshot(FragmentId w) {
     auto& rt = workers_[w];
-    if (!checkpoints_.ShouldSnapshot(w, checkpoint_token_)) return;
+    if (!checkpoints_->ShouldSnapshot(w, checkpoint_token_)) return;
     rt.snapshotted = true;
     rt.snapshot_state = states_[w];
     rt.snapshot_buffer = rt.buffer.Snapshot();
-    rt.snapshot_round = controller_.round(w);
+    rt.snapshot_round = controller_->round(w);
   }
 
   /// Appends messages held back during the snapshot, then reschedules.
@@ -474,7 +515,7 @@ class SimEngine {
 
   void FailAndRecover() {
     if (checkpoint_token_ == 0 ||
-        !checkpoints_.Complete(checkpoint_token_)) {
+        !checkpoints_->Complete(checkpoint_token_)) {
       GRAPE_LOG(Warning) << "failure injected before checkpoint completion; "
                             "ignoring (no consistent state to roll back to)";
       return;
@@ -499,7 +540,7 @@ class SimEngine {
                         return program_.Combine(a, b);
                       });
     }
-    controller_.RestoreRounds(rounds);
+    controller_->RestoreRounds(rounds);
     // Single-recovery support: checkpointing machinery disarms after the
     // rollback (a fresh checkpoint could be started by a follow-up event).
     checkpoint_token_ = 0;
@@ -513,14 +554,18 @@ class SimEngine {
   Program program_;
   EngineConfig cfg_;
   SimClock clock_;
-  DelayStretchController controller_;
-  CheckpointCoordinator checkpoints_;
+  std::unique_ptr<DelayStretchController> controller_;
+  std::unique_ptr<CheckpointCoordinator> checkpoints_;
   uint64_t checkpoint_token_ = 0;
 
   std::vector<WorkerRt> workers_;
   std::vector<State> states_;
   std::vector<Rng> rngs_;
   std::vector<uint8_t> relevant_;
+  // Reusable dispatch scratch (the sim engine is single-threaded).
+  std::vector<std::vector<UpdateEntry<V>>> out_by_dst_;
+  std::vector<FragmentId> touched_;
+  std::vector<FragmentId> recipients_;
   RunStats stats_;
   RunTrace trace_;
   uint64_t inflight_ = 0;

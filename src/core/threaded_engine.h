@@ -8,15 +8,17 @@
 // Supports AP / SSP / AAP via the shared DelayStretchController and BSP via
 // an explicit superstep path (barrier + post-barrier delivery). Hsync is a
 // sim-engine-only mode (its switching heuristics need the virtual clock).
+//
+// Scheduling is decentralised: virtual workers are claimed with a per-worker
+// atomic CAS, the controller locks per worker, and cross-thread counters are
+// atomics — there is no global scheduler mutex. Physical threads live in a
+// persistent WorkerPool shared across BSP supersteps, and the master blocks
+// on a condition-variable hub instead of a polling sleep.
 #ifndef GRAPEPLUS_CORE_THREADED_ENGINE_H_
 #define GRAPEPLUS_CORE_THREADED_ENGINE_H_
 
 #include <atomic>
-#include <chrono>
-#include <functional>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -29,6 +31,7 @@
 #include "runtime/message.h"
 #include "runtime/stats_collector.h"
 #include "runtime/termination.h"
+#include "runtime/worker_pool.h"
 #include "util/timer.h"
 
 namespace grape {
@@ -52,25 +55,23 @@ class ThreadedEngine {
                  EngineConfig config)
       : partition_(partition),
         program_(std::move(program)),
-        cfg_(std::move(config)),
-        controller_(cfg_.mode, partition.num_fragments()),
-        term_(partition.num_fragments()) {
+        cfg_(std::move(config)) {
     GRAPE_CHECK(cfg_.mode.mode != Mode::kHsync)
         << "Hsync is only supported by the sim engine";
-    const uint32_t m = partition_.num_fragments();
-    workers_.resize(m);
-    for (uint32_t i = 0; i < m; ++i) workers_[i] = std::make_unique<WorkerRt>();
-    stats_.workers.resize(m);
   }
 
+  /// Re-runnable: each call starts from a fresh engine state.
   Result Run() {
+    const uint32_t m = partition_.num_fragments();
+    ResetRunState();
     run_wall_.Restart();
     Stopwatch wall;
-    const uint32_t m = partition_.num_fragments();
     states_.clear();
     states_.reserve(m);
     for (uint32_t i = 0; i < m; ++i) {
       states_.push_back(program_.Init(partition_.fragments[i]));
+      workers_[i]->local_work.store(HasLocalWork(i),
+                                    std::memory_order_release);
     }
     uint32_t threads = cfg_.num_threads;
     if (threads == 0) {
@@ -78,26 +79,69 @@ class ThreadedEngine {
       if (threads == 0) threads = 1;
     }
 
-    if (cfg_.mode.mode == Mode::kBsp) {
-      RunBsp(threads);
-    } else {
-      RunAsync(threads);
+    {
+      // One persistent pool for the whole run: BSP supersteps reuse its
+      // threads instead of spawn/join per superstep, and the async path
+      // parks its long-running worker loops on it.
+      WorkerPool pool(threads);
+      if (cfg_.mode.mode == Mode::kBsp) {
+        RunBsp(pool, threads);
+      } else {
+        RunAsync(pool, threads);
+      }
+    }
+
+    // Fold the cross-thread atomic counters into the result stats.
+    for (FragmentId w = 0; w < m; ++w) {
+      stats_.workers[w].msgs_received =
+          workers_[w]->msgs_received.load(std::memory_order_relaxed);
     }
 
     Result r{program_.Assemble(partition_, states_), std::move(stats_),
-             converged_, wall.ElapsedSeconds(), term_.probes_attempted()};
+             converged_, wall.ElapsedSeconds(), term_->probes_attempted()};
     r.stats.makespan = r.wall_seconds;
     return r;
   }
 
  private:
-  struct WorkerRt {
+  /// Per-virtual-worker runtime block. Cache-line aligned: neighbouring
+  /// workers' claim flags and buffers must not false-share.
+  struct alignas(64) WorkerRt {
     UpdateBuffer<V> buffer;
     std::atomic<bool> claimed{false};
-    bool peval_done = false;     // guarded by sched_mu_
-    double eligible_at = 0.0;    // wall seconds; guarded by sched_mu_
-    std::vector<UpdateEntry<V>> outbox;  // BSP path only
+    std::atomic<bool> peval_done{false};
+    std::atomic<double> eligible_at{0.0};  // wall seconds
+    std::atomic<uint64_t> msgs_received{0};
+    /// Cached Program::HasLocalWork(state): program state is only written
+    /// while the claim is held, so the owner refreshes this hint after every
+    /// round and other threads read it lock-free (reading the state itself
+    /// from a foreign thread would race with the running round).
+    std::atomic<bool> local_work{false};
+    std::vector<UpdateEntry<V>> outbox;
+    // Reusable per-destination dispatch boxes (exclusive to the thread that
+    // holds the claim on this worker).
+    std::vector<std::vector<UpdateEntry<V>>> out_by_dst;
+    std::vector<FragmentId> touched;
+    std::vector<FragmentId> recipients;
   };
+
+  void ResetRunState() {
+    const uint32_t m = partition_.num_fragments();
+    controller_ = std::make_unique<DelayStretchController>(cfg_.mode, m);
+    term_ = std::make_unique<TerminationDetector>(m);
+    workers_.clear();
+    workers_.resize(m);
+    for (uint32_t i = 0; i < m; ++i) {
+      workers_[i] = std::make_unique<WorkerRt>();
+      workers_[i]->buffer =
+          UpdateBuffer<V>(partition_.fragments[i].num_local());
+      workers_[i]->out_by_dst.assign(m, {});
+    }
+    stats_ = RunStats{};
+    stats_.workers.resize(m);
+    total_rounds_.store(0, std::memory_order_relaxed);
+    converged_ = true;
+  }
 
   bool HasLocalWork(FragmentId w) const {
     if constexpr (requires(const Program& p, const State& s) {
@@ -110,93 +154,80 @@ class ThreadedEngine {
   }
 
   bool Eligible(FragmentId w) const {
-    return !workers_[w]->buffer.Empty() || HasLocalWork(w);
+    return !workers_[w]->buffer.Empty() ||
+           workers_[w]->local_work.load(std::memory_order_acquire);
   }
 
   // ---------------------------------------------------------------- BSP ---
 
-  /// Supersteps with a barrier: all eligible workers run once in parallel;
-  /// messages dispatch after the barrier (available next superstep).
-  void RunBsp(uint32_t threads) {
+  /// Supersteps with a barrier: all eligible workers run once in parallel on
+  /// the persistent pool; messages dispatch after the barrier (available
+  /// next superstep).
+  void RunBsp(WorkerPool& pool, uint32_t threads) {
+    (void)threads;
     const uint32_t m = partition_.num_fragments();
-    ParallelFor(threads, m, [&](FragmentId w) { RunOneRound(w, true); });
+    pool.Run(m, [&](FragmentId w) { RunOneRound(w, true); });
     DispatchAllOutboxes();
     uint64_t supersteps = 0;
+    std::vector<FragmentId> eligible;
     while (supersteps < cfg_.max_total_rounds) {
-      std::vector<FragmentId> eligible;
+      eligible.clear();
       for (FragmentId w = 0; w < m; ++w) {
         if (Eligible(w)) eligible.push_back(w);
       }
       if (eligible.empty()) break;
-      ParallelFor(threads, static_cast<uint32_t>(eligible.size()),
-                  [&](uint32_t idx) { RunOneRound(eligible[idx], false); });
+      pool.Run(static_cast<uint32_t>(eligible.size()),
+               [&](uint32_t idx) { RunOneRound(eligible[idx], false); });
       DispatchAllOutboxes();
       ++supersteps;
     }
     converged_ = supersteps < cfg_.max_total_rounds;
   }
 
-  static void ParallelFor(uint32_t threads, uint32_t n,
-                          const std::function<void(uint32_t)>& fn) {
-    std::atomic<uint32_t> next{0};
-    auto body = [&] {
-      for (uint32_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        fn(i);
-      }
-    };
-    std::vector<std::thread> pool;
-    const uint32_t k = std::min(threads, n);
-    pool.reserve(k);
-    for (uint32_t t = 1; t < k; ++t) pool.emplace_back(body);
-    body();
-    for (auto& t : pool) t.join();
-  }
-
   void DispatchAllOutboxes() {
     for (FragmentId w = 0; w < workers_.size(); ++w) {
-      DeliverEntries(w, workers_[w]->outbox);
-      workers_[w]->outbox.clear();
+      DeliverEntries(w);
     }
   }
 
   // -------------------------------------------------------- AP/SSP/AAP ---
 
-  void RunAsync(uint32_t threads) {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (uint32_t t = 0; t < threads; ++t) {
-      pool.emplace_back([this] { WorkerLoop(); });
-    }
-    // Master: run the termination protocol until a probe succeeds.
-    uint64_t rounds_guard = 0;
-    while (!term_.ShouldStop()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  void RunAsync(WorkerPool& pool, uint32_t threads) {
+    pool.Launch(threads, [this](uint32_t) { WorkerLoop(); });
+    // Master: run the termination protocol until a probe succeeds. Workers
+    // ring `master_hub_` whenever global quiescence may have been reached;
+    // the timeout is only a safety net (e.g. a kWaitFor expiring with no
+    // further traffic).
+    while (!term_->ShouldStop()) {
+      const uint64_t epoch = master_hub_.Epoch();
       bool all_quiet = true;
       for (FragmentId w = 0; w < workers_.size(); ++w) {
-        if (workers_[w]->claimed.load() || Eligible(w)) {
+        if (workers_[w]->claimed.load(std::memory_order_acquire) ||
+            Eligible(w)) {
           all_quiet = false;
           break;
         }
       }
-      if (all_quiet && term_.TryTerminate(inflight_)) {
+      if (all_quiet && term_->TryTerminate(inflight_)) {
         hub_.NotifyAll();
         break;
       }
-      if (total_rounds_.load() > cfg_.max_total_rounds) {
+      if (total_rounds_.load(std::memory_order_relaxed) >
+          cfg_.max_total_rounds) {
         converged_ = false;
-        term_.ForceStop();
+        term_->ForceStop();
         hub_.NotifyAll();
         break;
       }
-      ++rounds_guard;
+      master_hub_.WaitFor(epoch, /*timeout_ms=*/10);
     }
-    term_.ForceStop();
+    term_->ForceStop();
     hub_.NotifyAll();
-    for (auto& t : pool) t.join();
+    pool.Wait();
   }
 
   void WorkerLoop() {
-    while (!term_.ShouldStop()) {
+    while (!term_->ShouldStop()) {
       bool is_peval = false;
       const int32_t w = PickWorker(run_wall_.ElapsedSeconds(), &is_peval);
       if (w < 0) {
@@ -204,60 +235,73 @@ class ThreadedEngine {
         continue;
       }
       RunOneRound(static_cast<FragmentId>(w), is_peval);
-      DeliverEntries(static_cast<FragmentId>(w),
-                     workers_[w]->outbox);
-      workers_[w]->outbox.clear();
+      DeliverEntries(static_cast<FragmentId>(w));
       if (!Eligible(static_cast<FragmentId>(w))) {
-        term_.SetInactive(static_cast<FragmentId>(w));
+        term_->SetInactive(static_cast<FragmentId>(w));
       }
-      workers_[w]->claimed.store(false);
+      workers_[w]->claimed.store(false, std::memory_order_release);
       hub_.NotifyAll();
+      master_hub_.NotifyAll();
     }
   }
 
-  /// Picks a runnable virtual worker under the scheduler lock, claiming it.
+  /// Picks a runnable virtual worker, claiming it with a per-worker CAS —
+  /// concurrent pickers only ever contend on the claim flag of the same
+  /// candidate, never on a global lock.
   int32_t PickWorker(double now, bool* is_peval) {
-    std::lock_guard<std::mutex> lock(sched_mu_);
-    relevant_.assign(workers_.size(), 0);
+    thread_local std::vector<uint8_t> relevant;
+    relevant.assign(workers_.size(), 0);
     for (size_t i = 0; i < workers_.size(); ++i) {
-      relevant_[i] = (workers_[i]->claimed.load() ||
-                      Eligible(static_cast<FragmentId>(i)))
-                         ? 1
-                         : 0;
+      relevant[i] = (workers_[i]->claimed.load(std::memory_order_acquire) ||
+                     Eligible(static_cast<FragmentId>(i)))
+                        ? 1
+                        : 0;
     }
     for (FragmentId w = 0; w < workers_.size(); ++w) {
       auto& rt = *workers_[w];
-      if (rt.claimed.load()) continue;
-      if (!rt.peval_done) {
-        rt.claimed.store(true);
-        rt.peval_done = true;
-        term_.SetActive(w);
-        *is_peval = true;
-        return static_cast<int32_t>(w);
+      if (rt.claimed.load(std::memory_order_acquire)) continue;
+      if (!rt.peval_done.load(std::memory_order_acquire)) {
+        if (rt.claimed.exchange(true, std::memory_order_acq_rel)) continue;
+        if (!rt.peval_done.exchange(true, std::memory_order_acq_rel)) {
+          term_->SetActive(w);
+          *is_peval = true;
+          return static_cast<int32_t>(w);
+        }
+        rt.claimed.store(false, std::memory_order_release);
+        continue;
       }
       if (!Eligible(w)) continue;
-      if (now < rt.eligible_at) continue;
-      const uint64_t local = HasLocalWork(w) ? 1 : 0;
-      const DelayDecision d = controller_.Decide(
+      if (now < rt.eligible_at.load(std::memory_order_relaxed)) continue;
+      if (rt.claimed.exchange(true, std::memory_order_acq_rel)) continue;
+      if (!Eligible(w)) {  // drained by a racing round since the check
+        rt.claimed.store(false, std::memory_order_release);
+        continue;
+      }
+      const uint64_t local =
+          rt.local_work.load(std::memory_order_acquire) ? 1 : 0;
+      const DelayDecision d = controller_->Decide(
           w, now, rt.buffer.NumMessages() + local,
-          rt.buffer.NumDistinctSenders() + local, relevant_);
+          rt.buffer.NumDistinctSenders() + local, relevant);
       switch (d.kind) {
         case DelayDecision::Kind::kRunNow:
-          rt.claimed.store(true);
-          term_.SetActive(w);
-          controller_.OnRoundStart(w, now);
+          term_->SetActive(w);
+          controller_->OnRoundStart(w, now);
           return static_cast<int32_t>(w);
         case DelayDecision::Kind::kWaitFor:
-          rt.eligible_at = now + d.wait;
+          rt.eligible_at.store(now + d.wait, std::memory_order_relaxed);
+          rt.claimed.store(false, std::memory_order_release);
           break;
         case DelayDecision::Kind::kSuspend:
-          break;  // re-examined when r_min advances / messages arrive
+          // Re-examined when r_min advances / messages arrive.
+          rt.claimed.store(false, std::memory_order_release);
+          break;
       }
     }
     return -1;
   }
 
-  /// Runs PEval or IncEval for w; fills the worker's outbox.
+  /// Runs PEval or IncEval for w; fills the worker's outbox. The caller
+  /// holds the claim on w, so per-worker state is exclusive here.
   void RunOneRound(FragmentId w, bool is_peval) {
     Stopwatch sw;
     auto& rt = *workers_[w];
@@ -267,84 +311,85 @@ class ThreadedEngine {
       emitter.SetRound(0);
       work = program_.PEval(partition_.fragments[w], states_[w], &emitter);
     } else {
-      {
-        std::lock_guard<std::mutex> lock(sched_mu_);
-        controller_.OnDrain(w, rt.buffer.NumDistinctSenders());
-      }
+      controller_->OnDrain(w, rt.buffer.NumDistinctSenders());
       auto updates = rt.buffer.Drain();
       stats_.workers[w].updates_applied += updates.size();
-      emitter.SetRound(controller_.round(w) + 1);
+      emitter.SetRound(controller_->round(w) + 1);
       work = program_.IncEval(partition_.fragments[w], states_[w],
                               std::span<const UpdateEntry<V>>(updates),
                               &emitter);
-      total_rounds_.fetch_add(1);
+      total_rounds_.fetch_add(1, std::memory_order_relaxed);
       ++stats_.workers[w].rounds;
     }
     const double elapsed = sw.ElapsedSeconds();
     stats_.workers[w].busy_time += elapsed;
     stats_.workers[w].work_units += work;
     rt.outbox = std::move(emitter.entries());
-    {
-      std::lock_guard<std::mutex> lock(sched_mu_);
-      const double now = run_wall_.ElapsedSeconds();
-      if (is_peval) {
-        controller_.SeedRoundTime(w, now, elapsed);
-      } else {
-        controller_.OnRoundEnd(w, now, elapsed);
-      }
+    rt.local_work.store(HasLocalWork(w), std::memory_order_release);
+    const double now = run_wall_.ElapsedSeconds();
+    if (is_peval) {
+      controller_->SeedRoundTime(w, now, elapsed);
+    } else {
+      controller_->OnRoundEnd(w, now, elapsed);
     }
   }
 
-  /// Groups and delivers entries to their destination buffers immediately
-  /// (the threaded runtime's channel latency is the memcpy itself).
-  void DeliverEntries(FragmentId from,
-                      const std::vector<UpdateEntry<V>>& entries) {
-    if (entries.empty()) return;
-    std::map<FragmentId, Message<V>> grouped;
-    std::vector<FragmentId> recipients;
-    for (const auto& e : entries) {
-      partition_.Recipients(e.vid, from, Program::kOwnerBroadcast,
-                            &recipients);
-      for (FragmentId dst : recipients) {
-        auto& msg = grouped[dst];
-        msg.from = from;
-        msg.to = dst;
-        msg.entries.push_back(e);
-      }
+  void PushTo(WorkerRt& rt, const RouteTarget& t, const UpdateEntry<V>& e) {
+    auto& box = rt.out_by_dst[t.frag];
+    if (box.empty()) rt.touched.push_back(t.frag);
+    box.push_back(UpdateEntry<V>{e.vid, e.value, e.round, t.lid});
+  }
+
+  /// Groups and delivers the outbox of w to destination buffers immediately
+  /// (the threaded runtime's channel latency is the memcpy itself). Routing
+  /// goes through the precomputed index: O(1) array reads per entry, into
+  /// per-destination boxes that keep their capacity across rounds.
+  void DeliverEntries(FragmentId from) {
+    auto& rt = *workers_[from];
+    if (rt.outbox.empty()) return;
+    for (const auto& e : rt.outbox) {
+      RouteUpdateEntry<Program::kOwnerBroadcast>(
+          partition_, from, e, rt.recipients,
+          [this, &rt](const RouteTarget& t, const UpdateEntry<V>& entry) {
+            PushTo(rt, t, entry);
+          });
     }
-    for (auto& [dst, msg] : grouped) {
+    rt.outbox.clear();
+    for (FragmentId dst : rt.touched) {
+      auto& ents = rt.out_by_dst[dst];
+      auto& drt = *workers_[dst];
       inflight_.OnSend();
       ++stats_.workers[from].msgs_sent;
-      stats_.workers[from].entries_sent += msg.entries.size();
-      stats_.workers[from].bytes_sent += MessageBytes(msg);
-      const bool first_pending = workers_[dst]->buffer.Empty();
-      workers_[dst]->buffer.Append(msg, [this](const V& a, const V& b) {
-        return program_.Combine(a, b);
-      });
-      term_.SetActive(dst);
-      {
-        std::lock_guard<std::mutex> lock(sched_mu_);
-        ++stats_.workers[dst].msgs_received;
-        controller_.OnMessages(dst, run_wall_.ElapsedSeconds(), 1,
-                               first_pending);
-      }
+      stats_.workers[from].entries_sent += ents.size();
+      stats_.workers[from].bytes_sent +=
+          EntriesBytes(std::span<const UpdateEntry<V>>(ents));
+      const bool first_pending = drt.buffer.Empty();
+      drt.buffer.AppendEntries(from, std::span<const UpdateEntry<V>>(ents),
+                               [this](const V& a, const V& b) {
+                                 return program_.Combine(a, b);
+                               });
+      term_->SetActive(dst);
+      drt.msgs_received.fetch_add(1, std::memory_order_relaxed);
+      controller_->OnMessages(dst, run_wall_.ElapsedSeconds(), 1,
+                              first_pending);
       inflight_.OnDeliver();
+      ents.clear();
     }
+    rt.touched.clear();
     hub_.NotifyAll();
   }
 
   const Partition& partition_;
   Program program_;
   EngineConfig cfg_;
-  DelayStretchController controller_;
-  TerminationDetector term_;
+  std::unique_ptr<DelayStretchController> controller_;
+  std::unique_ptr<TerminationDetector> term_;
   InFlightCounter inflight_;
-  NotifyHub hub_;
+  NotifyHub hub_;         // workers idle-wait here
+  NotifyHub master_hub_;  // termination-protocol master waits here
 
   std::vector<std::unique_ptr<WorkerRt>> workers_;
   std::vector<State> states_;
-  std::vector<uint8_t> relevant_;
-  std::mutex sched_mu_;
   RunStats stats_;
   std::atomic<uint64_t> total_rounds_{0};
   bool converged_ = true;

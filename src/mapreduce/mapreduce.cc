@@ -88,7 +88,8 @@ double MrOnAapProgram::Shuffle(const Fragment& f, std::vector<Pair> pairs,
     }
   }
   for (auto& [target, tuples] : per_target) {
-    out->Emit(target, std::move(tuples));
+    // The clique G_W makes every peer an outer copy of this fragment.
+    out->Emit(f.LocalId(target), target, std::move(tuples));
   }
   return work;
 }

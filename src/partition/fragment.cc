@@ -113,6 +113,48 @@ Partition BuildPartition(const Graph& g, std::vector<FragmentId> placement,
     }
   }
   for (auto& [v, holders] : p.copy_holders) std::sort(holders.begin(), holders.end());
+
+  // Dense per-source routing tables: all the hash lookups the dispatch path
+  // used to do per entry (copy_holders + destination LocalId) are resolved
+  // here, once, at build time.
+  p.routing.resize(num_fragments);
+  static const std::vector<FragmentId> kNoHolders;
+  for (FragmentId i = 0; i < num_fragments; ++i) {
+    const Fragment& f = p.fragments[i];
+    FragmentRouting& r = p.routing[i];
+    const uint32_t nl = f.num_local();
+    r.owner.assign(nl, RouteTarget{});
+    r.copy_offsets.assign(nl + 1, 0);
+    for (LocalVertex l = 0; l < nl; ++l) {
+      const VertexId g_id = f.GlobalId(l);
+      const FragmentId owner = p.placement[g_id];
+      if (owner != i) {
+        r.owner[l] = RouteTarget{owner, p.fragments[owner].LocalId(g_id)};
+      }
+      auto it = p.copy_holders.find(g_id);
+      const auto& holders = it != p.copy_holders.end() ? it->second
+                                                       : kNoHolders;
+      for (FragmentId h : holders) {
+        if (h != i && h != owner) ++r.copy_offsets[l + 1];
+      }
+    }
+    for (LocalVertex l = 0; l < nl; ++l) {
+      r.copy_offsets[l + 1] += r.copy_offsets[l];
+    }
+    r.copy_targets.resize(r.copy_offsets[nl]);
+    for (LocalVertex l = 0; l < nl; ++l) {
+      const VertexId g_id = f.GlobalId(l);
+      const FragmentId owner = p.placement[g_id];
+      auto it = p.copy_holders.find(g_id);
+      if (it == p.copy_holders.end()) continue;
+      uint32_t cursor = r.copy_offsets[l];
+      for (FragmentId h : it->second) {
+        if (h == i || h == owner) continue;
+        r.copy_targets[cursor++] =
+            RouteTarget{h, p.fragments[h].LocalId(g_id)};
+      }
+    }
+  }
   return p;
 }
 

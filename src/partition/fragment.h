@@ -22,9 +22,6 @@
 
 namespace grape {
 
-/// Local id within a fragment.
-using LocalVertex = uint32_t;
-
 /// An arc whose target is a fragment-local id.
 struct LocalArc {
   LocalVertex dst;
@@ -50,7 +47,7 @@ class Fragment {
   }
 
   /// Local id of a global vertex, or kInvalidLocal if absent.
-  static constexpr LocalVertex kInvalidLocal = 0xFFFFFFFFu;
+  static constexpr LocalVertex kInvalidLocal = kInvalidLocalVertex;
   LocalVertex LocalId(VertexId g) const {
     auto it = global_to_local_.find(g);
     return it == global_to_local_.end() ? kInvalidLocal : it->second;
@@ -93,6 +90,33 @@ class Fragment {
   std::unordered_map<VertexId, LocalVertex> global_to_local_;
 };
 
+/// One resolved routing destination: the receiving fragment and the vertex's
+/// local id *there* (so the receiver indexes dense state directly).
+struct RouteTarget {
+  FragmentId frag = kInvalidFragment;
+  LocalVertex lid = kInvalidLocalVertex;
+  bool operator==(const RouteTarget&) const = default;
+};
+
+/// Build-time routing table for one source fragment, indexed by the source's
+/// local vertex id. Replaces per-entry `copy_holders` + `LocalId` hash
+/// lookups on the dispatch path with O(1) array reads.
+struct FragmentRouting {
+  /// To-owner target per local vertex: valid (frag != kInvalidFragment)
+  /// exactly for outer copies — their updates flow back to the owner.
+  std::vector<RouteTarget> owner;
+  /// CSR of owner-broadcast targets per local vertex: the fragments (other
+  /// than self and owner) holding a copy of the vertex, with local ids.
+  /// Used when C_i = F_i.O ∪ F_i.I (kOwnerBroadcast programs, e.g. CF).
+  std::vector<uint32_t> copy_offsets;  // size num_local + 1
+  std::vector<RouteTarget> copy_targets;
+
+  std::span<const RouteTarget> Copies(LocalVertex l) const {
+    return {copy_targets.data() + copy_offsets[l],
+            copy_offsets[l + 1] - copy_offsets[l]};
+  }
+};
+
 /// A partitioned graph plus the routing metadata of Section 3: the index I_i
 /// that maps a border vertex to the fragments holding it.
 struct Partition {
@@ -103,7 +127,11 @@ struct Partition {
 
   /// For every border vertex v (a vertex that is an outer copy somewhere):
   /// the sorted list of fragments where v appears as an outer copy.
+  /// Reference-only routing data — the engines use `routing` instead.
   std::unordered_map<VertexId, std::vector<FragmentId>> copy_holders;
+
+  /// Per-source-fragment dense routing tables (engine hot path).
+  std::vector<FragmentRouting> routing;
 
   FragmentId num_fragments() const {
     return static_cast<FragmentId>(fragments.size());
@@ -114,6 +142,8 @@ struct Partition {
   /// border vertex v. When `to_copies` is set, the owner pushes updates back
   /// out to all copy holders (needed when C_i = F_i.O ∪ F_i.I, e.g. CF);
   /// otherwise updates flow copy→owner only (CC / SSSP / PageRank).
+  /// Reference implementation: hash-based, kept for tests and for entries
+  /// whose source local id is unknown; engines route via `routing`.
   void Recipients(VertexId v, FragmentId from, bool to_copies,
                   std::vector<FragmentId>* out) const;
 };

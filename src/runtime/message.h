@@ -2,28 +2,39 @@
 // Designated messages (Section 3): triples (x, val, r) grouped per
 // destination fragment, and the per-worker buffer B_x̄i that stores incoming
 // updates until the next round of IncEval drains it.
+//
+// The buffer is a dense slot array indexed by the destination fragment's
+// local vertex id (stamped on each entry by the dispatch routing index), so
+// Append/Combine are O(1) array writes and Drain walks an explicit dirty
+// list — no hash map, no drain-time sort, no heap-allocated mutex.
 #ifndef GRAPEPLUS_RUNTIME_MESSAGE_H_
 #define GRAPEPLUS_RUNTIME_MESSAGE_H_
 
 #include <algorithm>
 #include <cstdint>
-#include <memory>
 #include <mutex>
-#include <unordered_map>
-#include <unordered_set>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "util/common.h"
+#include "util/logging.h"
 
 namespace grape {
 
 /// One update parameter change: (x, val, r) of the paper where x is the
-/// status variable of vertex `vid`.
+/// status variable of vertex `vid`. `lid` is a dense routing key: the
+/// emitting program stamps its *source* local id; the dispatcher rewrites it
+/// to the *destination* fragment's local id before delivery, so receivers
+/// index state arrays directly instead of hashing `vid`. Entries built by
+/// hand (tests, external blobs) may leave it kInvalidLocalVertex: every
+/// consumer falls back to the vid-keyed slow path then.
 template <typename V>
 struct UpdateEntry {
   VertexId vid;
   V value;
   Round round;
+  LocalVertex lid = kInvalidLocalVertex;
 };
 
 /// A designated message M(i, j).
@@ -45,115 +56,199 @@ struct ValueTraits {
   static size_t Bytes(const V&) { return sizeof(V); }
 };
 
+/// Wire bytes of a batch of entries. The routing key `lid` is not counted:
+/// it is a receiver-side index that a real transport would derive from the
+/// partition, not payload.
 template <typename V>
-size_t MessageBytes(const Message<V>& m) {
+size_t EntriesBytes(std::span<const UpdateEntry<V>> entries) {
   size_t b = 0;
-  for (const auto& e : m.entries) {
+  for (const auto& e : entries) {
     b += sizeof(VertexId) + sizeof(Round) + ValueTraits<V>::Bytes(e.value);
   }
   return b;
 }
 
-/// The buffer B_x̄i of worker P_i. Incoming entries are merged per vertex with
-/// the program's aggregate function faggr as they arrive (equivalent to
-/// aggregating at drain time, since faggr is associative & commutative), so a
-/// drain produces at most one update per vertex. Tracks the staleness
+template <typename V>
+size_t MessageBytes(const Message<V>& m) {
+  return EntriesBytes(std::span<const UpdateEntry<V>>(m.entries));
+}
+
+/// The buffer B_x̄i of worker P_i. Incoming entries are merged per vertex
+/// with the program's aggregate function faggr as they arrive (equivalent to
+/// aggregating at drain time, since faggr is associative & commutative), so
+/// a drain produces at most one update per vertex. Tracks the staleness
 /// signals the delay-stretch controller needs: number of buffered messages
 /// and the set of distinct senders (the paper's η_i).
+///
+/// Storage is dense: slot k holds the pending update whose routing key is k
+/// (the destination local id for engine-delivered entries, the raw vid for
+/// hand-built ones). Engines pre-size it with the fragment's local vertex
+/// count; standalone use grows on demand. Drain order is the first-touch
+/// order of the dirty list — deterministic for a deterministic append
+/// sequence, unspecified otherwise.
 template <typename V>
 class UpdateBuffer {
  public:
-  UpdateBuffer() : mu_(std::make_unique<std::mutex>()) {}
-  UpdateBuffer(UpdateBuffer&&) noexcept = default;
-  UpdateBuffer& operator=(UpdateBuffer&&) noexcept = default;
-
-  /// Appends a message, folding entries into the pending map via `combine`.
-  template <typename Combine>
-  void Append(const Message<V>& msg, Combine&& combine) {
-    std::lock_guard<std::mutex> lock(*mu_);
-    for (const auto& e : msg.entries) {
-      auto [it, inserted] = pending_.try_emplace(e.vid, e);
-      if (!inserted) {
-        it->second.value = combine(it->second.value, e.value);
-        it->second.round = std::max(it->second.round, e.round);
-      }
+  UpdateBuffer() = default;
+  explicit UpdateBuffer(uint32_t num_slots) {
+    slots_.resize(num_slots);
+    dirty_.reserve(num_slots);
+  }
+  // Moves leave the source a fully usable empty buffer (the seed's
+  // defaulted move left a null heap mutex behind — any later method call on
+  // a moved-from buffer, e.g. after container reallocation, crashed).
+  // Moving is not thread-safe with respect to concurrent buffer access.
+  UpdateBuffer(UpdateBuffer&& other) noexcept
+      : slots_(std::move(other.slots_)),
+        dirty_(std::move(other.dirty_)),
+        num_messages_(std::exchange(other.num_messages_, 0)),
+        senders_(std::move(other.senders_)) {
+    other.slots_.clear();
+    other.dirty_.clear();
+    other.senders_.clear();
+  }
+  UpdateBuffer& operator=(UpdateBuffer&& other) noexcept {
+    if (this != &other) {
+      slots_ = std::move(other.slots_);
+      dirty_ = std::move(other.dirty_);
+      num_messages_ = std::exchange(other.num_messages_, 0);
+      senders_ = std::move(other.senders_);
+      other.slots_.clear();
+      other.dirty_.clear();
+      other.senders_.clear();
     }
-    ++num_messages_;
-    senders_.insert(msg.from);
+    return *this;
   }
 
-  /// Drains all pending updates (cleared afterwards). Returns entries in
-  /// unspecified but deterministic-per-content order.
+  /// Appends a message, folding entries into the dense slots via `combine`.
+  template <typename Combine>
+  void Append(const Message<V>& msg, Combine&& combine) {
+    AppendEntries(msg.from, std::span<const UpdateEntry<V>>(msg.entries),
+                  std::forward<Combine>(combine));
+  }
+
+  /// Appends one logical message given directly as an entry batch — the
+  /// threaded engine's zero-copy delivery path (no Message envelope).
+  template <typename Combine>
+  void AppendEntries(FragmentId from, std::span<const UpdateEntry<V>> entries,
+                     Combine&& combine) {
+    std::lock_guard<SpinLock> lock(mu_);
+    for (const auto& e : entries) FoldLocked(e, combine);
+    ++num_messages_;
+    NoteSenderLocked(from);
+  }
+
+  /// Drains all pending updates (cleared afterwards) in first-touch order.
   std::vector<UpdateEntry<V>> Drain() {
-    std::lock_guard<std::mutex> lock(*mu_);
+    std::lock_guard<SpinLock> lock(mu_);
     std::vector<UpdateEntry<V>> out;
-    out.reserve(pending_.size());
-    for (auto& [vid, e] : pending_) out.push_back(e);
-    pending_.clear();
+    out.reserve(dirty_.size());
+    for (uint32_t k : dirty_) {
+      Slot& s = slots_[k];
+      out.push_back(std::move(s.entry));
+      s.dirty = 0;
+    }
+    dirty_.clear();
     num_messages_ = 0;
     senders_.clear();
-    // Deterministic order regardless of hash-map iteration.
-    std::sort(out.begin(), out.end(),
-              [](const UpdateEntry<V>& a, const UpdateEntry<V>& b) {
-                return a.vid < b.vid;
-              });
     return out;
   }
 
   bool Empty() const {
-    std::lock_guard<std::mutex> lock(*mu_);
-    return pending_.empty();
+    std::lock_guard<SpinLock> lock(mu_);
+    return dirty_.empty();
   }
 
   /// Number of buffered (un-drained) messages — the paper's η_i.
   uint64_t NumMessages() const {
-    std::lock_guard<std::mutex> lock(*mu_);
+    std::lock_guard<SpinLock> lock(mu_);
     return num_messages_;
   }
 
   /// Number of distinct workers with buffered messages.
   uint64_t NumDistinctSenders() const {
-    std::lock_guard<std::mutex> lock(*mu_);
+    std::lock_guard<SpinLock> lock(mu_);
     return senders_.size();
   }
 
   uint64_t NumPendingVertices() const {
-    std::lock_guard<std::mutex> lock(*mu_);
-    return pending_.size();
+    std::lock_guard<SpinLock> lock(mu_);
+    return dirty_.size();
   }
 
-  /// Copy of the pending entries without clearing (checkpointing support).
+  /// Copy of the pending entries without clearing (checkpointing support),
+  /// in the same order Drain() would produce.
   std::vector<UpdateEntry<V>> Snapshot() const {
-    std::lock_guard<std::mutex> lock(*mu_);
+    std::lock_guard<SpinLock> lock(mu_);
     std::vector<UpdateEntry<V>> out;
-    out.reserve(pending_.size());
-    for (const auto& [vid, e] : pending_) out.push_back(e);
-    std::sort(out.begin(), out.end(),
-              [](const UpdateEntry<V>& a, const UpdateEntry<V>& b) {
-                return a.vid < b.vid;
-              });
+    out.reserve(dirty_.size());
+    for (uint32_t k : dirty_) out.push_back(slots_[k].entry);
     return out;
   }
 
   /// Replaces the buffer content with `entries` (recovery support).
   template <typename Combine>
   void Reset(const std::vector<UpdateEntry<V>>& entries, Combine&& combine) {
-    std::lock_guard<std::mutex> lock(*mu_);
-    pending_.clear();
+    std::lock_guard<SpinLock> lock(mu_);
+    for (uint32_t k : dirty_) slots_[k].dirty = 0;
+    dirty_.clear();
     senders_.clear();
     num_messages_ = 0;
     for (const auto& e : entries) {
-      auto [it, inserted] = pending_.try_emplace(e.vid, e);
-      if (!inserted) it->second.value = combine(it->second.value, e.value);
+      FoldLocked(e, combine);
       ++num_messages_;
     }
   }
 
  private:
-  mutable std::unique_ptr<std::mutex> mu_;
-  std::unordered_map<VertexId, UpdateEntry<V>> pending_;
+  struct Slot {
+    UpdateEntry<V> entry{};
+    uint8_t dirty = 0;
+  };
+
+  static uint32_t KeyOf(const UpdateEntry<V>& e) {
+    return e.lid != kInvalidLocalVertex ? e.lid : e.vid;
+  }
+
+  /// Largest key the buffer will auto-grow to. Engine-delivered entries are
+  /// keyed by destination local ids (bounded by the fragment), standalone
+  /// vid-keyed use must stay dense: a sparse huge vid would silently
+  /// allocate gigabytes of slots, so it is rejected loudly instead.
+  static constexpr uint32_t kMaxAutoGrowKey = 1u << 28;
+
+  template <typename Combine>
+  void FoldLocked(const UpdateEntry<V>& e, Combine& combine) {
+    const uint32_t k = KeyOf(e);
+    if (k >= slots_.size()) {
+      GRAPE_CHECK(k <= kMaxAutoGrowKey)
+          << "UpdateBuffer key " << k << " too sparse for dense storage";
+      slots_.resize(std::max<size_t>(static_cast<size_t>(k) + 1,
+                                     slots_.size() * 2));
+    }
+    Slot& s = slots_[k];
+    if (!s.dirty) {
+      s.entry = e;
+      s.dirty = 1;
+      dirty_.push_back(k);
+    } else {
+      s.entry.value = combine(s.entry.value, e.value);
+      s.entry.round = std::max(s.entry.round, e.round);
+    }
+  }
+
+  void NoteSenderLocked(FragmentId from) {
+    // η_i counts distinct peers, which is bounded by the fragment count —
+    // a linear scan over a tiny vector beats a hash set here.
+    if (std::find(senders_.begin(), senders_.end(), from) == senders_.end()) {
+      senders_.push_back(from);
+    }
+  }
+
+  mutable SpinLock mu_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> dirty_;  // slot keys in first-touch order
   uint64_t num_messages_ = 0;
-  std::unordered_set<FragmentId> senders_;
+  std::vector<FragmentId> senders_;
 };
 
 }  // namespace grape

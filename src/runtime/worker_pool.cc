@@ -1,0 +1,87 @@
+#include "runtime/worker_pool.h"
+
+#include "util/logging.h"
+
+namespace grape {
+
+WorkerPool::WorkerPool(uint32_t num_threads) {
+  GRAPE_CHECK(num_threads >= 1);
+  threads_.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    threads_.emplace_back([this] { ThreadLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  job_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::Launch(uint32_t n, std::function<void(uint32_t)> fn) {
+  auto job = std::make_shared<Job>();
+  job->fn = std::move(fn);
+  job->size = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GRAPE_CHECK(!job_ ||
+                job_->done.load(std::memory_order_acquire) == job_->size)
+        << "WorkerPool::Launch with a job still in flight";
+    job_ = std::move(job);
+    ++job_epoch_;
+  }
+  job_cv_.notify_all();
+}
+
+void WorkerPool::Drain(const std::shared_ptr<Job>& job) {
+  while (true) {
+    const uint32_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->size) break;
+    job->fn(i);
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == job->size) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::ThreadLoop() {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [&] {
+        return stopping_ || job_epoch_ != seen_epoch;
+      });
+      if (stopping_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+    }
+    Drain(job);
+  }
+}
+
+void WorkerPool::Wait() {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job = job_;
+  }
+  if (!job) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return job->done.load(std::memory_order_acquire) == job->size;
+  });
+}
+
+void WorkerPool::Run(uint32_t n, std::function<void(uint32_t)> fn) {
+  if (n == 0) return;
+  Launch(n, std::move(fn));
+  Wait();
+}
+
+}  // namespace grape

@@ -3,6 +3,7 @@
 #ifndef GRAPEPLUS_UTIL_COMMON_H_
 #define GRAPEPLUS_UTIL_COMMON_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstddef>
 #include <limits>
@@ -16,6 +17,9 @@ using VertexId = uint32_t;
 /// Identifier of a fragment / virtual worker (the paper's P_i).
 using FragmentId = uint32_t;
 
+/// Local id within a fragment: [0, num_inner) inner, then outer copies.
+using LocalVertex = uint32_t;
+
 /// Round counter (the r in the paper's messages (x, val, r)).
 using Round = int32_t;
 
@@ -26,7 +30,34 @@ using SimTime = double;
 inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
 inline constexpr FragmentId kInvalidFragment =
     std::numeric_limits<FragmentId>::max();
+inline constexpr LocalVertex kInvalidLocalVertex =
+    std::numeric_limits<LocalVertex>::max();
 inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// A tiny movable spinlock. Guards the (short) critical sections of the
+/// message hot path, where a std::mutex is both too heavy and — being
+/// immovable — forces heap indirection on buffers stored in vectors.
+/// Moves do not transfer lock state: both sides end up unlocked, so a
+/// moved-from object remains fully usable.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(SpinLock&&) noexcept {}
+  SpinLock& operator=(SpinLock&&) noexcept { return *this; }
+
+  void lock() noexcept {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+#if defined(__cpp_lib_atomic_flag_test)
+      while (flag_.test(std::memory_order_relaxed)) {
+      }
+#endif
+    }
+  }
+  void unlock() noexcept { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
 
 /// Disallow copy & assign; inherit privately or place in class body via macro.
 #define GRAPE_DISALLOW_COPY_AND_ASSIGN(TypeName) \

@@ -1,0 +1,338 @@
+// Tests for the hot-path overhaul: dense update-buffer semantics (combine
+// algebra, round-max, distinct senders, snapshot/reset round-trips, safe
+// moves, concurrent append/drain), the precomputed routing index against the
+// reference Recipients(), the persistent worker pool, and engine
+// re-runnability.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "algos/cc.h"
+#include "algos/pagerank.h"
+#include "core/sim_engine.h"
+#include "core/threaded_engine.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "runtime/message.h"
+#include "runtime/worker_pool.h"
+#include "util/random.h"
+
+namespace grape {
+namespace {
+
+// ------------------------------------------------------- dense buffer ---
+
+TEST(DenseBuffer, CombineIsAppliedPerSlotAndRoundIsMax) {
+  UpdateBuffer<int> buf(/*num_slots=*/8);
+  auto sum = [](const int& a, const int& b) { return a + b; };
+  // Entries keyed by destination local id (lid), as the dispatcher stamps.
+  Message<int> m1{0, 1, 0, {{100, 5, 1, 3}, {101, 7, 2, 4}}, 0};
+  Message<int> m2{2, 1, 0, {{100, 11, 5, 3}}, 0};
+  buf.Append(m1, sum);
+  buf.Append(m2, sum);
+  EXPECT_EQ(buf.NumPendingVertices(), 2u);
+  auto out = buf.Drain();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].vid, 100u);
+  EXPECT_EQ(out[0].value, 16);   // 5 + 11
+  EXPECT_EQ(out[0].round, 5);    // max(1, 5)
+  EXPECT_EQ(out[0].lid, 3u);
+  EXPECT_EQ(out[1].value, 7);
+  EXPECT_TRUE(buf.Empty());
+}
+
+TEST(DenseBuffer, CombineFoldOrderInsensitiveForAssociativeFaggr) {
+  // min is associative+commutative: any interleaving of the same entry
+  // multiset folds to the same per-slot value.
+  Rng rng(7);
+  auto combine = [](const double& a, const double& b) {
+    return a < b ? a : b;
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    UpdateBuffer<double> a(32), b(32);
+    std::vector<UpdateEntry<double>> entries;
+    for (int i = 0; i < 60; ++i) {
+      const LocalVertex lid = static_cast<LocalVertex>(rng.Uniform(32));
+      entries.push_back({lid + 1000, rng.UniformDouble(0, 10), 0, lid});
+    }
+    // a: one message; b: many single-entry messages in reverse order.
+    a.AppendEntries(0, std::span<const UpdateEntry<double>>(entries),
+                    combine);
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      b.AppendEntries(0, std::span<const UpdateEntry<double>>(&*it, 1),
+                      combine);
+    }
+    auto da = a.Drain();
+    auto db = b.Drain();
+    std::map<LocalVertex, double> ma, mb;
+    for (const auto& e : da) ma[e.lid] = e.value;
+    for (const auto& e : db) mb[e.lid] = e.value;
+    EXPECT_EQ(ma, mb);
+  }
+}
+
+TEST(DenseBuffer, DistinctSenderCounting) {
+  UpdateBuffer<int> buf(4);
+  auto sum = [](const int& a, const int& b) { return a + b; };
+  buf.Append(Message<int>{3, 0, 0, {{0, 1, 0, 0}}, 0}, sum);
+  buf.Append(Message<int>{5, 0, 0, {{1, 1, 0, 1}}, 0}, sum);
+  buf.Append(Message<int>{3, 0, 0, {{2, 1, 0, 2}}, 0}, sum);
+  EXPECT_EQ(buf.NumMessages(), 3u);
+  EXPECT_EQ(buf.NumDistinctSenders(), 2u);  // {3, 5}
+  buf.Drain();
+  EXPECT_EQ(buf.NumDistinctSenders(), 0u);
+  buf.Append(Message<int>{9, 0, 0, {{0, 1, 0, 0}}, 0}, sum);
+  EXPECT_EQ(buf.NumDistinctSenders(), 1u);
+}
+
+TEST(DenseBuffer, SnapshotResetRoundTripPreservesEntries) {
+  UpdateBuffer<int> buf(16);
+  auto sum = [](const int& a, const int& b) { return a + b; };
+  buf.Append(Message<int>{0, 1, 0, {{7, 10, 2, 7}, {3, 4, 1, 3}}, 0}, sum);
+  auto snap = buf.Snapshot();
+  EXPECT_FALSE(buf.Empty());
+  ASSERT_EQ(snap.size(), 2u);
+
+  UpdateBuffer<int> restored(16);
+  restored.Reset(snap, sum);
+  auto a = buf.Drain();
+  auto b = restored.Drain();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].vid, b[i].vid);
+    EXPECT_EQ(a[i].value, b[i].value);
+    EXPECT_EQ(a[i].round, b[i].round);
+    EXPECT_EQ(a[i].lid, b[i].lid);
+  }
+}
+
+TEST(DenseBuffer, MovedFromAndMovedToBuffersAreUsable) {
+  auto sum = [](const int& a, const int& b) { return a + b; };
+  UpdateBuffer<int> a(4);
+  a.Append(Message<int>{0, 1, 0, {{2, 9, 0, 2}}, 0}, sum);
+  UpdateBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.NumPendingVertices(), 1u);
+  // The seed's defaulted move left a null mutex behind: any method on the
+  // moved-from buffer crashed. The dense buffer must stay fully usable.
+  EXPECT_TRUE(a.Empty());
+  a.Append(Message<int>{1, 1, 0, {{0, 1, 0, 0}}, 0}, sum);
+  EXPECT_EQ(a.NumPendingVertices(), 1u);
+  a = std::move(b);
+  EXPECT_EQ(a.Drain().size(), 1u);
+  EXPECT_TRUE(b.Empty());
+  b.Append(Message<int>{2, 1, 0, {{5, 2, 0, 5}}, 0}, sum);
+  EXPECT_EQ(b.NumMessages(), 1u);
+}
+
+TEST(DenseBuffer, GrowsOnDemandWithoutPresizing) {
+  UpdateBuffer<int> buf;  // default: no capacity hint
+  auto sum = [](const int& a, const int& b) { return a + b; };
+  buf.Append(Message<int>{0, 1, 0, {{5000, 1, 0}}, 0}, sum);  // keyed by vid
+  buf.Append(Message<int>{0, 1, 0, {{2, 1, 0}}, 0}, sum);
+  auto out = buf.Drain();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].vid, 5000u);
+}
+
+TEST(DenseBuffer, ConcurrentAppendDrainConservesSum) {
+  // faggr = sum is conservative: whatever interleaving of appends and
+  // drains happens, the total drained value must equal the total appended.
+  UpdateBuffer<long> buf(64);
+  auto sum = [](const long& a, const long& b) { return a + b; };
+  constexpr int kThreads = 4;
+  constexpr int kMsgsPerThread = 2000;
+  std::atomic<long> drained_total{0};
+  std::atomic<bool> stop{false};
+
+  std::thread drainer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const auto& e : buf.Drain()) {
+        drained_total.fetch_add(e.value, std::memory_order_relaxed);
+      }
+    }
+    for (const auto& e : buf.Drain()) {
+      drained_total.fetch_add(e.value, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> appenders;
+  for (int t = 0; t < kThreads; ++t) {
+    appenders.emplace_back([&, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < kMsgsPerThread; ++i) {
+        const LocalVertex lid = static_cast<LocalVertex>(rng.Uniform(64));
+        UpdateEntry<long> e{lid, 1, 0, lid};
+        buf.AppendEntries(static_cast<FragmentId>(t),
+                          std::span<const UpdateEntry<long>>(&e, 1), sum);
+      }
+    });
+  }
+  for (auto& t : appenders) t.join();
+  stop.store(true, std::memory_order_release);
+  drainer.join();
+  EXPECT_EQ(drained_total.load(), static_cast<long>(kThreads) *
+                                      kMsgsPerThread);
+  EXPECT_TRUE(buf.Empty());
+}
+
+// ------------------------------------------------------ routing index ---
+
+class RoutingIndexProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RoutingIndexProperty, MatchesReferenceRecipientsOnRandomPartitions) {
+  const auto [seed, m] = GetParam();
+  ErdosRenyiOptions o;
+  o.num_vertices = 180;
+  o.num_edges = 700;
+  o.directed = (seed % 2 == 0);
+  o.seed = static_cast<uint64_t>(seed) + 900;
+  Graph g = MakeErdosRenyi(o);
+  Partition p =
+      HashPartitioner(static_cast<uint64_t>(seed)).Partition_(g, m);
+  ASSERT_EQ(p.routing.size(), p.fragments.size());
+
+  std::vector<FragmentId> expect;
+  for (FragmentId i = 0; i < p.num_fragments(); ++i) {
+    const Fragment& f = p.fragments[i];
+    const FragmentRouting& r = p.routing[i];
+    ASSERT_EQ(r.owner.size(), f.num_local());
+    ASSERT_EQ(r.copy_offsets.size(), f.num_local() + 1u);
+    for (LocalVertex l = 0; l < f.num_local(); ++l) {
+      const VertexId v = f.GlobalId(l);
+
+      // Copy->owner flow (to_copies = false).
+      p.Recipients(v, i, /*to_copies=*/false, &expect);
+      if (r.owner[l].frag == kInvalidFragment) {
+        EXPECT_TRUE(expect.empty()) << "v=" << v;
+      } else {
+        ASSERT_EQ(expect.size(), 1u);
+        EXPECT_EQ(r.owner[l].frag, expect[0]);
+        // The stamped destination lid resolves to the same vertex.
+        EXPECT_EQ(p.fragments[r.owner[l].frag].GlobalId(r.owner[l].lid), v);
+      }
+
+      // Owner-broadcast flow (to_copies = true): union of owner + copies.
+      p.Recipients(v, i, /*to_copies=*/true, &expect);
+      std::set<FragmentId> want(expect.begin(), expect.end());
+      std::set<FragmentId> got;
+      if (r.owner[l].frag != kInvalidFragment) got.insert(r.owner[l].frag);
+      for (const RouteTarget& c : r.Copies(l)) {
+        got.insert(c.frag);
+        EXPECT_EQ(p.fragments[c.frag].GlobalId(c.lid), v);
+      }
+      ASSERT_EQ(got, want) << "fragment " << i << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RoutingIndexProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(2, 5, 9)),
+                         [](const auto& info) {
+                           return "seed" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  "_m" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+// -------------------------------------------------------- worker pool ---
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.Run(257, [&](uint32_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPool, ReusableAcrossManyJobs) {
+  WorkerPool pool(3);
+  std::atomic<uint64_t> total{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.Run(64, [&](uint32_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50u * 64u);
+}
+
+TEST(WorkerPool, SingleThreadPoolCompletes) {
+  WorkerPool pool(1);
+  int count = 0;
+  pool.Run(10, [&](uint32_t) { ++count; });
+  EXPECT_EQ(count, 10);
+}
+
+// ------------------------------------------------- engine re-run support ---
+
+TEST(SimEngineRerun, SecondRunMatchesFirst) {
+  RmatOptions o;
+  o.num_vertices = 300;
+  o.num_edges = 1400;
+  o.directed = false;
+  o.seed = 77;
+  Graph g = MakeRmat(o);
+  Partition p = HashPartitioner().Partition_(g, 6);
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  cfg.compute_jitter = 0.3;
+  cfg.seed = 5;
+  SimEngine<CcProgram> engine(p, CcProgram{}, cfg);
+  auto a = engine.Run();
+  auto b = engine.Run();  // the seed silently corrupted results here
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_EQ(a.result, b.result);
+  EXPECT_DOUBLE_EQ(a.stats.makespan, b.stats.makespan);
+  EXPECT_EQ(a.stats.total_msgs(), b.stats.total_msgs());
+  EXPECT_EQ(a.supersteps, b.supersteps);
+}
+
+TEST(SimEngineRerun, PageRankRerunInAllModes) {
+  RmatOptions o;
+  o.num_vertices = 200;
+  o.num_edges = 900;
+  o.seed = 21;
+  Graph g = MakeRmat(o);
+  Partition p = HashPartitioner().Partition_(g, 4);
+  for (const ModeConfig& mode :
+       {ModeConfig::Bsp(), ModeConfig::Ap(), ModeConfig::Aap()}) {
+    EngineConfig cfg;
+    cfg.mode = mode;
+    SimEngine<PageRankProgram> engine(p, PageRankProgram(0.85, 1e-7), cfg);
+    auto a = engine.Run();
+    auto b = engine.Run();
+    ASSERT_TRUE(a.converged && b.converged) << ModeName(mode.mode);
+    ASSERT_EQ(a.result.size(), b.result.size());
+    for (size_t v = 0; v < a.result.size(); ++v) {
+      EXPECT_DOUBLE_EQ(a.result[v], b.result[v]) << ModeName(mode.mode);
+    }
+  }
+}
+
+TEST(ThreadedEngineRerun, SecondRunMatchesFirst) {
+  ErdosRenyiOptions o;
+  o.num_vertices = 250;
+  o.num_edges = 1000;
+  o.directed = false;
+  o.seed = 13;
+  Graph g = MakeErdosRenyi(o);
+  Partition p = HashPartitioner().Partition_(g, 5);
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Ap();
+  cfg.num_threads = 3;
+  ThreadedEngine<CcProgram> engine(p, CcProgram{}, cfg);
+  auto a = engine.Run();
+  auto b = engine.Run();
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_EQ(a.result, b.result);
+  EXPECT_EQ(b.result, seq::ConnectedComponents(g));
+}
+
+}  // namespace
+}  // namespace grape
