@@ -1,0 +1,420 @@
+// Stress profile for the ingestion subsystem (ROADMAP "scale tests"): runs
+// the full pipeline at 1M+ vertices —
+//
+//   generate (sharded RMAT) -> parallel CSR build -> SaveBinary -> mmap load
+//   -> partition -> CC / PageRank on the zero-copy view
+//
+// and times the new parallel ingestion paths against the seed's serial
+// baselines — the istringstream-per-line edge-list parser feeding the
+// sort-based CSR Build, and the hash-map-heavy partition construction —
+// which are cloned below so the comparison survives their removal from the
+// library. Results go to BENCH_ingest.json.
+//
+//   stress_ingest [--vertices=N] [--edges=M] [--fragments=F] [--threads=T]
+//                 [--file=PATH] [--out=PATH]
+//
+// Defaults run the acceptance shape: 1M vertices / 8M arcs. CI runs a 64k
+// smoke via --vertices=65536 --edges=524288.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+#include "graph/store/gcsr_store.h"
+#include "partition/fragment.h"
+#include "partition/partitioner.h"
+#include "runtime/worker_pool.h"
+
+namespace grape {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t FlagU64(int argc, char** argv, const char* name, uint64_t def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::stoull(argv[i] + prefix.size());
+    }
+  }
+  return def;
+}
+
+std::string FlagStr(int argc, char** argv, const char* name,
+                    const std::string& def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return def;
+}
+
+// ---------------------------------------------------------------------------
+// Seed-era serial baselines, kept verbatim in spirit: the sort-based CSR
+// build and the hash-map-heavy partition construction that this PR replaced.
+
+struct LegacyCsr {
+  std::vector<uint64_t> offsets;
+  std::vector<Arc> arcs;
+};
+
+/// The seed's ParseEdgeList + Build: getline + two istringstreams per line,
+/// AddEdge with no reservation, then the sort-based CSR build. This is the
+/// "single-threaded text parsing" wall the ingestion subsystem replaces.
+LegacyCsr LegacyBuildCsr(const std::vector<Edge>& edges, VertexId n);
+
+std::pair<VertexId, LegacyCsr> LegacyParseAndBuild(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  VertexId n = 0;
+  bool have_header = false;
+  std::vector<Edge> edges;
+  while (std::getline(in, line)) {
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    if (!have_header) {
+      std::string mode;
+      ls >> n >> mode;
+      have_header = true;
+      continue;
+    }
+    VertexId s, d;
+    double w = 1.0;
+    if (!(ls >> s >> d)) break;
+    ls >> w;  // optional
+    edges.push_back({s, d, w});
+  }
+  return {n, LegacyBuildCsr(edges, n)};
+}
+
+LegacyCsr LegacyBuildCsr(const std::vector<Edge>& edges, VertexId n) {
+  LegacyCsr g;
+  g.offsets.assign(static_cast<size_t>(n) + 1, 0);
+  for (const auto& e : edges) g.offsets[e.src + 1]++;
+  for (size_t i = 1; i < g.offsets.size(); ++i) {
+    g.offsets[i] += g.offsets[i - 1];
+  }
+  g.arcs.resize(edges.size());
+  std::vector<uint64_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+  for (const auto& e : edges) {
+    g.arcs[cursor[e.src]++] = Arc{e.dst, e.weight};
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    auto* begin = g.arcs.data() + g.offsets[v];
+    auto* end = g.arcs.data() + g.offsets[v + 1];
+    std::sort(begin, end,
+              [](const Arc& a, const Arc& b) { return a.dst < b.dst; });
+  }
+  return g;
+}
+
+/// The seed's BuildPartition work pattern: per-fragment global->local hash
+/// maps, a copy_holders hash map, and hash lookups for every arc resolution
+/// and every routing-table entry. Produces the same logical structures into
+/// bench-local storage so its cost is directly comparable.
+struct LegacyPartition {
+  std::vector<std::vector<VertexId>> inner, outer, iprime;
+  std::vector<std::vector<uint64_t>> offsets;
+  std::vector<std::vector<LocalArc>> arcs;
+  std::vector<std::vector<uint8_t>> in_i, in_oprime;
+  std::vector<std::unordered_map<VertexId, LocalVertex>> global_to_local;
+  std::unordered_map<VertexId, std::vector<FragmentId>> copy_holders;
+  std::vector<FragmentRouting> routing;
+};
+
+LegacyPartition LegacyBuildPartition(const GraphView& g,
+                                     const std::vector<FragmentId>& placement,
+                                     FragmentId m) {
+  LegacyPartition p;
+  p.inner.resize(m);
+  p.outer.resize(m);
+  p.iprime.resize(m);
+  p.offsets.resize(m);
+  p.arcs.resize(m);
+  p.in_i.resize(m);
+  p.in_oprime.resize(m);
+  p.global_to_local.resize(m);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    p.inner[placement[v]].push_back(v);
+  }
+  for (FragmentId i = 0; i < m; ++i) {
+    auto& inner = p.inner[i];
+    std::sort(inner.begin(), inner.end());
+    const uint32_t ni = static_cast<uint32_t>(inner.size());
+    p.in_i[i].assign(ni, 0);
+    p.in_oprime[i].assign(ni, 0);
+    auto& g2l = p.global_to_local[i];
+    for (uint32_t l = 0; l < ni; ++l) g2l.emplace(inner[l], l);
+    std::vector<VertexId> outer;
+    for (uint32_t l = 0; l < ni; ++l) {
+      for (const Arc& a : g.OutEdges(inner[l])) {
+        if (placement[a.dst] != i) {
+          outer.push_back(a.dst);
+          p.in_oprime[i][l] = 1;
+        }
+      }
+    }
+    std::sort(outer.begin(), outer.end());
+    outer.erase(std::unique(outer.begin(), outer.end()), outer.end());
+    for (uint32_t j = 0; j < outer.size(); ++j) {
+      g2l.emplace(outer[j], ni + j);
+    }
+    p.outer[i] = std::move(outer);
+    auto& off = p.offsets[i];
+    off.assign(ni + 1, 0);
+    for (uint32_t l = 0; l < ni; ++l) {
+      off[l + 1] = off[l] + g.OutDegree(inner[l]);
+    }
+    p.arcs[i].resize(off[ni]);
+    for (uint32_t l = 0; l < ni; ++l) {
+      uint64_t cursor = off[l];
+      for (const Arc& a : g.OutEdges(inner[l])) {
+        p.arcs[i][cursor++] = LocalArc{g2l.at(a.dst), a.weight};
+      }
+    }
+  }
+  // Entry sets + remote sources via per-arc hash lookups.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const FragmentId fu = placement[u];
+    for (const Arc& a : g.OutEdges(u)) {
+      const FragmentId fv = placement[a.dst];
+      if (fu == fv) continue;
+      p.in_i[fv][p.global_to_local[fv].at(a.dst)] = 1;
+      p.iprime[fv].push_back(u);
+    }
+  }
+  for (FragmentId i = 0; i < m; ++i) {
+    auto& ip = p.iprime[i];
+    std::sort(ip.begin(), ip.end());
+    ip.erase(std::unique(ip.begin(), ip.end()), ip.end());
+  }
+  for (FragmentId i = 0; i < m; ++i) {
+    for (VertexId v : p.outer[i]) p.copy_holders[v].push_back(i);
+  }
+  for (auto& [v, holders] : p.copy_holders) {
+    std::sort(holders.begin(), holders.end());
+  }
+  // Routing tables with hash-resolved destination local ids.
+  p.routing.resize(m);
+  static const std::vector<FragmentId> kNoHolders;
+  for (FragmentId i = 0; i < m; ++i) {
+    FragmentRouting& r = p.routing[i];
+    const uint32_t ni = static_cast<uint32_t>(p.inner[i].size());
+    const uint32_t nl = ni + static_cast<uint32_t>(p.outer[i].size());
+    r.owner.assign(nl, RouteTarget{});
+    r.copy_offsets.assign(nl + 1, 0);
+    const auto global_of = [&](LocalVertex l) {
+      return l < ni ? p.inner[i][l] : p.outer[i][l - ni];
+    };
+    for (LocalVertex l = 0; l < nl; ++l) {
+      const VertexId g_id = global_of(l);
+      const FragmentId owner = placement[g_id];
+      if (owner != i) {
+        r.owner[l] = RouteTarget{owner, p.global_to_local[owner].at(g_id)};
+      }
+      auto it = p.copy_holders.find(g_id);
+      const auto& holders =
+          it != p.copy_holders.end() ? it->second : kNoHolders;
+      uint32_t cnt = 0;
+      for (FragmentId h : holders) {
+        if (h != i && h != owner) ++cnt;
+      }
+      r.copy_offsets[l + 1] = cnt;
+    }
+    for (LocalVertex l = 0; l < nl; ++l) {
+      r.copy_offsets[l + 1] += r.copy_offsets[l];
+    }
+    r.copy_targets.resize(r.copy_offsets[nl]);
+    for (LocalVertex l = 0; l < nl; ++l) {
+      const VertexId g_id = global_of(l);
+      const FragmentId owner = placement[g_id];
+      auto it = p.copy_holders.find(g_id);
+      if (it == p.copy_holders.end()) continue;
+      uint32_t cursor = r.copy_offsets[l];
+      for (FragmentId h : it->second) {
+        if (h == i || h == owner) continue;
+        r.copy_targets[cursor++] =
+            RouteTarget{h, p.global_to_local[h].at(g_id)};
+      }
+    }
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+
+int RunStress(int argc, char** argv) {
+  const VertexId n =
+      static_cast<VertexId>(FlagU64(argc, argv, "vertices", 1u << 20));
+  const uint64_t m_edges = FlagU64(argc, argv, "edges", 8ull << 20);
+  const FragmentId frags =
+      static_cast<FragmentId>(FlagU64(argc, argv, "fragments", 8));
+  const uint32_t threads =
+      static_cast<uint32_t>(FlagU64(argc, argv, "threads", 4));
+  const std::string file =
+      FlagStr(argc, argv, "file", "stress_ingest.gcsr");
+  const std::string out = FlagStr(argc, argv, "out", "BENCH_ingest.json");
+
+  WorkerPool pool(threads);
+  bool ok = true;
+
+  // ---- generate + parallel build -----------------------------------------
+  RmatOptions o;
+  o.num_vertices = n;
+  o.num_edges = m_edges;
+  o.directed = true;
+  o.weighted = true;
+  o.seed = 1234;
+  double t0 = Now();
+  Graph g = MakeRmat(o, &pool);
+  const double t_generate = Now() - t0;
+  std::printf("generate+build  %8.2fs  (%u vertices, %llu arcs)\n",
+              t_generate, g.num_vertices(),
+              static_cast<unsigned long long>(g.num_arcs()));
+
+  // ---- ingestion Build: chunked parse + scatter build vs the seed's
+  // istringstream parse + sort build, over identical edge-list text.
+  std::string text = ToEdgeListText(g);
+  t0 = Now();
+  auto [legacy_n, legacy] = LegacyParseAndBuild(text);
+  const double t_build_serial = Now() - t0;
+
+  t0 = Now();
+  auto parsed = ParseEdgeList(text, &pool);
+  const double t_build_parallel = Now() - t0;
+  ok = ok && parsed.ok() && legacy_n == parsed.value().num_vertices() &&
+       parsed.value().num_arcs() == legacy.arcs.size() &&
+       std::equal(parsed.value().View().offsets().begin(),
+                  parsed.value().View().offsets().end(),
+                  legacy.offsets.begin());
+  const double build_speedup = t_build_serial / t_build_parallel;
+  std::printf(
+      "ingest serial   %8.2fs   parallel %8.2fs   speedup %.2fx  (%.0f MB "
+      "text)\n",
+      t_build_serial, t_build_parallel, build_speedup,
+      static_cast<double>(text.size()) / 1048576.0);
+  text.clear();
+  text.shrink_to_fit();
+  legacy = LegacyCsr{};
+  parsed = Graph();
+
+  // ---- save + mmap load ---------------------------------------------------
+  t0 = Now();
+  Status save = SaveBinary(g, file);
+  const double t_save = Now() - t0;
+  if (!save.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", save.ToString().c_str());
+    return 1;
+  }
+  t0 = Now();
+  auto mapped = MmapGraph::Open(file, MmapGraph::Verify::kFull);
+  const double t_mmap = Now() - t0;
+  if (!mapped.ok()) {
+    std::fprintf(stderr, "mmap failed: %s\n",
+                 mapped.status().ToString().c_str());
+    return 1;
+  }
+  const GraphView view = mapped.value().View();
+  ok = ok && GraphDataEqual(g, view);
+  std::printf("save            %8.2fs   mmap+verify %8.2fs  (%.1f MB)\n",
+              t_save, t_mmap,
+              static_cast<double>(mapped.value().file_bytes()) / 1048576.0);
+
+  // ---- partition: parallel vs the seed's hash-heavy serial baseline ------
+  auto placement = HashPartitioner().Assign(view, frags);
+  t0 = Now();
+  LegacyPartition lp = LegacyBuildPartition(view, placement, frags);
+  const double t_partition_serial = Now() - t0;
+
+  t0 = Now();
+  Partition p = BuildPartition(view, placement, frags, &pool);
+  const double t_partition_parallel = Now() - t0;
+  const double partition_speedup = t_partition_serial / t_partition_parallel;
+  for (FragmentId i = 0; i < frags; ++i) {
+    ok = ok && p.fragments[i].num_inner() == lp.inner[i].size() &&
+         p.fragments[i].num_outer() == lp.outer[i].size() &&
+         p.routing[i].copy_targets == lp.routing[i].copy_targets &&
+         p.routing[i].owner == lp.routing[i].owner;
+  }
+  lp = LegacyPartition{};
+  std::printf("partition serial%8.2fs   parallel %8.2fs   speedup %.2fx\n",
+              t_partition_serial, t_partition_parallel, partition_speedup);
+
+  // ---- algorithms on the zero-copy view ----------------------------------
+  t0 = Now();
+  auto cc_mmap = seq::ConnectedComponents(view);
+  const double t_cc = Now() - t0;
+  ok = ok && cc_mmap == seq::ConnectedComponents(g);
+  uint64_t components = 0;
+  for (VertexId v = 0; v < view.num_vertices(); ++v) {
+    if (cc_mmap[v] == v) ++components;
+  }
+  t0 = Now();
+  auto pr = seq::PageRank(view, 0.85, 1e-4, /*max_iters=*/5);
+  const double t_pagerank = Now() - t0;
+  std::printf("cc              %8.2fs  (%llu components)\n", t_cc,
+              static_cast<unsigned long long>(components));
+  std::printf("pagerank (5 it) %8.2fs\n", t_pagerank);
+  std::printf("consistency     %s\n", ok ? "OK" : "MISMATCH");
+
+  // ---- BENCH_ingest.json --------------------------------------------------
+  FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"grapeplus-ingest-v1\",\n");
+  std::fprintf(f, "  \"num_vertices\": %llu,\n",
+               static_cast<unsigned long long>(g.num_vertices()));
+  std::fprintf(f, "  \"num_arcs\": %llu,\n",
+               static_cast<unsigned long long>(g.num_arcs()));
+  std::fprintf(f, "  \"fragments\": %u,\n", frags);
+  std::fprintf(f, "  \"threads\": %u,\n", threads);
+  std::fprintf(f, "  \"file_mb\": %.1f,\n",
+               static_cast<double>(mapped.value().file_bytes()) / 1048576.0);
+  std::fprintf(f, "  \"generate_and_build_sec\": %.3f,\n", t_generate);
+  std::fprintf(f, "  \"build\": {\n");
+  std::fprintf(f, "    \"serial_baseline_sec\": %.3f,\n", t_build_serial);
+  std::fprintf(f, "    \"parallel_sec\": %.3f,\n", t_build_parallel);
+  std::fprintf(f, "    \"speedup\": %.2f\n", build_speedup);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"save_sec\": %.3f,\n", t_save);
+  std::fprintf(f, "  \"mmap_load_verify_sec\": %.3f,\n", t_mmap);
+  std::fprintf(f, "  \"build_partition\": {\n");
+  std::fprintf(f, "    \"serial_baseline_sec\": %.3f,\n", t_partition_serial);
+  std::fprintf(f, "    \"parallel_sec\": %.3f,\n", t_partition_parallel);
+  std::fprintf(f, "    \"speedup\": %.2f\n", partition_speedup);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"cc_sec\": %.3f,\n", t_cc);
+  std::fprintf(f, "  \"cc_components\": %llu,\n",
+               static_cast<unsigned long long>(components));
+  std::fprintf(f, "  \"pagerank_5iter_sec\": %.3f,\n", t_pagerank);
+  std::fprintf(f, "  \"consistent\": %s\n", ok ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::remove(file.c_str());
+  std::printf("wrote %s\n", out.c_str());
+  return ok ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace grape
+
+int main(int argc, char** argv) {
+  return grape::RunStress(argc, argv);
+}

@@ -77,7 +77,7 @@ double BfsProgram::IncEval(const Fragment& f, State& st,
 
 BfsProgram::ResultT BfsProgram::Assemble(
     const Partition& p, const std::vector<State>& states) const {
-  std::vector<int64_t> level(p.graph->num_vertices(), kUnreached);
+  std::vector<int64_t> level(p.graph.num_vertices(), kUnreached);
   for (FragmentId i = 0; i < p.num_fragments(); ++i) {
     const Fragment& f = p.fragments[i];
     for (LocalVertex l = 0; l < f.num_inner(); ++l) {

@@ -86,7 +86,7 @@ double CcProgram::IncEval(const Fragment& f, State& st,
 
 CcProgram::ResultT CcProgram::Assemble(const Partition& p,
                                        const std::vector<State>& states) const {
-  std::vector<VertexId> cid(p.graph->num_vertices(), kInvalidVertex);
+  std::vector<VertexId> cid(p.graph.num_vertices(), kInvalidVertex);
   for (FragmentId i = 0; i < p.num_fragments(); ++i) {
     const Fragment& f = p.fragments[i];
     const State& st = states[i];

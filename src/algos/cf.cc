@@ -163,7 +163,7 @@ void CfProgram::EmitBorder(const Fragment& f, State& st,
 CfModel CfProgram::Assemble(const Partition& p,
                             const std::vector<State>& states) const {
   CfModel model;
-  model.factors.resize(p.graph->num_vertices());
+  model.factors.resize(p.graph.num_vertices());
   for (FragmentId i = 0; i < p.num_fragments(); ++i) {
     const Fragment& f = p.fragments[i];
     for (LocalVertex l = 0; l < f.num_inner(); ++l) {
@@ -172,7 +172,7 @@ CfModel CfProgram::Assemble(const Partition& p,
     model.total_epochs += states[i].epoch;
   }
   // Quality over the global rating graph with the assembled model.
-  const Graph& g = *p.graph;
+  const GraphView& g = p.graph;
   double train_se = 0, test_se = 0;
   uint64_t train_n = 0, test_n = 0;
   for (VertexId u = 0; u < g.num_vertices(); ++u) {

@@ -88,7 +88,7 @@ double PageRankProgram::IncEval(const Fragment& f, State& st,
 
 PageRankProgram::ResultT PageRankProgram::Assemble(
     const Partition& p, const std::vector<State>& states) const {
-  std::vector<double> score(p.graph->num_vertices(), 0.0);
+  std::vector<double> score(p.graph.num_vertices(), 0.0);
   for (FragmentId i = 0; i < p.num_fragments(); ++i) {
     const Fragment& f = p.fragments[i];
     for (LocalVertex l = 0; l < f.num_inner(); ++l) {

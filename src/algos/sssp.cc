@@ -75,7 +75,7 @@ double SsspProgram::IncEval(const Fragment& f, State& st,
 
 SsspProgram::ResultT SsspProgram::Assemble(
     const Partition& p, const std::vector<State>& states) const {
-  std::vector<double> dist(p.graph->num_vertices(), kInfinity);
+  std::vector<double> dist(p.graph.num_vertices(), kInfinity);
   for (FragmentId i = 0; i < p.num_fragments(); ++i) {
     const Fragment& f = p.fragments[i];
     for (LocalVertex l = 0; l < f.num_inner(); ++l) {

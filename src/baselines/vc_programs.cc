@@ -85,7 +85,7 @@ double VcSsspProgram::IncEval(const Fragment& f, State& st,
 
 VcSsspProgram::ResultT VcSsspProgram::Assemble(
     const Partition& p, const std::vector<State>& states) const {
-  std::vector<double> dist(p.graph->num_vertices(), kInfinity);
+  std::vector<double> dist(p.graph.num_vertices(), kInfinity);
   for (FragmentId i = 0; i < p.num_fragments(); ++i) {
     const Fragment& f = p.fragments[i];
     for (LocalVertex l = 0; l < f.num_inner(); ++l) {
@@ -171,7 +171,7 @@ double VcCcProgram::IncEval(const Fragment& f, State& st,
 
 VcCcProgram::ResultT VcCcProgram::Assemble(
     const Partition& p, const std::vector<State>& states) const {
-  std::vector<VertexId> cid(p.graph->num_vertices(), kInvalidVertex);
+  std::vector<VertexId> cid(p.graph.num_vertices(), kInvalidVertex);
   for (FragmentId i = 0; i < p.num_fragments(); ++i) {
     const Fragment& f = p.fragments[i];
     for (LocalVertex l = 0; l < f.num_inner(); ++l) {
@@ -254,7 +254,7 @@ double VcPageRankProgram::IncEval(const Fragment& f, State& st,
 
 VcPageRankProgram::ResultT VcPageRankProgram::Assemble(
     const Partition& p, const std::vector<State>& states) const {
-  std::vector<double> score(p.graph->num_vertices(), 0.0);
+  std::vector<double> score(p.graph.num_vertices(), 0.0);
   for (FragmentId i = 0; i < p.num_fragments(); ++i) {
     const Fragment& f = p.fragments[i];
     for (LocalVertex l = 0; l < f.num_inner(); ++l) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "util/parallel.h"
+
 namespace grape {
 
 namespace {
@@ -15,42 +17,90 @@ VertexId CeilPow2(VertexId n) {
   return p;
 }
 
+/// Shard count for `num_edges`: a pure function of the workload (never of
+/// the pool or machine), so sharded generation is deterministic everywhere.
+uint32_t GenShards(uint64_t num_edges) {
+  constexpr uint64_t kEdgesPerShard = 1 << 16;
+  return static_cast<uint32_t>(
+      std::clamp<uint64_t>(num_edges / kEdgesPerShard, 1, 64));
+}
+
+/// Independent RNG stream for shard `s` of a seeded generation run.
+Rng ShardRng(uint64_t seed, uint32_t shard) {
+  return Rng(seed + 0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(shard) + 1));
+}
+
+/// Splits `num_edges` across GenShards() shards, generating each shard with
+/// `gen(rng, shard_edges_out)` (possibly on pool workers), then concatenates
+/// the shards in order into `builder`.
+template <typename GenFn>
+void GenerateSharded(GraphBuilder& builder, uint64_t num_edges, uint64_t seed,
+                     WorkerPool* pool, GenFn&& gen) {
+  const uint32_t shards = GenShards(num_edges);
+  std::vector<std::vector<Edge>> shard_edges(shards);
+  const uint64_t per = num_edges / shards;
+  const uint64_t extra = num_edges % shards;
+  ParallelForChunks(pool, shards, shards, [&](uint64_t b, uint64_t e) {
+    for (uint64_t s = b; s < e; ++s) {
+      const uint64_t count = per + (s < extra ? 1 : 0);
+      Rng rng = ShardRng(seed, static_cast<uint32_t>(s));
+      shard_edges[s].reserve(count);
+      gen(rng, count, shard_edges[s]);
+    }
+  });
+  builder.ReserveEdges(num_edges);
+  for (const auto& shard : shard_edges) builder.AddEdges(shard);
+}
+
 }  // namespace
 
-Graph MakeRmat(const RmatOptions& opts) {
+Graph MakeRmat(const RmatOptions& opts, WorkerPool* pool) {
   const VertexId n = CeilPow2(std::max<VertexId>(2, opts.num_vertices));
   int levels = 0;
   while ((VertexId(1) << levels) < n) ++levels;
-  Rng rng(opts.seed);
   GraphBuilder builder(n, opts.directed);
   const double ab = opts.a + opts.b;
   const double abc = opts.a + opts.b + opts.c;
-  for (uint64_t e = 0; e < opts.num_edges; ++e) {
-    VertexId src = 0, dst = 0;
-    for (int l = 0; l < levels; ++l) {
-      const double r = rng.NextDouble();
-      // Pick the quadrant; add noise per level as GTgraph does.
-      int quadrant;
-      if (r < opts.a) quadrant = 0;
-      else if (r < ab) quadrant = 1;
-      else if (r < abc) quadrant = 2;
-      else quadrant = 3;
-      src = (src << 1) | ((quadrant >> 1) & 1);
-      dst = (dst << 1) | (quadrant & 1);
-    }
-    if (src == dst) dst = static_cast<VertexId>((dst + 1) % n);  // avoid self loops
-    const double w = opts.weighted
-                         ? rng.UniformDouble(opts.min_weight, opts.max_weight)
-                         : 1.0;
-    builder.AddEdge(src, dst, w);
-  }
-  return std::move(builder).Build();
+  GenerateSharded(
+      builder, opts.num_edges, opts.seed, pool,
+      [&](Rng& rng, uint64_t count, std::vector<Edge>& out) {
+        for (uint64_t e = 0; e < count; ++e) {
+          VertexId src = 0, dst = 0;
+          for (int l = 0; l < levels; ++l) {
+            const double r = rng.NextDouble();
+            // Pick the quadrant; add noise per level as GTgraph does.
+            int quadrant;
+            if (r < opts.a) quadrant = 0;
+            else if (r < ab) quadrant = 1;
+            else if (r < abc) quadrant = 2;
+            else quadrant = 3;
+            src = (src << 1) | ((quadrant >> 1) & 1);
+            dst = (dst << 1) | (quadrant & 1);
+          }
+          if (src == dst) {
+            dst = static_cast<VertexId>((dst + 1) % n);  // avoid self loops
+          }
+          const double w =
+              opts.weighted
+                  ? rng.UniformDouble(opts.min_weight, opts.max_weight)
+                  : 1.0;
+          out.push_back({src, dst, w});
+        }
+      });
+  return std::move(builder).Build(pool);
 }
 
 Graph MakeRoadGrid(const GridOptions& opts) {
   const VertexId n = opts.rows * opts.cols;
   Rng rng(opts.seed);
   GraphBuilder builder(n, /*directed=*/false);
+  const uint64_t grid_edges =
+      n == 0 ? 0
+             : static_cast<uint64_t>(opts.rows) * (opts.cols - 1) +
+                   static_cast<uint64_t>(opts.cols) * (opts.rows - 1);
+  builder.ReserveEdges(
+      grid_edges + static_cast<uint64_t>(opts.shortcut_fraction *
+                                         static_cast<double>(n)));
   auto id = [&](VertexId r, VertexId c) { return r * opts.cols + c; };
   auto weight = [&]() {
     return opts.weighted ? rng.UniformDouble(opts.min_weight, opts.max_weight)
@@ -78,6 +128,7 @@ Graph MakeSmallWorld(const SmallWorldOptions& opts) {
   Rng rng(opts.seed);
   GraphBuilder builder(n, /*directed=*/false);
   const uint32_t half = std::max<uint32_t>(1, opts.k / 2);
+  builder.ReserveEdges(static_cast<uint64_t>(n) * half);
   for (VertexId v = 0; v < n; ++v) {
     for (uint32_t j = 1; j <= half; ++j) {
       VertexId u = (v + j) % n;
@@ -92,25 +143,30 @@ Graph MakeSmallWorld(const SmallWorldOptions& opts) {
   return std::move(builder).Build();
 }
 
-Graph MakeErdosRenyi(const ErdosRenyiOptions& opts) {
-  Rng rng(opts.seed);
+Graph MakeErdosRenyi(const ErdosRenyiOptions& opts, WorkerPool* pool) {
   GraphBuilder builder(opts.num_vertices, opts.directed);
-  for (uint64_t e = 0; e < opts.num_edges; ++e) {
-    VertexId a = static_cast<VertexId>(rng.Uniform(opts.num_vertices));
-    VertexId b = static_cast<VertexId>(rng.Uniform(opts.num_vertices));
-    if (a == b) b = (b + 1) % opts.num_vertices;
-    const double w = opts.weighted
-                         ? rng.UniformDouble(opts.min_weight, opts.max_weight)
-                         : 1.0;
-    builder.AddEdge(a, b, w);
-  }
-  return std::move(builder).Build();
+  GenerateSharded(
+      builder, opts.num_edges, opts.seed, pool,
+      [&](Rng& rng, uint64_t count, std::vector<Edge>& out) {
+        for (uint64_t e = 0; e < count; ++e) {
+          VertexId a = static_cast<VertexId>(rng.Uniform(opts.num_vertices));
+          VertexId b = static_cast<VertexId>(rng.Uniform(opts.num_vertices));
+          if (a == b) b = (b + 1) % opts.num_vertices;
+          const double w =
+              opts.weighted
+                  ? rng.UniformDouble(opts.min_weight, opts.max_weight)
+                  : 1.0;
+          out.push_back({a, b, w});
+        }
+      });
+  return std::move(builder).Build(pool);
 }
 
 Graph MakeBipartiteRatings(const BipartiteOptions& opts) {
   const VertexId n = opts.num_users + opts.num_items;
   Rng rng(opts.seed);
   GraphBuilder builder(n, /*directed=*/false);
+  builder.ReserveEdges(opts.num_ratings);
   for (VertexId u = 0; u < opts.num_users; ++u) builder.MarkLeft(u);
 
   // Planted low-rank latent factors; ratings = u.f^T p.f + noise, clamped.
@@ -159,6 +215,7 @@ Graph MakeFig1bExample(std::vector<FragmentId>* fragment_of) {
   constexpr int kComponents = 8;
   const FragmentId frag_of_comp[kComponents] = {2, 0, 1, 0, 1, 0, 1, 2};
   GraphBuilder builder(3 * kComponents, /*directed=*/false);
+  builder.ReserveEdges(3 * kComponents + 7);
   for (VertexId k = 0; k < kComponents; ++k) {
     builder.AddEdge(3 * k, 3 * k + 1);
     builder.AddEdge(3 * k + 1, 3 * k + 2);

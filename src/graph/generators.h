@@ -13,6 +13,8 @@
 
 namespace grape {
 
+class WorkerPool;
+
 struct RmatOptions {
   VertexId num_vertices = 1 << 14;   // rounded up to a power of two
   uint64_t num_edges = 1 << 17;
@@ -25,7 +27,11 @@ struct RmatOptions {
 };
 
 /// Recursive-matrix power-law generator (the paper's GTgraph substitute).
-Graph MakeRmat(const RmatOptions& opts);
+/// Edges are produced in fixed per-shard RNG streams (shard count derived
+/// from the edge count, never from the pool), so the output depends only on
+/// the options — a pool merely parallelises shard generation and the CSR
+/// build.
+Graph MakeRmat(const RmatOptions& opts, WorkerPool* pool = nullptr);
 
 struct GridOptions {
   VertexId rows = 128, cols = 128;
@@ -59,8 +65,10 @@ struct ErdosRenyiOptions {
   uint64_t seed = 23;
 };
 
-/// G(n, m) uniform random graph.
-Graph MakeErdosRenyi(const ErdosRenyiOptions& opts);
+/// G(n, m) uniform random graph. Sharded like MakeRmat: deterministic in the
+/// options alone, parallel when given a pool.
+Graph MakeErdosRenyi(const ErdosRenyiOptions& opts,
+                     WorkerPool* pool = nullptr);
 
 struct BipartiteOptions {
   VertexId num_users = 1000;

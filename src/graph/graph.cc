@@ -2,17 +2,94 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
+
+#include "util/parallel.h"
 
 namespace grape {
 
+bool GraphDataEqual(const GraphView& a, const GraphView& b) {
+  if (a.directed() != b.directed()) return false;
+  if (a.num_vertices() != b.num_vertices()) return false;
+  if (a.num_arcs() != b.num_arcs()) return false;
+  if (!std::equal(a.offsets().begin(), a.offsets().end(),
+                  b.offsets().begin(), b.offsets().end())) {
+    return false;
+  }
+  if (!std::equal(a.arcs().begin(), a.arcs().end(), b.arcs().begin(),
+                  b.arcs().end(), [](const Arc& x, const Arc& y) {
+                    return x.dst == y.dst && x.weight == y.weight;
+                  })) {
+    return false;
+  }
+  if (!std::equal(a.vertex_labels().begin(), a.vertex_labels().end(),
+                  b.vertex_labels().begin(), b.vertex_labels().end())) {
+    return false;
+  }
+  return std::equal(a.left_side().begin(), a.left_side().end(),
+                    b.left_side().begin(), b.left_side().end());
+}
+
+StatusOr<Graph> Graph::FromCsr(bool directed, std::vector<uint64_t> offsets,
+                               std::vector<Arc> arcs,
+                               std::vector<int64_t> vertex_labels,
+                               std::vector<uint8_t> left_side) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != arcs.size()) {
+    return Status::InvalidArgument("CSR offsets malformed");
+  }
+  const size_t n = offsets.size() - 1;
+  for (size_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Status::InvalidArgument("CSR offsets not monotone");
+    }
+  }
+  if (!vertex_labels.empty() && vertex_labels.size() != n) {
+    return Status::InvalidArgument("vertex label section size mismatch");
+  }
+  if (!left_side.empty() && left_side.size() != n) {
+    return Status::InvalidArgument("left-side section size mismatch");
+  }
+  for (const Arc& a : arcs) {
+    if (a.dst >= n) return Status::InvalidArgument("arc target out of range");
+  }
+  Graph g;
+  g.directed_ = directed;
+  g.offsets_ = std::move(offsets);
+  g.arcs_ = std::move(arcs);
+  g.vertex_labels_ = std::move(vertex_labels);
+  g.left_side_ = std::move(left_side);
+  return g;
+}
+
 GraphBuilder::GraphBuilder(VertexId n, bool directed)
     : n_(n), directed_(directed) {}
+
+void GraphBuilder::ReserveEdges(uint64_t n) {
+  edges_.reserve(edges_.size() + (directed_ ? n : 2 * n));
+}
 
 void GraphBuilder::AddEdge(VertexId src, VertexId dst, double weight) {
   GRAPE_DCHECK(src < n_ && dst < n_)
       << "edge (" << src << "," << dst << ") out of range n=" << n_;
   edges_.push_back({src, dst, weight});
   if (!directed_) edges_.push_back({dst, src, weight});
+}
+
+void GraphBuilder::AddEdges(std::span<const Edge> edges) {
+  for (const Edge& e : edges) {
+    GRAPE_DCHECK(e.src < n_ && e.dst < n_)
+        << "edge (" << e.src << "," << e.dst << ") out of range n=" << n_;
+  }
+  if (directed_) {
+    edges_.insert(edges_.end(), edges.begin(), edges.end());
+    return;
+  }
+  edges_.reserve(edges_.size() + 2 * edges.size());
+  for (const Edge& e : edges) {
+    edges_.push_back(e);
+    edges_.push_back({e.dst, e.src, e.weight});
+  }
 }
 
 void GraphBuilder::SetVertexLabel(VertexId v, int64_t label) {
@@ -25,32 +102,47 @@ void GraphBuilder::MarkLeft(VertexId v) {
   left_[v] = 1;
 }
 
-Graph GraphBuilder::Build() && {
+Graph GraphBuilder::Build(WorkerPool* pool) && {
   Graph g;
   g.directed_ = directed_;
   g.vertex_labels_ = std::move(labels_);
   g.left_side_ = std::move(left_);
-  g.offsets_.assign(static_cast<size_t>(n_) + 1, 0);
-  for (const auto& e : edges_) g.offsets_[e.src + 1]++;
-  for (size_t i = 1; i < g.offsets_.size(); ++i) g.offsets_[i] += g.offsets_[i - 1];
-  g.arcs_.resize(edges_.size());
-  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (const auto& e : edges_) {
-    g.arcs_[cursor[e.src]++] = Arc{e.dst, e.weight};
-  }
-  // Sort each adjacency list by target for determinism and cache locality.
-  for (VertexId v = 0; v < n_; ++v) {
-    auto* begin = g.arcs_.data() + g.offsets_[v];
-    auto* end = g.arcs_.data() + g.offsets_[v + 1];
-    std::sort(begin, end, [](const Arc& a, const Arc& b) { return a.dst < b.dst; });
-  }
+
+  // Two stable counting scatters replace the seed's scatter-then-sort: the
+  // first groups edges by target, the second regroups by source. Stability
+  // makes the second pass emit each adjacency list already sorted by target
+  // (ties in insertion order), so no per-vertex comparison sort is needed,
+  // and makes the result identical for any worker count.
+  const uint64_t m = edges_.size();
+  std::vector<Edge> by_dst(m);
+  StableScatterByKey(
+      pool, edges_.data(), m, n_, [](const Edge& e) { return e.dst; },
+      by_dst.data(), nullptr);
   edges_.clear();
+  edges_.shrink_to_fit();
+
+  std::vector<Edge> by_src(m);
+  std::vector<uint64_t> offsets;
+  StableScatterByKey(
+      pool, by_dst.data(), m, n_, [](const Edge& e) { return e.src; },
+      by_src.data(), &offsets);
+  by_dst.clear();
+  by_dst.shrink_to_fit();
+
+  if (offsets.empty()) offsets.assign(1, 0);  // n == 0
+  g.offsets_ = std::move(offsets);
+  g.arcs_.resize(m);
+  Arc* arcs = g.arcs_.data();
+  const Edge* src_edges = by_src.data();
+  ParallelFor(pool, m, [&](uint64_t i) {
+    arcs[i] = Arc{src_edges[i].dst, src_edges[i].weight};
+  });
   return g;
 }
 
 namespace seq {
 
-std::vector<double> Sssp(const Graph& g, VertexId src) {
+std::vector<double> Sssp(const GraphView& g, VertexId src) {
   const VertexId n = g.num_vertices();
   std::vector<double> dist(n, kInfinity);
   using Item = std::pair<double, VertexId>;
@@ -82,7 +174,7 @@ VertexId Find(std::vector<VertexId>& parent, VertexId x) {
 }
 }  // namespace
 
-std::vector<VertexId> ConnectedComponents(const Graph& g) {
+std::vector<VertexId> ConnectedComponents(const GraphView& g) {
   const VertexId n = g.num_vertices();
   std::vector<VertexId> parent(n);
   for (VertexId v = 0; v < n; ++v) parent[v] = v;
@@ -97,7 +189,7 @@ std::vector<VertexId> ConnectedComponents(const Graph& g) {
   return cid;
 }
 
-std::vector<double> PageRank(const Graph& g, double damping, double eps,
+std::vector<double> PageRank(const GraphView& g, double damping, double eps,
                              int max_iters) {
   // Delta-accumulative formulation (Zhang et al. / Section 5.3): scores start
   // at 0, residuals at (1-d); iterate pushing d * x_v / N_v until the total
@@ -123,7 +215,7 @@ std::vector<double> PageRank(const Graph& g, double damping, double eps,
   return score;
 }
 
-std::vector<int64_t> BfsLevels(const Graph& g, VertexId src) {
+std::vector<int64_t> BfsLevels(const GraphView& g, VertexId src) {
   std::vector<int64_t> level(g.num_vertices(), -1);
   std::queue<VertexId> q;
   level[src] = 0;

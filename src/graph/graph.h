@@ -2,6 +2,10 @@
 // In-memory CSR graph used as the global input G = (V, E, L) of Section 2.
 // Directed graphs store out-adjacency (and optionally in-adjacency);
 // undirected graphs store each edge as two arcs.
+//
+// `Graph` owns its storage; read-only consumers should accept a `GraphView`
+// (graph/graph_view.h), which a Graph converts to implicitly and which the
+// mmap-backed `.gcsr` store (graph/store/) also produces.
 #ifndef GRAPEPLUS_GRAPH_GRAPH_H_
 #define GRAPEPLUS_GRAPH_GRAPH_H_
 
@@ -9,19 +13,24 @@
 #include <span>
 #include <vector>
 
+#include "graph/graph_view.h"
 #include "util/common.h"
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace grape {
 
-/// A weighted arc (target + label). The paper's L(e) is a positive number for
-/// SSSP and a rating for CF; we store a double.
-struct Arc {
+class WorkerPool;
+
+/// A raw edge triple, the unit of bulk ingestion (parsers and generators
+/// accumulate shards of these and feed them to GraphBuilder::AddEdges).
+struct Edge {
+  VertexId src;
   VertexId dst;
   double weight;
 };
 
-/// Immutable CSR graph. Build via GraphBuilder.
+/// Immutable CSR graph. Build via GraphBuilder or Graph::FromCsr.
 class Graph {
  public:
   Graph() = default;
@@ -55,6 +64,22 @@ class Graph {
     return left_side_[v] != 0;
   }
 
+  /// Non-owning view of this graph; valid while the Graph is alive and
+  /// unmoved. Graph converts implicitly so GraphView-taking APIs accept it.
+  GraphView View() const {
+    return GraphView(directed_, offsets_, arcs_, vertex_labels_, left_side_);
+  }
+  operator GraphView() const { return View(); }  // NOLINT
+
+  /// Adopts already-built CSR sections (the binary loader's entry point).
+  /// Validates structural invariants: offsets start at 0, are monotone and
+  /// end at arcs.size(); labels/left sides are empty or n-sized; arc targets
+  /// are in range.
+  static StatusOr<Graph> FromCsr(bool directed, std::vector<uint64_t> offsets,
+                                 std::vector<Arc> arcs,
+                                 std::vector<int64_t> vertex_labels,
+                                 std::vector<uint8_t> left_side);
+
  private:
   friend class GraphBuilder;
   bool directed_ = true;
@@ -71,9 +96,20 @@ class GraphBuilder {
   /// `n` is the number of vertices [0, n); `directed` selects arc semantics.
   GraphBuilder(VertexId n, bool directed);
 
+  /// Pre-sizes the edge buffer for `n` AddEdge calls (2n arc slots when the
+  /// graph is undirected). Generators and parsers know their edge counts up
+  /// front; reserving stops the repeated realloc-and-copy churn that
+  /// dominated large ingests.
+  void ReserveEdges(uint64_t n);
+
   /// Adds edge (src, dst) with weight. For undirected graphs the reverse arc
   /// is added automatically.
   void AddEdge(VertexId src, VertexId dst, double weight = 1.0);
+
+  /// Bulk-appends a shard of edges (reverse arcs added for undirected
+  /// graphs), equivalent to AddEdge per element in order. Parallel parsers
+  /// and generators produce per-shard vectors and concatenate them here.
+  void AddEdges(std::span<const Edge> edges);
 
   /// Optional per-vertex labels.
   void SetVertexLabel(VertexId v, int64_t label);
@@ -84,39 +120,39 @@ class GraphBuilder {
   VertexId num_vertices() const { return n_; }
   uint64_t num_added_edges() const { return edges_.size(); }
 
-  /// Finalises into CSR. The builder is consumed.
-  Graph Build() &&;
+  /// Finalises into CSR. The builder is consumed. With a pool, the
+  /// count->prefix->scatter construction runs chunked across its workers;
+  /// the result is bit-identical to the serial build (stable scatter).
+  /// Adjacency lists come out sorted by target (ties keep insertion order).
+  Graph Build(WorkerPool* pool = nullptr) &&;
 
  private:
-  struct TempEdge {
-    VertexId src, dst;
-    double weight;
-  };
   VertexId n_;
   bool directed_;
-  std::vector<TempEdge> edges_;
+  std::vector<Edge> edges_;
   std::vector<int64_t> labels_;
   std::vector<uint8_t> left_;
 };
 
 /// Ground-truth single-machine algorithms used by tests & benches to validate
 /// the distributed engines (the paper's "single-thread" baselines in Exp-1).
+/// They take GraphView so they run unchanged on mmap-backed binary graphs.
 namespace seq {
 
 /// Dijkstra from src. Unreachable = +inf. Weights must be non-negative.
-std::vector<double> Sssp(const Graph& g, VertexId src);
+std::vector<double> Sssp(const GraphView& g, VertexId src);
 
 /// Connected components by union-find over undirected edges; returns the
 /// minimum vertex id in each vertex's component (the paper's cid fixpoint).
-std::vector<VertexId> ConnectedComponents(const Graph& g);
+std::vector<VertexId> ConnectedComponents(const GraphView& g);
 
 /// PageRank by the paper's accumulative formulation: P_v converges to
 /// (1-d) * sum over paths. `eps` is the total residual threshold.
-std::vector<double> PageRank(const Graph& g, double damping, double eps,
+std::vector<double> PageRank(const GraphView& g, double damping, double eps,
                              int max_iters = 10000);
 
 /// Breadth-first level (hop distance), unreachable = -1.
-std::vector<int64_t> BfsLevels(const Graph& g, VertexId src);
+std::vector<int64_t> BfsLevels(const GraphView& g, VertexId src);
 
 }  // namespace seq
 }  // namespace grape

@@ -1,69 +1,193 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
+#include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
+
+#include "util/parallel.h"
 
 namespace grape {
 
-StatusOr<Graph> ParseEdgeList(const std::string& text) {
-  std::istringstream in(text);
-  std::string line;
+namespace {
+
+inline const char* SkipBlanks(const char* p, const char* end) {
+  while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  return p;
+}
+
+inline const char* LineEnd(const char* p, const char* end) {
+  const void* nl = std::memchr(p, '\n', static_cast<size_t>(end - p));
+  return nl == nullptr ? end : static_cast<const char*>(nl);
+}
+
+/// One chunk's parse outcome. Errors carry the chunk-local 1-based line
+/// index; the caller turns that into an absolute line number.
+struct ChunkResult {
+  std::vector<Edge> edges;
+  uint64_t lines = 0;       // total lines in the chunk (for error offsets)
+  uint64_t error_line = 0;  // chunk-local, 1-based; 0 = no error
+  enum class Error { kNone, kBadEdge, kOutOfRange } error = Error::kNone;
+};
+
+/// Parses one chunk of edge lines [begin, end). Chunks start at a line
+/// boundary; only the final chunk may end without a trailing newline.
+ChunkResult ParseChunk(const char* begin, const char* end, VertexId n) {
+  ChunkResult r;
+  // Count every line up front so absolute line numbers of later chunks stay
+  // correct even when this chunk stops early on an error.
+  for (const char* p = begin; p < end;) {
+    const char* nl = LineEnd(p, end);
+    ++r.lines;
+    p = nl + 1;
+  }
+  uint64_t line = 0;
+  for (const char* p = begin; p < end;) {
+    const char* nl = LineEnd(p, end);
+    ++line;
+    const char* q = SkipBlanks(p, nl);
+    p = nl + 1;
+    if (q == nl || *q == '#') continue;
+    VertexId s = 0, d = 0;
+    auto sr = std::from_chars(q, nl, s);
+    if (sr.ec != std::errc()) {
+      r.error = ChunkResult::Error::kBadEdge;
+      r.error_line = line;
+      return r;
+    }
+    q = SkipBlanks(sr.ptr, nl);
+    auto dr = std::from_chars(q, nl, d);
+    if (dr.ec != std::errc()) {
+      r.error = ChunkResult::Error::kBadEdge;
+      r.error_line = line;
+      return r;
+    }
+    double w = 1.0;
+    q = SkipBlanks(dr.ptr, nl);
+    if (q < nl && *q != '#') {
+      auto wr = std::from_chars(q, nl, w);
+      if (wr.ec != std::errc()) w = 1.0;  // trailing junk: ignore, like the
+                                          // stream parser's failed >> w
+    }
+    if (s >= n || d >= n) {
+      r.error = ChunkResult::Error::kOutOfRange;
+      r.error_line = line;
+      return r;
+    }
+    r.edges.push_back({s, d, w});
+  }
+  return r;
+}
+
+}  // namespace
+
+StatusOr<Graph> ParseEdgeList(std::string_view text, WorkerPool* pool) {
+  const char* p = text.data();
+  const char* const end = text.data() + text.size();
+
+  // ---- header: first non-blank, non-comment line: "n directed|undirected".
+  uint64_t line_no = 0;
   VertexId n = 0;
   bool directed = true;
   bool have_header = false;
-  GraphBuilder* builder = nullptr;
-  GraphBuilder storage(0, true);
-  uint64_t line_no = 0;
-  while (std::getline(in, line)) {
+  while (p < end && !have_header) {
+    const char* nl = LineEnd(p, end);
     ++line_no;
-    const size_t first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
-    std::istringstream ls(line);
-    if (!have_header) {
-      std::string mode;
-      if (!(ls >> n >> mode)) {
-        return Status::InvalidArgument("bad header at line " +
-                                       std::to_string(line_no));
-      }
-      if (mode == "directed") {
-        directed = true;
-      } else if (mode == "undirected") {
-        directed = false;
-      } else {
-        return Status::InvalidArgument("unknown mode '" + mode + "'");
-      }
-      storage = GraphBuilder(n, directed);
-      builder = &storage;
-      have_header = true;
+    const char* q = SkipBlanks(p, nl);
+    if (q == nl || *q == '#') {
+      p = nl + 1;
       continue;
     }
-    VertexId s, d;
-    double w = 1.0;
-    if (!(ls >> s >> d)) {
-      return Status::InvalidArgument("bad edge at line " +
+    auto nr = std::from_chars(q, nl, n);
+    if (nr.ec != std::errc()) {
+      return Status::InvalidArgument("bad header at line " +
                                      std::to_string(line_no));
     }
-    ls >> w;  // optional
-    if (s >= n || d >= n) {
-      return Status::OutOfRange("vertex id out of range at line " +
-                                std::to_string(line_no));
+    q = SkipBlanks(nr.ptr, nl);
+    const char* tok = q;
+    while (q < nl && *q != ' ' && *q != '\t' && *q != '\r') ++q;
+    const std::string_view mode(tok, static_cast<size_t>(q - tok));
+    if (mode == "directed") {
+      directed = true;
+    } else if (mode == "undirected") {
+      directed = false;
+    } else if (mode.empty()) {
+      return Status::InvalidArgument("bad header at line " +
+                                     std::to_string(line_no));
+    } else {
+      return Status::InvalidArgument("unknown mode '" + std::string(mode) +
+                                     "'");
     }
-    builder->AddEdge(s, d, w);
+    have_header = true;
+    p = nl + 1;
   }
   if (!have_header) return Status::InvalidArgument("missing header");
-  return std::move(storage).Build();
+
+  // ---- edge region: split into newline-aligned chunks, parse concurrently.
+  const uint64_t bytes = static_cast<uint64_t>(end - p);
+  const uint32_t chunks = ParallelChunks(pool, bytes, /*min_grain=*/1 << 16);
+  std::vector<const char*> starts(chunks + 1);
+  starts[0] = p;
+  starts[chunks] = end;
+  const uint64_t per = chunks > 0 ? bytes / chunks : 0;
+  for (uint32_t c = 1; c < chunks; ++c) {
+    const char* cut = p + per * c;
+    cut = LineEnd(cut, end);
+    starts[c] = cut < end ? cut + 1 : end;
+  }
+  for (uint32_t c = 1; c < chunks; ++c) {
+    starts[c] = std::max(starts[c], starts[c - 1]);
+  }
+
+  std::vector<ChunkResult> results(chunks);
+  ParallelForChunks(pool, chunks, chunks, [&](uint64_t b, uint64_t e) {
+    for (uint64_t c = b; c < e; ++c) {
+      results[c] = ParseChunk(starts[c], starts[c + 1], n);
+    }
+  });
+
+  uint64_t total_edges = 0;
+  uint64_t lines_before = line_no;
+  for (const ChunkResult& r : results) {
+    if (r.error != ChunkResult::Error::kNone) {
+      const uint64_t abs_line = lines_before + r.error_line;
+      if (r.error == ChunkResult::Error::kBadEdge) {
+        return Status::InvalidArgument("bad edge at line " +
+                                       std::to_string(abs_line));
+      }
+      return Status::OutOfRange("vertex id out of range at line " +
+                                std::to_string(abs_line));
+    }
+    lines_before += r.lines;
+    total_edges += r.edges.size();
+  }
+
+  GraphBuilder builder(n, directed);
+  builder.ReserveEdges(total_edges);
+  for (const ChunkResult& r : results) builder.AddEdges(r.edges);
+  return std::move(builder).Build(pool);
 }
 
-StatusOr<Graph> LoadEdgeList(const std::string& path) {
-  std::ifstream f(path);
+StatusOr<Graph> LoadEdgeList(const std::string& path, WorkerPool* pool) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
   if (!f) return Status::IoError("cannot open " + path);
-  std::stringstream buf;
-  buf << f.rdbuf();
-  return ParseEdgeList(buf.str());
+  // Read into one pre-sized string; the stringstream detour would hold two
+  // copies of the text at peak, which matters at ingestion scale.
+  const std::streamoff size = f.tellg();
+  std::string text(static_cast<size_t>(std::max<std::streamoff>(size, 0)),
+                   '\0');
+  f.seekg(0);
+  if (!text.empty() &&
+      !f.read(text.data(), static_cast<std::streamsize>(text.size()))) {
+    return Status::IoError("cannot read " + path);
+  }
+  return ParseEdgeList(text, pool);
 }
 
-std::string ToEdgeListText(const Graph& g) {
+std::string ToEdgeListText(const GraphView& g) {
   std::ostringstream os;
   os << g.num_vertices() << " " << (g.directed() ? "directed" : "undirected")
      << "\n";
@@ -77,7 +201,7 @@ std::string ToEdgeListText(const Graph& g) {
   return os.str();
 }
 
-Status SaveEdgeList(const Graph& g, const std::string& path) {
+Status SaveEdgeList(const GraphView& g, const std::string& path) {
   std::ofstream f(path);
   if (!f) return Status::IoError("cannot open " + path);
   f << ToEdgeListText(g);

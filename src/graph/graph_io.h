@@ -1,27 +1,38 @@
 // Copyright 2026 The GRAPE+ Reproduction Authors.
 // Edge-list text I/O. Format: header "n directed|undirected" then one
 // "src dst [weight]" per line; '#' comments allowed.
+//
+// Parsing is chunked: with a WorkerPool the input is split at newline
+// boundaries and chunks are parsed concurrently into per-chunk edge shards,
+// which are concatenated in order — the parsed graph is identical to the
+// serial parse. For the binary format see graph/store/gcsr_store.h.
 #ifndef GRAPEPLUS_GRAPH_GRAPH_IO_H_
 #define GRAPEPLUS_GRAPH_GRAPH_IO_H_
 
 #include <string>
+#include <string_view>
 
 #include "graph/graph.h"
 #include "util/status.h"
 
 namespace grape {
 
-/// Parses a graph from edge-list text (see header format above).
-StatusOr<Graph> ParseEdgeList(const std::string& text);
+class WorkerPool;
+
+/// Parses a graph from edge-list text (see header format above). With a
+/// pool, chunks are parsed in parallel; the result is deterministic.
+StatusOr<Graph> ParseEdgeList(std::string_view text,
+                              WorkerPool* pool = nullptr);
 
 /// Loads a graph from an edge-list file.
-StatusOr<Graph> LoadEdgeList(const std::string& path);
+StatusOr<Graph> LoadEdgeList(const std::string& path,
+                             WorkerPool* pool = nullptr);
 
 /// Serialises a graph to edge-list text (round-trippable via ParseEdgeList).
-std::string ToEdgeListText(const Graph& g);
+std::string ToEdgeListText(const GraphView& g);
 
 /// Writes a graph to a file.
-Status SaveEdgeList(const Graph& g, const std::string& path);
+Status SaveEdgeList(const GraphView& g, const std::string& path);
 
 }  // namespace grape
 

@@ -1,0 +1,92 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// GraphView: a non-owning, read-only view of a CSR graph. It is the common
+// currency of every consumer of graph data — the in-memory `Graph`, the
+// mmap-backed `.gcsr` store, partitioners, the sequential ground-truth
+// algorithms and the metrics all speak GraphView, so a graph can be consumed
+// straight off a memory-mapped file without ever being copied.
+#ifndef GRAPEPLUS_GRAPH_GRAPH_VIEW_H_
+#define GRAPEPLUS_GRAPH_GRAPH_VIEW_H_
+
+#include <cstdint>
+#include <span>
+
+#include "util/common.h"
+#include "util/logging.h"
+
+namespace grape {
+
+/// A weighted arc (target + label). The paper's L(e) is a positive number for
+/// SSSP and a rating for CF; we store a double. The layout (4-byte dst,
+/// 4 bytes padding, 8-byte weight) is also the on-disk arc record of the
+/// `.gcsr` binary format — see src/graph/store/README.md.
+struct Arc {
+  VertexId dst;
+  double weight;
+};
+
+/// Non-owning CSR view. The backing storage (a Graph's vectors or an mmapped
+/// `.gcsr` file) must outlive the view. Copyable and cheap to pass by value.
+class GraphView {
+ public:
+  GraphView() = default;
+  GraphView(bool directed, std::span<const uint64_t> offsets,
+            std::span<const Arc> arcs, std::span<const int64_t> vertex_labels,
+            std::span<const uint8_t> left_side)
+      : directed_(directed),
+        offsets_(offsets),
+        arcs_(arcs),
+        vertex_labels_(vertex_labels),
+        left_side_(left_side) {}
+
+  bool directed() const { return directed_; }
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0
+                            : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  uint64_t num_arcs() const { return arcs_.size(); }
+  /// Logical edge count: arcs for directed graphs, arcs/2 for undirected.
+  uint64_t num_edges() const { return directed_ ? num_arcs() : num_arcs() / 2; }
+
+  /// Out-neighbourhood of v.
+  std::span<const Arc> OutEdges(VertexId v) const {
+    GRAPE_DCHECK(v < num_vertices());
+    return {arcs_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  uint64_t OutDegree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Vertex labels (the paper's L(v)); empty if unlabelled.
+  bool has_vertex_labels() const { return !vertex_labels_.empty(); }
+  int64_t VertexLabel(VertexId v) const {
+    return has_vertex_labels() ? vertex_labels_[v] : 0;
+  }
+
+  /// Bipartite tagging for CF: true iff v is a "user" node (left side).
+  bool is_bipartite() const { return !left_side_.empty(); }
+  bool IsLeft(VertexId v) const {
+    GRAPE_DCHECK(is_bipartite());
+    return left_side_[v] != 0;
+  }
+
+  /// Raw sections (used by the binary store and by deep-equality tests).
+  std::span<const uint64_t> offsets() const { return offsets_; }
+  std::span<const Arc> arcs() const { return arcs_; }
+  std::span<const int64_t> vertex_labels() const { return vertex_labels_; }
+  std::span<const uint8_t> left_side() const { return left_side_; }
+
+ private:
+  bool directed_ = true;
+  std::span<const uint64_t> offsets_;
+  std::span<const Arc> arcs_;
+  std::span<const int64_t> vertex_labels_;
+  std::span<const uint8_t> left_side_;
+};
+
+/// Deep content equality of two views (topology, weights, labels, sides).
+bool GraphDataEqual(const GraphView& a, const GraphView& b);
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_GRAPH_GRAPH_VIEW_H_

@@ -1,0 +1,76 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// On-disk layout of the `.gcsr` versioned binary CSR format. See
+// src/graph/store/README.md for the full specification and versioning
+// rules. All integers are little-endian; sections are 8-byte aligned.
+#ifndef GRAPEPLUS_GRAPH_STORE_GCSR_FORMAT_H_
+#define GRAPEPLUS_GRAPH_STORE_GCSR_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph_view.h"
+
+namespace grape {
+namespace store {
+
+/// "GCSR" followed by a format epoch byte; bumping the epoch invalidates all
+/// older files (incompatible layout), while `kGcsrVersion` tracks
+/// backward-compatible revisions within an epoch.
+inline constexpr uint64_t kGcsrMagic = 0x0100525343471B67ULL;
+inline constexpr uint32_t kGcsrVersion = 1;
+
+enum GcsrFlags : uint32_t {
+  kGcsrDirected = 1u << 0,
+  kGcsrHasLabels = 1u << 1,
+  kGcsrHasLeftSide = 1u << 2,
+};
+
+/// Section order in the file (all offsets relative to file start).
+enum GcsrSection : uint32_t {
+  kSecOffsets = 0,  // (n + 1) x uint64      — CSR offsets
+  kSecArcs = 1,     // num_arcs x 16 bytes   — {u32 dst, u32 zero, f64 weight}
+  kSecLabels = 2,   // n x int64 or empty    — vertex labels L(v)
+  kSecLeft = 3,     // n x uint8 or empty    — bipartite left-side bitmap
+  kNumSections = 4,
+};
+
+/// Fixed-size file header. `header_checksum` is the FNV-1a of the header
+/// bytes with the checksum field itself zeroed; each section carries its own
+/// FNV-1a so loaders can verify integrity before trusting the payload.
+struct GcsrHeader {
+  uint64_t magic = kGcsrMagic;
+  uint32_t version = kGcsrVersion;
+  uint32_t flags = 0;
+  uint64_t num_vertices = 0;
+  uint64_t num_arcs = 0;
+  uint64_t section_offset[kNumSections] = {};
+  uint64_t section_bytes[kNumSections] = {};
+  uint64_t section_checksum[kNumSections] = {};
+  uint64_t header_checksum = 0;
+};
+static_assert(sizeof(GcsrHeader) == 8 + 4 + 4 + 8 + 8 + 3 * 4 * 8 + 8,
+              "GcsrHeader must be packed (no implicit padding)");
+
+/// The on-disk arc record must be byte-compatible with the in-memory Arc so
+/// the mmap read path can expose the arc section as a `span<const Arc>`
+/// without copying. The 4 padding bytes are written as zero so files hash
+/// identically across runs.
+static_assert(sizeof(Arc) == 16, "Arc must be 16 bytes (dst, pad, weight)");
+static_assert(offsetof(Arc, dst) == 0 && offsetof(Arc, weight) == 8,
+              "Arc layout must match the .gcsr arc record");
+
+/// FNV-1a 64-bit over a byte range.
+inline uint64_t Fnv1a(const void* data, size_t len,
+                      uint64_t hash = 0xCBF29CE484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace store
+}  // namespace grape
+
+#endif  // GRAPEPLUS_GRAPH_STORE_GCSR_FORMAT_H_

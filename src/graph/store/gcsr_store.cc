@@ -1,0 +1,406 @@
+#include "graph/store/gcsr_store.h"
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GRAPEPLUS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace grape {
+
+using store::Fnv1a;
+using store::GcsrHeader;
+using store::kGcsrMagic;
+using store::kGcsrVersion;
+using store::kNumSections;
+using store::kSecArcs;
+using store::kSecLabels;
+using store::kSecLeft;
+using store::kSecOffsets;
+
+namespace {
+
+constexpr uint64_t kAlign = 8;
+constexpr size_t kArcRecordBytes = 16;
+
+uint64_t AlignUp(uint64_t x) { return (x + kAlign - 1) & ~(kAlign - 1); }
+
+/// Computes the section table for a graph of the given shape. Returns total
+/// file size.
+uint64_t LayoutSections(uint64_t n, uint64_t num_arcs, bool has_labels,
+                        bool has_left, GcsrHeader* h) {
+  h->section_bytes[kSecOffsets] = (n + 1) * sizeof(uint64_t);
+  h->section_bytes[kSecArcs] = num_arcs * kArcRecordBytes;
+  h->section_bytes[kSecLabels] = has_labels ? n * sizeof(int64_t) : 0;
+  h->section_bytes[kSecLeft] = has_left ? n : 0;
+  uint64_t pos = sizeof(GcsrHeader);
+  for (uint32_t s = 0; s < kNumSections; ++s) {
+    pos = AlignUp(pos);
+    h->section_offset[s] = pos;
+    pos += h->section_bytes[s];
+  }
+  return AlignUp(pos);
+}
+
+uint64_t HeaderChecksum(GcsrHeader h) {
+  h.header_checksum = 0;
+  return Fnv1a(&h, sizeof(h));
+}
+
+class FileWriter {
+ public:
+  explicit FileWriter(FILE* f) : f_(f) {}
+
+  bool WriteSection(const void* data, uint64_t bytes, uint64_t offset,
+                    uint64_t* checksum) {
+    if (!Pad(offset)) return false;
+    *checksum = Fnv1a(data, bytes);
+    return bytes == 0 ||
+           std::fwrite(data, 1, bytes, f_) == bytes;
+  }
+
+  /// Seeks forward to `offset` writing zero fill (sections are aligned).
+  bool Pad(uint64_t offset) {
+    GRAPE_CHECK(offset >= pos_);
+    static const char kZeros[kAlign] = {};
+    while (pos_ < offset) {
+      const uint64_t take =
+          std::min<uint64_t>(offset - pos_, sizeof(kZeros));
+      if (std::fwrite(kZeros, 1, take, f_) != take) return false;
+      pos_ += take;
+    }
+    return true;
+  }
+
+  void Advance(uint64_t bytes) { pos_ += bytes; }
+
+ private:
+  FILE* f_;
+  uint64_t pos_ = 0;
+};
+
+}  // namespace
+
+Status SaveBinary(const GraphView& g, const std::string& path) {
+  const uint64_t n = g.num_vertices();
+  GcsrHeader h;
+  h.flags = (g.directed() ? uint32_t{store::kGcsrDirected} : 0u) |
+            (g.has_vertex_labels() ? uint32_t{store::kGcsrHasLabels} : 0u) |
+            (g.is_bipartite() ? uint32_t{store::kGcsrHasLeftSide} : 0u);
+  h.num_vertices = n;
+  h.num_arcs = g.num_arcs();
+  LayoutSections(n, h.num_arcs, g.has_vertex_labels(), g.is_bipartite(), &h);
+
+  const std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + tmp);
+  const auto fail = [&](const std::string& what) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError(what + " " + tmp);
+  };
+
+  FileWriter w(f);
+  // Header placeholder; rewritten with checksums at the end.
+  if (std::fwrite(&h, sizeof(h), 1, f) != 1) return fail("cannot write");
+  w.Advance(sizeof(h));
+
+  if (!w.WriteSection(g.offsets().data(), h.section_bytes[kSecOffsets],
+                      h.section_offset[kSecOffsets],
+                      &h.section_checksum[kSecOffsets])) {
+    return fail("cannot write");
+  }
+  w.Advance(h.section_bytes[kSecOffsets]);
+
+  // Arc records: {u32 dst, u32 zero, f64 weight}. Copied through a zeroed
+  // staging buffer so the in-memory Arc's padding bytes never reach disk and
+  // file checksums are reproducible.
+  {
+    if (!w.Pad(h.section_offset[kSecArcs])) return fail("cannot write");
+    constexpr size_t kChunkArcs = 1 << 15;
+    std::vector<unsigned char> buf(kChunkArcs * kArcRecordBytes);
+    uint64_t checksum = 0xCBF29CE484222325ULL;
+    const std::span<const Arc> arcs = g.arcs();
+    for (uint64_t base = 0; base < arcs.size(); base += kChunkArcs) {
+      const size_t count =
+          std::min<uint64_t>(kChunkArcs, arcs.size() - base);
+      std::memset(buf.data(), 0, count * kArcRecordBytes);
+      for (size_t i = 0; i < count; ++i) {
+        unsigned char* rec = buf.data() + i * kArcRecordBytes;
+        std::memcpy(rec, &arcs[base + i].dst, sizeof(VertexId));
+        std::memcpy(rec + 8, &arcs[base + i].weight, sizeof(double));
+      }
+      checksum = Fnv1a(buf.data(), count * kArcRecordBytes, checksum);
+      if (std::fwrite(buf.data(), kArcRecordBytes, count, f) != count) {
+        return fail("cannot write");
+      }
+    }
+    h.section_checksum[kSecArcs] = checksum;
+    w.Advance(h.section_bytes[kSecArcs]);
+  }
+
+  if (!w.WriteSection(g.vertex_labels().data(), h.section_bytes[kSecLabels],
+                      h.section_offset[kSecLabels],
+                      &h.section_checksum[kSecLabels])) {
+    return fail("cannot write");
+  }
+  w.Advance(h.section_bytes[kSecLabels]);
+  if (!w.WriteSection(g.left_side().data(), h.section_bytes[kSecLeft],
+                      h.section_offset[kSecLeft],
+                      &h.section_checksum[kSecLeft])) {
+    return fail("cannot write");
+  }
+  w.Advance(h.section_bytes[kSecLeft]);
+
+  h.header_checksum = HeaderChecksum(h);
+  if (std::fseek(f, 0, SEEK_SET) != 0 ||
+      std::fwrite(&h, sizeof(h), 1, f) != 1) {
+    return fail("cannot write");
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot flush " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Shared header validation for both read paths. `file_bytes` is the total
+/// file size for bounds checks.
+Status ValidateHeader(const GcsrHeader& h, uint64_t file_bytes) {
+  if (h.magic != kGcsrMagic) {
+    return Status::InvalidArgument("not a .gcsr file (bad magic)");
+  }
+  if (h.version != kGcsrVersion) {
+    return Status::InvalidArgument(".gcsr version " +
+                                   std::to_string(h.version) +
+                                   " unsupported (want " +
+                                   std::to_string(kGcsrVersion) + ")");
+  }
+  if (h.header_checksum != HeaderChecksum(h)) {
+    return Status::InvalidArgument(".gcsr header checksum mismatch");
+  }
+  // Caps keep the recomputed layout below free of uint64 wraparound (which
+  // would let absurd counts slip past the bounds checks and turn into giant
+  // allocations): ids must fit VertexId, and 2^48 arcs is far beyond any
+  // real file.
+  if (h.num_vertices > std::numeric_limits<VertexId>::max() ||
+      h.num_arcs > (uint64_t{1} << 48)) {
+    return Status::InvalidArgument(".gcsr vertex/arc counts out of range");
+  }
+  const uint64_t n = h.num_vertices;
+  GcsrHeader expect;
+  LayoutSections(n, h.num_arcs, (h.flags & store::kGcsrHasLabels) != 0,
+                 (h.flags & store::kGcsrHasLeftSide) != 0, &expect);
+  for (uint32_t s = 0; s < kNumSections; ++s) {
+    if (h.section_offset[s] != expect.section_offset[s] ||
+        h.section_bytes[s] != expect.section_bytes[s]) {
+      return Status::InvalidArgument(".gcsr section table inconsistent");
+    }
+    if (h.section_offset[s] + h.section_bytes[s] > file_bytes) {
+      return Status::InvalidArgument(".gcsr truncated (section " +
+                                     std::to_string(s) + " out of bounds)");
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifySection(const GcsrHeader& h, uint32_t s, const void* data) {
+  if (Fnv1a(data, h.section_bytes[s]) != h.section_checksum[s]) {
+    return Status::InvalidArgument(".gcsr section " + std::to_string(s) +
+                                   " checksum mismatch");
+  }
+  return Status::OK();
+}
+
+/// Structural CSR invariants over the raw sections — the zero-copy path's
+/// equivalent of Graph::FromCsr's validation, since checksums only prove the
+/// file is what its writer produced, not that the writer was sane. Checking
+/// arc targets faults the whole arc section in, so it is tied to
+/// Verify::kFull (which already does).
+Status ValidateStructure(const GcsrHeader& h, const uint64_t* offsets,
+                         const Arc* arcs, bool check_arcs) {
+  const uint64_t n = h.num_vertices;
+  if (offsets[0] != 0 || offsets[n] != h.num_arcs) {
+    return Status::InvalidArgument(".gcsr offsets malformed");
+  }
+  for (uint64_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Status::InvalidArgument(".gcsr offsets not monotone");
+    }
+  }
+  if (check_arcs) {
+    for (uint64_t i = 0; i < h.num_arcs; ++i) {
+      if (arcs[i].dst >= n) {
+        return Status::InvalidArgument(".gcsr arc target out of range");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Graph> LoadBinary(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  struct Closer {
+    FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IoError("cannot seek " + path);
+  }
+  const long sz = std::ftell(f);
+  if (sz < 0 || static_cast<uint64_t>(sz) < sizeof(GcsrHeader)) {
+    return Status::InvalidArgument("not a .gcsr file (too small): " + path);
+  }
+  const uint64_t file_bytes = static_cast<uint64_t>(sz);
+  std::rewind(f);
+
+  GcsrHeader h;
+  if (std::fread(&h, sizeof(h), 1, f) != 1) {
+    return Status::IoError("cannot read header of " + path);
+  }
+  GRAPE_RETURN_NOT_OK(ValidateHeader(h, file_bytes));
+
+  const auto read_section = [&](uint32_t s, void* out) -> Status {
+    if (h.section_bytes[s] == 0) return Status::OK();
+    if (std::fseek(f, static_cast<long>(h.section_offset[s]), SEEK_SET) != 0 ||
+        std::fread(out, 1, h.section_bytes[s], f) != h.section_bytes[s]) {
+      return Status::IoError("cannot read section " + std::to_string(s) +
+                             " of " + path);
+    }
+    return VerifySection(h, s, out);
+  };
+
+  const uint64_t n = h.num_vertices;
+  std::vector<uint64_t> offsets(n + 1);
+  GRAPE_RETURN_NOT_OK(read_section(kSecOffsets, offsets.data()));
+  std::vector<Arc> arcs(h.num_arcs);
+  static_assert(sizeof(Arc) == kArcRecordBytes);
+  GRAPE_RETURN_NOT_OK(read_section(kSecArcs, arcs.data()));
+  std::vector<int64_t> labels(
+      (h.flags & store::kGcsrHasLabels) != 0 ? n : 0);
+  GRAPE_RETURN_NOT_OK(read_section(kSecLabels, labels.data()));
+  std::vector<uint8_t> left((h.flags & store::kGcsrHasLeftSide) != 0 ? n : 0);
+  GRAPE_RETURN_NOT_OK(read_section(kSecLeft, left.data()));
+
+  return Graph::FromCsr((h.flags & store::kGcsrDirected) != 0,
+                        std::move(offsets), std::move(arcs),
+                        std::move(labels), std::move(left));
+}
+
+MmapGraph& MmapGraph::operator=(MmapGraph&& other) noexcept {
+  if (this != &other) {
+#if GRAPEPLUS_HAVE_MMAP
+    if (base_ != nullptr) {
+      ::munmap(const_cast<void*>(base_), bytes_);
+    }
+#endif
+    base_ = std::exchange(other.base_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    header_ = other.header_;
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+MmapGraph::~MmapGraph() {
+#if GRAPEPLUS_HAVE_MMAP
+  if (base_ != nullptr) {
+    ::munmap(const_cast<void*>(base_), bytes_);
+  }
+#endif
+}
+
+StatusOr<MmapGraph> MmapGraph::Open(const std::string& path, Verify verify) {
+#if !GRAPEPLUS_HAVE_MMAP
+  (void)verify;
+  return Status::Internal("mmap unsupported on this platform; use LoadBinary");
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  const uint64_t bytes = static_cast<uint64_t>(st.st_size);
+  if (bytes < sizeof(GcsrHeader)) {
+    ::close(fd);
+    return Status::InvalidArgument("not a .gcsr file (too small): " + path);
+  }
+  void* base = ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (base == MAP_FAILED) {
+    return Status::IoError("cannot mmap " + path);
+  }
+
+  MmapGraph g;
+  g.base_ = base;
+  g.bytes_ = bytes;
+  g.path_ = path;
+  std::memcpy(&g.header_, base, sizeof(GcsrHeader));
+  Status st_hdr = ValidateHeader(g.header_, bytes);
+  const auto* bytes_base = static_cast<const unsigned char*>(base);
+  if (st_hdr.ok() && verify == Verify::kFull) {
+    for (uint32_t s = 0; s < kNumSections && st_hdr.ok(); ++s) {
+      st_hdr = VerifySection(g.header_, s,
+                             bytes_base + g.header_.section_offset[s]);
+    }
+  }
+  if (st_hdr.ok()) {
+    st_hdr = ValidateStructure(
+        g.header_,
+        reinterpret_cast<const uint64_t*>(
+            bytes_base + g.header_.section_offset[kSecOffsets]),
+        reinterpret_cast<const Arc*>(bytes_base +
+                                     g.header_.section_offset[kSecArcs]),
+        /*check_arcs=*/verify == Verify::kFull);
+  }
+  if (!st_hdr.ok()) return st_hdr;  // g's destructor unmaps
+  return g;
+#endif
+}
+
+GraphView MmapGraph::View() const {
+  GRAPE_CHECK(base_ != nullptr) << "MmapGraph is closed";
+  const auto* bytes_base = static_cast<const unsigned char*>(base_);
+  const uint64_t n = header_.num_vertices;
+  // The arc section is 8-byte aligned and its records are byte-compatible
+  // with Arc (asserted in gcsr_format.h), so the mapping is exposed
+  // directly — the zero-copy read path.
+  const auto* offsets = reinterpret_cast<const uint64_t*>(
+      bytes_base + header_.section_offset[kSecOffsets]);
+  const auto* arcs = reinterpret_cast<const Arc*>(
+      bytes_base + header_.section_offset[kSecArcs]);
+  const auto* labels = reinterpret_cast<const int64_t*>(
+      bytes_base + header_.section_offset[kSecLabels]);
+  const auto* left = reinterpret_cast<const uint8_t*>(
+      bytes_base + header_.section_offset[kSecLeft]);
+  const bool has_labels = (header_.flags & store::kGcsrHasLabels) != 0;
+  const bool has_left = (header_.flags & store::kGcsrHasLeftSide) != 0;
+  return GraphView(
+      (header_.flags & store::kGcsrDirected) != 0,
+      {offsets, static_cast<size_t>(n + 1)},
+      {arcs, static_cast<size_t>(header_.num_arcs)},
+      {labels, has_labels ? static_cast<size_t>(n) : 0},
+      {left, has_left ? static_cast<size_t>(n) : 0});
+}
+
+}  // namespace grape

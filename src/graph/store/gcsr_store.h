@@ -1,0 +1,68 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Binary graph store: save/load of the versioned `.gcsr` CSR format and an
+// mmap-backed zero-copy read path. Three ways to consume a graph:
+//
+//   SaveBinary(view, path)      — serialise any GraphView (in-memory Graph
+//                                 or another mmap store) with checksums.
+//   LoadBinary(path)            — read + verify into an owning Graph.
+//   MmapGraph::Open(path)       — map the file and expose a GraphView over
+//                                 the mapping; no payload copies, pages are
+//                                 faulted in on demand. The MmapGraph must
+//                                 outlive every view derived from it.
+#ifndef GRAPEPLUS_GRAPH_STORE_GCSR_STORE_H_
+#define GRAPEPLUS_GRAPH_STORE_GCSR_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/store/gcsr_format.h"
+#include "util/status.h"
+
+namespace grape {
+
+/// Writes `g` to `path` in the `.gcsr` format (atomically overwriting any
+/// existing file contents).
+Status SaveBinary(const GraphView& g, const std::string& path);
+
+/// Reads a `.gcsr` file into an owning Graph, verifying the header and all
+/// section checksums.
+StatusOr<Graph> LoadBinary(const std::string& path);
+
+/// A read-only memory-mapped `.gcsr` file satisfying GraphView. Move-only;
+/// unmaps on destruction.
+class MmapGraph {
+ public:
+  /// Verification level at open time. The header (magic, version, section
+  /// table, header checksum) is always validated; kFull additionally hashes
+  /// every section, which faults the whole file in once.
+  enum class Verify { kHeaderOnly, kFull };
+
+  static StatusOr<MmapGraph> Open(const std::string& path,
+                                  Verify verify = Verify::kFull);
+
+  MmapGraph(MmapGraph&& other) noexcept { *this = std::move(other); }
+  MmapGraph& operator=(MmapGraph&& other) noexcept;
+  ~MmapGraph();
+  MmapGraph(const MmapGraph&) = delete;
+  MmapGraph& operator=(const MmapGraph&) = delete;
+
+  /// Zero-copy view over the mapping; valid while this object is alive.
+  GraphView View() const;
+  operator GraphView() const { return View(); }  // NOLINT
+
+  uint64_t file_bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MmapGraph() = default;
+
+  const void* base_ = nullptr;  // nullptr = moved-from / closed
+  uint64_t bytes_ = 0;
+  store::GcsrHeader header_;
+  std::string path_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_GRAPH_STORE_GCSR_STORE_H_

@@ -1,125 +1,230 @@
 #include "partition/fragment.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "util/parallel.h"
 
 namespace grape {
+
+namespace {
+
+/// Runs fn(i) for each fragment, one pool index per fragment. Fragment
+/// phases parallelise naturally at fragment granularity; the serial fallback
+/// iterates in id order (the parallel result is identical because every
+/// phase writes only fragment-owned state).
+template <typename Fn>
+void ForEachFragment(WorkerPool* pool, FragmentId m, Fn&& fn) {
+  if (pool == nullptr || m <= 1) {
+    for (FragmentId i = 0; i < m; ++i) fn(i);
+    return;
+  }
+  pool->Run(m, [&](uint32_t i) { fn(static_cast<FragmentId>(i)); });
+}
+
+/// Deduplicates `ids` into an ascending unique list. For dense inputs a mark
+/// array + ascending scan beats sort+unique (linear, no comparisons); sparse
+/// inputs keep the sort. Both produce the identical ascending result.
+std::vector<VertexId> SortedUnique(std::vector<VertexId> ids, VertexId n) {
+  if (ids.size() >= static_cast<size_t>(n) / 8) {
+    std::vector<uint8_t> mark(n, 0);
+    size_t unique = 0;
+    for (VertexId v : ids) {
+      unique += 1 - mark[v];
+      mark[v] = 1;
+    }
+    std::vector<VertexId> out;
+    out.reserve(unique);
+    for (VertexId v = 0; v < n; ++v) {
+      if (mark[v]) out.push_back(v);
+    }
+    return out;
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace
 
 /// Grants BuildPartition access to Fragment internals without exposing
 /// mutators in the public API.
 struct PartitionBuilderAccess {
-  static Fragment Build(const Graph& g, FragmentId id,
-                        const std::vector<FragmentId>& placement,
-                        std::vector<VertexId> inner);
-  static void MarkEntry(Fragment& f, LocalVertex l) { f.in_i_[l] = 1; }
+  static void BuildFragment(const GraphView& g, FragmentId id,
+                            const std::vector<FragmentId>& placement,
+                            const std::vector<LocalVertex>& owner_lid,
+                            std::span<const VertexId> inner, Fragment* f);
+  /// Thread-safe and idempotent: concurrent source fragments may mark the
+  /// same entry vertex.
+  static void MarkEntry(Fragment& f, LocalVertex l) {
+    std::atomic_ref<uint8_t>(f.in_i_[l]).store(1, std::memory_order_relaxed);
+  }
   static void SetRemoteSources(Fragment& f, std::vector<VertexId> iprime) {
     f.iprime_ = std::move(iprime);
   }
 };
 
-Fragment PartitionBuilderAccess::Build(const Graph& g, FragmentId id,
-                                       const std::vector<FragmentId>& placement,
-                                       std::vector<VertexId> inner) {
-  Fragment f;
-  f.id_ = id;
-  std::sort(inner.begin(), inner.end());
-  f.inner_ = std::move(inner);
+void PartitionBuilderAccess::BuildFragment(
+    const GraphView& g, FragmentId id,
+    const std::vector<FragmentId>& placement,
+    const std::vector<LocalVertex>& owner_lid,
+    std::span<const VertexId> inner, Fragment* f) {
+  f->id_ = id;
+  f->inner_.assign(inner.begin(), inner.end());  // already sorted ascending
 
-  // Discover outer copies (F.O), entry set (F.I via reverse pass below),
-  // exit set (F.O').
-  const uint32_t ni = static_cast<uint32_t>(f.inner_.size());
-  f.in_i_.assign(ni, 0);
-  f.in_oprime_.assign(ni, 0);
-  for (uint32_t l = 0; l < ni; ++l) {
-    f.global_to_local_.emplace(f.inner_[l], l);
-  }
+  // Discover outer copies (F.O) and the exit set (F.O'); the entry set (F.I)
+  // is filled by BuildPartition's cut-edge pass.
+  const uint32_t ni = f->num_inner();
+  f->in_i_.assign(ni, 0);
+  f->in_oprime_.assign(ni, 0);
 
   std::vector<VertexId> outer;
   for (uint32_t l = 0; l < ni; ++l) {
-    const VertexId v = f.inner_[l];
+    const VertexId v = f->inner_[l];
     for (const Arc& a : g.OutEdges(v)) {
       if (placement[a.dst] != id) {
         outer.push_back(a.dst);
-        f.in_oprime_[l] = 1;
+        f->in_oprime_[l] = 1;
       }
     }
   }
-  std::sort(outer.begin(), outer.end());
-  outer.erase(std::unique(outer.begin(), outer.end()), outer.end());
-  f.outer_ = std::move(outer);
-  for (uint32_t j = 0; j < f.outer_.size(); ++j) {
-    f.global_to_local_.emplace(f.outer_[j], ni + j);
-  }
+  f->outer_ = SortedUnique(std::move(outer), g.num_vertices());
 
-  // Local CSR for inner vertices.
-  f.offsets_.assign(ni + 1, 0);
+  // Local CSR for inner vertices. Arc targets resolve through the dense
+  // owner-lid array (internal arcs) or a scratch outer-lid table (cut arcs)
+  // — no hash lookups.
+  f->offsets_.assign(ni + 1, 0);
   for (uint32_t l = 0; l < ni; ++l) {
-    f.offsets_[l + 1] = f.offsets_[l] + g.OutDegree(f.inner_[l]);
+    f->offsets_[l + 1] = f->offsets_[l] + g.OutDegree(f->inner_[l]);
   }
-  f.arcs_.resize(f.offsets_[ni]);
-  for (uint32_t l = 0; l < ni; ++l) {
-    uint64_t cursor = f.offsets_[l];
-    for (const Arc& a : g.OutEdges(f.inner_[l])) {
-      f.arcs_[cursor++] = LocalArc{f.LocalId(a.dst), a.weight};
+  std::unique_ptr<LocalVertex[]> outer_lid;
+  if (!f->outer_.empty()) {
+    // Only outer slots are ever read, so the table can stay uninitialised.
+    outer_lid = std::make_unique_for_overwrite<LocalVertex[]>(
+        g.num_vertices());
+    for (uint32_t j = 0; j < f->outer_.size(); ++j) {
+      outer_lid[f->outer_[j]] = ni + j;
     }
   }
-  return f;
+  f->arcs_.resize(f->offsets_[ni]);
+  for (uint32_t l = 0; l < ni; ++l) {
+    uint64_t cursor = f->offsets_[l];
+    for (const Arc& a : g.OutEdges(f->inner_[l])) {
+      const LocalVertex lid =
+          placement[a.dst] == id ? owner_lid[a.dst] : outer_lid[a.dst];
+      f->arcs_[cursor++] = LocalArc{lid, a.weight};
+    }
+  }
 }
 
-Partition BuildPartition(const Graph& g, std::vector<FragmentId> placement,
-                         FragmentId num_fragments) {
+Partition BuildPartition(const GraphView& g, std::vector<FragmentId> placement,
+                         FragmentId num_fragments, WorkerPool* pool) {
   GRAPE_CHECK(placement.size() == g.num_vertices());
+  const VertexId n = g.num_vertices();
+  const FragmentId m = num_fragments;
   Partition p;
-  p.graph = &g;
+  p.graph = g;
   p.placement = std::move(placement);
 
-  std::vector<std::vector<VertexId>> inner(num_fragments);
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    GRAPE_CHECK(p.placement[v] < num_fragments)
+  ParallelFor(pool, n, [&](uint64_t v) {
+    GRAPE_CHECK(p.placement[v] < m)
         << "vertex " << v << " assigned to invalid fragment";
-    inner[p.placement[v]].push_back(v);
-  }
-  p.fragments.reserve(num_fragments);
-  for (FragmentId i = 0; i < num_fragments; ++i) {
-    p.fragments.push_back(
-        PartitionBuilderAccess::Build(g, i, p.placement, std::move(inner[i])));
-  }
+  });
+
+  // Inner vertex lists: one stable scatter of the ascending vertex ids keyed
+  // by placement — each fragment's slice comes out sorted, no per-fragment
+  // push_back or sort.
+  std::vector<VertexId> ids(n);
+  ParallelFor(pool, n, [&](uint64_t v) { ids[v] = static_cast<VertexId>(v); });
+  std::vector<VertexId> inner_all(n);
+  std::vector<uint64_t> frag_off;
+  StableScatterByKey(
+      pool, ids.data(), n, m,
+      [&](VertexId v) { return p.placement[v]; }, inner_all.data(),
+      &frag_off);
+  ids.clear();
+  ids.shrink_to_fit();
+
+  // Dense owner-local-id index: v's local id inside its owner fragment.
+  p.owner_lid.assign(n, kInvalidLocalVertex);
+  ForEachFragment(pool, m, [&](FragmentId i) {
+    for (uint64_t k = frag_off[i]; k < frag_off[i + 1]; ++k) {
+      p.owner_lid[inner_all[k]] = static_cast<LocalVertex>(k - frag_off[i]);
+    }
+  });
+
+  // Per-fragment CSR construction (independent per fragment).
+  p.fragments.resize(m);
+  ForEachFragment(pool, m, [&](FragmentId i) {
+    PartitionBuilderAccess::BuildFragment(
+        g, i, p.placement, p.owner_lid,
+        {inner_all.data() + frag_off[i], frag_off[i + 1] - frag_off[i]},
+        &p.fragments[i]);
+  });
 
   // Entry sets (F.I) and remote sources (F.I'): an edge (u -> v) crossing
   // from fragment i to fragment j puts v into F_j.I and u into F_j.I'.
-  std::vector<std::vector<VertexId>> iprime(num_fragments);
-  for (VertexId u = 0; u < g.num_vertices(); ++u) {
-    const FragmentId fu = p.placement[u];
-    for (const Arc& a : g.OutEdges(u)) {
-      const FragmentId fv = p.placement[a.dst];
-      if (fu == fv) continue;
-      Fragment& fj = p.fragments[fv];
-      const LocalVertex lv = fj.LocalId(a.dst);
-      GRAPE_DCHECK(lv != Fragment::kInvalidLocal && fj.IsInner(lv));
-      PartitionBuilderAccess::MarkEntry(fj, lv);
-      iprime[fv].push_back(u);
+  // Source fragments mark entry bits directly (idempotent relaxed stores, so
+  // concurrent markers never conflict) and record cut sources per
+  // destination; each destination then deduplicates its source lists. Both
+  // phases are fragment-parallel and chunking-independent.
+  std::vector<std::vector<VertexId>> cut_srcs(static_cast<size_t>(m) * m);
+  ForEachFragment(pool, m, [&](FragmentId i) {
+    const Fragment& f = p.fragments[i];
+    for (VertexId u : f.inner_vertices()) {
+      for (const Arc& a : g.OutEdges(u)) {
+        const FragmentId j = p.placement[a.dst];
+        if (j != i) {
+          PartitionBuilderAccess::MarkEntry(p.fragments[j],
+                                            p.owner_lid[a.dst]);
+          auto& srcs = cut_srcs[static_cast<size_t>(i) * m + j];
+          // Adjacent cut arcs of one source often share a destination
+          // fragment; the back-check drops those duplicates for free.
+          if (srcs.empty() || srcs.back() != u) srcs.push_back(u);
+        }
+      }
     }
-  }
-  for (FragmentId i = 0; i < num_fragments; ++i) {
-    auto& ip = iprime[i];
-    std::sort(ip.begin(), ip.end());
-    ip.erase(std::unique(ip.begin(), ip.end()), ip.end());
-    PartitionBuilderAccess::SetRemoteSources(p.fragments[i], std::move(ip));
-  }
+  });
+  ForEachFragment(pool, m, [&](FragmentId j) {
+    std::vector<VertexId> iprime;
+    for (FragmentId i = 0; i < m; ++i) {
+      const auto& srcs = cut_srcs[static_cast<size_t>(i) * m + j];
+      iprime.insert(iprime.end(), srcs.begin(), srcs.end());
+    }
+    PartitionBuilderAccess::SetRemoteSources(
+        p.fragments[j], SortedUnique(std::move(iprime), n));
+  });
+  cut_srcs.clear();
+  cut_srcs.shrink_to_fit();
 
-  // Routing index: which fragments hold a copy of each border vertex.
-  for (FragmentId i = 0; i < num_fragments; ++i) {
+  // Dense border-copy index: count holders per vertex (fragment-parallel,
+  // relaxed atomics — counts are order-independent), prefix, then scatter in
+  // fragment-id order so each holder list comes out sorted.
+  p.copy_offsets.assign(static_cast<size_t>(n) + 1, 0);
+  ForEachFragment(pool, m, [&](FragmentId i) {
     for (VertexId v : p.fragments[i].outer_vertices()) {
-      p.copy_holders[v].push_back(i);
+      std::atomic_ref<uint64_t>(p.copy_offsets[v + 1])
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (VertexId v = 0; v < n; ++v) p.copy_offsets[v + 1] += p.copy_offsets[v];
+  p.copy_frags.resize(p.copy_offsets[n]);
+  {
+    std::vector<uint64_t> cursor(p.copy_offsets.begin(),
+                                 p.copy_offsets.end() - 1);
+    for (FragmentId i = 0; i < m; ++i) {
+      for (VertexId v : p.fragments[i].outer_vertices()) {
+        p.copy_frags[cursor[v]++] = i;
+      }
     }
   }
-  for (auto& [v, holders] : p.copy_holders) std::sort(holders.begin(), holders.end());
 
-  // Dense per-source routing tables: all the hash lookups the dispatch path
-  // used to do per entry (copy_holders + destination LocalId) are resolved
-  // here, once, at build time.
-  p.routing.resize(num_fragments);
-  static const std::vector<FragmentId> kNoHolders;
-  for (FragmentId i = 0; i < num_fragments; ++i) {
+  // Dense per-source routing tables: all the lookups the dispatch path used
+  // to do per entry are resolved here, once, at build time — per fragment,
+  // in parallel.
+  p.routing.resize(m);
+  ForEachFragment(pool, m, [&](FragmentId i) {
     const Fragment& f = p.fragments[i];
     FragmentRouting& r = p.routing[i];
     const uint32_t nl = f.num_local();
@@ -129,14 +234,13 @@ Partition BuildPartition(const Graph& g, std::vector<FragmentId> placement,
       const VertexId g_id = f.GlobalId(l);
       const FragmentId owner = p.placement[g_id];
       if (owner != i) {
-        r.owner[l] = RouteTarget{owner, p.fragments[owner].LocalId(g_id)};
+        r.owner[l] = RouteTarget{owner, p.owner_lid[g_id]};
       }
-      auto it = p.copy_holders.find(g_id);
-      const auto& holders = it != p.copy_holders.end() ? it->second
-                                                       : kNoHolders;
-      for (FragmentId h : holders) {
-        if (h != i && h != owner) ++r.copy_offsets[l + 1];
+      uint32_t cnt = 0;
+      for (FragmentId h : p.CopyHolders(g_id)) {
+        if (h != i && h != owner) ++cnt;
       }
+      r.copy_offsets[l + 1] = cnt;
     }
     for (LocalVertex l = 0; l < nl; ++l) {
       r.copy_offsets[l + 1] += r.copy_offsets[l];
@@ -145,16 +249,14 @@ Partition BuildPartition(const Graph& g, std::vector<FragmentId> placement,
     for (LocalVertex l = 0; l < nl; ++l) {
       const VertexId g_id = f.GlobalId(l);
       const FragmentId owner = p.placement[g_id];
-      auto it = p.copy_holders.find(g_id);
-      if (it == p.copy_holders.end()) continue;
       uint32_t cursor = r.copy_offsets[l];
-      for (FragmentId h : it->second) {
+      for (FragmentId h : p.CopyHolders(g_id)) {
         if (h == i || h == owner) continue;
         r.copy_targets[cursor++] =
             RouteTarget{h, p.fragments[h].LocalId(g_id)};
       }
     }
-  }
+  });
   return p;
 }
 
@@ -164,11 +266,8 @@ void Partition::Recipients(VertexId v, FragmentId from, bool to_copies,
   const FragmentId owner = placement[v];
   if (owner != from) out->push_back(owner);
   if (to_copies) {
-    auto it = copy_holders.find(v);
-    if (it != copy_holders.end()) {
-      for (FragmentId h : it->second) {
-        if (h != from && h != owner) out->push_back(h);
-      }
+    for (FragmentId h : CopyHolders(v)) {
+      if (h != from && h != owner) out->push_back(h);
     }
   }
 }
@@ -189,7 +288,7 @@ PartitionMetrics ComputeMetrics(const Partition& p) {
   m.skew = median > 0 ? static_cast<double>(maxv) / static_cast<double>(median)
                       : 1.0;
   uint64_t cut = 0, total = 0;
-  const Graph& g = *p.graph;
+  const GraphView& g = p.graph;
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
     for (const Arc& a : g.OutEdges(u)) {
       ++total;

@@ -10,17 +10,24 @@
 //   F_i.I' — remote vertices with a cut edge into F_i.
 // Local vertex ids are [0, num_inner) for inner vertices followed by
 // [num_inner, num_inner + num_outer) for outer copies.
+//
+// BuildPartition constructs fragments and all routing metadata with dense
+// index structures (no hash maps) and, when given a WorkerPool, runs the
+// per-fragment phases concurrently; parallel and serial construction produce
+// identical partitions.
 #ifndef GRAPEPLUS_PARTITION_FRAGMENT_H_
 #define GRAPEPLUS_PARTITION_FRAGMENT_H_
 
+#include <algorithm>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
 #include "util/common.h"
 
 namespace grape {
+
+class WorkerPool;
 
 /// An arc whose target is a fragment-local id.
 struct LocalArc {
@@ -46,11 +53,21 @@ class Fragment {
     return l < num_inner() ? inner_[l] : outer_[l - num_inner()];
   }
 
-  /// Local id of a global vertex, or kInvalidLocal if absent.
+  /// Local id of a global vertex, or kInvalidLocal if absent. Binary search
+  /// over the sorted inner/outer arrays (reference and init paths only; the
+  /// engine hot paths use the precomputed routing tables and dispatch-stamped
+  /// lids instead).
   static constexpr LocalVertex kInvalidLocal = kInvalidLocalVertex;
   LocalVertex LocalId(VertexId g) const {
-    auto it = global_to_local_.find(g);
-    return it == global_to_local_.end() ? kInvalidLocal : it->second;
+    auto ii = std::lower_bound(inner_.begin(), inner_.end(), g);
+    if (ii != inner_.end() && *ii == g) {
+      return static_cast<LocalVertex>(ii - inner_.begin());
+    }
+    auto oi = std::lower_bound(outer_.begin(), outer_.end(), g);
+    if (oi != outer_.end() && *oi == g) {
+      return num_inner() + static_cast<LocalVertex>(oi - outer_.begin());
+    }
+    return kInvalidLocal;
   }
 
   /// Out-adjacency of an *inner* local vertex (outer copies carry no edges).
@@ -87,7 +104,6 @@ class Fragment {
   std::vector<LocalArc> arcs_;
   std::vector<uint8_t> in_i_;       // indexed by inner local id
   std::vector<uint8_t> in_oprime_;  // indexed by inner local id
-  std::unordered_map<VertexId, LocalVertex> global_to_local_;
 };
 
 /// One resolved routing destination: the receiving fragment and the vertex's
@@ -99,8 +115,8 @@ struct RouteTarget {
 };
 
 /// Build-time routing table for one source fragment, indexed by the source's
-/// local vertex id. Replaces per-entry `copy_holders` + `LocalId` hash
-/// lookups on the dispatch path with O(1) array reads.
+/// local vertex id. Replaces per-entry copy-holder + `LocalId` lookups on
+/// the dispatch path with O(1) array reads.
 struct FragmentRouting {
   /// To-owner target per local vertex: valid (frag != kInvalidFragment)
   /// exactly for outer copies — their updates flow back to the owner.
@@ -120,15 +136,21 @@ struct FragmentRouting {
 /// A partitioned graph plus the routing metadata of Section 3: the index I_i
 /// that maps a border vertex to the fragments holding it.
 struct Partition {
-  const Graph* graph = nullptr;
+  /// View of the partitioned graph (in-memory Graph or mmap store; the
+  /// backing storage must outlive the partition).
+  GraphView graph;
   /// Owner fragment of every global vertex.
   std::vector<FragmentId> placement;
+  /// Local id of every global vertex inside its *owner* fragment (dense;
+  /// replaces per-fragment hash lookups during construction and routing).
+  std::vector<LocalVertex> owner_lid;
   std::vector<Fragment> fragments;
 
-  /// For every border vertex v (a vertex that is an outer copy somewhere):
-  /// the sorted list of fragments where v appears as an outer copy.
-  /// Reference-only routing data — the engines use `routing` instead.
-  std::unordered_map<VertexId, std::vector<FragmentId>> copy_holders;
+  /// Dense border-copy index (replaces the seed's copy_holders hash map):
+  /// CopyHolders(v) is the sorted list of fragments where v appears as an
+  /// outer copy. copy_offsets has size num_vertices + 1.
+  std::vector<uint64_t> copy_offsets;
+  std::vector<FragmentId> copy_frags;
 
   /// Per-source-fragment dense routing tables (engine hot path).
   std::vector<FragmentRouting> routing;
@@ -138,12 +160,19 @@ struct Partition {
   }
   FragmentId Owner(VertexId v) const { return placement[v]; }
 
+  std::span<const FragmentId> CopyHolders(VertexId v) const {
+    if (copy_offsets.empty()) return {};
+    return {copy_frags.data() + copy_offsets[v],
+            copy_offsets[v + 1] - copy_offsets[v]};
+  }
+
   /// The paper's index I_i: fragments (≠ from) that must receive an update of
   /// border vertex v. When `to_copies` is set, the owner pushes updates back
   /// out to all copy holders (needed when C_i = F_i.O ∪ F_i.I, e.g. CF);
   /// otherwise updates flow copy→owner only (CC / SSSP / PageRank).
-  /// Reference implementation: hash-based, kept for tests and for entries
-  /// whose source local id is unknown; engines route via `routing`.
+  /// Reference implementation over the dense copy index, kept for tests and
+  /// for entries whose source local id is unknown; engines route via
+  /// `routing`.
   void Recipients(VertexId v, FragmentId from, bool to_copies,
                   std::vector<FragmentId>* out) const;
 };
@@ -156,8 +185,10 @@ struct PartitionMetrics {
 };
 
 /// Builds fragments + routing index from a vertex->fragment assignment.
-Partition BuildPartition(const Graph& g, std::vector<FragmentId> placement,
-                         FragmentId num_fragments);
+/// With a pool, the per-fragment construction phases run concurrently; the
+/// result is identical to the serial build.
+Partition BuildPartition(const GraphView& g, std::vector<FragmentId> placement,
+                         FragmentId num_fragments, WorkerPool* pool = nullptr);
 
 /// Computes skew / cut metrics of a partition.
 PartitionMetrics ComputeMetrics(const Partition& p);

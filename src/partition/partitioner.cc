@@ -6,7 +6,7 @@
 
 namespace grape {
 
-std::vector<FragmentId> HashPartitioner::Assign(const Graph& g,
+std::vector<FragmentId> HashPartitioner::Assign(const GraphView& g,
                                                 FragmentId m) const {
   GRAPE_CHECK(m > 0);
   std::vector<FragmentId> placement(g.num_vertices());
@@ -18,7 +18,7 @@ std::vector<FragmentId> HashPartitioner::Assign(const Graph& g,
   return placement;
 }
 
-std::vector<FragmentId> RangePartitioner::Assign(const Graph& g,
+std::vector<FragmentId> RangePartitioner::Assign(const GraphView& g,
                                                  FragmentId m) const {
   GRAPE_CHECK(m > 0);
   const VertexId n = g.num_vertices();
@@ -30,7 +30,7 @@ std::vector<FragmentId> RangePartitioner::Assign(const Graph& g,
   return placement;
 }
 
-std::vector<FragmentId> LdgPartitioner::Assign(const Graph& g,
+std::vector<FragmentId> LdgPartitioner::Assign(const GraphView& g,
                                                FragmentId m) const {
   GRAPE_CHECK(m > 0);
   const VertexId n = g.num_vertices();
@@ -38,31 +38,69 @@ std::vector<FragmentId> LdgPartitioner::Assign(const Graph& g,
   std::vector<uint64_t> sizes(m, 0);
   const double capacity =
       slack_ * static_cast<double>(n) / static_cast<double>(m) + 1.0;
-  std::vector<double> score(m);
+  const auto penalty = [&](FragmentId i) {
+    return 1.0 - static_cast<double>(sizes[i]) / capacity;
+  };
+
+  // Scatter placed-neighbour counts into `score`, touching only the
+  // fragments that actually hold neighbours and resetting just those
+  // afterwards — O(deg(v)) per vertex instead of the seed's two O(m) sweeps
+  // (fill + full argmax scan), which made the whole pass O(n*m).
+  std::vector<double> score(m, 0.0);
+  std::vector<FragmentId> touched;
+  touched.reserve(m);
+
+  // Among fragments with no placed neighbour the best candidate is always a
+  // smallest one (score 0 => s = 0.001 * penalty, maximal at minimal size),
+  // lowest id first. Track the minimum-size fragments as a lazily swept
+  // sorted list: sizes only grow, so min_size only grows; each rebuild is
+  // O(m) and happens at most ~n/m times => O(n) amortised.
+  uint64_t min_size = 0;
+  std::vector<FragmentId> at_min(m);
+  for (FragmentId i = 0; i < m; ++i) at_min[i] = i;
+  size_t at_min_head = 0;
+  const auto min_size_fragment = [&]() -> FragmentId {
+    while (true) {
+      while (at_min_head < at_min.size() &&
+             sizes[at_min[at_min_head]] != min_size) {
+        ++at_min_head;  // stale: grew past min_size since being listed
+      }
+      if (at_min_head < at_min.size()) return at_min[at_min_head];
+      ++min_size;
+      at_min.clear();
+      at_min_head = 0;
+      for (FragmentId i = 0; i < m; ++i) {
+        if (sizes[i] == min_size) at_min.push_back(i);
+      }
+    }
+  };
+
   for (VertexId v = 0; v < n; ++v) {
-    std::fill(score.begin(), score.end(), 0.0);
     for (const Arc& a : g.OutEdges(v)) {
       if (a.dst < v && placement[a.dst] != kInvalidFragment) {
-        score[placement[a.dst]] += 1.0;
+        const FragmentId f = placement[a.dst];
+        if (score[f] == 0.0) touched.push_back(f);
+        score[f] += 1.0;
       }
     }
-    FragmentId best = 0;
-    double best_score = -1.0;
-    for (FragmentId i = 0; i < m; ++i) {
-      const double penalty = 1.0 - static_cast<double>(sizes[i]) / capacity;
-      const double s = (score[i] + 0.001) * penalty;
-      if (s > best_score) {
+    FragmentId best = min_size_fragment();
+    double best_score = (score[best] + 0.001) * penalty(best);
+    for (FragmentId f : touched) {
+      const double s = (score[f] + 0.001) * penalty(f);
+      if (s > best_score || (s == best_score && f < best)) {
         best_score = s;
-        best = i;
+        best = f;
       }
     }
+    for (FragmentId f : touched) score[f] = 0.0;
+    touched.clear();
     placement[v] = best;
     ++sizes[best];
   }
   return placement;
 }
 
-std::vector<FragmentId> ExplicitPartitioner::Assign(const Graph& g,
+std::vector<FragmentId> ExplicitPartitioner::Assign(const GraphView& g,
                                                     FragmentId m) const {
   GRAPE_CHECK(placement_.size() == g.num_vertices());
   for (FragmentId f : placement_) GRAPE_CHECK(f < m);

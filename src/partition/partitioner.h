@@ -19,12 +19,13 @@ class Partitioner {
  public:
   virtual ~Partitioner() = default;
   virtual std::string name() const = 0;
-  virtual std::vector<FragmentId> Assign(const Graph& g,
+  virtual std::vector<FragmentId> Assign(const GraphView& g,
                                          FragmentId num_fragments) const = 0;
 
-  /// Convenience: assign then build fragments.
-  Partition Partition_(const Graph& g, FragmentId num_fragments) const {
-    return BuildPartition(g, Assign(g, num_fragments), num_fragments);
+  /// Convenience: assign then build fragments (optionally in parallel).
+  Partition Partition_(const GraphView& g, FragmentId num_fragments,
+                       WorkerPool* pool = nullptr) const {
+    return BuildPartition(g, Assign(g, num_fragments), num_fragments, pool);
   }
 };
 
@@ -33,7 +34,7 @@ class HashPartitioner : public Partitioner {
  public:
   explicit HashPartitioner(uint64_t seed = 0) : seed_(seed) {}
   std::string name() const override { return "hash"; }
-  std::vector<FragmentId> Assign(const Graph& g,
+  std::vector<FragmentId> Assign(const GraphView& g,
                                  FragmentId num_fragments) const override;
 
  private:
@@ -44,7 +45,7 @@ class HashPartitioner : public Partitioner {
 class RangePartitioner : public Partitioner {
  public:
   std::string name() const override { return "range"; }
-  std::vector<FragmentId> Assign(const Graph& g,
+  std::vector<FragmentId> Assign(const GraphView& g,
                                  FragmentId num_fragments) const override;
 };
 
@@ -55,7 +56,7 @@ class LdgPartitioner : public Partitioner {
  public:
   explicit LdgPartitioner(double slack = 1.1) : slack_(slack) {}
   std::string name() const override { return "ldg"; }
-  std::vector<FragmentId> Assign(const Graph& g,
+  std::vector<FragmentId> Assign(const GraphView& g,
                                  FragmentId num_fragments) const override;
 
  private:
@@ -68,7 +69,7 @@ class ExplicitPartitioner : public Partitioner {
   explicit ExplicitPartitioner(std::vector<FragmentId> placement)
       : placement_(std::move(placement)) {}
   std::string name() const override { return "explicit"; }
-  std::vector<FragmentId> Assign(const Graph& g,
+  std::vector<FragmentId> Assign(const GraphView& g,
                                  FragmentId num_fragments) const override;
 
  private:

@@ -7,7 +7,7 @@
 
 namespace grape {
 
-std::vector<FragmentId> InjectSkew(const Graph& g,
+std::vector<FragmentId> InjectSkew(const GraphView& g,
                                    std::vector<FragmentId> placement,
                                    FragmentId m, double target_skew,
                                    uint64_t seed) {

@@ -15,7 +15,7 @@ namespace grape {
 /// Moves vertices from other fragments into fragment 0 until fragment 0 holds
 /// roughly `target_skew` times the median fragment's vertex count. Returns the
 /// modified placement. `seed` controls which vertices move.
-std::vector<FragmentId> InjectSkew(const Graph& g,
+std::vector<FragmentId> InjectSkew(const GraphView& g,
                                    std::vector<FragmentId> placement,
                                    FragmentId num_fragments,
                                    double target_skew, uint64_t seed = 0);

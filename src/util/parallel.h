@@ -1,0 +1,123 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// WorkerPool-driven data-parallel primitives shared by the ingestion paths
+// (parallel CSR build, chunked edge-list parsing, partition construction).
+//
+// Everything here is *deterministic regardless of chunking*: the stable
+// scatter reproduces the single-threaded result bit-for-bit for any chunk
+// count, so parallel and serial ingestion produce identical graphs and
+// partitions (a property the store tests assert).
+#ifndef GRAPEPLUS_UTIL_PARALLEL_H_
+#define GRAPEPLUS_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/worker_pool.h"
+#include "util/logging.h"
+
+namespace grape {
+
+/// Number of chunks to split `n` items into for `pool`. Capped so the
+/// per-chunk bookkeeping of the scatter (one counter array per chunk) stays
+/// bounded; 1 when the pool is absent or the range is too small to matter.
+inline uint32_t ParallelChunks(const WorkerPool* pool, uint64_t n,
+                               uint64_t min_grain = 1 << 14) {
+  if (pool == nullptr || n < 2 * min_grain) return 1;
+  const uint64_t by_grain = n / min_grain;
+  return static_cast<uint32_t>(
+      std::min<uint64_t>({by_grain, pool->num_threads(), 16}));
+}
+
+/// Runs fn(begin, end) over `chunks` contiguous slices of [0, n). Serial
+/// loop when pool is null or a single chunk suffices.
+template <typename Fn>
+void ParallelForChunks(WorkerPool* pool, uint64_t n, uint32_t chunks,
+                       Fn&& fn) {
+  GRAPE_DCHECK(chunks >= 1);
+  if (chunks <= 1 || pool == nullptr) {
+    if (n > 0) fn(uint64_t{0}, n);
+    return;
+  }
+  const uint64_t per = (n + chunks - 1) / chunks;
+  pool->Run(chunks, [&](uint32_t c) {
+    const uint64_t begin = per * c;
+    const uint64_t end = std::min<uint64_t>(begin + per, n);
+    if (begin < end) fn(begin, end);
+  });
+}
+
+/// Convenience: element-wise parallel for over [0, n).
+template <typename Fn>
+void ParallelFor(WorkerPool* pool, uint64_t n, Fn&& fn,
+                 uint64_t min_grain = 1 << 14) {
+  ParallelForChunks(pool, n, ParallelChunks(pool, n, min_grain),
+                    [&](uint64_t b, uint64_t e) {
+                      for (uint64_t i = b; i < e; ++i) fn(i);
+                    });
+}
+
+/// Stable counting scatter: permutes items[0..n) into out[0..n) grouped by
+/// key (0 <= key < num_keys), preserving input order within each key — the
+/// parallel equivalent of a serial bucket append. `key_offsets`, when given,
+/// receives the exclusive prefix (size num_keys + 1): out[key_offsets[k] ..
+/// key_offsets[k+1]) holds key k's items in input order.
+///
+/// Chunked two-level histogram: each chunk counts its slice, cursors are
+/// seeded as prefix[key] + counts of earlier chunks, then each chunk
+/// scatters its slice independently. The result is identical for any chunk
+/// count (including 1), which is what makes parallel ingestion
+/// deterministic. Memory: chunks * num_keys * 8 bytes of counters.
+template <typename T, typename KeyFn>
+void StableScatterByKey(WorkerPool* pool, const T* items, uint64_t n,
+                        uint64_t num_keys, KeyFn&& key_of, T* out,
+                        std::vector<uint64_t>* key_offsets) {
+  const uint32_t chunks = ParallelChunks(pool, n);
+  const uint64_t per = chunks > 1 ? (n + chunks - 1) / chunks : n;
+  std::vector<uint64_t> counts(static_cast<uint64_t>(chunks) * num_keys, 0);
+
+  ParallelForChunks(pool, n, chunks, [&](uint64_t b, uint64_t e) {
+    const uint32_t c = chunks > 1 ? static_cast<uint32_t>(b / per) : 0;
+    uint64_t* my = counts.data() + static_cast<uint64_t>(c) * num_keys;
+    for (uint64_t i = b; i < e; ++i) ++my[key_of(items[i])];
+  });
+
+  // Exclusive prefix over per-key totals, then per-chunk cursor bases:
+  // chunk c's first slot for key k = prefix[k] + sum_{c' < c} counts[c'][k].
+  std::vector<uint64_t> prefix(num_keys + 1, 0);
+  for (uint64_t k = 0; k < num_keys; ++k) {
+    uint64_t total = 0;
+    for (uint32_t c = 0; c < chunks; ++c) {
+      total += counts[static_cast<uint64_t>(c) * num_keys + k];
+    }
+    prefix[k + 1] = prefix[k] + total;
+  }
+  // Rewrite counts[c][k] into the cursor base for chunk c (running sum).
+  ParallelFor(
+      pool, num_keys,
+      [&](uint64_t k) {
+        uint64_t base = prefix[k];
+        for (uint32_t c = 0; c < chunks; ++c) {
+          uint64_t* slot = &counts[static_cast<uint64_t>(c) * num_keys + k];
+          const uint64_t cnt = *slot;
+          *slot = base;
+          base += cnt;
+        }
+      },
+      1 << 16);
+
+  ParallelForChunks(pool, n, chunks, [&](uint64_t b, uint64_t e) {
+    const uint32_t c = chunks > 1 ? static_cast<uint32_t>(b / per) : 0;
+    uint64_t* cursor = counts.data() + static_cast<uint64_t>(c) * num_keys;
+    for (uint64_t i = b; i < e; ++i) {
+      out[cursor[key_of(items[i])]++] = items[i];
+    }
+  });
+
+  if (key_offsets != nullptr) *key_offsets = std::move(prefix);
+}
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_UTIL_PARALLEL_H_
