@@ -10,8 +10,14 @@
 // which are cloned below so the comparison survives their removal from the
 // library. Results go to BENCH_ingest.json.
 //
+// It then runs the PIE engines over the same partition twice — once with
+// materialised fragment arcs (all |E| resident) and once in out-of-core
+// streaming mode (arcs served chunk-by-chunk from the mmapped store through
+// a ChunkedArcSource) — asserting bit-identical results and that the peak
+// resident arc window stays within the configured chunk budget.
+//
 //   stress_ingest [--vertices=N] [--edges=M] [--fragments=F] [--threads=T]
-//                 [--file=PATH] [--out=PATH]
+//                 [--chunk-arcs=B] [--file=PATH] [--out=PATH]
 //
 // Defaults run the acceptance shape: 1M vertices / 8M arcs. CI runs a 64k
 // smoke via --vertices=65536 --edges=524288.
@@ -24,6 +30,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "algos/cc.h"
+#include "algos/pagerank.h"
+#include "core/sim_engine.h"
+#include "graph/chunked_arc_source.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/graph_io.h"
@@ -354,6 +364,83 @@ int RunStress(int argc, char** argv) {
   std::printf("partition serial%8.2fs   parallel %8.2fs   speedup %.2fx\n",
               t_partition_serial, t_partition_parallel, partition_speedup);
 
+  // ---- PIE engines: in-memory vs out-of-core streaming execution ---------
+  // Same partition shape twice: materialised fragment arcs vs streaming
+  // through a ChunkedArcSource over the mmapped store. Results must be
+  // bit-identical and the streaming window must respect the chunk budget.
+  const uint64_t chunk_arcs = FlagU64(argc, argv, "chunk-arcs", 1u << 16);
+  ChunkedArcSource source(mapped.value(), chunk_arcs);
+  PartitionOptions stream_opts;
+  stream_opts.arc_source = &source;
+  t0 = Now();
+  Partition sp = BuildPartition(view, placement, frags, &pool, stream_opts);
+  const double t_partition_stream = Now() - t0;
+
+  EngineConfig ecfg;
+  ecfg.mode = ModeConfig::Aap();
+  const auto timed = [&](auto&& fn, double* sec) {
+    const double start = Now();
+    auto r = fn();
+    *sec = Now() - start;
+    return r;
+  };
+  double t_cc_mem = 0, t_cc_stream = 0, t_pr_mem = 0, t_pr_stream = 0;
+  auto cc_mem = timed(
+      [&] { return SimEngine<CcProgram>(p, CcProgram{}, ecfg).Run(); },
+      &t_cc_mem);
+  source.ResetStats();
+  auto cc_stream = timed(
+      [&] { return SimEngine<CcProgram>(sp, CcProgram{}, ecfg).Run(); },
+      &t_cc_stream);
+  const PageRankProgram pr_prog(0.85, 1e-4);
+  auto pr_mem = timed(
+      [&] { return SimEngine<PageRankProgram>(p, pr_prog, ecfg).Run(); },
+      &t_pr_mem);
+  auto pr_stream = timed(
+      [&] { return SimEngine<PageRankProgram>(sp, pr_prog, ecfg).Run(); },
+      &t_pr_stream);
+
+  const bool identical = cc_mem.result == cc_stream.result &&
+                         pr_mem.result == pr_stream.result;
+  const uint64_t peak_resident = source.peak_resident_arcs();
+  const uint64_t peak_point = source.peak_point_arcs();  // reporting only
+  const bool within_budget = peak_resident <= source.effective_budget();
+  ok = ok && identical && within_budget;
+  std::printf("engine cc       %8.2fs in-mem  %8.2fs streaming  (%.2fx)\n",
+              t_cc_mem, t_cc_stream, t_cc_stream / t_cc_mem);
+  std::printf("engine pagerank %8.2fs in-mem  %8.2fs streaming  (%.2fx)\n",
+              t_pr_mem, t_pr_stream, t_pr_stream / t_pr_mem);
+  std::printf(
+      "streaming       chunk budget %llu (effective %llu), peak window "
+      "%llu arcs, point %llu  %s, results %s\n",
+      static_cast<unsigned long long>(chunk_arcs),
+      static_cast<unsigned long long>(source.effective_budget()),
+      static_cast<unsigned long long>(peak_resident),
+      static_cast<unsigned long long>(peak_point),
+      within_budget ? "WITHIN BUDGET" : "OVER BUDGET",
+      identical ? "IDENTICAL" : "MISMATCH");
+
+  // ---- in-adjacency extension: save + reopen ------------------------------
+  const std::string inadj_file = file + ".inadj";
+  t0 = Now();
+  Status save_inadj =
+      SaveBinary(view, inadj_file, SaveOptions{.include_in_adjacency = true});
+  const double t_save_inadj = Now() - t0;
+  double inadj_mb = 0.0;
+  if (save_inadj.ok()) {
+    auto remapped = MmapGraph::Open(inadj_file, MmapGraph::Verify::kFull);
+    ok = ok && remapped.ok() && remapped.value().has_in_adjacency() &&
+         remapped.value().TransposeView().num_arcs() == view.num_arcs();
+    if (remapped.ok()) {
+      inadj_mb =
+          static_cast<double>(remapped.value().file_bytes()) / 1048576.0;
+    }
+  } else {
+    ok = false;
+  }
+  std::printf("save +in-adj    %8.2fs  (%.1f MB)\n", t_save_inadj, inadj_mb);
+  std::remove(inadj_file.c_str());
+
   // ---- algorithms on the zero-copy view ----------------------------------
   t0 = Now();
   auto cc_mmap = seq::ConnectedComponents(view);
@@ -404,6 +491,31 @@ int RunStress(int argc, char** argv) {
   std::fprintf(f, "  \"cc_components\": %llu,\n",
                static_cast<unsigned long long>(components));
   std::fprintf(f, "  \"pagerank_5iter_sec\": %.3f,\n", t_pagerank);
+  std::fprintf(f, "  \"streaming\": {\n");
+  std::fprintf(f, "    \"chunk_arcs\": %llu,\n",
+               static_cast<unsigned long long>(chunk_arcs));
+  std::fprintf(f, "    \"effective_budget\": %llu,\n",
+               static_cast<unsigned long long>(source.effective_budget()));
+  std::fprintf(f, "    \"peak_resident_arcs\": %llu,\n",
+               static_cast<unsigned long long>(peak_resident));
+  std::fprintf(f, "    \"peak_point_arcs\": %llu,\n",
+               static_cast<unsigned long long>(peak_point));
+  std::fprintf(f, "    \"partition_stream_sec\": %.3f,\n",
+               t_partition_stream);
+  std::fprintf(f, "    \"cc_inmem_sec\": %.3f,\n", t_cc_mem);
+  std::fprintf(f, "    \"cc_stream_sec\": %.3f,\n", t_cc_stream);
+  std::fprintf(f, "    \"cc_stream_over_inmem\": %.2f,\n",
+               t_cc_stream / t_cc_mem);
+  std::fprintf(f, "    \"pagerank_inmem_sec\": %.3f,\n", t_pr_mem);
+  std::fprintf(f, "    \"pagerank_stream_sec\": %.3f,\n", t_pr_stream);
+  std::fprintf(f, "    \"pagerank_stream_over_inmem\": %.2f,\n",
+               t_pr_stream / t_pr_mem);
+  std::fprintf(f, "    \"identical\": %s,\n", identical ? "true" : "false");
+  std::fprintf(f, "    \"within_budget\": %s\n",
+               within_budget ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"save_in_adjacency_sec\": %.3f,\n", t_save_inadj);
+  std::fprintf(f, "  \"in_adjacency_file_mb\": %.1f,\n", inadj_mb);
   std::fprintf(f, "  \"consistent\": %s\n", ok ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);

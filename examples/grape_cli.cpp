@@ -13,6 +13,13 @@
 //       anything else is parsed as edge-list text
 //   --save=PATH                      write the graph before running:
 //                                    *.gcsr binary, else edge-list text
+//   --save-in-adjacency              include the trailing in-adjacency
+//                                    (reverse CSR) extension in a .gcsr save
+//   --chunk-arcs=B                   out-of-core mode: fragments stream
+//                                    adjacency in B-arc chunks from the
+//                                    graph (madvise-managed for .gcsr
+//                                    inputs) instead of materialising
+//                                    per-fragment arc arrays
 //   --threads=N                      ingestion worker threads (default 4):
 //                                    parallel parse, CSR build, partition
 //   --vertices=N --edges=M --seed=S  generator parameters
@@ -28,9 +35,11 @@
 #include <cmath>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "algos/bfs.h"
+#include "graph/chunked_arc_source.h"
 #include "algos/cc.h"
 #include "algos/pagerank.h"
 #include "algos/sssp.h"
@@ -170,7 +179,9 @@ int main(int argc, char** argv) {
   // ---- optional save (binary .gcsr or edge-list text) ----
   const std::string save = Get(flags, "save", "");
   if (!save.empty()) {
-    const Status st = save.ends_with(".gcsr") ? SaveBinary(view, save)
+    SaveOptions sopts;
+    sopts.include_in_adjacency = flags.count("save-in-adjacency") > 0;
+    const Status st = save.ends_with(".gcsr") ? SaveBinary(view, save, sopts)
                                               : SaveEdgeList(view, save);
     if (!st.ok()) {
       std::fprintf(stderr, "cannot save %s: %s\n", save.c_str(),
@@ -187,11 +198,26 @@ int main(int argc, char** argv) {
   auto placement = partitioner->Assign(view, workers);
   const double skew = std::stod(Get(flags, "skew", "1"));
   if (skew > 1.0) placement = InjectSkew(view, placement, workers, skew, seed);
-  Partition p = BuildPartition(view, std::move(placement), workers, &pool);
+  // Out-of-core mode: fragments stream arcs chunk-by-chunk instead of
+  // materialising them (madvise-managed windows on mmapped .gcsr inputs).
+  const uint64_t chunk_arcs =
+      std::stoull(Get(flags, "chunk-arcs", "0"));
+  std::unique_ptr<ChunkedArcSource> arc_source;
+  PartitionOptions popts;
+  if (chunk_arcs > 0) {
+    arc_source = mapped.ok()
+                     ? std::make_unique<ChunkedArcSource>(mapped.value(),
+                                                          chunk_arcs)
+                     : std::make_unique<ChunkedArcSource>(view, chunk_arcs);
+    popts.arc_source = arc_source.get();
+  }
+  Partition p = BuildPartition(view, std::move(placement), workers, &pool,
+                               popts);
   auto metrics = ComputeMetrics(p);
-  std::printf("partition      %u workers (%s), skew r=%.2f, cut=%.1f%%\n",
+  std::printf("partition      %u workers (%s), skew r=%.2f, cut=%.1f%%%s\n",
               workers, partitioner->name().c_str(), metrics.skew,
-              100.0 * metrics.edge_cut_fraction);
+              100.0 * metrics.edge_cut_fraction,
+              chunk_arcs > 0 ? ", streaming arcs" : "");
 
   // ---- engine ----
   EngineConfig cfg;

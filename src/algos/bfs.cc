@@ -31,7 +31,7 @@ double BfsProgram::Expand(const Fragment& f, State& st,
     ++work;
     if (d > st.level[l]) continue;
     if (!f.IsInner(l)) continue;
-    for (const LocalArc& a : f.OutEdges(l)) {
+    for (const LocalArc& a : f.Adjacency(l, st.arc_scratch)) {
       ++work;
       if (d + 1 < st.level[a.dst]) {
         st.level[a.dst] = d + 1;

@@ -26,6 +26,8 @@ class BfsProgram {
   struct State {
     std::vector<int64_t> level;      // per local vertex; INT64_MAX = infinity
     std::vector<int64_t> last_sent;  // per outer copy
+    /// Streaming-fragment translation buffer; unused when materialised.
+    std::vector<LocalArc> arc_scratch;
   };
 
   State Init(const Fragment& f) const;

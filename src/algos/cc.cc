@@ -23,16 +23,19 @@ CcProgram::State CcProgram::Init(const Fragment& f) const {
 
 double CcProgram::PEval(const Fragment& f, State& st,
                         Emitter<Value>* out) const {
-  // Local connected components over all local arcs (inner -> inner/outer).
+  // Local connected components over all local arcs (inner -> inner/outer),
+  // swept chunk-by-chunk so streaming fragments keep only one arc window
+  // resident. The union order matches the materialised sweep exactly.
   double work = static_cast<double>(f.num_local());
-  for (LocalVertex l = 0; l < f.num_inner(); ++l) {
-    for (const LocalArc& a : f.OutEdges(l)) {
+  f.SweepInnerAdjacency(st.arc_scratch, [&](LocalVertex l,
+                                            const auto& arcs_of) {
+    for (const LocalArc& a : arcs_of()) {
       ++work;
       LocalVertex r1 = FindCompress(st.parent, l);
       LocalVertex r2 = FindCompress(st.parent, a.dst);
       if (r1 != r2) st.parent[std::max(r1, r2)] = std::min(r1, r2);
     }
-  }
+  });
   // Root cids = min global id in the component (the "root node" of Fig. 2).
   st.comp_cid.assign(f.num_local(), kInvalidVertex);
   for (LocalVertex l = 0; l < f.num_local(); ++l) {

@@ -32,6 +32,8 @@ class CcProgram {
     std::vector<std::vector<LocalVertex>> root_outer_members;
     /// Last cid shipped per outer copy; ship only decreases (Fig. 3).
     std::vector<VertexId> last_sent;
+    /// Streaming-fragment translation buffer; unused when materialised.
+    std::vector<LocalArc> arc_scratch;
 
     LocalVertex Find(LocalVertex x) const {
       while (parent[x] != x) x = parent[x];

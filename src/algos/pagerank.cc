@@ -27,16 +27,20 @@ double PageRankProgram::Propagate(const Fragment& f, State& st,
   constexpr int kMaxSweeps = 2;
   for (int sweep = 0; sweep < kMaxSweeps && again; ++sweep) {
     again = false;
-    for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+    // Chunked sweep: identical visit order in materialised and streaming
+    // mode, and settled vertices (residual < tol) never touch their arcs —
+    // streaming fragments pay translation only for vertices that push.
+    f.SweepInnerAdjacency(st.arc_scratch, [&](LocalVertex l,
+                                              const auto& arcs_of) {
       const double x = st.residual[l];
-      if (x < tol_) continue;
+      if (x < tol_) return;
       st.residual[l] = 0.0;
       st.score[l] += x;
       ++work;
       const uint64_t deg = f.OutDegree(l);
-      if (deg == 0) continue;
+      if (deg == 0) return;
       const double share = damping_ * x / static_cast<double>(deg);
-      for (const LocalArc& a : f.OutEdges(l)) {
+      for (const LocalArc& a : arcs_of()) {
         ++work;
         if (f.IsInner(a.dst)) {
           st.residual[a.dst] += share;
@@ -46,7 +50,7 @@ double PageRankProgram::Propagate(const Fragment& f, State& st,
           st.out_acc[a.dst - f.num_inner()] += share;
         }
       }
-    }
+    });
   }
   for (LocalVertex o = f.num_inner(); o < f.num_local(); ++o) {
     double& acc = st.out_acc[o - f.num_inner()];

@@ -33,6 +33,9 @@ class PageRankProgram {
     std::vector<double> residual;  // x_v, inner vertices
     std::vector<double> out_acc;   // accumulated deltas per outer copy
     bool has_pending = false;      // residual >= tol parked for next round
+    /// Streaming-fragment translation buffer (bounded by the arc source's
+    /// effective chunk budget); unused on materialised fragments.
+    std::vector<LocalArc> arc_scratch;
   };
 
   /// Residual mass parked by the per-round sweep cap still needs rounds

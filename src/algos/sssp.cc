@@ -25,7 +25,10 @@ double SsspProgram::Relax(const Fragment& f, State& st,
     ++work;
     if (d > st.dist[l]) continue;  // stale heap entry
     if (!f.IsInner(l)) continue;   // outer copies carry no local edges
-    for (const LocalArc& a : f.OutEdges(l)) {
+    // Point adjacency: materialised span, or a streaming translation into
+    // the state's scratch (Dijkstra's settle order is distance-driven, so
+    // the lookup order — and thus the result — is identical in both modes).
+    for (const LocalArc& a : f.Adjacency(l, st.arc_scratch)) {
       ++work;
       const double nd = d + a.weight;
       if (nd < st.dist[a.dst]) {

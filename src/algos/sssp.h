@@ -29,6 +29,8 @@ class SsspProgram {
   struct State {
     std::vector<double> dist;       // per local vertex, +inf if unreached
     std::vector<double> last_sent;  // per outer copy
+    /// Streaming-fragment translation buffer; unused when materialised.
+    std::vector<LocalArc> arc_scratch;
   };
 
   State Init(const Fragment& f) const;

@@ -116,6 +116,9 @@ class SimEngine {
     SimClock::EventId wake = 0;
     bool has_wake = false;
     double phase_since = 0.0;
+    /// Reused across rounds (swap with outbox) so a round allocates no
+    /// emission vector once capacities have warmed up.
+    Emitter<V> emitter;
     std::vector<UpdateEntry<V>> outbox;  // emissions of the running round
     double round_cost = 0.0;
     Round running_round = 0;
@@ -154,6 +157,7 @@ class SimEngine {
     rngs_.reserve(m);
     for (uint32_t i = 0; i < m; ++i) rngs_.emplace_back(cfg_.seed * 7919 + i);
     out_by_dst_.assign(m, {});
+    entry_pool_.clear();
     touched_.clear();
     inflight_ = 0;
     busy_count_ = 0;
@@ -231,7 +235,8 @@ class SimEngine {
     const double now = clock_.Now();
     controller_->OnRoundStart(w, now);
 
-    Emitter<V> emitter;
+    Emitter<V>& emitter = rt.emitter;
+    emitter.Clear();
     double work = 0.0;
     if (is_peval) {
       rt.running_round = 0;
@@ -248,7 +253,9 @@ class SimEngine {
                               &emitter);
       ++total_rounds_;
     }
-    rt.outbox = std::move(emitter.entries());
+    // Swap (not move): the outbox was emptied by its last dispatch, so its
+    // capacity flows back into the emitter for the next round.
+    rt.outbox.swap(emitter.entries());
     // The floor models fixed per-round overhead and scales with the worker's
     // speed factor like the work does (a 2x-slow worker is 2x slower at
     // everything — the Example 1 setting "P1,P2 take 3 units, P3 takes 6").
@@ -309,8 +316,25 @@ class SimEngine {
 
   void PushTo(const RouteTarget& t, const UpdateEntry<V>& e) {
     auto& box = out_by_dst_[t.frag];
-    if (box.empty()) touched_.push_back(t.frag);
+    if (box.empty()) {
+      // The last send moved this box's storage into a Message envelope;
+      // refill it from the pool of delivered envelopes instead of growing a
+      // fresh allocation every round.
+      if (box.capacity() == 0 && !entry_pool_.empty()) {
+        box = std::move(entry_pool_.back());
+        entry_pool_.pop_back();
+      }
+      touched_.push_back(t.frag);
+    }
     box.push_back(UpdateEntry<V>{e.vid, e.value, e.round, t.lid});
+  }
+
+  /// Returns a delivered envelope's entry vector to the pool (bounded so a
+  /// burst of in-flight messages cannot pin memory forever).
+  void RecycleEntries(std::vector<UpdateEntry<V>>&& entries) {
+    if (entry_pool_.size() >= workers_.size() * 2) return;
+    entries.clear();
+    entry_pool_.push_back(std::move(entries));
   }
 
   /// Routes the outbox as designated messages M(w, j) through the
@@ -345,7 +369,12 @@ class SimEngine {
       stats_.workers[w].entries_sent += msg.entries.size();
       stats_.workers[w].bytes_sent += MessageBytes(msg);
       auto shared = std::make_shared<Message<V>>(std::move(msg));
-      clock_.Schedule(now + lat, [this, shared] { Arrive(*shared); });
+      clock_.Schedule(now + lat, [this, shared] {
+        Arrive(*shared);
+        // The buffer folded (or stashed a copy of) the entries; the
+        // envelope's storage goes back to the pool.
+        RecycleEntries(std::move(shared->entries));
+      });
     }
     touched_.clear();
   }
@@ -564,6 +593,10 @@ class SimEngine {
   std::vector<uint8_t> relevant_;
   // Reusable dispatch scratch (the sim engine is single-threaded).
   std::vector<std::vector<UpdateEntry<V>>> out_by_dst_;
+  /// Entry vectors of delivered Message envelopes, recycled into
+  /// out_by_dst_ boxes — the sim engine's per-superstep allocation rate no
+  /// longer scales with message count.
+  std::vector<std::vector<UpdateEntry<V>>> entry_pool_;
   std::vector<FragmentId> touched_;
   std::vector<FragmentId> recipients_;
   RunStats stats_;

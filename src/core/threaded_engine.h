@@ -117,6 +117,9 @@ class ThreadedEngine {
     /// round and other threads read it lock-free (reading the state itself
     /// from a foreign thread would race with the running round).
     std::atomic<bool> local_work{false};
+    /// Reused across rounds (swap with outbox); only touched while the
+    /// worker's claim is held.
+    Emitter<V> emitter;
     std::vector<UpdateEntry<V>> outbox;
     // Reusable per-destination dispatch boxes (exclusive to the thread that
     // holds the claim on this worker).
@@ -305,7 +308,8 @@ class ThreadedEngine {
   void RunOneRound(FragmentId w, bool is_peval) {
     Stopwatch sw;
     auto& rt = *workers_[w];
-    Emitter<V> emitter;
+    Emitter<V>& emitter = rt.emitter;
+    emitter.Clear();
     double work = 0.0;
     if (is_peval) {
       emitter.SetRound(0);
@@ -324,7 +328,9 @@ class ThreadedEngine {
     const double elapsed = sw.ElapsedSeconds();
     stats_.workers[w].busy_time += elapsed;
     stats_.workers[w].work_units += work;
-    rt.outbox = std::move(emitter.entries());
+    // Swap keeps the delivered outbox's capacity cycling back into the
+    // emitter instead of reallocating every round.
+    rt.outbox.swap(emitter.entries());
     rt.local_work.store(HasLocalWork(w), std::memory_order_release);
     const double now = run_wall_.ElapsedSeconds();
     if (is_peval) {

@@ -1,0 +1,149 @@
+#include "graph/chunked_arc_source.h"
+
+#include <algorithm>
+
+#include "graph/store/gcsr_store.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GRAPEPLUS_HAVE_MADVISE 1
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace grape {
+
+namespace {
+
+/// Raises `peak` to at least `value` (relaxed CAS loop; stats only).
+void RaisePeak(std::atomic<uint64_t>& peak, uint64_t value) {
+  uint64_t cur = peak.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !peak.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ChunkedArcSource::ChunkedArcSource(const GraphView& view, uint64_t arc_budget,
+                                   Backend backend)
+    : view_(view), backend_(backend), budget_(std::max<uint64_t>(arc_budget, 1)) {
+  const VertexId n = view_.num_vertices();
+  effective_budget_ = budget_;
+  if (n == 0) return;
+  bounds_.push_back(0);
+  uint64_t in_chunk = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const uint64_t deg = view_.OutDegree(v);
+    effective_budget_ = std::max(effective_budget_, deg);
+    if (v > bounds_.back() && in_chunk + deg > budget_) {
+      bounds_.push_back(v);
+      in_chunk = 0;
+    }
+    in_chunk += deg;
+  }
+  bounds_.push_back(n);
+  holders_ = std::make_unique<std::atomic<uint32_t>[]>(num_chunks());
+#if GRAPEPLUS_HAVE_MADVISE
+  if (backend_ == Backend::kMapped) {
+    // One readahead hint for the whole section: the kernel prefetches ahead
+    // of sequential sweeps on its own, so Acquire never needs to advise
+    // windows it does not account for.
+    Advise(0, view_.arcs().size(), MADV_SEQUENTIAL);
+  }
+#endif
+}
+
+ChunkedArcSource::ChunkedArcSource(const MmapGraph& g, uint64_t arc_budget)
+    : ChunkedArcSource(g.View(), arc_budget, Backend::kMapped) {}
+
+ChunkedArcSource::Chunk ChunkedArcSource::chunk(size_t k) const {
+  GRAPE_CHECK(k < num_chunks());
+  Chunk c;
+  c.begin = bounds_[k];
+  c.end = bounds_[k + 1];
+  c.first_arc = view_.offsets()[c.begin];
+  c.arc_count = view_.offsets()[c.end] - c.first_arc;
+  c.index = k;
+  return c;
+}
+
+size_t ChunkedArcSource::ChunkOf(VertexId v) const {
+  GRAPE_DCHECK(v < view_.num_vertices());
+  // bounds_ is ascending; the chunk of v is the last boundary <= v.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<size_t>(it - bounds_.begin()) - 1;
+}
+
+ChunkedArcSource::Chunk ChunkedArcSource::Acquire(size_t k) const {
+  const Chunk c = chunk(k);
+  holders_[k].fetch_add(1, std::memory_order_acq_rel);
+  const uint64_t now =
+      resident_.fetch_add(c.arc_count, std::memory_order_relaxed) +
+      c.arc_count;
+  RaisePeak(peak_, now);
+#if GRAPEPLUS_HAVE_MADVISE
+  if (backend_ == Backend::kMapped) {
+    Advise(c.first_arc, c.arc_count, MADV_WILLNEED);
+  }
+#endif
+  return c;
+}
+
+void ChunkedArcSource::Release(const Chunk& c) const {
+  // Only the last concurrent holder drops the window: fragments sweeping in
+  // parallel share chunk ranges, and discarding pages a peer is still
+  // reading would force it to re-fault its whole window.
+  const bool last =
+      holders_[c.index].fetch_sub(1, std::memory_order_acq_rel) == 1;
+#if GRAPEPLUS_HAVE_MADVISE
+  if (last && backend_ == Backend::kMapped) {
+    Advise(c.first_arc, c.arc_count, MADV_DONTNEED);
+  }
+#else
+  (void)last;
+#endif
+  resident_.fetch_sub(c.arc_count, std::memory_order_relaxed);
+}
+
+void ChunkedArcSource::NotePointResidency(uint64_t arcs) const {
+  RaisePeak(peak_point_, arcs);
+}
+
+void ChunkedArcSource::ResetStats() const {
+  resident_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+  peak_point_.store(0, std::memory_order_relaxed);
+}
+
+void ChunkedArcSource::Advise(uint64_t first_arc, uint64_t arc_count,
+                              int advice) const {
+#if GRAPEPLUS_HAVE_MADVISE
+  if (arc_count == 0) return;
+  static const uintptr_t kPage =
+      static_cast<uintptr_t>(::sysconf(_SC_PAGESIZE));
+  const auto* base =
+      reinterpret_cast<const unsigned char*>(view_.arcs().data());
+  uintptr_t lo = reinterpret_cast<uintptr_t>(base + first_arc * sizeof(Arc));
+  uintptr_t hi = lo + arc_count * sizeof(Arc);
+  if (advice == MADV_DONTNEED) {
+    // Round inward: boundary pages are shared with neighbouring chunks that
+    // may still be in use — discarding them would thrash.
+    lo = (lo + kPage - 1) & ~(kPage - 1);
+    hi &= ~(kPage - 1);
+  } else {
+    // Round outward: advising a partial boundary page is harmless.
+    lo &= ~(kPage - 1);
+    hi = (hi + kPage - 1) & ~(kPage - 1);
+  }
+  if (lo >= hi) return;
+  // Advice only: failure (e.g. an unsupported filesystem) costs performance,
+  // never correctness, so the return value is deliberately ignored.
+  (void)::madvise(reinterpret_cast<void*>(lo), hi - lo, advice);
+#else
+  (void)first_arc;
+  (void)arc_count;
+  (void)advice;
+#endif
+}
+
+}  // namespace grape

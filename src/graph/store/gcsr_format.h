@@ -23,6 +23,11 @@ enum GcsrFlags : uint32_t {
   kGcsrDirected = 1u << 0,
   kGcsrHasLabels = 1u << 1,
   kGcsrHasLeftSide = 1u << 2,
+  /// The file carries the trailing in-adjacency extension (reverse CSR)
+  /// after the base sections. Epoch-compatible: the base layout is
+  /// untouched, and readers ignore flag bits and trailing bytes they do not
+  /// understand, so pre-extension readers load such files as plain v1.
+  kGcsrHasInAdjacency = 1u << 3,
 };
 
 /// Section order in the file (all offsets relative to file start).
@@ -50,6 +55,31 @@ struct GcsrHeader {
 };
 static_assert(sizeof(GcsrHeader) == 8 + 4 + 4 + 8 + 8 + 3 * 4 * 8 + 8,
               "GcsrHeader must be packed (no implicit padding)");
+
+/// The in-adjacency extension: an optional block appended after the last
+/// base section (at the 8-byte-aligned end of the v1 layout), announced by
+/// kGcsrHasInAdjacency. It stores the transpose as its own CSR — in-offsets
+/// plus in-arc records whose dst field holds the *source* vertex of each
+/// arc — so reverse-edge algorithms stream straight off the mapping with no
+/// load-time transpose. Self-describing and self-checksummed, mirroring the
+/// base header's scheme.
+inline constexpr uint64_t kGcsrInAdjMagic = 0x0144414E49524347ULL;  // "GCRINAD" + 0x01
+
+enum GcsrInAdjSection : uint32_t {
+  kInSecOffsets = 0,  // (n + 1) x uint64    — reverse-CSR offsets
+  kInSecArcs = 1,     // num_arcs x 16 bytes — {u32 src, u32 zero, f64 weight}
+  kNumInAdjSections = 2,
+};
+
+struct GcsrInAdjHeader {
+  uint64_t magic = kGcsrInAdjMagic;
+  uint64_t section_offset[kNumInAdjSections] = {};  // from file start
+  uint64_t section_bytes[kNumInAdjSections] = {};
+  uint64_t section_checksum[kNumInAdjSections] = {};
+  uint64_t header_checksum = 0;  // FNV-1a with this field zeroed
+};
+static_assert(sizeof(GcsrInAdjHeader) == 8 + 3 * 2 * 8 + 8,
+              "GcsrInAdjHeader must be packed (no implicit padding)");
 
 /// The on-disk arc record must be byte-compatible with the in-memory Arc so
 /// the mmap read path can expose the arc section as a `span<const Arc>`

@@ -55,6 +55,26 @@ uint64_t HeaderChecksum(GcsrHeader h) {
   return Fnv1a(&h, sizeof(h));
 }
 
+uint64_t InAdjHeaderChecksum(store::GcsrInAdjHeader h) {
+  h.header_checksum = 0;
+  return Fnv1a(&h, sizeof(h));
+}
+
+/// Computes the in-adjacency extension layout starting at `ext_off` (the
+/// aligned end of the base sections). Returns total file size.
+uint64_t LayoutInAdj(uint64_t n, uint64_t num_arcs, uint64_t ext_off,
+                     store::GcsrInAdjHeader* h) {
+  h->section_bytes[store::kInSecOffsets] = (n + 1) * sizeof(uint64_t);
+  h->section_bytes[store::kInSecArcs] = num_arcs * kArcRecordBytes;
+  uint64_t pos = ext_off + sizeof(store::GcsrInAdjHeader);
+  for (uint32_t s = 0; s < store::kNumInAdjSections; ++s) {
+    pos = AlignUp(pos);
+    h->section_offset[s] = pos;
+    pos += h->section_bytes[s];
+  }
+  return AlignUp(pos);
+}
+
 class FileWriter {
  public:
   explicit FileWriter(FILE* f) : f_(f) {}
@@ -87,17 +107,49 @@ class FileWriter {
   uint64_t pos_ = 0;
 };
 
+/// Writes `arcs` as 16-byte on-disk records through a zeroed staging buffer
+/// so the in-memory Arc's padding bytes never reach disk and file checksums
+/// are reproducible. Assumes the caller seeks/pads to `offset` first.
+bool WriteArcRecords(FILE* f, FileWriter& w, std::span<const Arc> arcs,
+                     uint64_t offset, uint64_t* checksum) {
+  if (!w.Pad(offset)) return false;
+  constexpr size_t kChunkArcs = 1 << 15;
+  std::vector<unsigned char> buf(kChunkArcs * kArcRecordBytes);
+  uint64_t sum = 0xCBF29CE484222325ULL;
+  for (uint64_t base = 0; base < arcs.size(); base += kChunkArcs) {
+    const size_t count = std::min<uint64_t>(kChunkArcs, arcs.size() - base);
+    std::memset(buf.data(), 0, count * kArcRecordBytes);
+    for (size_t i = 0; i < count; ++i) {
+      unsigned char* rec = buf.data() + i * kArcRecordBytes;
+      std::memcpy(rec, &arcs[base + i].dst, sizeof(VertexId));
+      std::memcpy(rec + 8, &arcs[base + i].weight, sizeof(double));
+    }
+    sum = Fnv1a(buf.data(), count * kArcRecordBytes, sum);
+    if (std::fwrite(buf.data(), kArcRecordBytes, count, f) != count) {
+      return false;
+    }
+  }
+  *checksum = sum;
+  w.Advance(arcs.size() * kArcRecordBytes);
+  return true;
+}
+
 }  // namespace
 
-Status SaveBinary(const GraphView& g, const std::string& path) {
+Status SaveBinary(const GraphView& g, const std::string& path,
+                  const SaveOptions& opts) {
   const uint64_t n = g.num_vertices();
   GcsrHeader h;
   h.flags = (g.directed() ? uint32_t{store::kGcsrDirected} : 0u) |
             (g.has_vertex_labels() ? uint32_t{store::kGcsrHasLabels} : 0u) |
-            (g.is_bipartite() ? uint32_t{store::kGcsrHasLeftSide} : 0u);
+            (g.is_bipartite() ? uint32_t{store::kGcsrHasLeftSide} : 0u) |
+            (opts.include_in_adjacency ? uint32_t{store::kGcsrHasInAdjacency}
+                                       : 0u);
   h.num_vertices = n;
   h.num_arcs = g.num_arcs();
-  LayoutSections(n, h.num_arcs, g.has_vertex_labels(), g.is_bipartite(), &h);
+  const uint64_t base_end = LayoutSections(n, h.num_arcs,
+                                           g.has_vertex_labels(),
+                                           g.is_bipartite(), &h);
 
   const std::string tmp = path + ".tmp";
   FILE* f = std::fopen(tmp.c_str(), "wb");
@@ -120,31 +172,10 @@ Status SaveBinary(const GraphView& g, const std::string& path) {
   }
   w.Advance(h.section_bytes[kSecOffsets]);
 
-  // Arc records: {u32 dst, u32 zero, f64 weight}. Copied through a zeroed
-  // staging buffer so the in-memory Arc's padding bytes never reach disk and
-  // file checksums are reproducible.
-  {
-    if (!w.Pad(h.section_offset[kSecArcs])) return fail("cannot write");
-    constexpr size_t kChunkArcs = 1 << 15;
-    std::vector<unsigned char> buf(kChunkArcs * kArcRecordBytes);
-    uint64_t checksum = 0xCBF29CE484222325ULL;
-    const std::span<const Arc> arcs = g.arcs();
-    for (uint64_t base = 0; base < arcs.size(); base += kChunkArcs) {
-      const size_t count =
-          std::min<uint64_t>(kChunkArcs, arcs.size() - base);
-      std::memset(buf.data(), 0, count * kArcRecordBytes);
-      for (size_t i = 0; i < count; ++i) {
-        unsigned char* rec = buf.data() + i * kArcRecordBytes;
-        std::memcpy(rec, &arcs[base + i].dst, sizeof(VertexId));
-        std::memcpy(rec + 8, &arcs[base + i].weight, sizeof(double));
-      }
-      checksum = Fnv1a(buf.data(), count * kArcRecordBytes, checksum);
-      if (std::fwrite(buf.data(), kArcRecordBytes, count, f) != count) {
-        return fail("cannot write");
-      }
-    }
-    h.section_checksum[kSecArcs] = checksum;
-    w.Advance(h.section_bytes[kSecArcs]);
+  // Arc records: {u32 dst, u32 zero, f64 weight}.
+  if (!WriteArcRecords(f, w, g.arcs(), h.section_offset[kSecArcs],
+                       &h.section_checksum[kSecArcs])) {
+    return fail("cannot write");
   }
 
   if (!w.WriteSection(g.vertex_labels().data(), h.section_bytes[kSecLabels],
@@ -159,6 +190,50 @@ Status SaveBinary(const GraphView& g, const std::string& path) {
     return fail("cannot write");
   }
   w.Advance(h.section_bytes[kSecLeft]);
+
+  // Trailing in-adjacency extension: reverse CSR computed by a
+  // deterministic counting scatter in arc order (within each target, arcs
+  // keep the source-major input order), so identical graphs always produce
+  // byte-identical extensions. Note the scatter materialises the transpose
+  // (|E| x 16 bytes transient) — saving is an ingest-side operation; an
+  // external bucketed scatter for strictly larger-than-RAM saves is a
+  // ROADMAP open item.
+  if (opts.include_in_adjacency) {
+    std::vector<uint64_t> in_off(n + 1, 0);
+    for (const Arc& a : g.arcs()) ++in_off[a.dst + 1];
+    for (uint64_t v = 0; v < n; ++v) in_off[v + 1] += in_off[v];
+    std::vector<Arc> in_arcs(g.num_arcs());
+    {
+      std::vector<uint64_t> cursor(in_off.begin(), in_off.end() - 1);
+      for (VertexId u = 0; u < n; ++u) {
+        for (const Arc& a : g.OutEdges(u)) {
+          in_arcs[cursor[a.dst]++] = Arc{u, a.weight};
+        }
+      }
+    }
+    store::GcsrInAdjHeader ih;
+    LayoutInAdj(n, h.num_arcs, base_end, &ih);
+    if (!w.Pad(base_end)) return fail("cannot write");
+    if (std::fwrite(&ih, sizeof(ih), 1, f) != 1) return fail("cannot write");
+    w.Advance(sizeof(ih));
+    if (!w.WriteSection(in_off.data(),
+                        ih.section_bytes[store::kInSecOffsets],
+                        ih.section_offset[store::kInSecOffsets],
+                        &ih.section_checksum[store::kInSecOffsets])) {
+      return fail("cannot write");
+    }
+    w.Advance(ih.section_bytes[store::kInSecOffsets]);
+    if (!WriteArcRecords(f, w, in_arcs,
+                         ih.section_offset[store::kInSecArcs],
+                         &ih.section_checksum[store::kInSecArcs])) {
+      return fail("cannot write");
+    }
+    ih.header_checksum = InAdjHeaderChecksum(ih);
+    if (std::fseek(f, static_cast<long>(base_end), SEEK_SET) != 0 ||
+        std::fwrite(&ih, sizeof(ih), 1, f) != 1) {
+      return fail("cannot write");
+    }
+  }
 
   h.header_checksum = HeaderChecksum(h);
   if (std::fseek(f, 0, SEEK_SET) != 0 ||
@@ -252,6 +327,52 @@ Status ValidateStructure(const GcsrHeader& h, const uint64_t* offsets,
   return Status::OK();
 }
 
+/// Aligned end of the base v1 layout — where the in-adjacency extension
+/// starts when present.
+uint64_t BaseLayoutEnd(const GcsrHeader& h) {
+  GcsrHeader tmp;
+  return LayoutSections(h.num_vertices, h.num_arcs,
+                        (h.flags & store::kGcsrHasLabels) != 0,
+                        (h.flags & store::kGcsrHasLeftSide) != 0, &tmp);
+}
+
+/// Validates the in-adjacency extension header: magic, checksum, section
+/// table recomputed from the base counts, bounds against the file size.
+Status ValidateInAdjHeader(const GcsrHeader& base,
+                           const store::GcsrInAdjHeader& ih, uint64_t ext_off,
+                           uint64_t file_bytes) {
+  if (ih.magic != store::kGcsrInAdjMagic) {
+    return Status::InvalidArgument(".gcsr in-adjacency extension bad magic");
+  }
+  if (ih.header_checksum != InAdjHeaderChecksum(ih)) {
+    return Status::InvalidArgument(
+        ".gcsr in-adjacency header checksum mismatch");
+  }
+  store::GcsrInAdjHeader expect;
+  LayoutInAdj(base.num_vertices, base.num_arcs, ext_off, &expect);
+  for (uint32_t s = 0; s < store::kNumInAdjSections; ++s) {
+    if (ih.section_offset[s] != expect.section_offset[s] ||
+        ih.section_bytes[s] != expect.section_bytes[s]) {
+      return Status::InvalidArgument(
+          ".gcsr in-adjacency section table inconsistent");
+    }
+    if (ih.section_offset[s] + ih.section_bytes[s] > file_bytes) {
+      return Status::InvalidArgument(
+          ".gcsr in-adjacency extension truncated");
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifyInAdjSection(const store::GcsrInAdjHeader& ih, uint32_t s,
+                          const void* data) {
+  if (Fnv1a(data, ih.section_bytes[s]) != ih.section_checksum[s]) {
+    return Status::InvalidArgument(".gcsr in-adjacency section " +
+                                   std::to_string(s) + " checksum mismatch");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 StatusOr<Graph> LoadBinary(const std::string& path) {
@@ -300,6 +421,65 @@ StatusOr<Graph> LoadBinary(const std::string& path) {
   std::vector<uint8_t> left((h.flags & store::kGcsrHasLeftSide) != 0 ? n : 0);
   GRAPE_RETURN_NOT_OK(read_section(kSecLeft, left.data()));
 
+  // The in-adjacency extension is fully verified (LoadBinary's contract)
+  // but not carried into the owning Graph, which stores the out-CSR only —
+  // a later save recomputes the identical transpose deterministically.
+  // Zero-copy consumers use MmapGraph::TransposeView instead. Verification
+  // streams through a fixed buffer: the extension is |E|-sized, and
+  // materialising it just to hash it would defeat the out-of-core sizing
+  // this loader is meant to respect.
+  if ((h.flags & store::kGcsrHasInAdjacency) != 0) {
+    const uint64_t ext_off = BaseLayoutEnd(h);
+    store::GcsrInAdjHeader ih;
+    if (ext_off + sizeof(ih) > file_bytes ||
+        std::fseek(f, static_cast<long>(ext_off), SEEK_SET) != 0 ||
+        std::fread(&ih, sizeof(ih), 1, f) != 1) {
+      return Status::InvalidArgument(".gcsr in-adjacency extension truncated");
+    }
+    GRAPE_RETURN_NOT_OK(ValidateInAdjHeader(h, ih, ext_off, file_bytes));
+    std::vector<uint64_t> in_off(n + 1);
+    const auto read_in_offsets = [&]() -> Status {
+      if (std::fseek(f,
+                     static_cast<long>(ih.section_offset[store::kInSecOffsets]),
+                     SEEK_SET) != 0 ||
+          std::fread(in_off.data(), 1,
+                     ih.section_bytes[store::kInSecOffsets], f) !=
+              ih.section_bytes[store::kInSecOffsets]) {
+        return Status::IoError("cannot read in-adjacency offsets of " + path);
+      }
+      return VerifyInAdjSection(ih, store::kInSecOffsets, in_off.data());
+    };
+    GRAPE_RETURN_NOT_OK(read_in_offsets());
+    GRAPE_RETURN_NOT_OK(ValidateStructure(h, in_off.data(), nullptr,
+                                          /*check_arcs=*/false));
+    // In-arcs: chunked hash + per-record source bounds check.
+    if (std::fseek(f, static_cast<long>(ih.section_offset[store::kInSecArcs]),
+                   SEEK_SET) != 0) {
+      return Status::IoError("cannot read in-adjacency arcs of " + path);
+    }
+    constexpr size_t kChunkArcs = 1 << 15;
+    std::vector<Arc> buf(kChunkArcs);
+    static_assert(sizeof(Arc) == kArcRecordBytes);
+    uint64_t hash = 0xCBF29CE484222325ULL;
+    for (uint64_t base = 0; base < h.num_arcs; base += kChunkArcs) {
+      const size_t count = std::min<uint64_t>(kChunkArcs, h.num_arcs - base);
+      if (std::fread(buf.data(), kArcRecordBytes, count, f) != count) {
+        return Status::IoError("cannot read in-adjacency arcs of " + path);
+      }
+      hash = Fnv1a(buf.data(), count * kArcRecordBytes, hash);
+      for (size_t i = 0; i < count; ++i) {
+        if (buf[i].dst >= n) {
+          return Status::InvalidArgument(
+              ".gcsr in-adjacency arc source out of range");
+        }
+      }
+    }
+    if (hash != ih.section_checksum[store::kInSecArcs]) {
+      return Status::InvalidArgument(
+          ".gcsr in-adjacency section 1 checksum mismatch");
+    }
+  }
+
   return Graph::FromCsr((h.flags & store::kGcsrDirected) != 0,
                         std::move(offsets), std::move(arcs),
                         std::move(labels), std::move(left));
@@ -315,6 +495,8 @@ MmapGraph& MmapGraph::operator=(MmapGraph&& other) noexcept {
     base_ = std::exchange(other.base_, nullptr);
     bytes_ = std::exchange(other.bytes_, 0);
     header_ = other.header_;
+    has_in_adj_ = other.has_in_adj_;
+    in_adj_ = other.in_adj_;
     path_ = std::move(other.path_);
   }
   return *this;
@@ -373,6 +555,36 @@ StatusOr<MmapGraph> MmapGraph::Open(const std::string& path, Verify verify) {
                                      g.header_.section_offset[kSecArcs]),
         /*check_arcs=*/verify == Verify::kFull);
   }
+  // Optional trailing in-adjacency extension (same verification ladder as
+  // the base sections: header always, payload hashing under kFull).
+  if (st_hdr.ok() &&
+      (g.header_.flags & store::kGcsrHasInAdjacency) != 0) {
+    const uint64_t ext_off = BaseLayoutEnd(g.header_);
+    if (ext_off + sizeof(store::GcsrInAdjHeader) > bytes) {
+      st_hdr =
+          Status::InvalidArgument(".gcsr in-adjacency extension truncated");
+    } else {
+      std::memcpy(&g.in_adj_, bytes_base + ext_off, sizeof(g.in_adj_));
+      st_hdr = ValidateInAdjHeader(g.header_, g.in_adj_, ext_off, bytes);
+      if (st_hdr.ok() && verify == Verify::kFull) {
+        for (uint32_t s = 0; s < store::kNumInAdjSections && st_hdr.ok();
+             ++s) {
+          st_hdr = VerifyInAdjSection(
+              g.in_adj_, s, bytes_base + g.in_adj_.section_offset[s]);
+        }
+      }
+      if (st_hdr.ok()) {
+        st_hdr = ValidateStructure(
+            g.header_,
+            reinterpret_cast<const uint64_t*>(
+                bytes_base + g.in_adj_.section_offset[store::kInSecOffsets]),
+            reinterpret_cast<const Arc*>(
+                bytes_base + g.in_adj_.section_offset[store::kInSecArcs]),
+            /*check_arcs=*/verify == Verify::kFull);
+      }
+      if (st_hdr.ok()) g.has_in_adj_ = true;
+    }
+  }
   if (!st_hdr.ok()) return st_hdr;  // g's destructor unmaps
   return g;
 #endif
@@ -399,6 +611,31 @@ GraphView MmapGraph::View() const {
       (header_.flags & store::kGcsrDirected) != 0,
       {offsets, static_cast<size_t>(n + 1)},
       {arcs, static_cast<size_t>(header_.num_arcs)},
+      {labels, has_labels ? static_cast<size_t>(n) : 0},
+      {left, has_left ? static_cast<size_t>(n) : 0});
+}
+
+GraphView MmapGraph::TransposeView() const {
+  GRAPE_CHECK(base_ != nullptr) << "MmapGraph is closed";
+  GRAPE_CHECK(has_in_adj_)
+      << path_ << " has no in-adjacency section (save with "
+      << "SaveOptions::include_in_adjacency)";
+  const auto* bytes_base = static_cast<const unsigned char*>(base_);
+  const uint64_t n = header_.num_vertices;
+  const auto* in_offsets = reinterpret_cast<const uint64_t*>(
+      bytes_base + in_adj_.section_offset[store::kInSecOffsets]);
+  const auto* in_arcs = reinterpret_cast<const Arc*>(
+      bytes_base + in_adj_.section_offset[store::kInSecArcs]);
+  const auto* labels = reinterpret_cast<const int64_t*>(
+      bytes_base + header_.section_offset[kSecLabels]);
+  const auto* left = reinterpret_cast<const uint8_t*>(
+      bytes_base + header_.section_offset[kSecLeft]);
+  const bool has_labels = (header_.flags & store::kGcsrHasLabels) != 0;
+  const bool has_left = (header_.flags & store::kGcsrHasLeftSide) != 0;
+  return GraphView(
+      (header_.flags & store::kGcsrDirected) != 0,
+      {in_offsets, static_cast<size_t>(n + 1)},
+      {in_arcs, static_cast<size_t>(header_.num_arcs)},
       {labels, has_labels ? static_cast<size_t>(n) : 0},
       {left, has_left ? static_cast<size_t>(n) : 0});
 }

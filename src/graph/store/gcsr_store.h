@@ -21,9 +21,19 @@
 
 namespace grape {
 
+struct SaveOptions {
+  /// Also write the trailing in-adjacency extension (reverse CSR), computed
+  /// once at save time by a deterministic counting scatter, so readers get
+  /// the transpose with zero load-time work. The base layout is unchanged:
+  /// pre-extension readers load such files as plain v1 and ignore the
+  /// trailer.
+  bool include_in_adjacency = false;
+};
+
 /// Writes `g` to `path` in the `.gcsr` format (atomically overwriting any
 /// existing file contents).
-Status SaveBinary(const GraphView& g, const std::string& path);
+Status SaveBinary(const GraphView& g, const std::string& path,
+                  const SaveOptions& opts = {});
 
 /// Reads a `.gcsr` file into an owning Graph, verifying the header and all
 /// section checksums.
@@ -51,6 +61,14 @@ class MmapGraph {
   GraphView View() const;
   operator GraphView() const { return View(); }  // NOLINT
 
+  /// True when the file carries the trailing in-adjacency extension.
+  bool has_in_adjacency() const { return has_in_adj_; }
+
+  /// Zero-copy view of the transpose (in-arcs exposed as the out-CSR of the
+  /// reverse graph; labels and left-side pass through). Requires
+  /// has_in_adjacency(). Valid while this object is alive.
+  GraphView TransposeView() const;
+
   uint64_t file_bytes() const { return bytes_; }
   const std::string& path() const { return path_; }
 
@@ -60,6 +78,8 @@ class MmapGraph {
   const void* base_ = nullptr;  // nullptr = moved-from / closed
   uint64_t bytes_ = 0;
   store::GcsrHeader header_;
+  bool has_in_adj_ = false;
+  store::GcsrInAdjHeader in_adj_;
   std::string path_;
 };
 

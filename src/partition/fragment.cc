@@ -54,7 +54,16 @@ struct PartitionBuilderAccess {
   static void BuildFragment(const GraphView& g, FragmentId id,
                             const std::vector<FragmentId>& placement,
                             const std::vector<LocalVertex>& owner_lid,
-                            std::span<const VertexId> inner, Fragment* f);
+                            std::span<const VertexId> inner, bool materialize,
+                            Fragment* f);
+  /// Switches a fragment to streaming mode: adjacency comes from `source`,
+  /// arc targets resolve through the partition's dense indexes.
+  static void AttachArcSource(Fragment& f, const ChunkedArcSource* source,
+                              const Partition& p) {
+    f.arc_source_ = source;
+    f.placement_ = p.placement;
+    f.owner_lid_ = p.owner_lid;
+  }
   /// Thread-safe and idempotent: concurrent source fragments may mark the
   /// same entry vertex.
   static void MarkEntry(Fragment& f, LocalVertex l) {
@@ -69,7 +78,7 @@ void PartitionBuilderAccess::BuildFragment(
     const GraphView& g, FragmentId id,
     const std::vector<FragmentId>& placement,
     const std::vector<LocalVertex>& owner_lid,
-    std::span<const VertexId> inner, Fragment* f) {
+    std::span<const VertexId> inner, bool materialize, Fragment* f) {
   f->id_ = id;
   f->inner_.assign(inner.begin(), inner.end());  // already sorted ascending
 
@@ -91,13 +100,17 @@ void PartitionBuilderAccess::BuildFragment(
   }
   f->outer_ = SortedUnique(std::move(outer), g.num_vertices());
 
-  // Local CSR for inner vertices. Arc targets resolve through the dense
-  // owner-lid array (internal arcs) or a scratch outer-lid table (cut arcs)
-  // — no hash lookups.
+  // Local CSR offsets for inner vertices (kept in streaming mode too: they
+  // are vertex-sized and serve OutDegree / num_arcs).
   f->offsets_.assign(ni + 1, 0);
   for (uint32_t l = 0; l < ni; ++l) {
     f->offsets_[l + 1] = f->offsets_[l] + g.OutDegree(f->inner_[l]);
   }
+  if (!materialize) return;  // streaming fragments translate arcs on the fly
+
+  // Local arc records. Arc targets resolve through the dense owner-lid
+  // array (internal arcs) or a scratch outer-lid table (cut arcs) — no hash
+  // lookups.
   std::unique_ptr<LocalVertex[]> outer_lid;
   if (!f->outer_.empty()) {
     // Only outer slots are ever read, so the table can stay uninitialised.
@@ -119,8 +132,17 @@ void PartitionBuilderAccess::BuildFragment(
 }
 
 Partition BuildPartition(const GraphView& g, std::vector<FragmentId> placement,
-                         FragmentId num_fragments, WorkerPool* pool) {
+                         FragmentId num_fragments, WorkerPool* pool,
+                         const PartitionOptions& opts) {
   GRAPE_CHECK(placement.size() == g.num_vertices());
+  if (opts.arc_source != nullptr) {
+    // Streaming fragments translate from the source's view at run time; it
+    // must alias the very storage this partition is built over.
+    GRAPE_CHECK(opts.arc_source->view().arcs().data() == g.arcs().data() &&
+                opts.arc_source->view().offsets().data() ==
+                    g.offsets().data())
+        << "PartitionOptions::arc_source must wrap the partitioned view";
+  }
   const VertexId n = g.num_vertices();
   const FragmentId m = num_fragments;
   Partition p;
@@ -160,7 +182,7 @@ Partition BuildPartition(const GraphView& g, std::vector<FragmentId> placement,
     PartitionBuilderAccess::BuildFragment(
         g, i, p.placement, p.owner_lid,
         {inner_all.data() + frag_off[i], frag_off[i + 1] - frag_off[i]},
-        &p.fragments[i]);
+        /*materialize=*/opts.arc_source == nullptr, &p.fragments[i]);
   });
 
   // Entry sets (F.I) and remote sources (F.I'): an edge (u -> v) crossing
@@ -257,7 +279,27 @@ Partition BuildPartition(const GraphView& g, std::vector<FragmentId> placement,
       }
     }
   });
+
+  if (opts.arc_source != nullptr) {
+    // Spans point at p.placement / p.owner_lid heap storage, which survives
+    // the NRVO/move of the returned Partition.
+    for (Fragment& f : p.fragments) {
+      PartitionBuilderAccess::AttachArcSource(f, opts.arc_source, p);
+    }
+  }
   return p;
+}
+
+std::span<const LocalArc> Fragment::TranslateArcs(
+    VertexId global_v, std::vector<LocalArc>& scratch) const {
+  GRAPE_DCHECK(streaming());
+  const std::span<const Arc> arcs = arc_source_->view().OutEdges(global_v);
+  scratch.clear();
+  scratch.reserve(arcs.size());
+  for (const Arc& a : arcs) {
+    scratch.push_back(LocalArc{LocalTarget(a.dst), a.weight});
+  }
+  return {scratch.data(), scratch.size()};
 }
 
 void Partition::Recipients(VertexId v, FragmentId from, bool to_copies,

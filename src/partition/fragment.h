@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/chunked_arc_source.h"
 #include "graph/graph.h"
 #include "util/common.h"
 
@@ -42,7 +43,9 @@ class Fragment {
   uint32_t num_inner() const { return static_cast<uint32_t>(inner_.size()); }
   uint32_t num_outer() const { return static_cast<uint32_t>(outer_.size()); }
   uint32_t num_local() const { return num_inner() + num_outer(); }
-  uint64_t num_arcs() const { return arcs_.size(); }
+  /// Arc count of the local CSR (from the offsets, which exist in both
+  /// materialised and streaming mode).
+  uint64_t num_arcs() const { return offsets_.empty() ? 0 : offsets_.back(); }
   /// Fragment "size" used for skew metrics: |V_i| + |E_i|.
   uint64_t size() const { return num_inner() + num_arcs(); }
 
@@ -71,13 +74,102 @@ class Fragment {
   }
 
   /// Out-adjacency of an *inner* local vertex (outer copies carry no edges).
+  /// Materialised fragments only; streaming fragments serve adjacency via
+  /// Adjacency() / SweepInnerAdjacency() below.
   std::span<const LocalArc> OutEdges(LocalVertex l) const {
     GRAPE_DCHECK(IsInner(l));
+    GRAPE_CHECK(!streaming())
+        << "Fragment::OutEdges needs materialised arcs; this fragment "
+           "streams from a ChunkedArcSource — use Adjacency()";
     return {arcs_.data() + offsets_[l], offsets_[l + 1] - offsets_[l]};
   }
 
   uint64_t OutDegree(LocalVertex l) const {
     return IsInner(l) ? offsets_[l + 1] - offsets_[l] : 0;
+  }
+
+  // ---- out-of-core adjacency -------------------------------------------
+
+  /// True when this fragment holds no local arc array and instead streams
+  /// adjacency from the partition's ChunkedArcSource (see PartitionOptions).
+  bool streaming() const { return arc_source_ != nullptr; }
+  const ChunkedArcSource* arc_source() const { return arc_source_; }
+
+  /// Local id of an arc target: inner targets resolve through the
+  /// partition's dense owner-lid index, cut targets through binary search
+  /// over the sorted outer-copy list — exactly the mapping the materialised
+  /// build bakes into its LocalArc records.
+  LocalVertex LocalTarget(VertexId g) const {
+    if (placement_[g] == id_) return owner_lid_[g];
+    const auto oi = std::lower_bound(outer_.begin(), outer_.end(), g);
+    GRAPE_DCHECK(oi != outer_.end() && *oi == g);
+    return num_inner() + static_cast<LocalVertex>(oi - outer_.begin());
+  }
+
+  /// Translates the global adjacency of a vertex into local-id arcs in
+  /// `scratch` — same order and values as the materialised arcs. Streaming
+  /// fragments only. The returned span is valid until scratch next changes.
+  std::span<const LocalArc> TranslateArcs(VertexId global_v,
+                                          std::vector<LocalArc>& scratch) const;
+
+  /// Mode-independent point adjacency of an inner vertex: the materialised
+  /// span, or a translation into `scratch` (heap bounded by the vertex
+  /// degree) on streaming fragments. Frontier-driven programs (SSSP, BFS)
+  /// relax through this; note the chunk budget does not bound the mapped
+  /// backend's page-cache footprint on this path (see
+  /// ChunkedArcSource::OutEdges(v)).
+  std::span<const LocalArc> Adjacency(LocalVertex l,
+                                      std::vector<LocalArc>& scratch) const {
+    GRAPE_DCHECK(IsInner(l));
+    if (!streaming()) {
+      return {arcs_.data() + offsets_[l], offsets_[l + 1] - offsets_[l]};
+    }
+    const auto arcs = TranslateArcs(GlobalId(l), scratch);
+    arc_source_->NotePointResidency(arcs.size());
+    return arcs;
+  }
+
+  /// Sweeps every inner vertex in ascending local-id order, invoking
+  /// fn(l, arcs_of) where arcs_of() produces the adjacency on demand (so
+  /// sweeps that skip settled vertices, e.g. PageRank, pay no translation
+  /// for them). Streaming fragments walk the source's chunk plan, but a
+  /// window is only Acquired (madvised in on mapped backends, counted
+  /// against the residency budget) when the first arcs_of() inside it
+  /// actually fires — a sweep over mostly-settled vertices touches only the
+  /// chunks it reads, not the whole file. At most one window is held at a
+  /// time, so resident arcs stay bounded by the source's effective budget;
+  /// materialised fragments serve direct spans. The vertex visit order is
+  /// identical in both modes, which is what makes streaming execution
+  /// bit-identical.
+  template <typename Fn>
+  void SweepInnerAdjacency(std::vector<LocalArc>& scratch, Fn&& fn) const {
+    const LocalVertex ni = num_inner();
+    if (!streaming()) {
+      for (LocalVertex l = 0; l < ni; ++l) {
+        fn(l, [&]() -> std::span<const LocalArc> {
+          return {arcs_.data() + offsets_[l], offsets_[l + 1] - offsets_[l]};
+        });
+      }
+      return;
+    }
+    const ChunkedArcSource& src = *arc_source_;
+    LocalVertex l = 0;
+    while (l < ni) {
+      const size_t k = src.ChunkOf(inner_[l]);
+      const VertexId window_end = src.chunk(k).end;
+      bool acquired = false;
+      ChunkedArcSource::Chunk c;
+      for (; l < ni && inner_[l] < window_end; ++l) {
+        fn(l, [&]() -> std::span<const LocalArc> {
+          if (!acquired) {
+            c = src.Acquire(k);
+            acquired = true;
+          }
+          return TranslateArcs(inner_[l], scratch);
+        });
+      }
+      if (acquired) src.Release(c);
+    }
   }
 
   /// F_i.I membership for an inner vertex.
@@ -101,9 +193,14 @@ class Fragment {
   std::vector<VertexId> outer_;
   std::vector<VertexId> iprime_;
   std::vector<uint64_t> offsets_;
-  std::vector<LocalArc> arcs_;
+  std::vector<LocalArc> arcs_;      // empty in streaming mode
   std::vector<uint8_t> in_i_;       // indexed by inner local id
   std::vector<uint8_t> in_oprime_;  // indexed by inner local id
+  // Streaming mode: the shared arc source plus views of the owning
+  // partition's placement / owner-lid indexes (valid while it lives).
+  const ChunkedArcSource* arc_source_ = nullptr;
+  std::span<const FragmentId> placement_;
+  std::span<const LocalVertex> owner_lid_;
 };
 
 /// One resolved routing destination: the receiving fragment and the vertex's
@@ -184,11 +281,26 @@ struct PartitionMetrics {
   uint64_t total_border = 0;     // sum of |F_i.O|
 };
 
+/// Out-of-core build options.
+struct PartitionOptions {
+  /// When set, fragments skip materialising their per-fragment arc arrays —
+  /// the only partition structure proportional to |E| — and stream adjacency
+  /// from this source at PEval/IncEval time instead (per-vertex structures
+  /// stay dense in RAM). The source must wrap the very view the partition is
+  /// built over and must outlive the partition (as must the Partition object
+  /// itself: streaming fragments reference its placement / owner-lid
+  /// arrays). Programs must reach adjacency through Fragment::Adjacency or
+  /// Fragment::SweepInnerAdjacency (PageRank, CC, SSSP and BFS do);
+  /// Fragment::OutEdges is unavailable on streaming fragments.
+  const ChunkedArcSource* arc_source = nullptr;
+};
+
 /// Builds fragments + routing index from a vertex->fragment assignment.
 /// With a pool, the per-fragment construction phases run concurrently; the
 /// result is identical to the serial build.
 Partition BuildPartition(const GraphView& g, std::vector<FragmentId> placement,
-                         FragmentId num_fragments, WorkerPool* pool = nullptr);
+                         FragmentId num_fragments, WorkerPool* pool = nullptr,
+                         const PartitionOptions& opts = {});
 
 /// Computes skew / cut metrics of a partition.
 PartitionMetrics ComputeMetrics(const Partition& p);

@@ -212,6 +212,140 @@ TEST(GcsrStore, RejectsCorruptedPayloadAndTruncation) {
 }
 
 // ---------------------------------------------------------------------------
+// The trailing in-adjacency extension (reverse CSR).
+
+/// The transpose of `g` built the straightforward way (reversed edges; the
+/// builder's stable by-target sort reproduces the extension's source-major
+/// scatter order).
+Graph ExpectedTranspose(const Graph& g) {
+  GraphBuilder b(g.num_vertices(), /*directed=*/true);
+  b.ReserveEdges(g.num_arcs());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const Arc& a : g.OutEdges(u)) b.AddEdge(a.dst, u, a.weight);
+  }
+  return std::move(b).Build();
+}
+
+Graph InAdjTestGraph() {
+  RmatOptions o;
+  o.num_vertices = 600;
+  o.num_edges = 4000;
+  o.directed = true;
+  o.weighted = true;
+  o.seed = 77;
+  return MakeRmat(o);
+}
+
+TEST(GcsrInAdjacency, RoundTripAndTransposeView) {
+  Graph g = InAdjTestGraph();
+  const std::string path = TmpPath("inadj.gcsr");
+  ASSERT_TRUE(
+      SaveBinary(g, path, SaveOptions{.include_in_adjacency = true}).ok());
+
+  auto mapped = MmapGraph::Open(path, MmapGraph::Verify::kFull);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped.value().has_in_adjacency());
+  EXPECT_TRUE(GraphDataEqual(g, mapped.value().View()));
+  // The mapped transpose equals a load-time transpose, with zero work done
+  // at open.
+  EXPECT_TRUE(
+      GraphDataEqual(ExpectedTranspose(g), mapped.value().TransposeView()));
+
+  // The owning load verifies the extension and yields the base graph; a
+  // re-save recomputes a byte-identical extension (deterministic scatter).
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(GraphDataEqual(g, loaded.value()));
+  const std::string path2 = TmpPath("inadj_resave.gcsr");
+  ASSERT_TRUE(SaveBinary(loaded.value(), path2,
+                         SaveOptions{.include_in_adjacency = true})
+                  .ok());
+  std::ifstream a(path, std::ios::binary), b(path2, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(GcsrInAdjacency, FilesWithoutExtensionCrossLoad) {
+  Graph g = InAdjTestGraph();
+  const std::string plain = TmpPath("inadj_plain.gcsr");
+  ASSERT_TRUE(SaveBinary(g, plain).ok());
+  auto mapped = MmapGraph::Open(plain);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_FALSE(mapped.value().has_in_adjacency());
+  EXPECT_TRUE(GraphDataEqual(g, mapped.value().View()));
+  std::remove(plain.c_str());
+}
+
+TEST(GcsrInAdjacency, OldReaderIgnoresTrailingExtension) {
+  // Emulate a pre-extension reader on a file that carries the extension:
+  // clear the flag bit (what an old writer would have stamped) and fix the
+  // header checksum. The result is a valid v1 file with trailing bytes —
+  // both read paths must load it and ignore the trailer, which is exactly
+  // the guarantee that makes the extension epoch-compatible (old readers
+  // never looked at unknown flag bits, and bounds checks only require
+  // sections to fit *within* the file).
+  Graph g = InAdjTestGraph();
+  const std::string path = TmpPath("inadj_oldreader.gcsr");
+  ASSERT_TRUE(
+      SaveBinary(g, path, SaveOptions{.include_in_adjacency = true}).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    store::GcsrHeader h;
+    f.read(reinterpret_cast<char*>(&h), sizeof(h));
+    ASSERT_NE(h.flags & store::kGcsrHasInAdjacency, 0u);
+    h.flags &= ~uint32_t{store::kGcsrHasInAdjacency};
+    h.header_checksum = 0;
+    h.header_checksum = store::Fnv1a(&h, sizeof(h));
+    f.seekp(0);
+    f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  }
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(GraphDataEqual(g, loaded.value()));
+  auto mapped = MmapGraph::Open(path, MmapGraph::Verify::kFull);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_FALSE(mapped.value().has_in_adjacency());
+  EXPECT_TRUE(GraphDataEqual(g, mapped.value().View()));
+  std::remove(path.c_str());
+}
+
+TEST(GcsrInAdjacency, CorruptExtensionRejected) {
+  Graph g = InAdjTestGraph();
+  const std::string path = TmpPath("inadj_corrupt.gcsr");
+  ASSERT_TRUE(
+      SaveBinary(g, path, SaveOptions{.include_in_adjacency = true}).ok());
+  {
+    // Flip a byte near the end of the file (inside the in-arcs section).
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-4, std::ios::end);
+    char x = 0x3C;
+    f.write(&x, 1);
+  }
+  EXPECT_FALSE(LoadBinary(path).ok());
+  EXPECT_FALSE(MmapGraph::Open(path, MmapGraph::Verify::kFull).ok());
+
+  // Truncating the extension must be caught even header-only.
+  ASSERT_TRUE(
+      SaveBinary(g, path, SaveOptions{.include_in_adjacency = true}).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() - bytes.size() / 4);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(LoadBinary(path).ok());
+  EXPECT_FALSE(MmapGraph::Open(path, MmapGraph::Verify::kHeaderOnly).ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // Parallel-vs-serial determinism of the ingestion paths.
 
 TEST(ParallelIngest, BuildMatchesSerial) {
