@@ -23,7 +23,7 @@ void RunCfCase() {
   AsciiTable table({"model", "c", "time", "epochs", "test RMSE"});
   auto run = [&](const char* name, ModeConfig mode, int c) {
     EngineConfig cfg = BaseConfig(mode, kWorkers);
-    SimEngine<CfProgram> engine(p, CfProgram(&g, opts), cfg);
+    SimEngine<CfProgram> engine(p, CfProgram(g, opts), cfg);
     auto r = engine.Run();
     table.AddRow({name, c >= 0 ? std::to_string(c) : "-",
                   Fmt(r.stats.makespan),

@@ -26,7 +26,7 @@ void RunFig6Cf(const char* panel, const Graph& g) {
     double rmse = 0;
     for (FragmentId m : workers) {
       Partition p = SkewedPartition(g, m, 2.0);
-      SimEngine<CfProgram> engine(p, CfProgram(&g, opts),
+      SimEngine<CfProgram> engine(p, CfProgram(g, opts),
                                   BaseConfig(row.mode, m));
       auto r = engine.Run();
       cells.push_back(r.converged ? Fmt(r.stats.makespan) : "DNF");

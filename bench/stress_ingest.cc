@@ -14,7 +14,13 @@
 // materialised fragment arcs (all |E| resident) and once in out-of-core
 // streaming mode (arcs served chunk-by-chunk from the mmapped store through
 // a ChunkedArcSource) — asserting bit-identical results and that the peak
-// resident arc window stays within the configured chunk budget.
+// resident arc window stays within the configured chunk budget. The
+// streaming phase also measures the memoised outer-lid cache (repeat sweeps
+// with the cache on vs off on the high-cut hash partition), runs pull-mode
+// PageRank over the `.gcsr` in-adjacency extension (materialised transpose
+// vs TransposeView streaming, bit-identical asserted) and CF over a
+// bipartite rating store (materialised vs streaming, bit-identical
+// asserted) — the full push/pull x in-memory/out-of-core matrix.
 //
 //   stress_ingest [--vertices=N] [--edges=M] [--fragments=F] [--threads=T]
 //                 [--chunk-arcs=B] [--file=PATH] [--out=PATH]
@@ -31,7 +37,9 @@
 #include <vector>
 
 #include "algos/cc.h"
+#include "algos/cf.h"
 #include "algos/pagerank.h"
+#include "algos/pagerank_pull.h"
 #include "core/sim_engine.h"
 #include "graph/chunked_arc_source.h"
 #include "graph/generators.h"
@@ -420,6 +428,39 @@ int RunStress(int argc, char** argv) {
       within_budget ? "WITHIN BUDGET" : "OVER BUDGET",
       identical ? "IDENTICAL" : "MISMATCH");
 
+  // ---- memoised outer-lid cache: repeat sweeps cached vs uncached --------
+  // The CC + PageRank runs above warmed sp's per-chunk lid caches; rerun
+  // streaming PageRank on an identical partition with the cache disabled to
+  // price the per-sweep binary-search translation tax the cache removes
+  // (hash placement => high-cut partition, the cache's worst/best case).
+  const LidCacheStats cache_stats = sp.TotalLidCacheStats();
+  PartitionOptions nocache_opts;
+  nocache_opts.arc_source = &source;
+  nocache_opts.lid_cache_arcs = 0;
+  Partition sp0 = BuildPartition(view, placement, frags, &pool, nocache_opts);
+  double t_pr_nocache = 0;
+  auto pr_nocache = timed(
+      [&] { return SimEngine<PageRankProgram>(sp0, pr_prog, ecfg).Run(); },
+      &t_pr_nocache);
+  const bool nocache_identical = pr_nocache.result == pr_mem.result;
+  ok = ok && nocache_identical;
+  const double cache_hit_rate =
+      cache_stats.hits + cache_stats.misses > 0
+          ? static_cast<double>(cache_stats.hits) /
+                static_cast<double>(cache_stats.hits + cache_stats.misses)
+          : 0.0;
+  const double cache_speedup =
+      t_pr_stream > 0 ? t_pr_nocache / t_pr_stream : 0.0;
+  std::printf(
+      "lid cache       %8.2fs uncached vs %8.2fs cached (%.2fx), hit rate "
+      "%.2f (%llu hits / %llu misses, %.1f MB cached)  %s\n",
+      t_pr_nocache, t_pr_stream, cache_speedup, cache_hit_rate,
+      static_cast<unsigned long long>(cache_stats.hits),
+      static_cast<unsigned long long>(cache_stats.misses),
+      static_cast<double>(cache_stats.cached_lids) * sizeof(LocalVertex) /
+          1048576.0,
+      nocache_identical ? "IDENTICAL" : "MISMATCH");
+
   // ---- in-adjacency extension: save + reopen ------------------------------
   const std::string inadj_file = file + ".inadj";
   t0 = Now();
@@ -427,8 +468,8 @@ int RunStress(int argc, char** argv) {
       SaveBinary(view, inadj_file, SaveOptions{.include_in_adjacency = true});
   const double t_save_inadj = Now() - t0;
   double inadj_mb = 0.0;
+  auto remapped = MmapGraph::Open(inadj_file, MmapGraph::Verify::kFull);
   if (save_inadj.ok()) {
-    auto remapped = MmapGraph::Open(inadj_file, MmapGraph::Verify::kFull);
     ok = ok && remapped.ok() && remapped.value().has_in_adjacency() &&
          remapped.value().TransposeView().num_arcs() == view.num_arcs();
     if (remapped.ok()) {
@@ -439,7 +480,113 @@ int RunStress(int argc, char** argv) {
     ok = false;
   }
   std::printf("save +in-adj    %8.2fs  (%.1f MB)\n", t_save_inadj, inadj_mb);
+
+  // ---- pull-mode PageRank: materialised transpose vs TransposeView -------
+  // Fully out-of-core pull: forward arcs and in-arcs both stream off the
+  // extended store (the forward source feeds nothing at run time for pull
+  // PageRank but keeps the partition free of |E|-sized arrays).
+  double t_pull_mem = 0, t_pull_stream = 0;
+  bool pull_identical = false;
+  const PageRankPullProgram pull_prog(0.85, 1e-3);
+  if (remapped.ok()) {
+    const GraphView rview = remapped.value().View();
+    Graph transpose = TransposeGraph(view);
+    const GraphView tview = transpose.View();
+    PartitionOptions pull_mem_opts;
+    pull_mem_opts.in_adjacency = &tview;
+    Partition pull_p =
+        BuildPartition(view, placement, frags, &pool, pull_mem_opts);
+    auto pull_mem = timed(
+        [&] {
+          return SimEngine<PageRankPullProgram>(pull_p, pull_prog, ecfg)
+              .Run();
+        },
+        &t_pull_mem);
+
+    ChunkedArcSource fwd_src(remapped.value(), chunk_arcs);
+    ChunkedArcSource in_src(remapped.value().TransposeView(), chunk_arcs,
+                            ChunkedArcSource::Backend::kMapped);
+    PartitionOptions pull_stream_opts;
+    pull_stream_opts.arc_source = &fwd_src;
+    pull_stream_opts.in_arc_source = &in_src;
+    Partition pull_sp =
+        BuildPartition(rview, placement, frags, &pool, pull_stream_opts);
+    auto pull_stream = timed(
+        [&] {
+          return SimEngine<PageRankPullProgram>(pull_sp, pull_prog, ecfg)
+              .Run();
+        },
+        &t_pull_stream);
+    pull_identical = pull_mem.result == pull_stream.result;
+    ok = ok && pull_identical &&
+         in_src.peak_resident_arcs() <= in_src.effective_budget();
+  } else {
+    ok = false;
+  }
+  std::printf("pull pagerank   %8.2fs in-mem  %8.2fs streaming  (%.2fx)  %s\n",
+              t_pull_mem, t_pull_stream,
+              t_pull_mem > 0 ? t_pull_stream / t_pull_mem : 0.0,
+              pull_identical ? "IDENTICAL" : "MISMATCH");
+  remapped = Status::NotFound("released");
   std::remove(inadj_file.c_str());
+
+  // ---- CF: owner-broadcast SGD, materialised vs streaming ----------------
+  // CF trains through the same mode-independent sweep now, so the last
+  // push-side algorithm joins the out-of-core matrix: a bipartite rating
+  // store is partitioned twice and trained to the same factors bit for bit.
+  double t_cf_mem = 0, t_cf_stream = 0;
+  bool cf_identical = false;
+  {
+    BipartiteOptions bo;
+    bo.num_users = std::max<VertexId>(n / 8, 64);
+    bo.num_items = std::max<VertexId>(n / 64, 16);
+    bo.num_ratings = std::max<uint64_t>(m_edges / 4, 1024);
+    bo.seed = 77;
+    Graph ratings = MakeBipartiteRatings(bo);
+    const std::string cf_file = file + ".cf";
+    Status cf_save = SaveBinary(ratings, cf_file);
+    auto cf_mapped = MmapGraph::Open(cf_file, MmapGraph::Verify::kFull);
+    if (cf_save.ok() && cf_mapped.ok()) {
+      const GraphView cf_view = cf_mapped.value().View();
+      auto cf_placement = HashPartitioner().Assign(cf_view, frags);
+      Partition cf_p = BuildPartition(cf_view, cf_placement, frags, &pool);
+      ChunkedArcSource cf_src(cf_mapped.value(), chunk_arcs);
+      PartitionOptions cf_opts;
+      cf_opts.arc_source = &cf_src;
+      Partition cf_sp =
+          BuildPartition(cf_view, cf_placement, frags, &pool, cf_opts);
+      CfProgram::Options cfo;
+      cfo.max_epochs = 10;
+      EngineConfig cf_cfg;
+      cf_cfg.mode = ModeConfig::Aap();
+      cf_cfg.mode.bounded_staleness = true;
+      cf_cfg.mode.staleness_bound = 3;
+      auto cf_mem = timed(
+          [&] {
+            return SimEngine<CfProgram>(cf_p, CfProgram(cf_view, cfo), cf_cfg)
+                .Run();
+          },
+          &t_cf_mem);
+      auto cf_stream = timed(
+          [&] {
+            return SimEngine<CfProgram>(cf_sp, CfProgram(cf_view, cfo),
+                                        cf_cfg)
+                .Run();
+          },
+          &t_cf_stream);
+      cf_identical = cf_mem.result.factors == cf_stream.result.factors &&
+                     cf_mem.result.train_rmse == cf_stream.result.train_rmse;
+      ok = ok && cf_identical &&
+           cf_src.peak_resident_arcs() <= cf_src.effective_budget();
+    } else {
+      ok = false;
+    }
+    std::remove(cf_file.c_str());
+  }
+  std::printf("cf              %8.2fs in-mem  %8.2fs streaming  (%.2fx)  %s\n",
+              t_cf_mem, t_cf_stream,
+              t_cf_mem > 0 ? t_cf_stream / t_cf_mem : 0.0,
+              cf_identical ? "IDENTICAL" : "MISMATCH");
 
   // ---- algorithms on the zero-copy view ----------------------------------
   t0 = Now();
@@ -510,6 +657,34 @@ int RunStress(int argc, char** argv) {
   std::fprintf(f, "    \"pagerank_stream_sec\": %.3f,\n", t_pr_stream);
   std::fprintf(f, "    \"pagerank_stream_over_inmem\": %.2f,\n",
                t_pr_stream / t_pr_mem);
+  std::fprintf(f, "    \"pagerank_stream_nocache_sec\": %.3f,\n",
+               t_pr_nocache);
+  std::fprintf(f, "    \"lid_cache\": {\n");
+  std::fprintf(f, "      \"hits\": %llu,\n",
+               static_cast<unsigned long long>(cache_stats.hits));
+  std::fprintf(f, "      \"misses\": %llu,\n",
+               static_cast<unsigned long long>(cache_stats.misses));
+  std::fprintf(f, "      \"hit_rate\": %.3f,\n", cache_hit_rate);
+  std::fprintf(f, "      \"cached_mb\": %.1f,\n",
+               static_cast<double>(cache_stats.cached_lids) *
+                   sizeof(LocalVertex) / 1048576.0);
+  std::fprintf(f, "      \"speedup\": %.2f,\n", cache_speedup);
+  std::fprintf(f, "      \"nocache_identical\": %s\n",
+               nocache_identical ? "true" : "false");
+  std::fprintf(f, "    },\n");
+  std::fprintf(f, "    \"pagerank_pull_inmem_sec\": %.3f,\n", t_pull_mem);
+  std::fprintf(f, "    \"pagerank_pull_stream_sec\": %.3f,\n",
+               t_pull_stream);
+  std::fprintf(f, "    \"pagerank_pull_stream_over_inmem\": %.2f,\n",
+               t_pull_mem > 0 ? t_pull_stream / t_pull_mem : 0.0);
+  std::fprintf(f, "    \"pull_identical\": %s,\n",
+               pull_identical ? "true" : "false");
+  std::fprintf(f, "    \"cf_inmem_sec\": %.3f,\n", t_cf_mem);
+  std::fprintf(f, "    \"cf_stream_sec\": %.3f,\n", t_cf_stream);
+  std::fprintf(f, "    \"cf_stream_over_inmem\": %.2f,\n",
+               t_cf_mem > 0 ? t_cf_stream / t_cf_mem : 0.0);
+  std::fprintf(f, "    \"cf_identical\": %s,\n",
+               cf_identical ? "true" : "false");
   std::fprintf(f, "    \"identical\": %s,\n", identical ? "true" : "false");
   std::fprintf(f, "    \"within_budget\": %s\n",
                within_budget ? "true" : "false");

@@ -8,6 +8,13 @@
 //
 // Flags:
 //   --algo=cc|sssp|bfs|pagerank      (default cc)
+//   --pull                           run PageRank in pull (gather) mode over
+//                                    the in-adjacency: zero-copy
+//                                    TransposeView on `.gcsr` inputs saved
+//                                    with --save-in-adjacency, an in-memory
+//                                    transpose otherwise; combines with
+//                                    --chunk-arcs for fully out-of-core
+//                                    reverse-edge streaming
 //   --graph=PATH | --gen=rmat|grid|smallworld  (default gen=rmat)
 //       *.gcsr inputs are memory-mapped (zero-copy binary store);
 //       anything else is parsed as edge-list text
@@ -42,6 +49,7 @@
 #include "graph/chunked_arc_source.h"
 #include "algos/cc.h"
 #include "algos/pagerank.h"
+#include "algos/pagerank_pull.h"
 #include "algos/sssp.h"
 #include "core/sim_engine.h"
 #include "graph/generators.h"
@@ -211,13 +219,43 @@ int main(int argc, char** argv) {
                      : std::make_unique<ChunkedArcSource>(view, chunk_arcs);
     popts.arc_source = arc_source.get();
   }
+  // Pull mode: feed BuildPartition the transpose — zero-copy off the store's
+  // in-adjacency extension when present, an in-memory transpose otherwise —
+  // streamed through a second chunked source when --chunk-arcs is set.
+  const bool pull = flags.count("pull") > 0;
+  if (pull && Get(flags, "algo", "cc") != "pagerank") {
+    std::fprintf(stderr, "--pull only applies to --algo=pagerank\n");
+    return 1;
+  }
+  Graph transpose_storage;
+  GraphView transpose_view;
+  std::unique_ptr<ChunkedArcSource> in_arc_source;
+  if (pull) {
+    if (mapped.ok() && mapped.value().has_in_adjacency()) {
+      transpose_view = mapped.value().TransposeView();
+    } else {
+      transpose_storage = TransposeGraph(view);
+      transpose_view = transpose_storage.View();
+    }
+    if (chunk_arcs > 0) {
+      const auto backend = mapped.ok() && mapped.value().has_in_adjacency()
+                               ? ChunkedArcSource::Backend::kMapped
+                               : ChunkedArcSource::Backend::kMemory;
+      in_arc_source = std::make_unique<ChunkedArcSource>(
+          transpose_view, chunk_arcs, backend);
+      popts.in_arc_source = in_arc_source.get();
+    } else {
+      popts.in_adjacency = &transpose_view;
+    }
+  }
   Partition p = BuildPartition(view, std::move(placement), workers, &pool,
                                popts);
   auto metrics = ComputeMetrics(p);
-  std::printf("partition      %u workers (%s), skew r=%.2f, cut=%.1f%%%s\n",
+  std::printf("partition      %u workers (%s), skew r=%.2f, cut=%.1f%%%s%s\n",
               workers, partitioner->name().c_str(), metrics.skew,
               100.0 * metrics.edge_cut_fraction,
-              chunk_arcs > 0 ? ", streaming arcs" : "");
+              chunk_arcs > 0 ? ", streaming arcs" : "",
+              pull ? ", pull in-adjacency" : "");
 
   // ---- engine ----
   EngineConfig cfg;
@@ -245,6 +283,9 @@ int main(int argc, char** argv) {
     return RunAndReport(p, BfsProgram(source), cfg, gantt);
   }
   if (algo == "pagerank") {
+    if (pull) {
+      return RunAndReport(p, PageRankPullProgram(0.85, 1e-6), cfg, gantt);
+    }
     return RunAndReport(p, PageRankProgram(0.85, 1e-6), cfg, gantt);
   }
   return RunAndReport(p, CcProgram{}, cfg, gantt);

@@ -29,7 +29,7 @@ int main() {
   cfg.mode = ModeConfig::Aap();
   cfg.mode.bounded_staleness = true;  // CF needs it (Section 5.3 Remark)
   cfg.mode.staleness_bound = 3;
-  SimEngine<CfProgram> engine(partition, CfProgram(&g, cf), cfg);
+  SimEngine<CfProgram> engine(partition, CfProgram(g, cf), cfg);
   auto run = engine.Run();
   std::printf("trained: epochs=%llu train RMSE=%.3f test RMSE=%.3f\n",
               static_cast<unsigned long long>(run.result.total_epochs),

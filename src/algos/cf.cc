@@ -64,12 +64,22 @@ double CfProgram::RunEpoch(const Fragment& f, State& st) const {
   double se = 0.0;
   uint64_t n = 0;
   double work = 0.0;
-  std::vector<uint8_t> touched(f.num_local(), 0);
-  for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+  // Epoch scratch lives in the state so its capacity is reused across
+  // epochs instead of reallocated per RunEpoch call.
+  std::vector<uint8_t>& touched = st.touched;
+  touched.assign(f.num_local(), 0);
+  // Mode-independent adjacency: the chunk-windowed sweep serves the same
+  // arcs in the same order on materialised and streaming fragments, so
+  // streaming CF is bit-identical to the in-memory run. arcs_of is lazy at
+  // window granularity: chunks holding only skipped (item-side) vertices
+  // are never acquired or translated; within a touched window the lid
+  // cache resolves every target once and amortises it across epochs.
+  f.SweepInnerAdjacency(st.arc_scratch, [&](LocalVertex l,
+                                            const auto& arcs_of) {
     const VertexId gu = f.GlobalId(l);
-    if (!graph_->IsLeft(gu)) continue;  // train from user side only
+    if (!graph_.IsLeft(gu)) return;  // train from user side only
     auto& uf = st.factors[l];
-    for (const LocalArc& a : f.OutEdges(l)) {
+    for (const LocalArc& a : arcs_of()) {
       const VertexId gp = f.GlobalId(a.dst);
       if (!IsTrainEdge(gu, gp)) continue;
       auto& pf = st.factors[a.dst];
@@ -89,7 +99,7 @@ double CfProgram::RunEpoch(const Fragment& f, State& st) const {
       touched[a.dst] = 1;
       touched[l] = 1;
     }
-  }
+  });
   ++st.epoch;
   for (LocalVertex l = 0; l < f.num_local(); ++l) {
     if (touched[l]) st.version[l] = st.epoch;

@@ -8,6 +8,11 @@
 // (v.f, t) pairs; faggr keeps the newest timestamp (averaging ties), as in
 // the paper's max-timestamp aggregation. CF is the one workload that needs
 // bounded staleness (run with ModeConfig::bounded_staleness or SSP).
+//
+// Training reaches adjacency through the mode-independent
+// Fragment::SweepInnerAdjacency, so CF runs bit-identically over
+// materialised and out-of-core streaming fragments (and, via the GraphView
+// constructor, over mmapped `.gcsr` stores).
 #ifndef GRAPEPLUS_ALGOS_CF_H_
 #define GRAPEPLUS_ALGOS_CF_H_
 
@@ -55,10 +60,12 @@ class CfProgram {
     uint64_t seed = 17;
   };
 
-  /// `g` must outlive the program (used to identify user vertices and
-  /// ratings). Fragments reference the same graph.
-  explicit CfProgram(const Graph* g) : graph_(g) {}
-  CfProgram(const Graph* g, const Options& opts) : graph_(g), opts_(opts) {}
+  /// `g` is the rating graph's view (in-memory Graph or mmapped store; used
+  /// to identify user vertices). Its backing storage must outlive the
+  /// program; fragments reference the same graph.
+  explicit CfProgram(const GraphView& g) : graph_(g) {}
+  CfProgram(const GraphView& g, const Options& opts)
+      : graph_(g), opts_(opts) {}
 
   struct State {
     std::vector<std::array<float, kCfRank>> factors;  // per local vertex
@@ -67,6 +74,12 @@ class CfProgram {
     uint32_t epoch = 0;
     double last_loss = 0.0;
     bool converged = false;
+    /// Reused epoch scratch: vertices touched by this epoch's SGD (sized on
+    /// first use, reassigned — not reallocated — every epoch) and the
+    /// streaming-fragment translation buffer (bounded by the arc source's
+    /// effective chunk budget; unused on materialised fragments).
+    std::vector<uint8_t> touched;
+    std::vector<LocalArc> arc_scratch;
   };
 
   State Init(const Fragment& f) const;
@@ -94,7 +107,7 @@ class CfProgram {
   double RunEpoch(const Fragment& f, State& st) const;
   void EmitBorder(const Fragment& f, State& st, Emitter<Value>* out) const;
 
-  const Graph* graph_;
+  GraphView graph_;
   Options opts_;
 };
 

@@ -1,0 +1,92 @@
+#include "algos/pagerank_pull.h"
+
+namespace grape {
+
+PageRankPullProgram::State PageRankPullProgram::Init(const Fragment& f) const {
+  State st;
+  st.score.assign(f.num_inner(), 0.0);
+  st.contrib.assign(f.num_local(), 0.0);
+  st.last_emitted.assign(f.num_inner(), 0.0);
+  st.active = true;  // the first gather installs the (1-d) base mass
+  return st;
+}
+
+double PageRankPullProgram::Round(const Fragment& f, State& st,
+                                  Emitter<Value>* out) const {
+  const double base = 1.0 - damping_;
+  double work = 0.0;
+  bool moved = false;
+  // Jacobi gather: recompute every inner score from the in-neighbours'
+  // contributions as of the start of the round (contributions are refreshed
+  // in a second pass, so the sweep order cannot change the result). The
+  // chunk-windowed in-sweep serves identical arcs in identical order on
+  // materialised and streaming fragments — pull execution is bit-identical
+  // across modes.
+  f.SweepInnerInAdjacency(st.arc_scratch, [&](LocalVertex l,
+                                              const auto& arcs_of) {
+    double sum = base;
+    if (f.InDegree(l) > 0) {
+      for (const LocalArc& a : arcs_of()) {
+        sum += st.contrib[a.dst];
+        ++work;
+      }
+    }
+    ++work;
+    if (sum - st.score[l] >= tol_) moved = true;
+    st.score[l] = sum;
+  });
+  // Refresh contributions from the new scores; the score pass above never
+  // reads an inner contribution written here, keeping the round Jacobi.
+  for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+    const uint64_t deg = f.OutDegree(l);
+    if (deg == 0) continue;  // dangling: contributes nothing (same as push)
+    st.contrib[l] = damping_ * st.score[l] / static_cast<double>(deg);
+  }
+  // Ship changed border contributions. Remote readers of v are exactly the
+  // fragments v has a forward cut arc into (they hold v in their widened
+  // outer set), so the exit set F.O' is the emission candidate set; the
+  // engine broadcasts through the owner routing.
+  for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+    if (!f.InExitSet(l)) continue;
+    if (st.contrib[l] - st.last_emitted[l] >= tol_) {
+      st.last_emitted[l] = st.contrib[l];
+      out->Emit(l, f.GlobalId(l), st.contrib[l]);
+    }
+  }
+  st.active = moved;
+  return std::max(work, 1.0);
+}
+
+double PageRankPullProgram::PEval(const Fragment& f, State& st,
+                                  Emitter<Value>* out) const {
+  return Round(f, st, out);
+}
+
+double PageRankPullProgram::IncEval(const Fragment& f, State& st,
+                                    std::span<const UpdateEntry<Value>> updates,
+                                    Emitter<Value>* out) const {
+  double work = 0;
+  for (const auto& u : updates) {
+    ++work;
+    const LocalVertex l = ResolveLocal(f, u);
+    if (l == Fragment::kInvalidLocal) continue;
+    // faggr = max: contributions grow monotonically, so the largest value
+    // seen is the freshest one.
+    if (u.value > st.contrib[l]) st.contrib[l] = u.value;
+  }
+  return work + Round(f, st, out);
+}
+
+PageRankPullProgram::ResultT PageRankPullProgram::Assemble(
+    const Partition& p, const std::vector<State>& states) const {
+  std::vector<double> score(p.graph.num_vertices(), 0.0);
+  for (FragmentId i = 0; i < p.num_fragments(); ++i) {
+    const Fragment& f = p.fragments[i];
+    for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+      score[f.GlobalId(l)] = states[i].score[l];
+    }
+  }
+  return score;
+}
+
+}  // namespace grape

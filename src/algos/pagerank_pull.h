@@ -1,0 +1,83 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Pull-mode PageRank: the reverse-edge (gather) PIE program over
+// Fragment::SweepInnerInAdjacency, proving the transpose streaming path
+// (MmapGraph::TransposeView -> ChunkedArcSource -> pull-enabled partition)
+// end-to-end.
+//
+// Formulation (Jacobi / power-style, same fixpoint as the push program and
+// seq::PageRank): every vertex keeps a contribution c_v = d * P_v / N_v; a
+// round recomputes each inner score as P_v = (1-d) + sum of the in-
+// neighbours' contributions, then refreshes c_v. Contributions only grow
+// (scores start at 0 and the iteration is monotone), so faggr = max and the
+// computation terminates at the tol-fixpoint regardless of message
+// interleaving.
+//
+// Messaging: the partition must be built pull-enabled
+// (PartitionOptions::in_adjacency / in_arc_source), which widens each
+// fragment's outer-copy set with its remote in-edge sources F_i.I'. Owners
+// then broadcast changed contributions to every reader through the ordinary
+// kOwnerBroadcast routing, and a fragment's gather reads only local state.
+#ifndef GRAPEPLUS_ALGOS_PAGERANK_PULL_H_
+#define GRAPEPLUS_ALGOS_PAGERANK_PULL_H_
+
+#include <span>
+#include <vector>
+
+#include "core/pie.h"
+#include "partition/fragment.h"
+
+namespace grape {
+
+class PageRankPullProgram {
+ public:
+  using Value = double;                 // a contribution c_v = d * P_v / N_v
+  using ResultT = std::vector<double>;  // P_v per global vertex
+  static constexpr bool kOwnerBroadcast = true;
+
+  /// `damping` is d; a round whose largest score increase stays below `tol`
+  /// stops the local iteration (finite-domain condition T1: scores grow
+  /// monotonically and are bounded, so the tol-fixpoint is reached).
+  explicit PageRankPullProgram(double damping = 0.85, double tol = 1e-9)
+      : damping_(damping), tol_(tol) {}
+
+  struct State {
+    std::vector<double> score;    // P_v, inner vertices
+    std::vector<double> contrib;  // c_x per local vertex (inner computed,
+                                  // outer copies received from owners)
+    std::vector<double> last_emitted;  // per inner vertex
+    bool active = false;  // last round still moved some score by >= tol
+    /// Streaming translation buffer (bounded by the in-source's effective
+    /// chunk budget); unused when in-arcs are materialised.
+    std::vector<LocalArc> arc_scratch;
+  };
+
+  /// Gather rounds continue while local scores are still moving, even
+  /// without fresh messages.
+  bool HasLocalWork(const State& st) const { return st.active; }
+
+  State Init(const Fragment& f) const;
+  double PEval(const Fragment& f, State& st, Emitter<Value>* out) const;
+  double IncEval(const Fragment& f, State& st,
+                 std::span<const UpdateEntry<Value>> updates,
+                 Emitter<Value>* out) const;
+  /// Contributions grow monotonically; the freshest value is the largest.
+  Value Combine(const Value& a, const Value& b) const {
+    return a > b ? a : b;
+  }
+  ResultT Assemble(const Partition& p, const std::vector<State>& states) const;
+
+  double damping() const { return damping_; }
+  double tol() const { return tol_; }
+
+ private:
+  /// One Jacobi gather round over the in-adjacency; emits changed border
+  /// contributions.
+  double Round(const Fragment& f, State& st, Emitter<Value>* out) const;
+
+  double damping_;
+  double tol_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_ALGOS_PAGERANK_PULL_H_

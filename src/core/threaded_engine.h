@@ -17,6 +17,7 @@
 #ifndef GRAPEPLUS_CORE_THREADED_ENGINE_H_
 #define GRAPEPLUS_CORE_THREADED_ENGINE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -231,10 +232,25 @@ class ThreadedEngine {
 
   void WorkerLoop() {
     while (!term_->ShouldStop()) {
+      // The epoch is captured *before* the scan: any message delivered or
+      // claim released while we look bumps it, so the wait below returns
+      // immediately instead of sleeping through the change.
+      const uint64_t epoch = hub_.Epoch();
       bool is_peval = false;
-      const int32_t w = PickWorker(run_wall_.ElapsedSeconds(), &is_peval);
+      double next_eligible = kInfinity;
+      const double now = run_wall_.ElapsedSeconds();
+      const int32_t w = PickWorker(now, &is_peval, &next_eligible);
       if (w < 0) {
-        hub_.WaitFor(hub_.Epoch(), /*timeout_ms=*/1);
+        // Idle: sleep exactly until the earliest delay-stretch deadline
+        // among pending workers, or — when none is pending — untimed until
+        // the hub rings (message delivery, claim release, a fresh kWaitFor
+        // deadline and termination all NotifyAll). No 1 ms polling spin.
+        if (next_eligible == kInfinity) {
+          hub_.Wait(epoch);
+        } else {
+          hub_.WaitForSeconds(epoch,
+                              next_eligible - run_wall_.ElapsedSeconds());
+        }
         continue;
       }
       RunOneRound(static_cast<FragmentId>(w), is_peval);
@@ -250,8 +266,11 @@ class ThreadedEngine {
 
   /// Picks a runnable virtual worker, claiming it with a per-worker CAS —
   /// concurrent pickers only ever contend on the claim flag of the same
-  /// candidate, never on a global lock.
-  int32_t PickWorker(double now, bool* is_peval) {
+  /// candidate, never on a global lock. `next_eligible` receives the
+  /// earliest eligible_at deadline among workers that are pending but still
+  /// inside their delay stretch (kInfinity when none is), so an idle caller
+  /// knows exactly how long to sleep.
+  int32_t PickWorker(double now, bool* is_peval, double* next_eligible) {
     thread_local std::vector<uint8_t> relevant;
     relevant.assign(workers_.size(), 0);
     for (size_t i = 0; i < workers_.size(); ++i) {
@@ -274,7 +293,11 @@ class ThreadedEngine {
         continue;
       }
       if (!Eligible(w)) continue;
-      if (now < rt.eligible_at.load(std::memory_order_relaxed)) continue;
+      const double at = rt.eligible_at.load(std::memory_order_relaxed);
+      if (now < at) {
+        *next_eligible = std::min(*next_eligible, at);
+        continue;
+      }
       if (rt.claimed.exchange(true, std::memory_order_acq_rel)) continue;
       if (!Eligible(w)) {  // drained by a racing round since the check
         rt.claimed.store(false, std::memory_order_release);
@@ -292,7 +315,12 @@ class ThreadedEngine {
           return static_cast<int32_t>(w);
         case DelayDecision::Kind::kWaitFor:
           rt.eligible_at.store(now + d.wait, std::memory_order_relaxed);
+          *next_eligible = std::min(*next_eligible, now + d.wait);
           rt.claimed.store(false, std::memory_order_release);
+          // Peers already parked in an untimed wait rescan and adopt this
+          // fresh deadline — wakeups stay exact even when this thread goes
+          // on to run a long round elsewhere.
+          hub_.NotifyAll();
           break;
         case DelayDecision::Kind::kSuspend:
           // Re-examined when r_min advances / messages arrive.

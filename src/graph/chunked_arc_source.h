@@ -19,6 +19,11 @@
 //             state stays dense in memory while arcs stream off disk chunk
 //             by chunk.
 //
+// A source chunks whatever view it is given — the forward CSR or a
+// transpose (MmapGraph::TransposeView() with Backend::kMapped, or
+// TransposeGraph(g).View()); the latter is how pull-mode fragments stream
+// in-adjacency (PartitionOptions::in_arc_source).
+//
 // The source also keeps residency accounting (current / peak acquired arcs)
 // that the stress harness and the streaming tests assert against the budget.
 // All methods are const and thread-safe: concurrent workers may acquire

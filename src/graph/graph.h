@@ -134,6 +134,15 @@ class GraphBuilder {
   std::vector<uint8_t> left_;
 };
 
+/// Deterministic transpose of `g`: the in-arcs exposed as the out-CSR of the
+/// reverse graph, in the same target-major / source-stable order the `.gcsr`
+/// in-adjacency extension stores (a counting scatter over ascending sources),
+/// so TransposeGraph(g).View() and MmapGraph::TransposeView() agree arc for
+/// arc. Labels and the bipartite left side pass through. This is the
+/// in-memory supplier of PartitionOptions::in_adjacency for pull-mode
+/// programs when no extended `.gcsr` store is at hand.
+Graph TransposeGraph(const GraphView& g);
+
 /// Ground-truth single-machine algorithms used by tests & benches to validate
 /// the distributed engines (the paper's "single-thread" baselines in Exp-1).
 /// They take GraphView so they run unchanged on mmap-backed binary graphs.

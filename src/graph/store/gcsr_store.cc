@@ -191,39 +191,30 @@ Status SaveBinary(const GraphView& g, const std::string& path,
   }
   w.Advance(h.section_bytes[kSecLeft]);
 
-  // Trailing in-adjacency extension: reverse CSR computed by a
-  // deterministic counting scatter in arc order (within each target, arcs
-  // keep the source-major input order), so identical graphs always produce
-  // byte-identical extensions. Note the scatter materialises the transpose
-  // (|E| x 16 bytes transient) — saving is an ingest-side operation; an
-  // external bucketed scatter for strictly larger-than-RAM saves is a
-  // ROADMAP open item.
+  // Trailing in-adjacency extension: the reverse CSR comes from
+  // TransposeGraph — the one deterministic counting scatter shared with
+  // pull-mode consumers, so TransposeGraph(g).View() and a reader's
+  // TransposeView() are arc-for-arc identical by construction, and
+  // identical graphs always produce byte-identical extensions. Note this
+  // materialises the transpose (|E| x 16 bytes transient) — saving is an
+  // ingest-side operation; an external bucketed scatter for strictly
+  // larger-than-RAM saves is a ROADMAP open item.
   if (opts.include_in_adjacency) {
-    std::vector<uint64_t> in_off(n + 1, 0);
-    for (const Arc& a : g.arcs()) ++in_off[a.dst + 1];
-    for (uint64_t v = 0; v < n; ++v) in_off[v + 1] += in_off[v];
-    std::vector<Arc> in_arcs(g.num_arcs());
-    {
-      std::vector<uint64_t> cursor(in_off.begin(), in_off.end() - 1);
-      for (VertexId u = 0; u < n; ++u) {
-        for (const Arc& a : g.OutEdges(u)) {
-          in_arcs[cursor[a.dst]++] = Arc{u, a.weight};
-        }
-      }
-    }
+    const Graph transpose = TransposeGraph(g);
+    const GraphView tv = transpose.View();
     store::GcsrInAdjHeader ih;
     LayoutInAdj(n, h.num_arcs, base_end, &ih);
     if (!w.Pad(base_end)) return fail("cannot write");
     if (std::fwrite(&ih, sizeof(ih), 1, f) != 1) return fail("cannot write");
     w.Advance(sizeof(ih));
-    if (!w.WriteSection(in_off.data(),
+    if (!w.WriteSection(tv.offsets().data(),
                         ih.section_bytes[store::kInSecOffsets],
                         ih.section_offset[store::kInSecOffsets],
                         &ih.section_checksum[store::kInSecOffsets])) {
       return fail("cannot write");
     }
     w.Advance(ih.section_bytes[store::kInSecOffsets]);
-    if (!WriteArcRecords(f, w, in_arcs,
+    if (!WriteArcRecords(f, w, tv.arcs(),
                          ih.section_offset[store::kInSecArcs],
                          &ih.section_checksum[store::kInSecArcs])) {
       return fail("cannot write");

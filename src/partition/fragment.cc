@@ -51,18 +51,35 @@ std::vector<VertexId> SortedUnique(std::vector<VertexId> ids, VertexId n) {
 /// Grants BuildPartition access to Fragment internals without exposing
 /// mutators in the public API.
 struct PartitionBuilderAccess {
-  static void BuildFragment(const GraphView& g, FragmentId id,
+  static void BuildFragment(const GraphView& g, const GraphView* tv,
+                            FragmentId id,
                             const std::vector<FragmentId>& placement,
                             const std::vector<LocalVertex>& owner_lid,
                             std::span<const VertexId> inner, bool materialize,
-                            Fragment* f);
-  /// Switches a fragment to streaming mode: adjacency comes from `source`,
-  /// arc targets resolve through the partition's dense indexes.
-  static void AttachArcSource(Fragment& f, const ChunkedArcSource* source,
-                              const Partition& p) {
-    f.arc_source_ = source;
+                            bool materialize_in, Fragment* f);
+  /// Switches a fragment to streaming mode: adjacency comes from the
+  /// source(s), arc targets resolve through the partition's dense indexes.
+  /// Either source may be null (e.g. materialised out-arcs + streamed
+  /// in-arcs); the index views are attached whenever any source is present.
+  static void AttachSources(Fragment& f, const ChunkedArcSource* out_source,
+                            const ChunkedArcSource* in_source,
+                            const Partition& p, uint64_t lid_cache_arcs) {
+    // kLidCacheAuto keeps the cache proportional to the window the caller
+    // budgeted for (not to |E|): full reuse for graphs within the footprint,
+    // a cached prefix beyond it.
+    const auto budget_for = [&](const ChunkedArcSource* src) -> uint64_t {
+      if (src == nullptr) return 0;
+      if (lid_cache_arcs != PartitionOptions::kLidCacheAuto) {
+        return lid_cache_arcs;
+      }
+      return 32 * src->effective_budget();
+    };
+    f.arc_source_ = out_source;
+    f.in_arc_source_ = in_source;
     f.placement_ = p.placement;
     f.owner_lid_ = p.owner_lid;
+    f.out_lid_cache_.budget = budget_for(out_source);
+    f.in_lid_cache_.budget = budget_for(in_source);
   }
   /// Thread-safe and idempotent: concurrent source fragments may mark the
   /// same entry vertex.
@@ -75,10 +92,11 @@ struct PartitionBuilderAccess {
 };
 
 void PartitionBuilderAccess::BuildFragment(
-    const GraphView& g, FragmentId id,
+    const GraphView& g, const GraphView* tv, FragmentId id,
     const std::vector<FragmentId>& placement,
     const std::vector<LocalVertex>& owner_lid,
-    std::span<const VertexId> inner, bool materialize, Fragment* f) {
+    std::span<const VertexId> inner, bool materialize, bool materialize_in,
+    Fragment* f) {
   f->id_ = id;
   f->inner_.assign(inner.begin(), inner.end());  // already sorted ascending
 
@@ -98,6 +116,16 @@ void PartitionBuilderAccess::BuildFragment(
       }
     }
   }
+  if (tv != nullptr) {
+    // Pull-enabled build: remote in-edge sources (F.I') join the outer-copy
+    // set, so pull programs read their broadcast values from local state and
+    // the routing index ships owner updates to every reader.
+    for (uint32_t l = 0; l < ni; ++l) {
+      for (const Arc& a : tv->OutEdges(f->inner_[l])) {
+        if (placement[a.dst] != id) outer.push_back(a.dst);
+      }
+    }
+  }
   f->outer_ = SortedUnique(std::move(outer), g.num_vertices());
 
   // Local CSR offsets for inner vertices (kept in streaming mode too: they
@@ -106,7 +134,16 @@ void PartitionBuilderAccess::BuildFragment(
   for (uint32_t l = 0; l < ni; ++l) {
     f->offsets_[l + 1] = f->offsets_[l] + g.OutDegree(f->inner_[l]);
   }
-  if (!materialize) return;  // streaming fragments translate arcs on the fly
+  if (tv != nullptr) {
+    f->has_in_adj_ = true;
+    f->in_offsets_.assign(ni + 1, 0);
+    for (uint32_t l = 0; l < ni; ++l) {
+      f->in_offsets_[l + 1] = f->in_offsets_[l] + tv->OutDegree(f->inner_[l]);
+    }
+  }
+  if (!materialize && !materialize_in) {
+    return;  // streaming fragments translate arcs on the fly
+  }
 
   // Local arc records. Arc targets resolve through the dense owner-lid
   // array (internal arcs) or a scratch outer-lid table (cut arcs) — no hash
@@ -120,13 +157,25 @@ void PartitionBuilderAccess::BuildFragment(
       outer_lid[f->outer_[j]] = ni + j;
     }
   }
-  f->arcs_.resize(f->offsets_[ni]);
-  for (uint32_t l = 0; l < ni; ++l) {
-    uint64_t cursor = f->offsets_[l];
-    for (const Arc& a : g.OutEdges(f->inner_[l])) {
-      const LocalVertex lid =
-          placement[a.dst] == id ? owner_lid[a.dst] : outer_lid[a.dst];
-      f->arcs_[cursor++] = LocalArc{lid, a.weight};
+  const auto lid_of = [&](VertexId dst) {
+    return placement[dst] == id ? owner_lid[dst] : outer_lid[dst];
+  };
+  if (materialize) {
+    f->arcs_.resize(f->offsets_[ni]);
+    for (uint32_t l = 0; l < ni; ++l) {
+      uint64_t cursor = f->offsets_[l];
+      for (const Arc& a : g.OutEdges(f->inner_[l])) {
+        f->arcs_[cursor++] = LocalArc{lid_of(a.dst), a.weight};
+      }
+    }
+  }
+  if (materialize_in) {
+    f->in_arcs_.resize(f->in_offsets_[ni]);
+    for (uint32_t l = 0; l < ni; ++l) {
+      uint64_t cursor = f->in_offsets_[l];
+      for (const Arc& a : tv->OutEdges(f->inner_[l])) {
+        f->in_arcs_[cursor++] = LocalArc{lid_of(a.dst), a.weight};
+      }
     }
   }
 }
@@ -142,6 +191,24 @@ Partition BuildPartition(const GraphView& g, std::vector<FragmentId> placement,
                 opts.arc_source->view().offsets().data() ==
                     g.offsets().data())
         << "PartitionOptions::arc_source must wrap the partitioned view";
+  }
+  // Resolve the pull-mode transpose: an explicit view, or the in-streaming
+  // source's own view.
+  GraphView in_view_storage;
+  const GraphView* tv = opts.in_adjacency;
+  if (opts.in_arc_source != nullptr) {
+    in_view_storage = opts.in_arc_source->view();
+    GRAPE_CHECK(tv == nullptr ||
+                (tv->arcs().data() == in_view_storage.arcs().data() &&
+                 tv->offsets().data() == in_view_storage.offsets().data()))
+        << "PartitionOptions::in_arc_source must wrap the in_adjacency view";
+    tv = &in_view_storage;
+  }
+  if (tv != nullptr) {
+    GRAPE_CHECK(tv->num_vertices() == g.num_vertices() &&
+                tv->num_arcs() == g.num_arcs())
+        << "PartitionOptions in-adjacency must be the transpose of the "
+           "partitioned view";
   }
   const VertexId n = g.num_vertices();
   const FragmentId m = num_fragments;
@@ -180,9 +247,11 @@ Partition BuildPartition(const GraphView& g, std::vector<FragmentId> placement,
   p.fragments.resize(m);
   ForEachFragment(pool, m, [&](FragmentId i) {
     PartitionBuilderAccess::BuildFragment(
-        g, i, p.placement, p.owner_lid,
+        g, tv, i, p.placement, p.owner_lid,
         {inner_all.data() + frag_off[i], frag_off[i + 1] - frag_off[i]},
-        /*materialize=*/opts.arc_source == nullptr, &p.fragments[i]);
+        /*materialize=*/opts.arc_source == nullptr,
+        /*materialize_in=*/tv != nullptr && opts.in_arc_source == nullptr,
+        &p.fragments[i]);
   });
 
   // Entry sets (F.I) and remote sources (F.I'): an edge (u -> v) crossing
@@ -280,26 +349,66 @@ Partition BuildPartition(const GraphView& g, std::vector<FragmentId> placement,
     }
   });
 
-  if (opts.arc_source != nullptr) {
+  if (opts.arc_source != nullptr || opts.in_arc_source != nullptr) {
     // Spans point at p.placement / p.owner_lid heap storage, which survives
     // the NRVO/move of the returned Partition.
     for (Fragment& f : p.fragments) {
-      PartitionBuilderAccess::AttachArcSource(f, opts.arc_source, p);
+      PartitionBuilderAccess::AttachSources(f, opts.arc_source,
+                                            opts.in_arc_source, p,
+                                            opts.lid_cache_arcs);
     }
   }
   return p;
 }
 
-std::span<const LocalArc> Fragment::TranslateArcs(
-    VertexId global_v, std::vector<LocalArc>& scratch) const {
-  GRAPE_DCHECK(streaming());
-  const std::span<const Arc> arcs = arc_source_->view().OutEdges(global_v);
+std::span<const LocalArc> Fragment::TranslateFrom(
+    const GraphView& view, VertexId v, std::vector<LocalArc>& scratch) const {
+  const std::span<const Arc> arcs = view.OutEdges(v);
   scratch.clear();
   scratch.reserve(arcs.size());
   for (const Arc& a : arcs) {
-    scratch.push_back(LocalArc{LocalTarget(a.dst), a.weight});
+    const LocalVertex lid = LocalTarget(a.dst);
+    if (lid == kInvalidLocal) continue;  // unknown target: drop the arc
+    scratch.push_back(LocalArc{lid, a.weight});
   }
   return {scratch.data(), scratch.size()};
+}
+
+std::vector<LocalVertex>* Fragment::LidWindow(const ChunkedArcSource& src,
+                                              std::span<const uint64_t> offs,
+                                              LidCache& cache, size_t k,
+                                              LocalVertex l0,
+                                              VertexId window_end,
+                                              bool* prebuilt) const {
+  *prebuilt = false;
+  if (cache.budget == 0) return nullptr;
+  if (cache.per_chunk.empty()) cache.per_chunk.resize(src.num_chunks());
+  std::vector<LocalVertex>& entry = cache.per_chunk[k];
+  if (!entry.empty()) {
+    *prebuilt = true;
+    return &entry;
+  }
+  // First acquisition of this window: resolve every arc target of the
+  // fragment's inner vertices inside it, once, in sweep order. l1 is one
+  // past the last inner vertex the window covers.
+  const auto l1 = static_cast<LocalVertex>(
+      std::lower_bound(inner_.begin() + l0, inner_.end(), window_end) -
+      inner_.begin());
+  const uint64_t arcs_in_window = offs[l1] - offs[l0];
+  if (arcs_in_window == 0 ||
+      cache.cached_lids + arcs_in_window > cache.budget) {
+    return nullptr;  // empty or over budget: translate directly
+  }
+  entry.reserve(arcs_in_window);
+  for (LocalVertex l = l0; l < l1; ++l) {
+    for (const Arc& a : src.view().OutEdges(inner_[l])) {
+      entry.push_back(LocalTarget(a.dst));
+    }
+  }
+  cache.cached_lids += arcs_in_window;
+  ++cache.cached_chunks;
+  cache.misses += arcs_in_window;
+  return &entry;
 }
 
 void Partition::Recipients(VertexId v, FragmentId from, bool to_copies,
@@ -312,6 +421,18 @@ void Partition::Recipients(VertexId v, FragmentId from, bool to_copies,
       if (h != from && h != owner) out->push_back(h);
     }
   }
+}
+
+LidCacheStats Partition::TotalLidCacheStats() const {
+  LidCacheStats total;
+  for (const Fragment& f : fragments) {
+    const LidCacheStats s = f.lid_cache_stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.cached_lids += s.cached_lids;
+    total.cached_chunks += s.cached_chunks;
+  }
+  return total;
 }
 
 PartitionMetrics ComputeMetrics(const Partition& p) {

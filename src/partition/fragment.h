@@ -11,6 +11,13 @@
 // Local vertex ids are [0, num_inner) for inner vertices followed by
 // [num_inner, num_inner + num_outer) for outer copies.
 //
+// Pull-mode (PartitionOptions::in_adjacency / in_arc_source) additionally
+// equips fragments with the *in*-adjacency of their inner vertices, served
+// from a transpose view (MmapGraph::TransposeView() or TransposeGraph()).
+// The outer-copy set is then widened with the remote in-edge sources F_i.I',
+// so reverse-edge (pull) programs receive those vertices' values through the
+// ordinary owner-broadcast routing — no second routing index.
+//
 // BuildPartition constructs fragments and all routing metadata with dense
 // index structures (no hash maps) and, when given a WorkerPool, runs the
 // per-fragment phases concurrently; parallel and serial construction produce
@@ -36,7 +43,19 @@ struct LocalArc {
   double weight;
 };
 
-/// One fragment F_i. Immutable once built by BuildPartition().
+/// Aggregate counters of a fragment's memoised outer-lid caches (out + in).
+struct LidCacheStats {
+  uint64_t hits = 0;         // arcs whose lid was served from a cached chunk
+  uint64_t misses = 0;       // arcs translated fresh (cache build or bypass)
+  uint64_t cached_lids = 0;  // lids currently memoised (4 bytes each)
+  uint64_t cached_chunks = 0;
+};
+
+/// One fragment F_i. Immutable once built by BuildPartition() — except for
+/// the memoised translation caches below, which follow the same ownership
+/// discipline as program state: they are only touched by the thread that
+/// currently runs this fragment's round (engines serialise rounds per
+/// fragment via the worker claim).
 class Fragment {
  public:
   FragmentId id() const { return id_; }
@@ -46,6 +65,10 @@ class Fragment {
   /// Arc count of the local CSR (from the offsets, which exist in both
   /// materialised and streaming mode).
   uint64_t num_arcs() const { return offsets_.empty() ? 0 : offsets_.back(); }
+  /// In-arc count (pull-enabled fragments only, else 0).
+  uint64_t num_in_arcs() const {
+    return in_offsets_.empty() ? 0 : in_offsets_.back();
+  }
   /// Fragment "size" used for skew metrics: |V_i| + |E_i|.
   uint64_t size() const { return num_inner() + num_arcs(); }
 
@@ -98,18 +121,35 @@ class Fragment {
   /// Local id of an arc target: inner targets resolve through the
   /// partition's dense owner-lid index, cut targets through binary search
   /// over the sorted outer-copy list — exactly the mapping the materialised
-  /// build bakes into its LocalArc records.
+  /// build bakes into its LocalArc records. A global id this fragment does
+  /// not hold (out of range, or neither inner nor an outer copy) yields
+  /// kInvalidLocal in every build mode — never a garbage local id — and
+  /// translation callers drop such arcs. Streaming fragments only (the
+  /// placement/owner-lid views are attached with the arc source).
   LocalVertex LocalTarget(VertexId g) const {
+    if (g >= placement_.size()) return kInvalidLocal;
     if (placement_[g] == id_) return owner_lid_[g];
     const auto oi = std::lower_bound(outer_.begin(), outer_.end(), g);
-    GRAPE_DCHECK(oi != outer_.end() && *oi == g);
+    if (oi == outer_.end() || *oi != g) return kInvalidLocal;
     return num_inner() + static_cast<LocalVertex>(oi - outer_.begin());
   }
 
   /// Translates the global adjacency of a vertex into local-id arcs in
-  /// `scratch` — same order and values as the materialised arcs. Streaming
-  /// fragments only. The returned span is valid until scratch next changes.
+  /// `scratch` — same order and values as the materialised arcs (arcs whose
+  /// target this fragment does not hold are dropped; a valid build never
+  /// produces such arcs). Streaming fragments only. The returned span is
+  /// valid until scratch next changes.
   std::span<const LocalArc> TranslateArcs(VertexId global_v,
+                                          std::vector<LocalArc>& scratch) const {
+    GRAPE_DCHECK(streaming());
+    return TranslateFrom(arc_source_->view(), global_v, scratch);
+  }
+
+  /// The single definition of global->local arc translation: `view` is the
+  /// forward view for out-adjacency or a transpose view for in-adjacency.
+  /// Every uncached translation path (point lookups, sweep bypass) funnels
+  /// through here so drop-invalid semantics cannot diverge.
+  std::span<const LocalArc> TranslateFrom(const GraphView& view, VertexId v,
                                           std::vector<LocalArc>& scratch) const;
 
   /// Mode-independent point adjacency of an inner vertex: the materialised
@@ -117,7 +157,8 @@ class Fragment {
   /// degree) on streaming fragments. Frontier-driven programs (SSSP, BFS)
   /// relax through this; note the chunk budget does not bound the mapped
   /// backend's page-cache footprint on this path (see
-  /// ChunkedArcSource::OutEdges(v)).
+  /// ChunkedArcSource::OutEdges(v)). Point lookups bypass the memoised lid
+  /// cache (it is keyed by chunk windows).
   std::span<const LocalArc> Adjacency(LocalVertex l,
                                       std::vector<LocalArc>& scratch) const {
     GRAPE_DCHECK(IsInner(l));
@@ -140,7 +181,9 @@ class Fragment {
   /// time, so resident arcs stay bounded by the source's effective budget;
   /// materialised fragments serve direct spans. The vertex visit order is
   /// identical in both modes, which is what makes streaming execution
-  /// bit-identical.
+  /// bit-identical. Streaming sweeps memoise each chunk's translated lids in
+  /// a per-fragment cache on first acquisition and serve later sweeps from
+  /// it (see PartitionOptions::lid_cache_arcs).
   template <typename Fn>
   void SweepInnerAdjacency(std::vector<LocalArc>& scratch, Fn&& fn) const {
     const LocalVertex ni = num_inner();
@@ -152,24 +195,60 @@ class Fragment {
       }
       return;
     }
-    const ChunkedArcSource& src = *arc_source_;
-    LocalVertex l = 0;
-    while (l < ni) {
-      const size_t k = src.ChunkOf(inner_[l]);
-      const VertexId window_end = src.chunk(k).end;
-      bool acquired = false;
-      ChunkedArcSource::Chunk c;
-      for (; l < ni && inner_[l] < window_end; ++l) {
+    StreamSweep(*arc_source_, offsets_, out_lid_cache_, scratch,
+                std::forward<Fn>(fn));
+  }
+
+  // ---- pull-mode (reverse-edge) adjacency ------------------------------
+
+  /// True when BuildPartition was given an in-adjacency (transpose) view:
+  /// SweepInnerInAdjacency / InDegree are available.
+  bool has_in_adjacency() const { return has_in_adj_; }
+  /// True when in-arcs stream from a ChunkedArcSource over the transpose
+  /// view instead of being materialised.
+  bool in_streaming() const { return in_arc_source_ != nullptr; }
+  const ChunkedArcSource* in_arc_source() const { return in_arc_source_; }
+
+  uint64_t InDegree(LocalVertex l) const {
+    return IsInner(l) && has_in_adj_ ? in_offsets_[l + 1] - in_offsets_[l] : 0;
+  }
+
+  /// Pull-mode mirror of SweepInnerAdjacency: visits every inner vertex in
+  /// ascending local-id order and serves its *in*-adjacency — arcs (u -> v)
+  /// translated so `dst` is the local id of the in-neighbour u (inner or
+  /// outer copy; remote in-sources are part of the widened outer set, so a
+  /// pull program reads their freshest broadcast values straight out of its
+  /// local state). Same lazy chunk windows, same residency bounds, same
+  /// memoised lid cache, same bit-identical visit order as the out sweep.
+  template <typename Fn>
+  void SweepInnerInAdjacency(std::vector<LocalArc>& scratch, Fn&& fn) const {
+    GRAPE_CHECK(has_in_adj_)
+        << "Fragment::SweepInnerInAdjacency needs a pull-enabled partition "
+           "(PartitionOptions::in_adjacency / in_arc_source)";
+    const LocalVertex ni = num_inner();
+    if (!in_streaming()) {
+      for (LocalVertex l = 0; l < ni; ++l) {
         fn(l, [&]() -> std::span<const LocalArc> {
-          if (!acquired) {
-            c = src.Acquire(k);
-            acquired = true;
-          }
-          return TranslateArcs(inner_[l], scratch);
+          return {in_arcs_.data() + in_offsets_[l],
+                  in_offsets_[l + 1] - in_offsets_[l]};
         });
       }
-      if (acquired) src.Release(c);
+      return;
     }
+    StreamSweep(*in_arc_source_, in_offsets_, in_lid_cache_, scratch,
+                std::forward<Fn>(fn));
+  }
+
+  /// Combined hit/miss accounting of the out- and in-sweep lid caches.
+  LidCacheStats lid_cache_stats() const {
+    LidCacheStats s;
+    for (const LidCache* c : {&out_lid_cache_, &in_lid_cache_}) {
+      s.hits += c->hits;
+      s.misses += c->misses;
+      s.cached_lids += c->cached_lids;
+      s.cached_chunks += c->cached_chunks;
+    }
+    return s;
   }
 
   /// F_i.I membership for an inner vertex.
@@ -181,13 +260,88 @@ class Fragment {
 
   /// All inner global ids (sorted). V_i.
   std::span<const VertexId> inner_vertices() const { return inner_; }
-  /// All outer-copy global ids (sorted). F_i.O.
+  /// All outer-copy global ids (sorted). F_i.O — widened with F_i.I' on
+  /// pull-enabled partitions.
   std::span<const VertexId> outer_vertices() const { return outer_; }
   /// Remote sources with an edge into this fragment (sorted). F_i.I'.
   std::span<const VertexId> remote_sources() const { return iprime_; }
 
  private:
   friend struct PartitionBuilderAccess;
+
+  /// Per-chunk memoised translation cache: chunk k's entry holds the local
+  /// ids of every arc target of this fragment's inner vertices inside the
+  /// window, in sweep order, so repeat sweeps replace the per-arc
+  /// placement-lookup / outer binary search with one array read. Entries are
+  /// built on the first acquisition of a window and kept until the budget is
+  /// full (never evicted: sweeps scan chunks sequentially, which thrashes an
+  /// LRU — a stable prefix of cached chunks is strictly better). 4 bytes per
+  /// cached arc, a quarter of the 16-byte arc records whose re-translation
+  /// it saves.
+  struct LidCache {
+    std::vector<std::vector<LocalVertex>> per_chunk;
+    uint64_t budget = 0;  // max cached lids; 0 disables the cache
+    uint64_t cached_lids = 0;
+    uint64_t cached_chunks = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  /// Returns chunk k's lid entry, building it on first use, or nullptr when
+  /// the cache is disabled/full (callers then translate directly). `l0` is
+  /// the first inner local id inside the window, `window_end` its global
+  /// end; `offs` the matching local CSR offsets (out or in).
+  std::vector<LocalVertex>* LidWindow(const ChunkedArcSource& src,
+                                      std::span<const uint64_t> offs,
+                                      LidCache& cache, size_t k,
+                                      LocalVertex l0, VertexId window_end,
+                                      bool* prebuilt) const;
+
+  /// Shared chunk-windowed streaming sweep over `src` (the forward view for
+  /// out-sweeps, the transpose view for in-sweeps). `offs` must be the local
+  /// CSR offsets matching the view's degrees.
+  template <typename Fn>
+  void StreamSweep(const ChunkedArcSource& src, std::span<const uint64_t> offs,
+                   LidCache& cache, std::vector<LocalArc>& scratch,
+                   Fn&& fn) const {
+    const LocalVertex ni = num_inner();
+    LocalVertex l = 0;
+    while (l < ni) {
+      const size_t k = src.ChunkOf(inner_[l]);
+      const VertexId window_end = src.chunk(k).end;
+      const LocalVertex l0 = l;
+      bool acquired = false;
+      bool prebuilt = false;
+      std::vector<LocalVertex>* lids = nullptr;
+      ChunkedArcSource::Chunk c;
+      for (; l < ni && inner_[l] < window_end; ++l) {
+        fn(l, [&]() -> std::span<const LocalArc> {
+          if (!acquired) {
+            c = src.Acquire(k);
+            acquired = true;
+            lids = LidWindow(src, offs, cache, k, l0, window_end, &prebuilt);
+          }
+          if (lids == nullptr) {
+            cache.misses += src.view().OutDegree(inner_[l]);
+            return TranslateFrom(src.view(), inner_[l], scratch);
+          }
+          const auto arcs = src.view().OutEdges(inner_[l]);
+          if (prebuilt) cache.hits += arcs.size();
+          const uint64_t base = offs[l] - offs[l0];
+          scratch.clear();
+          scratch.reserve(arcs.size());
+          for (size_t i = 0; i < arcs.size(); ++i) {
+            const LocalVertex lid = (*lids)[base + i];
+            if (lid == kInvalidLocal) continue;  // unknown target: drop
+            scratch.push_back(LocalArc{lid, arcs[i].weight});
+          }
+          return {scratch.data(), scratch.size()};
+        });
+      }
+      if (acquired) src.Release(c);
+    }
+  }
+
   FragmentId id_ = 0;
   std::vector<VertexId> inner_;
   std::vector<VertexId> outer_;
@@ -196,11 +350,22 @@ class Fragment {
   std::vector<LocalArc> arcs_;      // empty in streaming mode
   std::vector<uint8_t> in_i_;       // indexed by inner local id
   std::vector<uint8_t> in_oprime_;  // indexed by inner local id
-  // Streaming mode: the shared arc source plus views of the owning
+  // Pull-mode: local in-CSR of inner vertices (offsets always, arcs only
+  // when materialised).
+  bool has_in_adj_ = false;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<LocalArc> in_arcs_;  // empty when in-arcs stream
+  // Streaming mode: the shared arc source(s) plus views of the owning
   // partition's placement / owner-lid indexes (valid while it lives).
   const ChunkedArcSource* arc_source_ = nullptr;
+  const ChunkedArcSource* in_arc_source_ = nullptr;
   std::span<const FragmentId> placement_;
   std::span<const LocalVertex> owner_lid_;
+  // Memoised translation caches. Mutable with the same single-writer
+  // discipline as program state: only the thread holding this fragment's
+  // round claim touches them (the claim handoff orders the accesses).
+  mutable LidCache out_lid_cache_;
+  mutable LidCache in_lid_cache_;
 };
 
 /// One resolved routing destination: the receiving fragment and the vertex's
@@ -220,7 +385,8 @@ struct FragmentRouting {
   std::vector<RouteTarget> owner;
   /// CSR of owner-broadcast targets per local vertex: the fragments (other
   /// than self and owner) holding a copy of the vertex, with local ids.
-  /// Used when C_i = F_i.O ∪ F_i.I (kOwnerBroadcast programs, e.g. CF).
+  /// Used when C_i = F_i.O ∪ F_i.I (kOwnerBroadcast programs, e.g. CF and
+  /// the pull-mode programs, whose readers hold copies of their in-sources).
   std::vector<uint32_t> copy_offsets;  // size num_local + 1
   std::vector<RouteTarget> copy_targets;
 
@@ -272,6 +438,9 @@ struct Partition {
   /// `routing`.
   void Recipients(VertexId v, FragmentId from, bool to_copies,
                   std::vector<FragmentId>* out) const;
+
+  /// Sum of every fragment's lid-cache counters (bench/stress reporting).
+  LidCacheStats TotalLidCacheStats() const;
 };
 
 /// Partition quality metrics (Section 7, Exp-4).
@@ -281,7 +450,7 @@ struct PartitionMetrics {
   uint64_t total_border = 0;     // sum of |F_i.O|
 };
 
-/// Out-of-core build options.
+/// Out-of-core / pull-mode build options.
 struct PartitionOptions {
   /// When set, fragments skip materialising their per-fragment arc arrays —
   /// the only partition structure proportional to |E| — and stream adjacency
@@ -290,9 +459,39 @@ struct PartitionOptions {
   /// built over and must outlive the partition (as must the Partition object
   /// itself: streaming fragments reference its placement / owner-lid
   /// arrays). Programs must reach adjacency through Fragment::Adjacency or
-  /// Fragment::SweepInnerAdjacency (PageRank, CC, SSSP and BFS do);
+  /// Fragment::SweepInnerAdjacency (PageRank, CC, SSSP, BFS and CF do);
   /// Fragment::OutEdges is unavailable on streaming fragments.
   const ChunkedArcSource* arc_source = nullptr;
+
+  /// Pull-mode: the transpose of the partitioned view (in-arcs exposed as
+  /// the out-CSR of the reverse graph — MmapGraph::TransposeView() or
+  /// TransposeGraph(g).View()). Fragments then also carry the in-adjacency
+  /// of their inner vertices (materialised local in-arcs unless
+  /// `in_arc_source` streams them) and the outer-copy set is widened with
+  /// the remote in-edge sources F_i.I', so pull programs receive their
+  /// values through the normal owner-broadcast routing. The transpose's
+  /// backing storage must outlive the build (and the partition, when
+  /// streaming). Partitions built this way are meant for pull programs;
+  /// push programs still run correctly but ship some unread copy updates.
+  const GraphView* in_adjacency = nullptr;
+
+  /// Streaming pull-mode: chunked source wrapping the transpose view (takes
+  /// the place of `in_adjacency`, which may then be omitted); in-arcs are
+  /// translated on the fly instead of materialised. Same lifetime rules as
+  /// `arc_source`.
+  const ChunkedArcSource* in_arc_source = nullptr;
+
+  /// Per-fragment, per-direction cap on the memoised outer-lid cache that
+  /// streaming sweeps build (translated local ids per chunk, resolved once
+  /// on first acquisition and reused across sweeps). Counted in cached lids
+  /// (4 bytes each — a quarter of the 16-byte arc records the cache saves
+  /// re-translating). The default auto-scales to 32x the source's effective
+  /// chunk budget, so out-of-core runs stay memory-bounded by a constant
+  /// multiple of the window they asked for while graphs within that
+  /// footprint get full cross-sweep reuse; 0 disables, any other value is
+  /// taken literally (pass a huge one to memoise everything).
+  static constexpr uint64_t kLidCacheAuto = UINT64_MAX;
+  uint64_t lid_cache_arcs = kLidCacheAuto;
 };
 
 /// Builds fragments + routing index from a vertex->fragment assignment.

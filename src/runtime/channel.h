@@ -6,6 +6,7 @@
 #ifndef GRAPEPLUS_RUNTIME_CHANNEL_H_
 #define GRAPEPLUS_RUNTIME_CHANNEL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -49,6 +50,25 @@ class NotifyHub {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
                  [&] { return epoch_ != seen_epoch; });
+    return epoch_;
+  }
+
+  /// Sub-millisecond-precision timed wait: blocks until notified after
+  /// `seen_epoch` or `seconds` elapses (clamped to >= 0). The threaded
+  /// engine sleeps exactly until the earliest worker wake deadline with
+  /// this, instead of polling on a coarse capped timeout.
+  uint64_t WaitForSeconds(uint64_t seen_epoch, double seconds) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::duration<double>(std::max(seconds, 0.0)),
+                 [&] { return epoch_ != seen_epoch; });
+    return epoch_;
+  }
+
+  /// Untimed wait: blocks until notified after `seen_epoch`. Callers must
+  /// guarantee that every state change they care about rings the hub.
+  uint64_t Wait(uint64_t seen_epoch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return epoch_ != seen_epoch; });
     return epoch_;
   }
 

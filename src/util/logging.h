@@ -64,7 +64,16 @@ struct Voidify {
     GRAPE_CHECK(_s.ok()) << _s.ToString();              \
   } while (0)
 
+// Debug-only check: full GRAPE_CHECK in debug builds, compiled out (condition
+// unevaluated, zero runtime cost) under NDEBUG. Hot paths may therefore not
+// rely on a GRAPE_DCHECK for Release-mode correctness — anything a caller can
+// trigger with bad input needs explicit handling (e.g. Fragment::LocalTarget
+// returns kInvalidLocal instead of trusting its lookup to be guarded).
+#ifdef NDEBUG
+#define GRAPE_DCHECK(cond) GRAPE_CHECK(true || (cond))
+#else
 #define GRAPE_DCHECK(cond) GRAPE_CHECK(cond)
+#endif
 
 }  // namespace grape
 

@@ -260,13 +260,13 @@ TEST(CfUnit, TrainingReducesRmse) {
   CfSetup s = MakeCfSetup(4);
   CfProgram::Options opts;
   opts.max_epochs = 25;
-  CfProgram prog(&s.graph, opts);
+  CfProgram prog(s.graph, opts);
   const double untrained = InitialRmse(s.graph, prog);
   EngineConfig cfg;
   cfg.mode = ModeConfig::Aap();
   cfg.mode.bounded_staleness = true;
   cfg.mode.staleness_bound = 3;
-  SimEngine<CfProgram> engine(s.partition, CfProgram(&s.graph, opts), cfg);
+  SimEngine<CfProgram> engine(s.partition, CfProgram(s.graph, opts), cfg);
   auto r = engine.Run();
   ASSERT_TRUE(r.converged);
   EXPECT_LT(r.result.train_rmse, 0.5 * untrained);
@@ -281,7 +281,7 @@ TEST(CfUnit, BoundedStalenessKeepsWorkersClose) {
   EngineConfig cfg;
   cfg.mode = ModeConfig::Ssp(2);
   cfg.speed_factors = {1.0, 1.0, 1.0, 5.0};  // one slow worker
-  SimEngine<CfProgram> engine(s.partition, CfProgram(&s.graph, opts), cfg);
+  SimEngine<CfProgram> engine(s.partition, CfProgram(s.graph, opts), cfg);
   auto r = engine.Run();
   ASSERT_TRUE(r.converged);
   // Under SSP(c=2) epochs of any two workers differ by at most c+1 at any
@@ -297,7 +297,7 @@ TEST(CfUnit, BoundedStalenessKeepsWorkersClose) {
 
 TEST(CfUnit, TrainTestSplitIsStable) {
   CfSetup s = MakeCfSetup(2);
-  CfProgram prog(&s.graph);
+  CfProgram prog(s.graph);
   uint64_t train = 0, total = 0;
   for (VertexId u = 0; u < s.graph.num_vertices(); ++u) {
     if (!s.graph.IsLeft(u)) continue;
@@ -318,7 +318,7 @@ TEST(CfUnit, CopiesConvergeToOwnerFactors) {
   opts.max_epochs = 10;
   EngineConfig cfg;
   cfg.mode = ModeConfig::Bsp();
-  SimEngine<CfProgram> engine(s.partition, CfProgram(&s.graph, opts), cfg);
+  SimEngine<CfProgram> engine(s.partition, CfProgram(s.graph, opts), cfg);
   auto r = engine.Run();
   ASSERT_TRUE(r.converged);
   // The assembled model has one factor per vertex (owners win); training

@@ -1,0 +1,190 @@
+// Pull-mode (reverse-edge) execution tests: pull-enabled partitions widen
+// the outer-copy set with remote in-edge sources, PageRankPullProgram
+// reaches the push program's fixed point, and pull execution is
+// bit-identical between materialised in-arcs and streaming off the
+// transpose — both the in-memory transpose and the mmapped `.gcsr`
+// in-adjacency extension (MmapGraph::TransposeView) — across chunk budgets
+// and in both engines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algos/pagerank.h"
+#include "algos/pagerank_pull.h"
+#include "core/sim_engine.h"
+#include "core/threaded_engine.h"
+#include "graph/chunked_arc_source.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/store/gcsr_store.h"
+#include "partition/partitioner.h"
+
+namespace grape {
+namespace {
+
+std::string TmpPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Graph TestGraph() {
+  RmatOptions o;
+  o.num_vertices = 1500;
+  o.num_edges = 9000;
+  o.directed = true;
+  o.weighted = true;
+  o.seed = 42;
+  return MakeRmat(o);
+}
+
+template <typename Program>
+typename Program::ResultT RunSim(const Partition& p, Program prog) {
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  SimEngine<Program> engine(p, std::move(prog), cfg);
+  auto r = engine.Run();
+  EXPECT_TRUE(r.converged);
+  return std::move(r.result);
+}
+
+TEST(PullPartition, OuterSetGainsRemoteInSources) {
+  Graph g = TestGraph();
+  const FragmentId m = 4;
+  auto placement = HashPartitioner().Assign(g, m);
+  Partition push = BuildPartition(g, placement, m);
+  Graph t = TransposeGraph(g);
+  GraphView tv = t.View();
+  PartitionOptions opts;
+  opts.in_adjacency = &tv;
+  Partition pull = BuildPartition(g, placement, m, nullptr, opts);
+
+  for (FragmentId i = 0; i < m; ++i) {
+    const Fragment& fp = pull.fragments[i];
+    ASSERT_TRUE(fp.has_in_adjacency());
+    // Every remote in-source is now an outer copy (readable locally) …
+    for (VertexId u : fp.remote_sources()) {
+      const LocalVertex l = fp.LocalId(u);
+      ASSERT_NE(l, Fragment::kInvalidLocal) << "I' vertex " << u;
+      EXPECT_FALSE(fp.IsInner(l));
+    }
+    // … and the widened set is a superset of the push partition's outer.
+    const auto& push_outer = push.fragments[i].outer_vertices();
+    EXPECT_TRUE(std::includes(fp.outer_vertices().begin(),
+                              fp.outer_vertices().end(), push_outer.begin(),
+                              push_outer.end()));
+    // In-degrees match the transpose.
+    uint64_t in_arcs = 0;
+    for (LocalVertex l = 0; l < fp.num_inner(); ++l) {
+      EXPECT_EQ(fp.InDegree(l), tv.OutDegree(fp.GlobalId(l)));
+      in_arcs += fp.InDegree(l);
+    }
+    EXPECT_EQ(in_arcs, fp.num_in_arcs());
+  }
+}
+
+TEST(PullPageRank, MatchesPushFixedPointAndGroundTruth) {
+  Graph g = TestGraph();
+  const FragmentId m = 4;
+  auto placement = HashPartitioner().Assign(g, m);
+  Graph t = TransposeGraph(g);
+  GraphView tv = t.View();
+  PartitionOptions opts;
+  opts.in_adjacency = &tv;
+  Partition pull = BuildPartition(g, placement, m, nullptr, opts);
+  Partition push = BuildPartition(g, placement, m);
+
+  const auto pull_scores = RunSim(pull, PageRankPullProgram(0.85, 1e-10));
+  const auto push_scores = RunSim(push, PageRankProgram(0.85, 1e-12));
+  const auto truth = seq::PageRank(g, 0.85, 1e-12);
+  ASSERT_EQ(pull_scores.size(), truth.size());
+  for (size_t v = 0; v < truth.size(); ++v) {
+    EXPECT_NEAR(pull_scores[v], truth[v], 1e-5) << "v=" << v;
+    EXPECT_NEAR(pull_scores[v], push_scores[v], 1e-5) << "v=" << v;
+  }
+}
+
+class PullStreamingEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PullStreamingEquivalence, BitIdenticalAcrossModesAndBackends) {
+  const uint64_t budget = GetParam();
+  Graph g = TestGraph();
+  const std::string path = TmpPath("pull_eq.gcsr");
+  ASSERT_TRUE(
+      SaveBinary(g, path, SaveOptions{.include_in_adjacency = true}).ok());
+  auto mapped = MmapGraph::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_TRUE(mapped.value().has_in_adjacency());
+
+  const FragmentId m = 4;
+  auto placement = HashPartitioner().Assign(g, m);
+
+  // Reference: materialised in-arcs from the in-memory transpose.
+  Graph t = TransposeGraph(g);
+  GraphView tv = t.View();
+  PartitionOptions mem_opts;
+  mem_opts.in_adjacency = &tv;
+  Partition pull_mem = BuildPartition(g, placement, m, nullptr, mem_opts);
+
+  // Streaming over the in-memory transpose.
+  ChunkedArcSource mem_in_src(tv, budget);
+  PartitionOptions stream_mem_opts;
+  stream_mem_opts.in_arc_source = &mem_in_src;
+  Partition pull_stream_mem =
+      BuildPartition(g, placement, m, nullptr, stream_mem_opts);
+
+  // Fully out-of-core: forward arcs and in-arcs stream off the store; the
+  // in-arcs come from the zero-copy TransposeView.
+  const GraphView rview = mapped.value().View();
+  ChunkedArcSource fwd_src(mapped.value(), budget);
+  ChunkedArcSource map_in_src(mapped.value().TransposeView(), budget,
+                              ChunkedArcSource::Backend::kMapped);
+  PartitionOptions stream_map_opts;
+  stream_map_opts.arc_source = &fwd_src;
+  stream_map_opts.in_arc_source = &map_in_src;
+  Partition pull_stream_map =
+      BuildPartition(rview, placement, m, nullptr, stream_map_opts);
+
+  const PageRankPullProgram prog(0.85, 1e-8);
+  const auto ref = RunSim(pull_mem, prog);
+  EXPECT_EQ(ref, RunSim(pull_stream_mem, prog));
+  EXPECT_EQ(ref, RunSim(pull_stream_map, prog));
+
+  // One in-window at a time per fragment in the sim engine.
+  EXPECT_LE(map_in_src.peak_resident_arcs(), map_in_src.effective_budget());
+  EXPECT_EQ(map_in_src.resident_arcs(), 0u);
+  EXPECT_EQ(fwd_src.resident_arcs(), 0u);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkBudgets, PullStreamingEquivalence,
+                         ::testing::Values(uint64_t{1}, uint64_t{113},
+                                           uint64_t{1} << 30));
+
+TEST(PullThreaded, StreamingPullMatchesGroundTruth) {
+  Graph g = TestGraph();
+  const FragmentId m = 6;
+  auto placement = HashPartitioner().Assign(g, m);
+  Graph t = TransposeGraph(g);
+  ChunkedArcSource in_src(t.View(), 97);
+  PartitionOptions opts;
+  opts.in_arc_source = &in_src;
+  Partition p = BuildPartition(g, placement, m, nullptr, opts);
+
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  cfg.num_threads = 3;  // virtual workers > physical threads
+  ThreadedEngine<PageRankPullProgram> engine(
+      p, PageRankPullProgram(0.85, 1e-10), cfg);
+  auto r = engine.Run();
+  EXPECT_TRUE(r.converged);
+  const auto truth = seq::PageRank(g, 0.85, 1e-12);
+  for (size_t v = 0; v < truth.size(); ++v) {
+    ASSERT_NEAR(r.result[v], truth[v], 1e-5) << "v=" << v;
+  }
+  EXPECT_EQ(in_src.resident_arcs(), 0u);
+}
+
+}  // namespace
+}  // namespace grape

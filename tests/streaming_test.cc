@@ -1,8 +1,10 @@
 // Tests for the out-of-core execution path: ChunkedArcSource chunk plans
 // and residency accounting, bit-identical streaming-vs-materialised PIE
-// execution (CC / PageRank / SSSP / BFS) across chunk budgets — including
-// budget 1 and larger-than-graph — on both the in-memory and the
-// mmap-backed source, and the threaded engine over streaming fragments.
+// execution (CC / PageRank / SSSP / BFS / CF) across chunk budgets —
+// including budget 1 and larger-than-graph — on both the in-memory and the
+// mmap-backed source, the threaded engine over streaming fragments, the
+// memoised outer-lid cache's hit accounting, and the Release-mode guarantee
+// that unknown global ids translate to kInvalidLocal instead of garbage.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -12,6 +14,7 @@
 
 #include "algos/bfs.h"
 #include "algos/cc.h"
+#include "algos/cf.h"
 #include "algos/pagerank.h"
 #include "algos/sssp.h"
 #include "core/sim_engine.h"
@@ -172,6 +175,177 @@ TEST_P(StreamingEquivalence, BitIdenticalAcrossModesAndBackends) {
 INSTANTIATE_TEST_SUITE_P(ChunkBudgets, StreamingEquivalence,
                          ::testing::Values(uint64_t{1}, uint64_t{113},
                                            uint64_t{1} << 30));
+
+TEST_P(StreamingEquivalence, CfTrainsBitIdenticallyAcrossModesAndBackends) {
+  // CF reaches adjacency through the same mode-independent sweep now: SGD
+  // over streaming fragments must visit the identical training edges in the
+  // identical order and land on bit-identical factors.
+  const uint64_t budget = GetParam();
+  BipartiteOptions o;
+  o.num_users = 300;
+  o.num_items = 40;
+  o.num_ratings = 6000;
+  o.seed = 31;
+  Graph g = MakeBipartiteRatings(o);
+  const std::string path = TmpPath("streaming_cf.gcsr");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  auto mapped = MmapGraph::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_TRUE(mapped.value().View().is_bipartite());
+
+  const FragmentId m = 4;
+  auto placement = HashPartitioner().Assign(g, m);
+  Partition mem = BuildPartition(g, placement, m);
+  ChunkedArcSource mem_src(g.View(), budget);
+  ChunkedArcSource map_src(mapped.value(), budget);
+  PartitionOptions mem_opts{.arc_source = &mem_src};
+  PartitionOptions map_opts{.arc_source = &map_src};
+  Partition stream_mem = BuildPartition(g, placement, m, nullptr, mem_opts);
+  Partition stream_map =
+      BuildPartition(mapped.value().View(), placement, m, nullptr, map_opts);
+
+  CfProgram::Options opts;
+  opts.max_epochs = 8;
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  cfg.mode.bounded_staleness = true;
+  cfg.mode.staleness_bound = 3;
+  const auto run = [&](const Partition& p, const GraphView& view) {
+    SimEngine<CfProgram> engine(p, CfProgram(view, opts), cfg);
+    auto r = engine.Run();
+    EXPECT_TRUE(r.converged);
+    return std::move(r.result);
+  };
+  const CfModel ref = run(mem, g);
+  const CfModel from_stream = run(stream_mem, g);
+  const CfModel from_map = run(stream_map, mapped.value().View());
+  EXPECT_GT(ref.total_epochs, 0u);
+  EXPECT_EQ(ref.factors, from_stream.factors);
+  EXPECT_EQ(ref.factors, from_map.factors);
+  EXPECT_EQ(ref.train_rmse, from_stream.train_rmse);
+  EXPECT_EQ(ref.train_rmse, from_map.train_rmse);
+  EXPECT_EQ(ref.test_rmse, from_map.test_rmse);
+  EXPECT_LE(map_src.peak_resident_arcs(), map_src.effective_budget());
+  EXPECT_EQ(map_src.resident_arcs(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(OuterLidCache, HitAccountingAcrossSweeps) {
+  Graph g = TestGraph();
+  const FragmentId m = 3;
+  auto placement = HashPartitioner().Assign(g, m);
+  ChunkedArcSource src(g.View(), 97);
+  PartitionOptions opts{.arc_source = &src};
+  Partition p = BuildPartition(g, placement, m, nullptr, opts);
+  Partition mem = BuildPartition(g, placement, m);
+
+  std::vector<LocalArc> scratch;
+  for (FragmentId i = 0; i < m; ++i) {
+    const Fragment& f = p.fragments[i];
+    const auto sweep = [&] {
+      uint64_t arcs = 0;
+      f.SweepInnerAdjacency(scratch, [&](LocalVertex, const auto& arcs_of) {
+        arcs += arcs_of().size();
+      });
+      return arcs;
+    };
+    // First sweep resolves every window once: all misses, nothing served
+    // from a pre-built entry yet.
+    const uint64_t arcs = sweep();
+    EXPECT_EQ(arcs, f.num_arcs());
+    const LidCacheStats s1 = f.lid_cache_stats();
+    EXPECT_EQ(s1.misses, f.num_arcs());
+    EXPECT_EQ(s1.hits, 0u);
+    EXPECT_EQ(s1.cached_lids, f.num_arcs());
+    // Repeat sweeps are pure cache hits — no re-translation.
+    EXPECT_EQ(sweep(), f.num_arcs());
+    EXPECT_EQ(sweep(), f.num_arcs());
+    const LidCacheStats s3 = f.lid_cache_stats();
+    EXPECT_EQ(s3.misses, f.num_arcs());
+    EXPECT_EQ(s3.hits, 2 * f.num_arcs());
+    EXPECT_EQ(s3.cached_lids, f.num_arcs());
+
+    // Cached sweeps keep serving the materialised build's exact arcs.
+    const Fragment& fm = mem.fragments[i];
+    LocalVertex expect_l = 0;
+    f.SweepInnerAdjacency(scratch, [&](LocalVertex l, const auto& arcs_of) {
+      ASSERT_EQ(l, expect_l++);
+      const auto got = arcs_of();
+      const auto expect = fm.OutEdges(l);
+      ASSERT_EQ(got.size(), expect.size());
+      for (size_t k = 0; k < got.size(); ++k) {
+        ASSERT_EQ(got[k].dst, expect[k].dst);
+        ASSERT_EQ(got[k].weight, expect[k].weight);
+      }
+    });
+  }
+}
+
+TEST(OuterLidCache, BudgetZeroDisablesAndCapsHold) {
+  Graph g = TestGraph();
+  const FragmentId m = 3;
+  auto placement = HashPartitioner().Assign(g, m);
+  ChunkedArcSource src(g.View(), 97);
+
+  PartitionOptions off{.arc_source = &src, .lid_cache_arcs = 0};
+  Partition p_off = BuildPartition(g, placement, m, nullptr, off);
+  std::vector<LocalArc> scratch;
+  const Fragment& f0 = p_off.fragments[0];
+  for (int s = 0; s < 2; ++s) {
+    f0.SweepInnerAdjacency(scratch, [&](LocalVertex, const auto& arcs_of) {
+      (void)arcs_of();
+    });
+  }
+  const LidCacheStats off_stats = f0.lid_cache_stats();
+  EXPECT_EQ(off_stats.hits, 0u);
+  EXPECT_EQ(off_stats.cached_lids, 0u);
+  EXPECT_EQ(off_stats.misses, 2 * f0.num_arcs());
+
+  // A partial budget caches a prefix of chunks and leaves the rest on the
+  // translate path: memoised lids never exceed the cap, repeat sweeps still
+  // hit on the cached prefix.
+  PartitionOptions capped{.arc_source = &src,
+                          .lid_cache_arcs = p_off.fragments[0].num_arcs() / 2};
+  Partition p_cap = BuildPartition(g, placement, m, nullptr, capped);
+  const Fragment& fc = p_cap.fragments[0];
+  for (int s = 0; s < 2; ++s) {
+    fc.SweepInnerAdjacency(scratch, [&](LocalVertex, const auto& arcs_of) {
+      (void)arcs_of();
+    });
+  }
+  const LidCacheStats cap_stats = fc.lid_cache_stats();
+  EXPECT_LE(cap_stats.cached_lids, capped.lid_cache_arcs);
+  EXPECT_GT(cap_stats.cached_lids, 0u);
+  EXPECT_GE(cap_stats.hits, cap_stats.cached_lids);  // ≥ one full reuse
+  EXPECT_GT(cap_stats.misses, fc.num_arcs());        // uncached tail re-pays
+}
+
+TEST(StreamingFragment, UnknownGlobalIdsTranslateToInvalid) {
+  // Release-mode regression: LocalTarget used to guard unknown ids with a
+  // debug-only check and computed a garbage local id when it compiled out
+  // (out-of-bounds state writes downstream). Unknown ids — remote vertices
+  // that are not outer copies, or ids past the vertex range — must map to
+  // kInvalidLocal in every build mode.
+  GraphBuilder b(4, true);
+  b.AddEdge(0, 1, 1.0);  // internal to fragment 0
+  b.AddEdge(2, 3, 1.0);  // internal to fragment 1
+  Graph g = std::move(b).Build();
+  ChunkedArcSource src(g.View(), 2);
+  PartitionOptions opts{.arc_source = &src};
+  Partition p = BuildPartition(g, {0, 0, 1, 1}, 2, nullptr, opts);
+
+  const Fragment& f0 = p.fragments[0];
+  ASSERT_EQ(f0.num_outer(), 0u);  // no cut edges: nothing to resolve to
+  EXPECT_EQ(f0.LocalTarget(2), Fragment::kInvalidLocal);  // remote, not outer
+  EXPECT_EQ(f0.LocalTarget(3), Fragment::kInvalidLocal);
+  EXPECT_EQ(f0.LocalTarget(1000), Fragment::kInvalidLocal);  // out of range
+  EXPECT_EQ(f0.LocalTarget(0), 0u);  // sanity: known ids still resolve
+  EXPECT_EQ(f0.LocalId(1000), Fragment::kInvalidLocal);
+
+  // Valid graphs never produce unknown targets: translation drops nothing.
+  std::vector<LocalArc> scratch;
+  EXPECT_EQ(f0.Adjacency(0, scratch).size(), 1u);
+}
 
 TEST(StreamingThreaded, CcMatchesSequentialGroundTruth) {
   // CC is the paper's undirected workload (cid flows copy -> owner, which

@@ -54,6 +54,19 @@ GATES = [
      ("streaming.cc_inmem_sec", "streaming.cc_stream_sec"), 0.5),
     ("ingest", "streaming.pagerank_stream_over_inmem", "lower",
      ("streaming.pagerank_inmem_sec", "streaming.pagerank_stream_sec"), 0.5),
+    ("ingest", "streaming.pagerank_pull_stream_over_inmem", "lower",
+     ("streaming.pagerank_pull_inmem_sec",
+      "streaming.pagerank_pull_stream_sec"), 0.5),
+    ("ingest", "streaming.cf_stream_over_inmem", "lower",
+     ("streaming.cf_inmem_sec", "streaming.cf_stream_sec"), 0.5),
+    # The memoised outer-lid cache must keep paying for itself: repeat
+    # streaming sweeps with the cache on vs off (same run, same box). Both
+    # timings are guarded, so smoke-scale noise skips rather than flaps,
+    # and the ratio mixes page-fault timing like the other streaming
+    # gates, so it gets the same wider 0.5 band.
+    ("ingest", "streaming.lid_cache.speedup", "higher",
+     ("streaming.pagerank_stream_nocache_sec",
+      "streaming.pagerank_stream_sec"), 0.5),
 ]
 
 # Boolean fields that must be true in the fresh results, regardless of
@@ -62,6 +75,9 @@ REQUIRED_TRUE = [
     ("ingest", "consistent"),
     ("ingest", "streaming.identical"),
     ("ingest", "streaming.within_budget"),
+    ("ingest", "streaming.pull_identical"),
+    ("ingest", "streaming.cf_identical"),
+    ("ingest", "streaming.lid_cache.nocache_identical"),
 ]
 
 MIN_GUARD_SEC = 0.1
@@ -116,7 +132,10 @@ def main():
         if fresh_v is None:
             failures.append(f"{which}:{path} missing from fresh results")
             continue
-        guard_values = [lookup(fresh[which], g) or 0.0 for g in guards]
+        guard_values = []
+        for g in guards:
+            gv = lookup(fresh[which], g)
+            guard_values.append(gv if isinstance(gv, (int, float)) else 0.0)
         if guards and min(guard_values) < MIN_GUARD_SEC:
             print(f"  SKIP {which}:{path} (a timing of "
                   f"{min(guard_values):.3f}s is below the noise floor "
@@ -128,9 +147,15 @@ def main():
             rel = ">="
             against = "absolute floor"
         else:
-            if base_v is None:
-                # Baseline predates this metric; nothing to compare yet.
-                print(f"  SKIP {which}:{path} (no baseline)")
+            # A baseline that predates this metric (e.g. a freshly added
+            # BENCH section with no committed smoke baseline yet), carries a
+            # non-numeric value, or recorded a zero ratio (meaningless as a
+            # relative bound and a division-free footgun) cannot gate: warn
+            # and skip instead of crashing or failing the build.
+            if not isinstance(base_v, (int, float)) or base_v == 0:
+                print(f"  SKIP {which}:{path} (baseline metric missing or "
+                      f"zero: {base_v!r}; commit a refreshed baseline to "
+                      f"gate it)")
                 continue
             threshold = override if override is not None else args.threshold
             if direction == "higher":
