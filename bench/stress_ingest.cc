@@ -29,6 +29,7 @@
 // smoke via --vertices=65536 --edges=524288.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -37,6 +38,7 @@
 #include <vector>
 
 #include "algos/cc.h"
+#include "algos/cc_pull.h"
 #include "algos/cf.h"
 #include "algos/pagerank.h"
 #include "algos/pagerank_pull.h"
@@ -588,6 +590,85 @@ int RunStress(int argc, char** argv) {
               t_cf_mem > 0 ? t_cf_stream / t_cf_mem : 0.0,
               cf_identical ? "IDENTICAL" : "MISMATCH");
 
+  // ---- adaptive direction: push vs pull vs auto A/B ----------------------
+  // One pull-enabled partition (materialised in-arcs off an in-memory
+  // transpose) serves all three policies of the dual-mode programs. The
+  // acceptance bar: auto must never be >5% slower than the better pure
+  // direction, while pagerank stays fixed-point-equal and the label CC
+  // lands on identical labels across directions.
+  double t_dpr_push = 0, t_dpr_pull = 0, t_dpr_auto = 0;
+  double t_dcc_push = 0, t_dcc_pull = 0, t_dcc_auto = 0;
+  bool pr_dir_equal = false, cc_dir_identical = false;
+  double pr_auto_over_best = 0, cc_auto_over_best = 0;
+  uint64_t auto_push_rounds = 0, auto_pull_rounds = 0, auto_switches = 0;
+  {
+    Graph dir_transpose = TransposeGraph(view);
+    GraphView dtv = dir_transpose.View();
+    PartitionOptions dopts;
+    dopts.in_adjacency = &dtv;
+    Partition dp = BuildPartition(view, placement, frags, &pool, dopts);
+    const auto run_dir = [&](auto prog, DirectionConfig::Mode mode,
+                             double* sec, RunStats* stats) {
+      using Prog = decltype(prog);
+      EngineConfig dcfg = ecfg;
+      dcfg.direction.mode = mode;
+      const double start = Now();
+      auto r = SimEngine<Prog>(dp, std::move(prog), dcfg).Run();
+      *sec = Now() - start;
+      if (stats != nullptr) *stats = std::move(r.stats);
+      return std::move(r.result);
+    };
+    RunStats pr_auto_stats;
+    const PageRankProgram dir_pr(0.85, 1e-4);
+    const auto pr_push = run_dir(dir_pr, DirectionConfig::Mode::kPush,
+                                 &t_dpr_push, nullptr);
+    const auto pr_pull = run_dir(dir_pr, DirectionConfig::Mode::kPull,
+                                 &t_dpr_pull, nullptr);
+    const auto pr_auto = run_dir(dir_pr, DirectionConfig::Mode::kAuto,
+                                 &t_dpr_auto, &pr_auto_stats);
+    auto_push_rounds = pr_auto_stats.total_push_rounds();
+    auto_pull_rounds = pr_auto_stats.total_pull_rounds();
+    auto_switches = pr_auto_stats.total_direction_switches();
+    // Each policy stops at its own tol-fixpoint: every vertex may park up
+    // to tol of residual mass, and the |V|·tol total lands preferentially
+    // on the hubs — so the cross-mode bound is relative to the score, not
+    // absolute.
+    double max_diff = 0;
+    for (size_t v = 0; v < pr_push.size(); ++v) {
+      const double scale = std::abs(pr_push[v]) + 1.0;
+      max_diff = std::max(max_diff,
+                          std::abs(pr_push[v] - pr_pull[v]) / scale);
+      max_diff = std::max(max_diff,
+                          std::abs(pr_push[v] - pr_auto[v]) / scale);
+    }
+    pr_dir_equal = max_diff <= 1e-3;
+    pr_auto_over_best = t_dpr_auto / std::min(t_dpr_push, t_dpr_pull);
+    const auto cc_push = run_dir(CcPullProgram{}, DirectionConfig::Mode::kPush,
+                                 &t_dcc_push, nullptr);
+    const auto cc_pull = run_dir(CcPullProgram{}, DirectionConfig::Mode::kPull,
+                                 &t_dcc_pull, nullptr);
+    const auto cc_auto = run_dir(CcPullProgram{}, DirectionConfig::Mode::kAuto,
+                                 &t_dcc_auto, nullptr);
+    cc_dir_identical = cc_push == cc_pull && cc_push == cc_auto;
+    cc_auto_over_best = t_dcc_auto / std::min(t_dcc_push, t_dcc_pull);
+    ok = ok && pr_dir_equal && cc_dir_identical;
+    std::printf(
+        "direction pr    %8.2fs push  %8.2fs pull  %8.2fs auto "
+        "(auto/best %.2fx, max rel diff %.1e)  %s\n",
+        t_dpr_push, t_dpr_pull, t_dpr_auto, pr_auto_over_best, max_diff,
+        pr_dir_equal ? "FIXPOINT-EQUAL" : "MISMATCH");
+    std::printf(
+        "direction cc    %8.2fs push  %8.2fs pull  %8.2fs auto "
+        "(auto/best %.2fx)  %s\n",
+        t_dcc_push, t_dcc_pull, t_dcc_auto, cc_auto_over_best,
+        cc_dir_identical ? "IDENTICAL" : "MISMATCH");
+    std::printf(
+        "direction auto  %llu push / %llu pull rounds, %llu switches\n",
+        static_cast<unsigned long long>(auto_push_rounds),
+        static_cast<unsigned long long>(auto_pull_rounds),
+        static_cast<unsigned long long>(auto_switches));
+  }
+
   // ---- algorithms on the zero-copy view ----------------------------------
   t0 = Now();
   auto cc_mmap = seq::ConnectedComponents(view);
@@ -688,6 +769,27 @@ int RunStress(int argc, char** argv) {
   std::fprintf(f, "    \"identical\": %s,\n", identical ? "true" : "false");
   std::fprintf(f, "    \"within_budget\": %s\n",
                within_budget ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"direction\": {\n");
+  std::fprintf(f, "    \"pagerank_push_sec\": %.3f,\n", t_dpr_push);
+  std::fprintf(f, "    \"pagerank_pull_sec\": %.3f,\n", t_dpr_pull);
+  std::fprintf(f, "    \"pagerank_auto_sec\": %.3f,\n", t_dpr_auto);
+  std::fprintf(f, "    \"pagerank_auto_over_best\": %.3f,\n",
+               pr_auto_over_best);
+  std::fprintf(f, "    \"pagerank_fixpoint_equal\": %s,\n",
+               pr_dir_equal ? "true" : "false");
+  std::fprintf(f, "    \"cc_push_sec\": %.3f,\n", t_dcc_push);
+  std::fprintf(f, "    \"cc_pull_sec\": %.3f,\n", t_dcc_pull);
+  std::fprintf(f, "    \"cc_auto_sec\": %.3f,\n", t_dcc_auto);
+  std::fprintf(f, "    \"cc_auto_over_best\": %.3f,\n", cc_auto_over_best);
+  std::fprintf(f, "    \"cc_identical\": %s,\n",
+               cc_dir_identical ? "true" : "false");
+  std::fprintf(f, "    \"auto_push_rounds\": %llu,\n",
+               static_cast<unsigned long long>(auto_push_rounds));
+  std::fprintf(f, "    \"auto_pull_rounds\": %llu,\n",
+               static_cast<unsigned long long>(auto_pull_rounds));
+  std::fprintf(f, "    \"auto_switches\": %llu\n",
+               static_cast<unsigned long long>(auto_switches));
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"save_in_adjacency_sec\": %.3f,\n", t_save_inadj);
   std::fprintf(f, "  \"in_adjacency_file_mb\": %.1f,\n", inadj_mb);

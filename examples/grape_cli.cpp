@@ -8,13 +8,26 @@
 //
 // Flags:
 //   --algo=cc|sssp|bfs|pagerank      (default cc)
-//   --pull                           run PageRank in pull (gather) mode over
-//                                    the in-adjacency: zero-copy
+//   --direction=push|pull|auto       traversal direction for the dual-mode
+//                                    programs (pagerank, and cc via label
+//                                    propagation — giving the flag at all
+//                                    switches cc to the label program for
+//                                    every policy, so direction A/Bs
+//                                    compare performance, not algorithms;
+//                                    cc without the flag keeps union-find):
+//                                    push scatters the
+//                                    frontier's out-arcs, pull gathers over
+//                                    the in-adjacency, auto switches per
+//                                    round from the observed frontier
+//                                    density (Ligra-style, with
+//                                    hysteresis). pull/auto build a
+//                                    pull-enabled partition: zero-copy
 //                                    TransposeView on `.gcsr` inputs saved
 //                                    with --save-in-adjacency, an in-memory
 //                                    transpose otherwise; combines with
 //                                    --chunk-arcs for fully out-of-core
-//                                    reverse-edge streaming
+//                                    reverse-edge streaming. (Replaces the
+//                                    former --pull flag.)
 //   --graph=PATH | --gen=rmat|grid|smallworld  (default gen=rmat)
 //       *.gcsr inputs are memory-mapped (zero-copy binary store);
 //       anything else is parsed as edge-list text
@@ -48,8 +61,8 @@
 #include "algos/bfs.h"
 #include "graph/chunked_arc_source.h"
 #include "algos/cc.h"
+#include "algos/cc_pull.h"
 #include "algos/pagerank.h"
-#include "algos/pagerank_pull.h"
 #include "algos/sssp.h"
 #include "core/sim_engine.h"
 #include "graph/generators.h"
@@ -99,6 +112,13 @@ int RunAndReport(const Partition& p, Program prog, const EngineConfig& cfg,
   SimEngine<Program> engine(p, std::move(prog), cfg);
   auto r = engine.Run();
   std::printf("converged      %s\n", r.converged ? "yes" : "NO");
+  if constexpr (DualModeProgram<Program>) {
+    std::printf("direction      %llu push / %llu pull rounds, %llu switches\n",
+                static_cast<unsigned long long>(r.stats.total_push_rounds()),
+                static_cast<unsigned long long>(r.stats.total_pull_rounds()),
+                static_cast<unsigned long long>(
+                    r.stats.total_direction_switches()));
+  }
   std::printf("makespan       %.1f time units\n", r.stats.makespan);
   std::printf("rounds         %llu total, %llu max/worker\n",
               static_cast<unsigned long long>(r.stats.total_rounds()),
@@ -219,14 +239,34 @@ int main(int argc, char** argv) {
                      : std::make_unique<ChunkedArcSource>(view, chunk_arcs);
     popts.arc_source = arc_source.get();
   }
-  // Pull mode: feed BuildPartition the transpose — zero-copy off the store's
-  // in-adjacency extension when present, an in-memory transpose otherwise —
-  // streamed through a second chunked source when --chunk-arcs is set.
-  const bool pull = flags.count("pull") > 0;
-  if (pull && Get(flags, "algo", "cc") != "pagerank") {
-    std::fprintf(stderr, "--pull only applies to --algo=pagerank\n");
+  // Direction policy: pull and auto need the transpose — zero-copy off the
+  // store's in-adjacency extension when present, an in-memory transpose
+  // otherwise — streamed through a second chunked source when --chunk-arcs
+  // is set.
+  if (flags.count("pull") > 0) {
+    std::fprintf(stderr,
+                 "--pull was replaced by --direction=pull|auto (works with "
+                 "--algo=pagerank and --algo=cc)\n");
     return 1;
   }
+  const std::string algo = Get(flags, "algo", "cc");
+  // An explicit --direction selects the dual-mode program for cc (label
+  // propagation under every policy, so push/pull/auto A/Bs compare the
+  // same algorithm — the direction is purely a performance choice); cc
+  // without the flag keeps the classic union-find program.
+  const bool direction_given = flags.count("direction") > 0;
+  const std::string direction = Get(flags, "direction", "push");
+  if (direction != "push" && direction != "pull" && direction != "auto") {
+    std::fprintf(stderr, "--direction must be push, pull or auto\n");
+    return 1;
+  }
+  const bool dual_algo = algo == "pagerank" || algo == "cc";
+  if (direction_given && !dual_algo) {
+    std::fprintf(stderr, "--direction only applies to --algo=pagerank|cc\n");
+    return 1;
+  }
+  const bool dual_cc = algo == "cc" && direction_given;
+  const bool pull = direction != "push" && dual_algo;
   Graph transpose_storage;
   GraphView transpose_view;
   std::unique_ptr<ChunkedArcSource> in_arc_source;
@@ -256,11 +296,15 @@ int main(int argc, char** argv) {
               100.0 * metrics.edge_cut_fraction,
               chunk_arcs > 0 ? ", streaming arcs" : "",
               pull ? ", pull in-adjacency" : "");
+  if (dual_algo) std::printf("direction pol. %s\n", direction.c_str());
 
   // ---- engine ----
   EngineConfig cfg;
   cfg.mode = ParseMode(Get(flags, "mode", "aap"),
                        std::stoi(Get(flags, "staleness", "3")));
+  cfg.direction.mode = direction == "pull" ? DirectionConfig::Mode::kPull
+                       : direction == "auto" ? DirectionConfig::Mode::kAuto
+                                             : DirectionConfig::Mode::kPush;
   cfg.msg_latency = 1.0;
   cfg.work_unit_time = 0.01;
   cfg.min_round_time = 0.5;
@@ -275,7 +319,6 @@ int main(int argc, char** argv) {
   const bool gantt = flags.count("gantt") > 0;
   const VertexId source =
       static_cast<VertexId>(std::stoul(Get(flags, "source", "0")));
-  const std::string algo = Get(flags, "algo", "cc");
   if (algo == "sssp") {
     return RunAndReport(p, SsspProgram(source), cfg, gantt);
   }
@@ -283,10 +326,17 @@ int main(int argc, char** argv) {
     return RunAndReport(p, BfsProgram(source), cfg, gantt);
   }
   if (algo == "pagerank") {
-    if (pull) {
-      return RunAndReport(p, PageRankPullProgram(0.85, 1e-6), cfg, gantt);
-    }
+    // The dual-mode program serves every direction; the engine picks the
+    // kernel per round under --direction=auto.
     return RunAndReport(p, PageRankProgram(0.85, 1e-6), cfg, gantt);
+  }
+  // CC: label propagation whenever --direction was given (every policy
+  // runs the same algorithm, so A/Bing directions compares performance,
+  // not semantics — on directed inputs label propagation computes
+  // min-over-ancestors, not weak connectivity); the classic union-find
+  // program otherwise.
+  if (dual_cc) {
+    return RunAndReport(p, CcPullProgram{}, cfg, gantt);
   }
   return RunAndReport(p, CcProgram{}, cfg, gantt);
 }

@@ -1,0 +1,198 @@
+#include "algos/cc_pull.h"
+
+#include <algorithm>
+
+namespace grape {
+
+CcPullProgram::State CcPullProgram::Init(const Fragment& f) const {
+  State st;
+  const LocalVertex nl = f.num_local();
+  st.label.resize(nl);
+  st.last_emitted.resize(nl);
+  for (LocalVertex l = 0; l < nl; ++l) {
+    st.label[l] = f.GlobalId(l);
+    st.last_emitted[l] = st.label[l];
+  }
+  st.changed.assign(nl, 1);  // everything is frontier at PEval
+  st.newly.assign(f.num_inner(), 0);
+  return st;
+}
+
+double CcPullProgram::KernelPush(const Fragment& f, State& st) const {
+  const LocalVertex ni = f.num_inner();
+  double work = 0;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool any = false;
+    for (LocalVertex l = 0; l < ni && !any; ++l) any = st.changed[l] != 0;
+    if (!any) break;
+    work += static_cast<double>(ni);  // the sweep visits every inner vertex
+    // Scatter the frontier's out-adjacency (local + cut arcs in one CSR).
+    // Relaxing a later vertex re-arms it within this sweep; an earlier one
+    // waits for the next sweep — deterministic either way.
+    f.SweepInnerAdjacency(st.arc_scratch, [&](LocalVertex l,
+                                              const auto& arcs_of) {
+      if (!st.changed[l]) return;
+      st.changed[l] = 0;
+      const VertexId lbl = st.label[l];
+      ++work;
+      if (f.OutDegree(l) == 0) return;
+      for (const LocalArc& a : arcs_of()) {
+        ++work;
+        if (lbl < st.label[a.dst]) {
+          st.label[a.dst] = lbl;
+          st.changed[a.dst] = 1;
+        }
+      }
+    });
+  }
+  // Broadcast-changed outer copies were accelerator-only input for gathers;
+  // the push kernel cannot scatter them (their arcs live with their owner,
+  // which enforces them), so their marks are consumed here.
+  for (LocalVertex o = ni; o < f.num_local(); ++o) st.changed[o] = 0;
+  return std::max(work, 1.0);
+}
+
+double CcPullProgram::KernelPull(const Fragment& f, State& st) const {
+  GRAPE_CHECK(f.has_in_adjacency())
+      << "CcPull gather kernel needs a pull-enabled partition";
+  st.cut.Ensure(f, st.arc_scratch);
+  const LocalVertex ni = f.num_inner();
+  const LocalVertex nl = f.num_local();
+  double work = ni;
+  // Gather: every inner vertex takes the min over its in-neighbour labels.
+  // Dense frontiers read the in-CSR unfiltered (a full min-gather is
+  // strictly tighter than the masked one and skips the filter copy);
+  // sparse frontiers gather only from changed sources through the masked
+  // sweep, whose mask is stable during the sweep (newly-decreased vertices
+  // are recorded aside), so the filtered arc sets are deterministic.
+  // Either way every local in-arc is walked once — count that honest
+  // O(|E_in|) cost so the direction controller's measured-cost rule sees
+  // it.
+  work += static_cast<double>(f.num_in_arcs());
+  std::fill(st.newly.begin(), st.newly.end(), 0);
+  uint64_t marked = 0;
+  for (LocalVertex l = 0; l < nl; ++l) marked += st.changed[l] ? 1 : 0;
+  const auto relax = [&](LocalVertex l, VertexId best) {
+    if (best < st.label[l]) {
+      st.label[l] = best;
+      st.newly[l] = 1;
+    }
+  };
+  if (2 * marked >= nl) {
+    f.SweepInnerInAdjacency(
+        st.arc_scratch, [&](LocalVertex l, const auto& arcs_of) {
+          VertexId best = st.label[l];
+          if (f.InDegree(l) > 0) {
+            for (const LocalArc& a : arcs_of()) {
+              best = std::min(best, st.label[a.dst]);
+            }
+          }
+          relax(l, best);
+        });
+  } else {
+    f.SweepInnerInAdjacency(
+        st.arc_scratch, st.mask_scratch, st.changed,
+        [&](LocalVertex l, const auto& arcs_of) {
+          VertexId best = st.label[l];
+          for (const LocalArc& a : arcs_of()) {
+            best = std::min(best, st.label[a.dst]);
+            ++work;
+          }
+          relax(l, best);
+        });
+  }
+  // The gather consumed every outer-copy mark (their only local influence
+  // is the in-arcs just read); the cut pass below may re-mark outer copies
+  // it relaxes, which the next round's gather then reads.
+  for (LocalVertex o = ni; o < nl; ++o) st.changed[o] = 0;
+  // Source-side cut-arc pass: the gather above covers only fragment-local
+  // arcs, so the consumed frontier's cut arcs are enforced here (relaxed
+  // outer copies ship to their owner through the ordinary emission).
+  for (LocalVertex u = 0; u < ni; ++u) {
+    if (!st.changed[u] && !st.newly[u]) continue;
+    const VertexId lbl = st.label[u];
+    for (uint64_t k = st.cut.offsets[u]; k < st.cut.offsets[u + 1]; ++k) {
+      const LocalVertex o = st.cut.targets[k];
+      ++work;
+      if (lbl < st.label[o]) {
+        st.label[o] = lbl;
+        st.changed[o] = 1;  // fresh gather source for the next round
+      }
+    }
+  }
+  // Consume the inner frontier the round read; this round's decreases are
+  // the next round's frontier.
+  for (LocalVertex l = 0; l < ni; ++l) st.changed[l] = st.newly[l];
+  return work;
+}
+
+double CcPullProgram::EmitDecreases(const Fragment& f, State& st,
+                                    Emitter<Value>* out) const {
+  const LocalVertex nl = f.num_local();
+  double work = 0;
+  for (LocalVertex l = 0; l < nl; ++l) {
+    if (st.label[l] < st.last_emitted[l]) {
+      st.last_emitted[l] = st.label[l];
+      out->Emit(l, f.GlobalId(l), st.label[l]);
+      ++work;
+    }
+  }
+  st.active = false;
+  for (LocalVertex l = 0; l < nl; ++l) {
+    if (st.changed[l]) {
+      st.active = true;
+      break;
+    }
+  }
+  return work;
+}
+
+double CcPullProgram::PEval(const Fragment& f, State& st,
+                            Emitter<Value>* out) const {
+  return PEval(f, st, out, SweepDirection::kPush);
+}
+
+double CcPullProgram::PEval(const Fragment& f, State& st, Emitter<Value>* out,
+                            SweepDirection dir) const {
+  const double work = dir == SweepDirection::kPush ? KernelPush(f, st)
+                                                   : KernelPull(f, st);
+  return work + EmitDecreases(f, st, out);
+}
+
+double CcPullProgram::IncEval(const Fragment& f, State& st,
+                              std::span<const UpdateEntry<Value>> updates,
+                              Emitter<Value>* out) const {
+  return IncEval(f, st, updates, out, SweepDirection::kPush);
+}
+
+double CcPullProgram::IncEval(const Fragment& f, State& st,
+                              std::span<const UpdateEntry<Value>> updates,
+                              Emitter<Value>* out, SweepDirection dir) const {
+  double work = 0;
+  for (const auto& u : updates) {
+    ++work;
+    const LocalVertex l = ResolveLocal(f, u);
+    if (l == Fragment::kInvalidLocal) continue;
+    if (u.value < st.label[l]) {  // faggr = min
+      st.label[l] = u.value;
+      st.changed[l] = 1;
+    }
+  }
+  work += dir == SweepDirection::kPush ? KernelPush(f, st)
+                                       : KernelPull(f, st);
+  return work + EmitDecreases(f, st, out);
+}
+
+CcPullProgram::ResultT CcPullProgram::Assemble(
+    const Partition& p, const std::vector<State>& states) const {
+  std::vector<VertexId> label(p.graph.num_vertices(), kInvalidVertex);
+  for (FragmentId i = 0; i < p.num_fragments(); ++i) {
+    const Fragment& f = p.fragments[i];
+    for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+      label[f.GlobalId(l)] = states[i].label[l];
+    }
+  }
+  return label;
+}
+
+}  // namespace grape

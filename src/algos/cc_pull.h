@@ -1,0 +1,90 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Dual-mode PIE program for connectivity by monotone-min label propagation —
+// the pull-capable counterpart of the union-find CcProgram (algos/cc.h).
+//
+// Every local vertex (inner + outer copy) carries a label, initially its
+// own global id; labels only decrease, faggr = min. Two kernels behind one
+// protocol (core/direction.h DualModeProgram):
+//   push — scatter: sweep the changed inner vertices' out-adjacency and
+//          relax their targets (sparse frontiers touch only their arcs);
+//   pull — gather: every inner vertex takes the min over its *changed*
+//          in-neighbours through the frontier-masked in-sweep, plus a
+//          source-side pass over the changed vertices' cut out-arcs.
+// Each fragment enforces the arcs of its own inner vertices in both
+// kernels (scatter directly; gather via all destinations + the cut pass),
+// so any per-round direction mixture reaches the unique least fixpoint:
+// label(v) = min over vertices with a directed path to v. With
+// kOwnerBroadcast the owner also re-broadcasts decreased border labels to
+// every copy holder, which keeps remote gather sources fresh (an
+// accelerator — correctness never depends on it).
+//
+// On symmetric (undirected) graphs the fixpoint is exactly
+// seq::ConnectedComponents; on directed graphs it is min-over-ancestors,
+// identical across push/pull/auto but not a connectivity relation.
+#ifndef GRAPEPLUS_ALGOS_CC_PULL_H_
+#define GRAPEPLUS_ALGOS_CC_PULL_H_
+
+#include <span>
+#include <vector>
+
+#include "core/pie.h"
+#include "partition/fragment.h"
+
+namespace grape {
+
+class CcPullProgram {
+ public:
+  using Value = VertexId;                 // a component label
+  using ResultT = std::vector<VertexId>;  // label per global vertex
+  static constexpr bool kOwnerBroadcast = true;
+
+  struct State {
+    std::vector<VertexId> label;     // per local vertex (inner + outer)
+    /// Frontier mask: l's label decreased and its out-influence has not yet
+    /// been consumed by a kernel. Gather sources / scatter sources.
+    std::vector<uint8_t> changed;
+    std::vector<uint8_t> newly;         // inner decreases of the running round
+    std::vector<VertexId> last_emitted;  // per local vertex, ship decreases once
+    bool active = false;  // un-consumed frontier left after the last round
+    /// Cut-arc index, built on the first pull round — the push kernel
+    /// reaches cut arcs through the ordinary out-sweep.
+    CutArcIndex cut;
+    std::vector<LocalArc> arc_scratch;   // streaming translation buffer
+    std::vector<LocalArc> mask_scratch;  // masked-sweep filter buffer
+  };
+
+  /// A capped push round or a gather round may leave frontier unconsumed.
+  bool HasLocalWork(const State& st) const { return st.active; }
+
+  State Init(const Fragment& f) const;
+  double PEval(const Fragment& f, State& st, Emitter<Value>* out) const;
+  double IncEval(const Fragment& f, State& st,
+                 std::span<const UpdateEntry<Value>> updates,
+                 Emitter<Value>* out) const;
+  double PEval(const Fragment& f, State& st, Emitter<Value>* out,
+               SweepDirection dir) const;
+  double IncEval(const Fragment& f, State& st,
+                 std::span<const UpdateEntry<Value>> updates,
+                 Emitter<Value>* out, SweepDirection dir) const;
+  Value Combine(const Value& a, const Value& b) const {
+    return a < b ? a : b;  // faggr = min
+  }
+  ResultT Assemble(const Partition& p, const std::vector<State>& states) const;
+
+ private:
+  /// Scatter sweeps over the changed inner frontier, up to kMaxSweeps per
+  /// round (a long intra-fragment chain continues via HasLocalWork).
+  double KernelPush(const Fragment& f, State& st) const;
+  /// One gather pass over the frontier-masked in-adjacency plus the
+  /// source-side cut-arc pass; consumes the frontier it read.
+  double KernelPull(const Fragment& f, State& st) const;
+  /// Ships every label that decreased since it was last emitted and
+  /// recomputes `active` — the shared round epilogue.
+  double EmitDecreases(const Fragment& f, State& st, Emitter<Value>* out) const;
+
+  static constexpr int kMaxSweeps = 4;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_ALGOS_CC_PULL_H_

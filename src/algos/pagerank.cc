@@ -1,6 +1,6 @@
 #include "algos/pagerank.h"
 
-
+#include <algorithm>
 
 namespace grape {
 
@@ -27,6 +27,7 @@ double PageRankProgram::Propagate(const Fragment& f, State& st,
   constexpr int kMaxSweeps = 2;
   for (int sweep = 0; sweep < kMaxSweeps && again; ++sweep) {
     again = false;
+    work += static_cast<double>(f.num_inner());  // per-sweep visit cost
     // Chunked sweep: identical visit order in materialised and streaming
     // mode, and settled vertices (residual < tol) never touch their arcs —
     // streaming fragments pay translation only for vertices that push.
@@ -52,6 +53,12 @@ double PageRankProgram::Propagate(const Fragment& f, State& st,
       }
     });
   }
+  FlushOutAcc(f, st, out);
+  return work;
+}
+
+void PageRankProgram::FlushOutAcc(const Fragment& f, State& st,
+                                  Emitter<Value>* out) const {
   for (LocalVertex o = f.num_inner(); o < f.num_local(); ++o) {
     double& acc = st.out_acc[o - f.num_inner()];
     if (acc >= tol_) {
@@ -66,20 +73,125 @@ double PageRankProgram::Propagate(const Fragment& f, State& st,
       break;
     }
   }
-  return work;
+}
+
+double PageRankProgram::PropagatePull(const Fragment& f, State& st,
+                                      Emitter<Value>* out) const {
+  GRAPE_CHECK(f.has_in_adjacency())
+      << "PageRank pull kernel needs a pull-enabled partition";
+  st.cut.Ensure(f, st.arc_scratch);
+  const LocalVertex ni = f.num_inner();
+  double work = 0;
+  const LocalVertex nl = f.num_local();
+  // Up to two Jacobi hops per round (mirroring the push kernel's local
+  // consolidation sweeps); the second hop runs only while the frontier
+  // stays dense — a sparse hop pays the gather's O(|E_in|) floor for
+  // marginal progress and is better left to a push round.
+  constexpr int kMaxHops = 2;
+  for (int hop = 0; hop < kMaxHops; ++hop) {
+    work += static_cast<double>(ni);
+    // Shares as of hop start, indexed by source local id: active inner
+    // sources hold d*x/N, everything else (settled, dangling, outer
+    // copies — remote mass arrives as messages) holds 0.0. Sources
+    // without out-arcs retire their mass into the score but share nothing
+    // (dangling, same as push).
+    st.share.assign(nl, 0.0);
+    uint64_t active = 0;
+    for (LocalVertex l = 0; l < ni; ++l) {
+      if (st.residual[l] < tol_) continue;
+      ++active;
+      const uint64_t deg = f.OutDegree(l);
+      if (deg > 0) {
+        st.share[l] = damping_ * st.residual[l] / static_cast<double>(deg);
+      }
+    }
+    if (active == 0) break;
+    const bool dense = 2 * active >= ni;
+    if (hop == 1 && !dense) break;  // leave a sparse remainder to push
+    // Gather one hop of every active source's mass. The gather lands in a
+    // separate accumulator — the shares are a snapshot, so the sweep
+    // order cannot change the result. Dense hops read the in-CSR
+    // unfiltered (adding an exact 0.0 for settled sources costs less than
+    // filtering them out and leaves the partial sums bit-identical);
+    // sparse hops use the frontier-masked sweep so settled sources never
+    // reach the kernel. Either way every local in-arc is walked once:
+    // count that honest O(|E_in|) cost, or the direction controller's
+    // measured-cost rule would overuse the gather kernel.
+    work += static_cast<double>(f.num_in_arcs());
+    st.gathered.assign(ni, 0.0);
+    if (dense) {
+      f.SweepInnerInAdjacency(
+          st.arc_scratch, [&](LocalVertex l, const auto& arcs_of) {
+            double sum = 0.0;
+            if (f.InDegree(l) > 0) {
+              for (const LocalArc& a : arcs_of()) sum += st.share[a.dst];
+            }
+            st.gathered[l] = sum;
+          });
+    } else {
+      st.mask.assign(nl, 0);
+      for (LocalVertex l = 0; l < ni; ++l) {
+        if (st.share[l] > 0.0) st.mask[l] = 1;
+      }
+      f.SweepInnerInAdjacency(
+          st.arc_scratch, st.mask_scratch, st.mask,
+          [&](LocalVertex l, const auto& arcs_of) {
+            double sum = 0.0;
+            for (const LocalArc& a : arcs_of()) {
+              sum += st.share[a.dst];
+              ++work;
+            }
+            st.gathered[l] = sum;
+          });
+    }
+    // Consume the actives: retire mass into the score and enforce their
+    // cut out-arcs source-side — the in-sweep covers only fragment-local
+    // arcs, while remote mass still travels as summed deltas.
+    for (LocalVertex l = 0; l < ni; ++l) {
+      const double x = st.residual[l];
+      if (x < tol_) continue;
+      st.score[l] += x;
+      st.residual[l] = 0.0;
+      ++work;
+      const double sh = st.share[l];
+      if (sh > 0.0) {
+        for (uint64_t k = st.cut.offsets[l]; k < st.cut.offsets[l + 1];
+             ++k) {
+          st.out_acc[st.cut.targets[k] - ni] += sh;
+          ++work;
+        }
+      }
+    }
+    for (LocalVertex l = 0; l < ni; ++l) st.residual[l] += st.gathered[l];
+  }
+  FlushOutAcc(f, st, out);
+  return std::max(work, 1.0);
 }
 
 double PageRankProgram::PEval(const Fragment& f, State& st,
                               Emitter<Value>* out) const {
+  return PEval(f, st, out, SweepDirection::kPush);
+}
+
+double PageRankProgram::PEval(const Fragment& f, State& st,
+                              Emitter<Value>* out, SweepDirection dir) const {
   for (LocalVertex l = 0; l < f.num_inner(); ++l) {
     st.residual[l] = 1.0 - damping_;
   }
-  return Propagate(f, st, out);
+  return dir == SweepDirection::kPush ? Propagate(f, st, out)
+                                      : PropagatePull(f, st, out);
 }
 
 double PageRankProgram::IncEval(const Fragment& f, State& st,
                                 std::span<const UpdateEntry<Value>> updates,
                                 Emitter<Value>* out) const {
+  return IncEval(f, st, updates, out, SweepDirection::kPush);
+}
+
+double PageRankProgram::IncEval(const Fragment& f, State& st,
+                                std::span<const UpdateEntry<Value>> updates,
+                                Emitter<Value>* out,
+                                SweepDirection dir) const {
   double work = 0;
   for (const auto& u : updates) {
     ++work;
@@ -87,7 +199,8 @@ double PageRankProgram::IncEval(const Fragment& f, State& st,
     if (l == Fragment::kInvalidLocal || !f.IsInner(l)) continue;
     st.residual[l] += u.value;  // faggr = sum, accumulative
   }
-  return work + Propagate(f, st, out);
+  return work + (dir == SweepDirection::kPush ? Propagate(f, st, out)
+                                              : PropagatePull(f, st, out));
 }
 
 PageRankProgram::ResultT PageRankProgram::Assemble(

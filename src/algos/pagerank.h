@@ -1,11 +1,26 @@
 // Copyright 2026 The GRAPE+ Reproduction Authors.
-// PIE program for PageRank (Section 5.3) in the delta-accumulative
+// Dual-mode PIE program for PageRank (Section 5.3) in the delta-accumulative
 // formulation of Maiter: every vertex v keeps a score P_v and a pending
-// update x_v (initially 1−d). A round adds x_v to P_v and pushes d·x_v/N_v to
-// out-neighbours; cross-fragment pushes accumulate on border copies and ship
+// update x_v (initially 1−d). A round adds x_v to P_v and moves d·x_v/N_v to
+// out-neighbours; cross-fragment mass accumulates on border copies and ships
 // as deltas with faggr = sum. Since each path contribution is added exactly
 // once, bounded staleness is unnecessary (Section 5.3 Remark) and the
 // computation has the Church–Rosser property up to the drop threshold.
+//
+// The program exposes both traversal kernels behind this one protocol
+// (core/direction.h DualModeProgram):
+//   push — sweep the active residuals' out-adjacency and scatter shares
+//          (sparse frontiers touch only their own arcs);
+//   pull — one Jacobi hop over the frontier-masked in-adjacency: every
+//          inner vertex gathers the shares of its *active* in-neighbours
+//          (dense frontiers read the in-CSR sequentially and settled
+//          sources are filtered out by the mask), while cut out-arcs of the
+//          consumed actives are enforced source-side, so remote mass still
+//          travels as the same summed deltas.
+// Messages are identical in kind, value and aggregate either way, so the
+// engine may pick the direction per round (--direction=auto) and any
+// mixture converges to the same tol-fixpoint; a fixed direction is
+// bit-identical across materialised / streaming / mmapped backends.
 #ifndef GRAPEPLUS_ALGOS_PAGERANK_H_
 #define GRAPEPLUS_ALGOS_PAGERANK_H_
 
@@ -36,6 +51,15 @@ class PageRankProgram {
     /// Streaming-fragment translation buffer (bounded by the arc source's
     /// effective chunk budget); unused on materialised fragments.
     std::vector<LocalArc> arc_scratch;
+    // --- gather-kernel state (built on the first pull round; a pure-push
+    // run never allocates any of it) ---
+    /// Cut out-arcs the pull kernel enforces source-side while the
+    /// in-sweep covers the fragment-local arcs.
+    CutArcIndex cut;
+    std::vector<double> share;       // d * x_v / N_v of active sources
+    std::vector<double> gathered;    // Jacobi gather accumulator
+    std::vector<uint8_t> mask;       // active-source frontier mask
+    std::vector<LocalArc> mask_scratch;  // masked-sweep filter buffer
   };
 
   /// Residual mass parked by the per-round sweep cap still needs rounds
@@ -43,10 +67,19 @@ class PageRankProgram {
   bool HasLocalWork(const State& st) const { return st.has_pending; }
 
   State Init(const Fragment& f) const;
+  /// Single-kernel surface: identical to the directed overloads with
+  /// SweepDirection::kPush (kept so existing push runs stay bit-identical).
   double PEval(const Fragment& f, State& st, Emitter<Value>* out) const;
   double IncEval(const Fragment& f, State& st,
                  std::span<const UpdateEntry<Value>> updates,
                  Emitter<Value>* out) const;
+  /// Dual-mode surface: the engine picks the kernel per round. kPull needs
+  /// a pull-enabled partition (Fragment::has_in_adjacency()).
+  double PEval(const Fragment& f, State& st, Emitter<Value>* out,
+               SweepDirection dir) const;
+  double IncEval(const Fragment& f, State& st,
+                 std::span<const UpdateEntry<Value>> updates,
+                 Emitter<Value>* out, SweepDirection dir) const;
   Value Combine(const Value& a, const Value& b) const { return a + b; }
   ResultT Assemble(const Partition& p, const std::vector<State>& states) const;
 
@@ -57,6 +90,12 @@ class PageRankProgram {
   /// Pushes local residual mass until all inner residuals are < tol;
   /// cross-fragment mass lands in out_acc and is emitted.
   double Propagate(const Fragment& f, State& st, Emitter<Value>* out) const;
+  /// One Jacobi gather hop of the active residual mass over the
+  /// frontier-masked in-adjacency; cut out-arcs enforced source-side.
+  double PropagatePull(const Fragment& f, State& st, Emitter<Value>* out) const;
+  /// Ships accumulated border deltas and recomputes has_pending — the
+  /// shared round epilogue of both kernels.
+  void FlushOutAcc(const Fragment& f, State& st, Emitter<Value>* out) const;
 
   double damping_;
   double tol_;

@@ -1,0 +1,9 @@
+#include "core/direction.h"
+
+namespace grape {
+
+std::string SweepDirectionName(SweepDirection d) {
+  return d == SweepDirection::kPush ? "push" : "pull";
+}
+
+}  // namespace grape

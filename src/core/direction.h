@@ -1,0 +1,252 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Adaptive per-round push/pull direction switching (the libgrape-lite /
+// Ligra "edgeMap" optimisation adapted to the AAP engines).
+//
+// A DualModeProgram exposes both a scatter (push) and a gather (pull)
+// kernel behind one PIE surface; each round the engine measures the active
+// frontier — the buffered dirty vertices and their summed out-degree,
+// tracked incrementally by UpdateBuffer's dirty list — and asks a
+// per-worker DirectionController which kernel to run. The controller
+// applies Ligra/GBBS-style density thresholds against the fragment's arc
+// count, with a hysteresis band so a frontier hovering near the threshold
+// does not flap A-B-A between directions.
+//
+// The choice is purely a performance decision: dual-mode programs keep one
+// message protocol (value type, faggr, broadcast discipline) for both
+// kernels, so any per-round mixture of directions reaches the same
+// fixpoint (the monotone-aggregate Church–Rosser argument of Section 5).
+#ifndef GRAPEPLUS_CORE_DIRECTION_H_
+#define GRAPEPLUS_CORE_DIRECTION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace grape {
+
+/// The traversal direction of one PEval/IncEval round.
+enum class SweepDirection : uint8_t {
+  kPush,  // scatter: iterate the frontier's out-adjacency
+  kPull,  // gather: iterate inner vertices' in-adjacency
+};
+
+std::string SweepDirectionName(SweepDirection d);
+
+/// Engine-level direction policy (EngineConfig::direction).
+struct DirectionConfig {
+  enum class Mode : uint8_t {
+    kPush,  // always run the scatter kernel (default; matches pre-dual runs)
+    kPull,  // always run the gather kernel (partition must be pull-enabled)
+    kAuto,  // per-round density switch with hysteresis
+  };
+  Mode mode = Mode::kPush;
+
+  /// Cold-start density thresholds, as fractions of the fragment's local
+  /// arc count |E_i|. The decision signal is |frontier| + sum of frontier
+  /// out-degrees (the edges a push round would traverse, Ligra's
+  /// |F| + outdeg(F)): switch to pull when the signal reaches
+  /// `dense_frac * |E_i|`, back to push only when it falls below
+  /// `sparse_frac * |E_i|`; the gap is the hysteresis band, so a signal
+  /// oscillating inside it keeps the current direction.
+  ///
+  /// Ligra's break-even is |E|/20, priced for lock-free scatter contention
+  /// on shared frontiers. Here each fragment's kernel runs single-threaded
+  /// (parallelism is across virtual workers), so a gather round costs
+  /// O(|E_i|) however small its frontier, and static thresholds cannot
+  /// know how the two kernels' costs compare for a given program — the
+  /// paper's adaptivity thesis applies to the controller itself. The
+  /// density rule therefore only governs until the controller has observed
+  /// at least one round of each kernel; from then on it compares the
+  /// *measured* per-round costs (see DirectionController::NoteRound), with
+  /// `cost_margin` as the hysteresis.
+  double dense_frac = 0.35;
+  double sparse_frac = 0.15;
+
+  /// Measured-cost hysteresis: the other direction's predicted round cost
+  /// must be at least this fraction cheaper before the controller
+  /// switches. Damps A-B-A flapping when the kernels run neck and neck.
+  double cost_margin = 0.25;
+
+  /// Extra bias on *entering* the gather regime: pull must predict
+  /// cheaper than push by this factor (on top of cost_margin) before a
+  /// push worker switches. Work units price a round's memory traffic, not
+  /// its convergence value — a pull unit is a masked filter probe while a
+  /// push unit moves real mass, and a one-hop Jacobi round settles less
+  /// than a multi-sweep scatter round — so near-parity predictions must
+  /// resolve to push (measured on the 1M stress profile: an unbiased rule
+  /// spent 72 gather rounds to lose 13% to pure push on PageRank, while
+  /// CC's genuine gather wins clear this bar comfortably).
+  double pull_entry_bias = 2.0;
+
+  /// Cold-start exploration: if auto has run this many consecutive pull
+  /// rounds without ever sampling the push kernel (a persistently dense
+  /// frontier never crosses the sparse threshold), it forces one push
+  /// round so the measured-cost rule can engage. Deterministic. Kept
+  /// minimal: every cold-start pull round on a push-favoured workload is
+  /// pure loss, and the PEval gather already sampled the pull kernel.
+  uint32_t explore_after = 1;
+};
+
+/// One per-round telemetry record of a worker's direction decision.
+struct DirectionSample {
+  Round round = 0;
+  SweepDirection dir = SweepDirection::kPush;
+  uint64_t frontier_vertices = 0;  // buffered dirty vertices at decision time
+  uint64_t frontier_degree = 0;    // their summed local out-degree
+  bool switched = false;           // differs from the previous round's choice
+};
+
+/// Per-virtual-worker direction decision state. Engines own one per
+/// fragment and consult it at round start; it is only touched by the thread
+/// that holds the worker's round claim (same single-writer discipline as
+/// program state), so it needs no internal locking.
+class DirectionController {
+ public:
+  DirectionController() = default;
+
+  /// `frag_arcs` is |E_i| of the worker's fragment; `pull_available` gates
+  /// the gather direction (false when the partition carries no
+  /// in-adjacency — every decision is then kPush regardless of the mode).
+  DirectionController(const DirectionConfig& cfg, uint64_t frag_arcs,
+                      bool pull_available)
+      : cfg_(cfg), pull_available_(pull_available) {
+    const double arcs = static_cast<double>(frag_arcs);
+    dense_at_ = cfg.dense_frac * arcs;
+    sparse_at_ = cfg.sparse_frac * arcs;
+    if (sparse_at_ > dense_at_) sparse_at_ = dense_at_;  // band never inverts
+  }
+
+  /// Decides the direction of the round about to run and records telemetry.
+  /// `is_peval` rounds see the full vertex set as frontier (every status
+  /// variable is fresh), so auto treats them as dense. `frontier_vertices` /
+  /// `frontier_degree` are the buffer's dirty-list signals, read before the
+  /// drain.
+  SweepDirection Decide(bool is_peval, Round round, uint64_t frontier_vertices,
+                        uint64_t frontier_degree) {
+    SweepDirection next = SweepDirection::kPush;
+    if (pull_available_) {
+      switch (cfg_.mode) {
+        case DirectionConfig::Mode::kPush:
+          break;
+        case DirectionConfig::Mode::kPull:
+          next = SweepDirection::kPull;
+          break;
+        case DirectionConfig::Mode::kAuto: {
+          if (is_peval) {
+            next = SweepDirection::kPull;  // full frontier: dense by definition
+            break;
+          }
+          const double signal = static_cast<double>(frontier_vertices) +
+                                static_cast<double>(frontier_degree);
+          if (pull_cost_ > 0.0 && push_rate_ > 0.0) {
+            // Measured regime: predict this round's cost under each kernel
+            // — push scales with the frontier signal, pull is a full
+            // gather whatever the frontier — and switch only on a clear
+            // (cost_margin) advantage.
+            const double pred_push = push_rate_ * std::max(signal, 1.0);
+            const double margin = 1.0 + cfg_.cost_margin;
+            if (current_ == SweepDirection::kPush) {
+              next = pull_cost_ * margin * cfg_.pull_entry_bias < pred_push
+                         ? SweepDirection::kPull
+                         : SweepDirection::kPush;
+            } else {
+              next = pred_push * margin < pull_cost_ ? SweepDirection::kPush
+                                                     : SweepDirection::kPull;
+            }
+          } else if (current_ == SweepDirection::kPull &&
+                     push_rate_ <= 0.0 &&
+                     pull_streak_ >= cfg_.explore_after) {
+            // Cold-start exploration: a persistently dense frontier would
+            // otherwise never sample the scatter kernel, leaving the
+            // measured-cost rule dormant.
+            next = SweepDirection::kPush;
+          } else if (current_ == SweepDirection::kPush) {
+            next = signal >= dense_at_ && dense_at_ > 0.0
+                       ? SweepDirection::kPull
+                       : SweepDirection::kPush;
+          } else {
+            // Hysteresis: stay pull until the signal clearly drops out of
+            // the dense regime.
+            next = signal < sparse_at_ ? SweepDirection::kPush
+                                       : SweepDirection::kPull;
+          }
+          break;
+        }
+      }
+    }
+    const bool switched = decided_ && next != current_;
+    decided_ = true;
+    current_ = next;
+    last_signal_ = static_cast<double>(frontier_vertices) +
+                   static_cast<double>(frontier_degree);
+    last_was_peval_ = is_peval;
+    if (next == SweepDirection::kPush) {
+      ++push_rounds_;
+      pull_streak_ = 0;
+    } else {
+      ++pull_rounds_;
+      ++pull_streak_;
+    }
+    switches_ += switched ? 1 : 0;
+    if (log_.size() < kMaxLog) {
+      log_.push_back(DirectionSample{round, next, frontier_vertices,
+                                     frontier_degree, switched});
+    }
+    return next;
+  }
+
+  /// Reports the cost of the round the last Decide() chose, in the
+  /// program's work units — deterministic and identical across storage
+  /// backends, unlike wall time, so auto runs stay bit-reproducible.
+  /// Feeds the per-direction EWMAs the measured-cost rule compares: the
+  /// pull kernel's cost per round (a full gather is frontier-independent)
+  /// and the push kernel's cost per unit of frontier signal. PEval push
+  /// rounds carry no meaningful signal and are skipped.
+  void NoteRound(double cost) {
+    if (!decided_) return;
+    constexpr double kAlpha = 0.3;
+    const auto fold = [&](double ewma, double sample) {
+      return ewma <= 0.0 ? sample : ewma + kAlpha * (sample - ewma);
+    };
+    if (current_ == SweepDirection::kPull) {
+      pull_cost_ = fold(pull_cost_, cost);
+    } else if (!last_was_peval_) {
+      push_rate_ = fold(push_rate_, cost / std::max(last_signal_, 1.0));
+    }
+  }
+
+  SweepDirection current() const { return current_; }
+  uint64_t push_rounds() const { return push_rounds_; }
+  uint64_t pull_rounds() const { return pull_rounds_; }
+  uint64_t switches() const { return switches_; }
+  /// Per-round decision log (capped at kMaxLog entries to bound telemetry
+  /// memory on long runs; counters above keep exact totals).
+  const std::vector<DirectionSample>& log() const { return log_; }
+
+  static constexpr size_t kMaxLog = 4096;
+
+ private:
+  DirectionConfig cfg_;
+  bool pull_available_ = false;
+  double dense_at_ = 0.0;
+  double sparse_at_ = 0.0;
+  SweepDirection current_ = SweepDirection::kPush;
+  bool decided_ = false;
+  bool last_was_peval_ = false;
+  double last_signal_ = 0.0;
+  // Measured-cost EWMAs (< 0 until the kernel has been sampled).
+  double pull_cost_ = -1.0;
+  double push_rate_ = -1.0;
+  uint32_t pull_streak_ = 0;
+  uint64_t push_rounds_ = 0;
+  uint64_t pull_rounds_ = 0;
+  uint64_t switches_ = 0;
+  std::vector<DirectionSample> log_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_CORE_DIRECTION_H_

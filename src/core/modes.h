@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/direction.h"
 #include "util/common.h"
 
 namespace grape {
@@ -70,6 +71,12 @@ struct ModeConfig {
 /// threaded engine).
 struct EngineConfig {
   ModeConfig mode;
+
+  /// Per-round push/pull direction policy for DualModeProgram programs
+  /// (core/direction.h); ignored by single-kernel programs. kPull and kAuto
+  /// require a pull-enabled partition (PartitionOptions::in_adjacency /
+  /// in_arc_source) — without one every round degrades to push.
+  DirectionConfig direction;
 
   /// Per-virtual-worker speed multipliers (>1 = slower); empty = all 1.0.
   /// Stragglers in the paper's experiments are produced by skewed fragments

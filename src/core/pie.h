@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/direction.h"
 #include "partition/fragment.h"
 #include "runtime/message.h"
 
@@ -125,6 +126,28 @@ concept PieProgram = requires(const P p, const Fragment& f,
   { p.PEval(f, st, em) } -> std::convertible_to<double>;
   { p.Combine(v, v) } -> std::same_as<typename P::Value>;
 };
+
+/// A PIE program that implements both a scatter (push) and a gather (pull)
+/// kernel behind one message protocol: PEval/IncEval overloads taking a
+/// trailing SweepDirection select the kernel per round. The engines detect
+/// this concept and consult their DirectionController (core/direction.h)
+/// each round; the plain overloads must behave exactly like the directed
+/// ones with SweepDirection::kPush, so a dual-mode program under the
+/// default push policy is bit-identical to its single-kernel ancestor.
+/// Both kernels must share Value / Combine / kOwnerBroadcast — the engine
+/// may interleave directions freely, and correctness rests on the
+/// aggregate's monotone confluence, not on which side traverses an arc.
+template <typename P>
+concept DualModeProgram =
+    PieProgram<P> &&
+    requires(const P p, const Fragment& f, typename P::State& st,
+             Emitter<typename P::Value>* em,
+             std::span<const UpdateEntry<typename P::Value>> updates) {
+      { p.PEval(f, st, em, SweepDirection::kPull) }
+          -> std::convertible_to<double>;
+      { p.IncEval(f, st, updates, em, SweepDirection::kPull) }
+          -> std::convertible_to<double>;
+    };
 
 }  // namespace grape
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/delay_stretch.h"
+#include "core/direction.h"
 #include "core/modes.h"
 #include "core/pie.h"
 #include "core/trace.h"
@@ -94,6 +95,18 @@ class SimEngine {
           << "worker " << i << " terminated with a non-empty buffer";
     }
 
+    // Direction telemetry folds from the per-worker controllers, and any
+    // point-lookup windows held by streaming sources are dropped now that
+    // the run is over (their pages would otherwise stay advised in).
+    for (uint32_t i = 0; i < m; ++i) {
+      stats_.workers[i].push_rounds = directions_[i].push_rounds();
+      stats_.workers[i].pull_rounds = directions_[i].pull_rounds();
+      stats_.workers[i].direction_switches = directions_[i].switches();
+      if (partition_.fragments[i].arc_source() != nullptr) {
+        partition_.fragments[i].arc_source()->ReleasePointWindows();
+      }
+    }
+
     Result r{program_.Assemble(partition_, states_), std::move(stats_),
              std::move(trace_), converged, 0, supersteps_};
     r.stats.makespan = r.trace.EndTime();
@@ -106,6 +119,11 @@ class SimEngine {
 
   /// Access to the controller for white-box tests.
   const DelayStretchController& controller() const { return *controller_; }
+
+  /// Worker w's direction controller of the last Run() (telemetry tests).
+  const DirectionController& direction_controller(FragmentId w) const {
+    return directions_[w];
+  }
 
  private:
   enum class Phase { kBusy, kIdle, kWaiting, kSuspended };
@@ -146,9 +164,20 @@ class SimEngine {
     checkpoint_token_ = 0;
     workers_.clear();
     workers_.resize(m);
+    directions_.clear();
+    directions_.reserve(m);
     for (uint32_t i = 0; i < m; ++i) {
-      workers_[i].buffer =
-          UpdateBuffer<V>(partition_.fragments[i].num_local());
+      const Fragment& f = partition_.fragments[i];
+      workers_[i].buffer = UpdateBuffer<V>(f.num_local());
+      workers_[i].buffer.SetDegreeOffsets(f.out_offsets());
+      directions_.emplace_back(cfg_.direction, f.num_arcs(),
+                               f.has_in_adjacency());
+      if constexpr (DualModeProgram<Program>) {
+        GRAPE_CHECK(cfg_.direction.mode != DirectionConfig::Mode::kPull ||
+                    f.has_in_adjacency())
+            << "direction=pull needs a pull-enabled partition "
+               "(PartitionOptions::in_adjacency / in_arc_source)";
+      }
     }
     stats_ = RunStats{};
     stats_.workers.resize(m);
@@ -241,17 +270,44 @@ class SimEngine {
     if (is_peval) {
       rt.running_round = 0;
       emitter.SetRound(0);
-      work = program_.PEval(partition_.fragments[w], states_[w], &emitter);
+      if constexpr (DualModeProgram<Program>) {
+        const SweepDirection dir = directions_[w].Decide(
+            /*is_peval=*/true, 0, rt.buffer.NumPendingVertices(),
+            rt.buffer.FrontierOutDegree());
+        work = program_.PEval(partition_.fragments[w], states_[w], &emitter,
+                              dir);
+      } else {
+        work = program_.PEval(partition_.fragments[w], states_[w], &emitter);
+      }
     } else {
       rt.running_round = controller_->round(w) + 1;
       emitter.SetRound(rt.running_round);
       controller_->OnDrain(w, rt.buffer.NumDistinctSenders());
+      // Frontier density signals must be read before the drain clears the
+      // dirty list.
+      [[maybe_unused]] const uint64_t frontier_v =
+          rt.buffer.NumPendingVertices();
+      [[maybe_unused]] const uint64_t frontier_deg =
+          rt.buffer.FrontierOutDegree();
       auto updates = rt.buffer.Drain();
       stats_.workers[w].updates_applied += updates.size();
-      work = program_.IncEval(partition_.fragments[w], states_[w],
-                              std::span<const UpdateEntry<V>>(updates),
-                              &emitter);
+      if constexpr (DualModeProgram<Program>) {
+        const SweepDirection dir = directions_[w].Decide(
+            /*is_peval=*/false, rt.running_round, frontier_v, frontier_deg);
+        work = program_.IncEval(partition_.fragments[w], states_[w],
+                                std::span<const UpdateEntry<V>>(updates),
+                                &emitter, dir);
+      } else {
+        work = program_.IncEval(partition_.fragments[w], states_[w],
+                                std::span<const UpdateEntry<V>>(updates),
+                                &emitter);
+      }
       ++total_rounds_;
+    }
+    if constexpr (DualModeProgram<Program>) {
+      // Work units are deterministic and backend-independent, so the
+      // measured-cost rule keeps auto runs bit-reproducible.
+      directions_[w].NoteRound(work);
     }
     // Swap (not move): the outbox was emptied by its last dispatch, so its
     // capacity flows back into the emitter for the next round.
@@ -589,6 +645,9 @@ class SimEngine {
 
   std::vector<WorkerRt> workers_;
   std::vector<State> states_;
+  /// Per-worker push/pull decision state (dual-mode programs; always built
+  /// so the accessor is valid, trivially push-only otherwise).
+  std::vector<DirectionController> directions_;
   std::vector<Rng> rngs_;
   std::vector<uint8_t> relevant_;
   // Reusable dispatch scratch (the sim engine is single-threaded).

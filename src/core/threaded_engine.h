@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/delay_stretch.h"
+#include "core/direction.h"
 #include "core/modes.h"
 #include "core/pie.h"
 #include "partition/fragment.h"
@@ -92,16 +93,30 @@ class ThreadedEngine {
       }
     }
 
-    // Fold the cross-thread atomic counters into the result stats.
+    // Fold the cross-thread atomic counters into the result stats; the
+    // direction controllers are quiescent once the pool has joined. Any
+    // point-lookup windows held by streaming sources are dropped with the
+    // run.
     for (FragmentId w = 0; w < m; ++w) {
       stats_.workers[w].msgs_received =
           workers_[w]->msgs_received.load(std::memory_order_relaxed);
+      stats_.workers[w].push_rounds = directions_[w].push_rounds();
+      stats_.workers[w].pull_rounds = directions_[w].pull_rounds();
+      stats_.workers[w].direction_switches = directions_[w].switches();
+      if (partition_.fragments[w].arc_source() != nullptr) {
+        partition_.fragments[w].arc_source()->ReleasePointWindows();
+      }
     }
 
     Result r{program_.Assemble(partition_, states_), std::move(stats_),
              converged_, wall.ElapsedSeconds(), term_->probes_attempted()};
     r.stats.makespan = r.wall_seconds;
     return r;
+  }
+
+  /// Worker w's direction controller of the last Run() (telemetry tests).
+  const DirectionController& direction_controller(FragmentId w) const {
+    return directions_[w];
   }
 
  private:
@@ -135,11 +150,22 @@ class ThreadedEngine {
     term_ = std::make_unique<TerminationDetector>(m);
     workers_.clear();
     workers_.resize(m);
+    directions_.clear();
+    directions_.reserve(m);
     for (uint32_t i = 0; i < m; ++i) {
+      const Fragment& f = partition_.fragments[i];
       workers_[i] = std::make_unique<WorkerRt>();
-      workers_[i]->buffer =
-          UpdateBuffer<V>(partition_.fragments[i].num_local());
+      workers_[i]->buffer = UpdateBuffer<V>(f.num_local());
+      workers_[i]->buffer.SetDegreeOffsets(f.out_offsets());
       workers_[i]->out_by_dst.assign(m, {});
+      directions_.emplace_back(cfg_.direction, f.num_arcs(),
+                               f.has_in_adjacency());
+      if constexpr (DualModeProgram<Program>) {
+        GRAPE_CHECK(cfg_.direction.mode != DirectionConfig::Mode::kPull ||
+                    f.has_in_adjacency())
+            << "direction=pull needs a pull-enabled partition "
+               "(PartitionOptions::in_adjacency / in_arc_source)";
+      }
     }
     stats_ = RunStats{};
     stats_.workers.resize(m);
@@ -341,17 +367,46 @@ class ThreadedEngine {
     double work = 0.0;
     if (is_peval) {
       emitter.SetRound(0);
-      work = program_.PEval(partition_.fragments[w], states_[w], &emitter);
+      if constexpr (DualModeProgram<Program>) {
+        const SweepDirection dir = directions_[w].Decide(
+            /*is_peval=*/true, 0, rt.buffer.NumPendingVertices(),
+            rt.buffer.FrontierOutDegree());
+        work = program_.PEval(partition_.fragments[w], states_[w], &emitter,
+                              dir);
+      } else {
+        work = program_.PEval(partition_.fragments[w], states_[w], &emitter);
+      }
     } else {
       controller_->OnDrain(w, rt.buffer.NumDistinctSenders());
+      // Density signals precede the drain (it clears the dirty list). New
+      // messages may land between the reads and the drain — the decision
+      // then undercounts slightly, which only shades the heuristic.
+      [[maybe_unused]] const uint64_t frontier_v =
+          rt.buffer.NumPendingVertices();
+      [[maybe_unused]] const uint64_t frontier_deg =
+          rt.buffer.FrontierOutDegree();
       auto updates = rt.buffer.Drain();
       stats_.workers[w].updates_applied += updates.size();
-      emitter.SetRound(controller_->round(w) + 1);
-      work = program_.IncEval(partition_.fragments[w], states_[w],
-                              std::span<const UpdateEntry<V>>(updates),
-                              &emitter);
+      const Round round = controller_->round(w) + 1;
+      emitter.SetRound(round);
+      if constexpr (DualModeProgram<Program>) {
+        const SweepDirection dir = directions_[w].Decide(
+            /*is_peval=*/false, round, frontier_v, frontier_deg);
+        work = program_.IncEval(partition_.fragments[w], states_[w],
+                                std::span<const UpdateEntry<V>>(updates),
+                                &emitter, dir);
+      } else {
+        work = program_.IncEval(partition_.fragments[w], states_[w],
+                                std::span<const UpdateEntry<V>>(updates),
+                                &emitter);
+      }
       total_rounds_.fetch_add(1, std::memory_order_relaxed);
       ++stats_.workers[w].rounds;
+    }
+    if constexpr (DualModeProgram<Program>) {
+      // Same work-unit cost signal as the sim engine (wall time would work
+      // here but would make the two engines' controllers diverge).
+      directions_[w].NoteRound(work);
     }
     const double elapsed = sw.ElapsedSeconds();
     stats_.workers[w].busy_time += elapsed;
@@ -424,6 +479,9 @@ class ThreadedEngine {
 
   std::vector<std::unique_ptr<WorkerRt>> workers_;
   std::vector<State> states_;
+  /// Per-worker push/pull decision state; element w is only touched by the
+  /// thread holding w's round claim (same discipline as states_[w]).
+  std::vector<DirectionController> directions_;
   RunStats stats_;
   std::atomic<uint64_t> total_rounds_{0};
   bool converged_ = true;

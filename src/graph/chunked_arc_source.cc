@@ -1,6 +1,7 @@
 #include "graph/chunked_arc_source.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "graph/store/gcsr_store.h"
 
@@ -107,6 +108,52 @@ void ChunkedArcSource::Release(const Chunk& c) const {
 
 void ChunkedArcSource::NotePointResidency(uint64_t arcs) const {
   RaisePeak(peak_point_, arcs);
+}
+
+void ChunkedArcSource::NotePointLookup(VertexId v) const {
+  // Only the mapped backend has a page cache to bound; for kMemory the LRU
+  // would add accounting noise to the exact sweep-residency assertions.
+  if (backend_ != Backend::kMapped || point_lru_capacity_ == 0 ||
+      num_chunks() == 0) {
+    return;
+  }
+  GRAPE_DCHECK(v < view_.num_vertices());
+  const size_t k = ChunkOf(v);
+  {
+    std::lock_guard<SpinLock> lock(point_mu_);
+    for (size_t i = 0; i < point_held_.size(); ++i) {
+      if (point_held_[i].index == k) {
+        // Refresh recency; rotation keeps the rest of the order intact.
+        std::rotate(point_held_.begin() + i, point_held_.begin() + i + 1,
+                    point_held_.end());
+        return;
+      }
+    }
+  }
+  // Miss: the madvise syscalls stay outside the spinlock — concurrent
+  // lookups must not spin behind a page-cache fault. Two threads racing on
+  // the same chunk may both Acquire and insert it; the refcounting keeps
+  // the accounting balanced, the duplicate entry merely wastes one LRU
+  // slot until evicted, and DONTNEED still only fires on the last holder.
+  const Chunk c = Acquire(k);
+  Chunk victim;
+  bool evict = false;
+  {
+    std::lock_guard<SpinLock> lock(point_mu_);
+    point_held_.push_back(c);
+    if (point_held_.size() > point_lru_capacity_) {
+      victim = point_held_.front();
+      point_held_.erase(point_held_.begin());
+      evict = true;
+    }
+  }
+  if (evict) Release(victim);
+}
+
+void ChunkedArcSource::ReleasePointWindows() const {
+  std::lock_guard<SpinLock> lock(point_mu_);
+  for (const Chunk& c : point_held_) Release(c);
+  point_held_.clear();
 }
 
 void ChunkedArcSource::ResetStats() const {

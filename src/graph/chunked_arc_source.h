@@ -113,13 +113,32 @@ class ChunkedArcSource {
   /// Random-access adjacency lookup outside any chunk (frontier-driven
   /// algorithms: SSSP/BFS relax in priority order, not vertex order). Only
   /// the consumer's heap translation is bounded (one adjacency at a time);
-  /// on the mapped backend the touched pages stay in the page cache until
-  /// the OS reclaims them — clean file-backed pages, so memory pressure
-  /// evicts them gracefully, but the chunk budget does NOT bound this
-  /// path's cache footprint. NotePointResidency records the largest single
+  /// pair with NotePointLookup so the mapped backend's page-cache footprint
+  /// is bounded too. NotePointResidency records the largest single
   /// translation for reporting.
   std::span<const Arc> OutEdges(VertexId v) const { return view_.OutEdges(v); }
   void NotePointResidency(uint64_t arcs) const;
+
+  /// Point-lookup residency window: acquires the chunk containing `v` into
+  /// a small LRU of held windows (capacity point_lru_windows()), releasing
+  /// — and on the mapped backend MADV_DONTNEED-ing — the least recently
+  /// touched window when full. Before this LRU the point path never issued
+  /// DONTNEED, so an out-of-core SSSP/BFS run grew clean-page residency
+  /// without bound; now the acquired footprint of point lookups stays ≤
+  /// point_lru_windows() windows (and is counted by resident_arcs(), so
+  /// peak accounting covers it). kMemory backends no-op: there is no page
+  /// cache to bound, and sweep-residency assertions stay exact. Held
+  /// windows persist across rounds for frontier locality; engines call
+  /// ReleasePointWindows() when a run finishes (the destructor also
+  /// releases). Thread-safe — concurrent fragments share the LRU.
+  void NotePointLookup(VertexId v) const;
+  /// Releases every window NotePointLookup still holds. Idempotent.
+  void ReleasePointWindows() const;
+  uint32_t point_lru_windows() const { return point_lru_capacity_; }
+  /// Capacity 0 disables the point LRU (the pre-fix unbounded behaviour).
+  void set_point_lru_windows(uint32_t n) { point_lru_capacity_ = n; }
+
+  ~ChunkedArcSource() { ReleasePointWindows(); }
 
   /// Acquires every chunk in order, invoking fn(chunk, arcs) between
   /// Acquire and Release — the canonical full-view streaming sweep.
@@ -160,6 +179,10 @@ class ChunkedArcSource {
   mutable std::atomic<uint64_t> resident_{0};
   mutable std::atomic<uint64_t> peak_{0};
   mutable std::atomic<uint64_t> peak_point_{0};
+  // Point-lookup LRU (most recently touched at the back).
+  uint32_t point_lru_capacity_ = 4;
+  mutable SpinLock point_mu_;
+  mutable std::vector<Chunk> point_held_;
 };
 
 }  // namespace grape

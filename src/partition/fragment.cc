@@ -361,6 +361,22 @@ Partition BuildPartition(const GraphView& g, std::vector<FragmentId> placement,
   return p;
 }
 
+void Fragment::BuildCutArcIndex(std::vector<LocalArc>& scratch,
+                                std::vector<uint64_t>* offsets,
+                                std::vector<LocalVertex>* targets) const {
+  const LocalVertex ni = num_inner();
+  offsets->assign(ni + 1, 0);
+  targets->clear();
+  SweepInnerAdjacency(scratch, [&](LocalVertex l, const auto& arcs_of) {
+    if (OutDegree(l) > 0) {
+      for (const LocalArc& a : arcs_of()) {
+        if (!IsInner(a.dst)) targets->push_back(a.dst);
+      }
+    }
+    (*offsets)[l + 1] = targets->size();
+  });
+}
+
 std::span<const LocalArc> Fragment::TranslateFrom(
     const GraphView& view, VertexId v, std::vector<LocalArc>& scratch) const {
   const std::span<const Arc> arcs = view.OutEdges(v);

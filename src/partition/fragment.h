@@ -111,6 +111,13 @@ class Fragment {
     return IsInner(l) ? offsets_[l + 1] - offsets_[l] : 0;
   }
 
+  /// The local out-CSR offsets (size num_inner + 1; present in streaming
+  /// mode too). Engines register this with each worker's UpdateBuffer so
+  /// the frontier out-degree — the push-cost half of the direction
+  /// controller's density signal — is tracked incrementally as updates
+  /// arrive, instead of re-scanned per decision.
+  std::span<const uint64_t> out_offsets() const { return offsets_; }
+
   // ---- out-of-core adjacency -------------------------------------------
 
   /// True when this fragment holds no local arc array and instead streams
@@ -155,17 +162,20 @@ class Fragment {
   /// Mode-independent point adjacency of an inner vertex: the materialised
   /// span, or a translation into `scratch` (heap bounded by the vertex
   /// degree) on streaming fragments. Frontier-driven programs (SSSP, BFS)
-  /// relax through this; note the chunk budget does not bound the mapped
-  /// backend's page-cache footprint on this path (see
-  /// ChunkedArcSource::OutEdges(v)). Point lookups bypass the memoised lid
-  /// cache (it is keyed by chunk windows).
+  /// relax through this. On the mapped backend each lookup touches the
+  /// source's point-window LRU (ChunkedArcSource::NotePointLookup), so the
+  /// page-cache footprint of this path is bounded by a few chunk windows
+  /// and stale windows are MADV_DONTNEED-ed on eviction. Point lookups
+  /// bypass the memoised lid cache (it is keyed by chunk windows).
   std::span<const LocalArc> Adjacency(LocalVertex l,
                                       std::vector<LocalArc>& scratch) const {
     GRAPE_DCHECK(IsInner(l));
     if (!streaming()) {
       return {arcs_.data() + offsets_[l], offsets_[l + 1] - offsets_[l]};
     }
-    const auto arcs = TranslateArcs(GlobalId(l), scratch);
+    const VertexId g = GlobalId(l);
+    arc_source_->NotePointLookup(g);
+    const auto arcs = TranslateArcs(g, scratch);
     arc_source_->NotePointResidency(arcs.size());
     return arcs;
   }
@@ -238,6 +248,45 @@ class Fragment {
     StreamSweep(*in_arc_source_, in_offsets_, in_lid_cache_, scratch,
                 std::forward<Fn>(fn));
   }
+
+  /// Frontier-masked pull sweep: like SweepInnerInAdjacency, but arcs_of()
+  /// yields only in-arcs whose *source* local id is set in `source_mask`
+  /// (size num_local) — dense gather rounds skip settled sources without a
+  /// per-arc branch in the program's kernel. The filtered arcs land in
+  /// `masked_scratch` (distinct from `scratch`, which the streaming
+  /// translation layer owns), keep their sweep order, and are valid until
+  /// the next vertex is visited. Works identically over materialised and
+  /// streaming in-arcs, so masked gathers stay bit-identical across
+  /// backends.
+  template <typename Fn>
+  void SweepInnerInAdjacency(std::vector<LocalArc>& scratch,
+                             std::vector<LocalArc>& masked_scratch,
+                             std::span<const uint8_t> source_mask,
+                             Fn&& fn) const {
+    GRAPE_DCHECK(source_mask.size() >= num_local());
+    SweepInnerInAdjacency(scratch, [&](LocalVertex l, const auto& arcs_of) {
+      fn(l, [&]() -> std::span<const LocalArc> {
+        const std::span<const LocalArc> arcs = arcs_of();
+        masked_scratch.clear();
+        for (const LocalArc& a : arcs) {
+          if (source_mask[a.dst]) masked_scratch.push_back(a);
+        }
+        return {masked_scratch.data(), masked_scratch.size()};
+      });
+    });
+  }
+
+  /// Builds the compact CSR of the inner vertices' *cut* out-arcs (targets
+  /// are outer-copy lids) into caller storage — one adjacency sweep in
+  /// local-id order, so the result is identical across materialised and
+  /// streaming builds. Dual-mode gather kernels enforce cut arcs
+  /// source-side through this index (the in-sweep only covers
+  /// fragment-local arcs); the single definition here keeps every
+  /// program's pull round arithmetic aligned. `offsets` gets size
+  /// num_inner + 1.
+  void BuildCutArcIndex(std::vector<LocalArc>& scratch,
+                        std::vector<uint64_t>* offsets,
+                        std::vector<LocalVertex>* targets) const;
 
   /// Combined hit/miss accounting of the out- and in-sweep lid caches.
   LidCacheStats lid_cache_stats() const {
@@ -366,6 +415,23 @@ class Fragment {
   // round claim touches them (the claim handoff orders the accesses).
   mutable LidCache out_lid_cache_;
   mutable LidCache in_lid_cache_;
+};
+
+/// Lazily built cut-arc CSR for per-fragment program state: the single
+/// definition of the cache every dual-mode gather kernel embeds (their
+/// in-sweeps cover only fragment-local arcs, so cut out-arcs are enforced
+/// source-side through this index). Built once per State lifetime via
+/// Fragment::BuildCutArcIndex.
+struct CutArcIndex {
+  bool built = false;
+  std::vector<uint64_t> offsets;     // size num_inner + 1 once built
+  std::vector<LocalVertex> targets;  // outer-copy lids in sweep order
+
+  void Ensure(const Fragment& f, std::vector<LocalArc>& scratch) {
+    if (built) return;
+    built = true;
+    f.BuildCutArcIndex(scratch, &offsets, &targets);
+  }
 };
 
 /// One resolved routing destination: the receiving fragment and the vertex's

@@ -102,7 +102,9 @@ class UpdateBuffer {
       : slots_(std::move(other.slots_)),
         dirty_(std::move(other.dirty_)),
         num_messages_(std::exchange(other.num_messages_, 0)),
-        senders_(std::move(other.senders_)) {
+        senders_(std::move(other.senders_)),
+        degree_offsets_(std::exchange(other.degree_offsets_, {})),
+        frontier_degree_(std::exchange(other.frontier_degree_, 0)) {
     other.slots_.clear();
     other.dirty_.clear();
     other.senders_.clear();
@@ -113,11 +115,35 @@ class UpdateBuffer {
       dirty_ = std::move(other.dirty_);
       num_messages_ = std::exchange(other.num_messages_, 0);
       senders_ = std::move(other.senders_);
+      degree_offsets_ = std::exchange(other.degree_offsets_, {});
+      frontier_degree_ = std::exchange(other.frontier_degree_, 0);
       other.slots_.clear();
       other.dirty_.clear();
       other.senders_.clear();
     }
     return *this;
+  }
+
+  /// Registers the destination fragment's local CSR offsets (size
+  /// num_inner + 1) so the buffer can track the *frontier out-degree* — the
+  /// summed out-degree of its dirty vertices — incrementally: O(1) per
+  /// first-touch of a slot, no per-decision scan. Keys at or past the span
+  /// (outer-copy lids, hand-built vid keys) contribute zero degree. The
+  /// span's storage must outlive the buffer's use of it (engines point it
+  /// at the partition's fragments, which outlive the run).
+  void SetDegreeOffsets(std::span<const uint64_t> offsets) {
+    std::lock_guard<SpinLock> lock(mu_);
+    degree_offsets_ = offsets;
+    frontier_degree_ = 0;
+    for (uint32_t k : dirty_) frontier_degree_ += DegreeOf(k);
+  }
+
+  /// Summed local out-degree of the buffered dirty vertices — the "edges a
+  /// push round would traverse" half of the Ligra density signal consumed
+  /// by the direction controller. Zero until SetDegreeOffsets is called.
+  uint64_t FrontierOutDegree() const {
+    std::lock_guard<SpinLock> lock(mu_);
+    return frontier_degree_;
   }
 
   /// Appends a message, folding entries into the dense slots via `combine`.
@@ -151,6 +177,7 @@ class UpdateBuffer {
     dirty_.clear();
     num_messages_ = 0;
     senders_.clear();
+    frontier_degree_ = 0;
     return out;
   }
 
@@ -194,6 +221,7 @@ class UpdateBuffer {
     dirty_.clear();
     senders_.clear();
     num_messages_ = 0;
+    frontier_degree_ = 0;
     for (const auto& e : entries) {
       FoldLocked(e, combine);
       ++num_messages_;
@@ -230,6 +258,7 @@ class UpdateBuffer {
       s.entry = e;
       s.dirty = 1;
       dirty_.push_back(k);
+      frontier_degree_ += DegreeOf(k);
     } else {
       s.entry.value = combine(s.entry.value, e.value);
       s.entry.round = std::max(s.entry.round, e.round);
@@ -244,11 +273,20 @@ class UpdateBuffer {
     }
   }
 
+  uint64_t DegreeOf(uint32_t k) const {
+    return k + 1 < degree_offsets_.size()
+               ? degree_offsets_[k + 1] - degree_offsets_[k]
+               : 0;
+  }
+
   mutable SpinLock mu_;
   std::vector<Slot> slots_;
   std::vector<uint32_t> dirty_;  // slot keys in first-touch order
   uint64_t num_messages_ = 0;
   std::vector<FragmentId> senders_;
+  /// Destination fragment's local CSR offsets (frontier-degree tracking).
+  std::span<const uint64_t> degree_offsets_;
+  uint64_t frontier_degree_ = 0;
 };
 
 }  // namespace grape

@@ -59,6 +59,24 @@ uint64_t RunStats::straggler_rounds() const {
   return rounds;
 }
 
+uint64_t RunStats::total_push_rounds() const {
+  uint64_t s = 0;
+  for (const auto& w : workers) s += w.push_rounds;
+  return s;
+}
+
+uint64_t RunStats::total_pull_rounds() const {
+  uint64_t s = 0;
+  for (const auto& w : workers) s += w.pull_rounds;
+  return s;
+}
+
+uint64_t RunStats::total_direction_switches() const {
+  uint64_t s = 0;
+  for (const auto& w : workers) s += w.direction_switches;
+  return s;
+}
+
 std::string RunStats::ToString() const {
   std::ostringstream os;
   os << "makespan=" << makespan << " rounds=" << total_rounds()

@@ -25,6 +25,11 @@ struct WorkerStats {
   double idle_time = 0.0;        // waiting with an empty buffer
   double suspended_time = 0.0;   // held by the delay stretch / staleness bound
   double work_units = 0.0;       // program-reported work (edges relaxed, ...)
+  // Direction telemetry (dual-mode programs; core/direction.h). Counts
+  // include PEval, so push_rounds + pull_rounds = rounds + 1 there.
+  uint64_t push_rounds = 0;         // rounds run with the scatter kernel
+  uint64_t pull_rounds = 0;         // rounds run with the gather kernel
+  uint64_t direction_switches = 0;  // rounds whose direction changed
 };
 
 /// Aggregate view across workers.
@@ -42,6 +47,10 @@ struct RunStats {
   /// Straggler = worker with the most busy time; returns its round count
   /// (the quantity the paper tracks in the Fig. 7 case study).
   uint64_t straggler_rounds() const;
+  // Direction telemetry aggregates (zero for single-kernel programs).
+  uint64_t total_push_rounds() const;
+  uint64_t total_pull_rounds() const;
+  uint64_t total_direction_switches() const;
 
   std::string ToString() const;
 };

@@ -1,0 +1,367 @@
+// Tests for the adaptive push/pull direction layer: the
+// DirectionController's thresholds + hysteresis (no A-B-A flap on a
+// near-threshold signal), the UpdateBuffer's incremental frontier-degree
+// accounting, the frontier-masked pull sweep, the DualModeProgram surface
+// of PageRank / label-propagation CC, and the engine-level guarantee that
+// a star-plus-chain run under --direction=auto records *both* directions
+// in the per-round telemetry while landing on the push fixpoint.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "algos/cc.h"
+#include "algos/cc_pull.h"
+#include "algos/pagerank.h"
+#include "algos/pagerank_pull.h"
+#include "core/direction.h"
+#include "core/sim_engine.h"
+#include "core/threaded_engine.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "partition/partitioner.h"
+#include "runtime/message.h"
+
+namespace grape {
+namespace {
+
+// The dual-mode surface is a compile-time contract: the engines must see
+// exactly the intended programs as dual.
+static_assert(DualModeProgram<PageRankProgram>);
+static_assert(DualModeProgram<CcPullProgram>);
+static_assert(!DualModeProgram<CcProgram>);
+static_assert(!DualModeProgram<PageRankPullProgram>);
+
+/// Auto config pinned to the density regime: exploration pushed out of
+/// reach and no NoteRound feeding, so the Ligra-style threshold/hysteresis
+/// logic is observable in isolation. (Engine-level tests run the real
+/// defaults, measured-cost rule included.)
+DirectionConfig AutoCfg(double dense = 0.05, double sparse = 0.02) {
+  DirectionConfig cfg;
+  cfg.mode = DirectionConfig::Mode::kAuto;
+  cfg.dense_frac = dense;
+  cfg.sparse_frac = sparse;
+  cfg.explore_after = 1 << 20;
+  return cfg;
+}
+
+TEST(DirectionController, ForcedModesIgnoreDensity) {
+  DirectionConfig push_cfg;  // default kPush
+  DirectionController push_ctl(push_cfg, 1000, /*pull_available=*/true);
+  EXPECT_EQ(push_ctl.Decide(true, 0, 0, 0), SweepDirection::kPush);
+  EXPECT_EQ(push_ctl.Decide(false, 1, 1000, 100000), SweepDirection::kPush);
+
+  DirectionConfig pull_cfg;
+  pull_cfg.mode = DirectionConfig::Mode::kPull;
+  DirectionController pull_ctl(pull_cfg, 1000, /*pull_available=*/true);
+  EXPECT_EQ(pull_ctl.Decide(true, 0, 0, 0), SweepDirection::kPull);
+  EXPECT_EQ(pull_ctl.Decide(false, 1, 0, 0), SweepDirection::kPull);
+  EXPECT_EQ(pull_ctl.switches(), 0u);
+}
+
+TEST(DirectionController, PullUnavailableDegradesToPush) {
+  for (const auto mode : {DirectionConfig::Mode::kPull,
+                          DirectionConfig::Mode::kAuto}) {
+    DirectionConfig cfg;
+    cfg.mode = mode;
+    DirectionController ctl(cfg, 1000, /*pull_available=*/false);
+    EXPECT_EQ(ctl.Decide(true, 0, 0, 0), SweepDirection::kPush);
+    EXPECT_EQ(ctl.Decide(false, 1, 1000, 100000), SweepDirection::kPush);
+    EXPECT_EQ(ctl.pull_rounds(), 0u);
+  }
+}
+
+TEST(DirectionController, AutoTreatsPEvalAsDenseAndTracksDensity) {
+  // |E_i| = 2000 -> dense at 100, sparse below 40.
+  DirectionController ctl(AutoCfg(), 2000, /*pull_available=*/true);
+  EXPECT_EQ(ctl.Decide(true, 0, 0, 0), SweepDirection::kPull);  // PEval
+  // Sparse frontier after the collapse: back to push...
+  EXPECT_EQ(ctl.Decide(false, 1, 5, 20), SweepDirection::kPush);  // 25 < 40
+  // ... and a dense wave re-engages the gather kernel.
+  EXPECT_EQ(ctl.Decide(false, 2, 50, 80), SweepDirection::kPull);  // 130>=100
+  EXPECT_EQ(ctl.push_rounds(), 1u);
+  EXPECT_EQ(ctl.pull_rounds(), 2u);
+}
+
+TEST(DirectionController, HysteresisPreventsABAFlap) {
+  // dense at 100, sparse at 40: the band [40, 100) keeps the current
+  // direction. A signal oscillating just around the dense threshold —
+  // which would flap a single-threshold controller every round — must
+  // switch exactly once.
+  DirectionController ctl(AutoCfg(), 2000, /*pull_available=*/true);
+  EXPECT_EQ(ctl.Decide(false, 1, 0, 30), SweepDirection::kPush);   // 30
+  EXPECT_EQ(ctl.Decide(false, 2, 5, 100), SweepDirection::kPull);  // 105: up
+  EXPECT_EQ(ctl.Decide(false, 3, 5, 90), SweepDirection::kPull);   // 95: band
+  EXPECT_EQ(ctl.Decide(false, 4, 5, 100), SweepDirection::kPull);  // 105
+  EXPECT_EQ(ctl.Decide(false, 5, 5, 90), SweepDirection::kPull);   // 95: band
+  EXPECT_EQ(ctl.Decide(false, 6, 5, 36), SweepDirection::kPull);   // 41: band
+  EXPECT_EQ(ctl.switches(), 1u) << "near-threshold signal flapped";
+  // Only a clear drop below the sparse threshold releases the direction.
+  EXPECT_EQ(ctl.Decide(false, 7, 5, 30), SweepDirection::kPush);  // 35 < 40
+  EXPECT_EQ(ctl.switches(), 2u);
+  // The telemetry log mirrors the decisions round for round.
+  ASSERT_EQ(ctl.log().size(), 7u);
+  EXPECT_FALSE(ctl.log()[2].switched);
+  EXPECT_TRUE(ctl.log()[6].switched);
+  EXPECT_EQ(ctl.log()[1].frontier_degree, 100u);
+}
+
+TEST(DirectionController, MeasuredCostRuleGovernsAfterSampling) {
+  DirectionConfig cfg = AutoCfg();  // dense at 100, sparse at 40
+  cfg.cost_margin = 0.25;
+  DirectionController ctl(cfg, 2000, /*pull_available=*/true);
+  // PEval samples the gather kernel: a full-graph round of ~2000 units.
+  EXPECT_EQ(ctl.Decide(true, 0, 0, 0), SweepDirection::kPull);
+  ctl.NoteRound(2000.0);
+  // Sparse round exits pull via the density rule and samples push at
+  // ~1 unit per frontier-signal unit.
+  EXPECT_EQ(ctl.Decide(false, 1, 10, 20), SweepDirection::kPush);  // s=30<40
+  ctl.NoteRound(30.0);
+  // From here the measured costs govern. Push predicted 1900 vs the pull
+  // entry bar of 2000 * 1.25 margin * 2.0 entry bias = 5000: push holds
+  // even though the density rule (dense at 100) would long have switched.
+  EXPECT_EQ(ctl.Decide(false, 2, 100, 1800), SweepDirection::kPush);
+  ctl.NoteRound(1900.0);
+  // A frontier predicting decisively past the entry bar flips to gather...
+  EXPECT_EQ(ctl.Decide(false, 3, 400, 5200), SweepDirection::kPull);
+  ctl.NoteRound(2000.0);
+  // ... and near-parity signals stay pull (margin again, both ways).
+  EXPECT_EQ(ctl.Decide(false, 4, 200, 2000), SweepDirection::kPull);
+  ctl.NoteRound(2000.0);
+  // Only a clearly cheaper push round wins the direction back.
+  EXPECT_EQ(ctl.Decide(false, 5, 20, 80), SweepDirection::kPush);
+}
+
+TEST(DirectionController, ColdStartExploresPushAfterPullStreak) {
+  DirectionConfig cfg = AutoCfg();
+  cfg.explore_after = 2;
+  DirectionController ctl(cfg, 2000, /*pull_available=*/true);
+  EXPECT_EQ(ctl.Decide(true, 0, 0, 0), SweepDirection::kPull);  // streak 1
+  ctl.NoteRound(2000.0);
+  // Persistently dense signal: density hysteresis alone would hold pull
+  // forever and the scatter kernel would never be priced.
+  EXPECT_EQ(ctl.Decide(false, 1, 100, 1900), SweepDirection::kPull);
+  ctl.NoteRound(2000.0);
+  EXPECT_EQ(ctl.Decide(false, 2, 100, 1900), SweepDirection::kPush)
+      << "streak must force a push sample";
+}
+
+TEST(UpdateBuffer, TracksFrontierOutDegreeIncrementally) {
+  // Degrees: l0=3, l1=7, l2=0, l3=4.
+  const std::vector<uint64_t> offsets = {0, 3, 10, 10, 14};
+  UpdateBuffer<double> buf(4);
+  buf.SetDegreeOffsets(offsets);
+  const auto sum = [](const double& a, const double& b) { return a + b; };
+  const auto append = [&](LocalVertex lid, VertexId vid) {
+    const UpdateEntry<double> e{vid, 1.0, 0, lid};
+    buf.AppendEntries(0, std::span<const UpdateEntry<double>>(&e, 1), sum);
+  };
+  EXPECT_EQ(buf.FrontierOutDegree(), 0u);
+  append(0, 100);
+  EXPECT_EQ(buf.FrontierOutDegree(), 3u);
+  append(1, 101);
+  EXPECT_EQ(buf.FrontierOutDegree(), 10u);
+  append(1, 101);  // combine into an already-dirty slot: no double count
+  EXPECT_EQ(buf.FrontierOutDegree(), 10u);
+  EXPECT_EQ(buf.NumPendingVertices(), 2u);
+  append(7, 107);  // beyond the offsets span (e.g. an outer lid): degree 0
+  EXPECT_EQ(buf.FrontierOutDegree(), 10u);
+  (void)buf.Drain();
+  EXPECT_EQ(buf.FrontierOutDegree(), 0u);
+  append(3, 103);
+  EXPECT_EQ(buf.FrontierOutDegree(), 4u);
+  // Late registration rebuilds the tally from the dirty list.
+  UpdateBuffer<double> late(4);
+  const UpdateEntry<double> e0{100, 1.0, 0, 0};
+  const UpdateEntry<double> e3{103, 1.0, 0, 3};
+  late.AppendEntries(0, std::span<const UpdateEntry<double>>(&e0, 1), sum);
+  late.AppendEntries(0, std::span<const UpdateEntry<double>>(&e3, 1), sum);
+  EXPECT_EQ(late.FrontierOutDegree(), 0u);
+  late.SetDegreeOffsets(offsets);
+  EXPECT_EQ(late.FrontierOutDegree(), 7u);
+}
+
+Graph StarPlusChain(VertexId spokes, VertexId chain) {
+  // Hub 0 fans out to `spokes` leaves (the dense wave), with a long chain
+  // hanging off the hub (the sparse tail whose frontier is 1-2 vertices).
+  GraphBuilder b(1 + spokes + chain, /*directed=*/false);
+  for (VertexId s = 1; s <= spokes; ++s) b.AddEdge(0, s, 1.0);
+  VertexId prev = 0;
+  for (VertexId c = 0; c < chain; ++c) {
+    const VertexId v = 1 + spokes + c;
+    b.AddEdge(prev, v, 1.0);
+    prev = v;
+  }
+  return std::move(b).Build();
+}
+
+/// Pull-enabled materialised partition over `g` (in-memory transpose kept
+/// alive by the caller-owned Graph).
+Partition PullPartition(const GraphView& g, const Graph& transpose,
+                        FragmentId m) {
+  auto placement = HashPartitioner().Assign(g, m);
+  GraphView tv = transpose.View();
+  PartitionOptions opts;
+  opts.in_adjacency = &tv;
+  return BuildPartition(g, placement, m, nullptr, opts);
+}
+
+TEST(AutoDirection, StarPlusChainRecordsBothDirections) {
+  Graph g = StarPlusChain(300, 40);
+  Graph t = TransposeGraph(g);
+  GraphView tv = t.View();
+  auto placement = HashPartitioner().Assign(g, 3);
+  PartitionOptions opts;
+  opts.in_adjacency = &tv;
+  Partition p = BuildPartition(g, placement, 3, nullptr, opts);
+
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  cfg.direction.mode = DirectionConfig::Mode::kAuto;
+  SimEngine<PageRankProgram> engine(p, PageRankProgram(0.85, 1e-10), cfg);
+  auto r = engine.Run();
+  ASSERT_TRUE(r.converged);
+
+  // The dense PEval wave must have run pull somewhere, and the collapsed
+  // chain frontier must have run push somewhere — both directions appear
+  // in the telemetry, with every switch accounted.
+  EXPECT_GT(r.stats.total_pull_rounds(), 0u);
+  EXPECT_GT(r.stats.total_push_rounds(), 0u);
+  EXPECT_GT(r.stats.total_direction_switches(), 0u);
+  bool log_has_pull = false, log_has_push = false;
+  for (FragmentId w = 0; w < p.num_fragments(); ++w) {
+    for (const DirectionSample& s : engine.direction_controller(w).log()) {
+      (s.dir == SweepDirection::kPull ? log_has_pull : log_has_push) = true;
+    }
+  }
+  EXPECT_TRUE(log_has_pull);
+  EXPECT_TRUE(log_has_push);
+
+  // Auto lands on the push fixpoint and the ground truth.
+  EngineConfig push_cfg = cfg;
+  push_cfg.direction.mode = DirectionConfig::Mode::kPush;
+  auto push = SimEngine<PageRankProgram>(p, PageRankProgram(0.85, 1e-10),
+                                         push_cfg)
+                  .Run();
+  const auto truth = seq::PageRank(g, 0.85, 1e-12);
+  ASSERT_EQ(r.result.size(), truth.size());
+  for (size_t v = 0; v < truth.size(); ++v) {
+    EXPECT_NEAR(r.result[v], truth[v], 1e-6) << "v=" << v;
+    EXPECT_NEAR(r.result[v], push.result[v], 1e-6) << "v=" << v;
+  }
+}
+
+TEST(DualPageRank, AllDirectionsReachTheGroundTruthFixpoint) {
+  RmatOptions o;
+  o.num_vertices = 800;
+  o.num_edges = 5000;
+  o.directed = true;
+  o.weighted = true;
+  o.seed = 9;
+  Graph g = MakeRmat(o);
+  Graph t = TransposeGraph(g);
+  Partition p = PullPartition(g, t, 4);
+  const auto truth = seq::PageRank(g, 0.85, 1e-12);
+
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  for (const auto mode : {DirectionConfig::Mode::kPush,
+                          DirectionConfig::Mode::kPull,
+                          DirectionConfig::Mode::kAuto}) {
+    cfg.direction.mode = mode;
+    SimEngine<PageRankProgram> engine(p, PageRankProgram(0.85, 1e-11), cfg);
+    auto r = engine.Run();
+    ASSERT_TRUE(r.converged);
+    for (size_t v = 0; v < truth.size(); ++v) {
+      ASSERT_NEAR(r.result[v], truth[v], 1e-6)
+          << "mode=" << static_cast<int>(mode) << " v=" << v;
+    }
+  }
+}
+
+TEST(DualCc, LabelPropagationMatchesUnionFindOnUndirectedGraphs) {
+  RmatOptions o;
+  o.num_vertices = 1200;
+  o.num_edges = 4000;  // sparse enough to leave several components
+  o.directed = false;
+  o.seed = 5;
+  Graph g = MakeRmat(o);
+  Graph t = TransposeGraph(g);
+  Partition p = PullPartition(g, t, 4);
+  const auto truth = seq::ConnectedComponents(g);
+
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  for (const auto mode : {DirectionConfig::Mode::kPush,
+                          DirectionConfig::Mode::kPull,
+                          DirectionConfig::Mode::kAuto}) {
+    cfg.direction.mode = mode;
+    SimEngine<CcPullProgram> engine(p, CcPullProgram{}, cfg);
+    auto r = engine.Run();
+    ASSERT_TRUE(r.converged);
+    ASSERT_EQ(r.result, truth) << "mode=" << static_cast<int>(mode);
+  }
+}
+
+TEST(DualCc, ThreadedAutoMatchesGroundTruth) {
+  RmatOptions o;
+  o.num_vertices = 1000;
+  o.num_edges = 5000;
+  o.directed = false;
+  o.seed = 17;
+  Graph g = MakeRmat(o);
+  Graph t = TransposeGraph(g);
+  Partition p = PullPartition(g, t, 5);
+
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  cfg.direction.mode = DirectionConfig::Mode::kAuto;
+  cfg.num_threads = 3;
+  ThreadedEngine<CcPullProgram> engine(p, CcPullProgram{}, cfg);
+  auto r = engine.Run();
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.result, seq::ConnectedComponents(g));
+  EXPECT_GT(r.stats.total_pull_rounds(), 0u);  // PEval gathers under auto
+}
+
+TEST(MaskedInSweep, FiltersSettledSourcesInSweepOrder) {
+  RmatOptions o;
+  o.num_vertices = 600;
+  o.num_edges = 3600;
+  o.directed = true;
+  o.seed = 21;
+  Graph g = MakeRmat(o);
+  Graph t = TransposeGraph(g);
+  Partition p = PullPartition(g, t, 3);
+
+  for (FragmentId i = 0; i < p.num_fragments(); ++i) {
+    const Fragment& f = p.fragments[i];
+    std::vector<uint8_t> mask(f.num_local());
+    for (LocalVertex l = 0; l < f.num_local(); ++l) mask[l] = l % 2;
+    std::vector<LocalArc> scratch, masked_scratch, ref_scratch;
+    std::vector<std::vector<LocalArc>> expect(f.num_inner());
+    f.SweepInnerInAdjacency(ref_scratch, [&](LocalVertex l,
+                                             const auto& arcs_of) {
+      for (const LocalArc& a : arcs_of()) {
+        if (mask[a.dst]) expect[l].push_back(a);
+      }
+    });
+    LocalVertex visited = 0;
+    f.SweepInnerInAdjacency(
+        scratch, masked_scratch, mask,
+        [&](LocalVertex l, const auto& arcs_of) {
+          ASSERT_EQ(l, visited++);
+          const auto arcs = arcs_of();
+          ASSERT_EQ(arcs.size(), expect[l].size());
+          for (size_t k = 0; k < arcs.size(); ++k) {
+            ASSERT_EQ(arcs[k].dst, expect[l][k].dst);
+            ASSERT_EQ(arcs[k].weight, expect[l][k].weight);
+          }
+        });
+    EXPECT_EQ(visited, f.num_inner());
+  }
+}
+
+}  // namespace
+}  // namespace grape

@@ -164,10 +164,12 @@ TEST_P(StreamingEquivalence, BitIdenticalAcrossModesAndBackends) {
   EXPECT_EQ(bfs_ref, RunSim(stream_mem, bfs));
   EXPECT_EQ(bfs_ref, RunSim(stream_map, bfs));
 
-  // The sim engine runs one round at a time, so the acquired window never
-  // exceeds one chunk (point lookups bound only their heap translation —
-  // see ChunkedArcSource::OutEdges(v)).
-  EXPECT_LE(map_src.peak_resident_arcs(), map_src.effective_budget());
+  // The sim engine runs one round at a time, so sweeps hold one window;
+  // SSSP/BFS point lookups additionally pin up to point_lru_windows()
+  // windows on the mapped backend (released with the run — see
+  // ChunkedArcSource::NotePointLookup).
+  EXPECT_LE(map_src.peak_resident_arcs(),
+            (1 + map_src.point_lru_windows()) * map_src.effective_budget());
   EXPECT_EQ(map_src.resident_arcs(), 0u);
   std::remove(path.c_str());
 }
@@ -345,6 +347,59 @@ TEST(StreamingFragment, UnknownGlobalIdsTranslateToInvalid) {
   // Valid graphs never produce unknown targets: translation drops nothing.
   std::vector<LocalArc> scratch;
   EXPECT_EQ(f0.Adjacency(0, scratch).size(), 1u);
+}
+
+TEST(PointLookupLru, BoundsMappedResidencyAndReleases) {
+  // The point-lookup path used to never issue MADV_DONTNEED: an
+  // out-of-core SSSP/BFS run grew clean-page residency without bound. The
+  // source-level LRU must (a) account point windows in resident_arcs, (b)
+  // cap them at point_lru_windows() windows, and (c) drop them when the
+  // engine finishes / ReleasePointWindows is called.
+  Graph g = TestGraph();
+  const std::string path = TmpPath("point_lru.gcsr");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  auto mapped = MmapGraph::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  const FragmentId m = 3;
+  auto placement = HashPartitioner().Assign(g, m);
+  ChunkedArcSource src(mapped.value(), 113);
+  ASSERT_GT(src.point_lru_windows(), 0u);
+  PartitionOptions opts{.arc_source = &src};
+  Partition p = BuildPartition(mapped.value().View(), placement, m, nullptr,
+                               opts);
+
+  // Engine run: frontier-driven relaxation hammers the point path. The
+  // residency stays within (1 sweep + LRU) windows and returns to zero
+  // when the run ends.
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  auto r = SimEngine<SsspProgram>(p, SsspProgram(0), cfg).Run();
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.result, seq::Sssp(g, 0));
+  EXPECT_GT(src.peak_resident_arcs(), 0u);
+  EXPECT_LE(src.peak_resident_arcs(),
+            (1 + src.point_lru_windows()) * src.effective_budget());
+  EXPECT_EQ(src.resident_arcs(), 0u) << "engine must release point windows";
+
+  // Direct point lookups: windows accumulate up to the LRU capacity, no
+  // further, and release on demand (idempotently).
+  src.ResetStats();
+  std::vector<LocalArc> scratch;
+  const Fragment& f = p.fragments[0];
+  for (LocalVertex l = 0; l < f.num_inner(); ++l) {
+    (void)f.Adjacency(l, scratch);
+    EXPECT_LE(src.resident_arcs(),
+              src.point_lru_windows() * src.effective_budget());
+  }
+  if (src.num_chunks() >= src.point_lru_windows()) {
+    EXPECT_GT(src.resident_arcs(), 0u);
+  }
+  src.ReleasePointWindows();
+  EXPECT_EQ(src.resident_arcs(), 0u);
+  src.ReleasePointWindows();
+  EXPECT_EQ(src.resident_arcs(), 0u);
+  std::remove(path.c_str());
 }
 
 TEST(StreamingThreaded, CcMatchesSequentialGroundTruth) {

@@ -13,9 +13,13 @@ Usage:
   check_bench.py --micro build/BENCH_micro.json --ingest build/BENCH_ingest.json \
       [--baseline-micro BENCH_micro.json] [--baseline-ingest BENCH_ingest.json] \
       [--threshold 0.25]
+  check_bench.py --list-metrics     # print the gate/required-true catalogue
 
 Exit codes: 0 = within tolerance, 1 = regression or inconsistency,
 2 = bad invocation / unreadable file.
+
+The gate/skip/required-true logic is covered by tools/check_bench_test.py
+(pure python, registered as a ctest).
 """
 
 import argparse
@@ -24,9 +28,13 @@ import sys
 
 # (file key, dotted metric path, direction, (guard seconds fields),
 #  threshold override or floor)
-# direction "higher": regression when fresh < baseline * (1 - threshold)
-# direction "lower":  regression when fresh > baseline * (1 + threshold)
-# direction "floor":  regression when fresh < the given absolute floor —
+# direction "higher":  regression when fresh < baseline * (1 - threshold)
+# direction "lower":   regression when fresh > baseline * (1 + threshold)
+# direction "ceiling": regression when fresh > the given absolute bound —
+#   for ratios whose acceptance is stated absolutely (the adaptive
+#   direction controller's "auto is never >5% slower than the better pure
+#   direction" bar is 1.05 regardless of what any baseline recorded).
+# direction "floor":   regression when fresh < the given absolute floor —
 #   for hot-path speedups whose baseline side is itself noisy (history shows
 #   the micro dispatch baseline halving between runs of the same binary), a
 #   relative gate would flap; the floor instead encodes "the dense path must
@@ -38,7 +46,10 @@ import sys
 # denominator is a few tens of milliseconds swings by 50%+ between identical
 # runs (observed for the smoke-scale CC ratio), so such metrics are reported
 # but not gated at that scale — the committed full-profile BENCH_ingest.json
-# tracks them at 1M where the timings are stable.
+# tracks them at 1M where the timings are stable. A guard may also be a
+# ("field", min_seconds) pair for metrics that need a higher floor than
+# MIN_GUARD_SEC (e.g. the direction auto-vs-best ceilings, whose 5% band is
+# tighter than smoke-scale run-to-run noise).
 # The streaming slowdown ratios get a wider band (0.5): they mix compute
 # with page-fault timing, which swings more across kernels/filesystems than
 # the pure-compute speedups do.
@@ -67,6 +78,17 @@ GATES = [
     ("ingest", "streaming.lid_cache.speedup", "higher",
      ("streaming.pagerank_stream_nocache_sec",
       "streaming.pagerank_stream_sec"), 0.5),
+    # Adaptive direction controller: auto may never lose >5% to the better
+    # pure direction. A 5% band is inside smoke-scale noise, so these only
+    # engage at full-profile timings (the committed 1M BENCH_ingest.json);
+    # smoke runs report and skip.
+    ("ingest", "direction.pagerank_auto_over_best", "ceiling",
+     (("direction.pagerank_push_sec", 5.0),
+      ("direction.pagerank_pull_sec", 5.0),
+      ("direction.pagerank_auto_sec", 5.0)), 1.05),
+    ("ingest", "direction.cc_auto_over_best", "ceiling",
+     (("direction.cc_push_sec", 1.0), ("direction.cc_pull_sec", 1.0),
+      ("direction.cc_auto_sec", 1.0)), 1.05),
 ]
 
 # Boolean fields that must be true in the fresh results, regardless of
@@ -78,6 +100,8 @@ REQUIRED_TRUE = [
     ("ingest", "streaming.pull_identical"),
     ("ingest", "streaming.cf_identical"),
     ("ingest", "streaming.lid_cache.nocache_identical"),
+    ("ingest", "direction.pagerank_fixpoint_equal"),
+    ("ingest", "direction.cc_identical"),
 ]
 
 MIN_GUARD_SEC = 0.1
@@ -101,25 +125,26 @@ def load(path, what):
         sys.exit(2)
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("--micro", required=True, help="fresh BENCH_micro.json")
-    ap.add_argument("--ingest", required=True, help="fresh BENCH_ingest.json")
-    ap.add_argument("--baseline-micro", default="BENCH_micro.json")
-    ap.add_argument("--baseline-ingest", default="BENCH_ingest.json")
-    ap.add_argument("--threshold", type=float, default=0.25,
-                    help="allowed fractional regression (default 0.25)")
-    args = ap.parse_args()
+def list_metrics(out=print):
+    """Prints every gated metric and required-true field — the
+    inspection mode CI logs link to when a gate fires."""
+    out("gated metrics (file:path  direction  bound  guards):")
+    for which, path, direction, guards, override in GATES:
+        bound = ("default-threshold" if override is None
+                 else f"{override:g}")
+        guard_s = ",".join(
+            f"{g[0]}>={g[1]}s" if isinstance(g, tuple) else g
+            for g in guards) if guards else "-"
+        out(f"  {which}:{path}  {direction}  {bound}  {guard_s}")
+    out("required-true fields:")
+    for which, path in REQUIRED_TRUE:
+        out(f"  {which}:{path}")
 
-    fresh = {
-        "micro": load(args.micro, "fresh micro"),
-        "ingest": load(args.ingest, "fresh ingest"),
-    }
-    base = {
-        "micro": load(args.baseline_micro, "baseline micro"),
-        "ingest": load(args.baseline_ingest, "baseline ingest"),
-    }
 
+def run_checks(fresh, base, threshold, out=print):
+    """Evaluates REQUIRED_TRUE + GATES over already-loaded fresh/baseline
+    documents; returns the list of failure strings (empty = pass). Pure —
+    no I/O besides `out` — so the unit test drives it directly."""
     failures = []
     for which, path in REQUIRED_TRUE:
         value = lookup(fresh[which], path)
@@ -132,20 +157,28 @@ def main():
         if fresh_v is None:
             failures.append(f"{which}:{path} missing from fresh results")
             continue
-        guard_values = []
+        guard_short = None  # (value, floor) of the first unmet guard
         for g in guards:
-            gv = lookup(fresh[which], g)
-            guard_values.append(gv if isinstance(gv, (int, float)) else 0.0)
-        if guards and min(guard_values) < MIN_GUARD_SEC:
-            print(f"  SKIP {which}:{path} (a timing of "
-                  f"{min(guard_values):.3f}s is below the noise floor "
-                  f"{MIN_GUARD_SEC}s)")
+            field, floor = g if isinstance(g, tuple) else (g, MIN_GUARD_SEC)
+            gv = lookup(fresh[which], field)
+            gv = gv if isinstance(gv, (int, float)) else 0.0
+            if gv < floor:
+                guard_short = (gv, floor)
+                break
+        if guard_short is not None:
+            out(f"  SKIP {which}:{path} (a timing of "
+                f"{guard_short[0]:.3f}s is below the noise floor "
+                f"{guard_short[1]}s)")
             continue
-        if direction == "floor":
+        if direction in ("floor", "ceiling"):
             bound = override
-            ok = fresh_v >= bound
-            rel = ">="
-            against = "absolute floor"
+            if direction == "floor":
+                ok = fresh_v >= bound
+                rel = ">="
+            else:
+                ok = fresh_v <= bound
+                rel = "<="
+            against = f"absolute {direction}"
         else:
             # A baseline that predates this metric (e.g. a freshly added
             # BENCH section with no committed smoke baseline yet), carries a
@@ -153,28 +186,59 @@ def main():
             # relative bound and a division-free footgun) cannot gate: warn
             # and skip instead of crashing or failing the build.
             if not isinstance(base_v, (int, float)) or base_v == 0:
-                print(f"  SKIP {which}:{path} (baseline metric missing or "
-                      f"zero: {base_v!r}; commit a refreshed baseline to "
-                      f"gate it)")
+                out(f"  SKIP {which}:{path} (baseline metric missing or "
+                    f"zero: {base_v!r}; commit a refreshed baseline to "
+                    f"gate it)")
                 continue
-            threshold = override if override is not None else args.threshold
+            eff_threshold = override if override is not None else threshold
             if direction == "higher":
-                bound = base_v * (1.0 - threshold)
+                bound = base_v * (1.0 - eff_threshold)
                 ok = fresh_v >= bound
                 rel = ">="
             else:
-                bound = base_v * (1.0 + threshold)
+                bound = base_v * (1.0 + eff_threshold)
                 ok = fresh_v <= bound
                 rel = "<="
             against = f"baseline {base_v:.3g}"
         verdict = "ok  " if ok else "FAIL"
-        print(f"  {verdict} {which}:{path} = {fresh_v:.3g} (want {rel} "
-              f"{bound:.3g}; {against})")
+        out(f"  {verdict} {which}:{path} = {fresh_v:.3g} (want {rel} "
+            f"{bound:.3g}; {against})")
         if not ok:
             failures.append(
                 f"{which}:{path} regressed: {fresh_v:.3g} (want {rel} "
                 f"{bound:.3g}, {against})")
+    return failures
 
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--micro", help="fresh BENCH_micro.json")
+    ap.add_argument("--ingest", help="fresh BENCH_ingest.json")
+    ap.add_argument("--baseline-micro", default="BENCH_micro.json")
+    ap.add_argument("--baseline-ingest", default="BENCH_ingest.json")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional regression (default 0.25)")
+    ap.add_argument("--list-metrics", action="store_true",
+                    help="print every gated metric / required-true field "
+                         "and exit (no result files needed)")
+    args = ap.parse_args()
+
+    if args.list_metrics:
+        list_metrics()
+        return 0
+    if args.micro is None or args.ingest is None:
+        ap.error("--micro and --ingest are required unless --list-metrics")
+
+    fresh = {
+        "micro": load(args.micro, "fresh micro"),
+        "ingest": load(args.ingest, "fresh ingest"),
+    }
+    base = {
+        "micro": load(args.baseline_micro, "baseline micro"),
+        "ingest": load(args.baseline_ingest, "baseline ingest"),
+    }
+
+    failures = run_checks(fresh, base, args.threshold)
     if failures:
         print("\ncheck_bench: FAILED")
         for f in failures:

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Unit tests for the check_bench.py bench-regression gate — the script
+guards CI, so its gate / skip / required-true logic is itself under test
+(pure python, registered as a ctest; no bench artifacts needed).
+
+Run directly:  python3 tools/check_bench_test.py
+"""
+
+import copy
+import io
+import unittest
+from contextlib import redirect_stdout, redirect_stderr
+
+import check_bench
+
+
+def deep_set(doc, dotted, value):
+    parts = dotted.split(".")
+    cur = doc
+    for p in parts[:-1]:
+        cur = cur.setdefault(p, {})
+    cur[parts[-1]] = value
+
+
+def make_docs():
+    """Fresh/baseline documents that pass every gate: each gated metric is
+    healthy, every guard timing is well above the noise floor, and every
+    required-true field is true."""
+    fresh = {"micro": {}, "ingest": {}}
+    base = {"micro": {}, "ingest": {}}
+    for which, path, direction, guards, override in check_bench.GATES:
+        if direction == "floor":
+            deep_set(fresh[which], path, override * 2.0)
+        elif direction == "ceiling":
+            deep_set(fresh[which], path, override * 0.5)
+        elif direction == "higher":
+            deep_set(fresh[which], path, 3.0)
+            deep_set(base[which], path, 3.0)
+        else:  # lower
+            deep_set(fresh[which], path, 1.5)
+            deep_set(base[which], path, 1.5)
+        for g in guards:
+            if isinstance(g, tuple):
+                deep_set(fresh[which], g[0], g[1] * 2.0)  # above its floor
+            else:
+                deep_set(fresh[which], g, 1.0)  # >> MIN_GUARD_SEC
+    for which, path in check_bench.REQUIRED_TRUE:
+        deep_set(fresh[which], path, True)
+    return fresh, base
+
+
+def run(fresh, base, threshold=0.25):
+    lines = []
+    failures = check_bench.run_checks(fresh, base, threshold,
+                                      out=lines.append)
+    return failures, lines
+
+
+class GateLogicTest(unittest.TestCase):
+    def test_healthy_documents_pass(self):
+        fresh, base = make_docs()
+        failures, _ = run(fresh, base)
+        self.assertEqual(failures, [])
+
+    def test_higher_metric_regression_fails(self):
+        fresh, base = make_docs()
+        deep_set(base["ingest"], "build.speedup", 4.0)
+        deep_set(fresh["ingest"], "build.speedup", 4.0 * 0.74)  # >25% drop
+        failures, _ = run(fresh, base)
+        self.assertTrue(any("build.speedup" in f for f in failures))
+
+    def test_higher_metric_within_threshold_passes(self):
+        fresh, base = make_docs()
+        deep_set(base["ingest"], "build.speedup", 4.0)
+        deep_set(fresh["ingest"], "build.speedup", 4.0 * 0.8)  # 20% drop
+        failures, _ = run(fresh, base)
+        self.assertEqual(failures, [])
+
+    def test_lower_metric_regression_fails(self):
+        fresh, base = make_docs()
+        path = "streaming.cc_stream_over_inmem"
+        deep_set(base["ingest"], path, 1.0)
+        deep_set(fresh["ingest"], path, 1.6)  # beyond the 0.5 wide band
+        failures, _ = run(fresh, base)
+        self.assertTrue(any(path in f for f in failures))
+
+    def test_floor_is_absolute(self):
+        fresh, base = make_docs()
+        # The micro dispatch floor is absolute: a sky-high baseline must not
+        # move the bound.
+        deep_set(base["micro"], "message_dispatch.speedup", 1000.0)
+        deep_set(fresh["micro"], "message_dispatch.speedup", 2.9)  # floor 3.0
+        failures, _ = run(fresh, base)
+        self.assertTrue(any("message_dispatch" in f for f in failures))
+        deep_set(fresh["micro"], "message_dispatch.speedup", 3.1)
+        failures, _ = run(fresh, base)
+        self.assertEqual(failures, [])
+
+    def test_ceiling_is_absolute(self):
+        fresh, base = make_docs()
+        path = "direction.pagerank_auto_over_best"
+        deep_set(fresh["ingest"], path, 1.06)  # acceptance ceiling is 1.05
+        failures, _ = run(fresh, base)
+        self.assertTrue(any(path in f for f in failures))
+        deep_set(fresh["ingest"], path, 1.04)
+        failures, _ = run(fresh, base)
+        self.assertEqual(failures, [])
+
+    def test_guard_below_noise_floor_skips(self):
+        fresh, base = make_docs()
+        deep_set(fresh["ingest"], "build.serial_baseline_sec", 0.01)
+        deep_set(fresh["ingest"], "build.speedup", 0.001)  # awful, but noisy
+        failures, lines = run(fresh, base)
+        self.assertEqual(failures, [])
+        self.assertTrue(any("SKIP ingest:build.speedup" in ln
+                            for ln in lines))
+
+    def test_per_guard_floor_skips_above_global_noise_floor(self):
+        fresh, base = make_docs()
+        # Smoke-scale direction timing: comfortably above MIN_GUARD_SEC but
+        # under the gate's own 5s floor — the tight 5% ceiling must not
+        # evaluate against such noisy runs.
+        deep_set(fresh["ingest"], "direction.pagerank_push_sec", 0.8)
+        deep_set(fresh["ingest"], "direction.pagerank_auto_over_best", 1.2)
+        failures, lines = run(fresh, base)
+        self.assertEqual(failures, [])
+        self.assertTrue(
+            any("SKIP ingest:direction.pagerank_auto_over_best" in ln
+                for ln in lines))
+
+    def test_missing_guard_counts_as_zero_and_skips(self):
+        fresh, base = make_docs()
+        doc = fresh["ingest"]["direction"]
+        del doc["pagerank_pull_sec"]
+        deep_set(fresh["ingest"], "direction.pagerank_auto_over_best", 99.0)
+        failures, lines = run(fresh, base)
+        self.assertEqual(failures, [])
+        self.assertTrue(
+            any("SKIP ingest:direction.pagerank_auto_over_best" in ln
+                for ln in lines))
+
+    def test_missing_fresh_metric_fails(self):
+        fresh, base = make_docs()
+        del fresh["micro"]["buffer_append_drain"]
+        failures, _ = run(fresh, base)
+        self.assertTrue(any("buffer_append_drain.speedup missing" in f
+                            for f in failures))
+
+    def test_missing_or_zero_baseline_skips_with_warning(self):
+        fresh, base = make_docs()
+        deep_set(base["ingest"], "build.speedup", 0)
+        del base["ingest"]["build_partition"]
+        failures, lines = run(fresh, base)
+        self.assertEqual(failures, [])
+        self.assertTrue(any("SKIP ingest:build.speedup" in ln
+                            for ln in lines))
+        self.assertTrue(any("SKIP ingest:build_partition.speedup" in ln
+                            for ln in lines))
+
+    def test_required_true_fails_on_false_and_missing(self):
+        fresh, base = make_docs()
+        deep_set(fresh["ingest"], "direction.cc_identical", False)
+        failures, _ = run(fresh, base)
+        self.assertTrue(any("direction.cc_identical must be true" in f
+                            for f in failures))
+        fresh2 = copy.deepcopy(fresh)
+        deep_set(fresh2["ingest"], "direction.cc_identical", True)
+        del fresh2["ingest"]["streaming"]["pull_identical"]
+        failures, _ = run(fresh2, base)
+        self.assertTrue(any("streaming.pull_identical must be true" in f
+                            for f in failures))
+
+    def test_custom_threshold_applies_to_default_gates(self):
+        fresh, base = make_docs()
+        deep_set(base["ingest"], "build.speedup", 4.0)
+        deep_set(fresh["ingest"], "build.speedup", 4.0 * 0.85)
+        self.assertEqual(run(fresh, base, threshold=0.25)[0], [])
+        failures, _ = run(fresh, base, threshold=0.10)
+        self.assertTrue(any("build.speedup" in f for f in failures))
+
+    def test_lookup_traverses_and_rejects(self):
+        doc = {"a": {"b": {"c": 3}}}
+        self.assertEqual(check_bench.lookup(doc, "a.b.c"), 3)
+        self.assertIsNone(check_bench.lookup(doc, "a.b.missing"))
+        self.assertIsNone(check_bench.lookup(doc, "a.b.c.d"))
+
+    def test_list_metrics_covers_catalogue(self):
+        lines = []
+        check_bench.list_metrics(out=lines.append)
+        text = "\n".join(lines)
+        for which, path, *_ in check_bench.GATES:
+            self.assertIn(f"{which}:{path}", text)
+        for which, path in check_bench.REQUIRED_TRUE:
+            self.assertIn(f"{which}:{path}", text)
+
+    def test_main_list_metrics_exits_zero_without_files(self):
+        import sys
+        argv = sys.argv
+        sys.argv = ["check_bench.py", "--list-metrics"]
+        try:
+            buf = io.StringIO()
+            with redirect_stdout(buf), redirect_stderr(buf):
+                self.assertEqual(check_bench.main(), 0)
+            self.assertIn("required-true fields:", buf.getvalue())
+        finally:
+            sys.argv = argv
+
+
+if __name__ == "__main__":
+    unittest.main()
