@@ -11,11 +11,13 @@
 // trajectory of the hot paths.
 #include <benchmark/benchmark.h>
 
+#include <condition_variable>
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -24,7 +26,9 @@
 #include "core/sim_engine.h"
 #include "graph/generators.h"
 #include "partition/partitioner.h"
+#include "runtime/barrier.h"
 #include "runtime/message.h"
+#include "runtime/topology.h"
 #include "util/timer.h"
 
 namespace grape {
@@ -139,6 +143,59 @@ struct RoutedDispatcher {
     box.push_back(UpdateEntry<V>{e.vid, e.value, e.round, t.lid});
   }
 };
+
+/// The pre-barrier superstep rendezvous: one mutex + condition_variable hub
+/// every thread funnels through, kept verbatim as the comparison baseline
+/// for the `barrier` section of BENCH_micro.json.
+class CvHubBarrier final : public ThreadBarrier {
+ public:
+  explicit CvHubBarrier(uint32_t n) : n_(n ? n : 1) {}
+
+  void Arrive(uint32_t) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t gen = generation_;
+    if (++arrived_ == n_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+  }
+
+  uint32_t num_threads() const override { return n_; }
+  const char* name() const override { return "cv-hub"; }
+
+ private:
+  uint32_t n_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint32_t arrived_ = 0;
+  uint64_t generation_ = 0;
+};
+
+/// Full-complement rendezvous throughput: every thread crosses `rounds`
+/// back-to-back barriers; thread 0's wall time over its span is the
+/// rendezvous rate (Arrive is a full sync point, so the span covers all
+/// threads' arrivals). A short warmup absorbs thread spawn and first-touch.
+double MeasureBarrierRendezvousPerSec(ThreadBarrier* barrier,
+                                      uint32_t rounds) {
+  const uint32_t n = barrier->num_threads();
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  double secs = 1e9;
+  for (uint32_t tid = 0; tid < n; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (uint32_t r = 0; r < 64; ++r) barrier->Arrive(tid);
+      barrier->Arrive(tid);  // start line
+      Stopwatch sw;
+      for (uint32_t r = 0; r < rounds; ++r) barrier->Arrive(tid);
+      if (tid == 0) secs = std::max(sw.ElapsedSeconds(), 1e-9);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return static_cast<double>(rounds) / secs;
+}
 
 // ----------------------------------------------------------- workloads ---
 
@@ -331,6 +388,24 @@ void WriteBenchJson(const char* path) {
     benchmark::DoNotOptimize(LegacyDispatch(w.partition, 0, w.outbox, false));
   });
 
+  // Superstep rendezvous: 4 threads through the cv hub the BSP loop used
+  // vs the MCS tree and the topology-selected barrier of this build. Four
+  // threads is the smallest size where the hub's notify_all broadcast and
+  // single-mutex convoy are visible; the tree barriers must hold their own
+  // even on oversubscribed 1-2 cpu CI runners (their spin degrades to the
+  // same futex wait the cv uses).
+  constexpr uint32_t kBarrierThreads = 4;
+  constexpr uint32_t kBarrierRounds = 2000;
+  CvHubBarrier cv_hub(kBarrierThreads);
+  const double cv_rate =
+      MeasureBarrierRendezvousPerSec(&cv_hub, kBarrierRounds);
+  McsBarrier mcs(kBarrierThreads);
+  const double mcs_rate = MeasureBarrierRendezvousPerSec(&mcs, kBarrierRounds);
+  const auto topo =
+      MakeTopoAwareBarrier(CpuTopology::Cached(), kBarrierThreads);
+  const double topo_rate =
+      MeasureBarrierRendezvousPerSec(topo.get(), kBarrierRounds);
+
   FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -349,9 +424,23 @@ void WriteBenchJson(const char* path) {
   std::fprintf(f, "    \"hashmap_baseline_entries_per_sec\": %.0f,\n",
                legacy_disp);
   std::fprintf(f, "    \"speedup\": %.2f\n", routed_disp / legacy_disp);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"barrier\": {\n");
+  std::fprintf(f, "    \"threads\": %u,\n", kBarrierThreads);
+  std::fprintf(f, "    \"cpus\": %u,\n", CpuTopology::Cached().num_cpus());
+  std::fprintf(f, "    \"selected\": \"%s\",\n", topo->name());
+  std::fprintf(f, "    \"cv_hub_rendezvous_per_sec\": %.0f,\n", cv_rate);
+  std::fprintf(f, "    \"mcs_rendezvous_per_sec\": %.0f,\n", mcs_rate);
+  std::fprintf(f, "    \"topo_rendezvous_per_sec\": %.0f,\n", topo_rate);
+  std::fprintf(f, "    \"mcs_over_cv\": %.2f,\n", mcs_rate / cv_rate);
+  std::fprintf(f, "    \"topo_over_cv\": %.2f\n", topo_rate / cv_rate);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
+  std::printf("barrier (4 thr):     cv-hub %.0f/s, mcs %.0f/s (%.2fx), "
+              "%s %.0f/s (%.2fx)\n",
+              cv_rate, mcs_rate, mcs_rate / cv_rate, topo->name(), topo_rate,
+              topo_rate / cv_rate);
   std::printf("buffer append+drain: dense %.2fM/s vs hash-map %.2fM/s "
               "(%.1fx)\n",
               dense_buf / 1e6, legacy_buf / 1e6, dense_buf / legacy_buf);

@@ -43,6 +43,7 @@
 #include "algos/pagerank.h"
 #include "algos/pagerank_pull.h"
 #include "core/sim_engine.h"
+#include "core/threaded_engine.h"
 #include "graph/chunked_arc_source.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
@@ -669,6 +670,62 @@ int RunStress(int argc, char** argv) {
         static_cast<unsigned long long>(auto_switches));
   }
 
+  // ---- threaded engine: 2-thread pinned smoke ----------------------------
+  // Exercises the physical-thread path end to end on the same partition:
+  // core pinning, NUMA-bound per-fragment state, the MCS/topo superstep
+  // barrier (BSP CC) and the async notify hub (AAP PageRank). CC under BSP
+  // is lockstep-deterministic, so its labels must match the sim run
+  // exactly; threaded AAP PageRank accumulates in a schedule-dependent
+  // order, so it gets the same relative fixpoint bound the direction A/B
+  // uses.
+  double t_thr_cc = 0, t_thr_pr = 0;
+  bool thr_cc_identical = false, thr_pr_close = false;
+  double thr_busy = 0, thr_idle = 0;
+  uint64_t thr_supersteps = 0;
+  uint32_t thr_pinned = 0;
+  const uint32_t thr_threads = 2;
+  {
+    EngineConfig tcfg;
+    tcfg.num_threads = thr_threads;
+    tcfg.pin_threads = true;
+    tcfg.mode = ModeConfig::Bsp();
+    auto thr_cc = timed(
+        [&] { return ThreadedEngine<CcProgram>(p, CcProgram{}, tcfg).Run(); },
+        &t_thr_cc);
+    thr_cc_identical = thr_cc.result == cc_mem.result;
+    thr_busy = thr_cc.stats.total_thread_busy();
+    thr_idle = thr_cc.stats.total_thread_idle();
+    thr_supersteps = thr_cc.stats.total_supersteps();
+    {
+      WorkerPool probe(thr_threads, WorkerPoolOptions{true, nullptr});
+      thr_pinned = probe.pinned_threads();
+    }
+    tcfg.mode = ModeConfig::Aap();
+    auto thr_pr = timed(
+        [&] {
+          return ThreadedEngine<PageRankProgram>(p, pr_prog, tcfg).Run();
+        },
+        &t_thr_pr);
+    double thr_max_diff = 0;
+    for (size_t v = 0; v < thr_pr.result.size(); ++v) {
+      const double scale = std::abs(pr_mem.result[v]) + 1.0;
+      thr_max_diff = std::max(
+          thr_max_diff, std::abs(thr_pr.result[v] - pr_mem.result[v]) / scale);
+    }
+    thr_pr_close = thr_max_diff <= 1e-3;
+    ok = ok && thr_cc_identical && thr_pr_close;
+    std::printf(
+        "threaded        %8.2fs cc bsp (%llu supersteps)  %8.2fs pagerank "
+        "aap  (%u threads, %u pinned)\n",
+        t_thr_cc, static_cast<unsigned long long>(thr_supersteps), t_thr_pr,
+        thr_threads, thr_pinned);
+    std::printf(
+        "threaded        %8.2fs busy / %8.2fs idle across threads, "
+        "cc %s, pagerank %s (max rel diff %.1e)\n",
+        thr_busy, thr_idle, thr_cc_identical ? "IDENTICAL" : "MISMATCH",
+        thr_pr_close ? "FIXPOINT-EQUAL" : "MISMATCH", thr_max_diff);
+  }
+
   // ---- algorithms on the zero-copy view ----------------------------------
   t0 = Now();
   auto cc_mmap = seq::ConnectedComponents(view);
@@ -790,6 +847,24 @@ int RunStress(int argc, char** argv) {
                static_cast<unsigned long long>(auto_pull_rounds));
   std::fprintf(f, "    \"auto_switches\": %llu\n",
                static_cast<unsigned long long>(auto_switches));
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"threaded_scaling\": {\n");
+  std::fprintf(f, "    \"threads\": %u,\n", thr_threads);
+  std::fprintf(f, "    \"pinned_threads\": %u,\n", thr_pinned);
+  std::fprintf(f, "    \"cc_bsp_sec\": %.3f,\n", t_thr_cc);
+  std::fprintf(f, "    \"cc_supersteps\": %llu,\n",
+               static_cast<unsigned long long>(thr_supersteps));
+  std::fprintf(f, "    \"pagerank_aap_sec\": %.3f,\n", t_thr_pr);
+  std::fprintf(f, "    \"cc_bsp_over_sim\": %.2f,\n",
+               t_cc_mem > 0 ? t_thr_cc / t_cc_mem : 0.0);
+  std::fprintf(f, "    \"pagerank_aap_over_sim\": %.2f,\n",
+               t_pr_mem > 0 ? t_thr_pr / t_pr_mem : 0.0);
+  std::fprintf(f, "    \"thread_busy_sec\": %.3f,\n", thr_busy);
+  std::fprintf(f, "    \"thread_idle_sec\": %.3f,\n", thr_idle);
+  std::fprintf(f, "    \"cc_identical\": %s,\n",
+               thr_cc_identical ? "true" : "false");
+  std::fprintf(f, "    \"pagerank_close\": %s\n",
+               thr_pr_close ? "true" : "false");
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"save_in_adjacency_sec\": %.3f,\n", t_save_inadj);
   std::fprintf(f, "  \"in_adjacency_file_mb\": %.1f,\n", inadj_mb);

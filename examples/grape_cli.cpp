@@ -41,7 +41,32 @@
 //                                    inputs) instead of materialising
 //                                    per-fragment arc arrays
 //   --threads=N                      ingestion worker threads (default 4):
-//                                    parallel parse, CSR build, partition
+//                                    parallel parse, CSR build, partition;
+//                                    also the physical thread count of
+//                                    --engine=threaded
+//   --engine=sim|threaded            (default sim) sim runs the
+//                                    discrete-event simulator (virtual
+//                                    time, Gantt traces); threaded runs
+//                                    the real thread-pool engine
+//                                    (wall-clock timing, --threads
+//                                    physical threads over --workers
+//                                    virtual workers; no hsync)
+//   --pin                            threaded engine: pin pool threads to
+//                                    cores, round-robin over the usable
+//                                    cpus in (node, package) order.
+//                                    Advisory — refused pins leave
+//                                    threads floating
+//   --numa=0|1                       threaded engine: NUMA-local binding
+//                                    of each worker's state to its
+//                                    thread's node (default 1; only
+//                                    active for pinned multi-node runs;
+//                                    never changes results)
+//   --direction-wallclock            feed the auto direction controller's
+//                                    cost model measured wall time
+//                                    instead of deterministic work units
+//                                    (prices cache/NUMA/SIMD effects, but
+//                                    auto decisions stop being
+//                                    bit-reproducible across machines)
 //   --vertices=N --edges=M --seed=S  generator parameters
 //   --workers=N                      virtual workers (default 8)
 //   --mode=bsp|ap|ssp|aap|hsync      (default aap)
@@ -65,6 +90,7 @@
 #include "algos/pagerank.h"
 #include "algos/sssp.h"
 #include "core/sim_engine.h"
+#include "core/threaded_engine.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/store/gcsr_store.h"
@@ -104,6 +130,40 @@ ModeConfig ParseMode(const std::string& m, int staleness) {
   if (m == "ssp") return ModeConfig::Ssp(staleness);
   if (m == "hsync") return ModeConfig::Hsync();
   return ModeConfig::Aap();
+}
+
+template <typename Program>
+int RunAndReportThreaded(const Partition& p, Program prog,
+                         const EngineConfig& cfg) {
+  ThreadedEngine<Program> engine(p, std::move(prog), cfg);
+  auto r = engine.Run();
+  std::printf("converged      %s\n", r.converged ? "yes" : "NO");
+  if constexpr (DualModeProgram<Program>) {
+    std::printf("direction      %llu push / %llu pull rounds, %llu switches\n",
+                static_cast<unsigned long long>(r.stats.total_push_rounds()),
+                static_cast<unsigned long long>(r.stats.total_pull_rounds()),
+                static_cast<unsigned long long>(
+                    r.stats.total_direction_switches()));
+  }
+  std::printf("wall           %.3f s\n", r.wall_seconds);
+  std::printf("rounds         %llu total, %llu max/worker\n",
+              static_cast<unsigned long long>(r.stats.total_rounds()),
+              static_cast<unsigned long long>(r.stats.max_rounds()));
+  std::printf("messages       %llu (%.2f MB)\n",
+              static_cast<unsigned long long>(r.stats.total_msgs()),
+              static_cast<double>(r.stats.total_bytes()) / 1048576.0);
+  std::printf("thread b/i     %.3f / %.3f s over %zu threads\n",
+              r.stats.total_thread_busy(), r.stats.total_thread_idle(),
+              r.stats.threads.size());
+  if (!r.stats.superstep_wall_ns.empty()) {
+    uint64_t total_ns = 0;
+    for (const uint64_t ns : r.stats.superstep_wall_ns) total_ns += ns;
+    std::printf("supersteps     %llu (%.3f ms barrier-to-barrier)\n",
+                static_cast<unsigned long long>(
+                    r.stats.superstep_wall_ns.size()),
+                static_cast<double>(total_ns) / 1e6);
+  }
+  return r.converged ? 0 : 2;
 }
 
 template <typename Program>
@@ -299,36 +359,60 @@ int main(int argc, char** argv) {
   if (dual_algo) std::printf("direction pol. %s\n", direction.c_str());
 
   // ---- engine ----
+  const std::string engine = Get(flags, "engine", "sim");
+  if (engine != "sim" && engine != "threaded") {
+    std::fprintf(stderr, "--engine must be sim or threaded\n");
+    return 1;
+  }
   EngineConfig cfg;
   cfg.mode = ParseMode(Get(flags, "mode", "aap"),
                        std::stoi(Get(flags, "staleness", "3")));
+  if (engine == "threaded" && cfg.mode.mode == Mode::kHsync) {
+    std::fprintf(stderr, "--engine=threaded does not support --mode=hsync\n");
+    return 1;
+  }
   cfg.direction.mode = direction == "pull" ? DirectionConfig::Mode::kPull
                        : direction == "auto" ? DirectionConfig::Mode::kAuto
                                              : DirectionConfig::Mode::kPush;
+  cfg.direction.measured_wall_clock = flags.count("direction-wallclock") > 0;
   cfg.msg_latency = 1.0;
   cfg.work_unit_time = 0.01;
   cfg.min_round_time = 0.5;
+  cfg.num_threads = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::stoul(Get(flags, "threads", "4"))));
+  cfg.pin_threads = flags.count("pin") > 0;
+  cfg.numa_local = Get(flags, "numa", "1") != "0";
   const double straggler = std::stod(Get(flags, "straggler", "1"));
   if (straggler > 1.0) {
     cfg.speed_factors.assign(workers, 1.0);
     cfg.speed_factors[0] = straggler;
   }
-  std::printf("model          %s\n", ModeName(cfg.mode.mode).c_str());
+  std::printf("model          %s (%s engine%s%s)\n",
+              ModeName(cfg.mode.mode).c_str(), engine.c_str(),
+              engine == "threaded" && cfg.pin_threads ? ", pinned" : "",
+              engine == "threaded" && cfg.pin_threads && cfg.numa_local
+                  ? ", numa-local"
+                  : "");
 
   // ---- run ----
   const bool gantt = flags.count("gantt") > 0;
   const VertexId source =
       static_cast<VertexId>(std::stoul(Get(flags, "source", "0")));
+  const auto run = [&](auto prog) {
+    return engine == "threaded"
+               ? RunAndReportThreaded(p, std::move(prog), cfg)
+               : RunAndReport(p, std::move(prog), cfg, gantt);
+  };
   if (algo == "sssp") {
-    return RunAndReport(p, SsspProgram(source), cfg, gantt);
+    return run(SsspProgram(source));
   }
   if (algo == "bfs") {
-    return RunAndReport(p, BfsProgram(source), cfg, gantt);
+    return run(BfsProgram(source));
   }
   if (algo == "pagerank") {
     // The dual-mode program serves every direction; the engine picks the
     // kernel per round under --direction=auto.
-    return RunAndReport(p, PageRankProgram(0.85, 1e-6), cfg, gantt);
+    return run(PageRankProgram(0.85, 1e-6));
   }
   // CC: label propagation whenever --direction was given (every policy
   // runs the same algorithm, so A/Bing directions compares performance,
@@ -336,7 +420,7 @@ int main(int argc, char** argv) {
   // min-over-ancestors, not weak connectivity); the classic union-find
   // program otherwise.
   if (dual_cc) {
-    return RunAndReport(p, CcPullProgram{}, cfg, gantt);
+    return run(CcPullProgram{});
   }
-  return RunAndReport(p, CcProgram{}, cfg, gantt);
+  return run(CcProgram{});
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/simd.h"
+
 namespace grape {
 
 PageRankProgram::State PageRankProgram::Init(const Fragment& f) const {
@@ -119,12 +121,19 @@ double PageRankProgram::PropagatePull(const Fragment& f, State& st,
     // measured-cost rule would overuse the gather kernel.
     work += static_cast<double>(f.num_in_arcs());
     st.gathered.assign(ni, 0.0);
+    // Both gather paths route through util/simd.h GatherSum — the 4-lane
+    // unrolled kernel whose summation order is fixed by contract (see the
+    // header), so the result is bit-identical across engines, backends and
+    // the scalar reference regardless of how the compiler vectorises it.
+    const auto share_of = [](const LocalArc& a) { return a.dst; };
     if (dense) {
       f.SweepInnerInAdjacency(
           st.arc_scratch, [&](LocalVertex l, const auto& arcs_of) {
             double sum = 0.0;
             if (f.InDegree(l) > 0) {
-              for (const LocalArc& a : arcs_of()) sum += st.share[a.dst];
+              const auto arcs = arcs_of();
+              sum = GatherSum(arcs.data(), arcs.size(), st.share.data(),
+                              share_of);
             }
             st.gathered[l] = sum;
           });
@@ -136,12 +145,10 @@ double PageRankProgram::PropagatePull(const Fragment& f, State& st,
       f.SweepInnerInAdjacency(
           st.arc_scratch, st.mask_scratch, st.mask,
           [&](LocalVertex l, const auto& arcs_of) {
-            double sum = 0.0;
-            for (const LocalArc& a : arcs_of()) {
-              sum += st.share[a.dst];
-              ++work;
-            }
-            st.gathered[l] = sum;
+            const auto arcs = arcs_of();
+            work += static_cast<double>(arcs.size());
+            st.gathered[l] =
+                GatherSum(arcs.data(), arcs.size(), st.share.data(), share_of);
           });
     }
     // Consume the actives: retire mass into the score and enforce their

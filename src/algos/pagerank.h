@@ -21,6 +21,14 @@
 // engine may pick the direction per round (--direction=auto) and any
 // mixture converges to the same tol-fixpoint; a fixed direction is
 // bit-identical across materialised / streaming / mmapped backends.
+//
+// SIMD bit-identity contract: the pull kernel's Jacobi gather accumulates
+// through util/simd.h GatherSum, whose 4-lane summation order is part of its
+// interface (GatherSumScalar reproduces it exactly). The gather therefore
+// produces the same bits on every engine, backend and optimisation level —
+// the differential harness compares runs bit-for-bit and relies on this.
+// Do not replace the kernel with a plain sequential loop (different
+// rounding order) without updating GatherSumScalar and the simd test.
 #ifndef GRAPEPLUS_ALGOS_PAGERANK_H_
 #define GRAPEPLUS_ALGOS_PAGERANK_H_
 
@@ -29,6 +37,7 @@
 
 #include "core/pie.h"
 #include "partition/fragment.h"
+#include "runtime/topology.h"
 
 namespace grape {
 
@@ -65,6 +74,20 @@ class PageRankProgram {
   /// Residual mass parked by the per-round sweep cap still needs rounds
   /// even if no further messages arrive.
   bool HasLocalWork(const State& st) const { return st.has_pending; }
+
+  /// Best-effort NUMA placement of the per-fragment state arrays on `node`
+  /// (runtime/topology.h) — the threaded engine calls this once thread
+  /// placement is known. Pure locality hint; never changes results. The
+  /// lazily-built gather arrays are bound too when already allocated (empty
+  /// vectors no-op and get first-touched on the pinned thread otherwise).
+  void BindStateMemory(State& st, int node) const {
+    numa::BindVectorToNode(st.score, node);
+    numa::BindVectorToNode(st.residual, node);
+    numa::BindVectorToNode(st.out_acc, node);
+    numa::BindVectorToNode(st.share, node);
+    numa::BindVectorToNode(st.gathered, node);
+    numa::BindVectorToNode(st.mask, node);
+  }
 
   State Init(const Fragment& f) const;
   /// Single-kernel surface: identical to the directed overloads with

@@ -1,5 +1,7 @@
 #include "algos/pagerank_pull.h"
 
+#include "util/simd.h"
+
 namespace grape {
 
 PageRankPullProgram::State PageRankPullProgram::Init(const Fragment& f) const {
@@ -26,10 +28,13 @@ double PageRankPullProgram::Round(const Fragment& f, State& st,
                                               const auto& arcs_of) {
     double sum = base;
     if (f.InDegree(l) > 0) {
-      for (const LocalArc& a : arcs_of()) {
-        sum += st.contrib[a.dst];
-        ++work;
-      }
+      // util/simd.h GatherSum: summation order is fixed by contract, so the
+      // gather stays bit-identical across engines/backends and the scalar
+      // reference kernel.
+      const auto arcs = arcs_of();
+      sum += GatherSum(arcs.data(), arcs.size(), st.contrib.data(),
+                       [](const LocalArc& a) { return a.dst; });
+      work += static_cast<double>(arcs.size());
     }
     ++work;
     if (sum - st.score[l] >= tol_) moved = true;

@@ -17,6 +17,13 @@
 // fragment's outer-copy set with its remote in-edge sources F_i.I'. Owners
 // then broadcast changed contributions to every reader through the ordinary
 // kOwnerBroadcast routing, and a fragment's gather reads only local state.
+//
+// SIMD bit-identity contract: the gather accumulates through util/simd.h
+// GatherSum, whose 4-lane summation order is part of its interface
+// (GatherSumScalar reproduces it exactly), so rounds are bit-identical
+// across engines, backends and optimisation levels — the differential
+// harness relies on this. Do not swap in a sequential loop (different
+// rounding order) without updating GatherSumScalar and the simd test.
 #ifndef GRAPEPLUS_ALGOS_PAGERANK_PULL_H_
 #define GRAPEPLUS_ALGOS_PAGERANK_PULL_H_
 
@@ -25,6 +32,7 @@
 
 #include "core/pie.h"
 #include "partition/fragment.h"
+#include "runtime/topology.h"
 
 namespace grape {
 
@@ -54,6 +62,15 @@ class PageRankPullProgram {
   /// Gather rounds continue while local scores are still moving, even
   /// without fresh messages.
   bool HasLocalWork(const State& st) const { return st.active; }
+
+  /// Best-effort NUMA placement of the per-fragment state arrays on `node`
+  /// (runtime/topology.h) — the threaded engine calls this once thread
+  /// placement is known. Pure locality hint; never changes results.
+  void BindStateMemory(State& st, int node) const {
+    numa::BindVectorToNode(st.score, node);
+    numa::BindVectorToNode(st.contrib, node);
+    numa::BindVectorToNode(st.last_emitted, node);
+  }
 
   State Init(const Fragment& f) const;
   double PEval(const Fragment& f, State& st, Emitter<Value>* out) const;

@@ -88,6 +88,16 @@ struct DirectionConfig {
   /// minimal: every cold-start pull round on a push-favoured workload is
   /// pure loss, and the PEval gather already sampled the pull kernel.
   uint32_t explore_after = 1;
+
+  /// Wall-clock calibration: feed the measured-cost EWMAs with the round's
+  /// measured wall time instead of its deterministic work units, when the
+  /// engine supplies one (the threaded engine does; the sim engine's
+  /// "wall" is its virtual round cost). Wall time prices what work units
+  /// cannot — cache behaviour, NUMA distance, SIMD throughput of each
+  /// kernel on the actual box — but it varies run to run, so auto's
+  /// decisions stop being bit-reproducible across machines. Off by
+  /// default; opt in via `grape_cli --direction-wallclock`.
+  bool measured_wall_clock = false;
 };
 
 /// One per-round telemetry record of a worker's direction decision.
@@ -97,6 +107,11 @@ struct DirectionSample {
   uint64_t frontier_vertices = 0;  // buffered dirty vertices at decision time
   uint64_t frontier_degree = 0;    // their summed local out-degree
   bool switched = false;           // differs from the previous round's choice
+  /// Measured wall time of the round this decision governed, in ns
+  /// (0 until NoteRound reports; the sim engine reports virtual seconds
+  /// scaled to ns). Telemetry only — decisions use it solely under
+  /// DirectionConfig::measured_wall_clock.
+  uint64_t wall_ns = 0;
 };
 
 /// Per-virtual-worker direction decision state. Engines own one per
@@ -191,7 +206,8 @@ class DirectionController {
       ++pull_streak_;
     }
     switches_ += switched ? 1 : 0;
-    if (log_.size() < kMaxLog) {
+    last_logged_ = log_.size() < kMaxLog;
+    if (last_logged_) {
       log_.push_back(DirectionSample{round, next, frontier_vertices,
                                      frontier_degree, switched});
     }
@@ -205,16 +221,25 @@ class DirectionController {
   /// pull kernel's cost per round (a full gather is frontier-independent)
   /// and the push kernel's cost per unit of frontier signal. PEval push
   /// rounds carry no meaningful signal and are skipped.
-  void NoteRound(double cost) {
+  ///
+  /// `wall_seconds` (< 0 = unavailable) is the round's measured wall time;
+  /// it is always recorded in the telemetry log, and replaces `cost` as
+  /// the EWMA sample when DirectionConfig::measured_wall_clock is set.
+  void NoteRound(double cost, double wall_seconds = -1.0) {
     if (!decided_) return;
+    if (wall_seconds >= 0.0 && last_logged_) {
+      log_.back().wall_ns = static_cast<uint64_t>(wall_seconds * 1e9);
+    }
+    const double sample =
+        cfg_.measured_wall_clock && wall_seconds >= 0.0 ? wall_seconds : cost;
     constexpr double kAlpha = 0.3;
-    const auto fold = [&](double ewma, double sample) {
-      return ewma <= 0.0 ? sample : ewma + kAlpha * (sample - ewma);
+    const auto fold = [&](double ewma, double s) {
+      return ewma <= 0.0 ? s : ewma + kAlpha * (s - ewma);
     };
     if (current_ == SweepDirection::kPull) {
-      pull_cost_ = fold(pull_cost_, cost);
+      pull_cost_ = fold(pull_cost_, sample);
     } else if (!last_was_peval_) {
-      push_rate_ = fold(push_rate_, cost / std::max(last_signal_, 1.0));
+      push_rate_ = fold(push_rate_, sample / std::max(last_signal_, 1.0));
     }
   }
 
@@ -236,6 +261,7 @@ class DirectionController {
   SweepDirection current_ = SweepDirection::kPush;
   bool decided_ = false;
   bool last_was_peval_ = false;
+  bool last_logged_ = false;  // did the last Decide() append to log_?
   double last_signal_ = 0.0;
   // Measured-cost EWMAs (< 0 until the kernel has been sampled).
   double pull_cost_ = -1.0;

@@ -113,6 +113,19 @@ struct EngineConfig {
   /// Threaded engine only: number of physical threads (n < m in the paper's
   /// virtual-worker setup). 0 = one thread per fragment.
   uint32_t num_threads = 0;
+
+  /// Threaded engine only: pin pool threads to cores, round-robin over the
+  /// usable cpus in (node, package) order (runtime/topology.h). Advisory —
+  /// refused pins leave threads floating. `grape_cli --pin`.
+  bool pin_threads = false;
+
+  /// Threaded engine only: bind each virtual worker's state (update-buffer
+  /// slots, per-vertex program state, memoised lid caches) to the NUMA
+  /// node of the thread expected to drain it. Placement is a pure memory
+  /// optimisation — it never changes results — and degrades to a no-op on
+  /// single-node boxes or kernels without mbind. `grape_cli --numa=0`
+  /// disables it.
+  bool numa_local = true;
 };
 
 }  // namespace grape

@@ -304,11 +304,6 @@ class SimEngine {
       }
       ++total_rounds_;
     }
-    if constexpr (DualModeProgram<Program>) {
-      // Work units are deterministic and backend-independent, so the
-      // measured-cost rule keeps auto runs bit-reproducible.
-      directions_[w].NoteRound(work);
-    }
     // Swap (not move): the outbox was emptied by its last dispatch, so its
     // capacity flows back into the emitter for the next round.
     rt.outbox.swap(emitter.entries());
@@ -318,6 +313,13 @@ class SimEngine {
     rt.round_cost = std::max(cfg_.min_round_time,
                              work * cfg_.work_unit_time) *
                     Speed(w) * Jitter(w);
+    if constexpr (DualModeProgram<Program>) {
+      // Work units are deterministic and backend-independent, so the
+      // measured-cost rule keeps auto runs bit-reproducible. The simulator's
+      // "wall clock" is its virtual round cost — also deterministic, so
+      // --direction-wallclock stays reproducible under simulation.
+      directions_[w].NoteRound(work, rt.round_cost);
+    }
     rt.round_started = now;
     stats_.workers[w].work_units += work;
     const bool peval = is_peval;

@@ -29,10 +29,12 @@
 #include "core/modes.h"
 #include "core/pie.h"
 #include "partition/fragment.h"
+#include "runtime/barrier.h"
 #include "runtime/channel.h"
 #include "runtime/message.h"
 #include "runtime/stats_collector.h"
 #include "runtime/termination.h"
+#include "runtime/topology.h"
 #include "runtime/worker_pool.h"
 #include "util/timer.h"
 
@@ -81,11 +83,13 @@ class ThreadedEngine {
       if (threads == 0) threads = 1;
     }
 
+    stats_.threads.resize(threads);
     {
       // One persistent pool for the whole run: BSP supersteps reuse its
       // threads instead of spawn/join per superstep, and the async path
       // parks its long-running worker loops on it.
-      WorkerPool pool(threads);
+      WorkerPool pool(threads, WorkerPoolOptions{cfg_.pin_threads, nullptr});
+      BindNumaState(pool, threads);
       if (cfg_.mode.mode == Mode::kBsp) {
         RunBsp(pool, threads);
       } else {
@@ -190,27 +194,90 @@ class ThreadedEngine {
 
   // ---------------------------------------------------------------- BSP ---
 
-  /// Supersteps with a barrier: all eligible workers run once in parallel on
-  /// the persistent pool; messages dispatch after the barrier (available
-  /// next superstep).
-  void RunBsp(WorkerPool& pool, uint32_t threads) {
-    (void)threads;
-    const uint32_t m = partition_.num_fragments();
-    pool.Run(m, [&](FragmentId w) { RunOneRound(w, true); });
-    DispatchAllOutboxes();
-    uint64_t supersteps = 0;
-    std::vector<FragmentId> eligible;
-    while (supersteps < cfg_.max_total_rounds) {
-      eligible.clear();
-      for (FragmentId w = 0; w < m; ++w) {
-        if (Eligible(w)) eligible.push_back(w);
-      }
-      if (eligible.empty()) break;
-      pool.Run(static_cast<uint32_t>(eligible.size()),
-               [&](uint32_t idx) { RunOneRound(eligible[idx], false); });
-      DispatchAllOutboxes();
-      ++supersteps;
+  /// Best-effort NUMA placement of each virtual worker's hot state (buffer
+  /// slots, per-vertex program state, memoised lid caches) on the node of
+  /// the thread expected to drain it (the w % threads round-robin that
+  /// matches the pool's pin layout). Placement never changes results; it
+  /// is skipped entirely on single-node boxes or unpinned pools, where the
+  /// mapping from thread to node is meaningless.
+  void BindNumaState(const WorkerPool& pool, uint32_t threads) {
+    if (!cfg_.numa_local || numa::NumMemoryNodes() <= 1 ||
+        pool.pinned_threads() == 0) {
+      return;
     }
+    for (FragmentId w = 0; w < workers_.size(); ++w) {
+      const int node = pool.thread_node(w % threads);
+      workers_[w]->buffer.BindToNumaNode(node);
+      partition_.fragments[w].SetPreferredNumaNode(node);
+      if constexpr (requires(Program& p, State& s) {
+                      p.BindStateMemory(s, 0);
+                    }) {
+        program_.BindStateMemory(states_[w], node);
+      }
+    }
+  }
+
+  /// Supersteps with a barrier: all eligible workers run once in parallel,
+  /// messages dispatch after the barrier (available next superstep).
+  ///
+  /// One persistent Launch drives the whole run: threads claim eligible
+  /// workers through a shared cursor, rendezvous at an MCS/topology
+  /// barrier, thread 0 plays master between the two crossings (dispatch,
+  /// next frontier, stop decision), and the second crossing publishes its
+  /// writes to everyone. The previous shape — pool.Run + cv-hub wait per
+  /// superstep — woke every thread through one mutex per superstep; the
+  /// barrier keeps arrival traffic distributed and thread-local.
+  void RunBsp(WorkerPool& pool, uint32_t threads) {
+    const uint32_t m = partition_.num_fragments();
+    const std::unique_ptr<ThreadBarrier> barrier =
+        MakeTopoAwareBarrier(CpuTopology::Cached(), threads);
+    // Superstep state: written only by thread 0 between the two barrier
+    // crossings, read by all threads after the second (the barrier is the
+    // synchronisation point).
+    std::vector<FragmentId> eligible(m);
+    for (FragmentId w = 0; w < m; ++w) eligible[w] = w;
+    std::atomic<uint32_t> cursor{0};
+    std::atomic<bool> stop{m == 0};
+    uint64_t supersteps = 0;
+    Stopwatch step_wall;
+    pool.Run(threads, [&](uint32_t tid) {
+      ThreadStats& ts = stats_.threads[tid];
+      const auto arrive = [&] {
+        Stopwatch idle;
+        barrier->Arrive(tid);
+        ts.idle_time += idle.ElapsedSeconds();
+      };
+      bool is_peval = true;
+      while (true) {
+        while (true) {
+          const uint32_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= eligible.size()) break;
+          ts.busy_time += RunOneRound(eligible[i], is_peval);
+          ++ts.rounds;
+        }
+        arrive();
+        if (tid == 0) {
+          Stopwatch master;
+          DispatchAllOutboxes();
+          stats_.superstep_wall_ns.push_back(
+              static_cast<uint64_t>(step_wall.ElapsedSeconds() * 1e9));
+          step_wall.Restart();
+          if (!is_peval) ++supersteps;
+          eligible.clear();
+          for (FragmentId w = 0; w < m; ++w) {
+            if (Eligible(w)) eligible.push_back(w);
+          }
+          cursor.store(0, std::memory_order_relaxed);
+          if (eligible.empty() || supersteps >= cfg_.max_total_rounds) {
+            stop.store(true, std::memory_order_relaxed);
+          }
+          ts.busy_time += master.ElapsedSeconds();
+        }
+        arrive();
+        if (stop.load(std::memory_order_relaxed)) break;
+        is_peval = false;
+      }
+    });
     converged_ = supersteps < cfg_.max_total_rounds;
   }
 
@@ -223,7 +290,7 @@ class ThreadedEngine {
   // -------------------------------------------------------- AP/SSP/AAP ---
 
   void RunAsync(WorkerPool& pool, uint32_t threads) {
-    pool.Launch(threads, [this](uint32_t) { WorkerLoop(); });
+    pool.Launch(threads, [this](uint32_t tid) { WorkerLoop(tid); });
     // Master: run the termination protocol until a probe succeeds. Workers
     // ring `master_hub_` whenever global quiescence may have been reached;
     // the timeout is only a safety net (e.g. a kWaitFor expiring with no
@@ -256,7 +323,8 @@ class ThreadedEngine {
     pool.Wait();
   }
 
-  void WorkerLoop() {
+  void WorkerLoop(uint32_t tid) {
+    ThreadStats& ts = stats_.threads[tid];
     while (!term_->ShouldStop()) {
       // The epoch is captured *before* the scan: any message delivered or
       // claim released while we look bumps it, so the wait below returns
@@ -271,15 +339,25 @@ class ThreadedEngine {
         // among pending workers, or — when none is pending — untimed until
         // the hub rings (message delivery, claim release, a fresh kWaitFor
         // deadline and termination all NotifyAll). No 1 ms polling spin.
+        Stopwatch idle;
         if (next_eligible == kInfinity) {
+          // The loop guard ran before the epoch capture: termination
+          // flagged in that window has already rung its final NotifyAll,
+          // and an untimed wait on the post-bump epoch would sleep through
+          // it forever. Epoch() and NotifyAll share the hub mutex, so
+          // after capturing the bumped epoch this load is guaranteed to
+          // see the master's pre-notify ForceStop.
+          if (term_->ShouldStop()) break;
           hub_.Wait(epoch);
         } else {
           hub_.WaitForSeconds(epoch,
                               next_eligible - run_wall_.ElapsedSeconds());
         }
+        ts.idle_time += idle.ElapsedSeconds();
         continue;
       }
-      RunOneRound(static_cast<FragmentId>(w), is_peval);
+      ts.busy_time += RunOneRound(static_cast<FragmentId>(w), is_peval);
+      ++ts.rounds;
       DeliverEntries(static_cast<FragmentId>(w));
       if (!Eligible(static_cast<FragmentId>(w))) {
         term_->SetInactive(static_cast<FragmentId>(w));
@@ -358,8 +436,9 @@ class ThreadedEngine {
   }
 
   /// Runs PEval or IncEval for w; fills the worker's outbox. The caller
-  /// holds the claim on w, so per-worker state is exclusive here.
-  void RunOneRound(FragmentId w, bool is_peval) {
+  /// holds the claim on w, so per-worker state is exclusive here. Returns
+  /// the round's measured wall time in seconds.
+  double RunOneRound(FragmentId w, bool is_peval) {
     Stopwatch sw;
     auto& rt = *workers_[w];
     Emitter<V>& emitter = rt.emitter;
@@ -403,12 +482,15 @@ class ThreadedEngine {
       total_rounds_.fetch_add(1, std::memory_order_relaxed);
       ++stats_.workers[w].rounds;
     }
-    if constexpr (DualModeProgram<Program>) {
-      // Same work-unit cost signal as the sim engine (wall time would work
-      // here but would make the two engines' controllers diverge).
-      directions_[w].NoteRound(work);
-    }
     const double elapsed = sw.ElapsedSeconds();
+    if constexpr (DualModeProgram<Program>) {
+      // The default cost signal is the program's work units — identical
+      // across engines and storage backends, so auto decisions stay
+      // bit-reproducible. The measured wall time rides along for the
+      // telemetry log, and replaces the work units as the EWMA sample only
+      // under DirectionConfig::measured_wall_clock.
+      directions_[w].NoteRound(work, elapsed);
+    }
     stats_.workers[w].busy_time += elapsed;
     stats_.workers[w].work_units += work;
     // Swap keeps the delivered outbox's capacity cycling back into the
@@ -421,6 +503,7 @@ class ThreadedEngine {
     } else {
       controller_->OnRoundEnd(w, now, elapsed);
     }
+    return elapsed;
   }
 
   void PushTo(WorkerRt& rt, const RouteTarget& t, const UpdateEntry<V>& e) {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <type_traits>
 
+#include "runtime/topology.h"
 #include "util/parallel.h"
 
 namespace grape {
@@ -382,12 +384,36 @@ std::span<const LocalArc> Fragment::TranslateFrom(
   const std::span<const Arc> arcs = view.OutEdges(v);
   scratch.clear();
   scratch.reserve(arcs.size());
-  for (const Arc& a : arcs) {
-    const LocalVertex lid = LocalTarget(a.dst);
+  // The placement read inside LocalTarget is a random gather keyed by the
+  // arc target — exactly the access pattern the hardware stride prefetcher
+  // cannot cover, so issue the next translations' loads ahead by hand.
+  constexpr size_t kAhead = 16;
+  for (size_t i = 0; i < arcs.size(); ++i) {
+    if (i + kAhead < arcs.size()) {
+      GRAPE_PREFETCH(&placement_[arcs[i + kAhead].dst]);
+    }
+    const LocalVertex lid = LocalTarget(arcs[i].dst);
     if (lid == kInvalidLocal) continue;  // unknown target: drop the arc
-    scratch.push_back(LocalArc{lid, a.weight});
+    scratch.push_back(LocalArc{lid, arcs[i].weight});
   }
   return {scratch.data(), scratch.size()};
+}
+
+void Fragment::SetPreferredNumaNode(int node) const {
+  const auto bind = [&](const auto& vec) {
+    using T = std::remove_reference_t<decltype(vec[0])>;
+    numa::BindSpanToNode(
+        const_cast<void*>(static_cast<const void*>(vec.data())),
+        vec.size() * sizeof(T), node);
+  };
+  bind(arcs_);
+  bind(in_arcs_);
+  bind(offsets_);
+  bind(in_offsets_);
+  for (LidCache* cache : {&out_lid_cache_, &in_lid_cache_}) {
+    cache->preferred_node = node;
+    for (const auto& entry : cache->per_chunk) bind(entry);
+  }
 }
 
 std::vector<LocalVertex>* Fragment::LidWindow(const ChunkedArcSource& src,
@@ -416,10 +442,18 @@ std::vector<LocalVertex>* Fragment::LidWindow(const ChunkedArcSource& src,
     return nullptr;  // empty or over budget: translate directly
   }
   entry.reserve(arcs_in_window);
+  constexpr size_t kAhead = 16;
   for (LocalVertex l = l0; l < l1; ++l) {
-    for (const Arc& a : src.view().OutEdges(inner_[l])) {
-      entry.push_back(LocalTarget(a.dst));
+    const std::span<const Arc> arcs = src.view().OutEdges(inner_[l]);
+    for (size_t i = 0; i < arcs.size(); ++i) {
+      if (i + kAhead < arcs.size()) {
+        GRAPE_PREFETCH(&placement_[arcs[i + kAhead].dst]);
+      }
+      entry.push_back(LocalTarget(arcs[i].dst));
     }
+  }
+  if (cache.preferred_node >= 0) {
+    numa::BindVectorToNode(entry, cache.preferred_node);
   }
   cache.cached_lids += arcs_in_window;
   ++cache.cached_chunks;

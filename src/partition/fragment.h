@@ -288,6 +288,15 @@ class Fragment {
                         std::vector<uint64_t>* offsets,
                         std::vector<LocalVertex>* targets) const;
 
+  /// Best-effort NUMA placement hint (runtime/topology.h): binds the
+  /// fragment's arc-sized arrays (materialised out/in arcs, CSR offsets)
+  /// and the already-memoised lid-cache entries to `node` now, and tags the
+  /// lid caches so entries built by later streaming sweeps bind as they
+  /// appear. Page-level memory-policy hint only — never alters logical
+  /// state, hence const (the same mutability discipline as the caches
+  /// themselves); a no-op on single-node machines.
+  void SetPreferredNumaNode(int node) const;
+
   /// Combined hit/miss accounting of the out- and in-sweep lid caches.
   LidCacheStats lid_cache_stats() const {
     LidCacheStats s;
@@ -334,6 +343,7 @@ class Fragment {
     uint64_t cached_chunks = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
+    int preferred_node = -1;  // NUMA hint for entries (-1 = no preference)
   };
 
   /// Returns chunk k's lid entry, building it on first use, or nullptr when
@@ -379,8 +389,19 @@ class Fragment {
           const uint64_t base = offs[l] - offs[l0];
           scratch.clear();
           scratch.reserve(arcs.size());
+          const LocalVertex* lid_run = lids->data() + base;
+          // Software-prefetch the lid translations ahead of their use: the
+          // memoised run and the mmapped arc records stream side by side,
+          // and the hint keeps the next lines in flight while this arc's
+          // LocalArc is assembled (the mmapped side may still be
+          // page-cold, where the hardware prefetcher gives up).
+          constexpr size_t kAhead = 16;
           for (size_t i = 0; i < arcs.size(); ++i) {
-            const LocalVertex lid = (*lids)[base + i];
+            if (i + kAhead < arcs.size()) {
+              GRAPE_PREFETCH(lid_run + i + kAhead);
+              GRAPE_PREFETCH(&arcs[i + kAhead]);
+            }
+            const LocalVertex lid = lid_run[i];
             if (lid == kInvalidLocal) continue;  // unknown target: drop
             scratch.push_back(LocalArc{lid, arcs[i].weight});
           }

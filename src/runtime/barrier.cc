@@ -1,0 +1,57 @@
+#include "runtime/barrier.h"
+
+#include <unordered_map>
+
+#include "runtime/topology.h"
+#include "util/logging.h"
+
+namespace grape {
+
+namespace barrier_detail {
+
+bool IsOversubscribed(uint32_t n) {
+  return CpuTopology::Cached().num_cpus() < n;
+}
+
+}  // namespace barrier_detail
+
+TopoBarrier::TopoBarrier(const CpuTopology& topo, uint32_t n)
+    : n_(n ? n : 1),
+      budget_(barrier_detail::BudgetFor(n_)),
+      group_of_(n_, 0) {
+  // Group threads by the package their round-robin placement lands on.
+  // With pinning enabled this is the thread's actual package; without it
+  // the grouping is still a valid (if arbitrary) partition of threads.
+  std::unordered_map<int, uint32_t> group_of_package;
+  std::vector<uint32_t> leader_of_group;
+  for (uint32_t t = 0; t < n_; ++t) {
+    const int pkg = topo.PackageForThread(t);
+    auto [it, inserted] = group_of_package.try_emplace(
+        pkg, static_cast<uint32_t>(leader_of_group.size()));
+    if (inserted) leader_of_group.push_back(t);
+    group_of_[t] = it->second;
+  }
+  groups_.reserve(leader_of_group.size());
+  for (size_t gi = 0; gi < leader_of_group.size(); ++gi) {
+    auto g = std::make_unique<Group>();
+    g->leader = leader_of_group[gi];
+    g->leader_index = static_cast<uint32_t>(gi);
+    groups_.push_back(std::move(g));
+  }
+  for (uint32_t t = 0; t < n_; ++t) {
+    Group& g = *groups_[group_of_[t]];
+    if (t != g.leader) ++g.members;
+  }
+  top_ = std::make_unique<McsBarrier>(static_cast<uint32_t>(groups_.size()));
+}
+
+std::unique_ptr<ThreadBarrier> MakeTopoAwareBarrier(const CpuTopology& topo,
+                                                    uint32_t n) {
+  if (topo.num_packages > 1 &&
+      n >= static_cast<uint32_t>(topo.num_packages)) {
+    return std::make_unique<TopoBarrier>(topo, n);
+  }
+  return std::make_unique<McsBarrier>(n);
+}
+
+}  // namespace grape

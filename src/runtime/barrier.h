@@ -1,0 +1,238 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Thread rendezvous barriers for the threaded engine's BSP superstep loop,
+// replacing the single condition-variable hub every thread funnelled
+// through. Two shapes, both sense-reversing via a monotone generation
+// counter (no reinitialisation between rounds, safe for back-to-back
+// Arrive calls):
+//
+//  - McsBarrier: an MCS-style arrival tree of arity 4. Each thread spins on
+//    its *own* cache line while its children check in, then signals its
+//    parent; the root publishes a new generation that releases everyone.
+//    Arrival traffic is O(n) line transfers spread across n lines instead
+//    of n CAS/lock hits on one hub mutex.
+//  - TopoBarrier: a topology tree. Threads first rendezvous inside their
+//    physical package (one shared arrival counter + release word per
+//    package, so the spinning stays inside the package's shared cache),
+//    package leaders then cross an McsBarrier, and each leader releases its
+//    package through the package-local word — cross-package traffic is one
+//    line per package per round.
+//
+// Waiters spin briefly, yield briefly, then block on the futex-backed
+// C++20 atomic wait. The spin/yield budget is chosen per barrier at
+// construction: when the usable cpus cover the barrier's threads, waiters
+// spin (the peer is genuinely running on another core and the wait is
+// sub-microsecond); when the box is oversubscribed (more barrier threads
+// than cpus, the CI case) the budget collapses to a couple of yields and
+// the futex — pause-spinning there only burns the timeslice the straggler
+// needs to make progress.
+#ifndef GRAPEPLUS_RUNTIME_BARRIER_H_
+#define GRAPEPLUS_RUNTIME_BARRIER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace grape {
+
+struct CpuTopology;
+
+/// Reusable n-thread rendezvous: no thread leaves Arrive(round k) before
+/// every thread has entered it, and a thread may immediately re-enter for
+/// round k+1. Arrive is a full synchronisation point: writes made by any
+/// thread before arriving are visible to every thread after it returns.
+class ThreadBarrier {
+ public:
+  virtual ~ThreadBarrier() = default;
+  /// `tid` must be a stable per-thread index in [0, num_threads()).
+  virtual void Arrive(uint32_t tid) = 0;
+  virtual uint32_t num_threads() const = 0;
+  virtual const char* name() const = 0;
+};
+
+namespace barrier_detail {
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  asm volatile("pause" ::: "memory");
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Per-barrier wait budget before blocking on the futex. Defaults match
+/// the dedicated-core case; Oversubscribed() collapses them.
+struct SpinBudget {
+  int pauses = 128;
+  int yields = 64;
+
+  static constexpr SpinBudget Oversubscribed() { return {0, 2}; }
+};
+
+/// True when the process's usable cpus cannot host `n` concurrently
+/// spinning threads (defined in barrier.cc against CpuTopology::Cached()).
+bool IsOversubscribed(uint32_t n);
+
+inline SpinBudget BudgetFor(uint32_t n) {
+  return IsOversubscribed(n) ? SpinBudget::Oversubscribed() : SpinBudget{};
+}
+
+/// Spin → yield → futex-block until `word` differs from `seen`.
+template <typename T>
+inline void SpinWaitChange(const std::atomic<T>& word, T seen,
+                           SpinBudget budget) {
+  for (int i = 0; i < budget.pauses; ++i) {
+    if (word.load(std::memory_order_acquire) != seen) return;
+    CpuRelax();
+  }
+  for (int i = 0; i < budget.yields; ++i) {
+    if (word.load(std::memory_order_acquire) != seen) return;
+    std::this_thread::yield();
+  }
+  T cur;
+  while ((cur = word.load(std::memory_order_acquire)) == seen) {
+    word.wait(seen, std::memory_order_relaxed);
+  }
+}
+
+/// Spin → yield → futex-block until `word` reaches `target` (counter side:
+/// the waiter re-arms on every intermediate value).
+template <typename T>
+inline void SpinWaitReach(const std::atomic<T>& word, T target,
+                          SpinBudget budget) {
+  for (int i = 0; i < budget.pauses; ++i) {
+    if (word.load(std::memory_order_acquire) == target) return;
+    CpuRelax();
+  }
+  for (int i = 0; i < budget.yields; ++i) {
+    if (word.load(std::memory_order_acquire) == target) return;
+    std::this_thread::yield();
+  }
+  T cur;
+  while ((cur = word.load(std::memory_order_acquire)) != target) {
+    word.wait(cur, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace barrier_detail
+
+/// MCS-style arrival tree (arity 4) + broadcast release.
+class McsBarrier final : public ThreadBarrier {
+ public:
+  static constexpr uint32_t kArity = 4;
+
+  explicit McsBarrier(uint32_t n)
+      : n_(n ? n : 1),
+        nodes_(n_),
+        budget_(barrier_detail::BudgetFor(n_)) {
+    for (uint32_t t = 0; t < n_; ++t) {
+      const uint64_t first_child = static_cast<uint64_t>(t) * kArity + 1;
+      nodes_[t].num_children = static_cast<uint32_t>(
+          first_child >= n_
+              ? 0
+              : std::min<uint64_t>(kArity, n_ - first_child));
+    }
+  }
+
+  void Arrive(uint32_t tid) override {
+    Node& me = nodes_[tid];
+    if (me.num_children != 0) {
+      barrier_detail::SpinWaitReach(me.arrived, me.num_children, budget_);
+      // Reset happens strictly before this round's release is published,
+      // and next-round children only check in after observing the release,
+      // so the counter is never concurrently reset and incremented.
+      me.arrived.store(0, std::memory_order_relaxed);
+    }
+    if (tid == 0) {
+      generation_.fetch_add(1, std::memory_order_release);
+      generation_.notify_all();
+    } else {
+      // Loaded before the parent signal: the root cannot release this
+      // round until our arrival has propagated up, so this is always the
+      // pre-release generation.
+      const uint64_t seen = generation_.load(std::memory_order_relaxed);
+      nodes_[(tid - 1) / kArity].arrived.fetch_add(
+          1, std::memory_order_acq_rel);
+      nodes_[(tid - 1) / kArity].arrived.notify_one();
+      barrier_detail::SpinWaitChange(generation_, seen, budget_);
+    }
+  }
+
+  uint32_t num_threads() const override { return n_; }
+  const char* name() const override { return "mcs"; }
+
+ private:
+  struct alignas(64) Node {
+    std::atomic<uint32_t> arrived{0};  // children checked in this round
+    uint32_t num_children = 0;
+  };
+
+  uint32_t n_;
+  std::vector<Node> nodes_;
+  barrier_detail::SpinBudget budget_;
+  alignas(64) std::atomic<uint64_t> generation_{0};
+};
+
+/// Per-package arrival groups + a leader-level McsBarrier. Group membership
+/// comes from the thread's round-robin placement over the topology's sorted
+/// cpu list — the same mapping WorkerPool pinning uses, so a pinned thread
+/// really does share silicon with its barrier group.
+class TopoBarrier final : public ThreadBarrier {
+ public:
+  TopoBarrier(const CpuTopology& topo, uint32_t n);
+
+  void Arrive(uint32_t tid) override {
+    Group& g = *groups_[group_of_[tid]];
+    if (tid == g.leader) {
+      if (g.members != 0) {
+        barrier_detail::SpinWaitReach(g.arrived, g.members, budget_);
+        g.arrived.store(0, std::memory_order_relaxed);
+      }
+      top_->Arrive(g.leader_index);
+      ++g.generation;
+      g.release.store(g.generation, std::memory_order_release);
+      g.release.notify_all();
+    } else {
+      const uint64_t seen = g.release.load(std::memory_order_relaxed);
+      g.arrived.fetch_add(1, std::memory_order_acq_rel);
+      g.arrived.notify_one();
+      barrier_detail::SpinWaitChange(g.release, seen, budget_);
+    }
+  }
+
+  uint32_t num_threads() const override { return n_; }
+  const char* name() const override { return "topo"; }
+  uint32_t num_groups() const {
+    return static_cast<uint32_t>(groups_.size());
+  }
+
+ private:
+  struct alignas(64) Group {
+    std::atomic<uint32_t> arrived{0};   // non-leader members this round
+    std::atomic<uint64_t> release{0};   // package-local generation word
+    uint32_t members = 0;               // non-leader member count
+    uint32_t leader = 0;                // tid of the group leader
+    uint32_t leader_index = 0;          // tid in the leaders' barrier
+    uint64_t generation = 0;            // leader-private release counter
+  };
+
+  uint32_t n_;
+  barrier_detail::SpinBudget budget_;
+  std::vector<uint32_t> group_of_;  // tid -> group index
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::unique_ptr<McsBarrier> top_;  // rendezvous of the group leaders
+};
+
+/// Barrier selection: a topology tree when the usable cpus span more than
+/// one package (and there are at least as many threads as packages),
+/// otherwise the flat-tree MCS barrier.
+std::unique_ptr<ThreadBarrier> MakeTopoAwareBarrier(const CpuTopology& topo,
+                                                    uint32_t n);
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_RUNTIME_BARRIER_H_

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/topology.h"
 #include "util/common.h"
 #include "util/logging.h"
 
@@ -144,6 +145,16 @@ class UpdateBuffer {
   uint64_t FrontierOutDegree() const {
     std::lock_guard<SpinLock> lock(mu_);
     return frontier_degree_;
+  }
+
+  /// Best-effort NUMA placement of the dense slot storage and dirty list
+  /// on `node` (runtime/topology.h) — a pure memory-locality hint the
+  /// threaded engine applies once the buffer's consumer thread is known.
+  /// No-op on single-node machines. Call before concurrent use.
+  void BindToNumaNode(int node) {
+    std::lock_guard<SpinLock> lock(mu_);
+    numa::BindVectorToNode(slots_, node);
+    numa::BindVectorToNode(dirty_, node);
   }
 
   /// Appends a message, folding entries into the dense slots via `combine`.

@@ -77,12 +77,34 @@ uint64_t RunStats::total_direction_switches() const {
   return s;
 }
 
+double RunStats::total_thread_busy() const {
+  double s = 0;
+  for (const auto& t : threads) s += t.busy_time;
+  return s;
+}
+
+double RunStats::total_thread_idle() const {
+  double s = 0;
+  for (const auto& t : threads) s += t.idle_time;
+  return s;
+}
+
 std::string RunStats::ToString() const {
   std::ostringstream os;
   os << "makespan=" << makespan << " rounds=" << total_rounds()
      << " max_rounds=" << max_rounds() << " msgs=" << total_msgs()
      << " bytes=" << total_bytes() << " busy=" << total_busy()
      << " idle=" << total_idle() << " suspended=" << total_suspended();
+  if (!threads.empty()) {
+    os << " thread_busy=" << total_thread_busy()
+       << " thread_idle=" << total_thread_idle();
+  }
+  if (!superstep_wall_ns.empty()) {
+    uint64_t total = 0;
+    for (uint64_t ns : superstep_wall_ns) total += ns;
+    os << " supersteps=" << superstep_wall_ns.size()
+       << " superstep_wall_ms=" << static_cast<double>(total) / 1e6;
+  }
   return os.str();
 }
 

@@ -32,10 +32,29 @@ struct WorkerStats {
   uint64_t direction_switches = 0;  // rounds whose direction changed
 };
 
+/// Wall-clock split of one physical pool thread of the threaded engine —
+/// distinct from WorkerStats, which tracks *virtual* workers (a thread
+/// multiplexes many). Busy = executing PEval/IncEval rounds; idle = parked
+/// at the superstep barrier or the notify hub. The split is what makes
+/// topology wins visible: pinning/NUMA placement shows up as busy time
+/// dropping while idle absorbs the skew.
+struct ThreadStats {
+  double busy_time = 0.0;
+  double idle_time = 0.0;
+  uint64_t rounds = 0;  // virtual-worker rounds this thread executed
+};
+
 /// Aggregate view across workers.
 struct RunStats {
   std::vector<WorkerStats> workers;
   double makespan = 0.0;  // virtual or wall time of the whole run
+
+  /// Threaded engine only: per-physical-thread busy/idle split (empty for
+  /// the sim engine, which has no physical threads).
+  std::vector<ThreadStats> threads;
+  /// Threaded engine, BSP path only: measured wall time of each superstep
+  /// in ns (index 0 = the PEval superstep).
+  std::vector<uint64_t> superstep_wall_ns;
 
   uint64_t total_rounds() const;
   uint64_t total_msgs() const;
@@ -51,6 +70,13 @@ struct RunStats {
   uint64_t total_push_rounds() const;
   uint64_t total_pull_rounds() const;
   uint64_t total_direction_switches() const;
+
+  // Physical-thread aggregates (zero when `threads` is empty).
+  double total_thread_busy() const;
+  double total_thread_idle() const;
+  uint64_t total_supersteps() const {
+    return superstep_wall_ns.size();
+  }
 
   std::string ToString() const;
 };

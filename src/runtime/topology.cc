@@ -1,0 +1,233 @@
+#include "runtime/topology.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace grape {
+
+namespace {
+
+#if defined(__linux__)
+
+/// Reads a small integer file like
+/// /sys/devices/system/cpu/cpu7/topology/physical_package_id.
+/// Returns `fallback` when the file is absent or malformed.
+int ReadIntFile(const std::string& path, int fallback) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return fallback;
+  int v = fallback;
+  if (std::fscanf(f, "%d", &v) != 1) v = fallback;
+  std::fclose(f);
+  return v;
+}
+
+/// Parses a kernel cpulist string ("0-3,8,10-11") into cpu numbers.
+std::vector<int> ParseCpuList(const std::string& list) {
+  std::vector<int> cpus;
+  size_t pos = 0;
+  while (pos < list.size()) {
+    char* end = nullptr;
+    const long lo = std::strtol(list.c_str() + pos, &end, 10);
+    if (end == list.c_str() + pos) break;  // no digits: done (trailing \n)
+    long hi = lo;
+    pos = static_cast<size_t>(end - list.c_str());
+    if (pos < list.size() && list[pos] == '-') {
+      ++pos;
+      hi = std::strtol(list.c_str() + pos, &end, 10);
+      if (end == list.c_str() + pos) break;
+      pos = static_cast<size_t>(end - list.c_str());
+    }
+    for (long c = lo; c <= hi && c - lo < 4096; ++c) {
+      cpus.push_back(static_cast<int>(c));
+    }
+    if (pos < list.size() && list[pos] == ',') ++pos;
+  }
+  return cpus;
+}
+
+std::string ReadLineFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return {};
+  char buf[4096];
+  std::string out;
+  if (std::fgets(buf, sizeof(buf), f) != nullptr) out = buf;
+  std::fclose(f);
+  return out;
+}
+
+/// Builds cpu -> NUMA node from /sys/devices/system/node/node*/cpulist.
+/// Empty when the node directory is unreadable (no NUMA info).
+std::vector<int> CpuToNodeMap() {
+  std::vector<int> node_of;  // indexed by cpu id; -1 = unknown
+  for (int node = 0; node < 1024; ++node) {
+    const std::string list = ReadLineFile(
+        "/sys/devices/system/node/node" + std::to_string(node) + "/cpulist");
+    if (list.empty()) {
+      // Node numbering can be sparse on exotic boxes, but a miss on node 0
+      // almost always means no sysfs at all; probe a few then stop.
+      if (node > 8) break;
+      continue;
+    }
+    for (int cpu : ParseCpuList(list)) {
+      if (cpu >= static_cast<int>(node_of.size())) {
+        node_of.resize(static_cast<size_t>(cpu) + 1, -1);
+      }
+      node_of[static_cast<size_t>(cpu)] = node;
+    }
+  }
+  return node_of;
+}
+
+#endif  // __linux__
+
+CpuTopology FallbackTopology() {
+  CpuTopology topo;
+  const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+  topo.cpus.reserve(n);
+  for (unsigned c = 0; c < n; ++c) {
+    topo.cpus.push_back({static_cast<int>(c), 0, 0});
+  }
+  return topo;  // num_packages/num_nodes default to 1, from_sysfs false
+}
+
+void CountDistinct(CpuTopology* topo) {
+  std::vector<int> packages, nodes;
+  for (const auto& c : topo->cpus) {
+    packages.push_back(c.package);
+    nodes.push_back(c.node);
+  }
+  const auto distinct = [](std::vector<int>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return std::max<int>(1, static_cast<int>(v.size()));
+  };
+  topo->num_packages = distinct(packages);
+  topo->num_nodes = distinct(nodes);
+}
+
+}  // namespace
+
+CpuTopology CpuTopology::Detect() {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) != 0 ||
+      CPU_COUNT(&mask) == 0) {
+    return FallbackTopology();
+  }
+  const std::vector<int> node_of = CpuToNodeMap();
+  CpuTopology topo;
+  bool any_sysfs = !node_of.empty();
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (!CPU_ISSET(cpu, &mask)) continue;
+    Cpu c;
+    c.id = cpu;
+    const int pkg = ReadIntFile("/sys/devices/system/cpu/cpu" +
+                                    std::to_string(cpu) +
+                                    "/topology/physical_package_id",
+                                -1);
+    if (pkg >= 0) any_sysfs = true;
+    c.package = pkg >= 0 ? pkg : 0;
+    c.node = (cpu < static_cast<int>(node_of.size()) && node_of[cpu] >= 0)
+                 ? node_of[cpu]
+                 : 0;
+    topo.cpus.push_back(c);
+  }
+  if (topo.cpus.empty()) return FallbackTopology();
+  topo.from_sysfs = any_sysfs;
+  std::sort(topo.cpus.begin(), topo.cpus.end(),
+            [](const Cpu& a, const Cpu& b) {
+              if (a.node != b.node) return a.node < b.node;
+              if (a.package != b.package) return a.package < b.package;
+              return a.id < b.id;
+            });
+  CountDistinct(&topo);
+  return topo;
+#else
+  return FallbackTopology();
+#endif
+}
+
+const CpuTopology& CpuTopology::Cached() {
+  static const CpuTopology topo = Detect();
+  return topo;
+}
+
+bool PinCurrentThreadToCpu(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+bool PinThreadToCpu(std::thread& thread, int cpu) {
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set) ==
+         0;
+#else
+  (void)thread;
+  (void)cpu;
+  return false;
+#endif
+}
+
+namespace numa {
+
+int NumMemoryNodes() { return CpuTopology::Cached().num_nodes; }
+
+bool BindSpanToNode(void* p, size_t bytes, int node) {
+  if (node < 0) return true;           // "no preference": nothing to do
+  if (NumMemoryNodes() <= 1) return true;  // single node: placement is moot
+#if defined(__linux__) && defined(SYS_mbind)
+  // Raw mbind, so the build carries no libnuma dependency. Constants from
+  // <linux/mempolicy.h>, restated here because that header is not present
+  // on every toolchain sysroot.
+  constexpr int kMpolPreferred = 1;
+  constexpr unsigned kMpolMfMove = 1u << 1;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return false;
+  // Align inward: mbind wants page-aligned spans, and the caller's vector
+  // may share its first/last page with unrelated allocations.
+  auto addr = reinterpret_cast<uintptr_t>(p);
+  const uintptr_t begin = (addr + static_cast<uintptr_t>(page) - 1) &
+                          ~(static_cast<uintptr_t>(page) - 1);
+  const uintptr_t end =
+      (addr + bytes) & ~(static_cast<uintptr_t>(page) - 1);
+  if (end <= begin) return true;  // sub-page span: nothing bindable
+  unsigned long nodemask[16] = {0};
+  if (node >= static_cast<int>(sizeof(nodemask) * 8)) return false;
+  nodemask[static_cast<size_t>(node) / (sizeof(unsigned long) * 8)] |=
+      1ul << (static_cast<size_t>(node) % (sizeof(unsigned long) * 8));
+  const long rc = syscall(SYS_mbind, begin, end - begin, kMpolPreferred,
+                          nodemask, sizeof(nodemask) * 8, kMpolMfMove);
+  return rc == 0;
+#else
+  (void)p;
+  (void)bytes;
+  return false;
+#endif
+}
+
+}  // namespace numa
+
+}  // namespace grape

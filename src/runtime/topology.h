@@ -1,0 +1,102 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Machine-topology layer: enumerates the usable cpus/packages/NUMA nodes
+// from sysfs (intersected with the process affinity mask so containers and
+// cpuset-restricted CI degrade gracefully), pins worker threads to cores,
+// and provides a best-effort NUMA-local memory binder (raw mbind, no
+// libnuma dependency) used to place fragment state near the thread that
+// works on it. Everything here is best-effort: on non-Linux hosts, in
+// sandboxes that hide sysfs, or on single-node boxes, every call degrades
+// to a well-defined no-op and the engines run exactly as before.
+#ifndef GRAPEPLUS_RUNTIME_TOPOLOGY_H_
+#define GRAPEPLUS_RUNTIME_TOPOLOGY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace grape {
+
+/// A snapshot of the cpus this process may run on, annotated with their
+/// physical package and NUMA node. Cpus are sorted by (node, package, id) so
+/// that consecutive worker-thread indices land on co-located cores — the
+/// compact placement that keeps a package's barrier subtree and its
+/// NUMA-local state on the same silicon.
+struct CpuTopology {
+  struct Cpu {
+    int id = 0;       // kernel cpu number (valid for sched_setaffinity)
+    int package = 0;  // physical_package_id, 0 when sysfs is absent
+    int node = 0;     // NUMA node, 0 when sysfs is absent
+  };
+
+  std::vector<Cpu> cpus;  // usable cpus, sorted by (node, package, id)
+  int num_packages = 1;   // distinct packages among `cpus` (>= 1)
+  int num_nodes = 1;      // distinct NUMA nodes among `cpus` (>= 1)
+  bool from_sysfs = false;  // true when sysfs annotations were readable
+
+  /// Enumerates the topology. Respects the current sched_getaffinity mask:
+  /// cpus outside it are not listed even if sysfs knows them. Falls back to
+  /// hardware_concurrency() anonymous cpus on one package/node when the
+  /// mask or sysfs is unreadable. Never fails.
+  static CpuTopology Detect();
+
+  /// Process-wide snapshot, detected once on first use. Engines use this;
+  /// tests that mutate the affinity mask call Detect() directly.
+  static const CpuTopology& Cached();
+
+  uint32_t num_cpus() const { return static_cast<uint32_t>(cpus.size()); }
+
+  /// Cpu a worker thread with pool index `t` should pin to (round-robin
+  /// over the sorted cpu list), or -1 when no cpus were enumerated.
+  int CpuForThread(uint32_t t) const {
+    return cpus.empty() ? -1 : cpus[t % cpus.size()].id;
+  }
+
+  /// Package of thread `t` under the same round-robin placement.
+  int PackageForThread(uint32_t t) const {
+    return cpus.empty() ? 0 : cpus[t % cpus.size()].package;
+  }
+
+  /// NUMA node of thread `t` under the same round-robin placement.
+  int NodeForThread(uint32_t t) const {
+    return cpus.empty() ? 0 : cpus[t % cpus.size()].node;
+  }
+};
+
+/// Pins the calling thread to kernel cpu `cpu`. Returns false (leaving the
+/// thread's affinity unchanged) when `cpu` is negative, out of range, or
+/// the platform refuses — callers treat pinning as advisory.
+bool PinCurrentThreadToCpu(int cpu);
+
+/// Pins `thread` to kernel cpu `cpu` from outside (via its native handle),
+/// so a spawner can pin its workers synchronously and know the outcome
+/// before handing them work. Same advisory semantics as above.
+bool PinThreadToCpu(std::thread& thread, int cpu);
+
+namespace numa {
+
+/// Number of NUMA memory nodes the process can see (>= 1). Delegates to
+/// CpuTopology::Cached().
+int NumMemoryNodes();
+
+/// Best-effort first-touch-style placement: asks the kernel to prefer
+/// `node` for the page-aligned interior of [p, p + bytes), moving already
+/// faulted pages (MPOL_MF_MOVE). Spans smaller than a page, a single-node
+/// machine, node < 0, or a kernel without mbind all make this a successful
+/// no-op; a refused syscall returns false and leaves the default policy —
+/// the memory stays usable either way, which is the "plain allocation"
+/// fallback the engines rely on when libnuma-style support is absent.
+bool BindSpanToNode(void* p, size_t bytes, int node);
+
+/// BindSpanToNode over a vector's backing storage.
+template <typename T>
+bool BindVectorToNode(std::vector<T>& v, int node) {
+  return BindSpanToNode(static_cast<void*>(v.data()), v.size() * sizeof(T),
+                        node);
+}
+
+}  // namespace numa
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_RUNTIME_TOPOLOGY_H_

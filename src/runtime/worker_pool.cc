@@ -1,14 +1,26 @@
 #include "runtime/worker_pool.h"
 
+#include <algorithm>
+
+#include "runtime/topology.h"
 #include "util/logging.h"
 
 namespace grape {
 
-WorkerPool::WorkerPool(uint32_t num_threads) {
+WorkerPool::WorkerPool(uint32_t num_threads, WorkerPoolOptions opts)
+    : opts_(opts) {
   GRAPE_CHECK(num_threads >= 1);
+  if (opts_.topology == nullptr) opts_.topology = &CpuTopology::Cached();
   threads_.reserve(num_threads);
   for (uint32_t t = 0; t < num_threads; ++t) {
-    threads_.emplace_back([this] { ThreadLoop(); });
+    threads_.emplace_back([this, t] { ThreadLoop(t); });
+    // Pinned from outside via the native handle so the count is final when
+    // the constructor returns — NUMA placement decisions read it
+    // immediately after construction.
+    if (opts_.pin_threads &&
+        PinThreadToCpu(threads_.back(), opts_.topology->CpuForThread(t))) {
+      pinned_count_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -19,6 +31,10 @@ WorkerPool::~WorkerPool() {
   }
   job_cv_.notify_all();
   for (auto& t : threads_) t.join();
+}
+
+int WorkerPool::thread_node(uint32_t t) const {
+  return opts_.pin_threads ? opts_.topology->NodeForThread(t) : 0;
 }
 
 void WorkerPool::Launch(uint32_t n, std::function<void(uint32_t)> fn) {
@@ -33,22 +49,38 @@ void WorkerPool::Launch(uint32_t n, std::function<void(uint32_t)> fn) {
     job_ = std::move(job);
     ++job_epoch_;
   }
-  job_cv_.notify_all();
+  // Wake only as many threads as the job has indices: notify_all() here
+  // stampeded every idle thread through the mutex for a 1-index job, and
+  // all but one found the index space already spent (the thundering herd
+  // the spurious_wakeups() counter now keeps regressions honest about).
+  // A thread that is between jobs but not yet waiting re-checks the epoch
+  // under the mutex before sleeping, so a "lost" notify is impossible.
+  const uint32_t to_wake =
+      std::min(n, static_cast<uint32_t>(threads_.size()));
+  if (to_wake == threads_.size()) {
+    job_cv_.notify_all();
+  } else {
+    for (uint32_t i = 0; i < to_wake; ++i) job_cv_.notify_one();
+  }
 }
 
-void WorkerPool::Drain(const std::shared_ptr<Job>& job) {
+uint32_t WorkerPool::Drain(const std::shared_ptr<Job>& job) {
+  uint32_t executed = 0;
   while (true) {
     const uint32_t i = job->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job->size) break;
     job->fn(i);
+    ++executed;
     if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == job->size) {
       std::lock_guard<std::mutex> lock(mu_);
       done_cv_.notify_all();
     }
   }
+  return executed;
 }
 
-void WorkerPool::ThreadLoop() {
+void WorkerPool::ThreadLoop(uint32_t t) {
+  (void)t;  // pinning happens in the constructor, via the native handle
   uint64_t seen_epoch = 0;
   while (true) {
     std::shared_ptr<Job> job;
@@ -61,7 +93,9 @@ void WorkerPool::ThreadLoop() {
       seen_epoch = job_epoch_;
       job = job_;
     }
-    Drain(job);
+    if (Drain(job) == 0) {
+      spurious_wakeups_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 

@@ -17,12 +17,24 @@
 
 namespace grape {
 
+struct CpuTopology;
+
+/// Placement policy for a pool's threads.
+struct WorkerPoolOptions {
+  /// Pin thread t to the topology's t-th usable cpu (round-robin when the
+  /// pool is larger than the cpu set). Advisory: a refused pin leaves the
+  /// thread floating.
+  bool pin_threads = false;
+  /// Topology to place against; null = CpuTopology::Cached().
+  const CpuTopology* topology = nullptr;
+};
+
 /// Fixed-size pool executing index-space jobs. One job at a time: Launch()
 /// hands `n` indices to the pool (claimed via an atomic cursor), Wait()
 /// blocks the caller until all are done, Run() is the blocking composition.
 class WorkerPool {
  public:
-  explicit WorkerPool(uint32_t num_threads);
+  explicit WorkerPool(uint32_t num_threads, WorkerPoolOptions opts = {});
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -41,6 +53,23 @@ class WorkerPool {
   /// Launch + Wait.
   void Run(uint32_t n, std::function<void(uint32_t)> fn);
 
+  /// Times a pool thread woke for a job and found its index space already
+  /// spent — the waste metric of the old notify_all() enqueue (which woke
+  /// every idle thread for a 1-index job). Cumulative over the pool's life.
+  uint64_t spurious_wakeups() const {
+    return spurious_wakeups_.load(std::memory_order_relaxed);
+  }
+
+  /// NUMA node thread `t` was placed on (its pin target's node), or 0 when
+  /// the pool is unpinned / the topology is single-node. State allocated
+  /// for work that thread t drains should be bound here.
+  int thread_node(uint32_t t) const;
+
+  /// Number of threads whose pin request actually took effect.
+  uint32_t pinned_threads() const {
+    return pinned_count_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// All mutable state of one Launch lives here; threads hold the job via
   /// shared_ptr, so a straggler still draining job N never touches the
@@ -52,10 +81,12 @@ class WorkerPool {
     std::atomic<uint32_t> done{0};
   };
 
-  void ThreadLoop();
+  void ThreadLoop(uint32_t t);
   /// Claims and executes indices of `job` until its index space is spent.
-  void Drain(const std::shared_ptr<Job>& job);
+  /// Returns the number of indices this thread executed.
+  uint32_t Drain(const std::shared_ptr<Job>& job);
 
+  WorkerPoolOptions opts_;
   std::vector<std::thread> threads_;
 
   std::mutex mu_;
@@ -64,6 +95,9 @@ class WorkerPool {
   std::shared_ptr<Job> job_;          // current job; null before first Launch
   uint64_t job_epoch_ = 0;            // bumps on every Launch
   bool stopping_ = false;
+
+  std::atomic<uint64_t> spurious_wakeups_{0};
+  std::atomic<uint32_t> pinned_count_{0};
 };
 
 }  // namespace grape

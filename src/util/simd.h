@@ -1,0 +1,69 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Deterministic unrolled gather-sum kernel for the Jacobi pull
+// accumulations (PageRank's dense gather is `sum += vals[arc.dst]` over an
+// in-adjacency run — the hot loop of every pull round).
+//
+// The kernel fixes FOUR accumulation lanes: element k of the run is folded
+// into lane k % 4, the lanes combine as (s0 + s1) + (s2 + s3), and the
+// sub-4 tail is added last, left to right. That lane assignment is part of
+// the contract, not an implementation detail: the differential harness
+// asserts bit-identical results across {push,pull,auto} × {materialised,
+// streaming} × {Sim,Threaded}, so every backend must produce the same
+// floating-point rounding. GatherSumScalar reimplements the identical lane
+// arithmetic in the most naive form; simd_test asserts the two are
+// bit-equal so the unrolled kernel can never drift from the reference.
+//
+// Four independent accumulator chains give the compiler/OoO core real ILP
+// (the scalar loop serialises every add through one register); the gather
+// loads are prefetched a fixed distance ahead because the index stream
+// defeats the hardware stride prefetcher.
+#ifndef GRAPEPLUS_UTIL_SIMD_H_
+#define GRAPEPLUS_UTIL_SIMD_H_
+
+#include <cstddef>
+
+#include "util/common.h"
+
+namespace grape {
+
+/// Unrolled 4-lane gather-sum: returns the lane-combined sum of
+/// `vals[IndexOf(items[k])]` for k in [0, n). `IndexOf` is any callable
+/// projecting an item to its index (e.g. a LocalArc to its dst lid).
+template <typename Item, typename IndexOf>
+inline double GatherSum(const Item* items, size_t n, const double* vals,
+                        IndexOf&& index_of) {
+  constexpr size_t kAhead = 16;  // prefetch distance, in items
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    if (k + kAhead < n) {
+      GRAPE_PREFETCH(&vals[index_of(items[k + kAhead])]);
+    }
+    s0 += vals[index_of(items[k])];
+    s1 += vals[index_of(items[k + 1])];
+    s2 += vals[index_of(items[k + 2])];
+    s3 += vals[index_of(items[k + 3])];
+  }
+  double tail = 0.0;
+  for (; k < n; ++k) tail += vals[index_of(items[k])];
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+/// Naive scalar reference with the identical lane assignment and combine
+/// order — bit-equal to GatherSum by construction (simd_test enforces it).
+template <typename Item, typename IndexOf>
+inline double GatherSumScalar(const Item* items, size_t n, const double* vals,
+                              IndexOf&& index_of) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  const size_t main = n - n % 4;
+  for (size_t k = 0; k < main; ++k) {
+    lane[k % 4] += vals[index_of(items[k])];
+  }
+  double tail = 0.0;
+  for (size_t k = main; k < n; ++k) tail += vals[index_of(items[k])];
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) + tail;
+}
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_UTIL_SIMD_H_

@@ -1,0 +1,142 @@
+// Tests for the superstep rendezvous barriers (runtime/barrier.h): MCS and
+// topology-tree correctness over many back-to-back rounds (the
+// sense-reversing generation counters must survive immediate re-entry),
+// the full-synchronisation guarantee of Arrive (plain writes made before
+// the barrier are readable by every thread after it — TSan enforces the
+// happens-before edges in the sanitizer CI jobs), and the
+// MakeTopoAwareBarrier selection rule.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/barrier.h"
+#include "runtime/topology.h"
+
+namespace grape {
+namespace {
+
+/// Synthetic multi-package, multi-node topology (sysfs-independent so the
+/// tests behave identically on any box): `cpus_per_package` cpus in each of
+/// `packages` packages, one NUMA node per package.
+CpuTopology FakeTopology(int packages, int cpus_per_package) {
+  CpuTopology topo;
+  for (int p = 0; p < packages; ++p) {
+    for (int c = 0; c < cpus_per_package; ++c) {
+      topo.cpus.push_back({p * cpus_per_package + c, p, p});
+    }
+  }
+  topo.num_packages = packages;
+  topo.num_nodes = packages;
+  topo.from_sysfs = true;
+  return topo;
+}
+
+/// Drives `barrier` with its full thread complement for `rounds`
+/// back-to-back rounds. Each round every thread bumps a shared arrival
+/// counter *before* arriving and asserts the full count *after* — if any
+/// thread could leak through the rendezvous early, it would observe a
+/// partial count. `scratch[tid]` is written plain (non-atomic) pre-arrive
+/// and cross-read post-arrive, so a missing synchronisation edge is a data
+/// race the TSan job reports even when the count happens to pass.
+void ExerciseBarrier(ThreadBarrier* barrier, uint32_t rounds) {
+  const uint32_t n = barrier->num_threads();
+  std::atomic<uint64_t> arrivals{0};
+  std::vector<uint64_t> scratch(n, 0);
+  std::atomic<uint32_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (uint32_t tid = 0; tid < n; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (uint32_t r = 0; r < rounds; ++r) {
+        scratch[tid] = static_cast<uint64_t>(r) + 1;
+        arrivals.fetch_add(1, std::memory_order_relaxed);
+        barrier->Arrive(tid);
+        // Everyone has arrived: the round's full count must be visible...
+        const uint64_t seen = arrivals.load(std::memory_order_relaxed);
+        if (seen < static_cast<uint64_t>(n) * (r + 1)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        // ...and so must every thread's plain pre-arrive write.
+        const uint32_t peer = (tid + 1) % n;
+        if (scratch[peer] < static_cast<uint64_t>(r) + 1) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Second rendezvous: nobody may race ahead into round r+1 and
+        // overwrite scratch while a straggler is still checking round r.
+        barrier->Arrive(tid);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0u) << barrier->name() << " n=" << n;
+  EXPECT_EQ(arrivals.load(), static_cast<uint64_t>(n) * rounds);
+}
+
+TEST(McsBarrier, RendezvousAcrossThreadCounts) {
+  // Covers: trivial (1), no-children root (2), partial arity (3), exactly
+  // one full level (5), multi-level trees (8, 13).
+  for (const uint32_t n : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    McsBarrier barrier(n);
+    ExerciseBarrier(&barrier, 50);
+  }
+}
+
+TEST(McsBarrier, ManyBackToBackRoundsStress) {
+  // Sense-reversal stress: enough rounds that any generation-counter reuse
+  // bug (a thread released by a stale generation) has room to fire. Runs
+  // under TSan in CI.
+  McsBarrier barrier(8);
+  ExerciseBarrier(&barrier, 2000);
+}
+
+TEST(TopoBarrier, GroupsFollowPackages) {
+  const CpuTopology topo = FakeTopology(/*packages=*/2, /*cpus_per_package=*/2);
+  // 8 threads round-robin over 4 cpus: tids {0,1,4,5} -> package 0,
+  // {2,3,6,7} -> package 1.
+  TopoBarrier barrier(topo, 8);
+  EXPECT_EQ(barrier.num_groups(), 2u);
+  ExerciseBarrier(&barrier, 200);
+}
+
+TEST(TopoBarrier, SinglePackageDegeneratesToOneGroup) {
+  const CpuTopology topo = FakeTopology(1, 4);
+  TopoBarrier barrier(topo, 6);
+  EXPECT_EQ(barrier.num_groups(), 1u);
+  ExerciseBarrier(&barrier, 100);
+}
+
+TEST(TopoBarrier, MorePackagesThanThreads) {
+  // Only 2 of the 4 packages ever get a thread; groups must form from the
+  // threads that exist, not the packages that do.
+  const CpuTopology topo = FakeTopology(4, 1);
+  TopoBarrier barrier(topo, 2);
+  EXPECT_EQ(barrier.num_groups(), 2u);
+  ExerciseBarrier(&barrier, 100);
+}
+
+TEST(TopoBarrier, ManyBackToBackRoundsStress) {
+  const CpuTopology topo = FakeTopology(2, 2);
+  TopoBarrier barrier(topo, 8);
+  ExerciseBarrier(&barrier, 2000);
+}
+
+TEST(MakeTopoAwareBarrier, SelectsByPackageSpan) {
+  const CpuTopology one = FakeTopology(1, 4);
+  const CpuTopology two = FakeTopology(2, 2);
+  // Single package -> flat MCS tree regardless of thread count.
+  EXPECT_STREQ(MakeTopoAwareBarrier(one, 8)->name(), "mcs");
+  // Multi-package with enough threads -> topology tree.
+  EXPECT_STREQ(MakeTopoAwareBarrier(two, 8)->name(), "topo");
+  // Fewer threads than packages -> the grouping adds nothing, flat MCS.
+  EXPECT_STREQ(MakeTopoAwareBarrier(two, 1)->name(), "mcs");
+  // Whatever the choice, the barrier must actually work.
+  auto barrier = MakeTopoAwareBarrier(CpuTopology::Cached(), 4);
+  ExerciseBarrier(barrier.get(), 100);
+}
+
+}  // namespace
+}  // namespace grape
