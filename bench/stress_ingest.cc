@@ -49,6 +49,9 @@
 #include "graph/graph.h"
 #include "graph/graph_io.h"
 #include "graph/store/gcsr_store.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "partition/fragment.h"
 #include "partition/partitioner.h"
 #include "runtime/worker_pool.h"
@@ -726,6 +729,62 @@ int RunStress(int argc, char** argv) {
         thr_pr_close ? "FIXPOINT-EQUAL" : "MISMATCH", thr_max_diff);
   }
 
+  // ---- observability overhead: metrics + tracer on vs off ----------------
+  // A/B the same sim-engine PageRank with the whole observability layer off
+  // (metrics disabled, tracer disabled) and fully on. check_bench gates
+  // on_over_off at 1.03 — the <=3% overhead contract in
+  // docs/OBSERVABILITY.md. Reps are calibrated to ~0.3s per side (min of 3
+  // alternating pairs) so the CI smoke shape measures more than timer noise.
+  double t_obs_off = 0, t_obs_on = 0, obs_over = 0;
+  uint64_t obs_reps = 1, obs_trace_events = 0;
+  bool obs_identical = false;
+  {
+    const double t_single = t_pr_mem > 0 ? t_pr_mem : 0.05;
+    obs_reps = std::min<uint64_t>(
+        16,
+        std::max<uint64_t>(
+            1, static_cast<uint64_t>(std::ceil(0.3 / t_single))));
+    const auto run_side = [&](bool enabled, double* sec) {
+      obs::SetMetricsEnabled(enabled);
+      if (enabled) {
+        obs::Tracer::Global().Enable();
+      } else {
+        obs::Tracer::Global().Disable();
+      }
+      decltype(pr_mem.result) res;
+      const double start = Now();
+      for (uint64_t r = 0; r < obs_reps; ++r) {
+        res = SimEngine<PageRankProgram>(p, pr_prog, ecfg).Run().result;
+      }
+      *sec = (Now() - start) / static_cast<double>(obs_reps);
+      return res;
+    };
+    double best_off = 1e300, best_on = 1e300;
+    decltype(pr_mem.result) off_res, on_res;
+    for (int pair = 0; pair < 3; ++pair) {
+      double s_off = 0, s_on = 0;
+      off_res = run_side(false, &s_off);
+      on_res = run_side(true, &s_on);
+      best_off = std::min(best_off, s_off);
+      best_on = std::min(best_on, s_on);
+    }
+    obs_trace_events = obs::Tracer::Global().Collect().size();
+    obs::Tracer::Global().Disable();
+    obs::SetMetricsEnabled(true);
+    t_obs_off = best_off;
+    t_obs_on = best_on;
+    obs_over = t_obs_off > 0 ? t_obs_on / t_obs_off : 0.0;
+    obs_identical = off_res == on_res;
+    ok = ok && obs_identical;
+    std::printf(
+        "obs overhead    %8.4fs off  %8.4fs on  (%.3fx, %llu reps, "
+        "%llu trace events)  %s\n",
+        t_obs_off, t_obs_on, obs_over,
+        static_cast<unsigned long long>(obs_reps),
+        static_cast<unsigned long long>(obs_trace_events),
+        obs_identical ? "IDENTICAL" : "MISMATCH");
+  }
+
   // ---- algorithms on the zero-copy view ----------------------------------
   t0 = Now();
   auto cc_mmap = seq::ConnectedComponents(view);
@@ -868,6 +927,28 @@ int RunStress(int argc, char** argv) {
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"save_in_adjacency_sec\": %.3f,\n", t_save_inadj);
   std::fprintf(f, "  \"in_adjacency_file_mb\": %.1f,\n", inadj_mb);
+  std::fprintf(f, "  \"obs_overhead\": {\n");
+  std::fprintf(f, "    \"reps\": %llu,\n",
+               static_cast<unsigned long long>(obs_reps));
+  std::fprintf(f, "    \"off_sec\": %.4f,\n", t_obs_off);
+  std::fprintf(f, "    \"on_sec\": %.4f,\n", t_obs_on);
+  std::fprintf(f, "    \"on_over_off\": %.4f,\n", obs_over);
+  std::fprintf(f, "    \"trace_events\": %llu,\n",
+               static_cast<unsigned long long>(obs_trace_events));
+  std::fprintf(f, "    \"identical\": %s\n",
+               obs_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  // Full RunReport (engine stats + metrics-registry snapshot: lid caches,
+  // pool wakeups, chunk residency) so check_bench can gate on the
+  // observability section without a separate artifact.
+  {
+    obs::ScopedPartitionMetrics lid_metrics(sp);
+    obs::RunReport run_report;
+    run_report.SetGraph(g.num_vertices(), g.num_arcs(), frags);
+    run_report.AddRun("pagerank", "sim", pr_mem.stats, pr_mem.converged,
+                      t_pr_mem);
+    std::fprintf(f, "  \"run_report\": %s,\n", run_report.ToJson().c_str());
+  }
   std::fprintf(f, "  \"consistent\": %s\n", ok ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);

@@ -75,12 +75,28 @@
 //   --skew=R                         inject skew r (default 1 = none)
 //   --straggler=F                    slow worker 0 by factor F (default 1)
 //   --source=V                       SSSP/BFS source (default 0)
-//   --gantt                          print the run's timing diagram
+//   --gantt                          print the run's timing diagram (both
+//                                    engines; the threaded engine renders
+//                                    it from the wall-clock trace spans)
+//   --metrics-out=PATH               write the RunReport JSON (engine stats
+//                                    + a full metrics-registry snapshot:
+//                                    lid caches, pool wakeups, chunk
+//                                    residency, barrier waits) to PATH
+//   --trace-out=PATH                 record wall-clock trace spans during
+//                                    the run and write Chrome trace-event
+//                                    JSON to PATH (load in Perfetto or
+//                                    chrome://tracing)
+//   --perf                           wrap the ingest / partition / run
+//                                    phases in hardware perf-counter scopes
+//                                    (cycles, instructions, LLC); silently
+//                                    skipped where perf_event_open is
+//                                    unavailable (containers, non-Linux)
 #include <cstdio>
 #include <cmath>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "algos/bfs.h"
@@ -94,6 +110,9 @@
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/store/gcsr_store.h"
+#include "obs/perf_counters.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "partition/partitioner.h"
 #include "partition/skew.h"
 #include "runtime/worker_pool.h"
@@ -132,11 +151,59 @@ ModeConfig ParseMode(const std::string& m, int staleness) {
   return ModeConfig::Aap();
 }
 
+/// Observability outputs requested on the command line.
+struct ObsOptions {
+  std::string metrics_out;
+  std::string trace_out;
+  bool perf = false;
+  bool gantt = false;
+  std::string algo;
+  uint64_t vertices = 0;
+  uint64_t arcs = 0;
+};
+
+/// Writes the RunReport / trace artifacts a run produced. The partition's
+/// lid-cache counters are published for the snapshot the report embeds.
+void WriteObsOutputs(const ObsOptions& o, const Partition& p,
+                     const char* engine_name, const RunStats& stats,
+                     bool converged, double wall_seconds) {
+  if (!o.metrics_out.empty()) {
+    obs::ScopedPartitionMetrics lid_metrics(p);
+    obs::RunReport report;
+    report.SetGraph(o.vertices, o.arcs, p.num_fragments());
+    report.AddRun(o.algo, engine_name, stats, converged, wall_seconds);
+    const Status st = report.WriteFile(o.metrics_out);
+    if (st.ok()) {
+      std::printf("metrics        %s\n", o.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s: %s\n", o.metrics_out.c_str(),
+                   st.ToString().c_str());
+    }
+  }
+  if (!o.trace_out.empty()) {
+    const auto events = obs::Tracer::Global().Collect();
+    const Status st =
+        obs::WriteChromeTraceFile(events, /*to_us=*/1e-3, o.trace_out);
+    if (st.ok()) {
+      std::printf("trace          %s (%zu events, %llu dropped)\n",
+                  o.trace_out.c_str(), events.size(),
+                  static_cast<unsigned long long>(
+                      obs::Tracer::Global().dropped()));
+    } else {
+      std::fprintf(stderr, "cannot write %s: %s\n", o.trace_out.c_str(),
+                   st.ToString().c_str());
+    }
+  }
+}
+
 template <typename Program>
 int RunAndReportThreaded(const Partition& p, Program prog,
-                         const EngineConfig& cfg) {
+                         const EngineConfig& cfg, const ObsOptions& obs_opts) {
   ThreadedEngine<Program> engine(p, std::move(prog), cfg);
+  std::optional<obs::PerfPhaseScope> perf;
+  if (obs_opts.perf) perf.emplace("engine");
   auto r = engine.Run();
+  perf.reset();
   std::printf("converged      %s\n", r.converged ? "yes" : "NO");
   if constexpr (DualModeProgram<Program>) {
     std::printf("direction      %llu push / %llu pull rounds, %llu switches\n",
@@ -163,14 +230,30 @@ int RunAndReportThreaded(const Partition& p, Program prog,
                     r.stats.superstep_wall_ns.size()),
                 static_cast<double>(total_ns) / 1e6);
   }
+  if (r.stats.spurious_wakeups > 0) {
+    std::printf("spurious wakes %llu\n",
+                static_cast<unsigned long long>(r.stats.spurious_wakeups));
+  }
+  if (obs_opts.gantt) {
+    // Same renderer the sim engine uses, over the wall-clock span stream
+    // (main enabled the tracer when --gantt rides a threaded run).
+    std::printf("\n%s", obs::GanttFromEvents(obs::Tracer::Global().Collect(),
+                                             p.num_fragments(), 100)
+                            .c_str());
+  }
+  WriteObsOutputs(obs_opts, p, "threaded", r.stats, r.converged,
+                  r.wall_seconds);
   return r.converged ? 0 : 2;
 }
 
 template <typename Program>
 int RunAndReport(const Partition& p, Program prog, const EngineConfig& cfg,
-                 bool gantt) {
+                 const ObsOptions& obs_opts) {
   SimEngine<Program> engine(p, std::move(prog), cfg);
+  std::optional<obs::PerfPhaseScope> perf;
+  if (obs_opts.perf) perf.emplace("engine");
   auto r = engine.Run();
+  perf.reset();
   std::printf("converged      %s\n", r.converged ? "yes" : "NO");
   if constexpr (DualModeProgram<Program>) {
     std::printf("direction      %llu push / %llu pull rounds, %llu switches\n",
@@ -188,13 +271,15 @@ int RunAndReport(const Partition& p, Program prog, const EngineConfig& cfg,
               static_cast<double>(r.stats.total_bytes()) / 1048576.0);
   std::printf("busy/idle/susp %.0f / %.0f / %.0f\n", r.stats.total_busy(),
               r.stats.total_idle(), r.stats.total_suspended());
-  if (gantt) {
+  if (obs_opts.gantt) {
     std::printf("\n%s", r.trace
                             .ToGantt(static_cast<uint32_t>(
                                          r.stats.workers.size()),
                                      100)
                             .c_str());
   }
+  WriteObsOutputs(obs_opts, p, "sim", r.stats, r.converged,
+                  r.stats.makespan);
   return r.converged ? 0 : 2;
 }
 
@@ -206,6 +291,23 @@ int main(int argc, char** argv) {
     std::printf("see the header of examples/grape_cli.cpp for flags\n");
     return 0;
   }
+
+  // ---- observability ----
+  ObsOptions obs_opts;
+  obs_opts.metrics_out = Get(flags, "metrics-out", "");
+  obs_opts.trace_out = Get(flags, "trace-out", "");
+  obs_opts.perf = flags.count("perf") > 0;
+  obs_opts.gantt = flags.count("gantt") > 0;
+  // Enable early so the perf phase scopes' kPhase spans (ingest, partition)
+  // land in the exported trace alongside the engine's spans.
+  if (!obs_opts.trace_out.empty()) obs::Tracer::Global().Enable();
+  if (obs_opts.perf && !obs::PerfAvailable()) {
+    std::fprintf(stderr,
+                 "perf counters unavailable (perf_event_open denied or "
+                 "unsupported); --perf phases will be skipped\n");
+  }
+  std::optional<obs::PerfPhaseScope> perf_phase;
+  if (obs_opts.perf) perf_phase.emplace("ingest");
 
   // ---- graph ----
   // The backing storage is either an owning Graph or an MmapGraph (for
@@ -261,6 +363,7 @@ int main(int argc, char** argv) {
     }
   }
   if (!path.ends_with(".gcsr")) view = g.View();
+  perf_phase.reset();
   std::printf("graph          %u vertices, %llu arcs\n", view.num_vertices(),
               static_cast<unsigned long long>(view.num_arcs()));
 
@@ -280,6 +383,7 @@ int main(int argc, char** argv) {
   }
 
   // ---- partition ----
+  if (obs_opts.perf) perf_phase.emplace("partition");
   const FragmentId workers =
       static_cast<FragmentId>(std::stoul(Get(flags, "workers", "8")));
   auto partitioner = MakePartitioner(Get(flags, "partitioner", "ldg"));
@@ -350,6 +454,7 @@ int main(int argc, char** argv) {
   }
   Partition p = BuildPartition(view, std::move(placement), workers, &pool,
                                popts);
+  perf_phase.reset();
   auto metrics = ComputeMetrics(p);
   std::printf("partition      %u workers (%s), skew r=%.2f, cut=%.1f%%%s%s\n",
               workers, partitioner->name().c_str(), metrics.skew,
@@ -395,13 +500,18 @@ int main(int argc, char** argv) {
                   : "");
 
   // ---- run ----
-  const bool gantt = flags.count("gantt") > 0;
+  obs_opts.algo = algo;
+  obs_opts.vertices = view.num_vertices();
+  obs_opts.arcs = view.num_arcs();
+  // The threaded engine's Gantt is rendered from the wall-clock span
+  // stream, so --gantt alone needs the tracer on for that engine.
+  if (obs_opts.gantt && engine == "threaded") obs::Tracer::Global().Enable();
   const VertexId source =
       static_cast<VertexId>(std::stoul(Get(flags, "source", "0")));
   const auto run = [&](auto prog) {
     return engine == "threaded"
-               ? RunAndReportThreaded(p, std::move(prog), cfg)
-               : RunAndReport(p, std::move(prog), cfg, gantt);
+               ? RunAndReportThreaded(p, std::move(prog), cfg, obs_opts)
+               : RunAndReport(p, std::move(prog), cfg, obs_opts);
   };
   if (algo == "sssp") {
     return run(SsspProgram(source));

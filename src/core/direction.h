@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/common.h"
 
 namespace grape {
@@ -122,12 +123,19 @@ class DirectionController {
  public:
   DirectionController() = default;
 
+  /// Trace lane sentinel: a controller constructed without a lane emits no
+  /// trace events (tests construct them standalone).
+  static constexpr uint32_t kNoTrack = UINT32_MAX;
+
   /// `frag_arcs` is |E_i| of the worker's fragment; `pull_available` gates
   /// the gather direction (false when the partition carries no
   /// in-adjacency — every decision is then kPush regardless of the mode).
+  /// `trace_track` is the lane (normally the worker's FragmentId) decision
+  /// instants are recorded on when the wall-clock tracer is enabled.
   DirectionController(const DirectionConfig& cfg, uint64_t frag_arcs,
-                      bool pull_available)
-      : cfg_(cfg), pull_available_(pull_available) {
+                      bool pull_available, uint32_t trace_track = kNoTrack)
+      : cfg_(cfg), pull_available_(pull_available),
+        trace_track_(trace_track) {
     const double arcs = static_cast<double>(frag_arcs);
     dense_at_ = cfg.dense_frac * arcs;
     sparse_at_ = cfg.sparse_frac * arcs;
@@ -211,6 +219,15 @@ class DirectionController {
       log_.push_back(DirectionSample{round, next, frontier_vertices,
                                      frontier_degree, switched});
     }
+    // Structured telemetry: the same decision the log_ sample records, as a
+    // trace instant on the worker's lane (arg0 = direction, arg1 = the
+    // density signal the choice was based on).
+    if (trace_track_ != kNoTrack && obs::Tracer::enabled()) {
+      obs::Tracer::Global().RecordInstant(
+          obs::TraceKind::kDirectionDecide, trace_track_,
+          next == SweepDirection::kPull ? 1 : 0,
+          frontier_vertices + frontier_degree);
+    }
     return next;
   }
 
@@ -256,6 +273,7 @@ class DirectionController {
  private:
   DirectionConfig cfg_;
   bool pull_available_ = false;
+  uint32_t trace_track_ = kNoTrack;
   double dense_at_ = 0.0;
   double sparse_at_ = 0.0;
   SweepDirection current_ = SweepDirection::kPush;

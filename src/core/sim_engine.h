@@ -171,7 +171,7 @@ class SimEngine {
       workers_[i].buffer = UpdateBuffer<V>(f.num_local());
       workers_[i].buffer.SetDegreeOffsets(f.out_offsets());
       directions_.emplace_back(cfg_.direction, f.num_arcs(),
-                               f.has_in_adjacency());
+                               f.has_in_adjacency(), /*trace_track=*/i);
       if constexpr (DualModeProgram<Program>) {
         GRAPE_CHECK(cfg_.direction.mode != DirectionConfig::Mode::kPull ||
                     f.has_in_adjacency())
@@ -264,6 +264,14 @@ class SimEngine {
     const double now = clock_.Now();
     controller_->OnRoundStart(w, now);
 
+    // Wall-clock span of the real program execution (the simulated span
+    // goes to trace_ in EndRound, stamped with virtual time): both engines
+    // feed the same span stream, so a sim run's Perfetto trace shows where
+    // host time actually went.
+    const bool traced = obs::Tracer::enabled();
+    const int64_t trace_start = traced ? obs::Tracer::Global().NowNs() : 0;
+    uint64_t trace_pull = 0;
+
     Emitter<V>& emitter = rt.emitter;
     emitter.Clear();
     double work = 0.0;
@@ -274,6 +282,7 @@ class SimEngine {
         const SweepDirection dir = directions_[w].Decide(
             /*is_peval=*/true, 0, rt.buffer.NumPendingVertices(),
             rt.buffer.FrontierOutDegree());
+        trace_pull = dir == SweepDirection::kPull ? 1 : 0;
         work = program_.PEval(partition_.fragments[w], states_[w], &emitter,
                               dir);
       } else {
@@ -291,9 +300,14 @@ class SimEngine {
           rt.buffer.FrontierOutDegree();
       auto updates = rt.buffer.Drain();
       stats_.workers[w].updates_applied += updates.size();
+      if (traced) {
+        obs::Tracer::Global().RecordInstant(obs::TraceKind::kBufferDrain, w,
+                                            updates.size());
+      }
       if constexpr (DualModeProgram<Program>) {
         const SweepDirection dir = directions_[w].Decide(
             /*is_peval=*/false, rt.running_round, frontier_v, frontier_deg);
+        trace_pull = dir == SweepDirection::kPull ? 1 : 0;
         work = program_.IncEval(partition_.fragments[w], states_[w],
                                 std::span<const UpdateEntry<V>>(updates),
                                 &emitter, dir);
@@ -303,6 +317,11 @@ class SimEngine {
                                 &emitter);
       }
       ++total_rounds_;
+    }
+    if (traced) {
+      obs::Tracer::Global().RecordSpan(
+          is_peval ? obs::TraceKind::kPEval : obs::TraceKind::kIncEval, w,
+          trace_start, rt.running_round, trace_pull);
     }
     // Swap (not move): the outbox was emptied by its last dispatch, so its
     // capacity flows back into the emitter for the next round.

@@ -28,6 +28,8 @@
 #include "core/direction.h"
 #include "core/modes.h"
 #include "core/pie.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/fragment.h"
 #include "runtime/barrier.h"
 #include "runtime/channel.h"
@@ -95,6 +97,8 @@ class ThreadedEngine {
       } else {
         RunAsync(pool, threads);
       }
+      // Read before the pool joins at scope exit — the counter lives in it.
+      stats_.spurious_wakeups = pool.spurious_wakeups();
     }
 
     // Fold the cross-thread atomic counters into the result stats; the
@@ -163,7 +167,7 @@ class ThreadedEngine {
       workers_[i]->buffer.SetDegreeOffsets(f.out_offsets());
       workers_[i]->out_by_dst.assign(m, {});
       directions_.emplace_back(cfg_.direction, f.num_arcs(),
-                               f.has_in_adjacency());
+                               f.has_in_adjacency(), /*trace_track=*/i);
       if constexpr (DualModeProgram<Program>) {
         GRAPE_CHECK(cfg_.direction.mode != DirectionConfig::Mode::kPull ||
                     f.has_in_adjacency())
@@ -240,12 +244,18 @@ class ThreadedEngine {
     std::atomic<bool> stop{m == 0};
     uint64_t supersteps = 0;
     Stopwatch step_wall;
+    obs::Histogram* barrier_wait_ns =
+        obs::MetricsRegistry::Global().GetHistogram("engine.barrier_wait_ns");
     pool.Run(threads, [&](uint32_t tid) {
       ThreadStats& ts = stats_.threads[tid];
       const auto arrive = [&] {
+        obs::TraceSpanScope span(obs::TraceKind::kBarrierWait,
+                                 obs::Tracer::kThreadLaneBase + tid);
         Stopwatch idle;
         barrier->Arrive(tid);
-        ts.idle_time += idle.ElapsedSeconds();
+        const double waited = idle.ElapsedSeconds();
+        ts.idle_time += waited;
+        barrier_wait_ns->Observe(static_cast<uint64_t>(waited * 1e9));
       };
       bool is_peval = true;
       while (true) {
@@ -259,8 +269,16 @@ class ThreadedEngine {
         if (tid == 0) {
           Stopwatch master;
           DispatchAllOutboxes();
-          stats_.superstep_wall_ns.push_back(
-              static_cast<uint64_t>(step_wall.ElapsedSeconds() * 1e9));
+          const uint64_t step_ns =
+              static_cast<uint64_t>(step_wall.ElapsedSeconds() * 1e9);
+          stats_.superstep_wall_ns.push_back(step_ns);
+          if (obs::Tracer::enabled()) {
+            auto& tracer = obs::Tracer::Global();
+            tracer.RecordSpan(obs::TraceKind::kSuperstep,
+                              obs::Tracer::kMasterLane,
+                              tracer.NowNs() - static_cast<int64_t>(step_ns),
+                              stats_.superstep_wall_ns.size() - 1);
+          }
           step_wall.Restart();
           if (!is_peval) ++supersteps;
           eligible.clear();
@@ -339,6 +357,8 @@ class ThreadedEngine {
         // among pending workers, or — when none is pending — untimed until
         // the hub rings (message delivery, claim release, a fresh kWaitFor
         // deadline and termination all NotifyAll). No 1 ms polling spin.
+        obs::TraceSpanScope idle_span(obs::TraceKind::kIdleWait,
+                                      obs::Tracer::kThreadLaneBase + tid);
         Stopwatch idle;
         if (next_eligible == kInfinity) {
           // The loop guard ran before the epoch capture: termination
@@ -439,6 +459,10 @@ class ThreadedEngine {
   /// holds the claim on w, so per-worker state is exclusive here. Returns
   /// the round's measured wall time in seconds.
   double RunOneRound(FragmentId w, bool is_peval) {
+    const bool traced = obs::Tracer::enabled();
+    const int64_t trace_start = traced ? obs::Tracer::Global().NowNs() : 0;
+    Round trace_round = 0;
+    uint64_t trace_pull = 0;
     Stopwatch sw;
     auto& rt = *workers_[w];
     Emitter<V>& emitter = rt.emitter;
@@ -450,6 +474,7 @@ class ThreadedEngine {
         const SweepDirection dir = directions_[w].Decide(
             /*is_peval=*/true, 0, rt.buffer.NumPendingVertices(),
             rt.buffer.FrontierOutDegree());
+        trace_pull = dir == SweepDirection::kPull ? 1 : 0;
         work = program_.PEval(partition_.fragments[w], states_[w], &emitter,
                               dir);
       } else {
@@ -466,11 +491,17 @@ class ThreadedEngine {
           rt.buffer.FrontierOutDegree();
       auto updates = rt.buffer.Drain();
       stats_.workers[w].updates_applied += updates.size();
+      if (traced) {
+        obs::Tracer::Global().RecordInstant(obs::TraceKind::kBufferDrain, w,
+                                            updates.size());
+      }
       const Round round = controller_->round(w) + 1;
+      trace_round = round;
       emitter.SetRound(round);
       if constexpr (DualModeProgram<Program>) {
         const SweepDirection dir = directions_[w].Decide(
             /*is_peval=*/false, round, frontier_v, frontier_deg);
+        trace_pull = dir == SweepDirection::kPull ? 1 : 0;
         work = program_.IncEval(partition_.fragments[w], states_[w],
                                 std::span<const UpdateEntry<V>>(updates),
                                 &emitter, dir);
@@ -483,6 +514,11 @@ class ThreadedEngine {
       ++stats_.workers[w].rounds;
     }
     const double elapsed = sw.ElapsedSeconds();
+    if (traced) {
+      obs::Tracer::Global().RecordSpan(
+          is_peval ? obs::TraceKind::kPEval : obs::TraceKind::kIncEval, w,
+          trace_start, trace_round, trace_pull);
+    }
     if constexpr (DualModeProgram<Program>) {
       // The default cost signal is the program's work units — identical
       // across engines and storage backends, so auto decisions stay

@@ -20,16 +20,29 @@ uint64_t RunTrace::RoundsOf(FragmentId worker) const {
   return n;
 }
 
-std::string RunTrace::ToGantt(uint32_t num_workers, int width) const {
-  std::vector<GanttSpan> gs;
-  gs.reserve(spans_.size());
+std::vector<obs::TraceEvent> RunTrace::ToEvents() const {
+  std::vector<obs::TraceEvent> events;
+  events.reserve(spans_.size());
   for (const auto& s : spans_) {
-    char glyph = s.kind == SpanKind::kPEval
-                     ? '#'
-                     : static_cast<char>('0' + (s.round % 10));
-    gs.push_back(GanttSpan{static_cast<int>(s.worker), s.start, s.end, glyph});
+    obs::TraceEvent e;
+    e.start_ns = static_cast<int64_t>(s.start * 1e9);
+    e.dur_ns = std::max<int64_t>(
+        0, static_cast<int64_t>(s.end * 1e9) - e.start_ns);
+    e.track = s.worker;
+    e.kind = s.kind == SpanKind::kPEval ? obs::TraceKind::kPEval
+                                        : obs::TraceKind::kIncEval;
+    e.arg0 = s.round;
+    events.push_back(e);
   }
-  return RenderGantt(gs, static_cast<int>(num_workers), EndTime(), width);
+  return events;
+}
+
+std::string RunTrace::ToGantt(uint32_t num_workers, int width) const {
+  return obs::GanttFromEvents(ToEvents(), num_workers, width);
+}
+
+void RunTrace::ToChromeTrace(std::ostream& os) const {
+  obs::WriteChromeTrace(ToEvents(), /*to_us=*/1e-3, os);
 }
 
 }  // namespace grape

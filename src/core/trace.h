@@ -5,9 +5,11 @@
 #ifndef GRAPEPLUS_CORE_TRACE_H_
 #define GRAPEPLUS_CORE_TRACE_H_
 
+#include <ostream>
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/common.h"
 
 namespace grape {
@@ -37,8 +39,19 @@ class RunTrace {
   /// Number of IncEval rounds executed by `worker`.
   uint64_t RoundsOf(FragmentId worker) const;
 
+  /// The sim-time spans as the unified obs span stream (one virtual second
+  /// stamped as one second of nanoseconds) — both renderers below draw from
+  /// this, so sim and threaded runs go through identical export paths.
+  std::vector<obs::TraceEvent> ToEvents() const;
+
   /// ASCII Gantt chart ('#' = PEval, digits cycle per IncEval round).
+  /// Thin wrapper over obs::GanttFromEvents. Renders all-idle rows for an
+  /// empty trace and a single glyph cell for zero-duration spans.
   std::string ToGantt(uint32_t num_workers, int width = 96) const;
+
+  /// Chrome trace-event JSON of the virtual-time spans (loadable in
+  /// Perfetto; one virtual second renders as one second).
+  void ToChromeTrace(std::ostream& os) const;
 
  private:
   std::vector<TraceSpan> spans_;

@@ -4,6 +4,8 @@
 #include <mutex>
 
 #include "graph/store/gcsr_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define GRAPEPLUS_HAVE_MADVISE 1
@@ -28,6 +30,20 @@ void RaisePeak(std::atomic<uint64_t>& peak, uint64_t value) {
 ChunkedArcSource::ChunkedArcSource(const GraphView& view, uint64_t arc_budget,
                                    Backend backend)
     : view_(view), backend_(backend), budget_(std::max<uint64_t>(arc_budget, 1)) {
+  // Re-register the residency accounting with the metrics registry (gauges
+  // describe the most recently snapshotted source; the acquire counter sums
+  // across sources for the process).
+  acquire_counter_ =
+      obs::MetricsRegistry::Global().GetCounter("graph.chunks.acquires");
+  metrics_callback_ = obs::MetricsRegistry::Global().AddCallback(
+      [this](obs::MetricsSnapshot* snap) {
+        snap->gauges["graph.chunks.resident_arcs"] =
+            static_cast<double>(resident_arcs());
+        snap->gauges["graph.chunks.peak_resident_arcs"] =
+            static_cast<double>(peak_resident_arcs());
+        snap->gauges["graph.chunks.peak_point_arcs"] =
+            static_cast<double>(peak_point_arcs());
+      });
   const VertexId n = view_.num_vertices();
   effective_budget_ = budget_;
   if (n == 0) return;
@@ -57,6 +73,11 @@ ChunkedArcSource::ChunkedArcSource(const GraphView& view, uint64_t arc_budget,
 ChunkedArcSource::ChunkedArcSource(const MmapGraph& g, uint64_t arc_budget)
     : ChunkedArcSource(g.View(), arc_budget, Backend::kMapped) {}
 
+ChunkedArcSource::~ChunkedArcSource() {
+  ReleasePointWindows();
+  obs::MetricsRegistry::Global().RemoveCallback(metrics_callback_);
+}
+
 ChunkedArcSource::Chunk ChunkedArcSource::chunk(size_t k) const {
   GRAPE_CHECK(k < num_chunks());
   Chunk c;
@@ -82,6 +103,12 @@ ChunkedArcSource::Chunk ChunkedArcSource::Acquire(size_t k) const {
       resident_.fetch_add(c.arc_count, std::memory_order_relaxed) +
       c.arc_count;
   RaisePeak(peak_, now);
+  acquire_counter_->Add(1);
+  if (obs::Tracer::enabled()) {
+    obs::Tracer::Global().RecordInstant(obs::TraceKind::kChunkAcquire,
+                                        obs::Tracer::kIoLane, c.index,
+                                        c.arc_count);
+  }
 #if GRAPEPLUS_HAVE_MADVISE
   if (backend_ == Backend::kMapped) {
     Advise(c.first_arc, c.arc_count, MADV_WILLNEED);
@@ -104,6 +131,11 @@ void ChunkedArcSource::Release(const Chunk& c) const {
   (void)last;
 #endif
   resident_.fetch_sub(c.arc_count, std::memory_order_relaxed);
+  if (obs::Tracer::enabled()) {
+    obs::Tracer::Global().RecordInstant(obs::TraceKind::kChunkRelease,
+                                        obs::Tracer::kIoLane, c.index,
+                                        c.arc_count);
+  }
 }
 
 void ChunkedArcSource::NotePointResidency(uint64_t arcs) const {

@@ -40,6 +40,10 @@
 #include "graph/graph_view.h"
 #include "util/common.h"
 
+namespace grape::obs {
+class Counter;
+}  // namespace grape::obs
+
 namespace grape {
 
 class MmapGraph;
@@ -138,7 +142,7 @@ class ChunkedArcSource {
   /// Capacity 0 disables the point LRU (the pre-fix unbounded behaviour).
   void set_point_lru_windows(uint32_t n) { point_lru_capacity_ = n; }
 
-  ~ChunkedArcSource() { ReleasePointWindows(); }
+  ~ChunkedArcSource();
 
   /// Acquires every chunk in order, invoking fn(chunk, arcs) between
   /// Acquire and Release — the canonical full-view streaming sweep.
@@ -183,6 +187,10 @@ class ChunkedArcSource {
   uint32_t point_lru_capacity_ = 4;
   mutable SpinLock point_mu_;
   mutable std::vector<Chunk> point_held_;
+  // Observability: residency gauges published via a snapshot callback,
+  // acquires counted through the registry (obs/metrics.h).
+  uint64_t metrics_callback_ = 0;
+  obs::Counter* acquire_counter_ = nullptr;
 };
 
 }  // namespace grape

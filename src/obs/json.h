@@ -1,0 +1,134 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Minimal streaming JSON writer for the observability exports (metrics
+// snapshots, RunReport, Chrome trace events). Write-only and allocation-light
+// on purpose: the library has no JSON dependency, and the exporters only
+// ever serialise — parsing (in tests) re-reads the output with a standalone
+// mini parser to prove well-formedness.
+#ifndef GRAPEPLUS_OBS_JSON_H_
+#define GRAPEPLUS_OBS_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grape::obs {
+
+/// Emits one JSON document into an owned string. Nesting is tracked with an
+/// explicit stack, commas are inserted automatically; the caller guarantees
+/// Key() before every value inside an object (debug-unchecked — the tests
+/// re-parse every export).
+class JsonWriter {
+ public:
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  void Key(std::string_view k) {
+    Comma();
+    AppendString(k);
+    out_ += ':';
+    key_pending_ = true;
+  }
+
+  void String(std::string_view v) {
+    Comma();
+    AppendString(v);
+  }
+  void Uint(uint64_t v) {
+    Comma();
+    out_ += std::to_string(v);
+  }
+  void Int(int64_t v) {
+    Comma();
+    out_ += std::to_string(v);
+  }
+  void Bool(bool v) {
+    Comma();
+    out_ += v ? "true" : "false";
+  }
+  void Double(double v) {
+    Comma();
+    if (!std::isfinite(v)) {  // inf/nan are not JSON; export null instead
+      out_ += "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out_ += buf;
+  }
+  /// Splices an already-serialised JSON value (embedding a sub-report).
+  void Raw(std::string_view json) {
+    Comma();
+    out_.append(json);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Open(char c) {
+    Comma();
+    out_ += c;
+    first_.push_back(true);
+  }
+  void Close(char c) {
+    out_ += c;
+    first_.pop_back();
+  }
+  /// Separator before any value: nothing after '{', '[' or a key.
+  void Comma() {
+    if (key_pending_) {
+      key_pending_ = false;
+      return;
+    }
+    if (first_.empty()) return;
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      out_ += ',';
+    }
+  }
+  void AppendString(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool key_pending_ = false;
+};
+
+}  // namespace grape::obs
+
+#endif  // GRAPEPLUS_OBS_JSON_H_

@@ -1,0 +1,312 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "obs/json.h"
+#include "util/logging.h"
+
+namespace grape::obs {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace
+
+void SetMetricsEnabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- buckets ---
+
+double HistogramData::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t next = seen + buckets[b];
+    if (static_cast<double>(next) >= target) {
+      const double lo = static_cast<double>(BucketLo(b));
+      const double hi = static_cast<double>(BucketHi(b));
+      if (lo <= 0.0) return 0.0;
+      // Geometric interpolation: samples inside a power-of-two bucket are
+      // better modelled log-uniform than uniform.
+      const double f = (target - static_cast<double>(seen)) /
+                       static_cast<double>(buckets[b]);
+      return lo * std::pow(hi / lo, std::clamp(f, 0.0, 1.0));
+    }
+    seen = next;
+  }
+  return static_cast<double>(BucketHi(kNumBuckets - 1));
+}
+
+// ---------------------------------------------------------- thread blocks ---
+
+/// One thread's private cells. The owning thread writes with relaxed
+/// load+store (single writer — no RMW); Snapshot() reads relaxed from any
+/// thread. Registration/retirement happen under the registry mutex.
+struct MetricsRegistry::ThreadBlock {
+  explicit ThreadBlock(MetricsRegistry* owner) : reg(owner) {
+    for (auto& c : cells) c.store(0, std::memory_order_relaxed);
+  }
+  MetricsRegistry* reg;
+  std::array<std::atomic<uint64_t>, kMaxCells> cells;
+};
+
+/// Thread-local ownership of one block per (thread, registry) pair, with the
+/// destructor retiring the block into its registry. A one-entry cache keeps
+/// the common single-registry case at a pointer compare per update. Named
+/// (not anonymous-namespace) so the registry can befriend it.
+struct TlsBlocks {
+  struct Entry {
+    MetricsRegistry* reg;
+    std::unique_ptr<MetricsRegistry::ThreadBlock> block;
+  };
+  MetricsRegistry* cached_reg = nullptr;
+  MetricsRegistry::ThreadBlock* cached_block = nullptr;
+  std::vector<Entry> entries;
+  ~TlsBlocks();
+};
+
+namespace {
+thread_local TlsBlocks g_tls;
+}  // namespace
+
+MetricsRegistry::ThreadBlock* MetricsRegistry::LocalBlock() {
+  if (g_tls.cached_reg == this) return g_tls.cached_block;
+  for (auto& e : g_tls.entries) {
+    if (e.reg == this) {
+      g_tls.cached_reg = this;
+      g_tls.cached_block = e.block.get();
+      return e.block.get();
+    }
+  }
+  auto block = std::make_unique<ThreadBlock>(this);
+  ThreadBlock* raw = block.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocks_.push_back(raw);
+  }
+  g_tls.entries.push_back({this, std::move(block)});
+  g_tls.cached_reg = this;
+  g_tls.cached_block = raw;
+  return raw;
+}
+
+TlsBlocks::~TlsBlocks() {
+  for (auto& e : entries) e.reg->Retire(e.block.get());
+}
+
+void MetricsRegistry::Retire(ThreadBlock* block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t i = 0; i < next_cell_; ++i) {
+    retired_[i] += block->cells[i].load(std::memory_order_relaxed);
+  }
+  blocks_.erase(std::remove(blocks_.begin(), blocks_.end(), block),
+                blocks_.end());
+}
+
+void MetricsRegistry::CellAdd(uint32_t cell, uint64_t n) {
+  std::atomic<uint64_t>& c = LocalBlock()->cells[cell];
+  c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- registry ---
+
+MetricsRegistry::MetricsRegistry() : retired_(kMaxCells, 0) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: worker threads may outlive static destruction order
+  // and must always find the registry alive when they retire their cells.
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+void Counter::Add(uint64_t n) {
+  if (reg_ == nullptr || !MetricsEnabled()) return;
+  reg_->CellAdd(cell_, n);
+}
+
+void Histogram::Observe(uint64_t value) {
+  if (reg_ == nullptr || !MetricsEnabled()) return;
+  const uint32_t b = static_cast<uint32_t>(std::bit_width(value));
+  reg_->CellAdd(base_ + b, 1);
+  reg_->CellAdd(base_ + HistogramData::kNumBuckets, value);  // sum cell
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    Metric& m = metrics_[it->second];
+    GRAPE_CHECK(m.kind == Kind::kCounter)
+        << "metric '" << name << "' already registered as a histogram";
+    return m.counter.get();
+  }
+  GRAPE_CHECK(next_cell_ + 1 <= kMaxCells) << "metrics cell space exhausted";
+  Metric m;
+  m.name = name;
+  m.kind = Kind::kCounter;
+  m.base = next_cell_;
+  next_cell_ += 1;
+  m.counter = std::make_unique<Counter>();
+  m.counter->reg_ = this;
+  m.counter->cell_ = m.base;
+  Counter* handle = m.counter.get();
+  index_.emplace(name, metrics_.size());
+  metrics_.push_back(std::move(m));
+  return handle;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  constexpr uint32_t kHistCells = HistogramData::kNumBuckets + 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    Metric& m = metrics_[it->second];
+    GRAPE_CHECK(m.kind == Kind::kHistogram)
+        << "metric '" << name << "' already registered as a counter";
+    return m.histogram.get();
+  }
+  GRAPE_CHECK(next_cell_ + kHistCells <= kMaxCells)
+      << "metrics cell space exhausted";
+  Metric m;
+  m.name = name;
+  m.kind = Kind::kHistogram;
+  m.base = next_cell_;
+  next_cell_ += kHistCells;
+  m.histogram = std::make_unique<Histogram>();
+  m.histogram->reg_ = this;
+  m.histogram->base_ = m.base;
+  Histogram* handle = m.histogram.get();
+  index_.emplace(name, metrics_.size());
+  metrics_.push_back(std::move(m));
+  return handle;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+uint64_t MetricsRegistry::AddCallback(
+    std::function<void(MetricsSnapshot*)> cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t handle = next_callback_++;
+  callbacks_.emplace_back(handle, std::move(cb));
+  return handle;
+}
+
+void MetricsRegistry::RemoveCallback(uint64_t handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(callbacks_, [&](const auto& e) { return e.first == handle; });
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Fold: retired sums of dead threads + live cells of every registered
+  // block. Live cells are racing relaxed stores; any value read is a valid
+  // recent total for that shard.
+  std::vector<uint64_t> cells(retired_.begin(),
+                              retired_.begin() + next_cell_);
+  for (const ThreadBlock* b : blocks_) {
+    for (uint32_t i = 0; i < next_cell_; ++i) {
+      cells[i] += b->cells[i].load(std::memory_order_relaxed);
+    }
+  }
+  for (const Metric& m : metrics_) {
+    if (m.kind == Kind::kCounter) {
+      snap.counters[m.name] = cells[m.base];
+    } else {
+      HistogramData h;
+      for (size_t b = 0; b < HistogramData::kNumBuckets; ++b) {
+        h.buckets[b] = cells[m.base + b];
+        h.count += h.buckets[b];
+      }
+      h.sum = cells[m.base + HistogramData::kNumBuckets];
+      snap.histograms[m.name] = h;
+    }
+  }
+  snap.gauges = gauges_;
+  for (const auto& [handle, cb] : callbacks_) cb(&snap);
+  return snap;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(retired_.begin(), retired_.end(), 0);
+  for (ThreadBlock* b : blocks_) {
+    for (uint32_t i = 0; i < next_cell_; ++i) {
+      b->cells[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  gauges_.clear();
+}
+
+// --------------------------------------------------------------- snapshot ---
+
+void MetricsSnapshot::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("counters");
+  w->BeginObject();
+  for (const auto& [name, v] : counters) {
+    w->Key(name);
+    w->Uint(v);
+  }
+  w->EndObject();
+  w->Key("gauges");
+  w->BeginObject();
+  for (const auto& [name, v] : gauges) {
+    w->Key(name);
+    w->Double(v);
+  }
+  w->EndObject();
+  w->Key("histograms");
+  w->BeginObject();
+  for (const auto& [name, h] : histograms) {
+    w->Key(name);
+    w->BeginObject();
+    w->Key("count");
+    w->Uint(h.count);
+    w->Key("sum");
+    w->Uint(h.sum);
+    w->Key("mean");
+    w->Double(h.Mean());
+    w->Key("p50");
+    w->Double(h.Quantile(0.50));
+    w->Key("p90");
+    w->Double(h.Quantile(0.90));
+    w->Key("p99");
+    w->Double(h.Quantile(0.99));
+    // Non-empty buckets as [lower_bound, count] pairs.
+    w->Key("buckets");
+    w->BeginArray();
+    for (size_t b = 0; b < HistogramData::kNumBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      w->BeginArray();
+      w->Uint(HistogramData::BucketLo(b));
+      w->Uint(h.buckets[b]);
+      w->EndArray();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  WriteJson(&w);
+  return w.Take();
+}
+
+}  // namespace grape::obs

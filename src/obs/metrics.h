@@ -1,0 +1,193 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Metrics registry: named counters, gauges and log-bucketed histograms with
+// per-thread sharded cells, aggregated only at Snapshot() time.
+//
+// Design rules (the "overhead contract" of docs/OBSERVABILITY.md):
+//
+//   * No atomic read-modify-write on the hot path. Every counter/histogram
+//     cell is written by exactly one thread; Add() is a relaxed load +
+//     relaxed store (a plain add on every target ISA), which a concurrent
+//     Snapshot() may observe slightly stale but never torn. This is what
+//     "per-thread sharded" buys over a shared std::atomic fetch_add.
+//   * The slow path (first touch of the registry by a thread, registering
+//     its cell block) takes the registry mutex once per thread, not per
+//     update. A thread that exits folds its cells into a retired sum under
+//     the same mutex, so totals survive thread churn (engine pools are
+//     created per run).
+//   * Counters and histograms are disabled globally via SetMetricsEnabled —
+//     a single relaxed bool load per update — so an A/B of "metrics on vs
+//     off" measures the full instrumentation cost (the bench gate holds it
+//     under 3% on the smoke stress profile).
+//
+// The registry alone only sees what is pushed through its own handles. The
+// pre-existing ad-hoc telemetry re-registers via snapshot callbacks:
+// components with clear ownership (WorkerPool, ChunkedArcSource) hook
+// AddCallback in their constructors and publish their internal atomics as
+// gauges when a snapshot is taken; run-scoped telemetry (RunStats, lid
+// caches of a Partition) is published by RunReport / ScopedPartitionMetrics
+// (obs/report.h). Either way, one Snapshot() sees everything.
+//
+// A MetricsRegistry must outlive every thread that updates metrics created
+// from it (thread exit calls back into the registry to retire its cells).
+// The process-wide Global() registry satisfies this trivially; tests using
+// local registries must join their threads first.
+#ifndef GRAPEPLUS_OBS_METRICS_H_
+#define GRAPEPLUS_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace grape::obs {
+
+/// Global kill-switch for counter/histogram updates (gauges and snapshot
+/// callbacks are snapshot-time only and unaffected). Default: enabled.
+void SetMetricsEnabled(bool on);
+bool MetricsEnabled();
+
+/// Aggregated log-bucketed histogram. Bucket b holds values whose
+/// bit_width is b: bucket 0 = {0}, bucket b>=1 = [2^(b-1), 2^b).
+struct HistogramData {
+  static constexpr size_t kNumBuckets = 65;  // bit_width of uint64 is 0..64
+
+  std::array<uint64_t, kNumBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+
+  static uint64_t BucketLo(size_t b) {
+    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+  static uint64_t BucketHi(size_t b) {  // inclusive
+    return b == 0 ? 0 : (uint64_t{1} << (b - 1)) * 2 - 1;
+  }
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Quantile estimate with geometric interpolation inside the bucket —
+  /// exact to within the bucket's factor-of-two bounds (asserted against
+  /// exact references in tests/obs_test.cc). q in [0, 1].
+  double Quantile(double q) const;
+};
+
+class MetricsRegistry;
+
+/// Named monotonic counter. Handle is a stable pointer owned by the
+/// registry; copy it freely, Add() from any thread.
+class Counter {
+ public:
+  void Add(uint64_t n = 1);
+  void Increment() { Add(1); }
+
+ private:
+  friend class MetricsRegistry;
+  MetricsRegistry* reg_ = nullptr;
+  uint32_t cell_ = 0;  // this counter's slot in every thread block
+};
+
+/// Named log-bucketed histogram; Observe() records one uint64 sample
+/// (typically nanoseconds) into the observing thread's cells.
+class Histogram {
+ public:
+  void Observe(uint64_t value);
+
+ private:
+  friend class MetricsRegistry;
+  MetricsRegistry* reg_ = nullptr;
+  uint32_t base_ = 0;  // first of kNumBuckets+1 cells (buckets, then sum)
+};
+
+/// One aggregated view of everything the registry knows: folded counter and
+/// histogram cells (live threads + retired), gauge values, and whatever the
+/// registered snapshot callbacks publish. Callbacks may add to any map.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  void WriteJson(class JsonWriter* w) const;
+  std::string ToJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem publishes into.
+  static MetricsRegistry& Global();
+
+  /// Returns the counter/histogram registered under `name`, creating it on
+  /// first use. Handles stay valid for the registry's lifetime; repeated
+  /// calls with one name return the same handle.
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Last-write-wins named gauge (absolute values: residency, rates).
+  void SetGauge(const std::string& name, double value);
+
+  /// Registers a snapshot callback — the re-registration hook for ad-hoc
+  /// component counters. Invoked under the registry mutex during every
+  /// Snapshot(); must not call back into the registry. Returns a handle for
+  /// RemoveCallback (call it before the component dies).
+  uint64_t AddCallback(std::function<void(MetricsSnapshot*)> cb);
+  void RemoveCallback(uint64_t handle);
+
+  /// Folds all shards (live thread blocks + retired cells) and gauges,
+  /// then runs the callbacks. Safe while other threads keep updating —
+  /// concurrent updates land in this snapshot or the next, never tear.
+  MetricsSnapshot Snapshot();
+
+  /// Zeroes every counter/histogram cell and gauge (not the name space or
+  /// the callbacks). For A/B phases and tests.
+  void ResetValues();
+
+  /// Cells per thread block; counters take 1, histograms kNumBuckets + 1.
+  static constexpr uint32_t kMaxCells = 8192;
+
+ private:
+  friend class Counter;
+  friend class Histogram;
+  friend struct TlsBlocks;  // thread-exit retirement (metrics.cc)
+  struct ThreadBlock;
+
+  /// Hot path: the calling thread's cell block (registered on first use).
+  ThreadBlock* LocalBlock();
+  void Retire(ThreadBlock* block);  // fold + unregister on thread exit
+
+  void CellAdd(uint32_t cell, uint64_t n);
+
+  enum class Kind : uint8_t { kCounter, kHistogram };
+  struct Metric {
+    std::string name;
+    Kind kind;
+    uint32_t base;  // first cell
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  std::mutex mu_;
+  std::vector<Metric> metrics_;
+  std::unordered_map<std::string, size_t> index_;
+  uint32_t next_cell_ = 0;
+  std::vector<ThreadBlock*> blocks_;          // live thread blocks
+  std::vector<uint64_t> retired_;             // folded cells of dead threads
+  std::map<std::string, double> gauges_;
+  std::vector<std::pair<uint64_t, std::function<void(MetricsSnapshot*)>>>
+      callbacks_;
+  uint64_t next_callback_ = 1;
+};
+
+}  // namespace grape::obs
+
+#endif  // GRAPEPLUS_OBS_METRICS_H_

@@ -1,0 +1,159 @@
+#include "obs/perf_counters.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define GRAPEPLUS_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace grape::obs {
+
+#if GRAPEPLUS_HAVE_PERF_EVENT
+
+namespace {
+
+const uint64_t kConfigs[4] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_REFERENCES,
+    PERF_COUNT_HW_CACHE_MISSES,
+};
+
+int OpenCounter(uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // leader starts disabled
+  attr.exclude_kernel = 1;               // works without CAP_PERFMON
+  attr.exclude_hv = 1;
+  attr.inherit = 1;  // include child threads spawned inside the phase
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+}  // namespace
+
+bool PerfAvailable() {
+  static const bool available = [] {
+    const int fd = OpenCounter(PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (fd < 0) return false;
+    close(fd);
+    return true;
+  }();
+  return available;
+}
+
+PerfCounterGroup::PerfCounterGroup() {
+  for (int& fd : fds_) fd = -1;
+  if (!PerfAvailable()) return;
+  // Independent fds rather than a single PERF_FORMAT_GROUP leader: group
+  // reads share one scheduling slot and fail together when the PMU is
+  // over-committed, while independent counters multiplex gracefully. The
+  // phase durations measured here (whole pipeline stages) dwarf any
+  // multiplexing skew.
+  for (int i = 0; i < kNumCounters; ++i) {
+    fds_[i] = OpenCounter(kConfigs[i], -1);
+    if (fds_[i] < 0) {
+      for (int j = 0; j <= i; ++j) {
+        if (fds_[j] >= 0) close(fds_[j]);
+        fds_[j] = -1;
+      }
+      return;
+    }
+  }
+  valid_ = true;
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (const int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+void PerfCounterGroup::Begin() {
+  if (!valid_) return;
+  for (const int fd : fds_) {
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+PerfReading PerfCounterGroup::End() {
+  PerfReading r;
+  if (!valid_) return r;
+  uint64_t values[kNumCounters] = {0, 0, 0, 0};
+  bool ok = true;
+  for (int i = 0; i < kNumCounters; ++i) {
+    ioctl(fds_[i], PERF_EVENT_IOC_DISABLE, 0);
+    if (read(fds_[i], &values[i], sizeof(values[i])) !=
+        static_cast<ssize_t>(sizeof(values[i]))) {
+      ok = false;
+    }
+  }
+  if (!ok) return r;
+  r.valid = true;
+  r.cycles = values[0];
+  r.instructions = values[1];
+  r.cache_refs = values[2];
+  r.cache_misses = values[3];
+  return r;
+}
+
+#else  // !GRAPEPLUS_HAVE_PERF_EVENT
+
+bool PerfAvailable() { return false; }
+
+PerfCounterGroup::PerfCounterGroup() {
+  for (int& fd : fds_) fd = -1;
+}
+PerfCounterGroup::~PerfCounterGroup() = default;
+void PerfCounterGroup::Begin() {}
+PerfReading PerfCounterGroup::End() { return PerfReading{}; }
+
+#endif  // GRAPEPLUS_HAVE_PERF_EVENT
+
+PerfPhaseScope::PerfPhaseScope(const char* phase) : phase_(phase) {
+  if (Tracer::enabled()) trace_start_ns_ = Tracer::Global().NowNs();
+  group_.Begin();
+}
+
+PerfPhaseScope::~PerfPhaseScope() {
+  const PerfReading r = group_.End();
+  if (trace_start_ns_ >= 0) {
+    TraceEvent e;
+    e.start_ns = trace_start_ns_;
+    e.dur_ns = std::max<int64_t>(
+        0, Tracer::Global().NowNs() - trace_start_ns_);
+    e.track = Tracer::kMasterLane;
+    e.kind = TraceKind::kPhase;
+    e.arg0 = r.cycles;
+    e.arg1 = r.instructions;
+    e.name = phase_;
+    Tracer::Global().Record(e);
+  }
+  if (!r.valid) return;
+  auto& reg = MetricsRegistry::Global();
+  const std::string prefix = std::string("perf.") + phase_ + ".";
+  reg.SetGauge(prefix + "cycles", static_cast<double>(r.cycles));
+  reg.SetGauge(prefix + "instructions",
+               static_cast<double>(r.instructions));
+  reg.SetGauge(prefix + "cache_refs", static_cast<double>(r.cache_refs));
+  reg.SetGauge(prefix + "cache_misses",
+               static_cast<double>(r.cache_misses));
+  reg.SetGauge(prefix + "ipc", r.ipc());
+  reg.SetGauge(prefix + "cache_miss_rate", r.cache_miss_rate());
+}
+
+}  // namespace grape::obs

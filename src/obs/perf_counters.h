@@ -1,0 +1,85 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Hardware perf-counter phase scopes over raw perf_event_open: cycles,
+// instructions, LLC references and misses around coarse pipeline phases
+// (ingest, partition, engine run). Strictly best-effort — perf_event_open
+// is a privileged syscall that CI containers, non-Linux hosts and locked-
+// down kernels (perf_event_paranoid >= 2 without CAP_PERFMON) all refuse,
+// so every entry point degrades to a silent no-op: PerfAvailable() probes
+// once, readings carry a `valid` flag, and a scope that failed to open
+// publishes nothing. Nothing in the build or the tests requires the
+// counters to work; they only require the no-op path not to crash.
+#ifndef GRAPEPLUS_OBS_PERF_COUNTERS_H_
+#define GRAPEPLUS_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace grape::obs {
+
+/// One sampled reading across the group. `valid` is false when any counter
+/// failed to open or read — consumers must gate on it, not on zeros (a
+/// fully idle phase can legitimately read near-zero cache misses).
+struct PerfReading {
+  bool valid = false;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_refs = 0;
+  uint64_t cache_misses = 0;
+
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+  double cache_miss_rate() const {
+    return cache_refs == 0 ? 0.0
+                           : static_cast<double>(cache_misses) /
+                                 static_cast<double>(cache_refs);
+  }
+};
+
+/// True when perf_event_open works for this process (probed once, cached).
+bool PerfAvailable();
+
+/// A group of hardware counters for the calling thread + its children.
+/// Begin() resets and enables; End() disables and reads. Counters that
+/// failed to open leave the whole reading invalid.
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  bool valid() const { return valid_; }
+  void Begin();
+  PerfReading End();
+
+ private:
+  static constexpr int kNumCounters = 4;
+  int fds_[kNumCounters];
+  bool valid_ = false;
+};
+
+/// RAII phase scope: opens a counter group on construction, and on
+/// destruction publishes `perf.<phase>.{cycles,instructions,cache_refs,
+/// cache_misses,ipc,cache_miss_rate}` as gauges in the global metrics
+/// registry plus a kPhase trace span (when the tracer is on). Constructed
+/// only when the caller opted in (--perf); a scope on an unavailable
+/// system constructs and destructs without side effects.
+class PerfPhaseScope {
+ public:
+  explicit PerfPhaseScope(const char* phase);
+  ~PerfPhaseScope();
+  PerfPhaseScope(const PerfPhaseScope&) = delete;
+  PerfPhaseScope& operator=(const PerfPhaseScope&) = delete;
+
+ private:
+  const char* phase_;
+  int64_t trace_start_ns_ = -1;
+  PerfCounterGroup group_;
+};
+
+}  // namespace grape::obs
+
+#endif  // GRAPEPLUS_OBS_PERF_COUNTERS_H_

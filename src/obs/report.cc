@@ -1,0 +1,122 @@
+#include "obs/report.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "partition/fragment.h"
+
+namespace grape::obs {
+
+void RunReport::AddRun(const std::string& name, const std::string& engine,
+                       const RunStats& stats, bool converged,
+                       double wall_seconds) {
+  Run r;
+  r.name = name;
+  r.engine = engine;
+  r.stats = stats;
+  r.converged = converged;
+  r.wall_seconds = wall_seconds;
+  runs_.push_back(std::move(r));
+}
+
+std::string RunReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String(kRunReportSchema);
+  if (have_graph_) {
+    w.Key("graph");
+    w.BeginObject();
+    w.Key("vertices");
+    w.Uint(vertices_);
+    w.Key("arcs");
+    w.Uint(arcs_);
+    w.Key("fragments");
+    w.Uint(fragments_);
+    w.EndObject();
+  }
+  w.Key("runs");
+  w.BeginArray();
+  for (const Run& r : runs_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(r.name);
+    w.Key("engine");
+    w.String(r.engine);
+    w.Key("converged");
+    w.Bool(r.converged);
+    w.Key("wall_seconds");
+    w.Double(r.wall_seconds);
+    w.Key("makespan");
+    w.Double(r.stats.makespan);
+    w.Key("workers");
+    w.Uint(r.stats.workers.size());
+    w.Key("rounds");
+    w.Uint(r.stats.total_rounds());
+    w.Key("straggler_rounds");
+    w.Uint(r.stats.straggler_rounds());
+    w.Key("msgs");
+    w.Uint(r.stats.total_msgs());
+    w.Key("bytes");
+    w.Uint(r.stats.total_bytes());
+    w.Key("busy_seconds");
+    w.Double(r.stats.total_busy());
+    w.Key("idle_seconds");
+    w.Double(r.stats.total_idle());
+    w.Key("suspended_seconds");
+    w.Double(r.stats.total_suspended());
+    w.Key("push_rounds");
+    w.Uint(r.stats.total_push_rounds());
+    w.Key("pull_rounds");
+    w.Uint(r.stats.total_pull_rounds());
+    w.Key("direction_switches");
+    w.Uint(r.stats.total_direction_switches());
+    w.Key("spurious_wakeups");
+    w.Uint(r.stats.spurious_wakeups);
+    w.Key("threads");
+    w.Uint(r.stats.threads.size());
+    w.Key("thread_busy_seconds");
+    w.Double(r.stats.total_thread_busy());
+    w.Key("thread_idle_seconds");
+    w.Double(r.stats.total_thread_idle());
+    w.Key("supersteps");
+    w.Uint(r.stats.total_supersteps());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("metrics");
+  w.Raw(MetricsRegistry::Global().Snapshot().ToJson());
+  w.EndObject();
+  return w.Take();
+}
+
+Status RunReport::WriteFile(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return Status::IoError("cannot open " + path + " for writing");
+  os << ToJson() << "\n";
+  os.flush();
+  if (!os) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+ScopedPartitionMetrics::ScopedPartitionMetrics(const Partition& partition) {
+  handle_ = MetricsRegistry::Global().AddCallback(
+      [&partition](MetricsSnapshot* snap) {
+        const LidCacheStats s = partition.TotalLidCacheStats();
+        snap->gauges["partition.lid_cache.hits"] =
+            static_cast<double>(s.hits);
+        snap->gauges["partition.lid_cache.misses"] =
+            static_cast<double>(s.misses);
+        snap->gauges["partition.lid_cache.cached_lids"] =
+            static_cast<double>(s.cached_lids);
+        snap->gauges["partition.lid_cache.cached_chunks"] =
+            static_cast<double>(s.cached_chunks);
+      });
+}
+
+ScopedPartitionMetrics::~ScopedPartitionMetrics() {
+  MetricsRegistry::Global().RemoveCallback(handle_);
+}
+
+}  // namespace grape::obs

@@ -1,0 +1,83 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// RunReport: the one JSON document that carries everything a run produced —
+// graph shape, per-run engine stats (rounds, messages, direction telemetry,
+// spurious wakeups), and a full metrics snapshot of the global registry
+// (which, via its snapshot callbacks, folds in WorkerPool, ChunkedArcSource
+// and lid-cache telemetry). Written by `grape_cli --metrics-out=` and
+// embedded by bench/stress_ingest into BENCH_ingest.json, where
+// tools/check_bench.py validates the section.
+#ifndef GRAPEPLUS_OBS_REPORT_H_
+#define GRAPEPLUS_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/stats_collector.h"
+#include "util/status.h"
+
+namespace grape {
+struct Partition;
+}  // namespace grape
+
+namespace grape::obs {
+
+/// Schema tag of the emitted document; bump when the layout changes so
+/// check_bench.py can reject stale producers.
+inline constexpr const char* kRunReportSchema = "grapeplus-runreport-v1";
+
+class RunReport {
+ public:
+  void SetGraph(uint64_t vertices, uint64_t arcs, uint32_t fragments) {
+    vertices_ = vertices;
+    arcs_ = arcs;
+    fragments_ = fragments;
+    have_graph_ = true;
+  }
+
+  /// Records one engine run. `engine` is "sim" or "threaded"; wall_seconds
+  /// is real time for threaded runs and virtual makespan for sim runs.
+  void AddRun(const std::string& name, const std::string& engine,
+              const RunStats& stats, bool converged, double wall_seconds);
+
+  /// Serialises the report, embedding a fresh Snapshot() of the global
+  /// metrics registry at call time.
+  std::string ToJson() const;
+
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Run {
+    std::string name;
+    std::string engine;
+    RunStats stats;
+    bool converged = false;
+    double wall_seconds = 0.0;
+  };
+
+  bool have_graph_ = false;
+  uint64_t vertices_ = 0;
+  uint64_t arcs_ = 0;
+  uint32_t fragments_ = 0;
+  std::vector<Run> runs_;
+};
+
+/// While alive, publishes the partition's aggregate lid-cache counters as
+/// `partition.lid_cache.{hits,misses,cached_lids,cached_chunks}` gauges on
+/// every snapshot of the global registry. Run-scoped (the partition has no
+/// hook of its own to register): create it next to the partition, let it
+/// die before the partition does.
+class ScopedPartitionMetrics {
+ public:
+  explicit ScopedPartitionMetrics(const Partition& partition);
+  ~ScopedPartitionMetrics();
+  ScopedPartitionMetrics(const ScopedPartitionMetrics&) = delete;
+  ScopedPartitionMetrics& operator=(const ScopedPartitionMetrics&) = delete;
+
+ private:
+  uint64_t handle_;
+};
+
+}  // namespace grape::obs
+
+#endif  // GRAPEPLUS_OBS_REPORT_H_

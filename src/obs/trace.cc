@@ -1,0 +1,333 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.h"
+#include "util/table.h"
+
+namespace grape::obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSuperstep:
+      return "superstep";
+    case TraceKind::kPEval:
+      return "peval";
+    case TraceKind::kIncEval:
+      return "inceval";
+    case TraceKind::kBufferDrain:
+      return "buffer_drain";
+    case TraceKind::kBarrierWait:
+      return "barrier_wait";
+    case TraceKind::kIdleWait:
+      return "idle_wait";
+    case TraceKind::kChunkAcquire:
+      return "chunk_acquire";
+    case TraceKind::kChunkRelease:
+      return "chunk_release";
+    case TraceKind::kDirectionDecide:
+      return "direction_decide";
+    case TraceKind::kPhase:
+      return "phase";
+  }
+  return "unknown";
+}
+
+/// Per-thread ring. The owning thread writes under the spinlock; Collect()
+/// takes the same lock, so concurrent collection sees consistent slots.
+/// Uncontended lock/unlock is two relaxed-ish atomics — cheap at span
+/// granularity, and what keeps Collect() safe mid-run under TSan.
+struct Tracer::Ring {
+  explicit Ring(size_t capacity) : buf(capacity) {}
+  mutable SpinLock mu;
+  std::vector<TraceEvent> buf;
+  size_t head = 0;      // next slot to write
+  uint64_t total = 0;   // events ever recorded
+};
+
+namespace {
+
+/// Cached (tracer generation -> ring) per thread. The ring itself is owned
+/// by the tracer via shared_ptr, so a ring outlives both the thread (tracer
+/// keeps it for Collect) and an Enable() reset racing the recording thread
+/// (the thread's shared_ptr keeps the old generation's ring alive until the
+/// cache notices the bump).
+struct TracerTlsCache {
+  uint64_t generation = 0;
+  std::shared_ptr<void> ring;  // type-erased Tracer::Ring
+};
+thread_local TracerTlsCache g_trace_tls;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* g = new Tracer();  // leaked: threads may record at exit
+  return *g;
+}
+
+void Tracer::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.clear();
+  capacity_ = std::max<size_t>(capacity, 16);
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+int64_t Tracer::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::Ring* Tracer::LocalRing() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t gen = generation_.load(std::memory_order_relaxed);
+  if (g_trace_tls.ring != nullptr && g_trace_tls.generation == gen) {
+    return static_cast<Ring*>(g_trace_tls.ring.get());
+  }
+  auto ring = std::make_shared<Ring>(capacity_);
+  rings_.push_back(ring);
+  g_trace_tls.generation = gen;
+  g_trace_tls.ring = ring;
+  return ring.get();
+}
+
+void Tracer::Record(const TraceEvent& e) {
+  if (!enabled()) return;
+  // Fast path: a relaxed generation load validates the cached ring without
+  // touching mu_. A momentarily stale read only risks writing into a ring
+  // of a previous generation — harmless, the thread's shared_ptr keeps it
+  // alive and its events are discarded with it.
+  Ring* ring;
+  if (g_trace_tls.ring != nullptr &&
+      g_trace_tls.generation ==
+          generation_.load(std::memory_order_relaxed)) {
+    ring = static_cast<Ring*>(g_trace_tls.ring.get());
+  } else {
+    ring = LocalRing();
+  }
+  std::lock_guard<SpinLock> guard(ring->mu);
+  ring->buf[ring->head] = e;
+  ring->head = (ring->head + 1) % ring->buf.size();
+  ++ring->total;
+}
+
+void Tracer::RecordSpan(TraceKind kind, uint32_t track, int64_t start_ns,
+                        uint64_t arg0, uint64_t arg1) {
+  TraceEvent e;
+  e.start_ns = start_ns;
+  e.dur_ns = std::max<int64_t>(0, NowNs() - start_ns);
+  e.track = track;
+  e.kind = kind;
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+  Record(e);
+}
+
+void Tracer::RecordInstant(TraceKind kind, uint32_t track, uint64_t arg0,
+                           uint64_t arg1) {
+  TraceEvent e;
+  e.start_ns = NowNs();
+  e.dur_ns = -1;
+  e.track = track;
+  e.kind = kind;
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+  Record(e);
+}
+
+std::vector<TraceEvent> Tracer::Collect() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) {
+    std::lock_guard<SpinLock> guard(ring->mu);
+    const size_t n = ring->buf.size();
+    const size_t held = std::min<uint64_t>(ring->total, n);
+    // Oldest-first: when the ring wrapped, the oldest held event sits at
+    // head (the next slot to be overwritten).
+    const size_t first = ring->total > n ? ring->head : 0;
+    for (size_t i = 0; i < held; ++i) {
+      out.push_back(ring->buf[(first + i) % n]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dropped = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<SpinLock> guard(ring->mu);
+    const uint64_t n = ring->buf.size();
+    if (ring->total > n) dropped += ring->total - n;
+  }
+  return dropped;
+}
+
+// ------------------------------------------------------------- exporters ---
+
+namespace {
+
+/// Human lane name for the thread_name metadata events.
+std::string LaneName(uint32_t track) {
+  if (track == Tracer::kIoLane) return "chunk io";
+  if (track == Tracer::kMasterLane) return "supersteps";
+  if (track >= Tracer::kThreadLaneBase && track < Tracer::kIoLane) {
+    return "thread " + std::to_string(track - Tracer::kThreadLaneBase);
+  }
+  return "worker " + std::to_string(track);
+}
+
+void WriteEventArgs(JsonWriter* w, const TraceEvent& e) {
+  w->Key("args");
+  w->BeginObject();
+  switch (e.kind) {
+    case TraceKind::kPEval:
+    case TraceKind::kIncEval:
+      w->Key("round");
+      w->Uint(e.arg0);
+      w->Key("direction");
+      w->String(e.arg1 == 1 ? "pull" : "push");
+      break;
+    case TraceKind::kSuperstep:
+      w->Key("superstep");
+      w->Uint(e.arg0);
+      break;
+    case TraceKind::kBufferDrain:
+      w->Key("updates");
+      w->Uint(e.arg0);
+      break;
+    case TraceKind::kChunkAcquire:
+    case TraceKind::kChunkRelease:
+      w->Key("chunk");
+      w->Uint(e.arg0);
+      w->Key("arcs");
+      w->Uint(e.arg1);
+      break;
+    case TraceKind::kDirectionDecide:
+      w->Key("direction");
+      w->String(e.arg0 == 1 ? "pull" : "push");
+      w->Key("signal");
+      w->Uint(e.arg1);
+      break;
+    default:
+      w->Key("arg0");
+      w->Uint(e.arg0);
+      w->Key("arg1");
+      w->Uint(e.arg1);
+      break;
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+void WriteChromeTrace(const std::vector<TraceEvent>& events, double to_us,
+                      std::ostream& os) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  // Metadata first: name every lane that appears.
+  std::vector<uint32_t> tracks;
+  for (const TraceEvent& e : events) tracks.push_back(e.track);
+  std::sort(tracks.begin(), tracks.end());
+  tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
+  for (const uint32_t t : tracks) {
+    w.BeginObject();
+    w.Key("name");
+    w.String("thread_name");
+    w.Key("ph");
+    w.String("M");
+    w.Key("pid");
+    w.Uint(0);
+    w.Key("tid");
+    w.Uint(t);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name");
+    w.String(LaneName(t));
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const TraceEvent& e : events) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(e.name != nullptr ? e.name : TraceKindName(e.kind));
+    w.Key("cat");
+    w.String("grape");
+    w.Key("ph");
+    w.String(e.dur_ns >= 0 ? "X" : "i");
+    if (e.dur_ns < 0) {
+      w.Key("s");
+      w.String("t");  // instant scope: thread
+    }
+    w.Key("pid");
+    w.Uint(0);
+    w.Key("tid");
+    w.Uint(e.track);
+    w.Key("ts");
+    w.Double(static_cast<double>(e.start_ns) * to_us);
+    if (e.dur_ns >= 0) {
+      w.Key("dur");
+      w.Double(static_cast<double>(e.dur_ns) * to_us);
+    }
+    WriteEventArgs(&w, e);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << w.str();
+}
+
+Status WriteChromeTraceFile(const std::vector<TraceEvent>& events,
+                            double to_us, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return Status::IoError("cannot open " + path + " for writing");
+  WriteChromeTrace(events, to_us, os);
+  os.flush();
+  if (!os) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+std::string GanttFromEvents(const std::vector<TraceEvent>& events,
+                            uint32_t lanes, int width) {
+  std::vector<GanttSpan> spans;
+  double t_end = 0.0;
+  for (const TraceEvent& e : events) {
+    if (e.track >= lanes || e.dur_ns < 0) continue;
+    if (e.kind != TraceKind::kPEval && e.kind != TraceKind::kIncEval) {
+      continue;
+    }
+    const double start = static_cast<double>(e.start_ns);
+    const double end = start + static_cast<double>(e.dur_ns);
+    const char glyph = e.kind == TraceKind::kPEval
+                           ? '#'
+                           : static_cast<char>('0' + (e.arg0 % 10));
+    spans.push_back(
+        GanttSpan{static_cast<int>(e.track), start, end, glyph});
+    t_end = std::max(t_end, end);
+  }
+  return RenderGantt(spans, static_cast<int>(lanes), t_end, width);
+}
+
+}  // namespace grape::obs

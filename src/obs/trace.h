@@ -1,0 +1,179 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Wall-clock tracer: per-thread fixed-capacity ring buffers of spans,
+// recorded by both engines behind a near-zero-cost-when-off guard and
+// exported as Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing) or rendered as the same ASCII Gantt the sim engine's
+// virtual-time traces use — one span stream, two renderers, so sim and
+// threaded runs read identically.
+//
+// Cost model (the overhead contract of docs/OBSERVABILITY.md):
+//   * disabled (default): every Record()/scope constructor is one relaxed
+//     atomic bool load — no clock read, no allocation, no branch beyond the
+//     guard. This is why span sites can stay compiled into release builds.
+//   * enabled: a steady_clock read plus one ring slot write under an
+//     uncontended per-thread spinlock. Rings are fixed capacity
+//     (overwrite-oldest), so tracing never allocates on the hot path and
+//     memory is bounded at capacity * threads regardless of run length.
+//
+// Ring buffers are owned by the Tracer (not thread_local storage): a pool
+// thread that exits leaves its ring behind, so Collect() after the pool
+// joins still sees every span of the run.
+#ifndef GRAPEPLUS_OBS_TRACE_H_
+#define GRAPEPLUS_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/status.h"
+
+namespace grape::obs {
+
+/// What a span measures. Extend freely — the exporters render unknown kinds
+/// by name, nothing switches on the full set.
+enum class TraceKind : uint8_t {
+  kSuperstep,        // one BSP barrier-to-barrier interval (master lane)
+  kPEval,            // a worker's PEval round
+  kIncEval,          // a worker's IncEval round
+  kBufferDrain,      // draining a worker's update buffer before IncEval
+  kBarrierWait,      // a physical thread parked at the superstep barrier
+  kIdleWait,         // a physical thread parked at the async notify hub
+  kChunkAcquire,     // out-of-core chunk marked resident
+  kChunkRelease,     // out-of-core chunk dropped
+  kDirectionDecide,  // push/pull decision of a round
+  kPhase,            // coarse pipeline phase (ingest / partition / run)
+};
+
+const char* TraceKindName(TraceKind kind);
+
+/// One recorded event. Duration events have dur_ns >= 0; instant events
+/// (decisions, chunk transitions) carry dur_ns < 0. `track` is the lane the
+/// event belongs to: virtual workers use their FragmentId, physical threads
+/// kThreadLaneBase + tid, engine-global lanes the constants below.
+struct TraceEvent {
+  int64_t start_ns = 0;  // since the tracer's Enable() epoch
+  int64_t dur_ns = -1;
+  uint32_t track = 0;
+  TraceKind kind = TraceKind::kPhase;
+  uint64_t arg0 = 0;  // kind-specific (round, chunk index, direction, ...)
+  uint64_t arg1 = 0;
+  const char* name = nullptr;  // static-storage label; null = kind name
+};
+
+class Tracer {
+ public:
+  static constexpr uint32_t kThreadLaneBase = 1u << 16;  // physical threads
+  static constexpr uint32_t kIoLane = 1u << 17;          // chunk residency
+  static constexpr uint32_t kMasterLane = (1u << 17) + 1;  // supersteps
+  static constexpr size_t kDefaultCapacity = 1u << 14;   // events per thread
+
+  static Tracer& Global();
+
+  /// Arms the tracer: resets the epoch, drops previously collected rings
+  /// and starts recording into fresh per-thread rings of `capacity` events.
+  void Enable(size_t capacity = kDefaultCapacity);
+  void Disable();  // stops recording; collected events remain readable
+
+  /// The fast guard: relaxed load, safe from any thread.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since the Enable() epoch (steady clock).
+  int64_t NowNs() const;
+
+  /// Copies the event into the calling thread's ring (oldest overwritten
+  /// when full). No-op when disabled.
+  void Record(const TraceEvent& e);
+
+  /// Convenience: record a completed duration span ending now.
+  void RecordSpan(TraceKind kind, uint32_t track, int64_t start_ns,
+                  uint64_t arg0 = 0, uint64_t arg1 = 0);
+  /// Convenience: record an instant event stamped now.
+  void RecordInstant(TraceKind kind, uint32_t track, uint64_t arg0 = 0,
+                     uint64_t arg1 = 0);
+
+  /// All recorded events (every ring, including rings of exited threads),
+  /// sorted by start time. Safe to call while recording continues; events
+  /// recorded concurrently may or may not be included.
+  std::vector<TraceEvent> Collect() const;
+
+  /// Events dropped to ring overwrite since Enable().
+  uint64_t dropped() const;
+
+ private:
+  struct Ring;
+  friend struct TracerTls;
+  Ring* LocalRing();
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+  size_t capacity_ = kDefaultCapacity;
+  // Bumps on Enable(); invalidates cached rings. Atomic so Record()'s fast
+  // path can validate its TLS cache with a relaxed load instead of mu_.
+  std::atomic<uint64_t> generation_{0};
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+/// RAII duration span: stamps the start on construction (only when the
+/// tracer is on — a disabled scope costs one relaxed load) and records on
+/// destruction. Args are read at destruction time, so they may be filled
+/// after construction via set_args().
+class TraceSpanScope {
+ public:
+  TraceSpanScope(TraceKind kind, uint32_t track, uint64_t arg0 = 0,
+                 uint64_t arg1 = 0)
+      : track_(track), arg0_(arg0), arg1_(arg1), kind_(kind),
+        armed_(Tracer::enabled()) {
+    if (armed_) start_ = Tracer::Global().NowNs();
+  }
+  ~TraceSpanScope() {
+    if (armed_) {
+      Tracer::Global().RecordSpan(kind_, track_, start_, arg0_, arg1_);
+    }
+  }
+  TraceSpanScope(const TraceSpanScope&) = delete;
+  TraceSpanScope& operator=(const TraceSpanScope&) = delete;
+
+  void set_args(uint64_t arg0, uint64_t arg1 = 0) {
+    arg0_ = arg0;
+    arg1_ = arg1;
+  }
+
+ private:
+  int64_t start_ = 0;
+  uint32_t track_;
+  uint64_t arg0_, arg1_;
+  TraceKind kind_;
+  bool armed_;
+};
+
+// ------------------------------------------------------------- exporters ---
+
+/// Chrome trace-event JSON ("trace event format", the subset Perfetto and
+/// chrome://tracing load): duration events as ph:"X" with microsecond
+/// timestamps, instants as ph:"i", plus thread_name metadata naming each
+/// lane. `to_us` scales start/dur values to microseconds (1e-3 for ns
+/// events; 1e6 to interpret sim-time seconds as one virtual second = 1 s).
+void WriteChromeTrace(const std::vector<TraceEvent>& events, double to_us,
+                      std::ostream& os);
+Status WriteChromeTraceFile(const std::vector<TraceEvent>& events,
+                            double to_us, const std::string& path);
+
+/// ASCII Gantt over the span stream: renders kPEval / kIncEval spans of
+/// tracks [0, lanes) — '#' for PEval, the round digit for IncEval — exactly
+/// like the sim engine's RunTrace::ToGantt (which now routes through here).
+std::string GanttFromEvents(const std::vector<TraceEvent>& events,
+                            uint32_t lanes, int width = 96);
+
+}  // namespace grape::obs
+
+#endif  // GRAPEPLUS_OBS_TRACE_H_

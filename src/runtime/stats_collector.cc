@@ -97,7 +97,8 @@ std::string RunStats::ToString() const {
      << " idle=" << total_idle() << " suspended=" << total_suspended();
   if (!threads.empty()) {
     os << " thread_busy=" << total_thread_busy()
-       << " thread_idle=" << total_thread_idle();
+       << " thread_idle=" << total_thread_idle()
+       << " spurious_wakeups=" << spurious_wakeups;
   }
   if (!superstep_wall_ns.empty()) {
     uint64_t total = 0;

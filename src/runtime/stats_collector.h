@@ -55,6 +55,9 @@ struct RunStats {
   /// Threaded engine, BSP path only: measured wall time of each superstep
   /// in ns (index 0 = the PEval superstep).
   std::vector<uint64_t> superstep_wall_ns;
+  /// Threaded engine only: condition-variable wakeups of pool threads that
+  /// found no work (WorkerPool::spurious_wakeups() at the end of the run).
+  uint64_t spurious_wakeups = 0;
 
   uint64_t total_rounds() const;
   uint64_t total_msgs() const;

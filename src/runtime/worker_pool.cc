@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "runtime/topology.h"
 #include "util/logging.h"
 
@@ -22,9 +23,23 @@ WorkerPool::WorkerPool(uint32_t num_threads, WorkerPoolOptions opts)
       pinned_count_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  // Re-register the pool's ad-hoc telemetry with the metrics registry: a
+  // snapshot taken while this pool is alive folds its wakeup waste and pin
+  // placement in. Counters sum across pools (engines create one per run);
+  // gauges describe the most recent pool snapshotted.
+  metrics_callback_ = obs::MetricsRegistry::Global().AddCallback(
+      [this](obs::MetricsSnapshot* snap) {
+        snap->counters["runtime.pool.spurious_wakeups"] +=
+            spurious_wakeups();
+        snap->gauges["runtime.pool.threads"] =
+            static_cast<double>(this->num_threads());
+        snap->gauges["runtime.pool.pinned_threads"] =
+            static_cast<double>(pinned_threads());
+      });
 }
 
 WorkerPool::~WorkerPool() {
+  obs::MetricsRegistry::Global().RemoveCallback(metrics_callback_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;

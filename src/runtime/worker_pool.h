@@ -98,6 +98,7 @@ class WorkerPool {
 
   std::atomic<uint64_t> spurious_wakeups_{0};
   std::atomic<uint32_t> pinned_count_{0};
+  uint64_t metrics_callback_ = 0;  // snapshot-callback handle (obs registry)
 };
 
 }  // namespace grape

@@ -1,6 +1,7 @@
 #include "util/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -65,14 +66,22 @@ std::string AsciiTable::ToCsv() const {
 
 std::string RenderGantt(const std::vector<GanttSpan>& spans, int lanes,
                         double t_end, int width) {
-  if (t_end <= 0.0 || lanes <= 0) return "";
+  if (lanes <= 0) return "";
+  width = std::max(width, 1);
+  // A non-positive t_end (caller passed 0, or every span has zero duration)
+  // is recovered from the spans themselves; an empty trace renders as
+  // all-idle rows rather than the empty string, so callers can always embed
+  // the chart in a report.
+  for (const auto& s : spans) t_end = std::max(t_end, s.end);
   std::vector<std::string> rows(static_cast<size_t>(lanes),
                                 std::string(static_cast<size_t>(width), '.'));
-  const double scale = static_cast<double>(width) / t_end;
+  const double scale = t_end > 0.0 ? static_cast<double>(width) / t_end : 0.0;
   for (const auto& s : spans) {
     if (s.lane < 0 || s.lane >= lanes) continue;
-    int a = static_cast<int>(s.start * scale);
-    int b = static_cast<int>(s.end * scale);
+    // Round (not truncate) both edges so back-to-back spans tile the row
+    // without overlap; a zero-duration span still gets one glyph cell.
+    int a = static_cast<int>(std::lround(s.start * scale));
+    int b = static_cast<int>(std::lround(s.end * scale));
     a = std::clamp(a, 0, width - 1);
     b = std::clamp(b, a + 1, width);
     for (int i = a; i < b; ++i) {

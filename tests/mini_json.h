@@ -1,0 +1,236 @@
+// Standalone recursive-descent JSON parser for tests only: proves the
+// observability exports (metrics snapshots, RunReport, Chrome trace events)
+// are well-formed by re-reading them, independently of the JsonWriter that
+// produced them. Deliberately not part of the library — the exporters only
+// serialise.
+#ifndef GRAPEPLUS_TESTS_MINI_JSON_H_
+#define GRAPEPLUS_TESTS_MINI_JSON_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace grape::minijson {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; null when absent or not an object.
+  const Value* Find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  /// Parses one document; the whole input must be consumed (modulo
+  /// whitespace). Returns false and sets error() on malformed input.
+  bool Parse(Value* out) {
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    if (pos_ != s_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& why) {
+    error_ = why + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return Fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseValue(Value* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return Fail("unexpected end");
+    switch (s_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = Value::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->type = Value::Type::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = Value::Type::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->type = Value::Type::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Value* out) {
+    out->type = Value::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != '"') return Fail("expected key");
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return Fail("expected ':'");
+      ++pos_;
+      Value v;
+      if (!ParseValue(&v)) return false;
+      out->object.emplace(std::move(key), std::move(v));
+      SkipWs();
+      if (pos_ >= s_.size()) return Fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(Value* out) {
+    out->type = Value::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Value v;
+      if (!ParseValue(&v)) return false;
+      out->array.push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= s_.size()) return Fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening '"'
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return Fail("dangling escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return Fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // The exporters only emit \u00xx (control chars); decode the
+          // Latin-1 range directly and replace anything wider with '?'.
+          *out += code < 0x100 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(Value* out) {
+    const char* begin = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return Fail("expected a value");
+    out->type = Value::Type::kNumber;
+    out->number = v;
+    pos_ += static_cast<size_t>(end - begin);
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+inline bool Parse(const std::string& text, Value* out,
+                  std::string* error = nullptr) {
+  Parser p(text);
+  const bool ok = p.Parse(out);
+  if (!ok && error != nullptr) *error = p.error();
+  return ok;
+}
+
+}  // namespace grape::minijson
+
+#endif  // GRAPEPLUS_TESTS_MINI_JSON_H_

@@ -1,0 +1,315 @@
+// Unit tests for the observability layer (src/obs): metrics-registry shard
+// aggregation under multithread churn (run under TSan in CI), histogram
+// bucket/percentile math against exact references, snapshot JSON
+// well-formedness (re-parsed with the standalone mini parser), RunReport
+// structure, and the perf-counter no-op path.
+//
+// Registry lifetime rule under test discipline: a non-global MetricsRegistry
+// must only be *updated* from threads joined before it dies (thread exit
+// retires cells into the registry), so every Add/Observe on a local registry
+// below happens on a spawned thread. The leaked Global() registry has no
+// such restriction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mini_json.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/report.h"
+#include "runtime/stats_collector.h"
+
+namespace grape {
+namespace {
+
+using obs::HistogramData;
+using obs::JsonWriter;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+
+TEST(Metrics, CounterAggregatesAcrossThreadsWithChurn) {
+  // Two waves of threads: wave 1's cells must survive thread exit (folded
+  // into the retired sum) and combine with wave 2's live blocks. A snapshot
+  // races the second wave on purpose — TSan in CI proves the sharding is
+  // clean; the final total proves nothing is lost or double-counted.
+  MetricsRegistry reg;
+  obs::Counter* ops = reg.GetCounter("test.ops");
+  obs::Histogram* lat = reg.GetHistogram("test.latency");
+  constexpr int kThreads = 4;
+  constexpr uint64_t kAddsPerThread = 20000;
+  for (int wave = 0; wave < 2; ++wave) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (uint64_t i = 0; i < kAddsPerThread; ++i) {
+          ops->Add(1);
+          lat->Observe(static_cast<uint64_t>(t) * 1000 + (i % 7));
+        }
+      });
+    }
+    // Concurrent snapshot: any value it reads is a valid partial total.
+    MetricsSnapshot racing = reg.Snapshot();
+    EXPECT_LE(racing.counters["test.ops"],
+              2 * kThreads * kAddsPerThread);
+    for (auto& th : threads) th.join();
+  }
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters["test.ops"], 2 * kThreads * kAddsPerThread);
+  EXPECT_EQ(snap.histograms["test.latency"].count,
+            2 * kThreads * kAddsPerThread);
+}
+
+TEST(Metrics, SameNameReturnsSameHandle) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.GetCounter("a"), reg.GetCounter("a"));
+  EXPECT_NE(reg.GetCounter("a"), reg.GetCounter("b"));
+  EXPECT_EQ(reg.GetHistogram("h"), reg.GetHistogram("h"));
+}
+
+TEST(Metrics, HistogramBucketBounds) {
+  // Bucket b holds values of bit_width b: {0}, {1}, [2,3], [4,7], ...
+  EXPECT_EQ(HistogramData::BucketLo(0), 0u);
+  EXPECT_EQ(HistogramData::BucketHi(0), 0u);
+  EXPECT_EQ(HistogramData::BucketLo(1), 1u);
+  EXPECT_EQ(HistogramData::BucketHi(1), 1u);
+  EXPECT_EQ(HistogramData::BucketLo(2), 2u);
+  EXPECT_EQ(HistogramData::BucketHi(2), 3u);
+  EXPECT_EQ(HistogramData::BucketLo(11), 1024u);
+  EXPECT_EQ(HistogramData::BucketHi(11), 2047u);
+  // Every uint64 lands in exactly one bucket and the bounds tile the range.
+  for (size_t b = 2; b < HistogramData::kNumBuckets; ++b) {
+    EXPECT_EQ(HistogramData::BucketLo(b), HistogramData::BucketHi(b - 1) + 1);
+  }
+}
+
+TEST(Metrics, HistogramBucketAssignment) {
+  MetricsRegistry reg;
+  obs::Histogram* h = reg.GetHistogram("assign");
+  std::thread t([&] {
+    for (const uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull, 1023ull, 1024ull}) {
+      h->Observe(v);
+    }
+  });
+  t.join();
+  const HistogramData d = reg.Snapshot().histograms["assign"];
+  EXPECT_EQ(d.count, 7u);
+  EXPECT_EQ(d.sum, 0u + 1 + 2 + 3 + 4 + 1023 + 1024);
+  EXPECT_EQ(d.buckets[0], 1u);   // {0}
+  EXPECT_EQ(d.buckets[1], 1u);   // {1}
+  EXPECT_EQ(d.buckets[2], 2u);   // {2, 3}
+  EXPECT_EQ(d.buckets[3], 1u);   // {4}
+  EXPECT_EQ(d.buckets[10], 1u);  // 1023 = [512, 1023]
+  EXPECT_EQ(d.buckets[11], 1u);  // 1024 = [1024, 2047]
+}
+
+TEST(Metrics, HistogramQuantilesTrackExactReferences) {
+  // Deterministic skewed samples; the log-bucketed estimate must stay
+  // within the bucket's factor-of-two bounds of the exact nearest-rank
+  // percentile, and the mean must be exact (sums are exact integers).
+  MetricsRegistry reg;
+  obs::Histogram* h = reg.GetHistogram("q");
+  std::vector<uint64_t> samples;
+  uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 5000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    samples.push_back(x % 1000000 + 1);
+  }
+  std::thread t([&] {
+    for (const uint64_t v : samples) h->Observe(v);
+  });
+  t.join();
+  const HistogramData d = reg.Snapshot().histograms["q"];
+  ASSERT_EQ(d.count, samples.size());
+  uint64_t exact_sum = 0;
+  for (const uint64_t v : samples) exact_sum += v;
+  EXPECT_DOUBLE_EQ(d.Mean(), static_cast<double>(exact_sum) /
+                                 static_cast<double>(samples.size()));
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.10, 0.50, 0.90, 0.99}) {
+    const size_t rank = static_cast<size_t>(
+        std::max<double>(0.0, std::ceil(q * samples.size()) - 1));
+    const double exact = static_cast<double>(samples[rank]);
+    const double est = d.Quantile(q);
+    EXPECT_GE(est, exact / 2.01) << "q=" << q;
+    EXPECT_LE(est, exact * 2.01) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(d.Quantile(0.0), d.Quantile(-1.0));  // clamped
+  EXPECT_GE(d.Quantile(1.0), d.Quantile(0.99));
+}
+
+TEST(Metrics, EmptyHistogramIsZero) {
+  HistogramData d;
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.5), 0.0);
+}
+
+TEST(Metrics, DisabledSwitchSuppressesUpdates) {
+  MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("gated");
+  std::thread t([&] {
+    c->Add(5);
+    obs::SetMetricsEnabled(false);
+    c->Add(7);  // dropped
+    obs::SetMetricsEnabled(true);
+    c->Add(2);
+  });
+  t.join();
+  EXPECT_EQ(reg.Snapshot().counters["gated"], 7u);
+}
+
+TEST(Metrics, GaugesAndCallbacks) {
+  MetricsRegistry reg;
+  reg.SetGauge("g.x", 1.0);
+  reg.SetGauge("g.x", 3.5);  // last write wins
+  const uint64_t handle = reg.AddCallback([](MetricsSnapshot* snap) {
+    snap->counters["cb.count"] += 11;
+    snap->gauges["cb.gauge"] = 2.0;
+  });
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauges["g.x"], 3.5);
+  EXPECT_EQ(snap.counters["cb.count"], 11u);
+  EXPECT_DOUBLE_EQ(snap.gauges["cb.gauge"], 2.0);
+  reg.RemoveCallback(handle);
+  snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.count("cb.count"), 0u);
+}
+
+TEST(Metrics, ResetValuesZeroesCellsAndGauges) {
+  MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("r");
+  std::thread t([&] { c->Add(9); });
+  t.join();
+  reg.SetGauge("r.g", 4.0);
+  reg.ResetValues();
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters["r"], 0u);  // name survives, value zeroed
+  EXPECT_EQ(snap.gauges.count("r.g"), 0u);
+}
+
+TEST(Metrics, SnapshotJsonParsesBack) {
+  MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("json.counter");
+  obs::Histogram* h = reg.GetHistogram("json.hist");
+  std::thread t([&] {
+    c->Add(42);
+    for (uint64_t v = 1; v <= 100; ++v) h->Observe(v);
+  });
+  t.join();
+  reg.SetGauge("json.gauge", 0.25);
+  const std::string json = reg.Snapshot().ToJson();
+  minijson::Value doc;
+  std::string err;
+  ASSERT_TRUE(minijson::Parse(json, &doc, &err)) << err << "\n" << json;
+  const minijson::Value* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("json.counter"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("json.counter")->number, 42.0);
+  const minijson::Value* gauges = doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("json.gauge")->number, 0.25);
+  const minijson::Value* hist = doc.Find("histograms")->Find("json.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->number, 100.0);
+  EXPECT_DOUBLE_EQ(hist->Find("sum")->number, 5050.0);
+  ASSERT_NE(hist->Find("buckets"), nullptr);
+  EXPECT_TRUE(hist->Find("buckets")->is_array());
+  // [lo, count] pairs over non-empty buckets must cover every sample.
+  double bucket_total = 0;
+  for (const auto& pair : hist->Find("buckets")->array) {
+    ASSERT_EQ(pair.array.size(), 2u);
+    bucket_total += pair.array[1].number;
+  }
+  EXPECT_DOUBLE_EQ(bucket_total, 100.0);
+}
+
+TEST(JsonWriterTest, EscapingRoundTrips) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("weird \"key\"\n");
+  w.String("tab\tbackslash\\quote\"newline\ncontrol\x01end");
+  w.Key("nums");
+  w.BeginArray();
+  w.Uint(18446744073709551615ull);
+  w.Int(-7);
+  w.Double(1.5);
+  w.Double(std::nan(""));  // exported as null
+  w.Bool(true);
+  w.EndArray();
+  w.EndObject();
+  minijson::Value doc;
+  std::string err;
+  ASSERT_TRUE(minijson::Parse(w.str(), &doc, &err)) << err << "\n" << w.str();
+  const minijson::Value* s = doc.Find("weird \"key\"\n");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->str, "tab\tbackslash\\quote\"newline\ncontrol\x01end");
+  const minijson::Value* nums = doc.Find("nums");
+  ASSERT_EQ(nums->array.size(), 5u);
+  EXPECT_TRUE(nums->array[3].is_null());
+  EXPECT_TRUE(nums->array[4].boolean);
+}
+
+TEST(RunReportTest, JsonStructureParsesBack) {
+  obs::RunReport report;
+  report.SetGraph(1000, 5000, 4);
+  RunStats stats;
+  stats.makespan = 12.5;
+  stats.workers.resize(4);
+  stats.workers[0].rounds = 3;
+  stats.workers[0].msgs_sent = 17;
+  stats.spurious_wakeups = 2;
+  report.AddRun("pagerank", "sim", stats, /*converged=*/true,
+                /*wall_seconds=*/0.75);
+  const std::string json = report.ToJson();
+  minijson::Value doc;
+  std::string err;
+  ASSERT_TRUE(minijson::Parse(json, &doc, &err)) << err << "\n" << json;
+  EXPECT_EQ(doc.Find("schema")->str, obs::kRunReportSchema);
+  const minijson::Value* graph = doc.Find("graph");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_DOUBLE_EQ(graph->Find("vertices")->number, 1000.0);
+  EXPECT_DOUBLE_EQ(graph->Find("arcs")->number, 5000.0);
+  const minijson::Value* runs = doc.Find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->array.size(), 1u);
+  const minijson::Value& run = runs->array[0];
+  EXPECT_EQ(run.Find("name")->str, "pagerank");
+  EXPECT_EQ(run.Find("engine")->str, "sim");
+  EXPECT_TRUE(run.Find("converged")->boolean);
+  EXPECT_DOUBLE_EQ(run.Find("wall_seconds")->number, 0.75);
+  EXPECT_DOUBLE_EQ(run.Find("spurious_wakeups")->number, 2.0);
+  // The report embeds a full metrics snapshot.
+  const minijson::Value* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_NE(metrics->Find("counters"), nullptr);
+  EXPECT_NE(metrics->Find("gauges"), nullptr);
+}
+
+TEST(PerfCounters, NoOpPathIsSafe) {
+  // Works whether or not perf_event_open is permitted here: an unavailable
+  // system must construct, begin, end and destruct without side effects,
+  // and readings must be gated on `valid`, not zeros.
+  const bool available = obs::PerfAvailable();
+  obs::PerfCounterGroup group;
+  EXPECT_EQ(group.valid(), available);
+  group.Begin();
+  const obs::PerfReading r = group.End();
+  if (!available) {
+    EXPECT_FALSE(r.valid);
+    EXPECT_EQ(r.cycles, 0u);
+  }
+  { obs::PerfPhaseScope scope("test_phase"); }
+  obs::PerfReading zero;
+  EXPECT_DOUBLE_EQ(zero.ipc(), 0.0);              // no division by zero
+  EXPECT_DOUBLE_EQ(zero.cache_miss_rate(), 0.0);  // ditto
+}
+
+}  // namespace
+}  // namespace grape

@@ -1,0 +1,344 @@
+// Tests for the wall-clock tracer and its exporters (src/obs/trace):
+// ring-buffer semantics (overwrite-oldest, drop accounting), multithread
+// recording, Chrome trace-event export proven well-formed by re-parsing
+// (span nesting within tracks, monotone timestamps), the shared ASCII Gantt
+// renderer's edge cases, and a threaded-engine end-to-end smoke whose trace
+// must survive the full record -> collect -> export -> parse pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algos/cc.h"
+#include "core/sim_engine.h"
+#include "core/threaded_engine.h"
+#include "core/trace.h"
+#include "graph/generators.h"
+#include "mini_json.h"
+#include "obs/trace.h"
+#include "partition/partitioner.h"
+
+namespace grape {
+namespace {
+
+using obs::TraceEvent;
+using obs::TraceKind;
+using obs::Tracer;
+
+/// Every tracer test arms the global tracer; disarm on scope exit so the
+/// remaining tests (and the rest of the binary) run with the guard off.
+struct TracerGuard {
+  explicit TracerGuard(size_t capacity = Tracer::kDefaultCapacity) {
+    Tracer::Global().Enable(capacity);
+  }
+  ~TracerGuard() { Tracer::Global().Disable(); }
+};
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  Tracer::Global().Enable(64);
+  Tracer::Global().Disable();
+  ASSERT_FALSE(Tracer::enabled());
+  Tracer::Global().RecordInstant(TraceKind::kPhase, 0, 1, 2);
+  { obs::TraceSpanScope scope(TraceKind::kPEval, 0); }
+  EXPECT_TRUE(Tracer::Global().Collect().empty());
+  EXPECT_EQ(Tracer::Global().dropped(), 0u);
+}
+
+TEST(Trace, CollectIsSortedAcrossThreads) {
+  TracerGuard guard(4096);
+  constexpr int kThreads = 3;
+  constexpr int kEvents = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kEvents; ++i) {
+        const int64_t start = Tracer::Global().NowNs();
+        Tracer::Global().RecordSpan(TraceKind::kIncEval,
+                                    static_cast<uint32_t>(t), start,
+                                    static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::vector<TraceEvent> events = Tracer::Global().Collect();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kEvents));
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_ns, events[i].start_ns);
+  }
+  EXPECT_EQ(Tracer::Global().dropped(), 0u);
+}
+
+TEST(Trace, RingOverwritesOldestAndCountsDrops) {
+  TracerGuard guard(16);  // Enable() clamps capacity to >= 16
+  for (uint64_t i = 0; i < 30; ++i) {
+    Tracer::Global().RecordInstant(TraceKind::kPhase, 0, i);
+  }
+  const std::vector<TraceEvent> events = Tracer::Global().Collect();
+  ASSERT_EQ(events.size(), 16u);
+  EXPECT_EQ(Tracer::Global().dropped(), 14u);
+  // Overwrite-oldest: the survivors are exactly the newest 16.
+  std::set<uint64_t> args;
+  for (const TraceEvent& e : events) args.insert(e.arg0);
+  for (uint64_t i = 14; i < 30; ++i) EXPECT_EQ(args.count(i), 1u) << i;
+}
+
+TEST(Trace, SpanScopeRecordsDurationAndArgs) {
+  TracerGuard guard(64);
+  {
+    obs::TraceSpanScope scope(TraceKind::kBufferDrain, 5);
+    scope.set_args(123, 456);
+  }
+  const std::vector<TraceEvent> events = Tracer::Global().Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TraceKind::kBufferDrain);
+  EXPECT_EQ(events[0].track, 5u);
+  EXPECT_GE(events[0].dur_ns, 0);
+  EXPECT_EQ(events[0].arg0, 123u);
+  EXPECT_EQ(events[0].arg1, 456u);
+}
+
+TEST(Trace, ReenableResetsEpochAndRings) {
+  Tracer::Global().Enable(64);
+  Tracer::Global().RecordInstant(TraceKind::kPhase, 0, 1);
+  ASSERT_EQ(Tracer::Global().Collect().size(), 1u);
+  Tracer::Global().Enable(64);  // new session: prior rings dropped
+  EXPECT_TRUE(Tracer::Global().Collect().empty());
+  EXPECT_EQ(Tracer::Global().dropped(), 0u);
+  Tracer::Global().Disable();
+}
+
+/// Re-parses a Chrome trace export and checks the structural invariants the
+/// ISSUE pins: well-formed JSON, a traceEvents array of M/X/i events with
+/// the required keys, per-track monotone non-decreasing timestamps, and
+/// X-event intervals nested-or-disjoint within each track.
+void CheckChromeTrace(const std::string& json, size_t expected_events) {
+  minijson::Value doc;
+  std::string err;
+  ASSERT_TRUE(minijson::Parse(json, &doc, &err)) << err;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.Find("displayTimeUnit")->str, "ms");
+  const minijson::Value* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  size_t data_events = 0;
+  std::map<double, double> last_ts;           // tid -> last seen ts
+  std::map<double, std::vector<double>> open; // tid -> stack of span ends
+  for (const minijson::Value& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    const minijson::Value* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(e.Find("name"), nullptr);
+    ASSERT_NE(e.Find("pid"), nullptr);
+    ASSERT_NE(e.Find("tid"), nullptr);
+    if (ph->str == "M") {
+      EXPECT_EQ(e.Find("name")->str, "thread_name");
+      ASSERT_NE(e.Find("args")->Find("name"), nullptr);
+      continue;
+    }
+    ++data_events;
+    ASSERT_TRUE(ph->str == "X" || ph->str == "i") << ph->str;
+    const double tid = e.Find("tid")->number;
+    ASSERT_NE(e.Find("ts"), nullptr);
+    const double ts = e.Find("ts")->number;
+    EXPECT_GE(ts, 0.0);
+    if (last_ts.count(tid)) EXPECT_GE(ts, last_ts[tid]);
+    last_ts[tid] = ts;
+    if (ph->str == "X") {
+      ASSERT_NE(e.Find("dur"), nullptr);
+      const double dur = e.Find("dur")->number;
+      EXPECT_GE(dur, 0.0);
+      // Nesting: within a track, spans sorted by start must be disjoint
+      // from or nested inside any still-open enclosing span.
+      auto& stack = open[tid];
+      while (!stack.empty() && ts >= stack.back()) stack.pop_back();
+      if (!stack.empty()) {
+        EXPECT_LE(ts + dur, stack.back() + 1e-6)
+            << "span on tid " << tid << " straddles its enclosing span";
+      }
+      stack.push_back(ts + dur);
+    } else {
+      EXPECT_EQ(e.Find("s")->str, "t");  // instant scope
+    }
+  }
+  EXPECT_EQ(data_events, expected_events);
+}
+
+TEST(Trace, ChromeExportParsesBack) {
+  TracerGuard guard(256);
+  Tracer& tr = Tracer::Global();
+  // Spans and instants across the lane scheme: virtual worker 0, a physical
+  // thread, the IO lane and the master lane.
+  tr.RecordSpan(TraceKind::kPEval, 0, 0, /*round=*/0, /*pull=*/0);
+  tr.RecordSpan(TraceKind::kIncEval, 0, tr.NowNs(), 1, 1);
+  tr.RecordSpan(TraceKind::kBarrierWait, Tracer::kThreadLaneBase + 1,
+                tr.NowNs());
+  tr.RecordInstant(TraceKind::kChunkAcquire, Tracer::kIoLane, 3, 4096);
+  tr.RecordInstant(TraceKind::kDirectionDecide, 0, 1, 77);
+  tr.RecordSpan(TraceKind::kSuperstep, Tracer::kMasterLane, 0, 0);
+  const std::vector<TraceEvent> events = tr.Collect();
+  ASSERT_EQ(events.size(), 6u);
+  std::ostringstream os;
+  obs::WriteChromeTrace(events, /*to_us=*/1e-3, os);
+  CheckChromeTrace(os.str(), 6);
+}
+
+TEST(Trace, ChromeExportFileRoundTrip) {
+  TracerGuard guard(64);
+  Tracer::Global().RecordSpan(TraceKind::kPhase, Tracer::kMasterLane, 0);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "grape_trace_test.json")
+          .string();
+  const Status st = obs::WriteChromeTraceFile(Tracer::Global().Collect(),
+                                              1e-3, path);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  CheckChromeTrace(buf.str(), 1);
+  std::filesystem::remove(path);
+}
+
+TEST(Gantt, FromEventsRendersGlyphsAndZeroDurationSpans) {
+  std::vector<TraceEvent> events;
+  TraceEvent peval;
+  peval.start_ns = 0;
+  peval.dur_ns = 1000;
+  peval.track = 0;
+  peval.kind = TraceKind::kPEval;
+  events.push_back(peval);
+  TraceEvent round1 = peval;
+  round1.start_ns = 1000;
+  round1.kind = TraceKind::kIncEval;
+  round1.arg0 = 1;
+  events.push_back(round1);
+  TraceEvent zero = peval;
+  zero.start_ns = 500;
+  zero.dur_ns = 0;  // zero-duration: still gets one glyph cell
+  zero.track = 1;
+  zero.kind = TraceKind::kIncEval;
+  zero.arg0 = 2;
+  events.push_back(zero);
+  TraceEvent instant = peval;  // instants and foreign lanes are filtered
+  instant.dur_ns = -1;
+  events.push_back(instant);
+  TraceEvent foreign = peval;
+  foreign.track = Tracer::kIoLane;
+  events.push_back(foreign);
+
+  const std::string chart = obs::GanttFromEvents(events, 2, 40);
+  ASSERT_NE(chart.find("P0"), std::string::npos);
+  ASSERT_NE(chart.find("P1"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  EXPECT_NE(chart.find('1'), std::string::npos);
+  EXPECT_NE(chart.find('2'), std::string::npos);
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 2);
+}
+
+TEST(Gantt, EmptyTraceRendersIdleRows) {
+  const std::string chart = obs::GanttFromEvents({}, 3, 20);
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 3);
+  EXPECT_NE(chart.find("P0"), std::string::npos);
+  EXPECT_NE(chart.find("...."), std::string::npos);
+  EXPECT_EQ(obs::GanttFromEvents({}, 0, 20), "");
+}
+
+TEST(Gantt, SingleWorkerWidthOne) {
+  // width rounding floor: a single lane at the minimum width still renders.
+  std::vector<TraceEvent> events;
+  TraceEvent e;
+  e.start_ns = 0;
+  e.dur_ns = 10;
+  e.track = 0;
+  e.kind = TraceKind::kPEval;
+  events.push_back(e);
+  const std::string chart = obs::GanttFromEvents(events, 1, 1);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(RunTraceCompat, EmptyAndZeroDurationTraces) {
+  RunTrace empty;
+  const std::string chart = empty.ToGantt(4, 10);
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 4);
+  RunTrace zero;
+  zero.Add(0, 0, 1.0, 1.0, SpanKind::kPEval);  // zero virtual duration
+  EXPECT_NE(zero.ToGantt(1, 10).find('#'), std::string::npos);
+}
+
+TEST(RunTraceCompat, SimTraceExportsChromeJson) {
+  ErdosRenyiOptions o;
+  o.num_vertices = 400;
+  o.num_edges = 1500;
+  o.seed = 11;
+  Graph g = MakeErdosRenyi(o);
+  Partition p = HashPartitioner().Partition_(g, 4);
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap();
+  SimEngine<CcProgram> engine(p, CcProgram{}, cfg);
+  auto r = engine.Run();
+  ASSERT_TRUE(r.converged);
+  ASSERT_FALSE(r.trace.spans().empty());
+  std::ostringstream os;
+  r.trace.ToChromeTrace(os);
+  CheckChromeTrace(os.str(), r.trace.spans().size());
+  // The unified span stream matches the legacy spans one-to-one.
+  EXPECT_EQ(r.trace.ToEvents().size(), r.trace.spans().size());
+}
+
+TEST(ThreadedEngineTrace, EndToEndExportLoadsAndNests) {
+  // The acceptance-criteria smoke: a threaded BSP run with the tracer on
+  // must produce a span stream whose Chrome export re-parses cleanly, with
+  // PEval/IncEval spans on worker tracks, supersteps on the master lane,
+  // and a Gantt rendered from the same stream.
+  ErdosRenyiOptions o;
+  o.num_vertices = 400;
+  o.num_edges = 1500;
+  o.seed = 13;
+  Graph g = MakeErdosRenyi(o);
+  Partition p = HashPartitioner().Partition_(g, 4);
+  TracerGuard guard;
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Bsp();
+  cfg.num_threads = 2;
+  ThreadedEngine<CcProgram> engine(p, CcProgram{}, cfg);
+  auto r = engine.Run();
+  ASSERT_TRUE(r.converged);
+
+  const std::vector<TraceEvent> events = Tracer::Global().Collect();
+  ASSERT_FALSE(events.empty());
+  size_t pevals = 0, supersteps = 0, worker_spans = 0;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceKind::kPEval) ++pevals;
+    if (e.kind == TraceKind::kSuperstep) {
+      ++supersteps;
+      EXPECT_EQ(e.track, Tracer::kMasterLane);
+    }
+    if ((e.kind == TraceKind::kPEval || e.kind == TraceKind::kIncEval)) {
+      EXPECT_LT(e.track, 4u);  // worker lanes
+      EXPECT_GE(e.dur_ns, 0);
+      ++worker_spans;
+    }
+  }
+  EXPECT_EQ(pevals, 4u);  // one PEval span per virtual worker
+  EXPECT_EQ(supersteps, r.stats.total_supersteps());
+  EXPECT_EQ(worker_spans,
+            r.stats.total_rounds() + 4u);  // IncEvals + one PEval each
+
+  std::ostringstream os;
+  obs::WriteChromeTrace(events, 1e-3, os);
+  CheckChromeTrace(os.str(), events.size());
+
+  const std::string chart = obs::GanttFromEvents(events, 4, 80);
+  EXPECT_NE(chart.find("P0"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grape

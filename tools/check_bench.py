@@ -106,7 +106,18 @@ GATES = [
     ("ingest", "threaded_scaling.pagerank_aap_over_sim", "lower",
      ("streaming.pagerank_inmem_sec", "threaded_scaling.pagerank_aap_sec"),
      0.5),
+    # Observability layer: the full metrics+tracer instrumentation must hold
+    # the <=3% overhead contract of docs/OBSERVABILITY.md (same run, same
+    # box, min-of-pairs A/B in stress_ingest). Guarded on the off-side
+    # timing so sub-noise smoke shapes report and skip instead of flapping
+    # inside the tight band.
+    ("ingest", "obs_overhead.on_over_off", "ceiling",
+     (("obs_overhead.off_sec", 0.2),), 1.03),
 ]
+
+# Schema tag the embedded observability RunReport must carry (mirrors
+# kRunReportSchema in src/obs/report.h — bump both together).
+RUNREPORT_SCHEMA = "grapeplus-runreport-v1"
 
 # Boolean fields that must be true in the fresh results, regardless of
 # baselines: a bench run that produced inconsistent results is a hard fail.
@@ -121,6 +132,7 @@ REQUIRED_TRUE = [
     ("ingest", "direction.cc_identical"),
     ("ingest", "threaded_scaling.cc_identical"),
     ("ingest", "threaded_scaling.pagerank_close"),
+    ("ingest", "obs_overhead.identical"),
 ]
 
 MIN_GUARD_SEC = 0.1
@@ -169,6 +181,28 @@ def run_checks(fresh, base, threshold, out=print):
         value = lookup(fresh[which], path)
         if value is not True:
             failures.append(f"{which}:{path} must be true, got {value!r}")
+
+    # The embedded observability RunReport: stress_ingest always emits it,
+    # and downstream consumers (dashboards, the CI artifacts) key on its
+    # schema and on the metrics snapshot actually carrying counters, so a
+    # run that lost the section or produced an empty registry is a failure,
+    # not a skip.
+    report = lookup(fresh["ingest"], "run_report")
+    if not isinstance(report, dict):
+        failures.append("ingest:run_report missing or not an object")
+    else:
+        schema = report.get("schema")
+        if schema != RUNREPORT_SCHEMA:
+            failures.append(f"ingest:run_report.schema is {schema!r}, "
+                            f"want {RUNREPORT_SCHEMA!r}")
+        runs = report.get("runs")
+        if not isinstance(runs, list) or not runs:
+            failures.append("ingest:run_report.runs must be a non-empty "
+                            "list")
+        counters = lookup(report, "metrics.counters")
+        if not isinstance(counters, dict) or not counters:
+            failures.append("ingest:run_report.metrics.counters must be a "
+                            "non-empty object")
 
     for which, path, direction, guards, override in GATES:
         fresh_v = lookup(fresh[which], path)

@@ -46,6 +46,12 @@ def make_docs():
                 deep_set(fresh[which], g, 1.0)  # >> MIN_GUARD_SEC
     for which, path in check_bench.REQUIRED_TRUE:
         deep_set(fresh[which], path, True)
+    fresh["ingest"]["run_report"] = {
+        "schema": check_bench.RUNREPORT_SCHEMA,
+        "runs": [{"name": "pagerank", "engine": "sim"}],
+        "metrics": {"counters": {"runtime.pool.spurious_wakeups": 0},
+                    "gauges": {}, "histograms": {}},
+    }
     return fresh, base
 
 
@@ -177,6 +183,46 @@ class GateLogicTest(unittest.TestCase):
         self.assertEqual(run(fresh, base, threshold=0.25)[0], [])
         failures, _ = run(fresh, base, threshold=0.10)
         self.assertTrue(any("build.speedup" in f for f in failures))
+
+    def test_obs_overhead_ceiling_and_guard(self):
+        fresh, base = make_docs()
+        path = "obs_overhead.on_over_off"
+        deep_set(fresh["ingest"], "obs_overhead.off_sec", 0.5)
+        deep_set(fresh["ingest"], path, 1.06)  # contract is <= 1.03
+        failures, _ = run(fresh, base)
+        self.assertTrue(any(path in f for f in failures))
+        deep_set(fresh["ingest"], path, 1.02)
+        failures, _ = run(fresh, base)
+        self.assertEqual(failures, [])
+        # Sub-noise off-side timing: report and skip, never flap.
+        deep_set(fresh["ingest"], "obs_overhead.off_sec", 0.05)
+        deep_set(fresh["ingest"], path, 1.5)
+        failures, lines = run(fresh, base)
+        self.assertEqual(failures, [])
+        self.assertTrue(any("SKIP ingest:obs_overhead.on_over_off" in ln
+                            for ln in lines))
+
+    def test_run_report_section_is_validated(self):
+        fresh, base = make_docs()
+        failures, _ = run(fresh, base)
+        self.assertEqual(failures, [])
+        missing = copy.deepcopy(fresh)
+        del missing["ingest"]["run_report"]
+        failures, _ = run(missing, base)
+        self.assertTrue(any("run_report missing" in f for f in failures))
+        stale = copy.deepcopy(fresh)
+        stale["ingest"]["run_report"]["schema"] = "grapeplus-runreport-v0"
+        failures, _ = run(stale, base)
+        self.assertTrue(any("run_report.schema" in f for f in failures))
+        norups = copy.deepcopy(fresh)
+        norups["ingest"]["run_report"]["runs"] = []
+        failures, _ = run(norups, base)
+        self.assertTrue(any("run_report.runs" in f for f in failures))
+        empty = copy.deepcopy(fresh)
+        empty["ingest"]["run_report"]["metrics"]["counters"] = {}
+        failures, _ = run(empty, base)
+        self.assertTrue(any("run_report.metrics.counters" in f
+                            for f in failures))
 
     def test_lookup_traverses_and_rejects(self):
         doc = {"a": {"b": {"c": 3}}}
