@@ -1,0 +1,60 @@
+# Copyright 2026 The GRAPE+ Reproduction Authors.
+# Negative-compile check for the Clang thread-safety gate, run as the
+# `thread_safety_neg` ctest (registered in CMakeLists.txt, Clang only).
+#
+# Two syntax-only compiles of tests/thread_safety_neg.cc:
+#   1. with -Werror=thread-safety-analysis  -> MUST fail (the fixture's
+#      deliberate unguarded access is diagnosed), proving the analysis is
+#      live on this toolchain and the wrapper annotations are wired through;
+#   2. without the thread-safety flags      -> MUST succeed (positive
+#      control: the failure above is the analysis, not a plain C++ error).
+#
+# Usage (see the add_test call):
+#   cmake -DCOMPILER=<clang++> -DSRC=<fixture.cc> -DINCLUDE_DIR=<repo>/src
+#         [-DSTD=c++20] -P cmake/thread_safety_neg.cmake
+
+foreach(var COMPILER SRC INCLUDE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "thread_safety_neg: -D${var}=... is required")
+  endif()
+endforeach()
+if(NOT DEFINED STD)
+  set(STD "c++20")
+endif()
+
+set(base_args -std=${STD} -I${INCLUDE_DIR} -fsyntax-only ${SRC})
+
+# Leg 1: the analysis must reject the fixture.
+execute_process(
+  COMMAND ${COMPILER} -Wthread-safety -Wthread-safety-beta
+          -Werror=thread-safety-analysis ${base_args}
+  RESULT_VARIABLE neg_result
+  OUTPUT_VARIABLE neg_out
+  ERROR_VARIABLE neg_err)
+if(neg_result EQUAL 0)
+  message(FATAL_ERROR
+      "thread_safety_neg: fixture COMPILED under -Werror=thread-safety-"
+      "analysis — the analysis is not catching the deliberate GUARDED_BY "
+      "violation (annotation macros compiled away, or flags not applied).")
+endif()
+if(NOT neg_err MATCHES "thread-safety")
+  message(FATAL_ERROR
+      "thread_safety_neg: fixture failed to compile, but not with a "
+      "thread-safety diagnostic — fix the fixture's plain C++ first:\n"
+      "${neg_err}")
+endif()
+
+# Leg 2: positive control — clean without the analysis.
+execute_process(
+  COMMAND ${COMPILER} ${base_args}
+  RESULT_VARIABLE pos_result
+  OUTPUT_VARIABLE pos_out
+  ERROR_VARIABLE pos_err)
+if(NOT pos_result EQUAL 0)
+  message(FATAL_ERROR
+      "thread_safety_neg: positive control failed — the fixture must be "
+      "valid C++ without the thread-safety flags:\n${pos_err}")
+endif()
+
+message(STATUS "thread_safety_neg: analysis rejects the fixture and the "
+               "positive control compiles — gate is live.")

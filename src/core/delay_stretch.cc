@@ -29,6 +29,8 @@ DelayStretchController::DelayStretchController(const ModeConfig& cfg,
   for (uint32_t i = 0; i < num_workers; ++i) {
     auto c = std::make_unique<WorkerCtl>();
     c->observed_peers = num_workers > 1 ? num_workers - 1.0 : 0.0;
+    // order: relaxed — advisory mirror (see WorkerCtl); the constructor
+    // publishes ctl_ itself before any thread runs.
     c->l.store(cfg.l_bottom, std::memory_order_relaxed);
     ctl_.push_back(std::move(c));
   }
@@ -36,17 +38,20 @@ DelayStretchController::DelayStretchController(const ModeConfig& cfg,
 
 void DelayStretchController::OnRoundStart(FragmentId w, double now) {
   WorkerCtl& c = *ctl_[w];
-  std::lock_guard<std::mutex> lock(c.mu);
+  MutexLock lock(c.mu);
   c.idle = false;
   c.idle_since = now;
 }
 
 void DelayStretchController::OnRoundEnd(FragmentId w, double now,
                                         double round_time) {
+  // order: acq_rel — the increment publishes the finished round's state
+  // updates to staleness probes (RMin/RMax readers) that observe it.
   rounds_[w].fetch_add(1, std::memory_order_acq_rel);
   WorkerCtl& c = *ctl_[w];
-  std::lock_guard<std::mutex> lock(c.mu);
+  MutexLock lock(c.mu);
   c.round_time.Add(round_time);
+  // order: relaxed — advisory mirror for other workers' GroupRoundTime.
   c.predicted.store(c.round_time.value(), std::memory_order_relaxed);
   c.idle = true;
   c.idle_since = now;
@@ -55,8 +60,9 @@ void DelayStretchController::OnRoundEnd(FragmentId w, double now,
 void DelayStretchController::SeedRoundTime(FragmentId w, double now,
                                            double round_time) {
   WorkerCtl& c = *ctl_[w];
-  std::lock_guard<std::mutex> lock(c.mu);
+  MutexLock lock(c.mu);
   c.round_time.Add(round_time);
+  // order: relaxed — advisory mirror, as in OnRoundEnd.
   c.predicted.store(c.round_time.value(), std::memory_order_relaxed);
   c.idle = true;
   c.idle_since = now;
@@ -65,7 +71,7 @@ void DelayStretchController::SeedRoundTime(FragmentId w, double now,
 void DelayStretchController::OnMessages(FragmentId w, double now,
                                         uint64_t count, bool first_pending) {
   WorkerCtl& c = *ctl_[w];
-  std::lock_guard<std::mutex> lock(c.mu);
+  MutexLock lock(c.mu);
   c.rate.OnEvent(now, count);
   if (first_pending && c.idle) c.idle_since = now;
 }
@@ -76,7 +82,7 @@ void DelayStretchController::OnDrain(FragmentId w, uint64_t distinct_senders) {
   // sparse-topology workers wait for senders that never come).
   const double seen = static_cast<double>(distinct_senders);
   WorkerCtl& c = *ctl_[w];
-  std::lock_guard<std::mutex> lock(c.mu);
+  MutexLock lock(c.mu);
   if (!c.peers_known) {
     c.peers_known = true;
     c.observed_peers = seen;
@@ -87,7 +93,7 @@ void DelayStretchController::OnDrain(FragmentId w, uint64_t distinct_senders) {
 
 void DelayStretchController::OnIdleStart(FragmentId w, double now) {
   WorkerCtl& c = *ctl_[w];
-  std::lock_guard<std::mutex> lock(c.mu);
+  MutexLock lock(c.mu);
   c.idle = true;
   c.idle_since = now;
 }
@@ -96,6 +102,7 @@ Round DelayStretchController::RMin(const std::vector<uint8_t>& relevant) const {
   Round r = std::numeric_limits<Round>::max();
   for (uint32_t i = 0; i < n_; ++i) {
     if (relevant.empty() || relevant[i]) {
+      // order: relaxed — see round(); bounds tolerate staleness.
       r = std::min(r, rounds_[i].load(std::memory_order_relaxed));
     }
   }
@@ -105,6 +112,7 @@ Round DelayStretchController::RMin(const std::vector<uint8_t>& relevant) const {
 Round DelayStretchController::RMax() const {
   Round r = 0;
   for (uint32_t i = 0; i < n_; ++i) {
+    // order: relaxed — see round().
     r = std::max(r, rounds_[i].load(std::memory_order_relaxed));
   }
   return r;
@@ -112,7 +120,7 @@ Round DelayStretchController::RMax() const {
 
 double DelayStretchController::ArrivalRate(FragmentId w) const {
   WorkerCtl& c = *ctl_[w];
-  std::lock_guard<std::mutex> lock(c.mu);
+  MutexLock lock(c.mu);
   return c.rate.RatePerUnit();
 }
 
@@ -124,6 +132,7 @@ double DelayStretchController::GroupRoundTime(
   ts.reserve(n_);
   for (uint32_t i = 0; i < n_; ++i) {
     if (relevant.empty() || relevant[i]) {
+      // order: relaxed — advisory mirror; a stale estimate skews a wait.
       const double t = ctl_[i]->predicted.load(std::memory_order_relaxed);
       if (t > 0.0) ts.push_back(t);
     }
@@ -144,9 +153,10 @@ DelayDecision DelayStretchController::DecideAap(
   // neither blocked nor block anyone. T_idle bounds every wait.
   (void)eta;
   WorkerCtl& c = *ctl_[w];
-  std::lock_guard<std::mutex> lock(c.mu);
+  MutexLock lock(c.mu);
   const double target =
       std::max(cfg_.l_bottom, cfg_.sender_fraction * c.observed_peers);
+  // order: relaxed — introspection mirror only.
   c.l.store(target, std::memory_order_relaxed);
   if (static_cast<double>(eta_senders) >= target) {
     return {DelayDecision::Kind::kRunNow, 0};
@@ -182,9 +192,12 @@ bool DelayStretchController::BarrierMode() const {
 
 void DelayStretchController::NoteRoundGap(Round gap) {
   if (cfg_.mode != Mode::kHsync) return;
-  std::lock_guard<std::mutex> lock(hsync_mu_);
+  MutexLock lock(hsync_mu_);
+  // order: relaxed — hsync_mu_ serialises writers; the flag's readers pair
+  // with the release store below.
   if (!hsync_in_bsp_.load(std::memory_order_relaxed) &&
       gap > cfg_.hsync_gap_hi) {
+    // order: release pairs with hsync_in_bsp()'s acquire.
     hsync_in_bsp_.store(true, std::memory_order_release);
     hsync_bsp_supersteps_ = 0;
   }
@@ -192,11 +205,13 @@ void DelayStretchController::NoteRoundGap(Round gap) {
 
 void DelayStretchController::OnBarrierRelease() {
   if (cfg_.mode != Mode::kHsync) return;
-  std::lock_guard<std::mutex> lock(hsync_mu_);
+  MutexLock lock(hsync_mu_);
+  // order: relaxed — hsync_mu_ serialises writers (see NoteRoundGap).
   if (!hsync_in_bsp_.load(std::memory_order_relaxed)) return;
   // PowerSwitch's switch-back: a few synchronised supersteps realign the
   // workers, then asynchrony resumes.
   if (++hsync_bsp_supersteps_ >= 3) {
+    // order: release pairs with hsync_in_bsp()'s acquire.
     hsync_in_bsp_.store(false, std::memory_order_release);
   }
 }
@@ -204,6 +219,8 @@ void DelayStretchController::OnBarrierRelease() {
 void DelayStretchController::RestoreRounds(const std::vector<Round>& rounds) {
   GRAPE_CHECK(rounds.size() == rounds_.size());
   for (uint32_t i = 0; i < n_; ++i) {
+    // order: release — the restored snapshot state happens-before probes
+    // that read the counters.
     rounds_[i].store(rounds[i], std::memory_order_release);
   }
 }

@@ -25,11 +25,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/modes.h"
 #include "util/stats.h"
+#include "util/sync.h"
 
 namespace grape {
 
@@ -82,6 +82,8 @@ class DelayStretchController {
   // ---- queries ----
   /// Current round of worker w (rounds completed; PEval = round 0).
   Round round(FragmentId w) const {
+    // order: relaxed — staleness bounds tolerate slightly stale counters;
+    // OnRoundEnd's acq_rel increment is what orders the round's effects.
     return rounds_[w].load(std::memory_order_relaxed);
   }
 
@@ -110,6 +112,8 @@ class DelayStretchController {
   /// the sub-mode flips back to AP (PowerSwitch's switch-back).
   void OnBarrierRelease();
   bool hsync_in_bsp() const {
+    // order: acquire pairs with the release stores in NoteRoundGap /
+    // OnBarrierRelease — a mode flip is seen with the state that caused it.
     return hsync_in_bsp_.load(std::memory_order_acquire);
   }
 
@@ -118,10 +122,12 @@ class DelayStretchController {
 
   /// Introspection for tests.
   double PredictedRoundTime(FragmentId w) const {
+    // order: relaxed — advisory mirror; see WorkerCtl.
     return ctl_[w]->predicted.load(std::memory_order_relaxed);
   }
   double ArrivalRate(FragmentId w) const;
   double CurrentBound(FragmentId w) const {
+    // order: relaxed — advisory mirror; see WorkerCtl.
     return ctl_[w]->l.load(std::memory_order_relaxed);
   }
 
@@ -129,14 +135,16 @@ class DelayStretchController {
   /// Per-worker estimator block. One cache line each; its mutex serialises
   /// only operations about this worker.
   struct alignas(64) WorkerCtl {
-    mutable std::mutex mu;
-    Ema round_time{0.4};       // t_i
-    RateEstimator rate{0.4};   // s_i
-    double idle_since = 0.0;
-    bool idle = true;
-    double observed_peers = 0.0;  // workers that usually feed this one
-    bool peers_known = false;     // first drain seen
-    /// Lock-free mirrors read by *other* workers' decisions.
+    mutable Mutex mu;
+    Ema round_time GUARDED_BY(mu) = Ema{0.4};                // t_i
+    RateEstimator rate GUARDED_BY(mu) = RateEstimator{0.4};  // s_i
+    double idle_since GUARDED_BY(mu) = 0.0;
+    bool idle GUARDED_BY(mu) = true;
+    /// Workers that usually feed this one.
+    double observed_peers GUARDED_BY(mu) = 0.0;
+    bool peers_known GUARDED_BY(mu) = false;  // first drain seen
+    /// Lock-free mirrors read by *other* workers' decisions — advisory
+    /// values (relaxed): a stale read only skews a wait estimate.
     std::atomic<double> predicted{0.0};  // round_time.value()
     std::atomic<double> l{0.0};          // L_i (introspection)
   };
@@ -154,8 +162,8 @@ class DelayStretchController {
   std::vector<std::atomic<Round>> rounds_;
   std::vector<std::unique_ptr<WorkerCtl>> ctl_;
   std::atomic<bool> hsync_in_bsp_{false};
-  std::mutex hsync_mu_;  // guards the superstep counter below
-  int hsync_bsp_supersteps_ = 0;
+  Mutex hsync_mu_;
+  int hsync_bsp_supersteps_ GUARDED_BY(hsync_mu_) = 0;
 };
 
 }  // namespace grape

@@ -76,6 +76,8 @@ class ThreadedEngine {
     states_.reserve(m);
     for (uint32_t i = 0; i < m; ++i) {
       states_.push_back(program_.Init(partition_.fragments[i]));
+      // order: release — publishes the freshly built state to Eligible()
+      // probes on other threads.
       workers_[i]->local_work.store(HasLocalWork(i),
                                     std::memory_order_release);
     }
@@ -106,6 +108,8 @@ class ThreadedEngine {
     // point-lookup windows held by streaming sources are dropped with the
     // run.
     for (FragmentId w = 0; w < m; ++w) {
+      // order: relaxed — the pool join above already ordered all worker
+      // writes before this fold.
       stats_.workers[w].msgs_received =
           workers_[w]->msgs_received.load(std::memory_order_relaxed);
       stats_.workers[w].push_rounds = directions_[w].push_rounds();
@@ -177,6 +181,7 @@ class ThreadedEngine {
     }
     stats_ = RunStats{};
     stats_.workers.resize(m);
+    // order: relaxed — single-threaded setup; the pool start publishes it.
     total_rounds_.store(0, std::memory_order_relaxed);
     converged_ = true;
   }
@@ -192,6 +197,8 @@ class ThreadedEngine {
   }
 
   bool Eligible(FragmentId w) const {
+    // order: acquire pairs with the owner's release store after a round —
+    // a true hint is read together with the state that produced it.
     return !workers_[w]->buffer.Empty() ||
            workers_[w]->local_work.load(std::memory_order_acquire);
   }
@@ -260,6 +267,8 @@ class ThreadedEngine {
       bool is_peval = true;
       while (true) {
         while (true) {
+          // order: relaxed — the cursor only partitions the eligible list;
+          // the barrier crossings order the data.
           const uint32_t i = cursor.fetch_add(1, std::memory_order_relaxed);
           if (i >= eligible.size()) break;
           ts.busy_time += RunOneRound(eligible[i], is_peval);
@@ -285,13 +294,18 @@ class ThreadedEngine {
           for (FragmentId w = 0; w < m; ++w) {
             if (Eligible(w)) eligible.push_back(w);
           }
+          // order: relaxed — thread 0 writes between the crossings; the
+          // second barrier publishes cursor/stop/eligible to every thread.
           cursor.store(0, std::memory_order_relaxed);
           if (eligible.empty() || supersteps >= cfg_.max_total_rounds) {
+            // order: relaxed — see the cursor store above.
             stop.store(true, std::memory_order_relaxed);
           }
           ts.busy_time += master.ElapsedSeconds();
         }
         arrive();
+        // order: relaxed — the barrier just crossed is the synchronisation
+        // point for thread 0's superstep-state writes.
         if (stop.load(std::memory_order_relaxed)) break;
         is_peval = false;
       }
@@ -317,6 +331,8 @@ class ThreadedEngine {
       const uint64_t epoch = master_hub_.Epoch();
       bool all_quiet = true;
       for (FragmentId w = 0; w < workers_.size(); ++w) {
+        // order: acquire pairs with the claim release — an unclaimed read
+        // observes the owning round's final buffer state.
         if (workers_[w]->claimed.load(std::memory_order_acquire) ||
             Eligible(w)) {
           all_quiet = false;
@@ -327,6 +343,7 @@ class ThreadedEngine {
         hub_.NotifyAll();
         break;
       }
+      // order: relaxed — a monotone budget check; exactness is not needed.
       if (total_rounds_.load(std::memory_order_relaxed) >
           cfg_.max_total_rounds) {
         converged_ = false;
@@ -382,6 +399,8 @@ class ThreadedEngine {
       if (!Eligible(static_cast<FragmentId>(w))) {
         term_->SetInactive(static_cast<FragmentId>(w));
       }
+      // order: release pairs with pickers' acquire — the round's state and
+      // buffer writes are visible to the next claimant.
       workers_[w]->claimed.store(false, std::memory_order_release);
       hub_.NotifyAll();
       master_hub_.NotifyAll();
@@ -398,6 +417,7 @@ class ThreadedEngine {
     thread_local std::vector<uint8_t> relevant;
     relevant.assign(workers_.size(), 0);
     for (size_t i = 0; i < workers_.size(); ++i) {
+      // order: acquire — see the master scan in RunAsync.
       relevant[i] = (workers_[i]->claimed.load(std::memory_order_acquire) ||
                      Eligible(static_cast<FragmentId>(i)))
                         ? 1
@@ -405,28 +425,39 @@ class ThreadedEngine {
     }
     for (FragmentId w = 0; w < workers_.size(); ++w) {
       auto& rt = *workers_[w];
+      // order: acquire pairs with the claim's release store (cheap skip).
       if (rt.claimed.load(std::memory_order_acquire)) continue;
+      // order: acquire — a done flag is read with the PEval state it covers.
       if (!rt.peval_done.load(std::memory_order_acquire)) {
+        // order: acq_rel — winning the claim acquires the previous round's
+        // writes; losing publishes nothing.
         if (rt.claimed.exchange(true, std::memory_order_acq_rel)) continue;
+        // order: acq_rel — first winner both claims PEval and sees init.
         if (!rt.peval_done.exchange(true, std::memory_order_acq_rel)) {
           term_->SetActive(w);
           *is_peval = true;
           return static_cast<int32_t>(w);
         }
+        // order: release — hand the claim back (we changed nothing).
         rt.claimed.store(false, std::memory_order_release);
         continue;
       }
       if (!Eligible(w)) continue;
+      // order: relaxed — advisory deadline; a stale read only delays a
+      // rescan by one hub wake.
       const double at = rt.eligible_at.load(std::memory_order_relaxed);
       if (now < at) {
         *next_eligible = std::min(*next_eligible, at);
         continue;
       }
+      // order: acq_rel — winning acquires the last round's writes.
       if (rt.claimed.exchange(true, std::memory_order_acq_rel)) continue;
       if (!Eligible(w)) {  // drained by a racing round since the check
+        // order: release — hand the claim back untouched.
         rt.claimed.store(false, std::memory_order_release);
         continue;
       }
+      // order: acquire — the hint is read with the state that set it.
       const uint64_t local =
           rt.local_work.load(std::memory_order_acquire) ? 1 : 0;
       const DelayDecision d = controller_->Decide(
@@ -438,8 +469,10 @@ class ThreadedEngine {
           controller_->OnRoundStart(w, now);
           return static_cast<int32_t>(w);
         case DelayDecision::Kind::kWaitFor:
+          // order: relaxed — advisory deadline (see the load above).
           rt.eligible_at.store(now + d.wait, std::memory_order_relaxed);
           *next_eligible = std::min(*next_eligible, now + d.wait);
+          // order: release — hand the claim back.
           rt.claimed.store(false, std::memory_order_release);
           // Peers already parked in an untimed wait rescan and adopt this
           // fresh deadline — wakeups stay exact even when this thread goes
@@ -448,6 +481,7 @@ class ThreadedEngine {
           break;
         case DelayDecision::Kind::kSuspend:
           // Re-examined when r_min advances / messages arrive.
+          // order: release — hand the claim back.
           rt.claimed.store(false, std::memory_order_release);
           break;
       }
@@ -510,6 +544,7 @@ class ThreadedEngine {
                                 std::span<const UpdateEntry<V>>(updates),
                                 &emitter);
       }
+      // order: relaxed — budget counter only (see RunAsync's check).
       total_rounds_.fetch_add(1, std::memory_order_relaxed);
       ++stats_.workers[w].rounds;
     }
@@ -532,6 +567,8 @@ class ThreadedEngine {
     // Swap keeps the delivered outbox's capacity cycling back into the
     // emitter instead of reallocating every round.
     rt.outbox.swap(emitter.entries());
+    // order: release — the hint is published with the round's state writes
+    // for Eligible()'s acquire readers.
     rt.local_work.store(HasLocalWork(w), std::memory_order_release);
     const double now = run_wall_.ElapsedSeconds();
     if (is_peval) {
@@ -577,6 +614,8 @@ class ThreadedEngine {
                                  return program_.Combine(a, b);
                                });
       term_->SetActive(dst);
+      // order: relaxed — stats counter; AppendEntries' lock ordered the
+      // delivery itself.
       drt.msgs_received.fetch_add(1, std::memory_order_relaxed);
       controller_->OnMessages(dst, run_wall_.ElapsedSeconds(), 1,
                               first_pending);

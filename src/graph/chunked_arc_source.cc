@@ -1,7 +1,6 @@
 #include "graph/chunked_arc_source.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "graph/store/gcsr_store.h"
 #include "obs/metrics.h"
@@ -17,10 +16,12 @@ namespace grape {
 
 namespace {
 
-/// Raises `peak` to at least `value` (relaxed CAS loop; stats only).
+/// Raises `peak` to at least `value` (CAS loop; stats only).
 void RaisePeak(std::atomic<uint64_t>& peak, uint64_t value) {
+  // order: relaxed — a high-water mark publishes no other data.
   uint64_t cur = peak.load(std::memory_order_relaxed);
   while (cur < value &&
+         // order: relaxed — readers need an eventual maximum, not ordering.
          !peak.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
   }
 }
@@ -98,7 +99,11 @@ size_t ChunkedArcSource::ChunkOf(VertexId v) const {
 
 ChunkedArcSource::Chunk ChunkedArcSource::Acquire(size_t k) const {
   const Chunk c = chunk(k);
+  // order: acq_rel pairs with Release's decrement — the holder that sees
+  // itself last observes every prior holder's acquire.
   holders_[k].fetch_add(1, std::memory_order_acq_rel);
+  // order: relaxed — residency accounting is advisory (gauges/assertions
+  // sample it); no data is published through the counter.
   const uint64_t now =
       resident_.fetch_add(c.arc_count, std::memory_order_relaxed) +
       c.arc_count;
@@ -121,6 +126,8 @@ void ChunkedArcSource::Release(const Chunk& c) const {
   // Only the last concurrent holder drops the window: fragments sweeping in
   // parallel share chunk ranges, and discarding pages a peer is still
   // reading would force it to re-fault its whole window.
+  // order: acq_rel — the last decrement must observe every peer's window
+  // use before the DONTNEED drops the pages.
   const bool last =
       holders_[c.index].fetch_sub(1, std::memory_order_acq_rel) == 1;
 #if GRAPEPLUS_HAVE_MADVISE
@@ -130,6 +137,7 @@ void ChunkedArcSource::Release(const Chunk& c) const {
 #else
   (void)last;
 #endif
+  // order: relaxed — see Acquire's residency comment.
   resident_.fetch_sub(c.arc_count, std::memory_order_relaxed);
   if (obs::Tracer::enabled()) {
     obs::Tracer::Global().RecordInstant(obs::TraceKind::kChunkRelease,
@@ -152,7 +160,7 @@ void ChunkedArcSource::NotePointLookup(VertexId v) const {
   GRAPE_DCHECK(v < view_.num_vertices());
   const size_t k = ChunkOf(v);
   {
-    std::lock_guard<SpinLock> lock(point_mu_);
+    SpinLockGuard lock(point_mu_);
     for (size_t i = 0; i < point_held_.size(); ++i) {
       if (point_held_[i].index == k) {
         // Refresh recency; rotation keeps the rest of the order intact.
@@ -171,7 +179,7 @@ void ChunkedArcSource::NotePointLookup(VertexId v) const {
   Chunk victim;
   bool evict = false;
   {
-    std::lock_guard<SpinLock> lock(point_mu_);
+    SpinLockGuard lock(point_mu_);
     point_held_.push_back(c);
     if (point_held_.size() > point_lru_capacity_) {
       victim = point_held_.front();
@@ -183,12 +191,13 @@ void ChunkedArcSource::NotePointLookup(VertexId v) const {
 }
 
 void ChunkedArcSource::ReleasePointWindows() const {
-  std::lock_guard<SpinLock> lock(point_mu_);
+  SpinLockGuard lock(point_mu_);
   for (const Chunk& c : point_held_) Release(c);
   point_held_.clear();
 }
 
 void ChunkedArcSource::ResetStats() const {
+  // order: relaxed — callers quiesce sweeps around stat resets.
   resident_.store(0, std::memory_order_relaxed);
   peak_.store(0, std::memory_order_relaxed);
   peak_point_.store(0, std::memory_order_relaxed);

@@ -157,15 +157,18 @@ class ChunkedArcSource {
 
   /// Currently acquired arcs (sum over concurrently held chunks).
   uint64_t resident_arcs() const {
+    // order: relaxed — advisory accounting; sampled by gauges/assertions.
     return resident_.load(std::memory_order_relaxed);
   }
   /// High-water mark of resident_arcs() since construction / ResetStats.
   uint64_t peak_resident_arcs() const {
+    // order: relaxed — see resident_arcs().
     return peak_.load(std::memory_order_relaxed);
   }
   /// Largest single point-lookup translation observed (reporting only —
   /// bounded by the max degree by construction, see OutEdges(v)).
   uint64_t peak_point_arcs() const {
+    // order: relaxed — see resident_arcs().
     return peak_point_.load(std::memory_order_relaxed);
   }
   void ResetStats() const;
@@ -186,7 +189,7 @@ class ChunkedArcSource {
   // Point-lookup LRU (most recently touched at the back).
   uint32_t point_lru_capacity_ = 4;
   mutable SpinLock point_mu_;
-  mutable std::vector<Chunk> point_held_;
+  mutable std::vector<Chunk> point_held_ GUARDED_BY(point_mu_);
   // Observability: residency gauges published via a snapshot callback,
   // acquires counted through the registry (obs/metrics.h).
   uint64_t metrics_callback_ = 0;

@@ -14,9 +14,12 @@ std::atomic<bool> g_metrics_enabled{true};
 }  // namespace
 
 void SetMetricsEnabled(bool on) {
+  // order: relaxed — a best-effort kill switch; updates racing the flip may
+  // land on either side, which the overhead contract accepts.
   g_metrics_enabled.store(on, std::memory_order_relaxed);
 }
 bool MetricsEnabled() {
+  // order: relaxed — see SetMetricsEnabled; the flag publishes no data.
   return g_metrics_enabled.load(std::memory_order_relaxed);
 }
 
@@ -52,6 +55,8 @@ double HistogramData::Quantile(double q) const {
 /// thread. Registration/retirement happen under the registry mutex.
 struct MetricsRegistry::ThreadBlock {
   explicit ThreadBlock(MetricsRegistry* owner) : reg(owner) {
+    // order: relaxed — the block is published to readers via the registry
+    // mutex (blocks_ push under mu_), which provides the ordering.
     for (auto& c : cells) c.store(0, std::memory_order_relaxed);
   }
   MetricsRegistry* reg;
@@ -89,7 +94,7 @@ MetricsRegistry::ThreadBlock* MetricsRegistry::LocalBlock() {
   auto block = std::make_unique<ThreadBlock>(this);
   ThreadBlock* raw = block.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     blocks_.push_back(raw);
   }
   g_tls.entries.push_back({this, std::move(block)});
@@ -103,8 +108,10 @@ TlsBlocks::~TlsBlocks() {
 }
 
 void MetricsRegistry::Retire(ThreadBlock* block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (uint32_t i = 0; i < next_cell_; ++i) {
+    // order: relaxed — the owning thread is exiting; its destructor's
+    // happens-before edge into this call orders the final cell values.
     retired_[i] += block->cells[i].load(std::memory_order_relaxed);
   }
   blocks_.erase(std::remove(blocks_.begin(), blocks_.end(), block),
@@ -113,6 +120,8 @@ void MetricsRegistry::Retire(ThreadBlock* block) {
 
 void MetricsRegistry::CellAdd(uint32_t cell, uint64_t n) {
   std::atomic<uint64_t>& c = LocalBlock()->cells[cell];
+  // order: relaxed — single-writer cell (this thread); Snapshot() tolerates
+  // staleness and only needs tear-freedom. No RMW by design (hot path).
   c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
 }
 
@@ -142,7 +151,7 @@ void Histogram::Observe(uint64_t value) {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(name);
   if (it != index_.end()) {
     Metric& m = metrics_[it->second];
@@ -167,7 +176,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   constexpr uint32_t kHistCells = HistogramData::kNumBuckets + 1;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(name);
   if (it != index_.end()) {
     Metric& m = metrics_[it->second];
@@ -192,26 +201,26 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_[name] = value;
 }
 
 uint64_t MetricsRegistry::AddCallback(
     std::function<void(MetricsSnapshot*)> cb) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t handle = next_callback_++;
   callbacks_.emplace_back(handle, std::move(cb));
   return handle;
 }
 
 void MetricsRegistry::RemoveCallback(uint64_t handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::erase_if(callbacks_, [&](const auto& e) { return e.first == handle; });
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Fold: retired sums of dead threads + live cells of every registered
   // block. Live cells are racing relaxed stores; any value read is a valid
   // recent total for that shard.
@@ -219,6 +228,8 @@ MetricsSnapshot MetricsRegistry::Snapshot() {
                               retired_.begin() + next_cell_);
   for (const ThreadBlock* b : blocks_) {
     for (uint32_t i = 0; i < next_cell_; ++i) {
+      // order: relaxed — racing single-writer stores; any observed value is
+      // a valid recent total for that shard (documented contract).
       cells[i] += b->cells[i].load(std::memory_order_relaxed);
     }
   }
@@ -241,10 +252,12 @@ MetricsSnapshot MetricsRegistry::Snapshot() {
 }
 
 void MetricsRegistry::ResetValues() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fill(retired_.begin(), retired_.end(), 0);
   for (ThreadBlock* b : blocks_) {
     for (uint32_t i = 0; i < next_cell_; ++i) {
+      // order: relaxed — a racing owner-thread update may survive the reset
+      // into the next epoch; A/B phases quiesce threads around resets.
       b->cells[i].store(0, std::memory_order_relaxed);
     }
   }

@@ -40,10 +40,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace grape::obs {
 
@@ -176,16 +177,18 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  std::mutex mu_;
-  std::vector<Metric> metrics_;
-  std::unordered_map<std::string, size_t> index_;
-  uint32_t next_cell_ = 0;
-  std::vector<ThreadBlock*> blocks_;          // live thread blocks
-  std::vector<uint64_t> retired_;             // folded cells of dead threads
-  std::map<std::string, double> gauges_;
+  Mutex mu_;
+  std::vector<Metric> metrics_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, size_t> index_ GUARDED_BY(mu_);
+  uint32_t next_cell_ GUARDED_BY(mu_) = 0;
+  /// Live thread blocks (block registration / retirement).
+  std::vector<ThreadBlock*> blocks_ GUARDED_BY(mu_);
+  /// Folded cells of dead threads.
+  std::vector<uint64_t> retired_ GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ GUARDED_BY(mu_);
   std::vector<std::pair<uint64_t, std::function<void(MetricsSnapshot*)>>>
-      callbacks_;
-  uint64_t next_callback_ = 1;
+      callbacks_ GUARDED_BY(mu_);
+  uint64_t next_callback_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace grape::obs

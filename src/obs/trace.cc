@@ -44,9 +44,9 @@ const char* TraceKindName(TraceKind kind) {
 struct Tracer::Ring {
   explicit Ring(size_t capacity) : buf(capacity) {}
   mutable SpinLock mu;
-  std::vector<TraceEvent> buf;
-  size_t head = 0;      // next slot to write
-  uint64_t total = 0;   // events ever recorded
+  std::vector<TraceEvent> buf GUARDED_BY(mu);
+  size_t head GUARDED_BY(mu) = 0;      // next slot to write
+  uint64_t total GUARDED_BY(mu) = 0;   // events ever recorded
 };
 
 namespace {
@@ -70,15 +70,19 @@ Tracer& Tracer::Global() {
 }
 
 void Tracer::Enable(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rings_.clear();
   capacity_ = std::max<size_t>(capacity, 16);
+  // order: relaxed — the bump only invalidates TLS ring caches; a stale
+  // read routes a racing Record into a dropped ring, which is harmless.
   generation_.fetch_add(1, std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
+  // order: relaxed — see enabled(); no data is published through the flag.
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void Tracer::Disable() {
+  // order: relaxed — see enabled().
   enabled_.store(false, std::memory_order_relaxed);
 }
 
@@ -89,7 +93,9 @@ int64_t Tracer::NowNs() const {
 }
 
 Tracer::Ring* Tracer::LocalRing() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  // order: relaxed — mu_ (held here and in Enable) orders generation_
+  // against rings_/capacity_; the atomic exists for Record's fast path.
   const uint64_t gen = generation_.load(std::memory_order_relaxed);
   if (g_trace_tls.ring != nullptr && g_trace_tls.generation == gen) {
     return static_cast<Ring*>(g_trace_tls.ring.get());
@@ -110,12 +116,14 @@ void Tracer::Record(const TraceEvent& e) {
   Ring* ring;
   if (g_trace_tls.ring != nullptr &&
       g_trace_tls.generation ==
+          // order: relaxed — a stale generation read is explicitly
+          // tolerated (see above); the slow path re-reads under mu_.
           generation_.load(std::memory_order_relaxed)) {
     ring = static_cast<Ring*>(g_trace_tls.ring.get());
   } else {
     ring = LocalRing();
   }
-  std::lock_guard<SpinLock> guard(ring->mu);
+  SpinLockGuard guard(ring->mu);
   ring->buf[ring->head] = e;
   ring->head = (ring->head + 1) % ring->buf.size();
   ++ring->total;
@@ -148,12 +156,12 @@ void Tracer::RecordInstant(TraceKind kind, uint32_t track, uint64_t arg0,
 std::vector<TraceEvent> Tracer::Collect() const {
   std::vector<std::shared_ptr<Ring>> rings;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rings = rings_;
   }
   std::vector<TraceEvent> out;
   for (const auto& ring : rings) {
-    std::lock_guard<SpinLock> guard(ring->mu);
+    SpinLockGuard guard(ring->mu);
     const size_t n = ring->buf.size();
     const size_t held = std::min<uint64_t>(ring->total, n);
     // Oldest-first: when the ring wrapped, the oldest held event sits at
@@ -171,10 +179,10 @@ std::vector<TraceEvent> Tracer::Collect() const {
 }
 
 uint64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t dropped = 0;
   for (const auto& ring : rings_) {
-    std::lock_guard<SpinLock> guard(ring->mu);
+    SpinLockGuard guard(ring->mu);
     const uint64_t n = ring->buf.size();
     if (ring->total > n) dropped += ring->total - n;
   }

@@ -25,13 +25,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "util/common.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace grape::obs {
 
@@ -82,6 +82,8 @@ class Tracer {
 
   /// The fast guard: relaxed load, safe from any thread.
   static bool enabled() {
+    // order: relaxed — best-effort on/off guard; spans racing the flip may
+    // record or not, and the epoch is published by Enable's mutex instead.
     return enabled_.load(std::memory_order_relaxed);
   }
 
@@ -114,12 +116,15 @@ class Tracer {
 
   static std::atomic<bool> enabled_;
 
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<Ring>> rings_;
-  size_t capacity_ = kDefaultCapacity;
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<Ring>> rings_ GUARDED_BY(mu_);
+  size_t capacity_ GUARDED_BY(mu_) = kDefaultCapacity;
   // Bumps on Enable(); invalidates cached rings. Atomic so Record()'s fast
   // path can validate its TLS cache with a relaxed load instead of mu_.
   std::atomic<uint64_t> generation_{0};
+  // Written only by Enable() (under mu_), read lock-free by NowNs(): a span
+  // recorded while Enable() races gets a nonsense-but-harmless timestamp
+  // into a ring the same Enable() is about to drop.
   std::chrono::steady_clock::time_point epoch_{};
 };
 

@@ -86,6 +86,8 @@ struct PartitionBuilderAccess {
   /// Thread-safe and idempotent: concurrent source fragments may mark the
   /// same entry vertex.
   static void MarkEntry(Fragment& f, LocalVertex l) {
+    // order: relaxed — idempotent flag; the partition build's join
+    // publishes it before any reader runs.
     std::atomic_ref<uint8_t>(f.in_i_[l]).store(1, std::memory_order_relaxed);
   }
   static void SetRemoteSources(Fragment& f, std::vector<VertexId> iprime) {
@@ -297,6 +299,8 @@ Partition BuildPartition(const GraphView& g, std::vector<FragmentId> placement,
   p.copy_offsets.assign(static_cast<size_t>(n) + 1, 0);
   ForEachFragment(pool, m, [&](FragmentId i) {
     for (VertexId v : p.fragments[i].outer_vertices()) {
+      // order: relaxed — counts are order-independent; the pool join
+      // publishes them before the prefix scan reads.
       std::atomic_ref<uint64_t>(p.copy_offsets[v + 1])
           .fetch_add(1, std::memory_order_relaxed);
     }

@@ -60,6 +60,8 @@ inline void CpuRelax() {
 #elif defined(__aarch64__)
   asm volatile("yield" ::: "memory");
 #else
+  // order: seq_cst signal fence — a compiler-only barrier standing in for
+  // the pause/yield hint on ISAs without one; no hardware ordering implied.
   std::atomic_signal_fence(std::memory_order_seq_cst);
 #endif
 }
@@ -86,14 +88,19 @@ template <typename T>
 inline void SpinWaitChange(const std::atomic<T>& word, T seen,
                            SpinBudget budget) {
   for (int i = 0; i < budget.pauses; ++i) {
+    // order: acquire pairs with the releaser's store — the round's writes
+    // are visible once the change is observed.
     if (word.load(std::memory_order_acquire) != seen) return;
     CpuRelax();
   }
   for (int i = 0; i < budget.yields; ++i) {
+    // order: acquire — same pairing as the spin phase.
     if (word.load(std::memory_order_acquire) != seen) return;
     std::this_thread::yield();
   }
   T cur;
+  // order: acquire on the load carries the synchronisation; the futex wait
+  // is relaxed because the loop re-checks with acquire after every wake.
   while ((cur = word.load(std::memory_order_acquire)) == seen) {
     word.wait(seen, std::memory_order_relaxed);
   }
@@ -105,14 +112,19 @@ template <typename T>
 inline void SpinWaitReach(const std::atomic<T>& word, T target,
                           SpinBudget budget) {
   for (int i = 0; i < budget.pauses; ++i) {
+    // order: acquire pairs with each arriver's acq_rel increment — the
+    // waiter observes every child's pre-arrival writes at the target.
     if (word.load(std::memory_order_acquire) == target) return;
     CpuRelax();
   }
   for (int i = 0; i < budget.yields; ++i) {
+    // order: acquire — same pairing as the spin phase.
     if (word.load(std::memory_order_acquire) == target) return;
     std::this_thread::yield();
   }
   T cur;
+  // order: acquire on the load carries the synchronisation; the futex wait
+  // is relaxed because the loop re-checks with acquire after every wake.
   while ((cur = word.load(std::memory_order_acquire)) != target) {
     word.wait(cur, std::memory_order_relaxed);
   }
@@ -145,16 +157,21 @@ class McsBarrier final : public ThreadBarrier {
       // Reset happens strictly before this round's release is published,
       // and next-round children only check in after observing the release,
       // so the counter is never concurrently reset and incremented.
+      // order: relaxed — the release store below publishes the reset.
       me.arrived.store(0, std::memory_order_relaxed);
     }
     if (tid == 0) {
+      // order: release — publishes every arriver's writes (gathered through
+      // the acq_rel arrival chain) to the waiters' acquire loads.
       generation_.fetch_add(1, std::memory_order_release);
       generation_.notify_all();
     } else {
       // Loaded before the parent signal: the root cannot release this
       // round until our arrival has propagated up, so this is always the
-      // pre-release generation.
+      // pre-release generation. order: relaxed — no data is read through it.
       const uint64_t seen = generation_.load(std::memory_order_relaxed);
+      // order: acq_rel — the increment publishes this thread's round writes
+      // up the tree and observes its children's (chained to the root).
       nodes_[(tid - 1) / kArity].arrived.fetch_add(
           1, std::memory_order_acq_rel);
       nodes_[(tid - 1) / kArity].arrived.notify_one();
@@ -190,14 +207,21 @@ class TopoBarrier final : public ThreadBarrier {
     if (tid == g.leader) {
       if (g.members != 0) {
         barrier_detail::SpinWaitReach(g.arrived, g.members, budget_);
+        // order: relaxed — the release store below publishes the reset
+        // (members re-arm only after observing the release word).
         g.arrived.store(0, std::memory_order_relaxed);
       }
       top_->Arrive(g.leader_index);
       ++g.generation;
+      // order: release — publishes the whole barrier round (members' writes
+      // via g.arrived, peers' via the leader barrier) to members' acquires.
       g.release.store(g.generation, std::memory_order_release);
       g.release.notify_all();
     } else {
+      // order: relaxed — pre-release word; no data is read through it.
       const uint64_t seen = g.release.load(std::memory_order_relaxed);
+      // order: acq_rel — publishes this member's round writes to the leader
+      // and chains prior members' arrivals.
       g.arrived.fetch_add(1, std::memory_order_acq_rel);
       g.arrived.notify_one();
       barrier_detail::SpinWaitChange(g.release, seen, budget_);

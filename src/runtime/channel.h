@@ -9,12 +9,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 
 #include "runtime/message.h"
 #include "util/common.h"
+#include "util/sync.h"
 
 namespace grape {
 
@@ -22,11 +21,17 @@ namespace grape {
 /// `Quiescent()` together with all-buffers-empty implies global quiescence.
 class InFlightCounter {
  public:
+  // order: acq_rel — a send must be visible to any quiescence probe that
+  // observes the matching deliver (the probe's acquire pairs with these).
   void OnSend(uint64_t n = 1) { count_.fetch_add(n, std::memory_order_acq_rel); }
   void OnDeliver(uint64_t n = 1) {
+    // order: acq_rel — see OnSend; the decrement publishes the delivery.
     count_.fetch_sub(n, std::memory_order_acq_rel);
   }
+  // order: acquire pairs with OnSend/OnDeliver so a zero read means every
+  // preceding delivery's effects are visible to the terminating probe.
   bool Quiescent() const { return count_.load(std::memory_order_acquire) == 0; }
+  // order: acquire — same pairing as Quiescent().
   uint64_t count() const { return count_.load(std::memory_order_acquire); }
 
  private:
@@ -39,17 +44,20 @@ class NotifyHub {
  public:
   /// Wakes all waiters.
   void NotifyAll() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++epoch_;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   /// Blocks until notified after `seen_epoch`, or `timeout_ms` elapses.
   /// Returns the current epoch.
   uint64_t WaitFor(uint64_t seen_epoch, int64_t timeout_ms) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                 [&] { return epoch_ != seen_epoch; });
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    MutexLock lock(mu_);
+    while (epoch_ == seen_epoch) {
+      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+    }
     return epoch_;
   }
 
@@ -58,29 +66,34 @@ class NotifyHub {
   /// engine sleeps exactly until the earliest worker wake deadline with
   /// this, instead of polling on a coarse capped timeout.
   uint64_t WaitForSeconds(uint64_t seen_epoch, double seconds) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock, std::chrono::duration<double>(std::max(seconds, 0.0)),
-                 [&] { return epoch_ != seen_epoch; });
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(std::max(seconds, 0.0)));
+    MutexLock lock(mu_);
+    while (epoch_ == seen_epoch) {
+      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+    }
     return epoch_;
   }
 
   /// Untimed wait: blocks until notified after `seen_epoch`. Callers must
   /// guarantee that every state change they care about rings the hub.
   uint64_t Wait(uint64_t seen_epoch) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return epoch_ != seen_epoch; });
+    MutexLock lock(mu_);
+    while (epoch_ == seen_epoch) cv_.Wait(mu_);
     return epoch_;
   }
 
   uint64_t Epoch() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return epoch_;
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t epoch_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  uint64_t epoch_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace grape

@@ -12,7 +12,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -98,8 +97,10 @@ class UpdateBuffer {
   // Moves leave the source a fully usable empty buffer (the seed's
   // defaulted move left a null heap mutex behind — any later method call on
   // a moved-from buffer, e.g. after container reallocation, crashed).
-  // Moving is not thread-safe with respect to concurrent buffer access.
-  UpdateBuffer(UpdateBuffer&& other) noexcept
+  // Moving is not thread-safe with respect to concurrent buffer access —
+  // both buffers must be externally quiescent, which is why neither side's
+  // mu_ is taken and the thread-safety analysis is waived here.
+  UpdateBuffer(UpdateBuffer&& other) noexcept NO_THREAD_SAFETY_ANALYSIS
       : slots_(std::move(other.slots_)),
         dirty_(std::move(other.dirty_)),
         num_messages_(std::exchange(other.num_messages_, 0)),
@@ -110,7 +111,8 @@ class UpdateBuffer {
     other.dirty_.clear();
     other.senders_.clear();
   }
-  UpdateBuffer& operator=(UpdateBuffer&& other) noexcept {
+  UpdateBuffer& operator=(UpdateBuffer&& other) noexcept
+      NO_THREAD_SAFETY_ANALYSIS {
     if (this != &other) {
       slots_ = std::move(other.slots_);
       dirty_ = std::move(other.dirty_);
@@ -133,7 +135,7 @@ class UpdateBuffer {
   /// span's storage must outlive the buffer's use of it (engines point it
   /// at the partition's fragments, which outlive the run).
   void SetDegreeOffsets(std::span<const uint64_t> offsets) {
-    std::lock_guard<SpinLock> lock(mu_);
+    SpinLockGuard lock(mu_);
     degree_offsets_ = offsets;
     frontier_degree_ = 0;
     for (uint32_t k : dirty_) frontier_degree_ += DegreeOf(k);
@@ -143,7 +145,7 @@ class UpdateBuffer {
   /// push round would traverse" half of the Ligra density signal consumed
   /// by the direction controller. Zero until SetDegreeOffsets is called.
   uint64_t FrontierOutDegree() const {
-    std::lock_guard<SpinLock> lock(mu_);
+    SpinLockGuard lock(mu_);
     return frontier_degree_;
   }
 
@@ -152,7 +154,7 @@ class UpdateBuffer {
   /// threaded engine applies once the buffer's consumer thread is known.
   /// No-op on single-node machines. Call before concurrent use.
   void BindToNumaNode(int node) {
-    std::lock_guard<SpinLock> lock(mu_);
+    SpinLockGuard lock(mu_);
     numa::BindVectorToNode(slots_, node);
     numa::BindVectorToNode(dirty_, node);
   }
@@ -169,7 +171,7 @@ class UpdateBuffer {
   template <typename Combine>
   void AppendEntries(FragmentId from, std::span<const UpdateEntry<V>> entries,
                      Combine&& combine) {
-    std::lock_guard<SpinLock> lock(mu_);
+    SpinLockGuard lock(mu_);
     for (const auto& e : entries) FoldLocked(e, combine);
     ++num_messages_;
     NoteSenderLocked(from);
@@ -177,7 +179,7 @@ class UpdateBuffer {
 
   /// Drains all pending updates (cleared afterwards) in first-touch order.
   std::vector<UpdateEntry<V>> Drain() {
-    std::lock_guard<SpinLock> lock(mu_);
+    SpinLockGuard lock(mu_);
     std::vector<UpdateEntry<V>> out;
     out.reserve(dirty_.size());
     for (uint32_t k : dirty_) {
@@ -193,31 +195,31 @@ class UpdateBuffer {
   }
 
   bool Empty() const {
-    std::lock_guard<SpinLock> lock(mu_);
+    SpinLockGuard lock(mu_);
     return dirty_.empty();
   }
 
   /// Number of buffered (un-drained) messages — the paper's η_i.
   uint64_t NumMessages() const {
-    std::lock_guard<SpinLock> lock(mu_);
+    SpinLockGuard lock(mu_);
     return num_messages_;
   }
 
   /// Number of distinct workers with buffered messages.
   uint64_t NumDistinctSenders() const {
-    std::lock_guard<SpinLock> lock(mu_);
+    SpinLockGuard lock(mu_);
     return senders_.size();
   }
 
   uint64_t NumPendingVertices() const {
-    std::lock_guard<SpinLock> lock(mu_);
+    SpinLockGuard lock(mu_);
     return dirty_.size();
   }
 
   /// Copy of the pending entries without clearing (checkpointing support),
   /// in the same order Drain() would produce.
   std::vector<UpdateEntry<V>> Snapshot() const {
-    std::lock_guard<SpinLock> lock(mu_);
+    SpinLockGuard lock(mu_);
     std::vector<UpdateEntry<V>> out;
     out.reserve(dirty_.size());
     for (uint32_t k : dirty_) out.push_back(slots_[k].entry);
@@ -227,7 +229,7 @@ class UpdateBuffer {
   /// Replaces the buffer content with `entries` (recovery support).
   template <typename Combine>
   void Reset(const std::vector<UpdateEntry<V>>& entries, Combine&& combine) {
-    std::lock_guard<SpinLock> lock(mu_);
+    SpinLockGuard lock(mu_);
     for (uint32_t k : dirty_) slots_[k].dirty = 0;
     dirty_.clear();
     senders_.clear();
@@ -256,7 +258,7 @@ class UpdateBuffer {
   static constexpr uint32_t kMaxAutoGrowKey = 1u << 28;
 
   template <typename Combine>
-  void FoldLocked(const UpdateEntry<V>& e, Combine& combine) {
+  void FoldLocked(const UpdateEntry<V>& e, Combine& combine) REQUIRES(mu_) {
     const uint32_t k = KeyOf(e);
     if (k >= slots_.size()) {
       GRAPE_CHECK(k <= kMaxAutoGrowKey)
@@ -276,7 +278,7 @@ class UpdateBuffer {
     }
   }
 
-  void NoteSenderLocked(FragmentId from) {
+  void NoteSenderLocked(FragmentId from) REQUIRES(mu_) {
     // η_i counts distinct peers, which is bounded by the fragment count —
     // a linear scan over a tiny vector beats a hash set here.
     if (std::find(senders_.begin(), senders_.end(), from) == senders_.end()) {
@@ -284,20 +286,23 @@ class UpdateBuffer {
     }
   }
 
-  uint64_t DegreeOf(uint32_t k) const {
+  uint64_t DegreeOf(uint32_t k) const REQUIRES(mu_) {
     return k + 1 < degree_offsets_.size()
                ? degree_offsets_[k + 1] - degree_offsets_[k]
                : 0;
   }
 
+  /// Capability guarding every mutable member below. The move operations
+  /// are the single (documented) exception to the contract.
   mutable SpinLock mu_;
-  std::vector<Slot> slots_;
-  std::vector<uint32_t> dirty_;  // slot keys in first-touch order
-  uint64_t num_messages_ = 0;
-  std::vector<FragmentId> senders_;
+  std::vector<Slot> slots_ GUARDED_BY(mu_);
+  /// Slot keys in first-touch order.
+  std::vector<uint32_t> dirty_ GUARDED_BY(mu_);
+  uint64_t num_messages_ GUARDED_BY(mu_) = 0;
+  std::vector<FragmentId> senders_ GUARDED_BY(mu_);
   /// Destination fragment's local CSR offsets (frontier-degree tracking).
-  std::span<const uint64_t> degree_offsets_;
-  uint64_t frontier_degree_ = 0;
+  std::span<const uint64_t> degree_offsets_ GUARDED_BY(mu_);
+  uint64_t frontier_degree_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace grape

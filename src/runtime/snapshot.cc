@@ -8,19 +8,19 @@ CheckpointCoordinator::CheckpointCoordinator(uint32_t num_workers)
     : num_workers_(num_workers), snapshotted_token_(num_workers, 0) {}
 
 uint64_t CheckpointCoordinator::StartCheckpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   current_ = next_token_++;
   return current_;
 }
 
 uint64_t CheckpointCoordinator::current_token() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_;
 }
 
 bool CheckpointCoordinator::ShouldSnapshot(FragmentId w, uint64_t token) {
   if (token == 0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   GRAPE_DCHECK(w < num_workers_);
   if (snapshotted_token_[w] >= token) return false;  // already held the token
   snapshotted_token_[w] = token;
@@ -28,12 +28,12 @@ bool CheckpointCoordinator::ShouldSnapshot(FragmentId w, uint64_t token) {
 }
 
 bool CheckpointCoordinator::HasSnapshotted(FragmentId w, uint64_t token) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snapshotted_token_[w] >= token;
 }
 
 void CheckpointCoordinator::NoteLateMessage(FragmentId w, uint64_t token) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   GRAPE_DCHECK(w < num_workers_);
   if (token != late_token_) {
     late_token_ = token;
@@ -43,7 +43,7 @@ void CheckpointCoordinator::NoteLateMessage(FragmentId w, uint64_t token) {
 }
 
 bool CheckpointCoordinator::Complete(uint64_t token) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (uint64_t t : snapshotted_token_) {
     if (t < token) return false;
   }
@@ -51,7 +51,7 @@ bool CheckpointCoordinator::Complete(uint64_t token) const {
 }
 
 uint64_t CheckpointCoordinator::late_messages(uint64_t token) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return token == late_token_ ? late_count_ : 0;
 }
 

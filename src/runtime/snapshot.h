@@ -11,10 +11,10 @@
 #define GRAPEPLUS_RUNTIME_SNAPSHOT_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "util/common.h"
+#include "util/sync.h"
 
 namespace grape {
 
@@ -47,13 +47,14 @@ class CheckpointCoordinator {
   uint64_t late_messages(uint64_t token) const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   uint32_t num_workers_;
-  uint64_t next_token_ = 1;
-  uint64_t current_ = 0;
-  std::vector<uint64_t> snapshotted_token_;  // per worker: last token taken
-  uint64_t late_count_ = 0;
-  uint64_t late_token_ = 0;
+  uint64_t next_token_ GUARDED_BY(mu_) = 1;
+  uint64_t current_ GUARDED_BY(mu_) = 0;
+  /// Per worker: last token taken.
+  std::vector<uint64_t> snapshotted_token_ GUARDED_BY(mu_);
+  uint64_t late_count_ GUARDED_BY(mu_) = 0;
+  uint64_t late_token_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace grape

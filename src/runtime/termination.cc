@@ -10,19 +10,26 @@ TerminationDetector::TerminationDetector(uint32_t num_workers) {
 }
 
 void TerminationDetector::SetActive(FragmentId w) {
+  // order: release — the activity that caused the flip (message delivery,
+  // round start) must be visible to a probe that reads this flag.
   inactive_[w]->store(false, std::memory_order_release);
 }
 
 void TerminationDetector::SetInactive(FragmentId w) {
+  // order: release — the worker's drained-buffer state happens-before a
+  // probe's acquire read of the flag.
   inactive_[w]->store(true, std::memory_order_release);
 }
 
 bool TerminationDetector::IsInactive(FragmentId w) const {
+  // order: acquire pairs with SetActive/SetInactive release stores.
   return inactive_[w]->load(std::memory_order_acquire);
 }
 
 bool TerminationDetector::AllInactive() const {
   for (const auto& f : inactive_) {
+    // order: acquire — see IsInactive; the census must observe the state
+    // each worker published with its flag.
     if (!f->load(std::memory_order_acquire)) return false;
   }
   return true;
@@ -37,6 +44,8 @@ bool TerminationDetector::TryTerminate(const InFlightCounter& inflight) {
   // (A message delivered between the phases flips its target to active,
   // which models that worker answering `wait`.)
   if (!AllInactive() || !inflight.Quiescent()) return false;
+  // order: release pairs with ShouldStop's acquire — the successful probe's
+  // observations happen-before any worker acting on the stop.
   stop_.store(true, std::memory_order_release);
   return true;
 }

@@ -35,10 +35,17 @@ class TerminationDetector {
   bool TryTerminate(const InFlightCounter& inflight);
 
   /// True once a probe succeeded; workers exit their loops.
-  bool ShouldStop() const { return stop_.load(std::memory_order_acquire); }
+  bool ShouldStop() const {
+    // order: acquire pairs with the release store in TryTerminate/ForceStop
+    // so a worker that sees stop also sees the final probe's state.
+    return stop_.load(std::memory_order_acquire);
+  }
 
   /// Unconditional stop (failure injection / tests).
-  void ForceStop() { stop_.store(true, std::memory_order_release); }
+  void ForceStop() {
+    // order: release — publish everything before the stop to exiting workers.
+    stop_.store(true, std::memory_order_release);
+  }
 
   uint32_t num_workers() const { return static_cast<uint32_t>(inactive_.size()); }
   uint64_t probes_attempted() const { return probes_; }

@@ -20,6 +20,8 @@ WorkerPool::WorkerPool(uint32_t num_threads, WorkerPoolOptions opts)
     // immediately after construction.
     if (opts_.pin_threads &&
         PinThreadToCpu(threads_.back(), opts_.topology->CpuForThread(t))) {
+      // order: relaxed — only the constructing thread writes; readers need
+      // atomicity, not ordering (see pinned_threads()).
       pinned_count_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -41,10 +43,10 @@ WorkerPool::WorkerPool(uint32_t num_threads, WorkerPoolOptions opts)
 WorkerPool::~WorkerPool() {
   obs::MetricsRegistry::Global().RemoveCallback(metrics_callback_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -57,7 +59,9 @@ void WorkerPool::Launch(uint32_t n, std::function<void(uint32_t)> fn) {
   job->fn = std::move(fn);
   job->size = n;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    // order: acquire pairs with Drain's acq_rel increments — a full `done`
+    // count means every index's effects are visible here.
     GRAPE_CHECK(!job_ ||
                 job_->done.load(std::memory_order_acquire) == job_->size)
         << "WorkerPool::Launch with a job still in flight";
@@ -73,22 +77,26 @@ void WorkerPool::Launch(uint32_t n, std::function<void(uint32_t)> fn) {
   const uint32_t to_wake =
       std::min(n, static_cast<uint32_t>(threads_.size()));
   if (to_wake == threads_.size()) {
-    job_cv_.notify_all();
+    job_cv_.NotifyAll();
   } else {
-    for (uint32_t i = 0; i < to_wake; ++i) job_cv_.notify_one();
+    for (uint32_t i = 0; i < to_wake; ++i) job_cv_.NotifyOne();
   }
 }
 
 uint32_t WorkerPool::Drain(const std::shared_ptr<Job>& job) {
   uint32_t executed = 0;
   while (true) {
+    // order: relaxed — the cursor only partitions the index space; fn(i)
+    // reads no state published by other claims.
     const uint32_t i = job->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job->size) break;
     job->fn(i);
     ++executed;
+    // order: acq_rel — the final increment publishes every index's work to
+    // the waiter (Wait/Launch read `done` with acquire).
     if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == job->size) {
-      std::lock_guard<std::mutex> lock(mu_);
-      done_cv_.notify_all();
+      MutexLock lock(mu_);
+      done_cv_.NotifyAll();
     }
   }
   return executed;
@@ -100,15 +108,14 @@ void WorkerPool::ThreadLoop(uint32_t t) {
   while (true) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      job_cv_.wait(lock, [&] {
-        return stopping_ || job_epoch_ != seen_epoch;
-      });
+      MutexLock lock(mu_);
+      while (!stopping_ && job_epoch_ == seen_epoch) job_cv_.Wait(mu_);
       if (stopping_) return;
       seen_epoch = job_epoch_;
       job = job_;
     }
     if (Drain(job) == 0) {
+      // order: relaxed — telemetry counter (see spurious_wakeups()).
       spurious_wakeups_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -117,14 +124,16 @@ void WorkerPool::ThreadLoop(uint32_t t) {
 void WorkerPool::Wait() {
   std::shared_ptr<Job> job;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job = job_;
   }
   if (!job) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] {
-    return job->done.load(std::memory_order_acquire) == job->size;
-  });
+  MutexLock lock(mu_);
+  // order: acquire pairs with Drain's final acq_rel increment — when the
+  // count matches, the job's side effects are visible to the caller.
+  while (job->done.load(std::memory_order_acquire) != job->size) {
+    done_cv_.Wait(mu_);
+  }
 }
 
 void WorkerPool::Run(uint32_t n, std::function<void(uint32_t)> fn) {

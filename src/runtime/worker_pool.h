@@ -7,13 +7,13 @@
 #define GRAPEPLUS_RUNTIME_WORKER_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace grape {
 
@@ -57,6 +57,8 @@ class WorkerPool {
   /// spent — the waste metric of the old notify_all() enqueue (which woke
   /// every idle thread for a 1-index job). Cumulative over the pool's life.
   uint64_t spurious_wakeups() const {
+    // order: relaxed — monotonic telemetry counter, no data is published
+    // through it.
     return spurious_wakeups_.load(std::memory_order_relaxed);
   }
 
@@ -67,6 +69,8 @@ class WorkerPool {
 
   /// Number of threads whose pin request actually took effect.
   uint32_t pinned_threads() const {
+    // order: relaxed — final before the constructor returns (pins happen on
+    // the constructing thread); later reads only need atomicity.
     return pinned_count_.load(std::memory_order_relaxed);
   }
 
@@ -89,12 +93,14 @@ class WorkerPool {
   WorkerPoolOptions opts_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable job_cv_;    // pool threads wait here for a job
-  std::condition_variable done_cv_;   // Wait() blocks here
-  std::shared_ptr<Job> job_;          // current job; null before first Launch
-  uint64_t job_epoch_ = 0;            // bumps on every Launch
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar job_cv_;   // pool threads wait here for a job
+  CondVar done_cv_;  // Wait() blocks here
+  /// Current job; null before the first Launch. The shared_ptr is guarded;
+  /// the pointed-to Job is synchronised by its own atomics.
+  std::shared_ptr<Job> job_ GUARDED_BY(mu_);
+  uint64_t job_epoch_ GUARDED_BY(mu_) = 0;  // bumps on every Launch
+  bool stopping_ GUARDED_BY(mu_) = false;
 
   std::atomic<uint64_t> spurious_wakeups_{0};
   std::atomic<uint32_t> pinned_count_{0};

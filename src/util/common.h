@@ -8,6 +8,8 @@
 #include <cstddef>
 #include <limits>
 
+#include "util/thread_annotations.h"
+
 namespace grape {
 
 /// Global vertex identifier. Graphs in this reproduction are container-scale,
@@ -38,25 +40,55 @@ inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
 /// message hot path, where a std::mutex is both too heavy and — being
 /// immovable — forces heap indirection on buffers stored in vectors.
 /// Moves do not transfer lock state: both sides end up unlocked, so a
-/// moved-from object remains fully usable.
-class SpinLock {
+/// moved-from object remains fully usable. A capability to the Clang
+/// thread-safety analysis: lock with SpinLockGuard so GUARDED_BY contracts
+/// on the protected state are checked.
+class CAPABILITY("mutex") SpinLock {
  public:
   SpinLock() = default;
-  SpinLock(SpinLock&&) noexcept {}
-  SpinLock& operator=(SpinLock&&) noexcept { return *this; }
+  // Moving is only legal while neither side is (or can become) locked —
+  // the same single-ownership window in which the containing object may be
+  // moved at all — so lock state is intentionally not transferred and the
+  // analysis is waived for the pair.
+  SpinLock(SpinLock&&) noexcept NO_THREAD_SAFETY_ANALYSIS {}
+  SpinLock& operator=(SpinLock&&) noexcept NO_THREAD_SAFETY_ANALYSIS {
+    return *this;
+  }
 
-  void lock() noexcept {
+  void lock() noexcept ACQUIRE() {
     while (flag_.test_and_set(std::memory_order_acquire)) {
+      // order: acquire on the winning test_and_set pairs with the release
+      // in unlock() — the critical section's writes happen-before ours.
 #if defined(__cpp_lib_atomic_flag_test)
+      // order: relaxed — read-only contention backoff; the eventual
+      // test_and_set above is what synchronises.
       while (flag_.test(std::memory_order_relaxed)) {
       }
 #endif
     }
   }
-  void unlock() noexcept { flag_.clear(std::memory_order_release); }
+  // order: release publishes the critical section to the next acquirer.
+  void unlock() noexcept RELEASE() { flag_.clear(std::memory_order_release); }
+  bool try_lock() noexcept TRY_ACQUIRE(true) {
+    // order: acquire iff the flag was clear — same pairing as lock().
+    return !flag_.test_and_set(std::memory_order_acquire);
+  }
 
  private:
   std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// RAII scoped acquisition of a SpinLock (the analysis-visible counterpart
+/// of std::lock_guard<SpinLock>, which libstdc++ does not annotate).
+class SCOPED_CAPABILITY SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~SpinLockGuard() RELEASE() { mu_.unlock(); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& mu_;
 };
 
 /// Disallow copy & assign; inherit privately or place in class body via macro.

@@ -3,13 +3,14 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace grape {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;
 const char* LevelName(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "D";
@@ -38,7 +39,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(g_log_mutex);
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
     std::fflush(stderr);
   }

@@ -1,0 +1,109 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Annotated synchronisation primitives: thin wrappers over std::mutex /
+// std::condition_variable that carry Clang thread-safety capability
+// annotations (util/thread_annotations.h). libstdc++'s std::mutex and
+// std::lock_guard are invisible to the analysis; routing every blocking
+// lock in the runtime through these wrappers is what makes GUARDED_BY
+// contracts machine-checked on the Clang CI legs.
+//
+// Conventions (docs/STATIC_ANALYSIS.md):
+//   * Lock with MutexLock (RAII) wherever possible; Lock()/Unlock() exist
+//     for the rare split acquire.
+//   * Condition waits are explicit while-loops over the guarded predicate:
+//       MutexLock lock(mu_);
+//       while (!pred_over_guarded_state) cv_.Wait(mu_);
+//     (not a predicate lambda — a lambda body is a separate function to the
+//     analysis and would need its own REQUIRES annotation).
+//   * CondVar::Wait atomically releases and reacquires the Mutex, like
+//     std::condition_variable::wait; the capability is held again when it
+//     returns, which is exactly what REQUIRES(mu) expresses.
+#ifndef GRAPEPLUS_UTIL_SYNC_H_
+#define GRAPEPLUS_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace grape {
+
+/// An annotated std::mutex. Non-reentrant; see CondVar for waiting.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped acquisition of a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over Mutex. Waits adopt the externally held lock for
+/// the duration of the underlying std::condition_variable wait and hand it
+/// back on return, so the capability annotations stay truthful: the caller
+/// holds `mu` before and after every Wait*.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. `mu` must be held; it is released while
+  /// blocked and reacquired before returning (spurious wakeups possible —
+  /// always wait in a predicate loop).
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // the caller keeps holding mu
+  }
+
+  /// Timed wait; returns std::cv_status::timeout when `dur` elapsed first.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& dur)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const std::cv_status s = cv_.wait_for(lk, dur);
+    lk.release();
+    return s;
+  }
+
+  /// Deadline wait; returns std::cv_status::timeout once `tp` has passed.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(Mutex& mu,
+                           const std::chrono::time_point<Clock, Duration>& tp)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const std::cv_status s = cv_.wait_until(lk, tp);
+    lk.release();
+    return s;
+  }
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_UTIL_SYNC_H_

@@ -1,0 +1,80 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Clang thread-safety-analysis annotation macros (no-ops on other
+// compilers). They turn the repo's locking contracts into machine-checked
+// documentation: a field tagged GUARDED_BY(mu_) cannot be read or written
+// without holding mu_, a helper tagged REQUIRES(mu_) cannot be called
+// without it, and the Clang CI legs compile with
+//   -Wthread-safety -Wthread-safety-beta -Werror=thread-safety-analysis
+// so violations fail the build (see docs/STATIC_ANALYSIS.md for the
+// conventions and the capability map; tests/thread_safety_neg.cc proves the
+// macros stay live on Clang).
+//
+// Naming follows the canonical capability vocabulary of the Clang docs
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html): a *capability*
+// is something a thread can hold (a mutex), ACQUIRE/RELEASE transfer it,
+// REQUIRES demands it, EXCLUDES forbids it (for non-reentrant locks),
+// GUARDED_BY binds data to it.
+#ifndef GRAPEPLUS_UTIL_THREAD_ANNOTATIONS_H_
+#define GRAPEPLUS_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define GRAPE_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define GRAPE_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (lock) type. The string is the kind shown
+/// in diagnostics ("mutex").
+#define CAPABILITY(x) GRAPE_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (our MutexLock / SpinLockGuard).
+#define SCOPED_CAPABILITY GRAPE_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data members: may only be accessed while holding the given capability.
+#define GUARDED_BY(x) GRAPE_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer members: the *pointee* is protected by the capability (the
+/// pointer itself is not).
+#define PT_GUARDED_BY(x) GRAPE_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Functions: callers must hold the capability (it is not acquired or
+/// released by the call). This is how `FooLocked()` helpers are marked.
+#define REQUIRES(...) \
+  GRAPE_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Functions: acquire the capability on entry, hold it on return.
+#define ACQUIRE(...) \
+  GRAPE_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Functions: release the capability held on entry.
+#define RELEASE(...) \
+  GRAPE_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Functions: acquire the capability iff the returned value equals the
+/// first macro argument (true for try_lock-style APIs).
+#define TRY_ACQUIRE(...) \
+  GRAPE_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Functions: the caller must NOT hold the capability (deadlock guard for
+/// non-reentrant locks; e.g. metric registration must not run inside a
+/// snapshot callback).
+#define EXCLUDES(...) \
+  GRAPE_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Functions: assert (at runtime) that the capability is already held —
+/// informs the analysis without acquiring.
+#define ASSERT_CAPABILITY(x) \
+  GRAPE_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Functions returning a reference to a capability (lock accessors).
+#define RETURN_CAPABILITY(x) \
+  GRAPE_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: the function's locking is intentionally outside the
+/// analysis's vocabulary. Every use carries a comment saying why (e.g.
+/// UpdateBuffer moves, which bypass both sides' locks by contract).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  GRAPE_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // GRAPEPLUS_UTIL_THREAD_ANNOTATIONS_H_

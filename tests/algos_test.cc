@@ -89,10 +89,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("hash", "range", "ldg"),
                        ::testing::Values(2, 5, 9),
                        ::testing::Values(1, 2)),
-    [](const auto& info) {
-      return std::string(std::get<0>(info.param)) + "_m" +
-             std::to_string(std::get<1>(info.param)) + "_s" +
-             std::to_string(std::get<2>(info.param));
+    [](const auto& p) {
+      return std::string(std::get<0>(p.param)) + "_m" +
+             std::to_string(std::get<1>(p.param)) + "_s" +
+             std::to_string(std::get<2>(p.param));
     });
 
 // ------------------------------------------------------------------- CC ---

@@ -115,9 +115,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Mode::kBsp, Mode::kAp, Mode::kSsp,
                                          Mode::kAap, Mode::kHsync),
                        ::testing::Values(1u, 2u, 3u, 4u)),
-    [](const auto& info) {
-      return ModeName(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& p) {
+      return ModeName(std::get<0>(p.param)) + "_seed" +
+             std::to_string(std::get<1>(p.param));
     });
 
 }  // namespace

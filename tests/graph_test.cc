@@ -47,8 +47,8 @@ TEST(GraphBuilder, AdjacencySorted) {
   Graph g = std::move(b).Build();
   auto edges = g.OutEdges(0);
   EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end(),
-                             [](const Arc& a, const Arc& b) {
-                               return a.dst < b.dst;
+                             [](const Arc& x, const Arc& y) {
+                               return x.dst < y.dst;
                              }));
 }
 

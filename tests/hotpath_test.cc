@@ -233,11 +233,11 @@ TEST_P(RoutingIndexProperty, MatchesReferenceRecipientsOnRandomPartitions) {
 INSTANTIATE_TEST_SUITE_P(Random, RoutingIndexProperty,
                          ::testing::Combine(::testing::Values(1, 2, 3),
                                             ::testing::Values(2, 5, 9)),
-                         [](const auto& info) {
+                         [](const auto& p) {
                            return "seed" +
-                                  std::to_string(std::get<0>(info.param)) +
+                                  std::to_string(std::get<0>(p.param)) +
                                   "_m" +
-                                  std::to_string(std::get<1>(info.param));
+                                  std::to_string(std::get<1>(p.param));
                          });
 
 // -------------------------------------------------------- worker pool ---

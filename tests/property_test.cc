@@ -94,11 +94,11 @@ TEST_P(PartitionProperty, RoutingIndexMatchesCopyLocations) {
 INSTANTIATE_TEST_SUITE_P(Random, PartitionProperty,
                          ::testing::Combine(::testing::Values(1, 2, 3, 4),
                                             ::testing::Values(2, 7)),
-                         [](const auto& info) {
+                         [](const auto& p) {
                            return "seed" +
-                                  std::to_string(std::get<0>(info.param)) +
+                                  std::to_string(std::get<0>(p.param)) +
                                   "_m" +
-                                  std::to_string(std::get<1>(info.param));
+                                  std::to_string(std::get<1>(p.param));
                          });
 
 // ------------------------------------------------------- buffer algebra ---

@@ -1,0 +1,36 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Negative-compile fixture for the thread-safety gate: this translation
+// unit is VALID C++ but violates the GUARDED_BY contract on purpose, so it
+// must FAIL to compile under Clang with -Werror=thread-safety-analysis and
+// compile cleanly without it (the positive control proving the gate is the
+// analysis, not a stray syntax error). Driven by cmake/thread_safety_neg.cmake
+// as the `thread_safety_neg` ctest on Clang toolchains; NOT part of the
+// normal test glob (excluded in CMakeLists.txt).
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    grape::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  // BAD on purpose: reads a GUARDED_BY(mu_) field without holding mu_.
+  // Clang: "reading variable 'balance_' requires holding mutex 'mu_'".
+  int UnsafePeek() const { return balance_; }
+
+ private:
+  mutable grape::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  return a.UnsafePeek() == 1 ? 0 : 1;
+}

@@ -1,0 +1,376 @@
+#!/usr/bin/env python3
+"""Project-invariant linter for the GRAPE+ reproduction.
+
+Checks the contracts that neither the compiler nor clang-tidy can express:
+
+  R1 order-comment     every explicit std::memory_order_* use carries an
+                       adjacent `// order:` justification comment (same line,
+                       up to 3 lines above, or the line directly below).
+  R2 raw-alloc         no raw `new` / `delete` / `malloc` family calls
+                       outside the approved-files list (leaked singletons).
+  R3 metric-names      metric/trace name literals used in src/ appear in the
+                       docs/OBSERVABILITY.md catalogue (dynamic names match
+                       `<placeholder>` patterns or literal suffixes).
+  R4 dcheck-pure       GRAPE_DCHECK arguments have no side effects
+                       (debug-only checks compile out of release builds).
+  R5 include-guards    headers use the canonical GRAPEPLUS_<PATH>_H_ guard.
+
+Findings print gcc-style (`path:line:col: error: msg [rule]`) so CI problem
+matchers pick them up. Exit status: 0 clean, 1 findings, 2 usage error.
+
+Run from anywhere: `python3 tools/lint_grapeplus.py [--root REPO]`.
+Tested by tools/lint_grapeplus_test.py (both are ctest entries).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# Files allowed to use raw allocation, with the reason on record.
+R2_APPROVED = {
+    "src/obs/metrics.cc",   # leaked Global() registry (thread-exit hooks)
+    "src/obs/trace.cc",     # leaked Global() tracer (atexit recording)
+}
+
+# How far above a memory_order use an `// order:` comment may sit.
+R1_LOOKBACK = 3
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replaces comment/string contents with spaces, preserving offsets.
+
+    Newlines inside block comments survive so line numbers stay valid.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            chunk = text[i:j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    break
+                j += 1
+            out.append(quote + " " * (j - i - 1) + (text[j] if j < n else ""))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: str, line: int, col: int, msg: str, rule: str):
+        self.path, self.line, self.col = path, line, col
+        self.msg, self.rule = msg, rule
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: error: "
+                f"{self.msg} [{self.rule}]")
+
+
+def iter_files(root: str, subdirs, exts):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if os.path.splitext(name)[1] in exts:
+                    yield os.path.join(dirpath, name)
+
+
+def rel(root: str, path: str) -> str:
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+# ----------------------------------------------------------------- R1 ------
+
+
+def check_order_comments(root: str, path: str, text: str):
+    findings = []
+    lines = text.split("\n")
+    code = strip_comments_and_strings(text).split("\n")
+    for idx, code_line in enumerate(code):
+        m = re.search(r"\bmemory_order_\w+", code_line)
+        if not m:
+            continue
+        lo = max(0, idx - R1_LOOKBACK)
+        window = lines[lo:idx + 2]  # lookback + same line + one below
+        if not any("// order:" in w for w in window):
+            findings.append(Finding(
+                rel(root, path), idx + 1, m.start() + 1,
+                f"'{m.group(0)}' has no adjacent '// order:' justification "
+                f"(within {R1_LOOKBACK} lines above or 1 below)",
+                "grape-lint-order-comment"))
+    return findings
+
+
+# ----------------------------------------------------------------- R2 ------
+
+
+def check_raw_alloc(root: str, path: str, text: str):
+    rpath = rel(root, path)
+    if rpath in R2_APPROVED:
+        return []
+    findings = []
+    code = strip_comments_and_strings(text).split("\n")
+    for idx, line in enumerate(code):
+        # Deleted special members: `= delete;` / `= delete ;`.
+        scrubbed = re.sub(r"=\s*delete\b", "", line)
+        for pat, what in [
+            (re.compile(r"\bnew\b"), "new"),
+            (re.compile(r"\bdelete\b"), "delete"),
+            (re.compile(r"\b(?:malloc|calloc|realloc|free)\s*\("),
+             "malloc/calloc/realloc/free"),
+        ]:
+            m = pat.search(scrubbed)
+            if m:
+                findings.append(Finding(
+                    rpath, idx + 1, m.start() + 1,
+                    f"raw '{what}' outside the approved-files list "
+                    f"(use containers / smart pointers, or add the file to "
+                    f"R2_APPROVED in tools/lint_grapeplus.py with a reason)",
+                    "grape-lint-raw-alloc"))
+    return findings
+
+
+# ----------------------------------------------------------------- R3 ------
+
+
+def load_catalogue(doc_text: str):
+    """Backticked names from OBSERVABILITY.md.
+
+    Table cells may abbreviate siblings: `a.b.hits` / `.misses` expands the
+    relative token against the previous absolute one. `<placeholder>` parts
+    become match-anything pattern segments.
+    """
+    names, patterns = set(), []
+    for line in doc_text.split("\n"):
+        tokens = re.findall(r"`([^`]+)`", line)
+        prev_abs = None
+        for tok in tokens:
+            tok = tok.strip()
+            if not re.fullmatch(r"[A-Za-z0-9_.<>-]+", tok):
+                continue
+            if tok.startswith(".") and prev_abs:
+                tok = prev_abs.rsplit(".", 1)[0] + tok
+            elif "." in tok or tok.islower():
+                prev_abs = tok
+            if "<" in tok:
+                # re.escape leaves < > unescaped (they are not regex-special).
+                pat = re.escape(tok)
+                pat = re.sub(r"<[^>]*>", r"[A-Za-z0-9_]+", pat)
+                patterns.append(re.compile(r"^" + pat + r"$"))
+            else:
+                names.add(tok)
+    return names, patterns
+
+
+def catalogued(name: str, names, patterns) -> bool:
+    if name in names:
+        return True
+    return any(p.match(name) for p in patterns)
+
+
+METRIC_SITE = re.compile(
+    r"(?:GetCounter|GetHistogram|SetGauge)\s*\(\s*\"([^\"]+)\"\s*[,)]"
+    r"|(?:counters|gauges|histograms)\[\s*\"([^\"]+)\"\s*\]")
+METRIC_SUFFIX_SITE = re.compile(
+    r"(?:GetCounter|GetHistogram|SetGauge)\s*\(\s*\w+\s*\+\s*\"([^\"]+)\"")
+
+
+def check_metric_names(root: str, src_files, names, patterns):
+    findings = []
+    trace_cc = None
+    for path in src_files:
+        text = open(path, encoding="utf-8").read()
+        rpath = rel(root, path)
+        if rpath == "src/obs/trace.cc":
+            trace_cc = (path, text)
+        for idx, line in enumerate(text.split("\n")):
+            for m in METRIC_SITE.finditer(line):
+                name = m.group(1) or m.group(2)
+                if not catalogued(name, names, patterns):
+                    findings.append(Finding(
+                        rpath, idx + 1, m.start() + 1,
+                        f"metric name '{name}' is not in the "
+                        f"docs/OBSERVABILITY.md catalogue",
+                        "grape-lint-metric-names"))
+            for m in METRIC_SUFFIX_SITE.finditer(line):
+                suffix = m.group(1)
+                ok = any(n.endswith(suffix) for n in names) or any(
+                    p.pattern.endswith(re.escape(suffix) + "$")
+                    for p in patterns)
+                if not ok:
+                    findings.append(Finding(
+                        rpath, idx + 1, m.start() + 1,
+                        f"dynamically-composed metric suffix '{suffix}' "
+                        f"matches nothing in the docs/OBSERVABILITY.md "
+                        f"catalogue",
+                        "grape-lint-metric-names"))
+    # Trace kind names: each `case ...: return "name";` of TraceKindName.
+    if trace_cc is not None:
+        path, text = trace_cc
+        for m in re.finditer(
+                r"case\s+TraceKind::\w+:\s*\n\s*return\s+\"([^\"]+)\";",
+                text):
+            name = m.group(1)
+            if not catalogued(name, names, patterns):
+                line = text[:m.start()].count("\n") + 1
+                findings.append(Finding(
+                    rel(root, path), line, 1,
+                    f"trace kind name '{name}' is not documented in "
+                    f"docs/OBSERVABILITY.md",
+                    "grape-lint-metric-names"))
+    return findings
+
+
+# ----------------------------------------------------------------- R4 ------
+
+
+MUTATOR_CALL = re.compile(
+    r"\.(?:push_back|emplace_back|pop_back|erase|insert|clear|resize|"
+    r"reserve|reset|release|swap|store|exchange|fetch_add|fetch_sub|"
+    r"notify_one|notify_all|lock|unlock)\s*\(")
+
+
+def dcheck_args(code_line_join: str, start: int):
+    """Extracts the balanced-paren argument text of a DCHECK at `start`."""
+    depth = 0
+    for i in range(start, len(code_line_join)):
+        c = code_line_join[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return code_line_join[code_line_join.find("(", start) + 1:i]
+    return None
+
+
+def check_dcheck_purity(root: str, path: str, text: str):
+    findings = []
+    code = strip_comments_and_strings(text)
+    for m in re.finditer(r"\bGRAPE_DCHECK\s*\(", code):
+        args = dcheck_args(code, m.start())
+        if args is None:
+            continue
+        line = code[:m.start()].count("\n") + 1
+        problems = []
+        if re.search(r"\+\+|--", args):
+            problems.append("increment/decrement")
+        # Assignment: `=` not part of ==, !=, <=, >=.
+        if re.search(r"(?<![=!<>])=(?!=)", args):
+            problems.append("assignment")
+        cm = MUTATOR_CALL.search(args)
+        if cm:
+            problems.append(f"mutating call '{cm.group(0).strip()[:-1]}'")
+        if problems:
+            findings.append(Finding(
+                rel(root, path), line, m.start() - code.rfind("\n", 0, m.start()),
+                f"GRAPE_DCHECK argument has side effects "
+                f"({', '.join(problems)}): debug-only checks compile out of "
+                f"release builds",
+                "grape-lint-dcheck-pure"))
+    return findings
+
+
+# ----------------------------------------------------------------- R5 ------
+
+
+def expected_guard(root: str, path: str) -> str:
+    rpath = rel(root, path)
+    stem = re.sub(r"[./-]", "_", rpath[len("src/"):] if rpath.startswith("src/")
+                  else rpath)
+    return "GRAPEPLUS_" + stem.upper() + "_"
+
+
+def check_include_guard(root: str, path: str, text: str):
+    guard = expected_guard(root, path)
+    findings = []
+    rpath = rel(root, path)
+    m_ifndef = re.search(r"^#ifndef\s+(\S+)", text, re.M)
+    m_define = re.search(r"^#define\s+(\S+)", text, re.M)
+    if not m_ifndef or not m_define:
+        findings.append(Finding(rpath, 1, 1,
+                                f"missing include guard (expected {guard})",
+                                "grape-lint-include-guard"))
+        return findings
+    for m, what in ((m_ifndef, "#ifndef"), (m_define, "#define")):
+        if m.group(1) != guard:
+            findings.append(Finding(
+                rpath, text[:m.start()].count("\n") + 1, 1,
+                f"{what} uses '{m.group(1)}', expected canonical "
+                f"guard '{guard}'",
+                "grape-lint-include-guard"))
+    return findings
+
+
+# --------------------------------------------------------------- driver ----
+
+
+def run(root: str) -> int:
+    src_files = sorted(iter_files(root, ["src"], {".h", ".cc"}))
+    test_files = sorted(iter_files(root, ["tests"], {".h", ".cc"}))
+    if not src_files:
+        print(f"lint_grapeplus: no sources under {root}/src", file=sys.stderr)
+        return 2
+    doc_path = os.path.join(root, "docs", "OBSERVABILITY.md")
+    try:
+        names, patterns = load_catalogue(
+            open(doc_path, encoding="utf-8").read())
+    except OSError:
+        print(f"lint_grapeplus: cannot read {doc_path}", file=sys.stderr)
+        return 2
+
+    findings = []
+    for path in src_files:
+        text = open(path, encoding="utf-8").read()
+        findings += check_order_comments(root, path, text)
+        findings += check_raw_alloc(root, path, text)
+        findings += check_dcheck_purity(root, path, text)
+        if path.endswith(".h"):
+            findings += check_include_guard(root, path, text)
+    for path in test_files:
+        text = open(path, encoding="utf-8").read()
+        findings += check_dcheck_purity(root, path, text)
+    findings += check_metric_names(root, src_files, names, patterns)
+
+    for f in findings:
+        print(f)
+    n = len(findings)
+    print(f"lint_grapeplus: {n} finding{'s' if n != 1 else ''} in "
+          f"{len(src_files) + len(test_files)} files", file=sys.stderr)
+    return 1 if findings else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: the linter's grandparent)")
+    args = ap.parse_args()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    return run(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

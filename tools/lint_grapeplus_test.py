@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/lint_grapeplus.py (a ctest entry).
+
+Each rule gets a positive fixture (violating code → must be flagged) and a
+negative fixture (conforming code → must pass). Fixtures are written into a
+synthetic repo tree under a temp dir so the linter runs exactly as it does
+against the real tree.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import lint_grapeplus as lint  # noqa: E402
+
+
+OBSERVABILITY_MD = """# Observability
+
+| name | type |
+| --- | --- |
+| `runtime.pool.threads` | gauge |
+| `a.b.hits` / `.misses` | gauge |
+| `perf.<phase>.cycles` / `.ipc` | gauge |
+
+Kinds: `superstep`, `phase`.
+"""
+
+
+class LintFixtureCase(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.root = self.tmp.name
+        os.makedirs(os.path.join(self.root, "src"))
+        os.makedirs(os.path.join(self.root, "tests"))
+        os.makedirs(os.path.join(self.root, "docs"))
+        self.write("docs/OBSERVABILITY.md", OBSERVABILITY_MD)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, rpath, content):
+        path = os.path.join(self.root, rpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+        return path
+
+    def lint_file(self, rpath, content, checker):
+        path = self.write(rpath, content)
+        return checker(self.root, path, open(path, encoding="utf-8").read())
+
+    def rules(self, findings):
+        return [f.rule for f in findings]
+
+    # ------------------------------------------------------------ R1 ----
+
+    def test_r1_flags_bare_memory_order(self):
+        findings = self.lint_file("src/a.cc", """
+void f(std::atomic<int>& a) {
+  a.store(1, std::memory_order_release);
+}
+""", lint.check_order_comments)
+        self.assertEqual(self.rules(findings), ["grape-lint-order-comment"])
+
+    def test_r1_accepts_adjacent_comment(self):
+        findings = self.lint_file("src/b.cc", """
+void f(std::atomic<int>& a) {
+  // order: release — publishes the init to readers.
+  a.store(1, std::memory_order_release);
+  a.store(2, std::memory_order_release);  // order: same as above
+}
+
+bool g(std::atomic<int>& a) {
+  int expected = 0;
+  return a.compare_exchange_weak(expected, 1, std::memory_order_acquire);
+  // order: acquire — the line directly below the use also counts.
+}
+""", lint.check_order_comments)
+        self.assertEqual(findings, [])
+
+    def test_r1_ignores_commented_out_code(self):
+        findings = self.lint_file("src/c.cc", """
+// a.store(1, std::memory_order_release);
+/* a.load(std::memory_order_acquire); */
+""", lint.check_order_comments)
+        self.assertEqual(findings, [])
+
+    def test_r1_comment_too_far_above(self):
+        findings = self.lint_file("src/d.cc", """
+void f(std::atomic<int>& a) {
+  // order: release — too far from the use.
+  int x = 0;
+  int y = 1;
+  int z = 2;
+  a.store(x + y + z, std::memory_order_release);
+}
+""", lint.check_order_comments)
+        self.assertEqual(self.rules(findings), ["grape-lint-order-comment"])
+
+    # ------------------------------------------------------------ R2 ----
+
+    def test_r2_flags_new_delete_malloc(self):
+        findings = self.lint_file("src/alloc.cc", """
+void f() {
+  int* p = new int[4];
+  delete[] p;
+  void* q = malloc(16);
+  free(q);
+}
+""", lint.check_raw_alloc)
+        self.assertEqual(len(findings), 4)  # new, delete, malloc, free
+        self.assertTrue(all(r == "grape-lint-raw-alloc"
+                            for r in self.rules(findings)))
+
+    def test_r2_allows_deleted_functions_and_containers(self):
+        findings = self.lint_file("src/clean.cc", """
+struct S {
+  S(const S&) = delete;
+  S& operator=(const S&) = delete;
+};
+void f() {
+  auto p = std::make_unique<int>(3);  // the word 'new' appears nowhere
+  std::vector<int> v;
+  v.push_back(1);  // renewal of interest in newlines is fine
+}
+""", lint.check_raw_alloc)
+        self.assertEqual(findings, [])
+
+    def test_r2_approved_file_passes(self):
+        rpath = sorted(lint.R2_APPROVED)[0]
+        findings = self.lint_file(rpath, """
+static Thing* g = new Thing();
+""", lint.check_raw_alloc)
+        self.assertEqual(findings, [])
+
+    def test_r2_ignores_comments_and_strings(self):
+        findings = self.lint_file("src/e.cc", """
+// new allocations are forbidden here; delete nothing
+const char* s = "new delete malloc(");
+""", lint.check_raw_alloc)
+        self.assertEqual(findings, [])
+
+    # ------------------------------------------------------------ R3 ----
+
+    def catalogue(self):
+        return lint.load_catalogue(OBSERVABILITY_MD)
+
+    def test_r3_catalogue_expansion(self):
+        names, patterns = self.catalogue()
+        self.assertIn("runtime.pool.threads", names)
+        self.assertIn("a.b.hits", names)
+        self.assertIn("a.b.misses", names)  # relative `.misses` expanded
+        self.assertTrue(lint.catalogued("perf.engine.cycles", names,
+                                        patterns))
+        self.assertTrue(lint.catalogued("perf.engine.ipc", names, patterns))
+        self.assertFalse(lint.catalogued("perf.engine.nope", names,
+                                         patterns))
+
+    def test_r3_flags_undocumented_metric(self):
+        path = self.write("src/m.cc", """
+void f(Reg& reg) {
+  reg.SetGauge("runtime.pool.threads", 1.0);  // documented: ok
+  reg.SetGauge("runtime.pool.bogus", 2.0);    // undocumented: flagged
+}
+""")
+        names, patterns = self.catalogue()
+        findings = lint.check_metric_names(self.root, [path], names,
+                                           patterns)
+        self.assertEqual(self.rules(findings), ["grape-lint-metric-names"])
+        self.assertIn("runtime.pool.bogus", findings[0].msg)
+
+    def test_r3_suffix_composition(self):
+        path = self.write("src/p.cc", """
+void f(Reg& reg, const std::string& prefix) {
+  reg.SetGauge(prefix + "cycles", 1.0);  // matches perf.<phase>.cycles
+  reg.SetGauge(prefix + "bogus_suffix", 2.0);
+}
+""")
+        names, patterns = self.catalogue()
+        findings = lint.check_metric_names(self.root, [path], names,
+                                           patterns)
+        self.assertEqual(self.rules(findings), ["grape-lint-metric-names"])
+        self.assertIn("bogus_suffix", findings[0].msg)
+
+    def test_r3_trace_kind_names(self):
+        path = self.write("src/obs/trace.cc", """
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSuperstep:
+      return "superstep";
+    case TraceKind::kPhase:
+      return "phase";
+    case TraceKind::kMystery:
+      return "mystery_kind";
+  }
+  return "unknown";  // fallback, deliberately not checked
+}
+""")
+        names, patterns = self.catalogue()
+        findings = lint.check_metric_names(self.root, [path], names,
+                                           patterns)
+        self.assertEqual(self.rules(findings), ["grape-lint-metric-names"])
+        self.assertIn("mystery_kind", findings[0].msg)
+
+    # ------------------------------------------------------------ R4 ----
+
+    def test_r4_flags_side_effects(self):
+        findings = self.lint_file("src/dc.cc", """
+void f(int i, std::vector<int>& v) {
+  GRAPE_DCHECK(i++ < 4);
+  GRAPE_DCHECK(v.size() == (n = 3));
+  GRAPE_DCHECK(v.push_back(1), true);
+}
+""", lint.check_dcheck_purity)
+        self.assertEqual(len(findings), 3)
+        self.assertTrue(all(r == "grape-lint-dcheck-pure"
+                            for r in self.rules(findings)))
+
+    def test_r4_accepts_pure_predicates(self):
+        findings = self.lint_file("src/dcok.cc", """
+void f(uint32_t w, uint32_t n, const std::vector<int>& v) {
+  GRAPE_DCHECK(w < n);
+  GRAPE_DCHECK(v.size() >= 1 && v.back() != 0);
+  GRAPE_DCHECK(a == b);
+  GRAPE_DCHECK(a <= b);
+  GRAPE_DCHECK(x >= y);
+  GRAPE_DCHECK(p != nullptr);
+}
+""", lint.check_dcheck_purity)
+        self.assertEqual(findings, [])
+
+    def test_r4_multiline_dcheck(self):
+        findings = self.lint_file("src/dcml.cc", """
+void f(uint32_t v, const C& c) {
+  GRAPE_DCHECK(v >= c.begin &&
+               v < c.end);
+}
+""", lint.check_dcheck_purity)
+        self.assertEqual(findings, [])
+
+    # ------------------------------------------------------------ R5 ----
+
+    def test_r5_canonical_guard_passes(self):
+        findings = self.lint_file("src/runtime/thing.h", """
+#ifndef GRAPEPLUS_RUNTIME_THING_H_
+#define GRAPEPLUS_RUNTIME_THING_H_
+#endif  // GRAPEPLUS_RUNTIME_THING_H_
+""", lint.check_include_guard)
+        self.assertEqual(findings, [])
+
+    def test_r5_wrong_guard_flagged(self):
+        findings = self.lint_file("src/runtime/wrong.h", """
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+#endif
+""", lint.check_include_guard)
+        self.assertEqual(len(findings), 2)  # ifndef and define both wrong
+        self.assertTrue(all(r == "grape-lint-include-guard"
+                            for r in self.rules(findings)))
+
+    def test_r5_missing_guard_flagged(self):
+        findings = self.lint_file("src/runtime/none.h", """
+#pragma once
+""", lint.check_include_guard)
+        self.assertEqual(self.rules(findings), ["grape-lint-include-guard"])
+
+    # ------------------------------------------------------- plumbing ----
+
+    def test_strip_preserves_offsets(self):
+        text = 'int a; // new\nconst char* s = "delete";\nint b;\n'
+        stripped = lint.strip_comments_and_strings(text)
+        self.assertEqual(len(stripped), len(text))
+        self.assertEqual(stripped.count("\n"), text.count("\n"))
+        self.assertNotIn("new", stripped)
+        self.assertNotIn("delete", stripped)
+
+    def test_run_end_to_end_clean_tree(self):
+        self.write("src/ok.h", """
+#ifndef GRAPEPLUS_OK_H_
+#define GRAPEPLUS_OK_H_
+#endif  // GRAPEPLUS_OK_H_
+""")
+        self.write("src/ok.cc", """
+#include "ok.h"
+void f(std::atomic<int>& a) {
+  // order: relaxed — test fixture.
+  a.store(1, std::memory_order_relaxed);
+}
+""")
+        self.assertEqual(lint.run(self.root), 0)
+
+    def test_run_end_to_end_dirty_tree(self):
+        self.write("src/bad.cc", "int* p = new int;\n")
+        self.assertEqual(lint.run(self.root), 1)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
