@@ -42,6 +42,7 @@
 #include "algos/cf.h"
 #include "algos/pagerank.h"
 #include "algos/pagerank_pull.h"
+#include "core/async_engine.h"
 #include "core/sim_engine.h"
 #include "core/threaded_engine.h"
 #include "graph/chunked_arc_source.h"
@@ -729,6 +730,55 @@ int RunStress(int argc, char** argv) {
         thr_pr_close ? "FIXPOINT-EQUAL" : "MISMATCH", thr_max_diff);
   }
 
+  // ---- async engine: barrier-free worklist smoke -------------------------
+  // Same partition through the no-superstep engine: chunked worklists with
+  // stealing, eager delivery, quiescence termination. CC's monotone-min
+  // fixpoint is unique, so async labels must match the sim run exactly;
+  // async PageRank gets the same relative fixpoint bound the threaded
+  // smoke uses, plus a wall-clock ratio against threaded AAP that
+  // check_bench gates (barrier-free must not be dramatically slower).
+  double t_async_cc = 0, t_async_pr = 0;
+  double async_pr_max_diff = 0;
+  bool async_cc_identical = false, async_pr_close = false;
+  uint64_t async_pushes = 0, async_steals = 0, async_quanta = 0;
+  {
+    EngineConfig acfg;
+    acfg.num_threads = thr_threads;
+    auto async_cc = timed(
+        [&] { return AsyncEngine<CcProgram>(p, CcProgram{}, acfg).Run(); },
+        &t_async_cc);
+    async_cc_identical = async_cc.result == cc_mem.result;
+    async_pushes = async_cc.worklist_pushes;
+    async_steals = async_cc.worklist_steals;
+    auto async_pr = timed(
+        [&] {
+          return AsyncEngine<PageRankProgram>(p, pr_prog, acfg).Run();
+        },
+        &t_async_pr);
+    async_quanta = async_pr.stats.total_rounds();
+    for (size_t v = 0; v < async_pr.result.size(); ++v) {
+      const double scale = std::abs(pr_mem.result[v]) + 1.0;
+      async_pr_max_diff =
+          std::max(async_pr_max_diff,
+                   std::abs(async_pr.result[v] - pr_mem.result[v]) / scale);
+    }
+    async_pr_close = async_pr_max_diff <= 1e-3;
+    ok = ok && async_cc_identical && async_pr_close;
+    std::printf(
+        "async           %8.2fs cc  %8.2fs pagerank (%u threads, "
+        "%llu pushes, %llu steals, %llu quanta)\n",
+        t_async_cc, t_async_pr, thr_threads,
+        static_cast<unsigned long long>(async_pushes),
+        static_cast<unsigned long long>(async_steals),
+        static_cast<unsigned long long>(async_quanta));
+    std::printf(
+        "async           cc %s, pagerank %s (max rel diff %.1e, "
+        "%.2fx of threaded aap)\n",
+        async_cc_identical ? "IDENTICAL" : "MISMATCH",
+        async_pr_close ? "FIXPOINT-EQUAL" : "MISMATCH", async_pr_max_diff,
+        t_thr_pr > 0 ? t_async_pr / t_thr_pr : 0.0);
+  }
+
   // ---- observability overhead: metrics + tracer on vs off ----------------
   // A/B the same sim-engine PageRank with the whole observability layer off
   // (metrics disabled, tracer disabled) and fully on. check_bench gates
@@ -924,6 +974,25 @@ int RunStress(int argc, char** argv) {
                thr_cc_identical ? "true" : "false");
   std::fprintf(f, "    \"pagerank_close\": %s\n",
                thr_pr_close ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"async\": {\n");
+  std::fprintf(f, "    \"threads\": %u,\n", thr_threads);
+  std::fprintf(f, "    \"cc_sec\": %.3f,\n", t_async_cc);
+  std::fprintf(f, "    \"pagerank_sec\": %.3f,\n", t_async_pr);
+  std::fprintf(f, "    \"pagerank_over_threaded\": %.2f,\n",
+               t_thr_pr > 0 ? t_async_pr / t_thr_pr : 0.0);
+  std::fprintf(f, "    \"worklist_pushes\": %llu,\n",
+               static_cast<unsigned long long>(async_pushes));
+  std::fprintf(f, "    \"worklist_steals\": %llu,\n",
+               static_cast<unsigned long long>(async_steals));
+  std::fprintf(f, "    \"quanta\": %llu,\n",
+               static_cast<unsigned long long>(async_quanta));
+  std::fprintf(f, "    \"pagerank_max_rel_diff\": %.2e,\n",
+               async_pr_max_diff);
+  std::fprintf(f, "    \"cc_identical\": %s,\n",
+               async_cc_identical ? "true" : "false");
+  std::fprintf(f, "    \"pagerank_close\": %s\n",
+               async_pr_close ? "true" : "false");
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"save_in_adjacency_sec\": %.3f,\n", t_save_inadj);
   std::fprintf(f, "  \"in_adjacency_file_mb\": %.1f,\n", inadj_mb);

@@ -44,13 +44,27 @@
 //                                    parallel parse, CSR build, partition;
 //                                    also the physical thread count of
 //                                    --engine=threaded
-//   --engine=sim|threaded            (default sim) sim runs the
+//   --engine=sim|threaded|async      (default sim) sim runs the
 //                                    discrete-event simulator (virtual
 //                                    time, Gantt traces); threaded runs
 //                                    the real thread-pool engine
 //                                    (wall-clock timing, --threads
 //                                    physical threads over --workers
-//                                    virtual workers; no hsync)
+//                                    virtual workers; no hsync); async
+//                                    runs the barrier-free worklist
+//                                    engine (no supersteps, push-only —
+//                                    ignores --mode/--direction)
+//   --async-chunk=N                  async engine: max buffered updates
+//                                    applied per IncEval quantum
+//                                    (default 64; 1 = per-vertex grain)
+//   --async-delta=D                  async engine: delta-stepping bucket
+//                                    width for SSSP/BFS priorities
+//                                    (default 1; 0 = plain FIFO)
+//   --async-staleness=S              async engine: bounded staleness —
+//                                    max seconds an unapplied update may
+//                                    wait before its worker is scheduled
+//                                    ahead of the worklists (default
+//                                    0.05; 0 disables)
 //   --pin                            threaded engine: pin pool threads to
 //                                    cores, round-robin over the usable
 //                                    cpus in (node, package) order.
@@ -105,6 +119,7 @@
 #include "algos/cc_pull.h"
 #include "algos/pagerank.h"
 #include "algos/sssp.h"
+#include "core/async_engine.h"
 #include "core/sim_engine.h"
 #include "core/threaded_engine.h"
 #include "graph/generators.h"
@@ -243,6 +258,41 @@ int RunAndReportThreaded(const Partition& p, Program prog,
   }
   WriteObsOutputs(obs_opts, p, "threaded", r.stats, r.converged,
                   r.wall_seconds);
+  return r.converged ? 0 : 2;
+}
+
+template <typename Program>
+int RunAndReportAsync(const Partition& p, Program prog,
+                      const EngineConfig& cfg, const ObsOptions& obs_opts) {
+  AsyncEngine<Program> engine(p, std::move(prog), cfg);
+  std::optional<obs::PerfPhaseScope> perf;
+  if (obs_opts.perf) perf.emplace("engine");
+  auto r = engine.Run();
+  perf.reset();
+  std::printf("converged      %s\n", r.converged ? "yes" : "NO");
+  std::printf("wall           %.3f s\n", r.wall_seconds);
+  std::printf("quanta         %llu total, %llu max/worker\n",
+              static_cast<unsigned long long>(r.stats.total_rounds()),
+              static_cast<unsigned long long>(r.stats.max_rounds()));
+  std::printf("messages       %llu (%.2f MB)\n",
+              static_cast<unsigned long long>(r.stats.total_msgs()),
+              static_cast<double>(r.stats.total_bytes()) / 1048576.0);
+  std::printf("worklist       %llu pushes, %llu steals\n",
+              static_cast<unsigned long long>(r.worklist_pushes),
+              static_cast<unsigned long long>(r.worklist_steals));
+  std::printf("thread b/i     %.3f / %.3f s over %zu threads\n",
+              r.stats.total_thread_busy(), r.stats.total_thread_idle(),
+              r.stats.threads.size());
+  if (r.stats.spurious_wakeups > 0) {
+    std::printf("spurious wakes %llu\n",
+                static_cast<unsigned long long>(r.stats.spurious_wakeups));
+  }
+  if (obs_opts.gantt) {
+    std::printf("\n%s", obs::GanttFromEvents(obs::Tracer::Global().Collect(),
+                                             p.num_fragments(), 100)
+                            .c_str());
+  }
+  WriteObsOutputs(obs_opts, p, "async", r.stats, r.converged, r.wall_seconds);
   return r.converged ? 0 : 2;
 }
 
@@ -465,8 +515,14 @@ int main(int argc, char** argv) {
 
   // ---- engine ----
   const std::string engine = Get(flags, "engine", "sim");
-  if (engine != "sim" && engine != "threaded") {
-    std::fprintf(stderr, "--engine must be sim or threaded\n");
+  if (engine != "sim" && engine != "threaded" && engine != "async") {
+    std::fprintf(stderr, "--engine must be sim, threaded or async\n");
+    return 1;
+  }
+  if (engine == "async" && direction != "push") {
+    // The async engine is push-only: barrier-free interleaving cannot keep
+    // a gather kernel's neighbour reads coherent.
+    std::fprintf(stderr, "--engine=async supports --direction=push only\n");
     return 1;
   }
   EngineConfig cfg;
@@ -487,13 +543,19 @@ int main(int argc, char** argv) {
       1, static_cast<uint32_t>(std::stoul(Get(flags, "threads", "4"))));
   cfg.pin_threads = flags.count("pin") > 0;
   cfg.numa_local = Get(flags, "numa", "1") != "0";
+  cfg.async_chunk = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::stoul(Get(flags, "async-chunk", "64"))));
+  cfg.async_delta = std::stod(Get(flags, "async-delta", "1"));
+  cfg.async_staleness_sec = std::stod(Get(flags, "async-staleness", "0.05"));
   const double straggler = std::stod(Get(flags, "straggler", "1"));
   if (straggler > 1.0) {
     cfg.speed_factors.assign(workers, 1.0);
     cfg.speed_factors[0] = straggler;
   }
   std::printf("model          %s (%s engine%s%s)\n",
-              ModeName(cfg.mode.mode).c_str(), engine.c_str(),
+              engine == "async" ? "barrier-free"
+                                : ModeName(cfg.mode.mode).c_str(),
+              engine.c_str(),
               engine == "threaded" && cfg.pin_threads ? ", pinned" : "",
               engine == "threaded" && cfg.pin_threads && cfg.numa_local
                   ? ", numa-local"
@@ -503,15 +565,19 @@ int main(int argc, char** argv) {
   obs_opts.algo = algo;
   obs_opts.vertices = view.num_vertices();
   obs_opts.arcs = view.num_arcs();
-  // The threaded engine's Gantt is rendered from the wall-clock span
-  // stream, so --gantt alone needs the tracer on for that engine.
-  if (obs_opts.gantt && engine == "threaded") obs::Tracer::Global().Enable();
+  // The wall-clock engines' Gantt is rendered from the span stream, so
+  // --gantt alone needs the tracer on for them.
+  if (obs_opts.gantt && engine != "sim") obs::Tracer::Global().Enable();
   const VertexId source =
       static_cast<VertexId>(std::stoul(Get(flags, "source", "0")));
   const auto run = [&](auto prog) {
-    return engine == "threaded"
-               ? RunAndReportThreaded(p, std::move(prog), cfg, obs_opts)
-               : RunAndReport(p, std::move(prog), cfg, obs_opts);
+    if (engine == "threaded") {
+      return RunAndReportThreaded(p, std::move(prog), cfg, obs_opts);
+    }
+    if (engine == "async") {
+      return RunAndReportAsync(p, std::move(prog), cfg, obs_opts);
+    }
+    return RunAndReport(p, std::move(prog), cfg, obs_opts);
   };
   if (algo == "sssp") {
     return run(SsspProgram(source));

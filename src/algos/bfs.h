@@ -38,6 +38,9 @@ class BfsProgram {
   Value Combine(const Value& a, const Value& b) const {
     return a < b ? a : b;
   }
+  /// Delta-stepping key for the async engine's bucketed worklist
+  /// (PrioritizedProgram): expand lower hop levels first.
+  double UpdatePriority(const Value& v) const { return static_cast<double>(v); }
   ResultT Assemble(const Partition& p, const std::vector<State>& states) const;
 
  private:

@@ -41,6 +41,9 @@ class SsspProgram {
   Value Combine(const Value& a, const Value& b) const {
     return a < b ? a : b;  // faggr = min
   }
+  /// Delta-stepping key for the async engine's bucketed worklist
+  /// (PrioritizedProgram): relax shorter tentative distances first.
+  double UpdatePriority(const Value& v) const { return v; }
   ResultT Assemble(const Partition& p, const std::vector<State>& states) const;
 
   VertexId source() const { return source_; }

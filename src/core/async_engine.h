@@ -1,0 +1,499 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// The barrier-free asynchronous engine: the "fully asynchronous" limit of
+// the paper's AAP spectrum. Where the sim and threaded engines still march
+// in delay-stretched rounds, this engine has no rounds at all — worker
+// threads pull virtual workers off chunked-FIFO worklists (Galois
+// AsyncSet-style: atomic-flag dedup + chunk stealing, runtime/worklist.h)
+// and run bounded IncEval *quanta* over whatever updates have arrived,
+// delivering the resulting messages eagerly into destination buffers. A
+// delivery immediately re-queues its destination; nothing ever waits for a
+// superstep boundary.
+//
+// Scheduling refinements:
+//   * PrioritizedProgram programs (SSSP/BFS) drain their buffer into a
+//     per-worker delta-stepping BucketedWorklist and relax the lowest
+//     buckets first — the priority formulation that cuts wasted
+//     re-relaxations. Other programs (delta-residual PageRank, CC) take
+//     bounded first-touch-order drains; PageRank's sum aggregate relies on
+//     the buffer's exactly-once fold, which both paths preserve.
+//   * Bounded staleness (EngineConfig::async_staleness_sec): workers whose
+//     oldest unapplied update exceeds the bound are claimed ahead of the
+//     worklists, keeping every delivered value's application delay bounded
+//     ("Delayed Asynchronous Iterative Graph Algorithms" shows this is what
+//     keeps fully asynchronous iteration convergent).
+//
+// Termination extends the condition-variable hub discipline of the
+// threaded engine with a global quiescence check: the master probes
+// (all workers unclaimed ∧ ineligible) ∧ in-flight quiescent via the
+// two-phase TerminationDetector; worklist entries for ineligible workers
+// are stale by construction and simply abandoned. The worklists are a fast
+// path only — idle threads fall back to a global eligibility scan on every
+// hub wake, so correctness never depends on queue precision.
+//
+// The engine is push-only: it uses the plain PEval/IncEval overloads (for
+// DualModeProgram programs those are contractually identical to
+// SweepDirection::kPush) — a gather kernel reads neighbour state that
+// barrier-free interleaving cannot keep coherent.
+#ifndef GRAPEPLUS_CORE_ASYNC_ENGINE_H_
+#define GRAPEPLUS_CORE_ASYNC_ENGINE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/modes.h"
+#include "core/pie.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "partition/fragment.h"
+#include "runtime/channel.h"
+#include "runtime/message.h"
+#include "runtime/stats_collector.h"
+#include "runtime/termination.h"
+#include "runtime/worker_pool.h"
+#include "runtime/worklist.h"
+#include "util/timer.h"
+
+namespace grape {
+
+template <typename Program>
+  requires PieProgram<Program>
+class AsyncEngine {
+ public:
+  using V = typename Program::Value;
+  using State = typename Program::State;
+
+  struct Result {
+    typename Program::ResultT result;
+    RunStats stats;
+    bool converged = true;
+    double wall_seconds = 0.0;
+    uint64_t termination_probes = 0;
+    /// Worklist telemetry of the run (also exported as async.* metrics).
+    uint64_t worklist_pushes = 0;
+    uint64_t worklist_steals = 0;
+  };
+
+  AsyncEngine(const Partition& partition, Program program, EngineConfig config)
+      : partition_(partition),
+        program_(std::move(program)),
+        cfg_(std::move(config)) {}
+
+  /// Re-runnable: each call starts from a fresh engine state.
+  Result Run() {
+    const uint32_t m = partition_.num_fragments();
+    uint32_t threads = cfg_.num_threads;
+    if (threads == 0) {
+      threads = std::min<uint32_t>(m, std::thread::hardware_concurrency());
+      if (threads == 0) threads = 1;
+    }
+    ResetRunState(threads);
+    run_wall_.Restart();
+    Stopwatch wall;
+    states_.clear();
+    states_.reserve(m);
+    for (uint32_t i = 0; i < m; ++i) {
+      states_.push_back(program_.Init(partition_.fragments[i]));
+      // order: release — publishes the freshly built state to Eligible()
+      // probes on other threads.
+      workers_[i]->local_work.store(HasLocalWork(i),
+                                    std::memory_order_release);
+    }
+    stats_.threads.resize(threads);
+    {
+      WorkerPool pool(threads, WorkerPoolOptions{cfg_.pin_threads, nullptr});
+      pool.Launch(threads, [this](uint32_t tid) { ThreadLoop(tid); });
+      MasterLoop();
+      pool.Wait();
+      stats_.spurious_wakeups = pool.spurious_wakeups();
+    }
+    for (FragmentId w = 0; w < m; ++w) {
+      // order: relaxed — the pool join above already ordered all worker
+      // writes before this fold.
+      stats_.workers[w].msgs_received =
+          workers_[w]->msgs_received.load(std::memory_order_relaxed);
+      if (partition_.fragments[w].arc_source() != nullptr) {
+        partition_.fragments[w].arc_source()->ReleasePointWindows();
+      }
+    }
+    Result r{program_.Assemble(partition_, states_), std::move(stats_),
+             converged_, wall.ElapsedSeconds(), term_->probes_attempted(),
+             worklists_->pushes(), worklists_->steals()};
+    r.stats.makespan = r.wall_seconds;
+    return r;
+  }
+
+ private:
+  /// Per-virtual-worker runtime block. Cache-line aligned: neighbouring
+  /// workers' claim flags and buffers must not false-share.
+  struct alignas(64) WorkerRt {
+    UpdateBuffer<V> buffer;
+    std::atomic<bool> claimed{false};
+    std::atomic<bool> peval_done{false};
+    std::atomic<uint64_t> msgs_received{0};
+    /// Cached Program::HasLocalWork(state) — see ThreadedEngine::WorkerRt.
+    std::atomic<bool> local_work{false};
+    /// True while `buckets` holds drained-but-unapplied updates. Written
+    /// under the claim (release), read lock-free by eligibility probes —
+    /// the buckets themselves are claim-private like program state.
+    std::atomic<bool> pending_private{false};
+    /// Wall seconds when the oldest currently-unapplied update arrived;
+    /// 0 = none pending. Advisory (bounded-staleness scheduling): a racily
+    /// lost store only skips one overdue boost, never loses work.
+    std::atomic<double> oldest_pending{0.0};
+    /// Delta-stepping buckets (PrioritizedProgram only; claim-private).
+    BucketedWorklist<UpdateEntry<V>> buckets;
+    /// Quanta executed (IncEval invocations); only touched under the claim.
+    Round round = 0;
+    Emitter<V> emitter;
+    std::vector<UpdateEntry<V>> outbox;
+    std::vector<UpdateEntry<V>> batch;  // quantum input scratch
+    std::vector<std::vector<UpdateEntry<V>>> out_by_dst;
+    std::vector<FragmentId> touched;
+    std::vector<FragmentId> recipients;
+  };
+
+  void ResetRunState(uint32_t threads) {
+    const uint32_t m = partition_.num_fragments();
+    term_ = std::make_unique<TerminationDetector>(m);
+    worklists_ = std::make_unique<ChunkedWorklist>(threads, m);
+    workers_.clear();
+    workers_.resize(m);
+    for (uint32_t i = 0; i < m; ++i) {
+      const Fragment& f = partition_.fragments[i];
+      workers_[i] = std::make_unique<WorkerRt>();
+      workers_[i]->buffer = UpdateBuffer<V>(f.num_local());
+      workers_[i]->buffer.SetDegreeOffsets(f.out_offsets());
+      workers_[i]->buckets.set_delta(cfg_.async_delta);
+      workers_[i]->out_by_dst.assign(m, {});
+    }
+    stats_ = RunStats{};
+    stats_.workers.resize(m);
+    // order: relaxed — single-threaded setup; the pool start publishes it.
+    total_quanta_.store(0, std::memory_order_relaxed);
+    converged_ = true;
+    quanta_counter_ =
+        obs::MetricsRegistry::Global().GetCounter("async.quanta");
+    stale_counter_ =
+        obs::MetricsRegistry::Global().GetCounter("async.stale_claims");
+  }
+
+  bool HasLocalWork(FragmentId w) const {
+    if constexpr (requires(const Program& p, const State& s) {
+                    { p.HasLocalWork(s) } -> std::convertible_to<bool>;
+                  }) {
+      return program_.HasLocalWork(states_[w]);
+    } else {
+      return false;
+    }
+  }
+
+  bool Eligible(FragmentId w) const {
+    // order: acquire (both loads) pairs with the owner's release stores
+    // after a quantum — a true hint reads with the state that produced it.
+    return !workers_[w]->buffer.Empty() ||
+           workers_[w]->local_work.load(std::memory_order_acquire) ||
+           // order: acquire — same pairing as local_work above.
+           workers_[w]->pending_private.load(std::memory_order_acquire);
+  }
+
+  /// Master (the calling thread): probes global quiescence — all workers
+  /// unclaimed and ineligible, no in-flight messages — through the same
+  /// two-phase detector as the threaded engine. Workers ring `master_hub_`
+  /// whenever quiescence may have been reached; the timeout is a safety
+  /// net only.
+  void MasterLoop() {
+    while (!term_->ShouldStop()) {
+      const uint64_t epoch = master_hub_.Epoch();
+      bool all_quiet = true;
+      for (FragmentId w = 0; w < workers_.size(); ++w) {
+        // order: acquire pairs with the claim release — an unclaimed read
+        // observes the owning quantum's final buffer/bucket state.
+        if (workers_[w]->claimed.load(std::memory_order_acquire) ||
+            Eligible(w)) {
+          all_quiet = false;
+          break;
+        }
+      }
+      if (all_quiet && term_->TryTerminate(inflight_)) {
+        hub_.NotifyAll();
+        break;
+      }
+      // order: relaxed — a monotone budget check; exactness is not needed.
+      if (total_quanta_.load(std::memory_order_relaxed) >
+          cfg_.max_total_rounds) {
+        converged_ = false;
+        term_->ForceStop();
+        hub_.NotifyAll();
+        break;
+      }
+      master_hub_.WaitFor(epoch, /*timeout_ms=*/10);
+    }
+    term_->ForceStop();
+    hub_.NotifyAll();
+  }
+
+  void ThreadLoop(uint32_t tid) {
+    ThreadStats& ts = stats_.threads[tid];
+    while (!term_->ShouldStop()) {
+      // Epoch captured *before* the pick: any delivery, claim release or
+      // stop in the window bumps it, so the wait below returns immediately
+      // instead of sleeping through the change.
+      const uint64_t epoch = hub_.Epoch();
+      bool is_peval = false;
+      const int32_t w = PickWork(tid, &is_peval);
+      if (w < 0) {
+        obs::TraceSpanScope idle_span(obs::TraceKind::kIdleWait,
+                                      obs::Tracer::kThreadLaneBase + tid);
+        Stopwatch idle;
+        // Same discipline as the threaded engine: a stop flagged before
+        // the epoch capture already rang its final NotifyAll; Epoch() and
+        // NotifyAll share the hub mutex, so this load sees it.
+        if (term_->ShouldStop()) break;
+        hub_.Wait(epoch);
+        ts.idle_time += idle.ElapsedSeconds();
+        continue;
+      }
+      ts.busy_time += RunQuantum(static_cast<FragmentId>(w), is_peval);
+      ++ts.rounds;
+      DeliverEntries(static_cast<FragmentId>(w), tid);
+      const bool still_eligible = Eligible(static_cast<FragmentId>(w));
+      if (!still_eligible) term_->SetInactive(static_cast<FragmentId>(w));
+      // order: release pairs with claimants' acquire — the quantum's state,
+      // bucket and buffer writes are visible to the next claimant.
+      workers_[w]->claimed.store(false, std::memory_order_release);
+      // Re-queue leftover work lane-locally (dedup keeps this idempotent
+      // against deliverers racing to queue the same worker).
+      if (still_eligible) {
+        worklists_->PushUnique(tid, static_cast<uint32_t>(w));
+      }
+      hub_.NotifyAll();
+      master_hub_.NotifyAll();
+    }
+  }
+
+  /// Claims `w` if it is unclaimed and eligible. On success the caller owns
+  /// the worker's state until it releases the claim.
+  bool TryClaim(FragmentId w) {
+    auto& rt = *workers_[w];
+    // order: acquire pairs with the claim's release store (cheap skip).
+    if (rt.claimed.load(std::memory_order_acquire)) return false;
+    if (!Eligible(w)) return false;
+    // order: acq_rel — winning the claim acquires the previous quantum's
+    // writes; losing publishes nothing.
+    if (rt.claimed.exchange(true, std::memory_order_acq_rel)) return false;
+    if (!Eligible(w)) {  // drained by a racing quantum since the check
+      // order: release — hand the claim back untouched.
+      rt.claimed.store(false, std::memory_order_release);
+      return false;
+    }
+    term_->SetActive(w);
+    return true;
+  }
+
+  /// Picks and claims a runnable worker: PEval claims first, then workers
+  /// whose oldest unapplied update exceeds the staleness bound, then the
+  /// calling lane's FIFO, then chunk stealing, then — the liveness
+  /// fallback the queues are allowed to be imprecise under — a global
+  /// eligibility scan. Returns -1 when nothing is runnable.
+  int32_t PickWork(uint32_t tid, bool* is_peval) {
+    for (FragmentId w = 0; w < workers_.size(); ++w) {
+      auto& rt = *workers_[w];
+      // order: acquire — a done flag is read with the PEval state it covers.
+      if (rt.peval_done.load(std::memory_order_acquire)) continue;
+      // order: acquire — cheap skip, see TryClaim.
+      if (rt.claimed.load(std::memory_order_acquire)) continue;
+      // order: acq_rel — winning the claim acquires init's writes.
+      if (rt.claimed.exchange(true, std::memory_order_acq_rel)) continue;
+      // order: acq_rel — first winner both claims PEval and sees init.
+      if (!rt.peval_done.exchange(true, std::memory_order_acq_rel)) {
+        term_->SetActive(w);
+        *is_peval = true;
+        return static_cast<int32_t>(w);
+      }
+      // order: release — hand the claim back (we changed nothing).
+      rt.claimed.store(false, std::memory_order_release);
+    }
+    if (cfg_.async_staleness_sec > 0.0) {
+      const double now = run_wall_.ElapsedSeconds();
+      for (FragmentId w = 0; w < workers_.size(); ++w) {
+        // order: acquire pairs with the delivering/owning release store.
+        const double t0 =
+            workers_[w]->oldest_pending.load(std::memory_order_acquire);
+        if (t0 > 0.0 && now - t0 > cfg_.async_staleness_sec && TryClaim(w)) {
+          stale_counter_->Add(1);
+          return static_cast<int32_t>(w);
+        }
+      }
+    }
+    uint32_t item = 0;
+    while (worklists_->Pop(tid, &item)) {
+      if (TryClaim(item)) return static_cast<int32_t>(item);
+    }
+    while (worklists_->Steal(tid, &item)) {
+      if (obs::Tracer::enabled()) {
+        obs::Tracer::Global().RecordInstant(
+            obs::TraceKind::kSteal, obs::Tracer::kThreadLaneBase + tid, item);
+      }
+      if (TryClaim(item)) return static_cast<int32_t>(item);
+    }
+    for (FragmentId w = 0; w < workers_.size(); ++w) {
+      if (TryClaim(w)) return static_cast<int32_t>(w);
+    }
+    return -1;
+  }
+
+  /// Runs one PEval or a bounded IncEval quantum for w; fills the worker's
+  /// outbox. The caller holds the claim, so per-worker state is exclusive.
+  /// Returns the quantum's measured wall time in seconds.
+  double RunQuantum(FragmentId w, bool is_peval) {
+    const bool traced = obs::Tracer::enabled();
+    const int64_t trace_start = traced ? obs::Tracer::Global().NowNs() : 0;
+    Round trace_round = 0;
+    Stopwatch sw;
+    auto& rt = *workers_[w];
+    Emitter<V>& emitter = rt.emitter;
+    emitter.Clear();
+    double work = 0.0;
+    if (is_peval) {
+      emitter.SetRound(0);
+      work = program_.PEval(partition_.fragments[w], states_[w], &emitter);
+    } else {
+      const uint32_t quantum = std::max<uint32_t>(cfg_.async_chunk, 1);
+      rt.batch.clear();
+      if constexpr (PrioritizedProgram<Program>) {
+        // Move everything buffered into the delta-stepping buckets (the
+        // buffer already deduplicated per vertex on arrival), then take
+        // the lowest-priority batch. Duplicates across refills are safe:
+        // the min aggregate filters stale values in IncEval.
+        auto drained = rt.buffer.Drain();
+        for (const auto& e : drained) {
+          rt.buckets.Push(program_.UpdatePriority(e.value), e);
+        }
+        rt.buckets.PopBatch(quantum, &rt.batch);
+      } else {
+        // Exactly-once path (PageRank's sum aggregate): a bounded
+        // first-touch-order drain; undrained updates stay buffered.
+        rt.batch = rt.buffer.DrainUpTo(quantum);
+      }
+      stats_.workers[w].updates_applied += rt.batch.size();
+      if (traced) {
+        obs::Tracer::Global().RecordInstant(obs::TraceKind::kBufferDrain, w,
+                                            rt.batch.size());
+      }
+      const Round round = ++rt.round;
+      trace_round = round;
+      emitter.SetRound(round);
+      work = program_.IncEval(partition_.fragments[w], states_[w],
+                              std::span<const UpdateEntry<V>>(rt.batch),
+                              &emitter);
+      // order: relaxed — budget counter only (see MasterLoop's check).
+      total_quanta_.fetch_add(1, std::memory_order_relaxed);
+      ++stats_.workers[w].rounds;
+      quanta_counter_->Add(1);
+    }
+    const double elapsed = sw.ElapsedSeconds();
+    if (traced) {
+      obs::Tracer::Global().RecordSpan(
+          is_peval ? obs::TraceKind::kPEval : obs::TraceKind::kIncEval, w,
+          trace_start, static_cast<uint64_t>(trace_round));
+    }
+    stats_.workers[w].busy_time += elapsed;
+    stats_.workers[w].work_units += work;
+    rt.outbox.swap(emitter.entries());
+    if constexpr (PrioritizedProgram<Program>) {
+      // order: release — published with the bucket state it describes for
+      // Eligible()'s acquire readers.
+      rt.pending_private.store(!rt.buckets.Empty(), std::memory_order_release);
+    }
+    // order: release — the hint is published with the quantum's state
+    // writes for Eligible()'s acquire readers.
+    rt.local_work.store(HasLocalWork(w), std::memory_order_release);
+    // Staleness clock: restart the age when updates remain unapplied
+    // (conservative — remaining updates count as arriving now), clear it
+    // when everything drained. Advisory; see the field comment.
+    bool waiting = !rt.buffer.Empty();
+    if constexpr (PrioritizedProgram<Program>) {
+      waiting = waiting || !rt.buckets.Empty();
+    }
+    // order: release — pairs with the overdue scan's acquire load.
+    rt.oldest_pending.store(waiting ? run_wall_.ElapsedSeconds() : 0.0,
+                            std::memory_order_release);
+    return elapsed;
+  }
+
+  void PushTo(WorkerRt& rt, const RouteTarget& t, const UpdateEntry<V>& e) {
+    auto& box = rt.out_by_dst[t.frag];
+    if (box.empty()) rt.touched.push_back(t.frag);
+    box.push_back(UpdateEntry<V>{e.vid, e.value, e.round, t.lid});
+  }
+
+  /// Groups and delivers the outbox of `from` into destination buffers
+  /// immediately, re-queueing every touched destination on the delivering
+  /// thread's lane — the barrier-free propagation step.
+  void DeliverEntries(FragmentId from, uint32_t tid) {
+    auto& rt = *workers_[from];
+    if (rt.outbox.empty()) return;
+    for (const auto& e : rt.outbox) {
+      RouteUpdateEntry<Program::kOwnerBroadcast>(
+          partition_, from, e, rt.recipients,
+          [this, &rt](const RouteTarget& t, const UpdateEntry<V>& entry) {
+            PushTo(rt, t, entry);
+          });
+    }
+    rt.outbox.clear();
+    for (FragmentId dst : rt.touched) {
+      auto& ents = rt.out_by_dst[dst];
+      auto& drt = *workers_[dst];
+      inflight_.OnSend();
+      ++stats_.workers[from].msgs_sent;
+      stats_.workers[from].entries_sent += ents.size();
+      stats_.workers[from].bytes_sent +=
+          EntriesBytes(std::span<const UpdateEntry<V>>(ents));
+      const bool first_pending = drt.buffer.Empty();
+      drt.buffer.AppendEntries(from, std::span<const UpdateEntry<V>>(ents),
+                               [this](const V& a, const V& b) {
+                                 return program_.Combine(a, b);
+                               });
+      term_->SetActive(dst);
+      // order: relaxed — stats counter; AppendEntries' lock ordered the
+      // delivery itself.
+      drt.msgs_received.fetch_add(1, std::memory_order_relaxed);
+      if (first_pending) {
+        // order: release — pairs with the overdue scan's acquire load.
+        drt.oldest_pending.store(run_wall_.ElapsedSeconds(),
+                                 std::memory_order_release);
+      }
+      inflight_.OnDeliver();
+      ents.clear();
+      worklists_->PushUnique(tid, dst);
+    }
+    rt.touched.clear();
+    hub_.NotifyAll();
+  }
+
+  const Partition& partition_;
+  Program program_;
+  EngineConfig cfg_;
+  std::unique_ptr<TerminationDetector> term_;
+  std::unique_ptr<ChunkedWorklist> worklists_;
+  InFlightCounter inflight_;
+  NotifyHub hub_;         // workers idle-wait here
+  NotifyHub master_hub_;  // quiescence-probing master waits here
+
+  std::vector<std::unique_ptr<WorkerRt>> workers_;
+  std::vector<State> states_;
+  RunStats stats_;
+  std::atomic<uint64_t> total_quanta_{0};
+  bool converged_ = true;
+  Stopwatch run_wall_;
+  obs::Counter* quanta_counter_ = nullptr;
+  obs::Counter* stale_counter_ = nullptr;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_CORE_ASYNC_ENGINE_H_

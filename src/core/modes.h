@@ -119,6 +119,25 @@ struct EngineConfig {
   /// refused pins leave threads floating. `grape_cli --pin`.
   bool pin_threads = false;
 
+  /// Async engine only: max buffered updates applied per IncEval quantum.
+  /// Small quanta approximate per-vertex execution (fine-grained
+  /// interleaving, fresh values propagate sooner); large quanta amortise
+  /// the call overhead. Clamped to >= 1.
+  uint32_t async_chunk = 64;
+
+  /// Async engine only: delta-stepping bucket width for PrioritizedProgram
+  /// programs (SSSP/BFS). Updates bucket under floor(priority / delta);
+  /// non-positive widths degrade to one FIFO bucket. Scheduling only —
+  /// results never depend on it.
+  double async_delta = 1.0;
+
+  /// Async engine only: bounded staleness — the max wall-clock seconds a
+  /// delivered-but-unapplied update may wait before its destination worker
+  /// is scheduled ahead of the worklists ("Delayed Asynchronous Iterative
+  /// Graph Algorithms": bounded delay keeps async iteration convergent).
+  /// <= 0 disables the overdue scan.
+  double async_staleness_sec = 0.05;
+
   /// Threaded engine only: bind each virtual worker's state (update-buffer
   /// slots, per-vertex program state, memoised lid caches) to the NUMA
   /// node of the thread expected to drain it. Placement is a pure memory

@@ -149,6 +149,19 @@ concept DualModeProgram =
           -> std::convertible_to<double>;
     };
 
+/// A PIE program whose pending updates carry a natural scheduling priority
+/// (lower runs earlier): UpdatePriority maps an update value to the
+/// delta-stepping key the async engine buckets it under (SSSP: the
+/// tentative distance; BFS: the hop level). The order is a heuristic only —
+/// the program must stay correct under any update order (monotone-min
+/// aggregates are: a stale or duplicated update is filtered by the min) —
+/// so engines are free to ignore it, clamp it, or batch across buckets.
+template <typename P>
+concept PrioritizedProgram =
+    PieProgram<P> && requires(const P p, const typename P::Value& v) {
+      { p.UpdatePriority(v) } -> std::convertible_to<double>;
+    };
+
 }  // namespace grape
 
 #endif  // GRAPEPLUS_CORE_PIE_H_

@@ -617,6 +617,15 @@ class ThreadedEngine {
       // order: relaxed — stats counter; AppendEntries' lock ordered the
       // delivery itself.
       drt.msgs_received.fetch_add(1, std::memory_order_relaxed);
+      // Drop any published wait deadline: the fresh delivery can flip the
+      // controller's decision to run-now, and a deadline left standing
+      // makes every scanning thread skip dst (`now < at`) without
+      // re-consulting Decide — with all threads parked in WaitForSeconds
+      // that oversleeps the whole remaining wait. Clearing it forces the
+      // next scan (woken by the NotifyAll below) to re-run Decide.
+      // order: relaxed — advisory deadline, same as its other accesses;
+      // the hub ring after delivery orders the wake itself.
+      drt.eligible_at.store(0.0, std::memory_order_relaxed);
       controller_->OnMessages(dst, run_wall_.ElapsedSeconds(), 1,
                               first_pending);
       inflight_.OnDeliver();

@@ -128,8 +128,13 @@ void ChunkedArcSource::Release(const Chunk& c) const {
   // reading would force it to re-fault its whole window.
   // order: acq_rel — the last decrement must observe every peer's window
   // use before the DONTNEED drops the pages.
-  const bool last =
-      holders_[c.index].fetch_sub(1, std::memory_order_acq_rel) == 1;
+  const uint32_t prev_holders =
+      holders_[c.index].fetch_sub(1, std::memory_order_acq_rel);
+  // A zero previous count means a double-release: some path released a
+  // window it no longer held (the ReleasePointWindows teardown bug hid
+  // here), and the DONTNEED below would drop pages a real holder is using.
+  GRAPE_DCHECK(prev_holders >= 1);
+  const bool last = prev_holders == 1;
 #if GRAPEPLUS_HAVE_MADVISE
   if (last && backend_ == Backend::kMapped) {
     Advise(c.first_arc, c.arc_count, MADV_DONTNEED);
@@ -138,7 +143,12 @@ void ChunkedArcSource::Release(const Chunk& c) const {
   (void)last;
 #endif
   // order: relaxed — see Acquire's residency comment.
-  resident_.fetch_sub(c.arc_count, std::memory_order_relaxed);
+  const uint64_t prev_resident =
+      resident_.fetch_sub(c.arc_count, std::memory_order_relaxed);
+  // Residency must never go negative (it is unsigned — it would wrap):
+  // every Release pairs with exactly one Acquire, and ResetStats preserves
+  // the resident count precisely so held point windows stay accounted.
+  GRAPE_DCHECK(prev_resident >= c.arc_count);
   if (obs::Tracer::enabled()) {
     obs::Tracer::Global().RecordInstant(obs::TraceKind::kChunkRelease,
                                         obs::Tracer::kIoLane, c.index,
@@ -191,15 +201,31 @@ void ChunkedArcSource::NotePointLookup(VertexId v) const {
 }
 
 void ChunkedArcSource::ReleasePointWindows() const {
-  SpinLockGuard lock(point_mu_);
-  for (const Chunk& c : point_held_) Release(c);
-  point_held_.clear();
+  // Swap the held list out under the lock, release outside it. Two
+  // invariants ride on this shape:
+  //   * the madvise syscalls in Release stay outside point_mu_ (same
+  //     policy as the NotePointLookup miss path) — a teardown must not
+  //     make concurrent lookups spin behind page-cache work;
+  //   * each held Chunk leaves point_held_ exactly once, so a teardown
+  //     racing another teardown (or an LRU eviction) can never
+  //     double-decrement a window's refcount: whoever swapped it owns the
+  //     matching Release.
+  std::vector<Chunk> held;
+  {
+    SpinLockGuard lock(point_mu_);
+    held.swap(point_held_);
+  }
+  for (const Chunk& c : held) Release(c);
 }
 
 void ChunkedArcSource::ResetStats() const {
-  // order: relaxed — callers quiesce sweeps around stat resets.
-  resident_.store(0, std::memory_order_relaxed);
-  peak_.store(0, std::memory_order_relaxed);
+  // Peaks restart from the *current* residency, not zero: point windows
+  // held across the reset (the LRU keeps them until ReleasePointWindows)
+  // are still resident. Zeroing resident_ here while windows were held
+  // made their eventual Release wrap the unsigned count below zero.
+  // order: relaxed (all three) — callers quiesce sweeps around resets.
+  const uint64_t now = resident_.load(std::memory_order_relaxed);
+  peak_.store(now, std::memory_order_relaxed);
   peak_point_.store(0, std::memory_order_relaxed);
 }
 

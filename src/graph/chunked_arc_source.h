@@ -171,6 +171,10 @@ class ChunkedArcSource {
     // order: relaxed — see resident_arcs().
     return peak_point_.load(std::memory_order_relaxed);
   }
+  /// Restarts the peak counters. resident_arcs() is NOT touched: it is
+  /// live accounting, and point windows held across the reset must keep
+  /// their balance for the matching Release. Peak restarts from the
+  /// current residency for the same reason.
   void ResetStats() const;
 
  private:

@@ -33,6 +33,8 @@ const char* TraceKindName(TraceKind kind) {
       return "direction_decide";
     case TraceKind::kPhase:
       return "phase";
+    case TraceKind::kSteal:
+      return "steal";
   }
   return "unknown";
 }
@@ -234,6 +236,10 @@ void WriteEventArgs(JsonWriter* w, const TraceEvent& e) {
       w->String(e.arg0 == 1 ? "pull" : "push");
       w->Key("signal");
       w->Uint(e.arg1);
+      break;
+    case TraceKind::kSteal:
+      w->Key("worker");
+      w->Uint(e.arg0);
       break;
     default:
       w->Key("arg0");

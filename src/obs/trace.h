@@ -48,6 +48,7 @@ enum class TraceKind : uint8_t {
   kChunkRelease,     // out-of-core chunk dropped
   kDirectionDecide,  // push/pull decision of a round
   kPhase,            // coarse pipeline phase (ingest / partition / run)
+  kSteal,            // async worklist chunk steal (thread lane; arg0 = worker)
 };
 
 const char* TraceKindName(TraceKind kind);

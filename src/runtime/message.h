@@ -194,6 +194,32 @@ class UpdateBuffer {
     return out;
   }
 
+  /// Drains at most `max_n` pending updates in first-touch order, leaving
+  /// the rest buffered — the async engine's chunked quanta. Equivalent to a
+  /// prefix of what Drain() would return; frontier-degree tracking stays
+  /// exact. The message/sender counts are not split across a partial drain
+  /// (they describe whole messages): they are left as an upper bound until
+  /// the buffer fully empties. Delegates to Drain() when everything fits.
+  std::vector<UpdateEntry<V>> DrainUpTo(size_t max_n) {
+    {
+      SpinLockGuard lock(mu_);
+      if (max_n < dirty_.size()) {
+        std::vector<UpdateEntry<V>> out;
+        out.reserve(max_n);
+        for (size_t i = 0; i < max_n; ++i) {
+          Slot& s = slots_[dirty_[i]];
+          out.push_back(std::move(s.entry));
+          s.dirty = 0;
+          frontier_degree_ -= DegreeOf(dirty_[i]);
+        }
+        dirty_.erase(dirty_.begin(),
+                     dirty_.begin() + static_cast<ptrdiff_t>(max_n));
+        return out;
+      }
+    }
+    return Drain();
+  }
+
   bool Empty() const {
     SpinLockGuard lock(mu_);
     return dirty_.empty();

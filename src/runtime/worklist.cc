@@ -1,0 +1,108 @@
+#include "runtime/worklist.h"
+
+#include "obs/metrics.h"
+
+namespace grape {
+
+ChunkedWorklist::ChunkedWorklist(uint32_t num_lanes, uint32_t num_items) {
+  lanes_.reserve(std::max<uint32_t>(num_lanes, 1));
+  for (uint32_t i = 0; i < std::max<uint32_t>(num_lanes, 1); ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  queued_ = std::make_unique<std::atomic<bool>[]>(num_items);
+  for (uint32_t i = 0; i < num_items; ++i) {
+    // order: relaxed — single-threaded construction; the engine's pool
+    // launch publishes the worklist to its threads.
+    queued_[i].store(false, std::memory_order_relaxed);
+  }
+  push_counter_ =
+      obs::MetricsRegistry::Global().GetCounter("async.worklist.pushes");
+  steal_counter_ =
+      obs::MetricsRegistry::Global().GetCounter("async.worklist.steals");
+  metrics_callback_ = obs::MetricsRegistry::Global().AddCallback(
+      [this](obs::MetricsSnapshot* snap) {
+        snap->gauges["async.worklist.depth"] = static_cast<double>(size());
+      });
+}
+
+ChunkedWorklist::~ChunkedWorklist() {
+  obs::MetricsRegistry::Global().RemoveCallback(metrics_callback_);
+}
+
+bool ChunkedWorklist::PushUnique(uint32_t lane, uint32_t item) {
+  // order: acq_rel — winning the flag pairs with Pop's release clear, so
+  // the pusher that re-queues an item observes the pop that freed it.
+  if (queued_[item].exchange(true, std::memory_order_acq_rel)) return false;
+  Lane& l = *lanes_[lane % lanes_.size()];
+  {
+    SpinLockGuard lock(l.mu);
+    if (l.chunks.empty() || l.chunks.back().end == kChunkItems) {
+      l.chunks.emplace_back();
+    }
+    Chunk& c = l.chunks.back();
+    c.items[c.end++] = item;
+  }
+  // order: release — the increment publishes the push to Empty()'s acquire
+  // readers (the termination scan).
+  size_.fetch_add(1, std::memory_order_release);
+  // order: relaxed — telemetry only.
+  pushes_.fetch_add(1, std::memory_order_relaxed);
+  push_counter_->Add(1);
+  return true;
+}
+
+bool ChunkedWorklist::PopLocal(uint32_t lane, uint32_t* item) {
+  Lane& l = *lanes_[lane];
+  SpinLockGuard lock(l.mu);
+  if (l.chunks.empty()) return false;
+  Chunk& c = l.chunks.front();
+  GRAPE_DCHECK(c.begin < c.end);
+  *item = c.items[c.begin++];
+  if (c.begin == c.end) l.chunks.pop_front();
+  return true;
+}
+
+bool ChunkedWorklist::Pop(uint32_t lane, uint32_t* item) {
+  if (!PopLocal(lane % lanes_.size(), item)) return false;
+  // order: release — matches the PushUnique increment.
+  size_.fetch_sub(1, std::memory_order_release);
+  // order: release — the clear pairs with PushUnique's acq_rel exchange:
+  // a re-queue that wins the flag sees this pop completed.
+  queued_[*item].store(false, std::memory_order_release);
+  return true;
+}
+
+bool ChunkedWorklist::Steal(uint32_t lane, uint32_t* item) {
+  const uint32_t n = num_lanes();
+  const uint32_t self = lane % n;
+  for (uint32_t d = 1; d < n; ++d) {
+    const uint32_t victim = (self + d) % n;
+    Chunk stolen;
+    bool got = false;
+    {
+      Lane& v = *lanes_[victim];
+      SpinLockGuard lock(v.mu);
+      if (!v.chunks.empty()) {
+        // Steal the newest chunk: the victim keeps draining its FIFO head
+        // undisturbed while the thief takes the cold tail.
+        stolen = v.chunks.back();
+        v.chunks.pop_back();
+        got = true;
+      }
+    }
+    if (!got) continue;
+    {
+      Lane& l = *lanes_[self];
+      SpinLockGuard lock(l.mu);
+      l.chunks.push_back(stolen);
+    }
+    // order: relaxed — telemetry only (items merely moved lanes).
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    steal_counter_->Add(1);
+    if (Pop(self, item)) return true;
+    // The moved chunk was popped by a racing peer; try the next victim.
+  }
+  return false;
+}
+
+}  // namespace grape

@@ -1,0 +1,209 @@
+// Copyright 2026 The GRAPE+ Reproduction Authors.
+// Worklists for the barrier-free asynchronous engine (core/async_engine.h):
+//
+//   ChunkedWorklist — per-lane chunked FIFOs of uint32 items with
+//     atomic-flag dedup and chunk-granular work stealing, the Galois
+//     AsyncSet / dChunkedFIFO scheduling pattern: an item is queued at most
+//     once (PushUnique), each lane serves its own thread FIFO, and an empty
+//     lane steals a whole chunk from a victim so stolen work keeps locality.
+//     The queue is a *fast path*, not a correctness structure: the async
+//     engine falls back to a global eligibility scan on every hub wake, so
+//     a racily dropped or stale entry only delays work by one notify.
+//
+//   BucketedWorklist<T> — single-consumer delta-stepping buckets: items
+//     carry a priority, Push files them into bucket floor(priority / delta),
+//     PopBatch serves the lowest non-empty bucket first. Used for the
+//     priority formulation of SSSP/BFS (PrioritizedProgram in core/pie.h):
+//     lower tentative distances relax first, cutting wasted re-relaxations.
+//     Scheduling order is a heuristic only — monotone-min programs stay
+//     correct under any order — so out-of-range priorities are clamped into
+//     the nearest bucket instead of growing the ring without bound.
+#ifndef GRAPEPLUS_RUNTIME_WORKLIST_H_
+#define GRAPEPLUS_RUNTIME_WORKLIST_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "util/common.h"
+#include "util/logging.h"
+
+namespace grape::obs {
+class Counter;
+}  // namespace grape::obs
+
+namespace grape {
+
+/// Per-lane chunked FIFO with atomic-flag dedup and chunk stealing. Items
+/// are small dense ids (the async engine queues virtual-worker ids). All
+/// methods are thread-safe; Pop/Steal take the calling lane's id so pushes
+/// of rescheduled work stay lane-local.
+class ChunkedWorklist {
+ public:
+  /// Items per chunk — the stealing granularity (Galois uses 8..64; work
+  /// here is coarse virtual-worker rounds, so the smaller end suffices).
+  static constexpr uint32_t kChunkItems = 16;
+
+  /// `num_lanes` serving threads, items in [0, num_items).
+  ChunkedWorklist(uint32_t num_lanes, uint32_t num_items);
+  ~ChunkedWorklist();
+  GRAPE_DISALLOW_COPY_AND_ASSIGN(ChunkedWorklist);
+
+  /// Queues `item` on `lane` unless it is already queued anywhere (the
+  /// AsyncSet dedup: one atomic flag per item). Returns whether it pushed.
+  bool PushUnique(uint32_t lane, uint32_t item);
+
+  /// Pops the oldest item of `lane`'s own FIFO; clears the item's queued
+  /// flag (it may be re-pushed immediately). Returns false when empty.
+  bool Pop(uint32_t lane, uint32_t* item);
+
+  /// Steals one whole chunk from another lane into `lane`, then pops from
+  /// it. Returns false when every other lane is empty too.
+  bool Steal(uint32_t lane, uint32_t* item);
+
+  /// Approximate: true when no lane holds items (exact once all producers
+  /// are quiescent).
+  bool Empty() const {
+    // order: acquire pairs with the release increments/decrements below so
+    // an empty read after quiescence observes the final queue state.
+    return size_.load(std::memory_order_acquire) == 0;
+  }
+  uint64_t size() const {
+    // order: acquire — see Empty().
+    return size_.load(std::memory_order_acquire);
+  }
+
+  uint64_t pushes() const {
+    // order: relaxed — monotone telemetry counter.
+    return pushes_.load(std::memory_order_relaxed);
+  }
+  uint64_t steals() const {
+    // order: relaxed — monotone telemetry counter.
+    return steals_.load(std::memory_order_relaxed);
+  }
+  uint32_t num_lanes() const { return static_cast<uint32_t>(lanes_.size()); }
+
+ private:
+  /// One fixed-capacity block of items; [begin, end) are live.
+  struct Chunk {
+    std::array<uint32_t, kChunkItems> items;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+  /// Cache-line aligned: neighbouring lanes' locks must not false-share.
+  struct alignas(64) Lane {
+    mutable SpinLock mu;
+    std::deque<Chunk> chunks GUARDED_BY(mu);
+  };
+
+  bool PopLocal(uint32_t lane, uint32_t* item);
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  /// Queued flag per item (the dedup of Galois' AsyncSet).
+  std::unique_ptr<std::atomic<bool>[]> queued_;
+  std::atomic<uint64_t> size_{0};
+  std::atomic<uint64_t> pushes_{0};
+  std::atomic<uint64_t> steals_{0};
+  // Observability: depth gauge via a snapshot callback, push/steal counters
+  // through the registry (obs/metrics.h).
+  uint64_t metrics_callback_ = 0;
+  obs::Counter* push_counter_ = nullptr;
+  obs::Counter* steal_counter_ = nullptr;
+};
+
+/// Single-consumer delta-stepping buckets. Not thread-safe: the async
+/// engine keeps one per virtual worker, touched only while that worker's
+/// round claim is held (the same exclusivity discipline as program state).
+template <typename T>
+class BucketedWorklist {
+ public:
+  /// Bound on the live bucket window. Priorities past the window clamp into
+  /// the last bucket — they run later than ideal, never incorrectly.
+  static constexpr size_t kMaxBuckets = 4096;
+
+  explicit BucketedWorklist(double delta = 1.0) { set_delta(delta); }
+
+  /// Bucket width; non-positive/NaN widths degrade to a single FIFO bucket.
+  void set_delta(double delta) { delta_ = delta > 0.0 ? delta : 0.0; }
+  double delta() const { return delta_; }
+
+  void Push(double priority, const T& item) {
+    size_t abs = BucketOf(priority);
+    if (buckets_.empty()) {
+      base_bucket_ = abs;
+    } else if (abs < base_bucket_) {
+      // Below the current window: grow it downward so lower priorities
+      // still sort first (the first push may well carry a high priority).
+      // Bounded — if growth would exceed the window cap, collapse into the
+      // current floor bucket instead; early scheduling is always safe for
+      // the monotone programs this orders.
+      size_t grow = base_bucket_ - abs;
+      const size_t room = kMaxBuckets - buckets_.size();
+      if (grow > room) grow = room;
+      for (size_t i = 0; i < grow; ++i) buckets_.emplace_front();
+      base_bucket_ -= grow;
+      if (abs < base_bucket_) abs = base_bucket_;
+    }
+    const size_t offset = std::min(abs - base_bucket_, kMaxBuckets - 1);
+    if (offset >= buckets_.size()) buckets_.resize(offset + 1);
+    buckets_[offset].push_back(item);
+    ++size_;
+  }
+
+  /// Moves up to `max_n` items of the *lowest* non-empty bucket into `out`
+  /// (appended); never crosses a bucket boundary, so a batch is priority-
+  /// homogeneous up to delta. Order within a bucket is unspecified.
+  /// Returns the number of items delivered.
+  size_t PopBatch(size_t max_n, std::vector<T>* out) {
+    if (size_ == 0 || max_n == 0) return 0;
+    while (!buckets_.empty() && buckets_.front().empty()) {
+      buckets_.pop_front();
+      ++base_bucket_;
+    }
+    GRAPE_DCHECK(!buckets_.empty());
+    std::vector<T>& b = buckets_.front();
+    size_t taken = 0;
+    while (taken < max_n && !b.empty()) {
+      out->push_back(std::move(b.back()));
+      b.pop_back();
+      --size_;
+      ++taken;
+    }
+    if (size_ == 0) {
+      buckets_.clear();
+      base_bucket_ = 0;
+    }
+    return taken;
+  }
+
+  bool Empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  void Clear() {
+    buckets_.clear();
+    base_bucket_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  size_t BucketOf(double priority) const {
+    if (delta_ <= 0.0 || !(priority > 0.0)) return 0;  // NaN-safe
+    const double b = priority / delta_;
+    if (b >= static_cast<double>(kMaxBuckets)) return kMaxBuckets - 1;
+    return static_cast<size_t>(b);
+  }
+
+  double delta_ = 1.0;
+  size_t size_ = 0;
+  /// Absolute bucket index of buckets_.front().
+  size_t base_bucket_ = 0;
+  std::deque<std::vector<T>> buckets_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPEPLUS_RUNTIME_WORKLIST_H_

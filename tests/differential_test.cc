@@ -29,6 +29,7 @@
 #include "algos/pagerank.h"
 #include "algos/pagerank_pull.h"
 #include "algos/sssp.h"
+#include "core/async_engine.h"
 #include "core/sim_engine.h"
 #include "core/threaded_engine.h"
 #include "graph/chunked_arc_source.h"
@@ -184,6 +185,87 @@ void RunMatrix(const Graph& g, const Truths& truth, const Partition& mat,
   // direction mode must land on identical labels.
   for (size_t i = 1; i < cc_by_mode.size(); ++i) {
     ASSERT_EQ(cc_by_mode[i], cc_by_mode[0]) << "cross-direction cc mismatch";
+  }
+
+  // --- the barrier-free async engine: monotone-min programs land on the
+  // exact sequential fixpoint under any interleaving; PageRank's
+  // sum-aggregate fixpoint is tolerance-close ---
+  for (const Partition* part : {&mat, &stream}) {
+    SCOPED_TRACE(part == &mat ? "async storage=materialised"
+                              : "async storage=streaming");
+    EngineConfig acfg;
+    acfg.num_threads = 2;
+    {
+      AsyncEngine<CcProgram> engine(*part, CcProgram{}, acfg);
+      auto r = engine.Run();
+      ASSERT_TRUE(r.converged);
+      ASSERT_EQ(r.result, truth.cc) << "async cc";
+    }
+    {
+      AsyncEngine<SsspProgram> engine(*part, SsspProgram(0), acfg);
+      auto r = engine.Run();
+      ASSERT_TRUE(r.converged);
+      ASSERT_EQ(r.result, truth.sssp) << "async sssp";
+    }
+    {
+      AsyncEngine<BfsProgram> engine(*part, BfsProgram(0), acfg);
+      auto r = engine.Run();
+      ASSERT_TRUE(r.converged);
+      ASSERT_EQ(r.result, truth.bfs) << "async bfs";
+    }
+    {
+      AsyncEngine<PageRankProgram> engine(*part, PageRankProgram(0.85, 1e-11),
+                                          acfg);
+      auto r = engine.Run();
+      ASSERT_TRUE(r.converged);
+      ExpectNear(r.result, truth.pagerank, 1e-3, "async pagerank");
+    }
+  }
+
+  // --- engine re-run: a second Run() on the same instance must be
+  // bit-identical to the first across {push, pull, auto} x {materialised,
+  // streaming} — per-run state (buffers, controllers, termination,
+  // worklists) must not leak between runs. Label CC's fixpoint is unique,
+  // so even the nondeterministic engines must reproduce it exactly ---
+  for (const auto mode : kModes) {
+    SCOPED_TRACE(std::string("rerun direction=") + ModeTag(mode));
+    for (const Partition* part : {&mat, &stream}) {
+      SCOPED_TRACE(part == &mat ? "rerun storage=materialised"
+                                : "rerun storage=streaming");
+      EngineConfig cfg;
+      cfg.mode = ModeConfig::Aap();
+      cfg.direction.mode = mode;
+      {
+        SimEngine<CcPullProgram> engine(*part, CcPullProgram{}, cfg);
+        const auto r1 = engine.Run();
+        const auto r2 = engine.Run();
+        ASSERT_TRUE(r1.converged && r2.converged);
+        ASSERT_EQ(r1.result, truth.cc) << "sim rerun first";
+        ASSERT_EQ(r2.result, r1.result) << "sim rerun divergence";
+      }
+      {
+        cfg.num_threads = 2;
+        ThreadedEngine<CcPullProgram> engine(*part, CcPullProgram{}, cfg);
+        const auto r1 = engine.Run();
+        const auto r2 = engine.Run();
+        ASSERT_TRUE(r1.converged && r2.converged);
+        ASSERT_EQ(r1.result, truth.cc) << "threaded rerun first";
+        ASSERT_EQ(r2.result, r1.result) << "threaded rerun divergence";
+      }
+    }
+  }
+  {
+    // Push-only async engine: same rerun contract on both storages.
+    EngineConfig acfg;
+    acfg.num_threads = 2;
+    for (const Partition* part : {&mat, &stream}) {
+      AsyncEngine<SsspProgram> engine(*part, SsspProgram(0), acfg);
+      const auto r1 = engine.Run();
+      const auto r2 = engine.Run();
+      ASSERT_TRUE(r1.converged && r2.converged);
+      ASSERT_EQ(r1.result, truth.sssp) << "async rerun first";
+      ASSERT_EQ(r2.result, r1.result) << "async rerun divergence";
+    }
   }
   (void)g;
 }

@@ -7,9 +7,11 @@
 // that unknown global ids translate to kInvalidLocal instead of garbage.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algos/bfs.h"
@@ -399,6 +401,90 @@ TEST(PointLookupLru, BoundsMappedResidencyAndReleases) {
   EXPECT_EQ(src.resident_arcs(), 0u);
   src.ReleasePointWindows();
   EXPECT_EQ(src.resident_arcs(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(PointLookupLru, ResetStatsPreservesHeldWindowAccounting) {
+  // Regression: ResetStats used to zero resident_arcs while the point LRU
+  // still held windows; the eventual ReleasePointWindows then decremented
+  // the unsigned count below zero and residency wrapped to ~2^64.
+  Graph g = TestGraph();
+  const std::string path = TmpPath("point_reset.gcsr");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  auto mapped = MmapGraph::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  ChunkedArcSource src(mapped.value(), 113);
+  auto placement = HashPartitioner().Assign(mapped.value().View(), 2);
+  PartitionOptions opts{.arc_source = &src};
+  Partition p = BuildPartition(mapped.value().View(), placement, 2, nullptr,
+                               opts);
+  // Populate the LRU with held windows via point lookups.
+  std::vector<LocalArc> scratch;
+  const Fragment& f = p.fragments[0];
+  for (LocalVertex l = 0; l < f.num_inner() && l < 200; ++l) {
+    (void)f.Adjacency(l, scratch);
+  }
+  const uint64_t held = src.resident_arcs();
+  ASSERT_GT(held, 0u) << "test needs held point windows to be meaningful";
+
+  src.ResetStats();
+  // Live accounting survives the reset; peaks restart from it.
+  EXPECT_EQ(src.resident_arcs(), held);
+  EXPECT_EQ(src.peak_resident_arcs(), held);
+  src.ReleasePointWindows();
+  EXPECT_EQ(src.resident_arcs(), 0u) << "residency wrapped below zero";
+  std::remove(path.c_str());
+}
+
+TEST(PointLookupLru, TeardownDuringConcurrentSweepStaysBalanced) {
+  // Regression: ReleasePointWindows racing sweeps / lookups / a second
+  // teardown must release each held window exactly once (no
+  // double-decrement of a chunk's holder refcount) and never let the
+  // residency counter wrap. Also pins the policy that the teardown's
+  // madvise calls run outside the LRU spinlock.
+  Graph g = TestGraph();
+  const std::string path = TmpPath("point_teardown.gcsr");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  auto mapped = MmapGraph::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  ChunkedArcSource src(mapped.value(), 113);
+  const uint64_t kWrapGuard = uint64_t{1} << 60;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  // Two sweepers exercise Acquire/Release chunk refcounting in parallel.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load()) {
+        src.ForEachChunk([&](const ChunkedArcSource::Chunk&,
+                             std::span<const Arc>) {
+          EXPECT_LT(src.resident_arcs(), kWrapGuard);
+        });
+      }
+    });
+  }
+  // Two lookup threads keep the point LRU churning (insert + evict).
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      const VertexId n = mapped.value().View().num_vertices();
+      VertexId v = static_cast<VertexId>(t);
+      while (!stop.load()) {
+        src.NotePointLookup(v % n);
+        v += 7;
+      }
+    });
+  }
+  // Mid-flight teardowns: each may only release windows it swapped out.
+  for (int i = 0; i < 200; ++i) {
+    src.ReleasePointWindows();
+    EXPECT_LT(src.resident_arcs(), kWrapGuard) << "iteration " << i;
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  src.ReleasePointWindows();
+  EXPECT_EQ(src.resident_arcs(), 0u)
+      << "unbalanced release: refcount/residency accounting broke";
   std::remove(path.c_str());
 }
 

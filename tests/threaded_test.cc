@@ -10,6 +10,8 @@
 #include "core/threaded_engine.h"
 #include "graph/generators.h"
 #include "partition/partitioner.h"
+#include "runtime/channel.h"
+#include "util/timer.h"
 
 namespace grape {
 namespace {
@@ -105,6 +107,45 @@ TEST(ThreadedEngine, SingleThreadStillCompletes) {
   auto r = engine.Run();
   ASSERT_TRUE(r.converged);
   EXPECT_EQ(r.result, seq::ConnectedComponents(w.graph));
+}
+
+TEST(NotifyHub, PublishBetweenEpochCaptureAndTimedWaitWakesImmediately) {
+  // Pins the idle-wakeup interleaving of the engine's deadline race: a
+  // worker captures the hub epoch, scans deadlines, then parks in
+  // WaitForSeconds. A deadline publish / delivery that lands *between* the
+  // capture and the wait rings NotifyAll — the epoch mismatch must make
+  // the timed wait return immediately instead of sleeping out the full
+  // deadline. Deterministic: capture, publish and wait all on this thread.
+  NotifyHub hub;
+  const uint64_t epoch = hub.Epoch();
+  hub.NotifyAll();  // the racing publish, after the capture
+  Stopwatch sw;
+  hub.WaitForSeconds(epoch, 60.0);
+  EXPECT_LT(sw.ElapsedSeconds(), 5.0)
+      << "timed wait slept through a publish that pre-dated it";
+}
+
+TEST(ThreadedEngine, DeliveryCancelsPublishedWaitDeadlines) {
+  // Regression for the eligible_at oversleep: a worker that published a
+  // kWaitFor deadline and went idle must be reconsidered as soon as new
+  // messages arrive (the delivery clears the published deadline and rings
+  // the hub), not after the stale deadline expires. AAP with a high
+  // accumulation floor and a large Δt cap makes the controller publish
+  // waits aggressively; with deadlines cancelled on delivery the run still
+  // finishes promptly and exactly.
+  World w = MakeWorld(6, 67);
+  const auto truth = seq::ConnectedComponents(w.graph);
+  EngineConfig cfg;
+  cfg.mode = ModeConfig::Aap(/*l_bottom=*/8.0);
+  cfg.mode.delta_t_fraction = 50.0;
+  cfg.num_threads = 3;
+  Stopwatch sw;
+  ThreadedEngine<CcProgram> engine(w.partition, CcProgram{}, cfg);
+  auto r = engine.Run();
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.result, truth);
+  EXPECT_LT(sw.ElapsedSeconds(), 10.0)
+      << "stale wait deadlines oversleeping deliveries";
 }
 
 TEST(ThreadedEngine, RepeatedRunsAreConsistent) {

@@ -106,6 +106,12 @@ GATES = [
     ("ingest", "threaded_scaling.pagerank_aap_over_sim", "lower",
      ("streaming.pagerank_inmem_sec", "threaded_scaling.pagerank_aap_sec"),
      0.5),
+    # Async engine vs threaded AAP on the same partition in the same run:
+    # barrier-free scheduling trades coordination for possible redundant
+    # quanta, so the band is the same wide 0.5 the other same-box engine
+    # ratios use; guarded on both timings so sub-noise smoke shapes skip.
+    ("ingest", "async.pagerank_over_threaded", "lower",
+     ("threaded_scaling.pagerank_aap_sec", "async.pagerank_sec"), 0.5),
     # Observability layer: the full metrics+tracer instrumentation must hold
     # the <=3% overhead contract of docs/OBSERVABILITY.md (same run, same
     # box, min-of-pairs A/B in stress_ingest). Guarded on the off-side
@@ -132,6 +138,8 @@ REQUIRED_TRUE = [
     ("ingest", "direction.cc_identical"),
     ("ingest", "threaded_scaling.cc_identical"),
     ("ingest", "threaded_scaling.pagerank_close"),
+    ("ingest", "async.cc_identical"),
+    ("ingest", "async.pagerank_close"),
     ("ingest", "obs_overhead.identical"),
 ]
 
